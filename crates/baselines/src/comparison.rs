@@ -1,0 +1,274 @@
+//! The mechanism-comparison matrix of paper Table 2.
+
+use std::fmt;
+
+/// Where a mechanism runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// CPU-side hardware proposal.
+    Cpu,
+    /// GPU-side mechanism.
+    Gpu,
+}
+
+/// Protection approach (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Secret bytes around objects.
+    Canary,
+    /// Pointer/memory tag matching.
+    Tag,
+    /// Explicit bounds comparison.
+    BoundsChecking,
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Approach::Canary => "Canary",
+            Approach::Tag => "Tag",
+            Approach::BoundsChecking => "Bounds checking",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Qualitative magnitude used by Table 2's bandwidth/perf columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Magnitude {
+    /// Negligible ("-" in the paper).
+    None,
+    /// Low.
+    Low,
+    /// Moderate.
+    Moderate,
+    /// High.
+    High,
+}
+
+impl fmt::Display for Magnitude {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Magnitude::None => "-",
+            Magnitude::Low => "Low",
+            Magnitude::Moderate => "Moderate",
+            Magnitude::High => "High",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct Mechanism {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// CPU or GPU.
+    pub platform: Platform,
+    /// Protection approach.
+    pub approach: Approach,
+    /// Avoids register-file extensions.
+    pub no_register_extension: bool,
+    /// Avoids duplicated (shadow) memory.
+    pub no_duplicated_memory: bool,
+    /// Avoids extra checking operations in the instruction stream.
+    pub no_extra_check_ops: bool,
+    /// Memory-bandwidth increase.
+    pub bandwidth_increase: Magnitude,
+    /// Performance overhead.
+    pub perf_overhead: Magnitude,
+}
+
+/// The rows of paper Table 2, in order.
+pub fn table2() -> Vec<Mechanism> {
+    use Approach::*;
+    use Magnitude::*;
+    use Platform::*;
+    vec![
+        Mechanism {
+            name: "REST",
+            platform: Cpu,
+            approach: Canary,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: false,
+            bandwidth_increase: None,
+            perf_overhead: Low,
+        },
+        Mechanism {
+            name: "Califorms",
+            platform: Cpu,
+            approach: Canary,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: None,
+            perf_overhead: Low,
+        },
+        Mechanism {
+            name: "ARM MTE / SPARC ADI",
+            platform: Cpu,
+            approach: Tag,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: None,
+            perf_overhead: Low,
+        },
+        Mechanism {
+            name: "Intel MPX",
+            platform: Cpu,
+            approach: BoundsChecking,
+            no_register_extension: true,
+            no_duplicated_memory: false,
+            no_extra_check_ops: false,
+            bandwidth_increase: High,
+            perf_overhead: High,
+        },
+        Mechanism {
+            name: "HardBound / Watchdog",
+            platform: Cpu,
+            approach: BoundsChecking,
+            no_register_extension: false,
+            no_duplicated_memory: false,
+            no_extra_check_ops: false,
+            bandwidth_increase: High,
+            perf_overhead: Moderate,
+        },
+        Mechanism {
+            name: "CHERI",
+            platform: Cpu,
+            approach: BoundsChecking,
+            no_register_extension: false,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: High,
+            perf_overhead: Moderate,
+        },
+        Mechanism {
+            name: "In-Fat Pointer",
+            platform: Cpu,
+            approach: BoundsChecking,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: false,
+            bandwidth_increase: High,
+            perf_overhead: Moderate,
+        },
+        Mechanism {
+            name: "AOS",
+            platform: Cpu,
+            approach: BoundsChecking,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: High,
+            perf_overhead: Moderate,
+        },
+        Mechanism {
+            name: "No-FAT",
+            platform: Cpu,
+            approach: BoundsChecking,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: None,
+            perf_overhead: Low,
+        },
+        Mechanism {
+            name: "C3",
+            platform: Cpu,
+            approach: BoundsChecking,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: None,
+            perf_overhead: Low,
+        },
+        Mechanism {
+            name: "clArmor / GMOD",
+            platform: Gpu,
+            approach: Canary,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: None,
+            perf_overhead: High,
+        },
+        Mechanism {
+            name: "CUDA-MEMCHECK",
+            platform: Gpu,
+            approach: BoundsChecking,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: false,
+            bandwidth_increase: High,
+            perf_overhead: High,
+        },
+        Mechanism {
+            name: "GPUShield",
+            platform: Gpu,
+            approach: BoundsChecking,
+            no_register_extension: true,
+            no_duplicated_memory: true,
+            no_extra_check_ops: true,
+            bandwidth_increase: Low,
+            perf_overhead: Low,
+        },
+    ]
+}
+
+/// Renders the matrix as the paper's check-mark table.
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Mechanism                 | Unit | Protection      | NoRegExt | NoDupMem | NoChkOps | BW   | Perf\n",
+    );
+    out.push_str(
+        "--------------------------+------+-----------------+----------+----------+----------+------+------\n",
+    );
+    for m in table2() {
+        let check = |b: bool| if b { "v" } else { " " };
+        out.push_str(&format!(
+            "{:<26}| {:<5}| {:<16}| {:^9}| {:^9}| {:^9}| {:<5}| {}\n",
+            m.name,
+            match m.platform {
+                Platform::Cpu => "CPU",
+                Platform::Gpu => "GPU",
+            },
+            m.approach.to_string(),
+            check(m.no_register_extension),
+            check(m.no_duplicated_memory),
+            check(m.no_extra_check_ops),
+            m.bandwidth_increase.to_string(),
+            m.perf_overhead,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpushield_row_matches_paper_claims() {
+        let rows = table2();
+        let gs = rows.last().unwrap();
+        assert_eq!(gs.name, "GPUShield");
+        assert!(gs.no_register_extension);
+        assert!(gs.no_duplicated_memory);
+        assert!(gs.no_extra_check_ops);
+        assert_eq!(gs.bandwidth_increase, Magnitude::Low);
+        assert_eq!(gs.perf_overhead, Magnitude::Low);
+    }
+
+    #[test]
+    fn thirteen_rows_rendered() {
+        assert_eq!(table2().len(), 13);
+        let s = render_table2();
+        assert!(s.contains("GPUShield"));
+        assert!(s.contains("CUDA-MEMCHECK"));
+        assert_eq!(s.lines().count(), 15); // header + rule + 13 rows
+    }
+}

@@ -1,0 +1,107 @@
+//! Microbenchmarks of GPUShield's hardware-path components: the ID cipher,
+//! the warp coalescer + address gather, the RCache hierarchy, and a full
+//! BCU check (supports the Fig. 12 latency discussion and Table 3 sizing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpushield_core::{Bcu, BcuConfig, L1RCache, L2RCache};
+use gpushield_driver::{encrypt_id, write_entry, BoundsEntry, ShieldSetup};
+use gpushield_isa::{BlockId, MemSpace, SiteCheck, TaggedPtr};
+use gpushield_mem::coalesce::warp_address_range;
+use gpushield_mem::{coalesce_warp, AllocPolicy, VirtualMemorySpace};
+use gpushield_sim::{MemAccess, MemGuard};
+use std::time::Duration;
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+    g.sample_size(50).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("cipher_encrypt_decrypt", |b| {
+        b.iter(|| {
+            let ct = encrypt_id(black_box(0x1ABC), black_box(0xFEED));
+            gpushield_driver::decrypt_id(ct, 0xFEED)
+        })
+    });
+
+    let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(0x1000 + i * 4)).collect();
+    g.bench_function("coalesce_warp_32_lanes", |b| {
+        b.iter(|| coalesce_warp(black_box(&addrs), 4))
+    });
+    g.bench_function("warp_address_gather", |b| {
+        b.iter(|| warp_address_range(black_box(&addrs), 4))
+    });
+
+    g.bench_function("l1_rcache_probe_hit", |b| {
+        let mut rc = L1RCache::new(4);
+        let e = BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id: 1,
+            base: 0x1000,
+            size: 4096,
+        };
+        rc.fill((1, 7), e);
+        b.iter(|| rc.probe(black_box((1, 7))))
+    });
+
+    g.bench_function("l2_rcache_probe_hit_64_entries", |b| {
+        let mut rc = L2RCache::new(64);
+        let e = BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id: 1,
+            base: 0x1000,
+            size: 4096,
+        };
+        for id in 0..64u16 {
+            rc.fill((1, id), e);
+        }
+        b.iter(|| rc.probe(black_box((1, 33))))
+    });
+
+    // A full BCU check against a warm RCache.
+    let mut vm = VirtualMemorySpace::new();
+    let rbt = vm
+        .alloc(gpushield_driver::RBT_BYTES, AllocPolicy::Isolated)
+        .unwrap();
+    let buf = vm.alloc(4096, AllocPolicy::Device512).unwrap();
+    let setup = ShieldSetup {
+        kernel_id: 3,
+        rbt_base: rbt.va,
+        key: 0xABCD_EF01,
+    };
+    write_entry(
+        &mut vm,
+        rbt.va,
+        0x111,
+        &BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id: 3,
+            base: buf.va,
+            size: 4096,
+        },
+    )
+    .unwrap();
+    let mut bcu = Bcu::new(BcuConfig::default(), 1);
+    bcu.register_kernel(setup);
+    let access = MemAccess {
+        core: 0,
+        kernel_id: 3,
+        is_store: false,
+        space: MemSpace::Global,
+        pointer: TaggedPtr::with_region_id(buf.va, encrypt_id(0x111, setup.key)),
+        site: (BlockId(0), 0),
+        range: (buf.va, buf.va + 128),
+        site_check: SiteCheck::Runtime,
+        transactions: 1,
+        active_lanes: 32,
+        l1d_all_hit: true,
+    };
+    let _ = bcu.check(&access, &vm); // warm the RCaches
+    g.bench_function("bcu_check_l1_hit", |b| b.iter(|| bcu.check(black_box(&access), &vm)));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

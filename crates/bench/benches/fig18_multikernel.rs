@@ -1,0 +1,52 @@
+//! Criterion bench behind Fig. 18: a representative kernel pair co-running
+//! inter-core vs intra-core on the Intel configuration (the full 21-pair
+//! table comes from `experiments fig18`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpushield::{ConcurrentKernel, MultiKernelMode};
+use gpushield_bench::{config, Protection, SystemHost, Target};
+use gpushield_workloads::representative;
+use std::time::Duration;
+
+fn run_pair(mode: MultiKernelMode) -> u64 {
+    let mut host = SystemHost::new(config(Target::Intel, Protection::shield_default()));
+    let ra = representative("kmeans").expect("rep");
+    let rb = representative("nn").expect("rep");
+    let args_a = ra.bind(&mut host);
+    let args_b = rb.bind(&mut host);
+    let kernels = vec![
+        ConcurrentKernel {
+            kernel: ra.kernel.clone(),
+            grid: ra.grid,
+            block: ra.block,
+            args: host.map_args(&args_a),
+        },
+        ConcurrentKernel {
+            kernel: rb.kernel.clone(),
+            grid: rb.grid,
+            block: rb.block,
+            args: host.map_args(&args_b),
+        },
+    ];
+    host.system_mut()
+        .launch_concurrent(kernels, mode)
+        .expect("pair")
+        .cycles
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_multikernel");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, mode) in [
+        ("inter-core", MultiKernelMode::InterCore),
+        ("intra-core", MultiKernelMode::IntraCore),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| run_pair(mode))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig18);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments                  # list available experiments
+//! experiments fig14            # run one
+//! experiments all              # run everything (a few minutes)
+//! experiments all results/     # additionally write one file per exhibit
+//! ```
+
+use gpushield_bench::experiments;
+use std::path::Path;
+use std::time::Instant;
+
+fn emit(id: &str, title: &str, text: &str, out_dir: Option<&str>) {
+    println!("==== {id} — {title} ====\n");
+    println!("{text}");
+    if let Some(dir) = out_dir {
+        let path = Path::new(dir).join(format!("{id}.txt"));
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text)) {
+            eprintln!("failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let out_dir = std::env::args().nth(2);
+    match arg.as_deref() {
+        None | Some("list") => {
+            println!("available experiments:");
+            for e in experiments::all() {
+                println!("  {:<8} {}", e.id, e.title);
+            }
+            println!("  all      run everything");
+        }
+        Some("all") => {
+            for e in experiments::all() {
+                let t0 = Instant::now();
+                let text = (e.run)();
+                emit(e.id, e.title, &text, out_dir.as_deref());
+                eprintln!("[{} took {:.1}s]", e.id, t0.elapsed().as_secs_f64());
+            }
+        }
+        Some(id) => match experiments::by_id(id) {
+            Some(e) => {
+                let text = (e.run)();
+                emit(e.id, e.title, &text, out_dir.as_deref());
+            }
+            None => {
+                eprintln!("unknown experiment {id}; run with no arguments to list");
+                std::process::exit(1);
+            }
+        },
+    }
+}

@@ -1,0 +1,162 @@
+//! Metadata-driven exhibits: Figs. 1 and 11, Tables 2, 3, 5, and 6.
+
+use gpushield::GpuConfig;
+use gpushield_workloads::{all, fig11_set, Category, Suite};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fig. 1: distribution of the number of buffers per kernel across suites.
+pub fn fig1_buffers() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 1 — buffers per kernel (paper: max 34, avg 6.5 over 145 benchmarks;"
+    );
+    let _ = writeln!(
+        out,
+        "         here: the workload-model registry, same bucket boundaries)\n"
+    );
+    let mut per_suite: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for w in all() {
+        let p = w.probe();
+        per_suite
+            .entry(w.suite().to_string())
+            .or_default()
+            .push(p.max_buffers_per_kernel);
+    }
+    let _ = writeln!(out, "{:<16} {:>4} {:>4} {:>4} {:>5} {:>6}", "suite", "<5", "<10", "<20", ">=20", "total");
+    let mut all_counts: Vec<usize> = Vec::new();
+    for (suite, counts) in &per_suite {
+        let b = |lo: usize, hi: usize| counts.iter().filter(|c| **c >= lo && **c < hi).count();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>4} {:>4} {:>4} {:>5} {:>6}",
+            suite,
+            b(0, 5),
+            b(5, 10),
+            b(10, 20),
+            counts.iter().filter(|c| **c >= 20).count(),
+            counts.len()
+        );
+        all_counts.extend_from_slice(counts);
+    }
+    let avg = all_counts.iter().sum::<usize>() as f64 / all_counts.len() as f64;
+    let max = all_counts.iter().max().copied().unwrap_or(0);
+    let _ = writeln!(out, "\nmax: {max}, avg: {avg:.1}");
+    out
+}
+
+/// Fig. 11: 4KB pages per buffer for the Rodinia-model workloads.
+pub fn fig11_pages() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 11 — 4KB pages per buffer, Rodinia models (paper avg: 1425 pages"
+    );
+    let _ = writeln!(
+        out,
+        "          at full input scale; workloads here run scaled-down inputs,"
+    );
+    let _ = writeln!(
+        out,
+        "          preserving the pages-per-buffer >> 1 relation that makes"
+    );
+    let _ = writeln!(out, "          TLB misses dominate RCache misses)\n");
+    let _ = writeln!(out, "{:<16} {:>9} {:>15}", "benchmark", "buffers", "pages/buffer");
+    let mut rates = Vec::new();
+    for w in fig11_set() {
+        let p = w.probe();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>15.1}",
+            w.display_name(),
+            p.buffer_sizes.len(),
+            p.avg_pages_per_buffer()
+        );
+        rates.push(p.avg_pages_per_buffer());
+    }
+    let avg = rates.iter().sum::<f64>() / rates.len() as f64;
+    let _ = writeln!(out, "\naverage: {avg:.1} pages/buffer (>= 1 page per buffer everywhere)");
+    out
+}
+
+/// Table 2: the mechanism-comparison matrix.
+pub fn table2_comparison() -> String {
+    format!(
+        "Table 2 — memory-safety mechanism comparison\n\n{}",
+        gpushield_baselines::comparison::render_table2()
+    )
+}
+
+/// Table 3: BCU area/power from the calibrated cost model.
+pub fn table3_hwcost() -> String {
+    let cost = gpushield_hwcost::bcu_cost(4, 64);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3 — area and power overhead (45nm model, per core)\n");
+    let _ = write!(out, "{cost}");
+    let _ = writeln!(
+        out,
+        "\nwhole-GPU SRAM: Nvidia (16 cores) {:.1} KB, Intel (24 cores) {:.1} KB",
+        cost.gpu_total_kb(16),
+        cost.gpu_total_kb(24)
+    );
+    out
+}
+
+fn render_gpu(cfg: &GpuConfig) -> String {
+    format!(
+        "  {}: {} cores, {} threads/core, warp width {}, {} KB L1 ({}-way),\n    {} L1-TLB entries, {} MB shared L2, {} L2-TLB entries, {} DRAM channels",
+        cfg.name,
+        cfg.num_cores,
+        cfg.threads_per_core,
+        cfg.warp_width,
+        cfg.l1_bytes / 1024,
+        cfg.l1_ways,
+        cfg.l1_tlb_entries,
+        cfg.l2_bytes / 1024 / 1024,
+        cfg.l2_tlb_entries,
+        cfg.dram.channels
+    )
+}
+
+/// Table 5: the simulated-system configurations.
+pub fn table5_config() -> String {
+    format!(
+        "Table 5 — simulated system configurations\n\n{}\n{}\n",
+        render_gpu(&GpuConfig::nvidia()),
+        render_gpu(&GpuConfig::intel())
+    )
+}
+
+/// Table 6: the benchmark list by domain.
+pub fn table6_benchmarks() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 6 — evaluated benchmarks (* = RCache-sensitive, Fig. 15)\n");
+    for cat in [
+        Category::Ml,
+        Category::La,
+        Category::Gt,
+        Category::Gi,
+        Category::Ps,
+        Category::Im,
+        Category::Dm,
+        Category::OpenCl,
+    ] {
+        let names: Vec<String> = all()
+            .iter()
+            .filter(|w| w.category() == cat)
+            .map(|w| {
+                if w.rcache_sensitive() {
+                    format!("{}*", w.display_name())
+                } else {
+                    w.display_name().to_string()
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{:<8} {}", cat.to_string(), names.join(", "));
+    }
+    let cuda = all().iter().filter(|w| w.suite() != Suite::OpenCl).count();
+    let ocl = all().iter().filter(|w| w.suite() == Suite::OpenCl).count();
+    let _ = writeln!(out, "\n{cuda} CUDA-model + {ocl} OpenCL-model workloads");
+    out
+}

@@ -1,0 +1,121 @@
+//! One module per paper table/figure; each experiment runs fresh
+//! simulations and renders a plain-text reproduction of the exhibit.
+
+mod ablations;
+mod attacks;
+mod metadata;
+mod multikernel;
+mod perf;
+mod studies;
+mod tools;
+
+/// A runnable experiment.
+pub struct Experiment {
+    /// Short id (`fig14`, `table3`, …).
+    pub id: &'static str,
+    /// What the paper exhibit shows.
+    pub title: &'static str,
+    /// Runs the experiment and renders its table.
+    pub run: fn() -> String,
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1",
+            title: "Distribution of the number of buffers per GPU kernel",
+            run: metadata::fig1_buffers,
+        },
+        Experiment {
+            id: "fig4",
+            title: "SVM buffer-overflow behaviour on an unprotected GPU vs GPUShield",
+            run: attacks::fig4_overflow,
+        },
+        Experiment {
+            id: "table1",
+            title: "GPU memory types and their vulnerabilities",
+            run: attacks::table1_memory_types,
+        },
+        Experiment {
+            id: "table2",
+            title: "Comparison with previous memory-safety mechanisms",
+            run: metadata::table2_comparison,
+        },
+        Experiment {
+            id: "table3",
+            title: "Area and power overhead of the BCU",
+            run: metadata::table3_hwcost,
+        },
+        Experiment {
+            id: "table4",
+            title: "Security coverage of GPUShield",
+            run: attacks::table4_coverage,
+        },
+        Experiment {
+            id: "table5",
+            title: "Configuration of the simulated system",
+            run: metadata::table5_config,
+        },
+        Experiment {
+            id: "table6",
+            title: "Evaluated benchmarks",
+            run: metadata::table6_benchmarks,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Number of 4KB pages per buffer (Rodinia)",
+            run: metadata::fig11_pages,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Performance per category under GPUShield (Nvidia)",
+            run: perf::fig14_overhead,
+        },
+        Experiment {
+            id: "fig15",
+            title: "L1 RCache size sensitivity (Nvidia)",
+            run: perf::fig15_l1_size,
+        },
+        Experiment {
+            id: "fig16",
+            title: "L1 RCache hit rate on the Intel GPU",
+            run: perf::fig16_intel,
+        },
+        Experiment {
+            id: "fig17",
+            title: "Effect of static bounds-checking filtering",
+            run: perf::fig17_static,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Multi-kernel execution (inter-core vs intra-core)",
+            run: multikernel::fig18_multikernel,
+        },
+        Experiment {
+            id: "fig19",
+            title: "Software bounds-checking tools vs GPUShield (Rodinia)",
+            run: tools::fig19_tools,
+        },
+        Experiment {
+            id: "malloc",
+            title: "Device-heap malloc overhead study (Section 5.2.1)",
+            run: studies::malloc_study,
+        },
+        Experiment {
+            id: "swcheck",
+            title: "In-kernel software bounds checking (Section 6.4)",
+            run: studies::swcheck_study,
+        },
+        Experiment {
+            id: "ablation",
+            title: "Design ablations: warp-level checking and Type 3 pointers",
+            run: ablations::ablations,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}

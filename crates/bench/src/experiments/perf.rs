@@ -1,0 +1,181 @@
+//! Performance exhibits: Figs. 14–17.
+
+use crate::runner::{geomean, run_workload, Protection, Target};
+use gpushield_workloads::{cuda_set, opencl_set, rcache_sensitive_set, Category};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fig. 14: normalized execution time per category under GPUShield with
+/// the default and slowed RCache latencies.
+pub fn fig14_overhead() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 14 — normalized execution time over no-bounds-check (Nvidia)\n"
+    );
+    let mut per_cat: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    let order = [
+        Category::Ml,
+        Category::La,
+        Category::Gt,
+        Category::Gi,
+        Category::Ps,
+        Category::Im,
+        Category::Dm,
+    ];
+    for cat in order {
+        per_cat.insert(format!("{:02}{}", order.iter().position(|c| *c == cat).unwrap(), cat), (vec![], vec![]));
+    }
+    let mut all_default = Vec::new();
+    let mut all_lat2 = Vec::new();
+    for w in cuda_set() {
+        let base = run_workload(&w, Target::Nvidia, Protection::baseline());
+        let d = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 3));
+        let s = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5));
+        let rd = d.cycles as f64 / base.cycles as f64;
+        let rs = s.cycles as f64 / base.cycles as f64;
+        let key = format!(
+            "{:02}{}",
+            order.iter().position(|c| *c == w.category()).unwrap_or(0),
+            w.category()
+        );
+        if let Some((dv, sv)) = per_cat.get_mut(&key) {
+            dv.push(rd);
+            sv.push(rs);
+        }
+        all_default.push(rd);
+        all_lat2.push(rs);
+    }
+    let _ = writeln!(out, "{:<10} {:>18} {:>18}", "category", "L1:1,L2:3 (def.)", "L1:2,L2:5");
+    for (key, (dv, sv)) in &per_cat {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>18.3} {:>18.3}",
+            &key[2..],
+            geomean(dv),
+            geomean(sv)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<10} {:>18.3} {:>18.3}",
+        "geomean",
+        geomean(&all_default),
+        geomean(&all_lat2)
+    );
+    let _ = writeln!(
+        out,
+        "\n(paper: no category degrades under the default; the slowed RCache\n exposes the L1D-hit-bound DM workloads most)"
+    );
+    out
+}
+
+fn hit_rate_sweep(target: Target, workloads: Vec<gpushield_workloads::Workload>, title: &str) -> String {
+    let sizes = [1usize, 2, 4, 8, 16];
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}\n");
+    let _ = write!(out, "{:<16}", "benchmark");
+    for s in sizes {
+        let _ = write!(out, " {:>8}", format!("{s}-entry"));
+    }
+    let _ = writeln!(out);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for w in workloads {
+        let _ = write!(out, "{:<16}", w.display_name());
+        for (i, s) in sizes.iter().enumerate() {
+            let r = run_workload(
+                &w,
+                target,
+                Protection::shield_default().with_l1_entries(*s),
+            );
+            let rate = r.bcu.l1_hit_rate() * 100.0;
+            per_size[i].push(rate);
+            let _ = write!(out, " {:>8.1}", rate);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<16}", "mean");
+    for col in &per_size {
+        let mean = col.iter().sum::<f64>() / col.len().max(1) as f64;
+        let _ = write!(out, " {:>8.1}", mean);
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Fig. 15: L1 RCache hit rate vs entry count, RCache-sensitive set.
+pub fn fig15_l1_size() -> String {
+    hit_rate_sweep(
+        Target::Nvidia,
+        rcache_sensitive_set(),
+        "Fig. 15 — L1 RCache hit rate (%) vs entries, RCache-sensitive set (Nvidia)",
+    )
+}
+
+/// Fig. 16: the same sweep for the OpenCL set on the Intel configuration.
+pub fn fig16_intel() -> String {
+    hit_rate_sweep(
+        Target::Intel,
+        opencl_set(),
+        "Fig. 16 — L1 RCache hit rate (%) vs entries, OpenCL set (Intel)",
+    )
+}
+
+/// Fig. 17: static filtering under lengthened RCache latencies.
+pub fn fig17_static() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 17 — static-time bounds-check filtering (Nvidia, normalized time\n           over no-bounds-check; reduction = runtime checks removed)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>11} {:>9} {:>11} {:>8}",
+        "benchmark", "L1:1,L2:5", "+static", "L1:2,L2:5", "+static", "reduct%"
+    );
+    let mut cols: [Vec<f64>; 4] = [vec![], vec![], vec![], vec![]];
+    let mut reds = Vec::new();
+    for w in rcache_sensitive_set() {
+        let base = run_workload(&w, Target::Nvidia, Protection::baseline());
+        let a = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 5));
+        let a_s = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 5).with_static());
+        let b = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5));
+        let b_s = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5).with_static());
+        let n = base.cycles as f64;
+        let rs = [
+            a.cycles as f64 / n,
+            a_s.cycles as f64 / n,
+            b.cycles as f64 / n,
+            b_s.cycles as f64 / n,
+        ];
+        for (c, r) in cols.iter_mut().zip(rs) {
+            c.push(r);
+        }
+        reds.push(a_s.check_reduction * 100.0);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9.3} {:>11.3} {:>9.3} {:>11.3} {:>8.1}",
+            w.display_name(),
+            rs[0],
+            rs[1],
+            rs[2],
+            rs[3],
+            a_s.check_reduction * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9.3} {:>11.3} {:>9.3} {:>11.3} {:>8.1}",
+        "geomean",
+        geomean(&cols[0]),
+        geomean(&cols[1]),
+        geomean(&cols[2]),
+        geomean(&cols[3]),
+        reds.iter().sum::<f64>() / reds.len().max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "\n(graph benchmarks — bc, bfs-dtc, gc-dtc, sssp-dwc — keep low reduction:\n indirect accesses defeat static analysis, §8.3)"
+    );
+    out
+}

@@ -1,0 +1,10 @@
+//! Experiment harness regenerating every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub mod adapter;
+pub mod experiments;
+pub mod runner;
+
+pub use adapter::SystemHost;
+pub use runner::{config, geomean, run_workload, Protection, Target, WorkloadRun};

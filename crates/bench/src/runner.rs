@@ -1,0 +1,206 @@
+//! Workload runners used by every experiment: build a configuration, run a
+//! workload on it, and collect the figures' quantities.
+
+use crate::adapter::SystemHost;
+use gpushield::{BcuConfig, DriverConfig, GpuConfig, SystemConfig};
+use gpushield_core::BcuStats;
+use gpushield_workloads::Workload;
+
+/// Which GPU preset an experiment targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Table 5 Nvidia configuration.
+    Nvidia,
+    /// Table 5 Intel configuration.
+    Intel,
+}
+
+impl Target {
+    fn gpu(self) -> GpuConfig {
+        match self {
+            Target::Nvidia => GpuConfig::nvidia(),
+            Target::Intel => GpuConfig::intel(),
+        }
+    }
+}
+
+/// A named protection configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Protection {
+    /// Shield on/off (off = the no-bounds-check baseline).
+    pub shield: bool,
+    /// Static-analysis check elision (`+static` in Fig. 17).
+    pub static_analysis: bool,
+    /// L1 RCache entries.
+    pub l1_entries: usize,
+    /// L1 RCache latency (cycles).
+    pub l1_latency: u64,
+    /// L2 RCache latency (cycles).
+    pub l2_latency: u64,
+    /// Ablation: per-thread instead of warp-level checking (§5.5.1).
+    pub per_thread: bool,
+    /// Type 3 size-embedded pointers (§5.3.3).
+    pub type3: bool,
+}
+
+impl Protection {
+    /// The evaluation baseline: no bounds checking at all.
+    pub fn baseline() -> Self {
+        Protection {
+            shield: false,
+            static_analysis: false,
+            l1_entries: 4,
+            l1_latency: 1,
+            l2_latency: 3,
+            per_thread: false,
+            type3: false,
+        }
+    }
+
+    /// Default GPUShield: 4-entry 1-cycle L1 RCache, 3-cycle L2, no static
+    /// filtering (Figs. 14–16 run GPUShield's runtime path alone; Fig. 17
+    /// adds `+static`).
+    pub fn shield_default() -> Self {
+        Protection {
+            shield: true,
+            ..Protection::baseline()
+        }
+    }
+
+    /// GPUShield with explicit RCache latencies.
+    pub fn shield_lat(l1_latency: u64, l2_latency: u64) -> Self {
+        Protection {
+            l1_latency,
+            l2_latency,
+            ..Protection::shield_default()
+        }
+    }
+
+    /// Adds static-analysis filtering.
+    pub fn with_static(mut self) -> Self {
+        self.static_analysis = true;
+        self
+    }
+
+    /// Sets the L1 RCache entry count (Fig. 15 sweep).
+    pub fn with_l1_entries(mut self, entries: usize) -> Self {
+        self.l1_entries = entries;
+        self
+    }
+
+    /// Ablation: per-thread checking instead of warp-level gathering.
+    pub fn with_per_thread_checks(mut self) -> Self {
+        self.per_thread = true;
+        self
+    }
+
+    /// Enables Type 3 size-embedded pointers (implies power-of-two
+    /// allocation padding in the driver).
+    pub fn with_type3(mut self) -> Self {
+        self.type3 = true;
+        self
+    }
+}
+
+/// Builds the full system configuration for a target + protection pair.
+pub fn config(target: Target, prot: Protection) -> SystemConfig {
+    SystemConfig {
+        gpu: target.gpu(),
+        driver: DriverConfig {
+            enable_shield: prot.shield,
+            enable_static_analysis: prot.static_analysis,
+            enable_type3: prot.type3,
+            ..DriverConfig::default()
+        },
+        bcu: BcuConfig {
+            l1_entries: prot.l1_entries,
+            l1_latency: prot.l1_latency,
+            l2_latency: prot.l2_latency,
+            per_thread_checks: prot.per_thread,
+            ..BcuConfig::default()
+        },
+        seed: 0x6057_5E1D,
+    }
+}
+
+/// Everything an experiment needs from one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Workload name.
+    pub name: String,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Buffers allocated.
+    pub buffers: u64,
+    /// Bytes allocated.
+    pub buffer_bytes: u64,
+    /// BCU statistics (zero when the shield was off).
+    pub bcu: BcuStats,
+    /// Static check-elision fraction.
+    pub check_reduction: f64,
+    /// True when any launch aborted (must be false for benign workloads).
+    pub aborted: bool,
+}
+
+/// Runs one workload under one configuration.
+///
+/// # Panics
+///
+/// Panics if the workload aborts — the benchmark suite is benign, so an
+/// abort means a false positive, which the test suite must catch.
+pub fn run_workload(w: &Workload, target: Target, prot: Protection) -> WorkloadRun {
+    let mut host = SystemHost::new(config(target, prot));
+    w.run(&mut host);
+    assert!(
+        !host.any_abort(),
+        "false positive: {} aborted under {:?}",
+        w.name(),
+        prot
+    );
+    WorkloadRun {
+        name: w.name().to_string(),
+        cycles: host.total_cycles(),
+        launches: host.launches(),
+        buffers: host.buffer_count(),
+        buffer_bytes: host.buffer_bytes(),
+        bcu: host.system().bcu_stats(),
+        check_reduction: host.check_reduction(),
+        aborted: host.any_abort(),
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_workloads::by_name;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn shield_overhead_is_small_on_affine_workload() {
+        let w = by_name("vectoradd").unwrap();
+        let base = run_workload(&w, Target::Nvidia, Protection::baseline());
+        let prot = run_workload(&w, Target::Nvidia, Protection::shield_default());
+        let ratio = prot.cycles as f64 / base.cycles as f64;
+        assert!(
+            ratio < 1.05,
+            "default GPUShield should be near-free, got {ratio}"
+        );
+        assert!(prot.bcu.checks > 0, "runtime checks actually happened");
+    }
+}

@@ -1,0 +1,189 @@
+//! Abstract values: numbers or region-relative pointers.
+//!
+//! The analysis mirrors the operand-tree construction of paper Fig. 8:
+//! instead of materialising trees, every register holds either a numeric
+//! interval or a *pointer into a named region with an offset interval* —
+//! exactly the information the root of an operand tree would carry.
+
+use crate::interval::Interval;
+use gpushield_isa::{BinOp, CmpOp, UnOp};
+use std::fmt;
+
+/// The protected region a pointer refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Buffer bound to kernel argument slot `n`.
+    Param(u8),
+    /// Declared local-memory variable `n`.
+    Local(u8),
+    /// The device heap chunk (`malloc` results).
+    Heap,
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Origin::Param(p) => write!(f, "arg{p}"),
+            Origin::Local(v) => write!(f, "local{v}"),
+            Origin::Heap => f.write_str("heap"),
+        }
+    }
+}
+
+/// An abstract register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// A number in an interval.
+    Num(Interval),
+    /// Base of `Origin` plus a byte offset in an interval.
+    Ptr(Origin, Interval),
+}
+
+impl AbsVal {
+    /// The completely unknown value.
+    pub fn top() -> Self {
+        AbsVal::Num(Interval::full())
+    }
+
+    /// A known constant.
+    pub fn constant(v: i128) -> Self {
+        AbsVal::Num(Interval::constant(v))
+    }
+
+    /// The numeric interval, or the full interval for pointers (a pointer's
+    /// numeric value is unknown at analysis time — the driver picks it).
+    pub fn as_num(&self) -> Interval {
+        match self {
+            AbsVal::Num(i) => *i,
+            AbsVal::Ptr(..) => Interval::full(),
+        }
+    }
+
+    /// Lattice join.
+    pub fn join(&self, o: &AbsVal) -> AbsVal {
+        match (self, o) {
+            (AbsVal::Num(a), AbsVal::Num(b)) => AbsVal::Num(a.union(b)),
+            (AbsVal::Ptr(oa, a), AbsVal::Ptr(ob, b)) if oa == ob => {
+                AbsVal::Ptr(*oa, a.union(b))
+            }
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// Widening (applied at loop heads).
+    pub fn widen(&self, newer: &AbsVal) -> AbsVal {
+        match (self, newer) {
+            (AbsVal::Num(a), AbsVal::Num(b)) => AbsVal::Num(a.widen(b)),
+            (AbsVal::Ptr(oa, a), AbsVal::Ptr(ob, b)) if oa == ob => {
+                AbsVal::Ptr(*oa, a.widen(b))
+            }
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// Abstract binary operation.
+    pub fn bin(op: BinOp, a: &AbsVal, b: &AbsVal) -> AbsVal {
+        use AbsVal::{Num, Ptr};
+        match op {
+            BinOp::Add => match (a, b) {
+                (Num(x), Num(y)) => Num(x.add(y)),
+                (Ptr(o, x), Num(y)) | (Num(y), Ptr(o, x)) => Ptr(*o, x.add(y)),
+                _ => AbsVal::top(),
+            },
+            BinOp::Sub => match (a, b) {
+                (Num(x), Num(y)) => Num(x.sub(y)),
+                (Ptr(o, x), Num(y)) => Ptr(*o, x.sub(y)),
+                (Ptr(oa, x), Ptr(ob, y)) if oa == ob => Num(x.sub(y)),
+                _ => AbsVal::top(),
+            },
+            _ => {
+                // Every other operation destroys pointer provenance.
+                let (x, y) = match (a, b) {
+                    (Num(x), Num(y)) => (*x, *y),
+                    _ => return AbsVal::top(),
+                };
+                Num(match op {
+                    BinOp::Mul => x.mul(&y),
+                    BinOp::Div => x.div(&y),
+                    BinOp::Rem => x.rem(&y),
+                    BinOp::And => x.and(&y),
+                    BinOp::Or | BinOp::Xor => x.or_xor(&y),
+                    BinOp::Shl => x.shl(&y),
+                    BinOp::Shr => x.shr(&y),
+                    BinOp::Min => x.min_(&y),
+                    BinOp::Max => x.max_(&y),
+                    BinOp::Add | BinOp::Sub => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+
+    /// Abstract unary operation.
+    pub fn un(op: UnOp, a: &AbsVal) -> AbsVal {
+        match (op, a) {
+            (UnOp::Neg, AbsVal::Num(x)) => AbsVal::Num(x.neg()),
+            (UnOp::Abs, AbsVal::Num(x)) => AbsVal::Num(x.abs()),
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// Abstract comparison: always 0/1.
+    pub fn cmp(_op: CmpOp, _a: &AbsVal, _b: &AbsVal) -> AbsVal {
+        AbsVal::Num(Interval::range(0, 1))
+    }
+}
+
+impl fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsVal::Num(i) => write!(f, "{i}"),
+            AbsVal::Ptr(o, i) => write!(f, "&{o}+{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_arithmetic_keeps_provenance() {
+        let p = AbsVal::Ptr(Origin::Param(0), Interval::constant(0));
+        let off = AbsVal::Num(Interval::range(0, 124));
+        let q = AbsVal::bin(BinOp::Add, &p, &off);
+        assert_eq!(q, AbsVal::Ptr(Origin::Param(0), Interval::range(0, 124)));
+        // Commuted form too (base may be either operand).
+        let q2 = AbsVal::bin(BinOp::Add, &off, &p);
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn pointer_difference_is_numeric() {
+        let p = AbsVal::Ptr(Origin::Param(1), Interval::range(8, 16));
+        let q = AbsVal::Ptr(Origin::Param(1), Interval::constant(4));
+        assert_eq!(
+            AbsVal::bin(BinOp::Sub, &p, &q),
+            AbsVal::Num(Interval::range(4, 12))
+        );
+    }
+
+    #[test]
+    fn cross_origin_join_is_top() {
+        let p = AbsVal::Ptr(Origin::Param(0), Interval::constant(0));
+        let q = AbsVal::Ptr(Origin::Param(1), Interval::constant(0));
+        assert_eq!(p.join(&q), AbsVal::top());
+    }
+
+    #[test]
+    fn multiplying_pointers_loses_provenance() {
+        let p = AbsVal::Ptr(Origin::Heap, Interval::constant(0));
+        let n = AbsVal::constant(2);
+        assert_eq!(AbsVal::bin(BinOp::Mul, &p, &n), AbsVal::top());
+    }
+
+    #[test]
+    fn cmp_is_boolean() {
+        let r = AbsVal::cmp(CmpOp::Lt, &AbsVal::top(), &AbsVal::top());
+        assert_eq!(r, AbsVal::Num(Interval::range(0, 1)));
+    }
+}

@@ -1,0 +1,657 @@
+//! The Bounds-Analysis Table: per-site check decisions, per-pointer
+//! classes, and statically detected violations (paper §5.3, Fig. 5's BAT).
+
+use crate::absval::Origin;
+use crate::analysis::{
+    analyze_kernel, origin_size, protected_space, resolve_site, transfer, LaunchKnowledge,
+};
+use gpushield_isa::{BlockId, CheckPlan, Instr, Kernel, PtrClass, SiteCheck};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Static-analysis configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisConfig {
+    /// Enable Type 3 (size-embedded) pointers for Method A/C addressing
+    /// (§5.3.3). Requires the driver to pad allocations to powers of two.
+    pub enable_type3: bool,
+}
+
+/// An out-of-bounds access proven at compile time (reported to the user
+/// immediately, §5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticViolation {
+    /// Offending instruction site.
+    pub site: (BlockId, usize),
+    /// Region accessed.
+    pub origin: Origin,
+    /// Proven offset bounds (bytes).
+    pub offset_lo: i128,
+    /// Upper offset bound (bytes).
+    pub offset_hi: i128,
+    /// The region's size.
+    pub size: u64,
+}
+
+impl fmt::Display for StaticViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static out-of-bounds at {}:{}: {} offset [{}, {}] vs size {}",
+            self.site.0, self.site.1, self.origin, self.offset_lo, self.offset_hi, self.size
+        )
+    }
+}
+
+/// The compiler's full output for one kernel + launch configuration.
+#[derive(Debug, Clone)]
+pub struct BoundsAnalysis {
+    /// Per-site decisions consumed by the hardware (attached to the binary
+    /// and handed to the driver, Fig. 9 step ③).
+    pub plan: CheckPlan,
+    /// Pointer class the driver should tag each kernel argument with.
+    pub param_class: Vec<PtrClass>,
+    /// Pointer class for each local variable's base.
+    pub local_class: Vec<PtrClass>,
+    /// Statically proven violations.
+    pub violations: Vec<StaticViolation>,
+    /// Sites proven safe (Type 1).
+    pub sites_static: usize,
+    /// Sites requiring runtime RBT checks (Type 2).
+    pub sites_runtime: usize,
+    /// Sites using embedded-size checks (Type 3).
+    pub sites_type3: usize,
+    /// All protected-space memory sites.
+    pub sites_total: usize,
+}
+
+impl BoundsAnalysis {
+    /// Fraction of sites whose runtime check was eliminated, in `[0, 1]`.
+    pub fn static_fraction(&self) -> f64 {
+        if self.sites_total == 0 {
+            0.0
+        } else {
+            self.sites_static as f64 / self.sites_total as f64
+        }
+    }
+}
+
+/// Runs the LLVM-style static bounds analysis of §5.3 on `kernel` with the
+/// launch-time knowledge `know`, producing the Bounds-Analysis Table.
+///
+/// # Example
+///
+/// ```
+/// use gpushield_compiler::{analyze, AnalysisConfig, ArgInfo, LaunchKnowledge};
+/// use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand};
+///
+/// // out[tid] = tid — provably in bounds for a 64-element buffer.
+/// let mut b = KernelBuilder::new("iota");
+/// let out = b.param_buffer("out", false);
+/// let tid = b.global_thread_id();
+/// let off = b.shl(tid, Operand::Imm(2));
+/// b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+/// b.ret();
+/// let k = b.finish()?;
+///
+/// let know = LaunchKnowledge {
+///     args: vec![ArgInfo::Buffer { size: 64 * 4 }],
+///     local_sizes: vec![],
+///     block: 16,
+///     grid: 4,
+///     heap_size: None,
+/// };
+/// let bat = analyze(&k, &know, AnalysisConfig::default());
+/// assert_eq!(bat.sites_static, 1);
+/// assert_eq!(bat.sites_total, 1);
+/// # Ok::<(), gpushield_isa::ValidateError>(())
+/// ```
+pub fn analyze(kernel: &Kernel, know: &LaunchKnowledge, cfg: AnalysisConfig) -> BoundsAnalysis {
+    let result = analyze_kernel(kernel, know);
+    let mut plan = CheckPlan::all_runtime();
+    let mut violations = Vec::new();
+    // Raw per-site decisions plus the origin of each dynamic site, for the
+    // pointer-class consolidation pass.
+    let mut site_origin: HashMap<(BlockId, usize), Origin> = HashMap::new();
+    let mut tentative: Vec<((BlockId, usize), SiteCheck)> = Vec::new();
+
+    for (bi, blk) in kernel.blocks().iter().enumerate() {
+        let Some(entry) = &result.in_states[bi] else {
+            continue; // unreachable block: never executes, nothing to check
+        };
+        let mut st = entry.clone();
+        let mut cmp_defs = HashMap::new();
+        for (ii, instr) in blk.instrs().iter().enumerate() {
+            if let Instr::Ld { space, width, .. }
+            | Instr::St { space, width, .. }
+            | Instr::AtomAdd { space, width, .. } = instr
+            {
+                if protected_space(*space) {
+                    let site = (BlockId(bi as u32), ii);
+                    let resolved = resolve_site(instr, &st, kernel, know);
+                    let decision = match resolved {
+                        Some(sa) => {
+                            site_origin.insert(site, sa.origin);
+                            match origin_size(sa.origin, kernel, know) {
+                                Some(size) => {
+                                    let limit = i128::from(size) - i128::from(width.bytes());
+                                    if sa.offset.within(0, limit) {
+                                        SiteCheck::Static
+                                    } else if sa.offset.lo() > limit || sa.offset.hi() < 0 {
+                                        violations.push(StaticViolation {
+                                            site,
+                                            origin: sa.origin,
+                                            offset_lo: sa.offset.lo(),
+                                            offset_hi: sa.offset.hi(),
+                                            size,
+                                        });
+                                        SiteCheck::Runtime
+                                    } else {
+                                        maybe_type3(cfg, sa.method, sa.origin)
+                                    }
+                                }
+                                None => maybe_type3(cfg, sa.method, sa.origin),
+                            }
+                        }
+                        None => SiteCheck::Runtime,
+                    };
+                    tentative.push((site, decision));
+                }
+            }
+            transfer(instr, &mut st, &mut cmp_defs, kernel, know);
+        }
+    }
+
+    // Consolidation: a pointer carries exactly one tag, so a region with
+    // any Runtime (Type 2) site must be tagged Type 2 — its would-be
+    // Type 3 sites are downgraded to Runtime.
+    let mut region_has_runtime: HashMap<Origin, bool> = HashMap::new();
+    for (site, d) in &tentative {
+        if *d == SiteCheck::Runtime {
+            if let Some(o) = site_origin.get(site) {
+                region_has_runtime.insert(*o, true);
+            }
+        }
+    }
+    let mut sites_static = 0;
+    let mut sites_runtime = 0;
+    let mut sites_type3 = 0;
+    let mut region_class: HashMap<Origin, PtrClass> = HashMap::new();
+    for (site, d) in tentative {
+        let origin = site_origin.get(&site).copied();
+        let d = match d {
+            SiteCheck::SizeEmbedded
+                if origin
+                    .map(|o| region_has_runtime.get(&o).copied().unwrap_or(false))
+                    .unwrap_or(true) =>
+            {
+                SiteCheck::Runtime
+            }
+            other => other,
+        };
+        match d {
+            SiteCheck::Static => sites_static += 1,
+            SiteCheck::Runtime => {
+                sites_runtime += 1;
+                if let Some(o) = origin {
+                    region_class.insert(o, PtrClass::Region);
+                }
+            }
+            SiteCheck::SizeEmbedded => {
+                sites_type3 += 1;
+                if let Some(o) = origin {
+                    region_class.entry(o).or_insert(PtrClass::SizeEmbedded);
+                }
+            }
+        }
+        plan.set(site, d);
+    }
+    // A site whose base could not be resolved still needs a tag to check
+    // against at runtime; conservatively tag every buffer that has no class
+    // yet as Region when any unresolved runtime site exists, otherwise
+    // Unprotected. Unresolved sites use Method B pointers whose tag flows
+    // from whichever buffer they were derived from, so Region is the safe
+    // default for all buffer arguments that were not proven all-static.
+    let any_unresolved = plan
+        .iter()
+        .any(|(s, d)| d == SiteCheck::Runtime && !site_origin.contains_key(&s));
+    let param_class = (0..kernel.params().len() as u8)
+        .map(|p| {
+            if !kernel.params()[usize::from(p)].is_buffer() {
+                PtrClass::Unprotected
+            } else {
+                match region_class.get(&Origin::Param(p)) {
+                    Some(c) => *c,
+                    None if any_unresolved => PtrClass::Region,
+                    None => PtrClass::Unprotected,
+                }
+            }
+        })
+        .collect();
+    let local_class = (0..kernel.locals().len() as u8)
+        .map(|v| match region_class.get(&Origin::Local(v)) {
+            Some(c) => *c,
+            None if any_unresolved => PtrClass::Region,
+            None => PtrClass::Unprotected,
+        })
+        .collect();
+
+    BoundsAnalysis {
+        sites_total: sites_static + sites_runtime + sites_type3,
+        plan,
+        param_class,
+        local_class,
+        violations,
+        sites_static,
+        sites_runtime,
+        sites_type3,
+    }
+}
+
+fn maybe_type3(cfg: AnalysisConfig, method: char, origin: Origin) -> SiteCheck {
+    if cfg.enable_type3 && (method == 'A' || method == 'C') && origin != Origin::Heap {
+        SiteCheck::SizeEmbedded
+    } else {
+        SiteCheck::Runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::ArgInfo;
+    use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand};
+
+    fn know(sizes: &[u64], block: u32, grid: u32) -> LaunchKnowledge {
+        LaunchKnowledge {
+            args: sizes.iter().map(|s| ArgInfo::Buffer { size: *s }).collect(),
+            local_sizes: vec![],
+            block,
+            grid,
+            heap_size: None,
+        }
+    }
+
+    #[test]
+    fn affine_tid_access_is_static() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know(&[1024 * 4], 256, 4), AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1);
+        assert_eq!(bat.param_class[0], PtrClass::Unprotected);
+        assert!(bat.violations.is_empty());
+    }
+
+    #[test]
+    fn undersized_buffer_needs_runtime_check() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        // 1024 threads but only 512 elements: offsets may exceed the size.
+        let bat = analyze(&k, &know(&[512 * 4], 256, 4), AnalysisConfig::default());
+        assert_eq!(bat.sites_runtime, 1);
+        assert_eq!(bat.param_class[0], PtrClass::Region);
+    }
+
+    #[test]
+    fn guarded_access_is_proven_by_refinement() {
+        // if (tid < n) out[tid] = 1 — the §6.4 software-check idiom.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let n = b.param_scalar("n");
+        let tid = b.global_thread_id();
+        let c = b.lt(tid, n);
+        b.if_then(c, |b| {
+            let off = b.shl(tid, Operand::Imm(2));
+            b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        let knowledge = LaunchKnowledge {
+            args: vec![
+                ArgInfo::Buffer { size: 100 * 4 },
+                ArgInfo::Scalar { value: Some(100) },
+            ],
+            local_sizes: vec![],
+            block: 256,
+            grid: 16,
+            heap_size: None,
+        };
+        let bat = analyze(&k, &knowledge, AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1, "guard should prove the access safe");
+    }
+
+    #[test]
+    fn counted_loop_is_proven_by_widening_plus_refinement() {
+        // for i in 0..n: out[i] = i, n known = buffer length.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let n = b.param_scalar("n");
+        b.for_loop(Operand::Imm(0), n, 1, |b, i| {
+            let off = b.shl(i, Operand::Imm(2));
+            b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), i);
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        let knowledge = LaunchKnowledge {
+            args: vec![
+                ArgInfo::Buffer { size: 64 * 4 },
+                ArgInfo::Scalar { value: Some(64) },
+            ],
+            local_sizes: vec![],
+            block: 32,
+            grid: 1,
+            heap_size: None,
+        };
+        let bat = analyze(&k, &knowledge, AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1);
+    }
+
+    #[test]
+    fn indirect_access_stays_runtime() {
+        // out[idx[tid]] = 1 — graph-style indirection.
+        let mut b = KernelBuilder::new("k");
+        let idx = b.param_buffer("idx", true);
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let ioff = b.shl(tid, Operand::Imm(2));
+        let j = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(idx, ioff));
+        let off = b.shl(j, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), Operand::Imm(1));
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know(&[64 * 4, 64 * 4], 16, 4), AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1, "the index load itself is affine");
+        assert_eq!(bat.sites_runtime, 1, "the indirect store is not");
+        assert_eq!(bat.param_class[1], PtrClass::Region);
+    }
+
+    #[test]
+    fn guaranteed_overflow_is_reported_statically() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(out, Operand::Imm(4096)),
+            Operand::Imm(0xBAD),
+        );
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know(&[64], 1, 1), AnalysisConfig::default());
+        assert_eq!(bat.violations.len(), 1);
+        assert_eq!(bat.violations[0].size, 64);
+        assert_eq!(bat.violations[0].offset_lo, 4096);
+    }
+
+    #[test]
+    fn type3_applies_to_method_c_sites_without_runtime_peers() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let n = b.param_scalar("n"); // unknown scalar → unprovable offset
+        let off4 = b.shl(n, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off4), n);
+        b.ret();
+        let k = b.finish().unwrap();
+        let knowledge = LaunchKnowledge {
+            args: vec![ArgInfo::Buffer { size: 256 }, ArgInfo::Scalar { value: None }],
+            local_sizes: vec![],
+            block: 16,
+            grid: 1,
+            heap_size: None,
+        };
+        let with = analyze(&k, &knowledge, AnalysisConfig { enable_type3: true });
+        assert_eq!(with.sites_type3, 1);
+        assert_eq!(with.param_class[0], PtrClass::SizeEmbedded);
+        let without = analyze(&k, &knowledge, AnalysisConfig::default());
+        assert_eq!(without.sites_runtime, 1);
+    }
+
+    #[test]
+    fn shared_memory_sites_are_not_counted() {
+        let mut b = KernelBuilder::new("k");
+        b.shared_mem(256);
+        let tid = b.mov(b.thread_id());
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(MemSpace::Shared, MemWidth::W4, b.flat(off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know(&[], 16, 1), AnalysisConfig::default());
+        assert_eq!(bat.sites_total, 0);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::analysis::ArgInfo;
+    use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand};
+
+    fn know1(size: u64, block: u32, grid: u32) -> LaunchKnowledge {
+        LaunchKnowledge {
+            args: vec![ArgInfo::Buffer { size }],
+            local_sizes: vec![],
+            block,
+            grid,
+            heap_size: Some(1 << 20),
+        }
+    }
+
+    #[test]
+    fn heap_pointers_are_always_runtime() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let p = b.malloc(Operand::Imm(64));
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(p, Operand::Imm(0)),
+            Operand::Imm(1),
+        );
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(out, Operand::Imm(0)),
+            Operand::Imm(1),
+        );
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(4096, 16, 1), AnalysisConfig::default());
+        // The heap store is runtime; the out store is provable.
+        assert_eq!(bat.sites_runtime, 1);
+        assert_eq!(bat.sites_static, 1);
+    }
+
+    #[test]
+    fn select_joins_both_arms() {
+        // off = sel(cond, 0, huge) — the huge arm must keep the site
+        // runtime even though one arm is safe.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let c = b.lt(tid, Operand::Imm(4));
+        let off = b.sel(c, Operand::Imm(0), Operand::Imm(1 << 20));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(4096, 16, 1), AnalysisConfig::default());
+        assert_eq!(bat.sites_runtime, 1);
+    }
+
+    #[test]
+    fn ne_guard_does_not_prove_bounds() {
+        // if (tid != 5) out[tid] — inequality refines nothing useful.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let c = b.cmp(gpushield_isa::CmpOp::Ne, tid, Operand::Imm(5));
+        b.if_then(c, |b| {
+            let off = b.shl(tid, Operand::Imm(2));
+            b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        // 64 threads but a 32-element buffer: unsafe, must stay runtime.
+        let bat = analyze(&k, &know1(32 * 4, 64, 1), AnalysisConfig::default());
+        assert_eq!(bat.sites_runtime, 1);
+    }
+
+    #[test]
+    fn eq_guard_pins_the_index() {
+        // if (tid == 3) out[tid] = 1 — equality proves the exact slot.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let c = b.eq(tid, Operand::Imm(3));
+        b.if_then(c, |b| {
+            let off = b.shl(tid, Operand::Imm(2));
+            b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(16, 64, 4), AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1, "tid==3 → offset 12 < 16");
+    }
+
+    #[test]
+    fn flat_addressing_resolves_through_pointer_arithmetic() {
+        // Method B: full address materialised in a register — the operand
+        // tree walks back through the add to the buffer base (Fig. 8).
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        let full = b.add(out, off);
+        let addr = b.flat(full);
+        b.st(MemSpace::Global, MemWidth::W4, addr, tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(64 * 4, 16, 4), AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1, "flat form must still be provable");
+        let bad = analyze(&k, &know1(16 * 4, 16, 4), AnalysisConfig::default());
+        assert_eq!(bad.sites_runtime, 1);
+    }
+
+    #[test]
+    fn provable_local_variable_is_unprotected() {
+        let mut b = KernelBuilder::new("k");
+        let v = b.local_var("arr", 4);
+        let base = b.local_base(v);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(MemSpace::Local, MemWidth::W4, b.base_offset(base, off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let know = LaunchKnowledge {
+            args: vec![],
+            local_sizes: vec![64 * 4], // 64 threads × 4B word
+            block: 16,
+            grid: 4,
+            heap_size: None,
+        };
+        let bat = analyze(&k, &know, AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1);
+        assert_eq!(bat.local_class[0], gpushield_isa::PtrClass::Unprotected);
+    }
+
+    #[test]
+    fn fig13_kmeans_swap_guard_proves_everything() {
+        // The paper's Fig. 13 kernel: the hoisted `if (tid < npoints)`
+        // plus the feature loop — all sites provable when sizes line up.
+        let mut b = KernelBuilder::new("swap");
+        let feat = b.param_buffer("feat", true);
+        let feat_swap = b.param_buffer("feat_swap", false);
+        let npoints = b.param_scalar("npoints");
+        const NF: i64 = 4;
+        let tid = b.global_thread_id();
+        let c = b.lt(tid, npoints);
+        b.if_then(c, |b| {
+            b.for_loop(Operand::Imm(0), Operand::Imm(NF), 1, |b, i| {
+                let src_row = b.mul(tid, Operand::Imm(NF));
+                let sidx = b.add(src_row, i);
+                let soff = b.shl(sidx, Operand::Imm(2));
+                let v = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(feat, soff));
+                let dcol = b.mul(i, npoints);
+                let didx = b.add(dcol, tid);
+                let doff = b.shl(didx, Operand::Imm(2));
+                b.st(MemSpace::Global, MemWidth::W4, b.base_offset(feat_swap, doff), v);
+            });
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        let np = 512u64;
+        let know = LaunchKnowledge {
+            args: vec![
+                ArgInfo::Buffer { size: np * NF as u64 * 4 },
+                ArgInfo::Buffer { size: np * NF as u64 * 4 },
+                ArgInfo::Scalar { value: Some(np) },
+            ],
+            local_sizes: vec![],
+            block: 256,
+            grid: 4,
+            heap_size: None,
+        };
+        let bat = analyze(&k, &know, AnalysisConfig::default());
+        assert_eq!(bat.sites_static, bat.sites_total);
+        assert_eq!(bat.sites_total, 2);
+    }
+
+    #[test]
+    fn clamp_idiom_is_proven_through_min_max() {
+        // idx = min(max(tid - 1, 0), n - 1) — the pathfinder edge clamp.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let n = b.param_scalar("n");
+        let tid = b.global_thread_id();
+        let m1 = b.sub(tid, Operand::Imm(1));
+        let lo = b.max(m1, Operand::Imm(0));
+        let nm1 = b.sub(n, Operand::Imm(1));
+        let idx = b.min(lo, nm1);
+        let off = b.shl(idx, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let know = LaunchKnowledge {
+            args: vec![
+                ArgInfo::Buffer { size: 64 * 4 },
+                ArgInfo::Scalar { value: Some(64) },
+            ],
+            local_sizes: vec![],
+            block: 256, // far more threads than elements — the clamp saves it
+            grid: 4,
+            heap_size: None,
+        };
+        let bat = analyze(&k, &know, AnalysisConfig::default());
+        assert_eq!(bat.sites_static, 1, "clamped index must be provable");
+    }
+
+    #[test]
+    fn atomics_are_classified_like_stores() {
+        let mut b = KernelBuilder::new("k");
+        let hist = b.param_buffer("hist", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        let _ = b.atom_add(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(hist, off),
+            Operand::Imm(1),
+        );
+        b.ret();
+        let k = b.finish().unwrap();
+        let safe = analyze(&k, &know1(64 * 4, 16, 4), AnalysisConfig::default());
+        assert_eq!(safe.sites_static, 1);
+        let unsafe_ = analyze(&k, &know1(16, 16, 4), AnalysisConfig::default());
+        assert_eq!(unsafe_.sites_runtime, 1);
+        assert_eq!(unsafe_.violations.len(), 0, "some threads are in bounds");
+    }
+}

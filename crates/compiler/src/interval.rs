@@ -1,0 +1,370 @@
+//! Interval domain for the static bounds analysis.
+//!
+//! Values are modelled as mathematical integers in `i128` with clamped
+//! "infinite" bounds, so 64-bit kernel arithmetic never overflows the
+//! abstract domain. All operations are *sound over-approximations*: the
+//! concrete result of an operation on members of the input intervals is
+//! always contained in the output interval.
+
+use std::fmt;
+
+/// Lower clamp standing in for −∞.
+pub const NEG_INF: i128 = i128::MIN >> 2;
+/// Upper clamp standing in for +∞.
+pub const POS_INF: i128 = i128::MAX >> 2;
+
+/// A closed integer interval `[lo, hi]`.
+///
+/// # Example
+///
+/// ```
+/// use gpushield_compiler::Interval;
+///
+/// // tid in [0, 255], elements of 4 bytes: offsets in [0, 1020].
+/// let tid = Interval::range(0, 255);
+/// let off = tid.mul(&Interval::constant(4));
+/// assert!(off.within(0, 1020));
+/// assert!(!off.within(0, 1019));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: i128,
+    hi: i128,
+}
+
+fn clamp(v: i128) -> i128 {
+    v.clamp(NEG_INF, POS_INF)
+}
+
+impl Interval {
+    /// The full (unknown) interval.
+    pub fn full() -> Self {
+        Interval {
+            lo: NEG_INF,
+            hi: POS_INF,
+        }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn constant(v: i128) -> Self {
+        let v = clamp(v);
+        Interval { lo: v, hi: v }
+    }
+
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(lo: i128, hi: i128) -> Self {
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval {
+            lo: clamp(lo),
+            hi: clamp(hi),
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> i128 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> i128 {
+        self.hi
+    }
+
+    /// True when this is the full interval.
+    pub fn is_full(&self) -> bool {
+        self.lo <= NEG_INF && self.hi >= POS_INF
+    }
+
+    /// True when `v` lies in the interval.
+    pub fn contains(&self, v: i128) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// True when the whole interval lies in `[lo, hi]`.
+    pub fn within(&self, lo: i128, hi: i128) -> bool {
+        lo <= self.lo && self.hi <= hi
+    }
+
+    /// Convex hull of two intervals (the join of the lattice).
+    pub fn union(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Intersection; `None` when disjoint.
+    pub fn intersect(&self, o: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Standard widening: bounds that grew jump to ±∞ so fixpoints are
+    /// reached in finitely many steps.
+    pub fn widen(&self, newer: &Interval) -> Interval {
+        Interval {
+            lo: if newer.lo < self.lo { NEG_INF } else { self.lo },
+            hi: if newer.hi > self.hi { POS_INF } else { self.hi },
+        }
+    }
+
+    /// `self + o`.
+    pub fn add(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: clamp(self.lo.saturating_add(o.lo)),
+            hi: clamp(self.hi.saturating_add(o.hi)),
+        }
+    }
+
+    /// `self - o`.
+    pub fn sub(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: clamp(self.lo.saturating_sub(o.hi)),
+            hi: clamp(self.hi.saturating_sub(o.lo)),
+        }
+    }
+
+    /// `self * o`.
+    pub fn mul(&self, o: &Interval) -> Interval {
+        let cands = [
+            self.lo.saturating_mul(o.lo),
+            self.lo.saturating_mul(o.hi),
+            self.hi.saturating_mul(o.lo),
+            self.hi.saturating_mul(o.hi),
+        ];
+        Interval {
+            lo: clamp(*cands.iter().min().expect("non-empty")),
+            hi: clamp(*cands.iter().max().expect("non-empty")),
+        }
+    }
+
+    /// Signed division (sound superset; exact for constant positive
+    /// divisors).
+    pub fn div(&self, o: &Interval) -> Interval {
+        if o.lo == o.hi && o.lo > 0 {
+            Interval {
+                lo: self.lo.div_euclid(o.lo).min(self.lo / o.lo),
+                hi: self.hi.div_euclid(o.lo).max(self.hi / o.lo),
+            }
+        } else {
+            Interval::full()
+        }
+    }
+
+    /// Signed remainder (sound superset; tight for constant positive
+    /// divisors).
+    pub fn rem(&self, o: &Interval) -> Interval {
+        if o.lo == o.hi && o.lo > 0 {
+            let n = o.lo;
+            if self.lo >= 0 {
+                // Result in [0, n-1]; keep tighter bound for small ranges.
+                if self.hi < n {
+                    *self
+                } else {
+                    Interval::range(0, n - 1)
+                }
+            } else {
+                Interval::range(-(n - 1), n - 1)
+            }
+        } else {
+            Interval::full()
+        }
+    }
+
+    /// Bitwise and.
+    pub fn and(&self, o: &Interval) -> Interval {
+        // x & c with constant c ≥ 0 keeps only c's bits: result ∈ [0, c].
+        if o.lo == o.hi && o.lo >= 0 {
+            return Interval::range(0, o.lo);
+        }
+        if self.lo == self.hi && self.lo >= 0 {
+            return Interval::range(0, self.lo);
+        }
+        if self.lo >= 0 && o.lo >= 0 {
+            return Interval::range(0, self.hi.min(o.hi));
+        }
+        Interval::full()
+    }
+
+    /// Bitwise or / xor share the same sound bound for non-negative inputs.
+    pub fn or_xor(&self, o: &Interval) -> Interval {
+        if self.lo >= 0 && o.lo >= 0 {
+            let m = self.hi.max(o.hi);
+            // Smallest all-ones value ≥ m bounds both OR and XOR.
+            let bound = if m <= 0 {
+                0
+            } else {
+                (1i128 << (128 - (m as u128).leading_zeros())) - 1
+            };
+            Interval::range(0, clamp(bound))
+        } else {
+            Interval::full()
+        }
+    }
+
+    /// Left shift by a constant amount.
+    pub fn shl(&self, o: &Interval) -> Interval {
+        if o.lo == o.hi && (0..=63).contains(&o.lo) {
+            let k = o.lo as u32;
+            let lo = self.lo.checked_shl(k);
+            let hi = self.hi.checked_shl(k);
+            match (lo, hi) {
+                (Some(l), Some(h))
+                    if (l >> k) == self.lo && (h >> k) == self.hi && l <= h =>
+                {
+                    Interval::range(clamp(l), clamp(h))
+                }
+                _ => Interval::full(),
+            }
+        } else {
+            Interval::full()
+        }
+    }
+
+    /// Logical right shift by a constant amount (non-negative ranges only;
+    /// logical and arithmetic shifts agree there).
+    pub fn shr(&self, o: &Interval) -> Interval {
+        if o.lo == o.hi && (0..=63).contains(&o.lo) && self.lo >= 0 {
+            Interval::range(self.lo >> o.lo, self.hi >> o.lo)
+        } else {
+            Interval::full()
+        }
+    }
+
+    /// Signed minimum.
+    pub fn min_(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    /// Signed maximum.
+    pub fn max_(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: clamp(-self.hi),
+            hi: clamp(-self.lo),
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Interval {
+        if self.lo >= 0 {
+            *self
+        } else if self.hi <= 0 {
+            self.neg()
+        } else {
+            Interval::range(0, self.hi.max(-self.lo))
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |v: i128| -> String {
+            if v <= NEG_INF {
+                "-inf".into()
+            } else if v >= POS_INF {
+                "+inf".into()
+            } else {
+                v.to_string()
+            }
+        };
+        write!(f, "[{}, {}]", show(self.lo), show(self.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_soundness_spot_checks() {
+        let a = Interval::range(2, 5);
+        let b = Interval::range(-3, 4);
+        assert_eq!(a.add(&b), Interval::range(-1, 9));
+        assert_eq!(a.sub(&b), Interval::range(-2, 8));
+        assert_eq!(a.mul(&b), Interval::range(-15, 20));
+    }
+
+    #[test]
+    fn shifts_on_constants() {
+        let a = Interval::range(0, 31);
+        assert_eq!(a.shl(&Interval::constant(2)), Interval::range(0, 124));
+        assert_eq!(a.shr(&Interval::constant(2)), Interval::range(0, 7));
+        assert!(a.shl(&Interval::range(0, 2)).is_full());
+    }
+
+    #[test]
+    fn rem_by_positive_constant() {
+        let a = Interval::range(0, 1000);
+        assert_eq!(a.rem(&Interval::constant(32)), Interval::range(0, 31));
+        let small = Interval::range(0, 5);
+        assert_eq!(small.rem(&Interval::constant(32)), small);
+        let neg = Interval::range(-10, 10);
+        assert_eq!(neg.rem(&Interval::constant(4)), Interval::range(-3, 3));
+    }
+
+    #[test]
+    fn and_masks() {
+        let a = Interval::full();
+        assert_eq!(a.and(&Interval::constant(0xff)), Interval::range(0, 255));
+    }
+
+    #[test]
+    fn or_xor_bound_is_all_ones() {
+        let a = Interval::range(0, 5);
+        let b = Interval::range(0, 9);
+        let r = a.or_xor(&b);
+        assert_eq!(r, Interval::range(0, 15));
+    }
+
+    #[test]
+    fn widening_stabilizes() {
+        let old = Interval::range(0, 10);
+        let grown = Interval::range(0, 11);
+        let w = old.widen(&grown);
+        assert_eq!(w.lo(), 0);
+        assert!(w.hi() >= POS_INF);
+        // Widening an already-widened interval is a no-op.
+        assert_eq!(w.widen(&Interval::range(0, 1 << 40)), w);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let a = Interval::range(0, 4);
+        let b = Interval::range(10, 12);
+        assert_eq!(a.union(&b), Interval::range(0, 12));
+        assert!(a.intersect(&b).is_none());
+        assert_eq!(
+            a.intersect(&Interval::range(3, 7)),
+            Some(Interval::range(3, 4))
+        );
+    }
+
+    #[test]
+    fn display_infinities() {
+        assert_eq!(Interval::full().to_string(), "[-inf, +inf]");
+        assert_eq!(Interval::constant(3).to_string(), "[3, 3]");
+    }
+
+    #[test]
+    fn abs_and_neg() {
+        let a = Interval::range(-5, 3);
+        assert_eq!(a.neg(), Interval::range(-3, 5));
+        assert_eq!(a.abs(), Interval::range(0, 5));
+    }
+}

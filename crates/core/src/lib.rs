@@ -1,0 +1,20 @@
+//! GPUShield's hardware: the paper's primary contribution.
+//!
+//! This crate implements the Bounds-Checking Unit ([`Bcu`]) of §5.5 — the
+//! per-core structure next to the LSU comprising the [`L1RCache`] (small
+//! FIFO), the [`L2RCache`] (64-entry fully associative, kernel-ID tagged),
+//! ID decryption, and warp-range comparison logic — together with the
+//! fault/error-logging behaviour of §5.5.2 and the Fig. 12 stall model.
+//!
+//! The BCU plugs into the simulator through the
+//! [`gpushield_sim::MemGuard`] trait and reads the Region Bounds Table the
+//! driver placed in device memory through the translation-bypass path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bcu;
+mod rcache;
+
+pub use bcu::{Bcu, BcuConfig, BcuStats, ViolationKind, ViolationRecord};
+pub use rcache::{L1RCache, L2RCache, RTag};

@@ -1,0 +1,324 @@
+//! The RCache hierarchy (paper §5.5): a small FIFO L1 RCache with parallel
+//! tag/data lookup, backed by a 64-entry fully associative L2 RCache whose
+//! entries carry a kernel-ID field (which is what makes intra-core
+//! multi-kernel sharing work, §6.2).
+
+use gpushield_driver::BoundsEntry;
+use std::collections::VecDeque;
+
+/// Tag of an RCache entry: (kernel ID, decrypted buffer ID).
+pub type RTag = (u16, u16);
+
+/// The per-core L1 RCache: a FIFO queue with parallel tag lookups (§5.5).
+///
+/// # Example
+///
+/// ```
+/// use gpushield_core::L1RCache;
+/// use gpushield_driver::BoundsEntry;
+///
+/// let mut rc = L1RCache::new(4);
+/// let e = BoundsEntry { valid: true, readonly: false, kernel_id: 1, base: 0x1000, size: 256 };
+/// assert!(rc.probe((1, 42)).is_none()); // cold
+/// rc.fill((1, 42), e);
+/// assert_eq!(rc.probe((1, 42)).unwrap().base, 0x1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1RCache {
+    entries: VecDeque<(RTag, BoundsEntry)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl L1RCache {
+    /// Creates an L1 RCache with `capacity` entries (the paper sweeps 1–16;
+    /// the default configuration uses 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-entry RCache");
+        L1RCache {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `tag`; FIFO order is *not* refreshed by hits.
+    pub fn probe(&mut self, tag: RTag) -> Option<BoundsEntry> {
+        match self.entries.iter().find(|(t, _)| *t == tag) {
+            Some((_, e)) => {
+                self.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry, evicting the oldest when full.
+    pub fn fill(&mut self, tag: RTag, entry: BoundsEntry) {
+        if self.entries.iter().any(|(t, _)| *t == tag) {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((tag, entry));
+    }
+
+    /// Drops all entries belonging to `kernel_id` (kernel termination).
+    pub fn flush_kernel(&mut self, kernel_id: u16) {
+        self.entries.retain(|((k, _), _)| *k != kernel_id);
+    }
+
+    /// Drops everything (context switch).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The per-core L2 RCache: fully associative, LRU, split tag/data arrays
+/// with a kernel-ID field per entry (§5.5).
+///
+/// # Example
+///
+/// ```
+/// use gpushield_core::L2RCache;
+/// use gpushield_driver::BoundsEntry;
+///
+/// let mut rc = L2RCache::new(64);
+/// let e = BoundsEntry { valid: true, readonly: true, kernel_id: 7, base: 0x4000, size: 64 };
+/// rc.fill((7, 3), e);
+/// assert!(rc.probe((7, 3)).unwrap().readonly);
+/// assert!(rc.probe((8, 3)).is_none(), "kernel IDs do not alias");
+/// ```
+#[derive(Debug, Clone)]
+pub struct L2RCache {
+    entries: Vec<(RTag, BoundsEntry, u64)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2RCache {
+    /// Creates an L2 RCache with `capacity` entries (64 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "zero-entry RCache");
+        L2RCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `tag`, refreshing LRU order on hit.
+    pub fn probe(&mut self, tag: RTag) -> Option<BoundsEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.iter_mut().find(|(t, _, _)| *t == tag) {
+            Some((_, e, stamp)) => {
+                *stamp = tick;
+                self.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry, evicting the least recently used when full.
+    pub fn fill(&mut self, tag: RTag, entry: BoundsEntry) {
+        self.tick += 1;
+        if self.entries.iter().any(|(t, _, _)| *t == tag) {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, s))| *s)
+                .map(|(i, _)| i)
+                .expect("full cache has entries");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((tag, entry, self.tick));
+    }
+
+    /// Drops all entries belonging to `kernel_id`.
+    pub fn flush_kernel(&mut self, kernel_id: u16) {
+        self.entries.retain(|((k, _), _, _)| *k != kernel_id);
+    }
+
+    /// Drops everything.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(base: u64) -> BoundsEntry {
+        BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id: 1,
+            base,
+            size: 64,
+        }
+    }
+
+    #[test]
+    fn l1_fifo_evicts_oldest_despite_hits() {
+        let mut c = L1RCache::new(2);
+        c.fill((1, 10), entry(0x1000));
+        c.fill((1, 11), entry(0x2000));
+        assert!(c.probe((1, 10)).is_some()); // hit does not refresh FIFO
+        c.fill((1, 12), entry(0x3000)); // evicts (1,10)
+        assert!(c.probe((1, 10)).is_none());
+        assert!(c.probe((1, 11)).is_some());
+        assert!(c.probe((1, 12)).is_some());
+    }
+
+    #[test]
+    fn l2_lru_keeps_recently_used() {
+        let mut c = L2RCache::new(2);
+        c.fill((1, 10), entry(0x1000));
+        c.fill((1, 11), entry(0x2000));
+        assert!(c.probe((1, 10)).is_some()); // refresh
+        c.fill((1, 12), entry(0x3000)); // evicts (1,11)
+        assert!(c.probe((1, 10)).is_some());
+        assert!(c.probe((1, 11)).is_none());
+    }
+
+    #[test]
+    fn kernel_flush_is_selective() {
+        let mut c = L2RCache::new(4);
+        c.fill((1, 10), entry(0x1000));
+        c.fill((2, 10), entry(0x2000));
+        c.flush_kernel(1);
+        assert!(c.probe((1, 10)).is_none());
+        assert!(c.probe((2, 10)).is_some());
+    }
+
+    #[test]
+    fn same_id_different_kernels_do_not_alias() {
+        let mut c = L1RCache::new(4);
+        c.fill((1, 10), entry(0x1000));
+        c.fill((2, 10), entry(0x2000));
+        assert_eq!(c.probe((1, 10)).unwrap().base, 0x1000);
+        assert_eq!(c.probe((2, 10)).unwrap().base, 0x2000);
+    }
+
+    #[test]
+    fn duplicate_fill_is_idempotent() {
+        let mut c = L1RCache::new(2);
+        c.fill((1, 10), entry(0x1000));
+        c.fill((1, 10), entry(0x1000));
+        c.fill((1, 11), entry(0x2000));
+        // Both still present: the duplicate fill did not consume a slot.
+        assert!(c.probe((1, 10)).is_some());
+        assert!(c.probe((1, 11)).is_some());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = L1RCache::new(1);
+        assert!(c.probe((1, 1)).is_none());
+        c.fill((1, 1), entry(0));
+        assert!(c.probe((1, 1)).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+
+    fn entry(kernel_id: u16, base: u64) -> BoundsEntry {
+        BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id,
+            base,
+            size: 128,
+        }
+    }
+
+    #[test]
+    fn l1_flush_all_empties() {
+        let mut c = L1RCache::new(4);
+        c.fill((1, 1), entry(1, 0));
+        c.fill((2, 2), entry(2, 0));
+        c.flush_all();
+        assert!(c.probe((1, 1)).is_none());
+        assert!(c.probe((2, 2)).is_none());
+    }
+
+    #[test]
+    fn l2_capacity_is_respected() {
+        let mut c = L2RCache::new(4);
+        for id in 0..8u16 {
+            c.fill((1, id), entry(1, u64::from(id) * 4096));
+        }
+        let present = (0..8u16).filter(|id| c.probe((1, *id)).is_some()).count();
+        assert_eq!(present, 4, "only capacity entries survive");
+    }
+
+    #[test]
+    fn l2_returns_stored_data() {
+        let mut c = L2RCache::new(8);
+        c.fill((3, 9), entry(3, 0xAB00));
+        let e = c.probe((3, 9)).unwrap();
+        assert_eq!(e.base, 0xAB00);
+        assert_eq!(e.kernel_id, 3);
+    }
+
+    #[test]
+    fn l1_single_entry_degenerates_to_last_fill() {
+        let mut c = L1RCache::new(1);
+        c.fill((1, 1), entry(1, 0));
+        c.fill((1, 2), entry(1, 128));
+        assert!(c.probe((1, 1)).is_none());
+        assert!(c.probe((1, 2)).is_some());
+    }
+}

@@ -1,0 +1,21 @@
+//! GPU driver model for GPUShield (paper §5.4).
+//!
+//! The driver owns the device virtual address space, allocates buffers with
+//! the alignment policy the protection mode requires, and — on each kernel
+//! launch — runs the static bounds analysis, assigns random-but-unique
+//! 14-bit buffer IDs, encrypts them under a per-kernel key, materialises
+//! the Region Bounds Table in protected device memory, and binds tagged
+//! pointers to the kernel's arguments and local variables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cipher;
+mod driver;
+mod rbt;
+
+pub use cipher::{decrypt_id, encrypt_id};
+pub use driver::{
+    Arg, BufferHandle, Driver, DriverConfig, DriverError, PreparedLaunch, ShieldSetup, CANARY_BYTE,
+};
+pub use rbt::{read_entry, write_entry, BoundsEntry, RBT_BYTES, RBT_ENTRIES, RBT_ENTRY_BYTES};

@@ -1,0 +1,178 @@
+//! Region Bounds Table layout (paper §5.2.3, Fig. 6).
+//!
+//! The RBT is a 16384-entry direct-mapped table in GPU global memory,
+//! indexed by the (decrypted) 14-bit buffer ID. Each 16-byte entry packs:
+//!
+//! ```text
+//! word0: [63] valid  [62] readonly  [59:48] kernel id  [47:0] base VA
+//! word1: [31:0] size in bytes
+//! ```
+//!
+//! The driver writes entries through the translation-bypass path and then
+//! makes the pages inaccessible to normal kernel loads/stores (§5.4), so
+//! only the BCU hardware can read them.
+
+use gpushield_mem::{MemFault, VirtualMemorySpace};
+
+/// Number of RBT entries (14-bit ID space).
+pub const RBT_ENTRIES: u64 = 1 << 14;
+/// Bytes per RBT entry.
+pub const RBT_ENTRY_BYTES: u64 = 16;
+/// Total RBT footprint in device memory.
+pub const RBT_BYTES: u64 = RBT_ENTRIES * RBT_ENTRY_BYTES;
+
+const VA_MASK: u64 = (1 << 48) - 1;
+
+/// One decoded bounds record (the paper's `struct Bounds`, Fig. 6).
+///
+/// # Example
+///
+/// ```
+/// use gpushield_driver::BoundsEntry;
+///
+/// let e = BoundsEntry { valid: true, readonly: false, kernel_id: 5, base: 0x1000, size: 64 };
+/// assert!(e.in_bounds(0x1000, 0x1040));
+/// assert!(!e.in_bounds(0x1000, 0x1041));
+/// assert_eq!(BoundsEntry::decode(e.encode()), e);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoundsEntry {
+    /// Entry is populated for the current kernel.
+    pub valid: bool,
+    /// Writes through this region's pointers are violations.
+    pub readonly: bool,
+    /// Driver-assigned kernel ID (12 bits) that owns this entry.
+    pub kernel_id: u16,
+    /// 48-bit base virtual address.
+    pub base: u64,
+    /// Region size in bytes.
+    pub size: u32,
+}
+
+impl BoundsEntry {
+    /// Packs into the two 64-bit words stored in device memory.
+    pub fn encode(&self) -> [u64; 2] {
+        let w0 = (u64::from(self.valid) << 63)
+            | (u64::from(self.readonly) << 62)
+            | ((u64::from(self.kernel_id) & 0xFFF) << 48)
+            | (self.base & VA_MASK);
+        [w0, u64::from(self.size)]
+    }
+
+    /// Unpacks from the stored words.
+    pub fn decode(words: [u64; 2]) -> Self {
+        BoundsEntry {
+            valid: words[0] >> 63 != 0,
+            readonly: (words[0] >> 62) & 1 != 0,
+            kernel_id: ((words[0] >> 48) & 0xFFF) as u16,
+            base: words[0] & VA_MASK,
+            size: words[1] as u32,
+        }
+    }
+
+    /// True when `[lo, hi)` falls inside the region.
+    pub fn in_bounds(&self, lo: u64, hi: u64) -> bool {
+        lo >= self.base && hi <= self.base + u64::from(self.size)
+    }
+}
+
+/// Writes `entry` at index `id` of the RBT at `rbt_base`, via the
+/// translation-bypass path (driver privilege).
+///
+/// # Errors
+///
+/// Propagates a [`MemFault`] only if `rbt_base` itself is unmapped.
+///
+/// # Panics
+///
+/// Panics if `id` is outside the 14-bit ID space.
+pub fn write_entry(
+    vm: &mut VirtualMemorySpace,
+    rbt_base: u64,
+    id: u16,
+    entry: &BoundsEntry,
+) -> Result<(), MemFault> {
+    assert!(u64::from(id) < RBT_ENTRIES, "RBT index out of range");
+    let words = entry.encode();
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&words[0].to_le_bytes());
+    bytes[8..].copy_from_slice(&words[1].to_le_bytes());
+    vm.write_bypass(rbt_base + u64::from(id) * RBT_ENTRY_BYTES, &bytes)
+}
+
+/// Reads the entry at index `id` — the hardware path the BCU uses on an
+/// L2 RCache miss (§5.5: serviced "using the physical address of RBT
+/// stored in the GPU core and a buffer ID as an offset").
+///
+/// # Errors
+///
+/// Propagates a [`MemFault`] only if `rbt_base` itself is unmapped.
+///
+/// # Panics
+///
+/// Panics if `id` is outside the 14-bit ID space.
+pub fn read_entry(
+    vm: &VirtualMemorySpace,
+    rbt_base: u64,
+    id: u16,
+) -> Result<BoundsEntry, MemFault> {
+    assert!(u64::from(id) < RBT_ENTRIES, "RBT index out of range");
+    let mut bytes = [0u8; 16];
+    vm.read_bypass(rbt_base + u64::from(id) * RBT_ENTRY_BYTES, &mut bytes)?;
+    let w0 = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+    let w1 = u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes"));
+    Ok(BoundsEntry::decode([w0, w1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_mem::AllocPolicy;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let e = BoundsEntry {
+            valid: true,
+            readonly: true,
+            kernel_id: 0xABC,
+            base: 0x2512_5460_0000,
+            size: 16 * 1024,
+        };
+        assert_eq!(BoundsEntry::decode(e.encode()), e);
+    }
+
+    #[test]
+    fn in_bounds_is_half_open() {
+        let e = BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id: 1,
+            base: 1000,
+            size: 100,
+        };
+        assert!(e.in_bounds(1000, 1100));
+        assert!(!e.in_bounds(999, 1001));
+        assert!(!e.in_bounds(1050, 1101));
+    }
+
+    #[test]
+    fn device_memory_roundtrip_with_protection() {
+        let mut vm = VirtualMemorySpace::new();
+        let rbt = vm.alloc(RBT_BYTES, AllocPolicy::Isolated).unwrap();
+        let e = BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id: 7,
+            base: 0x4000,
+            size: 64,
+        };
+        write_entry(&mut vm, rbt.va, 0x1234, &e).unwrap();
+        // Protect the pages as the driver does; the BCU path still reads.
+        vm.protect(rbt.va, RBT_BYTES);
+        assert_eq!(read_entry(&vm, rbt.va, 0x1234).unwrap(), e);
+        // A kernel-visible read faults.
+        assert!(vm.read_uint(rbt.va + 0x1234 * 16, 8).is_err());
+        // Unwritten entries decode as invalid.
+        assert!(!read_entry(&vm, rbt.va, 0x0).unwrap().valid);
+    }
+}

@@ -1,0 +1,502 @@
+//! GPUShield — a hardware/software cooperative region-based bounds-checking
+//! system for GPUs (reproduction of Lee et al., ISCA 2022).
+//!
+//! This facade crate wires the whole stack together behind one [`System`]
+//! type: the [driver](gpushield_driver) that allocates device memory,
+//! assigns encrypted buffer IDs, and builds the per-kernel Region Bounds
+//! Table; the [compiler](gpushield_compiler) that statically elides checks;
+//! the [BCU](gpushield_core) that checks every warp-level access against
+//! the RBT through its RCache hierarchy; and the cycle-level
+//! [simulator](gpushield_sim) the evaluation runs on.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpushield::{Arg, System, SystemConfig};
+//! use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand};
+//! use std::sync::Arc;
+//!
+//! // A kernel with an out-of-bounds write at thread 100 of a 64-element
+//! // buffer.
+//! let mut b = KernelBuilder::new("oob");
+//! let out = b.param_buffer("out", false);
+//! let tid = b.global_thread_id();
+//! let off = b.shl(tid, Operand::Imm(2));
+//! b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+//! b.ret();
+//! let kernel = Arc::new(b.finish()?);
+//!
+//! // Protected system: the launch is aborted with a bounds violation.
+//! let mut sys = System::new(SystemConfig::nvidia_protected());
+//! let buf = sys.alloc(64 * 4)?;
+//! let report = sys.launch(kernel, 4, 32, &[Arg::Buffer(buf)])?;
+//! assert!(!report.completed());
+//! assert_eq!(sys.violations().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use gpushield_core::{Bcu, BcuConfig, BcuStats, ViolationKind, ViolationRecord};
+pub use gpushield_driver::{Arg, BufferHandle, Driver, DriverConfig, DriverError, ShieldSetup};
+pub use gpushield_sim::{
+    Gpu, GpuConfig, KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, RunError, RunReport,
+    Trace, TraceEvent, TraceKind,
+};
+
+use gpushield_compiler::BoundsAnalysis;
+use gpushield_isa::Kernel;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Top-level configuration: GPU hardware, driver policy, BCU hardware.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Simulated GPU (Table 5 presets available).
+    pub gpu: GpuConfig,
+    /// Driver policy (shield / static analysis / Type 3).
+    pub driver: DriverConfig,
+    /// BCU hardware (RCache sizes and latencies).
+    pub bcu: BcuConfig,
+    /// RNG seed for buffer IDs and keys.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Nvidia-like GPU with GPUShield enabled (the paper's default
+    /// configuration: 4-entry 1-cycle L1 RCache, 64-entry 3-cycle L2).
+    pub fn nvidia_protected() -> Self {
+        SystemConfig {
+            gpu: GpuConfig::nvidia(),
+            driver: DriverConfig::default(),
+            bcu: BcuConfig::default(),
+            seed: 0x6057_5E1D,
+        }
+    }
+
+    /// Nvidia-like GPU with no bounds checking (the evaluation baseline).
+    pub fn nvidia_baseline() -> Self {
+        SystemConfig {
+            gpu: GpuConfig::nvidia(),
+            driver: DriverConfig {
+                enable_shield: false,
+                ..DriverConfig::default()
+            },
+            bcu: BcuConfig::default(),
+            seed: 0x6057_5E1D,
+        }
+    }
+
+    /// Intel-like GPU with GPUShield enabled.
+    pub fn intel_protected() -> Self {
+        SystemConfig {
+            gpu: GpuConfig::intel(),
+            driver: DriverConfig::default(),
+            bcu: BcuConfig::default(),
+            seed: 0x6057_5E1D,
+        }
+    }
+
+    /// Intel-like GPU with no bounds checking.
+    pub fn intel_baseline() -> Self {
+        SystemConfig {
+            gpu: GpuConfig::intel(),
+            driver: DriverConfig {
+                enable_shield: false,
+                ..DriverConfig::default()
+            },
+            bcu: BcuConfig::default(),
+            seed: 0x6057_5E1D,
+        }
+    }
+
+    /// True when GPUShield is active in this configuration.
+    pub fn shield_enabled(&self) -> bool {
+        self.driver.enable_shield
+    }
+}
+
+/// Errors surfaced by [`System`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// Driver-level failure (allocation, argument binding).
+    Driver(DriverError),
+    /// Simulator-level failure (deadlock, unfittable workgroup).
+    Run(RunError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Driver(e) => write!(f, "driver error: {e}"),
+            SystemError::Run(e) => write!(f, "run error: {e}"),
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystemError::Driver(e) => Some(e),
+            SystemError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<DriverError> for SystemError {
+    fn from(e: DriverError) -> Self {
+        SystemError::Driver(e)
+    }
+}
+
+impl From<RunError> for SystemError {
+    fn from(e: RunError) -> Self {
+        SystemError::Run(e)
+    }
+}
+
+/// A description of one kernel in a concurrent multi-kernel launch.
+pub struct ConcurrentKernel {
+    /// The kernel.
+    pub kernel: Arc<Kernel>,
+    /// Workgroups.
+    pub grid: u32,
+    /// Workitems per workgroup.
+    pub block: u32,
+    /// Arguments.
+    pub args: Vec<Arg>,
+}
+
+/// The assembled GPUShield system: driver + compiler + BCU + GPU.
+pub struct System {
+    cfg: SystemConfig,
+    driver: Driver,
+    gpu: Gpu,
+    bcu: Option<Bcu>,
+    last_bat: Option<BoundsAnalysis>,
+}
+
+impl System {
+    /// Builds a system from `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let bcu = cfg
+            .shield_enabled()
+            .then(|| Bcu::new(cfg.bcu, cfg.gpu.num_cores));
+        System {
+            driver: Driver::new(cfg.driver, cfg.seed),
+            gpu: Gpu::new(cfg.gpu.clone()),
+            bcu,
+            last_bat: None,
+        cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Allocates a device buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriverError::BufferTooLarge`].
+    pub fn alloc(&mut self, bytes: u64) -> Result<BufferHandle, SystemError> {
+        Ok(self.driver.malloc(bytes)?)
+    }
+
+    /// Allocates and initialises a buffer of little-endian `u32`s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriverError::BufferTooLarge`].
+    pub fn alloc_u32s(&mut self, data: &[u32]) -> Result<BufferHandle, SystemError> {
+        let h = self.alloc(data.len() as u64 * 4)?;
+        for (i, v) in data.iter().enumerate() {
+            self.driver.write_buffer(h, i as u64 * 4, &v.to_le_bytes());
+        }
+        Ok(h)
+    }
+
+    /// Reserves the device heap.
+    pub fn set_heap_limit(&mut self, bytes: u64) {
+        self.driver.set_heap_limit(bytes);
+    }
+
+    /// Host write into a buffer.
+    pub fn write_buffer(&mut self, h: BufferHandle, offset: u64, bytes: &[u8]) {
+        self.driver.write_buffer(h, offset, bytes);
+    }
+
+    /// Host read from a buffer.
+    pub fn read_buffer(&self, h: BufferHandle, offset: u64, out: &mut [u8]) {
+        self.driver.read_buffer(h, offset, out);
+    }
+
+    /// Host read of one little-endian unsigned value.
+    pub fn read_uint(&self, h: BufferHandle, offset: u64, width: u64) -> u64 {
+        self.driver.read_buffer_uint(h, offset, width)
+    }
+
+    /// Launches one kernel and runs it to completion.
+    ///
+    /// # Errors
+    ///
+    /// Host-level failures only; an in-kernel bounds violation or memory
+    /// fault aborts the launch and is reported in the [`RunReport`].
+    pub fn launch(
+        &mut self,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+    ) -> Result<RunReport, SystemError> {
+        let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
+        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+            bcu.register_kernel(setup);
+        }
+        self.last_bat = prepared.bat;
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report = self
+            .gpu
+            .run(self.driver.vm_mut(), &[prepared.launch], guard)?;
+        Ok(report)
+    }
+
+    /// Launches one kernel with execution tracing (see [`Trace`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch`].
+    pub fn launch_traced(
+        &mut self,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+        trace: &mut Trace,
+    ) -> Result<RunReport, SystemError> {
+        let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
+        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+            bcu.register_kernel(setup);
+        }
+        self.last_bat = prepared.bat;
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report =
+            self.gpu
+                .run_traced(self.driver.vm_mut(), &[prepared.launch], guard, trace)?;
+        Ok(report)
+    }
+
+    /// Launches several kernels concurrently (§6.2) under `mode`.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch`].
+    pub fn launch_concurrent(
+        &mut self,
+        kernels: Vec<ConcurrentKernel>,
+        mode: MultiKernelMode,
+    ) -> Result<RunReport, SystemError> {
+        let mut launches = Vec::with_capacity(kernels.len());
+        for k in kernels {
+            let prepared = self
+                .driver
+                .prepare_launch(k.kernel, k.grid, k.block, &k.args)?;
+            if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+                bcu.register_kernel(setup);
+            }
+            launches.push(prepared.launch);
+        }
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report = self
+            .gpu
+            .run_multi(self.driver.vm_mut(), &launches, mode, guard)?;
+        Ok(report)
+    }
+
+    /// Launches one kernel under an external guard (used by the
+    /// software-baseline cost models instead of the BCU).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch`].
+    pub fn launch_with_guard(
+        &mut self,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+        guard: &mut dyn MemGuard,
+    ) -> Result<RunReport, SystemError> {
+        let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
+        self.last_bat = prepared.bat;
+        let report = self
+            .gpu
+            .run(self.driver.vm_mut(), &[prepared.launch], Some(guard))?;
+        Ok(report)
+    }
+
+    /// BCU statistics (zeroed when the shield is off).
+    pub fn bcu_stats(&self) -> BcuStats {
+        self.bcu.as_ref().map(|b| b.stats()).unwrap_or_default()
+    }
+
+    /// Clears BCU statistics and the violation log.
+    pub fn reset_bcu_stats(&mut self) {
+        if let Some(b) = self.bcu.as_mut() {
+            b.reset_stats();
+        }
+    }
+
+    /// Logged violations (empty when the shield is off).
+    pub fn violations(&self) -> &[ViolationRecord] {
+        self.bcu.as_ref().map(|b| b.violations()).unwrap_or(&[])
+    }
+
+    /// The end-of-kernel error report of §5.5.2: what the driver prints
+    /// (or streams to the host through a shared SVM buffer) after a launch.
+    pub fn error_report(&self) -> String {
+        let vs = self.violations();
+        if vs.is_empty() {
+            return "no memory-safety violations detected".to_string();
+        }
+        let mut out = format!("{} memory-safety violation(s) detected:
+", vs.len());
+        for v in vs {
+            out.push_str(&format!(
+                "  kernel {} at {}:{} — {} ({}) addresses 0x{:x}..0x{:x}
+",
+                v.kernel_id,
+                v.site.0,
+                v.site.1,
+                v.kind,
+                if v.is_store { "store" } else { "load" },
+                v.range.0,
+                v.range.1
+            ));
+        }
+        out
+    }
+
+    /// Flushes the BCU's RCaches as a context switch would (§6.2).
+    pub fn context_switch(&mut self) {
+        if let Some(b) = self.bcu.as_mut() {
+            b.on_context_switch();
+        }
+    }
+
+    /// The Bounds-Analysis Table of the most recent launch.
+    pub fn last_bat(&self) -> Option<&BoundsAnalysis> {
+        self.last_bat.as_ref()
+    }
+
+    /// Immutable driver access.
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// Mutable driver access (host-side memory manipulation).
+    pub fn driver_mut(&mut self) -> &mut Driver {
+        &mut self.driver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand};
+
+    fn iota() -> Arc<Kernel> {
+        let mut b = KernelBuilder::new("iota");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.ret();
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn protected_run_produces_same_result_as_baseline() {
+        for cfg in [
+            SystemConfig::nvidia_baseline(),
+            SystemConfig::nvidia_protected(),
+        ] {
+            let mut sys = System::new(cfg);
+            let buf = sys.alloc(256 * 4).unwrap();
+            let r = sys.launch(iota(), 8, 32, &[Arg::Buffer(buf)]).unwrap();
+            assert!(r.completed());
+            for i in 0..256 {
+                assert_eq!(sys.read_uint(buf, i * 4, 4), i);
+            }
+        }
+    }
+
+    #[test]
+    fn static_analysis_elides_all_checks_for_safe_kernel() {
+        let mut sys = System::new(SystemConfig::nvidia_protected());
+        let buf = sys.alloc(256 * 4).unwrap();
+        let r = sys.launch(iota(), 8, 32, &[Arg::Buffer(buf)]).unwrap();
+        assert!(r.completed());
+        // Everything proven statically: no runtime checks at all.
+        assert_eq!(sys.bcu_stats().checks, 0);
+        assert_eq!(r.launches[0].checks_performed, 0);
+    }
+
+    #[test]
+    fn oob_kernel_is_aborted_by_shield_but_not_baseline() {
+        // 8×32 threads into a 128-element buffer: threads ≥ 128 overflow —
+        // silently, on an unprotected GPU, because the next buffer is
+        // adjacent in the same 2MB region.
+        let mut base = System::new(SystemConfig::nvidia_baseline());
+        let a = base.alloc(128 * 4).unwrap();
+        let victim = base.alloc(512).unwrap();
+        let r = base.launch(iota(), 8, 32, &[Arg::Buffer(a)]).unwrap();
+        assert!(r.completed(), "unprotected GPU lets the overflow through");
+        assert_ne!(base.read_uint(victim, 0, 4), 0, "victim corrupted");
+
+        let mut shielded = System::new(SystemConfig::nvidia_protected());
+        let a = shielded.alloc(128 * 4).unwrap();
+        let victim = shielded.alloc(512).unwrap();
+        let r = shielded.launch(iota(), 8, 32, &[Arg::Buffer(a)]).unwrap();
+        assert!(!r.completed());
+        assert_eq!(shielded.read_uint(victim, 0, 4), 0, "victim intact");
+        assert_eq!(
+            shielded.violations()[0].kind,
+            ViolationKind::OutOfBounds
+        );
+    }
+
+    #[test]
+    fn concurrent_kernels_both_complete() {
+        let mut sys = System::new(SystemConfig::intel_protected());
+        let b1 = sys.alloc(256 * 4).unwrap();
+        let b2 = sys.alloc(256 * 4).unwrap();
+        let report = sys
+            .launch_concurrent(
+                vec![
+                    ConcurrentKernel {
+                        kernel: iota(),
+                        grid: 8,
+                        block: 32,
+                        args: vec![Arg::Buffer(b1)],
+                    },
+                    ConcurrentKernel {
+                        kernel: iota(),
+                        grid: 8,
+                        block: 32,
+                        args: vec![Arg::Buffer(b2)],
+                    },
+                ],
+                MultiKernelMode::IntraCore,
+            )
+            .unwrap();
+        assert!(report.completed());
+        assert_eq!(report.launches.len(), 2);
+        assert_eq!(sys.read_uint(b1, 255 * 4, 4), 255);
+        assert_eq!(sys.read_uint(b2, 255 * 4, 4), 255);
+    }
+}

@@ -1,0 +1,211 @@
+//! Analytic area/power model for GPUShield's hardware (paper Table 3).
+//!
+//! The paper synthesised the comparators (Verilog + Synopsys DC) and the
+//! RCache SRAMs (OpenRAM) in FreePDK 45 nm at 1 GHz. Neither toolchain is
+//! available here, so this module is a linear per-byte model *calibrated to
+//! the published Table 3 values* — it reproduces the table exactly for the
+//! default configuration and extrapolates to other RCache geometries (used
+//! by the Fig. 15 sensitivity sweep's cost column).
+//!
+//! Entry geometry (§5.5): an L1 RCache entry holds 14 b ID + 48 b base +
+//! 32 b size + 1 b read-only + 12 b kernel ID = 107 bits; the L2 splits
+//! into a 14 b tag array and a 93 b data array.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Bits per L1 RCache entry (tag + data, looked up in parallel).
+pub const L1_ENTRY_BITS: u64 = 14 + 48 + 32 + 1 + 12;
+/// Bits per L2 RCache tag entry.
+pub const L2_TAG_BITS: u64 = 14;
+/// Bits per L2 RCache data entry.
+pub const L2_DATA_BITS: u64 = 48 + 32 + 1 + 12;
+
+/// Cost of one synthesized structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureCost {
+    /// Structure name.
+    pub name: &'static str,
+    /// Number of entries ("-" for logic).
+    pub entries: Option<u64>,
+    /// SRAM bytes ("-" for logic).
+    pub sram_bytes: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Leakage power in µW.
+    pub leakage_uw: f64,
+    /// Dynamic power in mW.
+    pub dynamic_mw: f64,
+}
+
+/// Full per-core BCU cost breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcuCost {
+    /// Component rows (comparators, L1 RCache, L2 tag, L2 data).
+    pub rows: Vec<StructureCost>,
+}
+
+impl BcuCost {
+    /// Total SRAM bytes per core.
+    pub fn total_bytes(&self) -> f64 {
+        self.rows.iter().map(|r| r.sram_bytes).sum()
+    }
+
+    /// Total area per core in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.rows.iter().map(|r| r.area_mm2).sum()
+    }
+
+    /// Total leakage per core in µW.
+    pub fn total_leakage_uw(&self) -> f64 {
+        self.rows.iter().map(|r| r.leakage_uw).sum()
+    }
+
+    /// Total dynamic power per core in mW.
+    pub fn total_dynamic_mw(&self) -> f64 {
+        self.rows.iter().map(|r| r.dynamic_mw).sum()
+    }
+
+    /// Whole-GPU SRAM overhead in KB for `cores` cores (the paper reports
+    /// 14.2 KB for the 16-core Nvidia and 21.3 KB for the 24-core Intel
+    /// configuration).
+    pub fn gpu_total_kb(&self, cores: usize) -> f64 {
+        self.total_bytes() * cores as f64 / 1024.0
+    }
+}
+
+impl fmt::Display for BcuCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>10} {:>10} {:>12} {:>12}",
+            "Structure", "#Entry", "SRAM(B)", "Area(mm2)", "Leakage(uW)", "Dynamic(mW)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>8} {:>10.1} {:>10.4} {:>12.2} {:>12.2}",
+                r.name,
+                r.entries.map(|e| e.to_string()).unwrap_or("-".into()),
+                r.sram_bytes,
+                r.area_mm2,
+                r.leakage_uw,
+                r.dynamic_mw
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>10.1} {:>10.4} {:>12.2} {:>12.2}",
+            "Total",
+            "-",
+            self.total_bytes(),
+            self.total_area_mm2(),
+            self.total_leakage_uw(),
+            self.total_dynamic_mw()
+        )
+    }
+}
+
+// Calibration anchors: the published Table 3 rows for the default
+// configuration (4-entry L1, 64-entry L2).
+const T3_COMPARATOR: (f64, f64, f64) = (0.0064, 17.51, 20.41);
+const T3_L1: (f64, f64, f64, f64) = (53.5, 0.0060, 26.40, 22.93);
+const T3_L2_TAG: (f64, f64, f64, f64) = (112.0, 0.0166, 256.71, 55.39);
+const T3_L2_DATA: (f64, f64, f64, f64) = (744.0, 0.0568, 499.13, 104.63);
+
+fn scaled(
+    name: &'static str,
+    entries: u64,
+    bits_per_entry: u64,
+    anchor: (f64, f64, f64, f64),
+    anchor_entries: u64,
+) -> StructureCost {
+    let bytes = entries as f64 * bits_per_entry as f64 / 8.0;
+    let ratio = entries as f64 / anchor_entries as f64;
+    StructureCost {
+        name,
+        entries: Some(entries),
+        sram_bytes: bytes,
+        area_mm2: anchor.1 * ratio,
+        leakage_uw: anchor.2 * ratio,
+        dynamic_mw: anchor.3 * ratio,
+    }
+}
+
+/// Estimates the per-core BCU cost for an RCache geometry.
+///
+/// # Example
+///
+/// ```
+/// let table3 = gpushield_hwcost::bcu_cost(4, 64);
+/// assert!((table3.total_bytes() - 909.5).abs() < 0.1);
+/// assert!((table3.gpu_total_kb(16) - 14.2).abs() < 0.1);
+/// assert!((table3.gpu_total_kb(24) - 21.3).abs() < 0.1);
+/// ```
+pub fn bcu_cost(l1_entries: u64, l2_entries: u64) -> BcuCost {
+    BcuCost {
+        rows: vec![
+            StructureCost {
+                name: "Comparators",
+                entries: None,
+                sram_bytes: 0.0,
+                area_mm2: T3_COMPARATOR.0,
+                leakage_uw: T3_COMPARATOR.1,
+                dynamic_mw: T3_COMPARATOR.2,
+            },
+            scaled("L1 RCache", l1_entries, L1_ENTRY_BITS, T3_L1, 4),
+            scaled("L2 RCache tag", l2_entries, L2_TAG_BITS, T3_L2_TAG, 64),
+            scaled("L2 RCache data", l2_entries, L2_DATA_BITS, T3_L2_DATA, 64),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reproduces_table3() {
+        let c = bcu_cost(4, 64);
+        assert!((c.rows[1].sram_bytes - 53.5).abs() < 1e-9);
+        assert!((c.rows[2].sram_bytes - 112.0).abs() < 1e-9);
+        assert!((c.rows[3].sram_bytes - 744.0).abs() < 1e-9);
+        assert!((c.total_bytes() - 909.5).abs() < 1e-9);
+        assert!((c.total_area_mm2() - 0.0858).abs() < 1e-4);
+        assert!((c.total_leakage_uw() - 799.75).abs() < 0.01);
+        assert!((c.total_dynamic_mw() - 203.36).abs() < 0.01);
+    }
+
+    #[test]
+    fn gpu_totals_match_section_5_6() {
+        let c = bcu_cost(4, 64);
+        assert!((c.gpu_total_kb(16) - 14.2).abs() < 0.1, "Nvidia total");
+        assert!((c.gpu_total_kb(24) - 21.3).abs() < 0.1, "Intel total");
+    }
+
+    #[test]
+    fn scaling_is_linear_in_entries() {
+        let small = bcu_cost(4, 64);
+        let big = bcu_cost(8, 128);
+        assert!((big.rows[1].sram_bytes / small.rows[1].sram_bytes - 2.0).abs() < 1e-9);
+        assert!((big.rows[2].area_mm2 / small.rows[2].area_mm2 - 2.0).abs() < 1e-9);
+        // Comparator logic does not scale.
+        assert_eq!(big.rows[0], small.rows[0]);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let s = bcu_cost(4, 64).to_string();
+        assert!(s.contains("Comparators"));
+        assert!(s.contains("L2 RCache data"));
+        assert!(s.contains("Total"));
+    }
+
+    #[test]
+    fn entry_bit_widths_match_section_5_5() {
+        assert_eq!(L1_ENTRY_BITS, 107);
+        assert_eq!(L2_TAG_BITS + L2_DATA_BITS, 107);
+    }
+}

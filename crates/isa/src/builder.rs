@@ -1,0 +1,589 @@
+//! Ergonomic construction of [`Kernel`]s.
+//!
+//! The builder keeps a *current block* cursor; straight-line helpers append
+//! to it and structured-control-flow helpers (`if_then`, `for_loop`, …)
+//! create and wire the necessary blocks, leaving the cursor at the join
+//! point. All value-producing helpers allocate a fresh vector register and
+//! return it, which gives kernel code an SSA-like feel while the underlying
+//! registers stay plain mutable storage (loop induction variables use
+//! [`KernelBuilder::assign`]).
+
+use crate::instr::{
+    AddrExpr, BinOp, BlockId, CmpOp, Instr, MemSpace, MemWidth, Operand, Special, UnOp, VReg,
+};
+use crate::kernel::{BasicBlock, Kernel, LocalVar, Param, ParamKind};
+use crate::validate::{validate, ValidateError};
+
+/// A handle to a declared kernel parameter, usable wherever an operand is
+/// expected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamRef {
+    index: u8,
+}
+
+impl ParamRef {
+    /// The argument slot this parameter occupies.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+}
+
+impl From<ParamRef> for Operand {
+    fn from(p: ParamRef) -> Operand {
+        Operand::Param(p.index)
+    }
+}
+
+/// Builder for [`Kernel`]s; see the crate-level example.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    locals: Vec<LocalVar>,
+    blocks: Vec<BasicBlock>,
+    cur: BlockId,
+    next_reg: u16,
+    shared_bytes: u64,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel named `name` with an empty entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            locals: Vec::new(),
+            blocks: vec![BasicBlock::default()],
+            cur: BlockId(0),
+            next_reg: 0,
+            shared_bytes: 0,
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    /// Declares a global-memory buffer parameter.
+    pub fn param_buffer(&mut self, name: &str, readonly: bool) -> ParamRef {
+        self.param_buffer_in(name, MemSpace::Global, readonly)
+    }
+
+    /// Declares a buffer parameter in an explicit memory space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 128 parameters are declared (the OpenCL 2.0
+    /// kernel-argument limit the paper leans on, §2.1).
+    pub fn param_buffer_in(&mut self, name: &str, space: MemSpace, readonly: bool) -> ParamRef {
+        assert!(self.params.len() < 128, "kernel argument limit is 128");
+        let index = self.params.len() as u8;
+        self.params
+            .push(Param::new(name, ParamKind::Buffer { space, readonly }));
+        ParamRef { index }
+    }
+
+    /// Declares a scalar parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 128 parameters are declared.
+    pub fn param_scalar(&mut self, name: &str) -> ParamRef {
+        assert!(self.params.len() < 128, "kernel argument limit is 128");
+        let index = self.params.len() as u8;
+        self.params.push(Param::new(name, ParamKind::Scalar));
+        ParamRef { index }
+    }
+
+    /// Declares a local-memory (stack) variable of `bytes_per_thread` bytes
+    /// per thread and returns its slot for [`Operand::LocalBase`].
+    pub fn local_var(&mut self, name: &str, bytes_per_thread: u64) -> u8 {
+        let idx = self.locals.len() as u8;
+        self.locals.push(LocalVar::new(name, bytes_per_thread));
+        idx
+    }
+
+    /// Requests `bytes` of shared memory per workgroup.
+    pub fn shared_mem(&mut self, bytes: u64) {
+        self.shared_bytes = bytes;
+    }
+
+    // ---- operand shorthands -------------------------------------------
+
+    /// `threadIdx.x` as an operand.
+    pub fn thread_id(&self) -> Operand {
+        Operand::Special(Special::ThreadId)
+    }
+
+    /// `blockIdx.x` as an operand.
+    pub fn block_id(&self) -> Operand {
+        Operand::Special(Special::BlockId)
+    }
+
+    /// `blockDim.x` as an operand.
+    pub fn block_dim(&self) -> Operand {
+        Operand::Special(Special::BlockDim)
+    }
+
+    /// `gridDim.x` as an operand.
+    pub fn grid_dim(&self) -> Operand {
+        Operand::Special(Special::GridDim)
+    }
+
+    /// Base address of a declared local variable.
+    pub fn local_base(&self, var: u8) -> Operand {
+        Operand::LocalBase(var)
+    }
+
+    // ---- address expressions ------------------------------------------
+
+    /// Method C addressing: `base + offset`.
+    pub fn base_offset(&self, base: impl Into<Operand>, offset: impl Into<Operand>) -> AddrExpr {
+        AddrExpr::BaseOffset {
+            base: base.into(),
+            offset: offset.into(),
+        }
+    }
+
+    /// Method B addressing: a full (tagged) address value.
+    pub fn flat(&self, addr: impl Into<Operand>) -> AddrExpr {
+        AddrExpr::Flat { addr: addr.into() }
+    }
+
+    /// Method A addressing: binding-table slot + offset (Intel BTS). The
+    /// driver binds `bti` to the buffer parameter with the same index.
+    pub fn binding_table(&self, bti: u8, offset: impl Into<Operand>) -> AddrExpr {
+        AddrExpr::BindingTable {
+            bti,
+            offset: offset.into(),
+        }
+    }
+
+    // ---- instruction emission ------------------------------------------
+
+    fn fresh(&mut self) -> VReg {
+        let r = VReg(self.next_reg);
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("register file exhausted");
+        r
+    }
+
+    fn emit(&mut self, i: Instr) {
+        let blk = &mut self.blocks[self.cur.0 as usize];
+        assert!(
+            blk.terminator().is_none(),
+            "emitting into terminated block {}",
+            self.cur
+        );
+        blk.push(i);
+    }
+
+    /// Copies `src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::Mov {
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// Re-assigns an existing register (used for loop induction variables).
+    pub fn assign(&mut self, dst: VReg, src: impl Into<Operand>) {
+        self.emit(Instr::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Emits a unary operation into a fresh register.
+    pub fn un(&mut self, op: UnOp, a: impl Into<Operand>) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::Un {
+            op,
+            dst,
+            a: a.into(),
+        });
+        dst
+    }
+
+    /// Emits a comparison producing 0/1 into a fresh register.
+    pub fn cmp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::Cmp {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Per-lane select into a fresh register.
+    pub fn sel(
+        &mut self,
+        cond: impl Into<Operand>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::Sel {
+            dst,
+            cond: cond.into(),
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Loads into a fresh register.
+    pub fn ld(&mut self, space: MemSpace, width: MemWidth, addr: AddrExpr) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::Ld {
+            dst,
+            addr,
+            space,
+            width,
+        });
+        dst
+    }
+
+    /// Stores `src` to `addr`.
+    pub fn st(&mut self, space: MemSpace, width: MemWidth, addr: AddrExpr, src: impl Into<Operand>) {
+        self.emit(Instr::St {
+            src: src.into(),
+            addr,
+            space,
+            width,
+        });
+    }
+
+    /// Atomic fetch-add; returns the register holding the pre-add value.
+    pub fn atom_add(
+        &mut self,
+        space: MemSpace,
+        width: MemWidth,
+        addr: AddrExpr,
+        src: impl Into<Operand>,
+    ) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::AtomAdd {
+            dst,
+            addr,
+            space,
+            width,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// Workgroup barrier.
+    pub fn bar(&mut self) {
+        self.emit(Instr::Bar);
+    }
+
+    /// Device-side heap allocation.
+    pub fn malloc(&mut self, size: impl Into<Operand>) -> VReg {
+        let dst = self.fresh();
+        self.emit(Instr::Malloc {
+            dst,
+            size: size.into(),
+        });
+        dst
+    }
+
+    /// Device-side heap free.
+    pub fn free(&mut self, ptr: impl Into<Operand>) {
+        self.emit(Instr::Free { ptr: ptr.into() });
+    }
+
+    /// Kernel exit.
+    pub fn ret(&mut self) {
+        self.emit(Instr::Ret);
+    }
+
+    // Convenience wrappers over `bin`/`cmp`.
+
+    /// `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Add, a, b)
+    }
+    /// `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Sub, a, b)
+    }
+    /// `a * b`.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Mul, a, b)
+    }
+    /// `a / b` (signed; 0 on division by zero).
+    pub fn div(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Div, a, b)
+    }
+    /// `a % b` (signed; 0 on division by zero).
+    pub fn rem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Rem, a, b)
+    }
+    /// `a & b`.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::And, a, b)
+    }
+    /// `a | b`.
+    pub fn or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Or, a, b)
+    }
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Xor, a, b)
+    }
+    /// `a << b`.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Shl, a, b)
+    }
+    /// `a >> b` (logical).
+    pub fn shr(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Shr, a, b)
+    }
+    /// `min(a, b)` (signed).
+    pub fn min(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Min, a, b)
+    }
+    /// `max(a, b)` (signed).
+    pub fn max(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Max, a, b)
+    }
+    /// `a < b` as 0/1.
+    pub fn lt(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpOp::Lt, a, b)
+    }
+    /// `a == b` as 0/1.
+    pub fn eq(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpOp::Eq, a, b)
+    }
+    /// `a >= b` as 0/1.
+    pub fn ge(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpOp::Ge, a, b)
+    }
+
+    /// `blockIdx.x * blockDim.x + threadIdx.x` — the canonical global
+    /// workitem index (`get_global_id(0)`).
+    pub fn global_thread_id(&mut self) -> VReg {
+        let p = self.mul(self.block_id(), self.block_dim());
+        self.add(p, self.thread_id())
+    }
+
+    // ---- control flow ---------------------------------------------------
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::default());
+        id
+    }
+
+    fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    fn jmp(&mut self, target: BlockId) {
+        self.emit(Instr::Jmp { target });
+    }
+
+    fn bra(&mut self, cond: impl Into<Operand>, taken: BlockId, not_taken: BlockId) {
+        self.emit(Instr::Bra {
+            cond: cond.into(),
+            taken,
+            not_taken,
+        });
+    }
+
+    /// Executes `then` only for lanes where `cond != 0`, reconverging after.
+    pub fn if_then(&mut self, cond: impl Into<Operand>, then: impl FnOnce(&mut Self)) {
+        let then_b = self.new_block();
+        let join_b = self.new_block();
+        self.bra(cond, then_b, join_b);
+        self.switch_to(then_b);
+        then(self);
+        self.jmp(join_b);
+        self.switch_to(join_b);
+    }
+
+    /// Two-armed divergent conditional, reconverging after both arms.
+    pub fn if_then_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then: impl FnOnce(&mut Self),
+        otherwise: impl FnOnce(&mut Self),
+    ) {
+        let then_b = self.new_block();
+        let else_b = self.new_block();
+        let join_b = self.new_block();
+        self.bra(cond, then_b, else_b);
+        self.switch_to(then_b);
+        then(self);
+        self.jmp(join_b);
+        self.switch_to(else_b);
+        otherwise(self);
+        self.jmp(join_b);
+        self.switch_to(join_b);
+    }
+
+    /// Counted loop `for (i = start; i < end; i += step)`; the body closure
+    /// receives the induction register. `end` is evaluated every iteration
+    /// (it is usually a parameter or a loop-invariant register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0`.
+    pub fn for_loop(
+        &mut self,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        step: i64,
+        body: impl FnOnce(&mut Self, VReg),
+    ) {
+        assert_ne!(step, 0, "zero loop step");
+        let end = end.into();
+        let iv = self.mov(start);
+        let header = self.new_block();
+        self.jmp(header);
+        self.switch_to(header);
+        let c = if step > 0 {
+            self.cmp(CmpOp::Lt, iv, end)
+        } else {
+            self.cmp(CmpOp::Gt, iv, end)
+        };
+        let body_b = self.new_block();
+        let exit_b = self.new_block();
+        self.bra(c, body_b, exit_b);
+        self.switch_to(body_b);
+        body(self, iv);
+        let next = self.add(iv, Operand::Imm(step));
+        self.assign(iv, next);
+        self.jmp(header);
+        self.switch_to(exit_b);
+    }
+
+    /// `while cond()` loop: `cond` emits header code and returns the 0/1
+    /// condition; `body` emits the loop body.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Operand,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let header = self.new_block();
+        self.jmp(header);
+        self.switch_to(header);
+        let c = cond(self);
+        let body_b = self.new_block();
+        let exit_b = self.new_block();
+        self.bra(c, body_b, exit_b);
+        self.switch_to(body_b);
+        body(self);
+        self.jmp(header);
+        self.switch_to(exit_b);
+    }
+
+    /// Finalizes and validates the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] when a block lacks a terminator, a branch
+    /// targets a missing block, or an operand references an undeclared
+    /// parameter or local variable.
+    pub fn finish(self) -> Result<Kernel, ValidateError> {
+        let kernel = Kernel::from_parts(
+            self.name,
+            self.params,
+            self.locals,
+            self.blocks,
+            self.next_reg,
+            self.shared_bytes,
+        );
+        validate(&kernel)?;
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_kernel() {
+        let mut b = KernelBuilder::new("k");
+        let a = b.param_buffer("a", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(a, off),
+            Operand::Imm(7),
+        );
+        b.ret();
+        let k = b.finish().unwrap();
+        assert_eq!(k.blocks().len(), 1);
+        assert_eq!(k.static_instr_count(), 5);
+    }
+
+    #[test]
+    fn if_then_creates_diamond() {
+        let mut b = KernelBuilder::new("k");
+        let tid = b.mov(b.thread_id());
+        let c = b.lt(tid, Operand::Imm(16));
+        b.if_then(c, |b| {
+            let _ = b.add(tid, Operand::Imm(1));
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        assert_eq!(k.blocks().len(), 3);
+    }
+
+    #[test]
+    fn for_loop_shape() {
+        let mut b = KernelBuilder::new("k");
+        let n = b.param_scalar("n");
+        b.for_loop(Operand::Imm(0), n, 1, |b, i| {
+            let _ = b.mul(i, i);
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        // entry, header, body, exit
+        assert_eq!(k.blocks().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn emitting_after_terminator_panics() {
+        let mut b = KernelBuilder::new("k");
+        b.ret();
+        let _ = b.mov(Operand::Imm(0));
+    }
+
+    #[test]
+    fn while_loop_validates() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.mov(Operand::Imm(10));
+        b.while_loop(
+            |b| Operand::Reg(b.cmp(CmpOp::Gt, x, Operand::Imm(0))),
+            |b| {
+                let d = b.sub(x, Operand::Imm(1));
+                b.assign(x, d);
+            },
+        );
+        b.ret();
+        assert!(b.finish().is_ok());
+    }
+}

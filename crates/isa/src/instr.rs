@@ -1,0 +1,544 @@
+//! Instruction set of the kernel IR.
+//!
+//! The IR is register-based and integer-only (workloads model floating-point
+//! arithmetic with fixed-point integers; timing behaviour is unaffected).
+//! Every register is a *vector* register: one 64-bit lane value per workitem
+//! of a sub-workgroup, matching the SIMT execution model of §2.1.
+
+use std::fmt;
+
+/// A per-lane 64-bit vector register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u16);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A basic-block identifier; blocks are stored densely in a [`crate::Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Hardware-provided per-lane special values (CUDA `%tid` and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// Workitem index within its workgroup (CUDA `threadIdx.x`).
+    ThreadId,
+    /// Workgroup index within the grid (CUDA `blockIdx.x`).
+    BlockId,
+    /// Workitems per workgroup (CUDA `blockDim.x`).
+    BlockDim,
+    /// Workgroups in the grid (CUDA `gridDim.x`).
+    GridDim,
+    /// Lane index within the sub-workgroup.
+    LaneId,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Special::ThreadId => "%tid",
+            Special::BlockId => "%ctaid",
+            Special::BlockDim => "%ntid",
+            Special::GridDim => "%nctaid",
+            Special::LaneId => "%laneid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instruction source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A vector register.
+    Reg(VReg),
+    /// A 64-bit immediate (sign-extended into lanes).
+    Imm(i64),
+    /// Kernel argument slot `n`; the driver binds its (possibly tagged)
+    /// value at launch. Arguments live in constant memory on Nvidia GPUs
+    /// and scalar registers on AMD GPUs (§2.2); we model the uniform value.
+    Param(u8),
+    /// Base address of declared local-memory variable `n` (driver-assigned,
+    /// tagged like any other buffer pointer).
+    LocalBase(u8),
+    /// A hardware special value.
+    Special(Special),
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+            Operand::Param(p) => write!(f, "c[0x0][arg{p}]"),
+            Operand::LocalBase(v) => write!(f, "local[{v}]"),
+            Operand::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Unary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Absolute value (signed).
+    Abs,
+}
+
+/// Binary ALU operations. All operate on 64-bit lane values; `Div`/`Rem`
+/// are signed and define division by zero as zero (GPU-style saturation
+/// rather than a fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (x / 0 = 0).
+    Div,
+    /// Signed remainder (x % 0 = 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Shl,
+    /// Logical shift right (shift amount masked to 6 bits).
+    Shr,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+/// Comparison operations; results are 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+/// GPU memory spaces (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Off-chip, application-scoped global memory (includes SVM buffers and
+    /// the device heap, which is carved out of global memory).
+    Global,
+    /// Off-chip, thread-scoped local (stack) memory.
+    Local,
+    /// On-chip, workgroup-scoped shared memory.
+    Shared,
+    /// Off-chip, read-only constant memory.
+    Const,
+    /// Off-chip, read-only texture/surface memory (Table 1's last
+    /// read-only row; addressed like global memory but never writable).
+    Texture,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Local => "local",
+            MemSpace::Shared => "shared",
+            MemSpace::Const => "const",
+            MemSpace::Texture => "texture",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte.
+    W1,
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes.
+    W8,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::W1 => 1,
+            MemWidth::W2 => 2,
+            MemWidth::W4 => 4,
+            MemWidth::W8 => 8,
+        }
+    }
+}
+
+/// How a memory instruction forms its effective address — the three GPU
+/// addressing methods of paper Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrExpr {
+    /// Method A (Intel BTS): the binding table entry `bti` supplies the
+    /// (tagged) base address; `offset` is per-lane.
+    BindingTable {
+        /// Binding-table index (the 8 LSBs of a `send` message descriptor).
+        bti: u8,
+        /// Per-lane byte offset.
+        offset: Operand,
+    },
+    /// Method B: a full (tagged) virtual address held in `addr`.
+    Flat {
+        /// Per-lane tagged address.
+        addr: Operand,
+    },
+    /// Method C: `base` holds a (tagged) base pointer; `offset` is added.
+    BaseOffset {
+        /// Tagged base pointer (typically a `Param` or `LocalBase`).
+        base: Operand,
+        /// Per-lane byte offset.
+        offset: Operand,
+    },
+}
+
+impl AddrExpr {
+    /// Which Fig. 2 addressing method this expression uses: `'A'`, `'B'`,
+    /// or `'C'`.
+    pub fn method(&self) -> char {
+        match self {
+            AddrExpr::BindingTable { .. } => 'A',
+            AddrExpr::Flat { .. } => 'B',
+            AddrExpr::BaseOffset { .. } => 'C',
+        }
+    }
+}
+
+impl fmt::Display for AddrExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrExpr::BindingTable { bti, offset } => write!(f, "[BT[{bti}] + {offset}]"),
+            AddrExpr::Flat { addr } => write!(f, "[{addr}]"),
+            AddrExpr::BaseOffset { base, offset } => write!(f, "[{base} + {offset}]"),
+        }
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op a`.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        a: Operand,
+    },
+    /// `dst = a op b`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = (a op b) ? 1 : 0`.
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = cond != 0 ? a : b` (per-lane select; the predication form of
+    /// divergence avoidance).
+    Sel {
+        /// Destination register.
+        dst: VReg,
+        /// Per-lane condition.
+        cond: Operand,
+        /// Value when `cond != 0`.
+        a: Operand,
+        /// Value when `cond == 0`.
+        b: Operand,
+    },
+    /// Memory load.
+    Ld {
+        /// Destination register.
+        dst: VReg,
+        /// Effective-address expression.
+        addr: AddrExpr,
+        /// Memory space.
+        space: MemSpace,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Memory store.
+    St {
+        /// Value to store.
+        src: Operand,
+        /// Effective-address expression.
+        addr: AddrExpr,
+        /// Memory space.
+        space: MemSpace,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Conditional branch: lanes with `cond != 0` go to `taken`, the rest
+    /// to `not_taken`; the SIMT stack reconverges them at the immediate
+    /// post-dominator.
+    Bra {
+        /// Per-lane condition.
+        cond: Operand,
+        /// Target block for lanes whose condition is non-zero.
+        taken: BlockId,
+        /// Target block for lanes whose condition is zero.
+        not_taken: BlockId,
+    },
+    /// Unconditional jump ending a block.
+    Jmp {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Workgroup-wide barrier (`__syncthreads`).
+    Bar,
+    /// Atomic fetch-add: `dst = *addr; *addr += src`, serialized across
+    /// lanes (and warps) touching the same location. Bounds-checked like a
+    /// store.
+    AtomAdd {
+        /// Destination receiving the pre-add value.
+        dst: VReg,
+        /// Effective-address expression.
+        addr: AddrExpr,
+        /// Memory space (global only in practice).
+        space: MemSpace,
+        /// Access width.
+        width: MemWidth,
+        /// Per-lane addend.
+        src: Operand,
+    },
+    /// Device-side heap allocation: `dst = malloc(size)` per active lane.
+    /// The returned pointer carries the heap region's tag (§5.2.1).
+    Malloc {
+        /// Destination register receiving the tagged heap pointer.
+        dst: VReg,
+        /// Per-lane allocation size in bytes.
+        size: Operand,
+    },
+    /// Device-side heap free (modelled as a no-op on the heap arena, but it
+    /// costs the serialized allocator round-trip like `Malloc`).
+    Free {
+        /// Pointer previously returned by `Malloc`.
+        ptr: Operand,
+    },
+    /// Kernel exit for all active lanes.
+    Ret,
+}
+
+impl Instr {
+    /// True for instructions that end a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Bra { .. } | Instr::Jmp { .. } | Instr::Ret)
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<VReg> {
+        match self {
+            Instr::Mov { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::Sel { dst, .. }
+            | Instr::Ld { dst, .. }
+            | Instr::AtomAdd { dst, .. }
+            | Instr::Malloc { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Source operands read by this instruction (address operands included).
+    pub fn sources(&self) -> Vec<Operand> {
+        fn addr_ops(a: &AddrExpr) -> Vec<Operand> {
+            match a {
+                AddrExpr::BindingTable { offset, .. } => vec![*offset],
+                AddrExpr::Flat { addr } => vec![*addr],
+                AddrExpr::BaseOffset { base, offset } => vec![*base, *offset],
+            }
+        }
+        match self {
+            Instr::Mov { src, .. } => vec![*src],
+            Instr::Un { a, .. } => vec![*a],
+            Instr::Bin { a, b, .. } | Instr::Cmp { a, b, .. } => vec![*a, *b],
+            Instr::Sel { cond, a, b, .. } => vec![*cond, *a, *b],
+            Instr::Ld { addr, .. } => addr_ops(addr),
+            Instr::St { src, addr, .. } | Instr::AtomAdd { src, addr, .. } => {
+                let mut v = addr_ops(addr);
+                v.push(*src);
+                v
+            }
+            Instr::Bra { cond, .. } => vec![*cond],
+            Instr::Malloc { size, .. } => vec![*size],
+            Instr::Free { ptr } => vec![*ptr],
+            Instr::Jmp { .. } | Instr::Bar | Instr::Ret => vec![],
+        }
+    }
+
+    /// True for `Ld`/`St`/`AtomAdd` (the instructions the BCU observes).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ld { .. } | Instr::St { .. } | Instr::AtomAdd { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Instr::Un { op, dst, a } => write!(f, "{op:?} {dst}, {a}"),
+            Instr::Bin { op, dst, a, b } => write!(f, "{op:?} {dst}, {a}, {b}"),
+            Instr::Cmp { op, dst, a, b } => write!(f, "set{op:?} {dst}, {a}, {b}"),
+            Instr::Sel { dst, cond, a, b } => write!(f, "sel {dst}, {cond}, {a}, {b}"),
+            Instr::Ld {
+                dst,
+                addr,
+                space,
+                width,
+            } => write!(f, "ld.{space}.b{} {dst}, {addr}", width.bytes() * 8),
+            Instr::St {
+                src,
+                addr,
+                space,
+                width,
+            } => write!(f, "st.{space}.b{} {addr}, {src}", width.bytes() * 8),
+            Instr::AtomAdd {
+                dst,
+                addr,
+                space,
+                width,
+                src,
+            } => write!(f, "atom.add.{space}.b{} {dst}, {addr}, {src}", width.bytes() * 8),
+            Instr::Bra {
+                cond,
+                taken,
+                not_taken,
+            } => write!(f, "bra {cond}, {taken}, {not_taken}"),
+            Instr::Jmp { target } => write!(f, "jmp {target}"),
+            Instr::Bar => f.write_str("bar.sync"),
+            Instr::Malloc { dst, size } => write!(f, "malloc {dst}, {size}"),
+            Instr::Free { ptr } => write!(f, "free {ptr}"),
+            Instr::Ret => f.write_str("ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators() {
+        assert!(Instr::Ret.is_terminator());
+        assert!(Instr::Jmp { target: BlockId(0) }.is_terminator());
+        assert!(Instr::Bra {
+            cond: Operand::Imm(1),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        }
+        .is_terminator());
+        assert!(!Instr::Bar.is_terminator());
+    }
+
+    #[test]
+    fn sources_cover_address_operands() {
+        let i = Instr::St {
+            src: Operand::Reg(VReg(3)),
+            addr: AddrExpr::BaseOffset {
+                base: Operand::Param(0),
+                offset: Operand::Reg(VReg(1)),
+            },
+            space: MemSpace::Global,
+            width: MemWidth::W4,
+        };
+        let srcs = i.sources();
+        assert!(srcs.contains(&Operand::Param(0)));
+        assert!(srcs.contains(&Operand::Reg(VReg(1))));
+        assert!(srcs.contains(&Operand::Reg(VReg(3))));
+    }
+
+    #[test]
+    fn addr_methods() {
+        let a = AddrExpr::BindingTable {
+            bti: 0,
+            offset: Operand::Imm(0),
+        };
+        assert_eq!(a.method(), 'A');
+        let b = AddrExpr::Flat {
+            addr: Operand::Reg(VReg(0)),
+        };
+        assert_eq!(b.method(), 'B');
+        let c = AddrExpr::BaseOffset {
+            base: Operand::Param(0),
+            offset: Operand::Imm(4),
+        };
+        assert_eq!(c.method(), 'C');
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instr::Ld {
+            dst: VReg(2),
+            addr: AddrExpr::Flat {
+                addr: Operand::Reg(VReg(1)),
+            },
+            space: MemSpace::Global,
+            width: MemWidth::W4,
+        };
+        assert_eq!(i.to_string(), "ld.global.b32 r2, [r1]");
+    }
+}

@@ -1,0 +1,56 @@
+//! SIMT kernel intermediate representation for the GPUShield reproduction.
+//!
+//! This crate is the contract between every other layer of the system: the
+//! compiler crate analyses it, the driver crate binds tagged pointers to its
+//! parameters, and the simulator crate executes it cycle by cycle.
+//!
+//! The IR deliberately mirrors the memory-addressing reality described in
+//! §2.2 of the paper: a memory instruction addresses memory through one of
+//! the three GPU addressing methods of Fig. 2 (binding table + offset, full
+//! virtual address, or base + offset), and base addresses carry GPUShield's
+//! pointer tag (Fig. 7) in their unused upper 16 bits.
+//!
+//! # Example
+//!
+//! ```
+//! use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand};
+//!
+//! // c[i] = a[i] + b[i]
+//! let mut b = KernelBuilder::new("vectoradd");
+//! let a = b.param_buffer("a", true);
+//! let bb = b.param_buffer("b", true);
+//! let c = b.param_buffer("c", false);
+//! let tid = b.global_thread_id();
+//! let off = b.shl(tid, Operand::Imm(2)); // 4-byte elements
+//! let x = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(a, off));
+//! let y = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(bb, off));
+//! let s = b.add(x, y);
+//! b.st(MemSpace::Global, MemWidth::W4, b.base_offset(c, off), s);
+//! b.ret();
+//! let kernel = b.finish().expect("valid kernel");
+//! assert_eq!(kernel.name(), "vectoradd");
+//! assert_eq!(kernel.params().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bat;
+mod builder;
+mod cfg;
+mod disasm;
+mod instr;
+mod kernel;
+mod ptr;
+mod validate;
+
+pub use bat::{CheckPlan, SiteCheck};
+pub use builder::{KernelBuilder, ParamRef};
+pub use cfg::{Cfg, ReconvergenceTable};
+pub use disasm::{disassemble, vendor_listing, VendorStyle};
+pub use instr::{
+    AddrExpr, BinOp, BlockId, CmpOp, Instr, MemSpace, MemWidth, Operand, Special, UnOp, VReg,
+};
+pub use kernel::{BasicBlock, Kernel, LocalVar, Param, ParamKind};
+pub use ptr::{PtrClass, TaggedPtr, ID_BITS, VA_BITS};
+pub use validate::{validate, ValidateError};

@@ -1,0 +1,222 @@
+//! GPUShield tagged-pointer format (paper Fig. 7).
+//!
+//! A 64-bit pointer carries a 48-bit virtual address in its low bits; the
+//! upper 16 bits are unused by GPU address translation and are repurposed:
+//!
+//! ```text
+//! 63 62 61           48 47                          0
+//! +----+---------------+-----------------------------+
+//! | C  |   14-bit info |      virtual address        |
+//! +----+---------------+-----------------------------+
+//! ```
+//!
+//! * `C = 0` — **Type 1, unprotected**: static analysis proved every access
+//!   through this pointer in bounds, so the hardware skips bounds checking.
+//!   Plain untagged addresses also decode as this class.
+//! * `C = 1` — **Type 2, base type**: `info` holds the *encrypted* 14-bit
+//!   buffer ID used to index the Region Bounds Table.
+//! * `C = 2` — **Type 3, offset-optimized**: `info` holds `log2` of the
+//!   (power-of-two padded) buffer size; base+offset accesses are checked
+//!   against it without any RBT access.
+
+use std::fmt;
+
+/// Number of virtual-address bits carried in a pointer (x86-64 style).
+pub const VA_BITS: u32 = 48;
+/// Width of the buffer-ID / size field embedded in a pointer.
+pub const ID_BITS: u32 = 14;
+
+const VA_MASK: u64 = (1 << VA_BITS) - 1;
+const INFO_MASK: u64 = (1 << ID_BITS) - 1;
+const INFO_SHIFT: u32 = VA_BITS;
+const CLASS_SHIFT: u32 = 62;
+
+/// The protection class encoded in a pointer's two most significant bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtrClass {
+    /// Type 1: bounds checking statically elided (or an untagged pointer).
+    Unprotected,
+    /// Type 2: encrypted buffer ID embedded; checked against the RBT.
+    Region,
+    /// Type 3: `log2(size)` embedded; checked without an RBT access.
+    SizeEmbedded,
+}
+
+impl fmt::Display for PtrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PtrClass::Unprotected => "type1/unprotected",
+            PtrClass::Region => "type2/region",
+            PtrClass::SizeEmbedded => "type3/size-embedded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A 64-bit GPU pointer with GPUShield metadata in its upper bits.
+///
+/// `TaggedPtr` is a transparent value type: pointer arithmetic performed by
+/// kernels operates on the raw `u64` and naturally preserves the tag, which
+/// is exactly the property the paper relies on ("the embedded buffer ID will
+/// be propagated with any pointer arithmetic instruction", §5.2.4).
+///
+/// # Example
+///
+/// ```
+/// use gpushield_isa::{PtrClass, TaggedPtr};
+///
+/// let p = TaggedPtr::with_region_id(0x2512_5460_0000, 0x11B);
+/// assert_eq!(p.class(), PtrClass::Region);
+/// assert_eq!(p.info(), 0x11B);
+/// // Offsetting the raw value keeps the tag intact.
+/// let q = TaggedPtr::from_raw(p.raw() + 64);
+/// assert_eq!(q.info(), 0x11B);
+/// assert_eq!(q.va(), 0x2512_5460_0040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct TaggedPtr(u64);
+
+impl TaggedPtr {
+    /// Wraps a raw 64-bit register value as a pointer.
+    pub fn from_raw(raw: u64) -> Self {
+        TaggedPtr(raw)
+    }
+
+    /// Creates a Type 1 (unprotected) pointer to `va`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` does not fit in [`VA_BITS`] bits.
+    pub fn unprotected(va: u64) -> Self {
+        assert_eq!(va & !VA_MASK, 0, "virtual address exceeds {VA_BITS} bits");
+        TaggedPtr(va)
+    }
+
+    /// Creates a Type 2 pointer carrying an encrypted region ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` exceeds [`VA_BITS`] bits or `id` exceeds [`ID_BITS`]
+    /// bits.
+    pub fn with_region_id(va: u64, id: u16) -> Self {
+        assert_eq!(va & !VA_MASK, 0, "virtual address exceeds {VA_BITS} bits");
+        assert_eq!(u64::from(id) & !INFO_MASK, 0, "id exceeds {ID_BITS} bits");
+        TaggedPtr((1u64 << CLASS_SHIFT) | (u64::from(id) << INFO_SHIFT) | va)
+    }
+
+    /// Creates a Type 3 pointer carrying `log2` of the padded buffer size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` exceeds [`VA_BITS`] bits or `log2_size >= 2^14`.
+    pub fn with_log2_size(va: u64, log2_size: u8) -> Self {
+        assert_eq!(va & !VA_MASK, 0, "virtual address exceeds {VA_BITS} bits");
+        TaggedPtr((2u64 << CLASS_SHIFT) | (u64::from(log2_size) << INFO_SHIFT) | va)
+    }
+
+    /// The raw 64-bit value as stored in a register.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 48-bit virtual address, i.e. what the AGU sends to translation.
+    pub fn va(self) -> u64 {
+        self.0 & VA_MASK
+    }
+
+    /// The 14-bit metadata field (encrypted ID or `log2` size).
+    pub fn info(self) -> u16 {
+        ((self.0 >> INFO_SHIFT) & INFO_MASK) as u16
+    }
+
+    /// The protection class from the two most significant bits.
+    ///
+    /// The encoding reserves `C = 3`; hardware treats it as unprotected so a
+    /// forged class field cannot crash the checker itself.
+    pub fn class(self) -> PtrClass {
+        match self.0 >> CLASS_SHIFT {
+            1 => PtrClass::Region,
+            2 => PtrClass::SizeEmbedded,
+            _ => PtrClass::Unprotected,
+        }
+    }
+
+    /// Returns a copy with the 14-bit info field replaced.
+    pub fn with_info(self, info: u16) -> Self {
+        let cleared = self.0 & !(INFO_MASK << INFO_SHIFT);
+        TaggedPtr(cleared | ((u64::from(info) & INFO_MASK) << INFO_SHIFT))
+    }
+}
+
+impl fmt::Display for TaggedPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            PtrClass::Unprotected => write!(f, "0x{:012x}", self.va()),
+            PtrClass::Region => write!(f, "0x{:012x}[id=0x{:04x}]", self.va(), self.info()),
+            PtrClass::SizeEmbedded => write!(f, "0x{:012x}[log2={}]", self.va(), self.info()),
+        }
+    }
+}
+
+impl From<TaggedPtr> for u64 {
+    fn from(p: TaggedPtr) -> u64 {
+        p.raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_roundtrip() {
+        let p = TaggedPtr::unprotected(0xdead_beef);
+        assert_eq!(p.class(), PtrClass::Unprotected);
+        assert_eq!(p.va(), 0xdead_beef);
+        assert_eq!(p.info(), 0);
+    }
+
+    #[test]
+    fn region_roundtrip() {
+        let p = TaggedPtr::with_region_id(0xffff_ffff_ffff, 0x3fff);
+        assert_eq!(p.class(), PtrClass::Region);
+        assert_eq!(p.va(), 0xffff_ffff_ffff);
+        assert_eq!(p.info(), 0x3fff);
+    }
+
+    #[test]
+    fn size_roundtrip() {
+        let p = TaggedPtr::with_log2_size(0x1000, 14);
+        assert_eq!(p.class(), PtrClass::SizeEmbedded);
+        assert_eq!(p.info(), 14);
+    }
+
+    #[test]
+    fn arithmetic_preserves_tag() {
+        let p = TaggedPtr::with_region_id(0x4000, 0x123);
+        let q = TaggedPtr::from_raw(p.raw().wrapping_add(0x7fff));
+        assert_eq!(q.class(), PtrClass::Region);
+        assert_eq!(q.info(), 0x123);
+        assert_eq!(q.va(), 0x4000 + 0x7fff);
+    }
+
+    #[test]
+    fn class_three_reads_as_unprotected() {
+        let p = TaggedPtr::from_raw(3u64 << 62);
+        assert_eq!(p.class(), PtrClass::Unprotected);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual address exceeds")]
+    fn va_overflow_panics() {
+        let _ = TaggedPtr::unprotected(1 << 48);
+    }
+
+    #[test]
+    fn with_info_replaces_only_info() {
+        let p = TaggedPtr::with_region_id(0x1234, 0x1).with_info(0x2aaa);
+        assert_eq!(p.class(), PtrClass::Region);
+        assert_eq!(p.info(), 0x2aaa);
+        assert_eq!(p.va(), 0x1234);
+    }
+}

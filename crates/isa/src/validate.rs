@@ -1,0 +1,206 @@
+//! Structural validation of kernels.
+
+use crate::instr::{AddrExpr, BlockId, Instr, MemSpace, Operand};
+use crate::kernel::{Kernel, ParamKind};
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found in a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A block has no terminator as its final instruction.
+    MissingTerminator(BlockId),
+    /// A terminator appears before the end of a block.
+    EarlyTerminator(BlockId, usize),
+    /// A branch or jump targets a block that does not exist.
+    BadTarget(BlockId, BlockId),
+    /// An operand references a parameter slot that was never declared.
+    BadParam(BlockId, usize, u8),
+    /// An operand references a local variable that was never declared.
+    BadLocal(BlockId, usize, u8),
+    /// A binding-table access references a slot with no buffer parameter.
+    BadBindingTable(BlockId, usize, u8),
+    /// A store targets read-only constant memory.
+    ConstStore(BlockId, usize),
+    /// The kernel has no `Ret` anywhere.
+    NoExit,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::MissingTerminator(b) => write!(f, "block {b} lacks a terminator"),
+            ValidateError::EarlyTerminator(b, i) => {
+                write!(f, "terminator before end of block {b} at index {i}")
+            }
+            ValidateError::BadTarget(b, t) => write!(f, "block {b} branches to missing {t}"),
+            ValidateError::BadParam(b, i, p) => {
+                write!(f, "instruction {b}:{i} references undeclared parameter {p}")
+            }
+            ValidateError::BadLocal(b, i, v) => write!(
+                f,
+                "instruction {b}:{i} references undeclared local variable {v}"
+            ),
+            ValidateError::BadBindingTable(b, i, bti) => write!(
+                f,
+                "instruction {b}:{i} uses binding-table slot {bti} with no buffer parameter"
+            ),
+            ValidateError::ConstStore(b, i) => {
+                write!(f, "instruction {b}:{i} stores to read-only constant memory")
+            }
+            ValidateError::NoExit => f.write_str("kernel has no ret instruction"),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+/// Validates a kernel's structural invariants.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found; a kernel accepted here can be
+/// executed by the simulator without structural panics.
+pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
+    let nblocks = kernel.blocks().len() as u32;
+    let nparams = kernel.params().len() as u8;
+    let nlocals = kernel.locals().len() as u8;
+    let mut has_ret = false;
+
+    let check_target = |from: BlockId, t: BlockId| {
+        if t.0 >= nblocks {
+            Err(ValidateError::BadTarget(from, t))
+        } else {
+            Ok(())
+        }
+    };
+
+    for (bi, blk) in kernel.blocks().iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        if blk.terminator().is_none() {
+            return Err(ValidateError::MissingTerminator(bid));
+        }
+        let last = blk.instrs().len() - 1;
+        for (ii, instr) in blk.instrs().iter().enumerate() {
+            if instr.is_terminator() && ii != last {
+                return Err(ValidateError::EarlyTerminator(bid, ii));
+            }
+            match instr {
+                Instr::Jmp { target } => check_target(bid, *target)?,
+                Instr::Bra {
+                    taken, not_taken, ..
+                } => {
+                    check_target(bid, *taken)?;
+                    check_target(bid, *not_taken)?;
+                }
+                Instr::Ret => has_ret = true,
+                Instr::St {
+                    space: MemSpace::Const | MemSpace::Texture,
+                    ..
+                }
+                | Instr::AtomAdd {
+                    space: MemSpace::Const | MemSpace::Texture,
+                    ..
+                } => return Err(ValidateError::ConstStore(bid, ii)),
+                _ => {}
+            }
+            for op in instr.sources() {
+                match op {
+                    Operand::Param(p) if p >= nparams => {
+                        return Err(ValidateError::BadParam(bid, ii, p));
+                    }
+                    Operand::LocalBase(v) if v >= nlocals => {
+                        return Err(ValidateError::BadLocal(bid, ii, v));
+                    }
+                    _ => {}
+                }
+            }
+            if let Instr::Ld { addr, .. } | Instr::St { addr, .. } | Instr::AtomAdd { addr, .. } =
+                instr
+            {
+                if let AddrExpr::BindingTable { bti, .. } = addr {
+                    let ok = kernel
+                        .params()
+                        .get(usize::from(*bti))
+                        .map(|p| matches!(p.kind(), ParamKind::Buffer { .. }))
+                        .unwrap_or(false);
+                    if !ok {
+                        return Err(ValidateError::BadBindingTable(bid, ii, *bti));
+                    }
+                }
+            }
+        }
+    }
+
+    if !has_ret {
+        return Err(ValidateError::NoExit);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::instr::{MemWidth, Operand};
+
+    #[test]
+    fn valid_kernel_passes() {
+        let mut b = KernelBuilder::new("k");
+        b.ret();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_param_detected() {
+        // Build by hand to bypass the builder's panics: use a raw Operand.
+        let mut b = KernelBuilder::new("k");
+        let _ = b.mov(Operand::Param(3));
+        b.ret();
+        assert_eq!(
+            b.finish().unwrap_err(),
+            ValidateError::BadParam(BlockId(0), 0, 3)
+        );
+    }
+
+    #[test]
+    fn const_store_rejected() {
+        let mut b = KernelBuilder::new("k");
+        let c = b.param_buffer_in("c", MemSpace::Const, true);
+        b.st(
+            MemSpace::Const,
+            MemWidth::W4,
+            b.base_offset(c, Operand::Imm(0)),
+            Operand::Imm(1),
+        );
+        b.ret();
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::ConstStore(_, _)
+        ));
+    }
+
+    #[test]
+    fn binding_table_must_hit_buffer_param() {
+        let mut b = KernelBuilder::new("k");
+        let _n = b.param_scalar("n");
+        let addr = b.binding_table(0, Operand::Imm(0));
+        let _ = b.ld(MemSpace::Global, MemWidth::W4, addr);
+        b.ret();
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::BadBindingTable(_, _, 0)
+        ));
+    }
+
+    #[test]
+    fn undeclared_local_detected() {
+        let mut b = KernelBuilder::new("k");
+        let _ = b.mov(Operand::LocalBase(0));
+        b.ret();
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            ValidateError::BadLocal(_, _, 0)
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! The chip-shared memory backend: L2 cache, shared L2 TLB, and DRAM.
+//!
+//! Per-core structures (L1 Dcache, L1 TLB, the LSU pipeline, and GPUShield's
+//! RCaches) live in the simulator; everything below them is shared between
+//! cores and modelled here (Table 5: 2 MB 16-way L2, 1024-entry 32-way L2
+//! TLB, 16-channel FR-FCFS DRAM).
+
+use crate::cache::{Cache, CacheStats, Replacement};
+use crate::dram::{Dram, DramConfig, DramStats};
+use crate::tlb::{Tlb, TlbStats};
+
+/// Latency parameters (GPU core cycles) of the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTimings {
+    /// LSU pipeline depth for an L1 Dcache hit: AGEN, coalesce, TLB∥tag,
+    /// data (Fig. 12 shows this 4-stage path).
+    pub l1_hit: u64,
+    /// Additional cycles to reach the shared L2 on an L1 miss.
+    pub l2_hit: u64,
+    /// Cycles for a shared-L2-TLB hit after an L1 TLB miss.
+    pub l2_tlb_hit: u64,
+    /// Page-table-walk cycles after an L2 TLB miss.
+    pub walk: u64,
+}
+
+impl Default for MemTimings {
+    fn default() -> Self {
+        MemTimings {
+            l1_hit: 4,
+            l2_hit: 90,
+            l2_tlb_hit: 20,
+            walk: 250,
+        }
+    }
+}
+
+/// The shared portion of the GPU memory hierarchy.
+#[derive(Debug)]
+pub struct SharedMemorySystem {
+    l2: Cache,
+    l2_tlb: Tlb,
+    dram: Dram,
+    timings: MemTimings,
+}
+
+impl SharedMemorySystem {
+    /// Builds the Table 5 shared system: `l2_bytes` of 16-way LRU L2 with
+    /// 128 B lines, `l2_tlb_entries` 32-way shared TLB, and `dram`.
+    pub fn new(l2_bytes: u64, l2_tlb_entries: usize, dram: DramConfig, timings: MemTimings) -> Self {
+        SharedMemorySystem {
+            l2: Cache::new(l2_bytes, 128, 16, Replacement::Lru),
+            l2_tlb: Tlb::new(l2_tlb_entries, 32),
+            dram: Dram::new(dram),
+            timings,
+        }
+    }
+
+    /// Services a data transaction that missed a core's L1 Dcache at cycle
+    /// `now`; returns its completion cycle.
+    pub fn access_data(&mut self, pa: u64, now: u64) -> u64 {
+        let at_l2 = now + self.timings.l2_hit;
+        if self.l2.access(pa) {
+            at_l2
+        } else {
+            self.dram.access(pa, at_l2)
+        }
+    }
+
+    /// Services a translation that missed a core's L1 TLB at cycle `now`;
+    /// returns the cycle the translation is available.
+    pub fn translate(&mut self, va: u64, now: u64) -> u64 {
+        let at_l2 = now + self.timings.l2_tlb_hit;
+        if self.l2_tlb.access(va) {
+            at_l2
+        } else {
+            // The walk itself reads page-table entries from DRAM; we charge
+            // a fixed walk latency plus one DRAM access for the leaf PTE.
+            let pte_pa = (va >> 12) * 8;
+            self.dram.access(pte_pa, at_l2 + self.timings.walk)
+        }
+    }
+
+    /// The timing parameters in use.
+    pub fn timings(&self) -> MemTimings {
+        self.timings
+    }
+
+    /// L2 cache statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Shared TLB statistics.
+    pub fn l2_tlb_stats(&self) -> TlbStats {
+        self.l2_tlb.stats()
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+
+    /// Flushes caches/TLB and resets statistics (fresh-context runs).
+    pub fn reset(&mut self) {
+        self.l2.flush();
+        self.l2.reset_stats();
+        self.l2_tlb.flush();
+        self.l2_tlb.reset_stats();
+        self.dram.reset();
+    }
+
+    /// Prepares for a new run whose cycle count restarts at zero: resets
+    /// statistics and DRAM channel timing but keeps L2/TLB *contents* warm
+    /// (kernel launches on a real GPU do not flush the shared L2).
+    pub fn begin_run(&mut self) {
+        self.l2.reset_stats();
+        self.l2_tlb.reset_stats();
+        self.dram.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SharedMemorySystem {
+        SharedMemorySystem::new(
+            2 * 1024 * 1024,
+            1024,
+            DramConfig::default(),
+            MemTimings::default(),
+        )
+    }
+
+    #[test]
+    fn l2_hit_is_cheaper_than_dram() {
+        let mut s = sys();
+        let miss = s.access_data(0x1000, 0);
+        let hit = s.access_data(0x1000, miss) - miss;
+        assert!(hit < miss, "hit {hit} vs cold {miss}");
+        assert_eq!(hit, s.timings().l2_hit);
+    }
+
+    #[test]
+    fn tlb_hit_skips_walk() {
+        let mut s = sys();
+        let cold = s.translate(0x5000, 0);
+        let warm = s.translate(0x5000, cold) - cold;
+        assert_eq!(warm, s.timings().l2_tlb_hit);
+        assert!(cold > warm);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = sys();
+        s.access_data(0, 0);
+        s.reset();
+        assert_eq!(s.l2_stats().accesses(), 0);
+        let again = s.access_data(0, 0);
+        assert!(again > s.timings().l2_hit, "must miss after reset");
+    }
+}

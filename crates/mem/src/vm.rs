@@ -1,0 +1,470 @@
+//! Virtual memory with GPU-driver allocation semantics.
+//!
+//! The paper's Fig. 4 exploit hinges on three properties of Nvidia's
+//! allocator that this module reproduces:
+//!
+//! 1. buffers are 512-byte aligned and packed consecutively, so a small
+//!    out-of-bounds write inside the same 512-byte slot is *suppressed*
+//!    (it lands in the victim buffer's own padding);
+//! 2. consecutive allocations share 2 MB mapped regions, so larger
+//!    out-of-bounds writes *silently corrupt neighbouring buffers*;
+//! 3. only accesses that leave every mapped region *fault*.
+//!
+//! Allocation policies also include power-of-two alignment with padding,
+//! which GPUShield's Type 3 pointers require (§5.3.3).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Translation granularity (bytes).
+pub const PAGE_SIZE: u64 = 4096;
+/// Mapped-region (VMA) granularity: Nvidia GPUs use 2 MB pages for device
+/// memory, producing the 2 MB protection granularity observed in §3.1.
+pub const REGION_SIZE: u64 = 2 * 1024 * 1024;
+
+const ALLOC_ALIGN: u64 = 512;
+
+/// How a buffer is aligned and padded inside the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Nvidia-style: 512-byte alignment, consecutive packing in 2 MB
+    /// regions.
+    Device512,
+    /// Power-of-two size padding *and* alignment (GPUShield Type 3
+    /// pointers). The wasted padding bytes are the memory-fragmentation
+    /// cost §5.3.3 discusses; the driver can lay a canary in them.
+    PowerOfTwo,
+    /// Isolated: the buffer gets its own mapped region(s), so any
+    /// out-of-bounds access faults (used for the RBT's own pages, which the
+    /// driver makes inaccessible to normal translation, §5.4).
+    Isolated,
+}
+
+/// A successful allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base virtual address.
+    pub va: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Size actually reserved (≥ `size`; differs under
+    /// [`AllocPolicy::PowerOfTwo`]).
+    pub reserved: u64,
+}
+
+impl Allocation {
+    /// One past the last requested byte.
+    pub fn end(&self) -> u64 {
+        self.va + self.size
+    }
+
+    /// One past the last reserved byte.
+    pub fn reserved_end(&self) -> u64 {
+        self.va + self.reserved
+    }
+}
+
+/// A memory-access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// The virtual address is not covered by any mapped region — the GPU
+    /// aborts the kernel with an illegal-memory-access error (Fig. 4 case 3).
+    Unmapped {
+        /// Faulting virtual address.
+        va: u64,
+    },
+    /// The address belongs to a page the driver made inaccessible (the RBT
+    /// pages, §5.4).
+    Protected {
+        /// Faulting virtual address.
+        va: u64,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unmapped { va } => write!(f, "illegal memory access at 0x{va:x}"),
+            MemFault::Protected { va } => write!(f, "access to protected page at 0x{va:x}"),
+        }
+    }
+}
+
+impl Error for MemFault {}
+
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    start: u64,
+    end: u64,
+    protected: bool,
+}
+
+/// A per-context GPU virtual address space with a functional backing store.
+///
+/// # Example
+///
+/// ```
+/// use gpushield_mem::{AllocPolicy, VirtualMemorySpace};
+///
+/// let mut vm = VirtualMemorySpace::new();
+/// let a = vm.alloc(64, AllocPolicy::Device512).unwrap();
+/// let b = vm.alloc(64, AllocPolicy::Device512).unwrap();
+/// assert_eq!(b.va - a.va, 512); // 512B-aligned consecutive packing
+/// vm.write(a.va, &42u64.to_le_bytes()).unwrap();
+/// let mut buf = [0u8; 8];
+/// vm.read(a.va, &mut buf).unwrap();
+/// assert_eq!(u64::from_le_bytes(buf), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualMemorySpace {
+    regions: Vec<Region>,
+    /// VA page number → PA frame number.
+    page_table: HashMap<u64, u64>,
+    /// PA frame number → data.
+    frames: HashMap<u64, Box<[u8]>>,
+    next_frame: u64,
+    /// Bump cursor inside the current shared region.
+    cursor: u64,
+    /// End of the current shared region.
+    cursor_region_end: u64,
+    /// Next unmapped VA (regions are carved from here).
+    next_region_va: u64,
+}
+
+impl VirtualMemorySpace {
+    /// Creates an empty address space. Region 0 is left unmapped so that
+    /// null-ish pointers always fault.
+    pub fn new() -> Self {
+        VirtualMemorySpace {
+            regions: Vec::new(),
+            page_table: HashMap::new(),
+            frames: HashMap::new(),
+            next_frame: 0,
+            cursor: 0,
+            cursor_region_end: 0,
+            next_region_va: REGION_SIZE,
+        }
+    }
+
+    fn map_region(&mut self, bytes: u64, protected: bool) -> u64 {
+        let nregions = bytes.div_ceil(REGION_SIZE).max(1);
+        let start = self.next_region_va;
+        let end = start + nregions * REGION_SIZE;
+        self.next_region_va = end;
+        self.regions.push(Region {
+            start,
+            end,
+            protected,
+        });
+        // Install translations eagerly: the GPU driver backs device
+        // allocations with physical memory up front.
+        let mut va = start;
+        while va < end {
+            self.page_table.insert(va / PAGE_SIZE, self.next_frame);
+            self.next_frame += 1;
+            va += PAGE_SIZE;
+        }
+        start
+    }
+
+    /// Allocates `size` bytes under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault::Unmapped`] only in the degenerate `size == 0`
+    /// case is *not* an error — zero-size allocations reserve one alignment
+    /// slot, matching CUDA. This method currently cannot fail but returns
+    /// `Result` to keep the driver-facing API uniform with `read`/`write`.
+    pub fn alloc(&mut self, size: u64, policy: AllocPolicy) -> Result<Allocation, MemFault> {
+        match policy {
+            AllocPolicy::Device512 => {
+                let reserved = size.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+                if self.cursor + reserved > self.cursor_region_end {
+                    let start = self.map_region(reserved, false);
+                    self.cursor = start;
+                    self.cursor_region_end = self.regions.last().expect("just mapped").end;
+                }
+                let va = self.cursor;
+                self.cursor += reserved;
+                Ok(Allocation { va, size, reserved })
+            }
+            AllocPolicy::PowerOfTwo => {
+                let reserved = size.max(1).next_power_of_two().max(ALLOC_ALIGN);
+                // Align the cursor itself to the reserved size.
+                let aligned = self.cursor.div_ceil(reserved) * reserved;
+                if aligned + reserved > self.cursor_region_end {
+                    let start = self.map_region(reserved, false);
+                    self.cursor = start;
+                    self.cursor_region_end = self.regions.last().expect("just mapped").end;
+                }
+                let va = self.cursor.div_ceil(reserved) * reserved;
+                self.cursor = va + reserved;
+                Ok(Allocation { va, size, reserved })
+            }
+            AllocPolicy::Isolated => {
+                let va = self.map_region(size.max(1), false);
+                Ok(Allocation {
+                    va,
+                    size,
+                    reserved: size.max(1).div_ceil(REGION_SIZE).max(1) * REGION_SIZE,
+                })
+            }
+        }
+    }
+
+    /// Marks every page overlapping `[va, va+len)` as driver-protected;
+    /// normal accesses then fault with [`MemFault::Protected`].
+    pub fn protect(&mut self, va: u64, len: u64) {
+        for r in &mut self.regions {
+            if va < r.end && va + len > r.start {
+                r.protected = true;
+            }
+        }
+    }
+
+    fn region_of(&self, va: u64) -> Option<&Region> {
+        // Regions are carved from a monotonically increasing cursor, so the
+        // list is sorted by start address; binary search keeps the hot
+        // functional-access path cheap.
+        let idx = self.regions.partition_point(|r| r.start <= va);
+        let r = self.regions.get(idx.checked_sub(1)?)?;
+        (va < r.end).then_some(r)
+    }
+
+    /// Translates a virtual address, honouring protection.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Unmapped`] outside every region, [`MemFault::Protected`]
+    /// inside a protected one.
+    pub fn translate(&self, va: u64) -> Result<u64, MemFault> {
+        match self.region_of(va) {
+            None => Err(MemFault::Unmapped { va }),
+            Some(r) if r.protected => Err(MemFault::Protected { va }),
+            Some(_) => {
+                let frame = self
+                    .page_table
+                    .get(&(va / PAGE_SIZE))
+                    .copied()
+                    .ok_or(MemFault::Unmapped { va })?;
+                Ok(frame * PAGE_SIZE + va % PAGE_SIZE)
+            }
+        }
+    }
+
+    /// Like [`VirtualMemorySpace::translate`] but ignores protection — the
+    /// hardware path GPU cores use for RBT fetches (§5.4: "RBT accesses in
+    /// GPU cores will bypass the address translation").
+    pub fn translate_bypass(&self, va: u64) -> Result<u64, MemFault> {
+        match self.region_of(va) {
+            None => Err(MemFault::Unmapped { va }),
+            Some(_) => {
+                let frame = self
+                    .page_table
+                    .get(&(va / PAGE_SIZE))
+                    .copied()
+                    .ok_or(MemFault::Unmapped { va })?;
+                Ok(frame * PAGE_SIZE + va % PAGE_SIZE)
+            }
+        }
+    }
+
+    fn frame_mut(&mut self, frame: u64) -> &mut [u8] {
+        self.frames
+            .entry(frame)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Faults as [`VirtualMemorySpace::translate`] does, at the first
+    /// untranslatable byte.
+    pub fn read(&self, va: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va + done as u64;
+            let pa = self.translate(cur)?;
+            let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
+            let take = in_page.min(buf.len() - done);
+            match self.frames.get(&(pa / PAGE_SIZE)) {
+                Some(f) => {
+                    let off = (pa % PAGE_SIZE) as usize;
+                    buf[done..done + take].copy_from_slice(&f[off..off + take]);
+                }
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Faults as [`VirtualMemorySpace::translate`] does; bytes before the
+    /// fault are written (device stores are not transactional).
+    pub fn write(&mut self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va + done as u64;
+            let pa = self.translate(cur)?;
+            let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
+            let take = in_page.min(buf.len() - done);
+            let off = (pa % PAGE_SIZE) as usize;
+            self.frame_mut(pa / PAGE_SIZE)[off..off + take].copy_from_slice(&buf[done..done + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian unsigned integer of `width` ∈ {1,2,4,8} bytes.
+    ///
+    /// # Errors
+    ///
+    /// Faults as [`VirtualMemorySpace::read`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsupported width.
+    pub fn read_uint(&self, va: u64, width: u64) -> Result<u64, MemFault> {
+        let mut buf = [0u8; 8];
+        self.read(va, &mut buf[..width as usize])?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Faults as [`VirtualMemorySpace::write`] does.
+    pub fn write_uint(&mut self, va: u64, width: u64, value: u64) -> Result<(), MemFault> {
+        let bytes = value.to_le_bytes();
+        self.write(va, &bytes[..width as usize])
+    }
+
+    /// Bypass-translation write used by the driver/hardware for RBT pages.
+    ///
+    /// # Errors
+    ///
+    /// Faults only when the address is wholly unmapped.
+    pub fn write_bypass(&mut self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
+        for (i, &b) in buf.iter().enumerate() {
+            let pa = self.translate_bypass(va + i as u64)?;
+            self.frame_mut(pa / PAGE_SIZE)[(pa % PAGE_SIZE) as usize] = b;
+        }
+        Ok(())
+    }
+
+    /// Bypass-translation read used by the hardware for RBT fetches.
+    ///
+    /// # Errors
+    ///
+    /// Faults only when the address is wholly unmapped.
+    pub fn read_bypass(&self, va: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        for (i, b) in buf.iter_mut().enumerate() {
+            let pa = self.translate_bypass(va + i as u64)?;
+            *b = self
+                .frames
+                .get(&(pa / PAGE_SIZE))
+                .map(|f| f[(pa % PAGE_SIZE) as usize])
+                .unwrap_or(0);
+        }
+        Ok(())
+    }
+
+    /// Number of distinct 4 KB pages covering `[va, va+size)` — the Fig. 11
+    /// quantity.
+    pub fn pages_spanned(va: u64, size: u64) -> u64 {
+        if size == 0 {
+            return 0;
+        }
+        (va + size - 1) / PAGE_SIZE - va / PAGE_SIZE + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_allocs_are_512_apart() {
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(64, AllocPolicy::Device512).unwrap();
+        let b = vm.alloc(64, AllocPolicy::Device512).unwrap();
+        assert_eq!(a.va % 512, 0);
+        assert_eq!(b.va, a.va + 512);
+    }
+
+    #[test]
+    fn oob_within_region_corrupts_neighbour() {
+        // Fig. 4 case 2: a write past A's end lands in B without faulting.
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(64, AllocPolicy::Device512).unwrap();
+        let b = vm.alloc(64, AllocPolicy::Device512).unwrap();
+        vm.write_uint(a.va + 512, 4, 0xBAD).unwrap();
+        assert_eq!(vm.read_uint(b.va, 4).unwrap(), 0xBAD);
+    }
+
+    #[test]
+    fn oob_crossing_region_faults() {
+        // Fig. 4 case 3: crossing the 2MB mapped region aborts.
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(64, AllocPolicy::Device512).unwrap();
+        let err = vm.write_uint(a.va + 4 * REGION_SIZE, 4, 0xBAD).unwrap_err();
+        assert!(matches!(err, MemFault::Unmapped { .. }));
+    }
+
+    #[test]
+    fn power_of_two_policy_aligns_and_pads() {
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(100, AllocPolicy::PowerOfTwo).unwrap();
+        assert_eq!(a.reserved, 512); // max(next_pow2(100)=128, 512)
+        assert_eq!(a.va % a.reserved, 0);
+        let b = vm.alloc(5000, AllocPolicy::PowerOfTwo).unwrap();
+        assert_eq!(b.reserved, 8192);
+        assert_eq!(b.va % 8192, 0);
+    }
+
+    #[test]
+    fn protected_pages_fault_but_bypass_works() {
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(4096, AllocPolicy::Isolated).unwrap();
+        vm.write_uint(a.va, 8, 7).unwrap();
+        vm.protect(a.va, a.size);
+        assert!(matches!(
+            vm.read_uint(a.va, 8),
+            Err(MemFault::Protected { .. })
+        ));
+        let mut buf = [0u8; 8];
+        vm.read_bypass(a.va, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 7);
+    }
+
+    #[test]
+    fn rw_roundtrip_across_page_boundary() {
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(2 * PAGE_SIZE, AllocPolicy::Device512).unwrap();
+        let va = a.va + PAGE_SIZE - 3;
+        vm.write_uint(va, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(vm.read_uint(va, 8).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn pages_spanned_counts() {
+        assert_eq!(VirtualMemorySpace::pages_spanned(0, 4096), 1);
+        assert_eq!(VirtualMemorySpace::pages_spanned(4095, 2), 2);
+        assert_eq!(VirtualMemorySpace::pages_spanned(0, 0), 0);
+        assert_eq!(VirtualMemorySpace::pages_spanned(512, 8192), 3);
+    }
+
+    #[test]
+    fn zero_addresses_fault() {
+        let vm = VirtualMemorySpace::new();
+        assert!(vm.translate(0).is_err());
+        assert!(vm.translate(100).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! GPU hardware configurations (paper Table 5).
+
+use gpushield_mem::{DramConfig, MemTimings};
+
+/// Full hardware configuration of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable configuration name.
+    pub name: String,
+    /// Number of shader cores (SMs / EU clusters).
+    pub num_cores: usize,
+    /// Maximum resident threads per core.
+    pub threads_per_core: usize,
+    /// SIMT width (threads per sub-workgroup).
+    pub warp_width: usize,
+    /// Register-file size per core, in 64-bit registers; bounds occupancy
+    /// together with `threads_per_core`.
+    pub regs_per_core: usize,
+    /// Shared-memory bytes per core.
+    pub shared_per_core: u64,
+    /// Per-core L1 Dcache size in bytes.
+    pub l1_bytes: u64,
+    /// Per-core L1 Dcache associativity.
+    pub l1_ways: usize,
+    /// Per-core L1 TLB entries (fully associative).
+    pub l1_tlb_entries: usize,
+    /// Shared L2 cache size in bytes (16-way).
+    pub l2_bytes: u64,
+    /// Shared L2 TLB entries (32-way).
+    pub l2_tlb_entries: usize,
+    /// DRAM configuration.
+    pub dram: DramConfig,
+    /// Memory-system latencies.
+    pub timings: MemTimings,
+    /// ALU instruction latency in cycles.
+    pub alu_latency: u64,
+    /// Instructions a core may issue per cycle.
+    pub issue_width: usize,
+    /// Serialized cost of one device-side heap `malloc`/`free` (the global
+    /// allocator lock round-trip; §5.2.1 footnote 2).
+    pub heap_alloc_cycles: u64,
+}
+
+impl GpuConfig {
+    /// Nvidia-like configuration from Table 5: 16 SMs, 1024 threads per SM,
+    /// 256 KB register file per SM, 16 KB 4-way L1, 64-entry L1 TLB, 2 MB
+    /// 16-way shared L2, 1024-entry 32-way shared L2 TLB, 16 DRAM channels.
+    pub fn nvidia() -> Self {
+        GpuConfig {
+            name: "nvidia-table5".to_string(),
+            num_cores: 16,
+            threads_per_core: 1024,
+            warp_width: 32,
+            regs_per_core: 256 * 1024 / 8,
+            shared_per_core: 96 * 1024,
+            l1_bytes: 16 * 1024,
+            l1_ways: 4,
+            l1_tlb_entries: 64,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_tlb_entries: 1024,
+            dram: DramConfig::default(),
+            timings: MemTimings::default(),
+            alu_latency: 4,
+            issue_width: 1,
+            heap_alloc_cycles: 12,
+        }
+    }
+
+    /// Intel-like integrated-GPU configuration from Table 5: 24 cores with
+    /// 7 hardware threads each and SIMD8 vectorisation. A simulator "core"
+    /// models a subslice (8 EUs x 7 threads x SIMD8 = 448 resident
+    /// workitems), which is the granularity workgroups are scheduled to.
+    pub fn intel() -> Self {
+        GpuConfig {
+            name: "intel-table5".to_string(),
+            num_cores: 24,
+            threads_per_core: 8 * 7 * 8,
+            warp_width: 8,
+            regs_per_core: 8 * 28 * 1024 / 8,
+            shared_per_core: 64 * 1024,
+            l1_bytes: 32 * 1024,
+            l1_ways: 4,
+            l1_tlb_entries: 64,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_tlb_entries: 1024,
+            dram: DramConfig::default(),
+            timings: MemTimings::default(),
+            alu_latency: 4,
+            issue_width: 1,
+            heap_alloc_cycles: 12,
+        }
+    }
+
+    /// A tiny configuration for unit tests: 2 cores, 4-wide warps, small
+    /// caches. Not a paper configuration.
+    pub fn test_tiny() -> Self {
+        GpuConfig {
+            name: "test-tiny".to_string(),
+            num_cores: 2,
+            threads_per_core: 64,
+            warp_width: 4,
+            regs_per_core: 4096,
+            shared_per_core: 4096,
+            l1_bytes: 2048,
+            l1_ways: 2,
+            l1_tlb_entries: 8,
+            l2_bytes: 64 * 1024,
+            l2_tlb_entries: 64,
+            dram: DramConfig::default(),
+            timings: MemTimings::default(),
+            alu_latency: 4,
+            issue_width: 1,
+            heap_alloc_cycles: 50,
+        }
+    }
+
+    /// Maximum resident warps per core by the thread limit alone.
+    pub fn max_warps_per_core(&self) -> usize {
+        self.threads_per_core / self.warp_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvidia_preset_matches_table5() {
+        let c = GpuConfig::nvidia();
+        assert_eq!(c.num_cores, 16);
+        assert_eq!(c.threads_per_core, 1024);
+        assert_eq!(c.max_warps_per_core(), 32);
+        assert_eq!(c.l1_bytes, 16 * 1024);
+        assert_eq!(c.l2_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.dram.channels, 16);
+    }
+
+    #[test]
+    fn intel_preset_matches_table5() {
+        let c = GpuConfig::intel();
+        assert_eq!(c.num_cores, 24);
+        assert_eq!(c.warp_width, 8);
+        assert_eq!(c.max_warps_per_core(), 56); // 8 EUs x 7 HW threads
+        assert_eq!(c.l1_bytes, 32 * 1024);
+    }
+}

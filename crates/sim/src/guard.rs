@@ -1,0 +1,128 @@
+//! The memory-guard hook: how bounds-checking hardware (GPUShield's BCU) or
+//! an instrumentation model observes warp-level memory accesses.
+//!
+//! The simulator calls [`MemGuard::check`] once per executed memory
+//! instruction per warp — matching the paper's workgroup/warp-level
+//! checking (§5.5.1): the BCU sees the *gathered min/max address range* of
+//! the whole sub-workgroup, not per-thread addresses.
+
+use crate::launch::SiteCheck;
+use gpushield_isa::{BlockId, MemSpace, TaggedPtr};
+use gpushield_mem::VirtualMemorySpace;
+
+/// One warp-level memory access as seen by the BCU, after address
+/// generation and coalescing.
+#[derive(Debug, Clone, Copy)]
+pub struct MemAccess {
+    /// Core executing the access.
+    pub core: usize,
+    /// Driver-assigned kernel ID.
+    pub kernel_id: u16,
+    /// True for stores.
+    pub is_store: bool,
+    /// Memory space addressed.
+    pub space: MemSpace,
+    /// The (tagged) pointer value the AGU saw — class and info fields drive
+    /// the check (Fig. 7).
+    pub pointer: TaggedPtr,
+    /// Instruction site `(block, index)`.
+    pub site: (BlockId, usize),
+    /// Gathered warp address range: minimum address and maximum *exclusive
+    /// end* across active lanes.
+    pub range: (u64, u64),
+    /// Check decision the compiler recorded for this site.
+    pub site_check: SiteCheck,
+    /// Number of coalesced transactions this access produced.
+    pub transactions: usize,
+    /// Active lanes participating in the access (a per-thread checking
+    /// scheme would perform this many checks instead of one).
+    pub active_lanes: usize,
+    /// True when every transaction hit the L1 Dcache (drives the Fig. 12
+    /// stall-visibility rule).
+    pub l1d_all_hit: bool,
+}
+
+/// Outcome of a bounds check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardVerdict {
+    /// Access is in bounds (or unchecked); proceed.
+    Allow,
+    /// Violation with precise-exception support: abort the kernel (§5.5.2).
+    Fault,
+    /// Violation without precise exceptions: log, return zero for loads,
+    /// drop stores silently (§5.5.2).
+    Squash,
+}
+
+/// Result of a guard consultation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardCheck {
+    /// The verdict.
+    pub verdict: GuardVerdict,
+    /// Extra LSU-pipeline cycles *visible* to this access after overlapping
+    /// with the Dcache path (0 when hidden; Fig. 12).
+    pub stall_cycles: u64,
+}
+
+impl GuardCheck {
+    /// An allow with no visible stall — what unchecked accesses cost.
+    pub fn allow_free() -> Self {
+        GuardCheck {
+            verdict: GuardVerdict::Allow,
+            stall_cycles: 0,
+        }
+    }
+}
+
+/// A bounds-checking mechanism attached to the GPU's LSUs.
+///
+/// Implemented by GPUShield's BCU (crate `gpushield-core`) and by the
+/// software-tool cost models (crate `gpushield-baselines`). The simulator
+/// owns the guard mutably for a whole run; per-core state (RCaches) is the
+/// implementation's business, keyed by [`MemAccess::core`].
+pub trait MemGuard {
+    /// Observes one warp-level access and returns the verdict plus visible
+    /// stall. `vm` grants read access to bounds metadata in device memory
+    /// (the RBT) via the translation-bypass path.
+    fn check(&mut self, access: &MemAccess, vm: &VirtualMemorySpace) -> GuardCheck;
+
+    /// Called when a kernel terminates or a core context-switches; RCaches
+    /// flush here (§5.5).
+    fn on_kernel_end(&mut self, kernel_id: u16);
+
+    /// Human-readable mechanism name (for reports).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A guard that allows everything; used to assert the trait is
+    /// object-safe and the simulator's plumbing works.
+    struct NullGuard;
+
+    impl MemGuard for NullGuard {
+        fn check(&mut self, _a: &MemAccess, _vm: &VirtualMemorySpace) -> GuardCheck {
+            GuardCheck::allow_free()
+        }
+        fn on_kernel_end(&mut self, _k: u16) {}
+        fn name(&self) -> &str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn guard_is_object_safe() {
+        let mut g = NullGuard;
+        let dyn_g: &mut dyn MemGuard = &mut g;
+        assert_eq!(dyn_g.name(), "null");
+    }
+
+    #[test]
+    fn allow_free_has_no_stall() {
+        let c = GuardCheck::allow_free();
+        assert_eq!(c.verdict, GuardVerdict::Allow);
+        assert_eq!(c.stall_cycles, 0);
+    }
+}

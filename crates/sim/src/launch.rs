@@ -1,0 +1,184 @@
+//! Kernel launch descriptors: bound arguments, tagged local-variable bases,
+//! the per-site check plan derived from the Bounds-Analysis Table, and the
+//! heap region descriptor.
+
+use gpushield_isa::{Kernel, TaggedPtr};
+use std::sync::Arc;
+
+/// 1-D launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Workgroups in the grid.
+    pub grid: u32,
+    /// Workitems per workgroup.
+    pub block: u32,
+}
+
+impl LaunchConfig {
+    /// Creates a `grid × block` launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn new(grid: u32, block: u32) -> Self {
+        assert!(grid > 0 && block > 0, "degenerate launch");
+        LaunchConfig { grid, block }
+    }
+
+    /// Total workitems.
+    pub fn total_threads(&self) -> u64 {
+        u64::from(self.grid) * u64::from(self.block)
+    }
+}
+
+pub use gpushield_isa::{CheckPlan, SiteCheck};
+
+/// The device-heap region for kernels that use `malloc` (§5.2.1: the entire
+/// heap chunk is one protected region with one RBT entry).
+#[derive(Debug, Clone, Copy)]
+pub struct HeapDesc {
+    /// Tagged pointer to the heap base; device `malloc` results inherit its
+    /// tag.
+    pub tagged_base: TaggedPtr,
+    /// Heap size in bytes (`cudaLimitMallocHeapSize`).
+    pub size: u64,
+}
+
+/// Everything the GPU needs to run one kernel.
+#[derive(Debug, Clone)]
+pub struct KernelLaunch {
+    /// The kernel to execute.
+    pub kernel: Arc<Kernel>,
+    /// Launch geometry.
+    pub launch: LaunchConfig,
+    /// Bound argument values (tagged pointers or scalars), one per
+    /// declared parameter.
+    pub args: Vec<u64>,
+    /// Tagged base address per declared local variable.
+    pub local_bases: Vec<u64>,
+    /// Driver-assigned kernel ID (tags RCache entries, §5.5).
+    pub kernel_id: u16,
+    /// Per-site bounds-check plan from static analysis.
+    pub plan: CheckPlan,
+    /// Device-heap descriptor when the kernel allocates dynamically.
+    pub heap: Option<HeapDesc>,
+}
+
+impl KernelLaunch {
+    /// Creates a launch with no arguments bound yet.
+    pub fn new(kernel: Arc<Kernel>, launch: LaunchConfig) -> Self {
+        KernelLaunch {
+            kernel,
+            launch,
+            args: Vec::new(),
+            local_bases: Vec::new(),
+            kernel_id: 0,
+            plan: CheckPlan::all_runtime(),
+            heap: None,
+        }
+    }
+
+    /// Appends an argument value (builder style).
+    pub fn arg(mut self, value: u64) -> Self {
+        self.args.push(value);
+        self
+    }
+
+    /// Sets the tagged local-variable bases.
+    pub fn local_bases(mut self, bases: Vec<u64>) -> Self {
+        self.local_bases = bases;
+        self
+    }
+
+    /// Sets the driver-assigned kernel ID.
+    pub fn kernel_id(mut self, id: u16) -> Self {
+        self.kernel_id = id;
+        self
+    }
+
+    /// Attaches the static-analysis check plan.
+    pub fn plan(mut self, plan: CheckPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Attaches the heap descriptor.
+    pub fn heap(mut self, heap: HeapDesc) -> Self {
+        self.heap = Some(heap);
+        self
+    }
+
+    /// Validates that the bound arguments match the kernel's declared
+    /// parameters and local variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on count mismatches; launching a kernel with missing
+    /// arguments is a host-programming error, not a runtime condition.
+    pub fn assert_bound(&self) {
+        assert_eq!(
+            self.args.len(),
+            self.kernel.params().len(),
+            "kernel {} expects {} arguments, {} bound",
+            self.kernel.name(),
+            self.kernel.params().len(),
+            self.args.len()
+        );
+        assert_eq!(
+            self.local_bases.len(),
+            self.kernel.locals().len(),
+            "kernel {} expects {} local bases, {} bound",
+            self.kernel.name(),
+            self.kernel.locals().len(),
+            self.local_bases.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_isa::{BlockId, KernelBuilder};
+
+    fn trivial_kernel() -> Arc<Kernel> {
+        let mut b = KernelBuilder::new("t");
+        b.ret();
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn plan_defaults_to_runtime() {
+        let plan = CheckPlan::all_runtime();
+        assert_eq!(plan.get((BlockId(0), 0)), SiteCheck::Runtime);
+    }
+
+    #[test]
+    fn plan_records_decisions() {
+        let mut plan = CheckPlan::all_runtime();
+        plan.set((BlockId(1), 2), SiteCheck::Static);
+        plan.set((BlockId(1), 3), SiteCheck::SizeEmbedded);
+        assert_eq!(plan.get((BlockId(1), 2)), SiteCheck::Static);
+        assert_eq!(plan.get((BlockId(1), 3)), SiteCheck::SizeEmbedded);
+        assert_eq!(plan.static_sites(), 1);
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn launch_builder_chains() {
+        let l = KernelLaunch::new(trivial_kernel(), LaunchConfig::new(1, 32)).kernel_id(7);
+        assert_eq!(l.kernel_id, 7);
+        l.assert_bound();
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 0 arguments")]
+    fn overbound_args_panic() {
+        let l = KernelLaunch::new(trivial_kernel(), LaunchConfig::new(1, 1)).arg(1);
+        l.assert_bound();
+    }
+
+    #[test]
+    fn launch_totals() {
+        assert_eq!(LaunchConfig::new(4, 256).total_threads(), 1024);
+    }
+}

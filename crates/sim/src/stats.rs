@@ -1,0 +1,192 @@
+//! Run reports and statistics.
+
+use gpushield_mem::{CacheStats, DramStats, MemFault, TlbStats};
+use std::fmt;
+
+/// Why a launch terminated early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A hardware translation fault (illegal memory access — what an
+    /// unprotected GPU reports only when crossing a mapped region, Fig. 4
+    /// case 3).
+    MemFault(MemFault),
+    /// The bounds-checking mechanism raised a precise exception (§5.5.2).
+    BoundsViolation,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::MemFault(m) => write!(f, "kernel aborted: {m}"),
+            AbortReason::BoundsViolation => f.write_str("kernel aborted: bounds violation"),
+        }
+    }
+}
+
+/// Per-launch outcome and counters.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Driver-assigned kernel ID.
+    pub kernel_id: u16,
+    /// Cycle the first workgroup was dispatched.
+    pub start_cycle: u64,
+    /// Cycle the last warp retired (or the launch aborted).
+    pub end_cycle: u64,
+    /// Dynamic instructions executed (per warp, not per lane).
+    pub instructions: u64,
+    /// Dynamic memory instructions executed (per warp).
+    pub mem_instructions: u64,
+    /// Coalesced memory transactions issued.
+    pub transactions: u64,
+    /// Warp-level bounds checks performed at runtime.
+    pub checks_performed: u64,
+    /// Warp-level bounds checks skipped thanks to static analysis.
+    pub checks_skipped: u64,
+    /// Total visible BCU stall cycles charged to the LSUs.
+    pub guard_stall_cycles: u64,
+    /// Violations squashed (log-and-continue mode).
+    pub violations_squashed: u64,
+    /// Early-termination reason, if any.
+    pub abort: Option<AbortReason>,
+}
+
+impl LaunchReport {
+    /// Wall-clock cycles this launch occupied.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+
+    /// Fraction of issued instructions that were memory operations — the
+    /// quantity §8.5 cites for streamcluster (31.22% load/store).
+    pub fn mem_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem_instructions as f64 / self.instructions as f64
+        }
+    }
+
+    /// Warp instructions per cycle for this launch.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / c as f64
+        }
+    }
+
+    /// True when the launch ran to completion.
+    pub fn completed(&self) -> bool {
+        self.abort.is_none()
+    }
+}
+
+/// Whole-run outcome: per-launch reports plus shared-resource statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Total cycles until every launch finished.
+    pub cycles: u64,
+    /// Per-launch reports, in launch order.
+    pub launches: Vec<LaunchReport>,
+    /// Aggregated per-core L1 Dcache statistics.
+    pub l1d: CacheStats,
+    /// Aggregated per-core L1 TLB statistics.
+    pub l1_tlb: TlbStats,
+    /// Shared L2 statistics.
+    pub l2: CacheStats,
+    /// Shared L2 TLB statistics.
+    pub l2_tlb: TlbStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+}
+
+impl RunReport {
+    /// Total dynamic instructions across launches.
+    pub fn instructions(&self) -> u64 {
+        self.launches.iter().map(|l| l.instructions).sum()
+    }
+
+    /// First abort across launches, if any.
+    pub fn abort(&self) -> Option<AbortReason> {
+        self.launches.iter().find_map(|l| l.abort)
+    }
+
+    /// True when every launch completed.
+    pub fn completed(&self) -> bool {
+        self.launches.iter().all(|l| l.completed())
+    }
+
+    /// Fraction of runtime checks eliminated by static analysis, in
+    /// `[0, 1]` (the right-hand axis of paper Figs. 17 and 19).
+    pub fn check_reduction(&self) -> f64 {
+        let performed: u64 = self.launches.iter().map(|l| l.checks_performed).sum();
+        let skipped: u64 = self.launches.iter().map(|l| l.checks_skipped).sum();
+        let total = performed + skipped;
+        if total == 0 {
+            0.0
+        } else {
+            skipped as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run: {} cycles, {} launches", self.cycles, self.launches.len())?;
+        for l in &self.launches {
+            writeln!(
+                f,
+                "  {} (id {}): {} cycles, {} instrs, {} mem, checks {}/{} skipped{}",
+                l.kernel,
+                l.kernel_id,
+                l.cycles(),
+                l.instructions,
+                l.mem_instructions,
+                l.checks_skipped,
+                l.checks_performed + l.checks_skipped,
+                match l.abort {
+                    Some(a) => format!(" [{a}]"),
+                    None => String::new(),
+                }
+            )?;
+        }
+        writeln!(f, "  L1D {} | L2 {}", self.l1d, self.l2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_reduction_fraction() {
+        let mut r = RunReport::default();
+        r.launches.push(LaunchReport {
+            checks_performed: 25,
+            checks_skipped: 75,
+            ..LaunchReport::default()
+        });
+        assert!((r.check_reduction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_reduction() {
+        assert_eq!(RunReport::default().check_reduction(), 0.0);
+    }
+
+    #[test]
+    fn abort_propagates() {
+        let mut r = RunReport::default();
+        r.launches.push(LaunchReport::default());
+        assert!(r.completed());
+        r.launches.push(LaunchReport {
+            abort: Some(AbortReason::BoundsViolation),
+            ..LaunchReport::default()
+        });
+        assert!(!r.completed());
+        assert_eq!(r.abort(), Some(AbortReason::BoundsViolation));
+    }
+}

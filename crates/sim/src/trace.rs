@@ -1,0 +1,181 @@
+//! Execution tracing: a structured event stream for debugging kernels and
+//! inspecting the timing model (dispatch, memory transactions, barriers,
+//! retirement, aborts).
+//!
+//! Tracing is opt-in per run and bounded: once `capacity` events have been
+//! recorded the trace marks itself truncated and stops growing, so tracing
+//! a long simulation cannot exhaust memory.
+
+use gpushield_isa::{BlockId, MemSpace};
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A workgroup was placed on a core.
+    Dispatch {
+        /// Workgroup index.
+        wg: u64,
+    },
+    /// A warp executed a memory instruction.
+    Mem {
+        /// Memory space.
+        space: MemSpace,
+        /// Store or load/atomic-read side.
+        is_store: bool,
+        /// Coalesced transactions produced.
+        transactions: u8,
+        /// Visible bounds-check stall charged.
+        stall: u8,
+    },
+    /// A warp arrived at a barrier.
+    Barrier,
+    /// A warp retired.
+    Retire,
+    /// The launch aborted (fault or bounds violation).
+    Abort,
+}
+
+/// One trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle.
+    pub cycle: u64,
+    /// Core index.
+    pub core: usize,
+    /// Launch index within the run.
+    pub launch: usize,
+    /// Workgroup index.
+    pub wg: u64,
+    /// Warp index within the workgroup.
+    pub warp: usize,
+    /// Instruction site, when applicable.
+    pub site: Option<(BlockId, usize)>,
+    /// Event payload.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8}] core {:>2} wg {:>4} warp {:>2} ",
+            self.cycle, self.core, self.wg, self.warp
+        )?;
+        match self.kind {
+            TraceKind::Dispatch { wg } => write!(f, "dispatch wg {wg}"),
+            TraceKind::Mem {
+                space,
+                is_store,
+                transactions,
+                stall,
+            } => write!(
+                f,
+                "{} {space} ({transactions} tx, stall {stall}){}",
+                if is_store { "st" } else { "ld" },
+                match self.site {
+                    Some((b, i)) => format!(" @{b}:{i}"),
+                    None => String::new(),
+                }
+            ),
+            TraceKind::Barrier => f.write_str("barrier"),
+            TraceKind::Retire => f.write_str("retire"),
+            TraceKind::Abort => f.write_str("ABORT"),
+        }
+    }
+}
+
+/// A bounded event recorder.
+#[derive(Debug)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    truncated: bool,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
+    }
+
+    pub(crate) fn push(&mut self, e: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(e);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// Recorded events, in simulation order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// True when events were dropped after hitting capacity.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Renders the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        if self.truncated {
+            out.push_str("... (truncated)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bound_is_enforced() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(TraceEvent {
+                cycle: i,
+                core: 0,
+                launch: 0,
+                wg: 0,
+                warp: 0,
+                site: None,
+                kind: TraceKind::Barrier,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated());
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = Trace::new(8);
+        t.push(TraceEvent {
+            cycle: 42,
+            core: 1,
+            launch: 0,
+            wg: 3,
+            warp: 2,
+            site: Some((BlockId(1), 4)),
+            kind: TraceKind::Mem {
+                space: MemSpace::Global,
+                is_store: true,
+                transactions: 2,
+                stall: 1,
+            },
+        });
+        let s = t.render();
+        assert!(s.contains("st global (2 tx, stall 1) @bb1:4"), "{s}");
+        assert_eq!(s.lines().count(), 1);
+    }
+}

@@ -1,0 +1,499 @@
+//! Warp (sub-workgroup) state: registers, the SIMT reconvergence stack, and
+//! functional execution of scalar/control instructions.
+//!
+//! Divergence follows the classic immediate-post-dominator scheme (§2.1):
+//! a divergent branch pushes both sides onto the stack with the branch
+//! block's ipdom as reconvergence point; reaching the reconvergence block
+//! pops one side and resumes the other, and the merged continuation runs
+//! once both sides arrive.
+
+use gpushield_isa::{
+    BinOp, BlockId, CmpOp, Instr, Kernel, Operand, ReconvergenceTable, Special, UnOp, VReg,
+};
+
+/// Per-launch uniform values needed to evaluate operands.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecCtx<'a> {
+    pub args: &'a [u64],
+    pub local_bases: &'a [u64],
+    pub block_dim: u64,
+    pub grid_dim: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct StackEntry {
+    /// Next instruction; `None` means "finished, pop me".
+    pub pc: Option<(BlockId, usize)>,
+    pub mask: u64,
+    /// Reconvergence block: arriving here pops this entry.
+    pub rpc: Option<BlockId>,
+}
+
+/// What `exec_simple` asks the core to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SimpleOutcome {
+    /// Instruction fully handled; pc already advanced.
+    Done,
+    /// Warp retired (all stack entries popped).
+    Retired,
+    /// A memory / barrier / heap instruction: the core must handle it (pc
+    /// has *not* been advanced).
+    NeedsCore,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Warp {
+    pub launch_idx: usize,
+    pub wg: u64,
+    pub warp_in_wg: usize,
+    pub width: usize,
+    pub regs: Vec<u64>,
+    pub stack: Vec<StackEntry>,
+    pub ready_at: u64,
+    pub at_barrier: bool,
+    pub done: bool,
+    /// Monotonic dispatch sequence for greedy-then-oldest scheduling.
+    pub age: u64,
+}
+
+impl Warp {
+    pub fn new(
+        launch_idx: usize,
+        wg: u64,
+        warp_in_wg: usize,
+        width: usize,
+        lanes: usize,
+        num_regs: u16,
+        age: u64,
+    ) -> Self {
+        let exist_mask = if lanes >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        Warp {
+            launch_idx,
+            wg,
+            warp_in_wg,
+            width,
+            regs: vec![0; usize::from(num_regs) * width],
+            stack: vec![StackEntry {
+                pc: Some((BlockId(0), 0)),
+                mask: exist_mask,
+                rpc: None,
+            }],
+            ready_at: 0,
+            at_barrier: false,
+            done: false,
+            age,
+        }
+    }
+
+    pub fn active_mask(&self) -> u64 {
+        self.stack.last().map(|e| e.mask).unwrap_or(0)
+    }
+
+    pub fn pc(&self) -> Option<(BlockId, usize)> {
+        self.stack.last().and_then(|e| e.pc)
+    }
+
+    pub fn lane_active(&self, lane: usize) -> bool {
+        self.active_mask() & (1u64 << lane) != 0
+    }
+
+    fn reg(&self, r: VReg, lane: usize) -> u64 {
+        self.regs[usize::from(r.0) * self.width + lane]
+    }
+
+    pub fn set_reg(&mut self, r: VReg, lane: usize, v: u64) {
+        self.regs[usize::from(r.0) * self.width + lane] = v;
+    }
+
+    /// Global thread id components for `lane`.
+    fn special(&self, s: Special, lane: usize, ctx: &ExecCtx<'_>) -> u64 {
+        match s {
+            Special::ThreadId => (self.warp_in_wg * self.width + lane) as u64,
+            Special::BlockId => self.wg,
+            Special::BlockDim => ctx.block_dim,
+            Special::GridDim => ctx.grid_dim,
+            Special::LaneId => lane as u64,
+        }
+    }
+
+    pub fn eval(&self, op: Operand, lane: usize, ctx: &ExecCtx<'_>) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(r, lane),
+            Operand::Imm(i) => i as u64,
+            Operand::Param(p) => ctx.args[usize::from(p)],
+            Operand::LocalBase(v) => ctx.local_bases[usize::from(v)],
+            Operand::Special(s) => self.special(s, lane, ctx),
+        }
+    }
+
+    /// Advances the program counter past a non-terminator instruction.
+    pub fn advance_pc(&mut self) {
+        if let Some(e) = self.stack.last_mut() {
+            if let Some((b, i)) = e.pc {
+                e.pc = Some((b, i + 1));
+            }
+        }
+    }
+
+    /// Transfers control to `target`, honouring reconvergence pops.
+    fn enter_block(&mut self, target: BlockId) {
+        let pops = self
+            .stack
+            .last()
+            .map(|e| e.rpc == Some(target))
+            .unwrap_or(false);
+        if pops {
+            self.stack.pop();
+            self.drain_finished();
+        } else if let Some(e) = self.stack.last_mut() {
+            e.pc = Some((target, 0));
+        }
+    }
+
+    /// Pops continuation entries whose pc is `None` (exit continuations).
+    fn drain_finished(&mut self) {
+        while matches!(self.stack.last(), Some(e) if e.pc.is_none()) {
+            self.stack.pop();
+        }
+        if self.stack.is_empty() {
+            self.done = true;
+        }
+    }
+
+    /// Executes one scalar/control instruction functionally. Returns
+    /// [`SimpleOutcome::NeedsCore`] for memory, barrier, and heap
+    /// instructions, which the core handles with timing.
+    pub fn exec_simple(
+        &mut self,
+        kernel: &Kernel,
+        recon: &ReconvergenceTable,
+        ctx: &ExecCtx<'_>,
+    ) -> SimpleOutcome {
+        let (block, idx) = match self.pc() {
+            Some(pc) => pc,
+            None => {
+                self.drain_finished();
+                return SimpleOutcome::Retired;
+            }
+        };
+        let instr = kernel.block(block).instrs()[idx].clone();
+        let mask = self.active_mask();
+        match instr {
+            Instr::Mov { dst, src } => {
+                for lane in 0..self.width {
+                    if mask & (1 << lane) != 0 {
+                        let v = self.eval(src, lane, ctx);
+                        self.set_reg(dst, lane, v);
+                    }
+                }
+                self.advance_pc();
+                SimpleOutcome::Done
+            }
+            Instr::Un { op, dst, a } => {
+                for lane in 0..self.width {
+                    if mask & (1 << lane) != 0 {
+                        let x = self.eval(a, lane, ctx);
+                        self.set_reg(dst, lane, eval_un(op, x));
+                    }
+                }
+                self.advance_pc();
+                SimpleOutcome::Done
+            }
+            Instr::Bin { op, dst, a, b } => {
+                for lane in 0..self.width {
+                    if mask & (1 << lane) != 0 {
+                        let x = self.eval(a, lane, ctx);
+                        let y = self.eval(b, lane, ctx);
+                        self.set_reg(dst, lane, eval_bin(op, x, y));
+                    }
+                }
+                self.advance_pc();
+                SimpleOutcome::Done
+            }
+            Instr::Cmp { op, dst, a, b } => {
+                for lane in 0..self.width {
+                    if mask & (1 << lane) != 0 {
+                        let x = self.eval(a, lane, ctx);
+                        let y = self.eval(b, lane, ctx);
+                        self.set_reg(dst, lane, u64::from(eval_cmp(op, x, y)));
+                    }
+                }
+                self.advance_pc();
+                SimpleOutcome::Done
+            }
+            Instr::Sel { dst, cond, a, b } => {
+                for lane in 0..self.width {
+                    if mask & (1 << lane) != 0 {
+                        let c = self.eval(cond, lane, ctx);
+                        let v = if c != 0 {
+                            self.eval(a, lane, ctx)
+                        } else {
+                            self.eval(b, lane, ctx)
+                        };
+                        self.set_reg(dst, lane, v);
+                    }
+                }
+                self.advance_pc();
+                SimpleOutcome::Done
+            }
+            Instr::Jmp { target } => {
+                self.enter_block(target);
+                if self.done {
+                    SimpleOutcome::Retired
+                } else {
+                    SimpleOutcome::Done
+                }
+            }
+            Instr::Bra {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                let mut t_mask = 0u64;
+                for lane in 0..self.width {
+                    if mask & (1 << lane) != 0 && self.eval(cond, lane, ctx) != 0 {
+                        t_mask |= 1 << lane;
+                    }
+                }
+                let nt_mask = mask & !t_mask;
+                if nt_mask == 0 {
+                    self.enter_block(taken);
+                } else if t_mask == 0 {
+                    self.enter_block(not_taken);
+                } else {
+                    // Divergence: convert the current entry into the merged
+                    // continuation at the reconvergence point, then push the
+                    // not-taken and taken sides. A side whose entry block
+                    // *is* the reconvergence point has already reconverged
+                    // and is not pushed (its lanes are covered by the
+                    // continuation's mask).
+                    let rpc = recon.reconvergence_point(block);
+                    {
+                        let top = self.stack.last_mut().expect("running warp has stack");
+                        top.pc = rpc.map(|b| (b, 0));
+                    }
+                    if Some(not_taken) != rpc {
+                        self.stack.push(StackEntry {
+                            pc: Some((not_taken, 0)),
+                            mask: nt_mask,
+                            rpc,
+                        });
+                    }
+                    if Some(taken) != rpc {
+                        self.stack.push(StackEntry {
+                            pc: Some((taken, 0)),
+                            mask: t_mask,
+                            rpc,
+                        });
+                    }
+                    self.drain_finished();
+                }
+                if self.done {
+                    SimpleOutcome::Retired
+                } else {
+                    SimpleOutcome::Done
+                }
+            }
+            Instr::Ret => {
+                self.stack.pop();
+                self.drain_finished();
+                if self.stack.is_empty() {
+                    self.done = true;
+                    SimpleOutcome::Retired
+                } else {
+                    SimpleOutcome::Done
+                }
+            }
+            Instr::Ld { .. }
+            | Instr::St { .. }
+            | Instr::AtomAdd { .. }
+            | Instr::Bar
+            | Instr::Malloc { .. }
+            | Instr::Free { .. } => SimpleOutcome::NeedsCore,
+        }
+    }
+}
+
+pub(crate) fn eval_un(op: UnOp, x: u64) -> u64 {
+    match op {
+        UnOp::Not => !x,
+        UnOp::Neg => (x as i64).wrapping_neg() as u64,
+        UnOp::Abs => (x as i64).wrapping_abs() as u64,
+    }
+}
+
+pub(crate) fn eval_bin(op: BinOp, x: u64, y: u64) -> u64 {
+    let (sx, sy) = (x as i64, y as i64);
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if sy == 0 {
+                0
+            } else {
+                sx.wrapping_div(sy) as u64
+            }
+        }
+        BinOp::Rem => {
+            if sy == 0 {
+                0
+            } else {
+                sx.wrapping_rem(sy) as u64
+            }
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x << (y & 63),
+        BinOp::Shr => x >> (y & 63),
+        BinOp::Min => sx.min(sy) as u64,
+        BinOp::Max => sx.max(sy) as u64,
+    }
+}
+
+pub(crate) fn eval_cmp(op: CmpOp, x: u64, y: u64) -> bool {
+    let (sx, sy) = (x as i64, y as i64);
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::Lt => sx < sy,
+        CmpOp::Le => sx <= sy,
+        CmpOp::Gt => sx > sy,
+        CmpOp::Ge => sx >= sy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_isa::KernelBuilder;
+
+    fn ctx<'a>(args: &'a [u64]) -> ExecCtx<'a> {
+        ExecCtx {
+            args,
+            local_bases: &[],
+            block_dim: 8,
+            grid_dim: 2,
+        }
+    }
+
+    fn run_warp(kernel: &Kernel, width: usize, args: &[u64]) -> Warp {
+        let recon = ReconvergenceTable::build(kernel);
+        let mut w = Warp::new(0, 0, 0, width, width, kernel.num_regs(), 0);
+        let c = ctx(args);
+        let mut fuel = 100_000;
+        while !w.done {
+            match w.exec_simple(kernel, &recon, &c) {
+                SimpleOutcome::Done => {}
+                SimpleOutcome::Retired => break,
+                SimpleOutcome::NeedsCore => panic!("test kernels must be ALU-only"),
+            }
+            fuel -= 1;
+            assert!(fuel > 0, "kernel did not terminate");
+        }
+        w
+    }
+
+    #[test]
+    fn divergent_if_else_merges_lane_results() {
+        // r = tid < 2 ? 100 : 200, via real divergence.
+        let mut b = KernelBuilder::new("div");
+        let t = b.mov(b.thread_id());
+        let c = b.lt(t, Operand::Imm(2));
+        let out = b.mov(Operand::Imm(0));
+        b.if_then_else(
+            c,
+            |b| b.assign(out, Operand::Imm(100)),
+            |b| b.assign(out, Operand::Imm(200)),
+        );
+        // Post-join arithmetic executes with the full mask again.
+        let fin = b.add(out, Operand::Imm(5));
+        b.ret();
+        let k = b.finish().unwrap();
+        let w = run_warp(&k, 4, &[]);
+        let vals: Vec<u64> = (0..4).map(|l| w.reg(fin, l)).collect();
+        assert_eq!(vals, vec![105, 105, 205, 205]);
+    }
+
+    #[test]
+    fn data_dependent_loop_trip_counts() {
+        // acc = sum over i in 0..tid of 1 → acc == tid, divergent loop exit.
+        let mut b = KernelBuilder::new("loop");
+        let t = b.mov(b.thread_id());
+        let acc = b.mov(Operand::Imm(0));
+        b.for_loop(Operand::Imm(0), t, 1, |b, _i| {
+            let n = b.add(acc, Operand::Imm(1));
+            b.assign(acc, n);
+        });
+        let fin = b.mov(acc);
+        b.ret();
+        let k = b.finish().unwrap();
+        let w = run_warp(&k, 4, &[]);
+        let vals: Vec<u64> = (0..4).map(|l| w.reg(fin, l)).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_divergence() {
+        // out = (tid<2) ? ((tid<1) ? 1 : 2) : 3
+        let mut b = KernelBuilder::new("nest");
+        let t = b.mov(b.thread_id());
+        let out = b.mov(Operand::Imm(0));
+        let outer = b.lt(t, Operand::Imm(2));
+        b.if_then_else(
+            outer,
+            |b| {
+                let inner = b.lt(t, Operand::Imm(1));
+                b.if_then_else(
+                    inner,
+                    |b| b.assign(out, Operand::Imm(1)),
+                    |b| b.assign(out, Operand::Imm(2)),
+                );
+            },
+            |b| b.assign(out, Operand::Imm(3)),
+        );
+        let fin = b.mov(out);
+        b.ret();
+        let k = b.finish().unwrap();
+        let w = run_warp(&k, 4, &[]);
+        let vals: Vec<u64> = (0..4).map(|l| w.reg(fin, l)).collect();
+        assert_eq!(vals, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn partial_warp_masks_missing_lanes() {
+        let mut b = KernelBuilder::new("partial");
+        let t = b.mov(b.thread_id());
+        let _ = b.add(t, Operand::Imm(1));
+        b.ret();
+        let k = b.finish().unwrap();
+        let mut w = Warp::new(0, 0, 0, 4, 2, k.num_regs(), 0);
+        assert_eq!(w.active_mask(), 0b0011);
+        let recon = ReconvergenceTable::build(&k);
+        let c = ctx(&[]);
+        while !w.done {
+            if w.exec_simple(&k, &recon, &c) == SimpleOutcome::Retired {
+                break;
+            }
+        }
+        assert!(w.done);
+    }
+
+    #[test]
+    fn select_is_predication_not_divergence() {
+        let mut b = KernelBuilder::new("sel");
+        let t = b.mov(b.thread_id());
+        let c = b.lt(t, Operand::Imm(2));
+        let v = b.sel(c, Operand::Imm(7), Operand::Imm(9));
+        b.ret();
+        let k = b.finish().unwrap();
+        let w = run_warp(&k, 4, &[]);
+        let vals: Vec<u64> = (0..4).map(|l| w.reg(v, l)).collect();
+        assert_eq!(vals, vec![7, 7, 9, 9]);
+    }
+}

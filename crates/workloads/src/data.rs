@@ -1,0 +1,94 @@
+//! Deterministic synthetic input generators (graphs, arrays).
+//!
+//! The paper runs real benchmark inputs; we synthesise inputs with the same
+//! structural properties (CSR graphs with bounded degree, random keys,
+//! point sets) from per-workload seeds so every run is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for workload `name` (stable across runs).
+pub fn workload_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A CSR graph: `row` has `n+1` offsets into `col`.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// Row offsets (length `n + 1`).
+    pub row: Vec<u32>,
+    /// Column indices (length `row[n]`).
+    pub col: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.row.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.col.len()
+    }
+}
+
+/// Generates a uniform random graph with `n` vertices and average degree
+/// `deg` (self-loops allowed; benchmark kernels do not care).
+pub fn uniform_csr(rng: &mut StdRng, n: usize, deg: usize) -> CsrGraph {
+    let mut row = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    row.push(0u32);
+    for _ in 0..n {
+        let d = rng.gen_range(1..=deg * 2 - 1);
+        for _ in 0..d {
+            col.push(rng.gen_range(0..n as u32));
+        }
+        row.push(col.len() as u32);
+    }
+    CsrGraph { row, col }
+}
+
+/// Random `u32`s below `max`.
+pub fn random_u32s(rng: &mut StdRng, n: usize, max: u32) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_stable_per_name() {
+        let a: u64 = workload_rng("bfs").gen();
+        let b: u64 = workload_rng("bfs").gen();
+        let c: u64 = workload_rng("sssp").gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let mut rng = workload_rng("csr");
+        let g = uniform_csr(&mut rng, 100, 8);
+        assert_eq!(g.vertices(), 100);
+        assert_eq!(*g.row.last().unwrap() as usize, g.edges());
+        assert!(g.row.windows(2).all(|w| w[0] <= w[1]));
+        assert!(g.col.iter().all(|c| (*c as usize) < 100));
+        // Average degree in the requested ballpark.
+        let avg = g.edges() as f64 / g.vertices() as f64;
+        assert!(avg > 2.0 && avg < 16.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn random_values_bounded() {
+        let mut rng = workload_rng("vals");
+        let v = random_u32s(&mut rng, 1000, 50);
+        assert!(v.iter().all(|x| *x < 50));
+    }
+}

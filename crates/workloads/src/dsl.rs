@@ -1,0 +1,104 @@
+//! Small kernel-authoring helpers shared by the workload programs,
+//! including the vendor addressing styles of paper Fig. 2.
+
+use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand, ParamRef, VReg};
+
+/// Which Fig. 2 addressing method generated kernels use for global
+/// accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrStyle {
+    /// Method C: base register + offset (also what Intel's stateless mode
+    /// lowers to).
+    BaseOffset,
+    /// Method A: binding-table indexed `send` (Intel BTS).
+    BindingTable,
+    /// Method B: full virtual address materialised in a register (Nvidia /
+    /// AMD flat).
+    Flat,
+}
+
+/// Loads 4 bytes from buffer parameter `p` at byte offset `off` using the
+/// requested addressing style.
+pub fn g_ld(b: &mut KernelBuilder, style: AddrStyle, p: ParamRef, off: impl Into<Operand>) -> VReg {
+    let off = off.into();
+    let addr = match style {
+        AddrStyle::BaseOffset => b.base_offset(p, off),
+        AddrStyle::BindingTable => b.binding_table(p.index(), off),
+        AddrStyle::Flat => {
+            let full = b.add(p, off);
+            b.flat(full)
+        }
+    };
+    b.ld(MemSpace::Global, MemWidth::W4, addr)
+}
+
+/// Stores 4 bytes to buffer parameter `p` at byte offset `off`.
+pub fn g_st(
+    b: &mut KernelBuilder,
+    style: AddrStyle,
+    p: ParamRef,
+    off: impl Into<Operand>,
+    val: impl Into<Operand>,
+) {
+    let off = off.into();
+    let addr = match style {
+        AddrStyle::BaseOffset => b.base_offset(p, off),
+        AddrStyle::BindingTable => b.binding_table(p.index(), off),
+        AddrStyle::Flat => {
+            let full = b.add(p, off);
+            b.flat(full)
+        }
+    };
+    b.st(MemSpace::Global, MemWidth::W4, addr, val);
+}
+
+/// `tid * 4` as a register (byte offset of a 32-bit element index).
+pub fn byte_off4(b: &mut KernelBuilder, idx: impl Into<Operand>) -> VReg {
+    b.shl(idx, Operand::Imm(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_isa::{AddrExpr, Instr};
+
+    #[test]
+    fn styles_produce_their_addressing_methods() {
+        for (style, method) in [
+            (AddrStyle::BaseOffset, 'C'),
+            (AddrStyle::BindingTable, 'A'),
+            (AddrStyle::Flat, 'B'),
+        ] {
+            let mut b = KernelBuilder::new("t");
+            let p = b.param_buffer("p", false);
+            let tid = b.global_thread_id();
+            let off = byte_off4(&mut b, tid);
+            let _ = g_ld(&mut b, style, p, off);
+            b.ret();
+            let k = b.finish().unwrap();
+            let found = k.iter_instrs().find_map(|(_, _, i)| match i {
+                Instr::Ld { addr, .. } => Some(addr.method()),
+                _ => None,
+            });
+            assert_eq!(found, Some(method), "style {style:?}");
+        }
+    }
+
+    #[test]
+    fn flat_style_preserves_pointer_tag_through_arithmetic() {
+        // The Flat helper adds the offset to the tagged base in a register;
+        // validated structurally here (semantics tested in the simulator).
+        let mut b = KernelBuilder::new("t");
+        let p = b.param_buffer("p", false);
+        g_st(&mut b, AddrStyle::Flat, p, Operand::Imm(8), Operand::Imm(1));
+        b.ret();
+        let k = b.finish().unwrap();
+        assert!(matches!(
+            k.block(gpushield_isa::BlockId(0)).instrs()[1],
+            Instr::St {
+                addr: AddrExpr::Flat { .. },
+                ..
+            }
+        ));
+    }
+}

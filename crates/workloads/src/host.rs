@@ -1,0 +1,120 @@
+//! The host-program interface workloads are written against.
+//!
+//! A workload is a small host program — allocate buffers, upload inputs,
+//! launch kernels (possibly many times) — expressed against the [`HostApi`]
+//! trait so the same program can run on a protected system, an unprotected
+//! baseline, or a pure metadata probe, without this crate depending on the
+//! simulator.
+
+use gpushield_isa::Kernel;
+use std::sync::Arc;
+
+/// Workload-local buffer identifier (allocation order).
+pub type BufId = usize;
+
+/// A kernel argument in a workload program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WArg {
+    /// A device buffer allocated through [`HostApi::alloc`].
+    Buf(BufId),
+    /// A scalar.
+    Scalar(u64),
+}
+
+/// What a workload's host program may do.
+pub trait HostApi {
+    /// Allocates a device buffer and returns its workload-local id.
+    fn alloc(&mut self, bytes: u64) -> BufId;
+
+    /// Uploads little-endian `u32`s at `offset_bytes`.
+    fn upload_u32(&mut self, buf: BufId, offset_bytes: u64, data: &[u32]);
+
+    /// Reserves the device heap.
+    fn set_heap(&mut self, bytes: u64);
+
+    /// Launches a kernel and waits for completion.
+    fn launch(&mut self, kernel: &Arc<Kernel>, grid: u32, block: u32, args: &[WArg]);
+}
+
+/// A metadata-only host: records allocations and launches without running
+/// anything. Regenerates the quantities of paper Figs. 1 and 11.
+#[derive(Debug, Default)]
+pub struct ProbeHost {
+    /// Sizes of all allocations, in order.
+    pub buffer_sizes: Vec<u64>,
+    /// Number of launches performed.
+    pub launches: u64,
+    /// Distinct kernels launched (by name).
+    pub kernel_names: Vec<String>,
+    /// Maximum number of *buffer* arguments any single launch bound —
+    /// the per-kernel buffer count of Fig. 1.
+    pub max_buffers_per_kernel: usize,
+    /// Heap bytes reserved, if any.
+    pub heap_bytes: Option<u64>,
+    /// Total warp-level work estimate: Σ grid×block over launches.
+    pub total_threads: u64,
+}
+
+impl ProbeHost {
+    /// Creates an empty probe.
+    pub fn new() -> Self {
+        ProbeHost::default()
+    }
+
+    /// Number of 4 KB pages per buffer, averaged (Fig. 11's quantity).
+    pub fn avg_pages_per_buffer(&self) -> f64 {
+        if self.buffer_sizes.is_empty() {
+            return 0.0;
+        }
+        let pages: u64 = self.buffer_sizes.iter().map(|s| s.div_ceil(4096)).sum();
+        pages as f64 / self.buffer_sizes.len() as f64
+    }
+}
+
+impl HostApi for ProbeHost {
+    fn alloc(&mut self, bytes: u64) -> BufId {
+        self.buffer_sizes.push(bytes);
+        self.buffer_sizes.len() - 1
+    }
+
+    fn upload_u32(&mut self, _buf: BufId, _offset_bytes: u64, _data: &[u32]) {}
+
+    fn set_heap(&mut self, bytes: u64) {
+        self.heap_bytes = Some(bytes);
+    }
+
+    fn launch(&mut self, kernel: &Arc<Kernel>, grid: u32, block: u32, args: &[WArg]) {
+        self.launches += 1;
+        self.total_threads += u64::from(grid) * u64::from(block);
+        let name = kernel.name().to_string();
+        if !self.kernel_names.contains(&name) {
+            self.kernel_names.push(name);
+        }
+        let bufs = args.iter().filter(|a| matches!(a, WArg::Buf(_))).count();
+        self.max_buffers_per_kernel = self.max_buffers_per_kernel.max(bufs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_isa::KernelBuilder;
+
+    #[test]
+    fn probe_records_metadata() {
+        let mut p = ProbeHost::new();
+        let a = p.alloc(4096);
+        let b = p.alloc(8192 + 1);
+        let mut kb = KernelBuilder::new("k");
+        kb.ret();
+        let k = Arc::new(kb.finish().unwrap());
+        p.launch(&k, 2, 32, &[WArg::Buf(a), WArg::Buf(b), WArg::Scalar(1)]);
+        p.launch(&k, 2, 32, &[WArg::Buf(a)]);
+        assert_eq!(p.launches, 2);
+        assert_eq!(p.max_buffers_per_kernel, 2);
+        assert_eq!(p.kernel_names, vec!["k"]);
+        assert_eq!(p.total_threads, 128);
+        // 4096 B = 1 page; 8193 B = 3 pages (div_ceil) → average 2.
+        assert!((p.avg_pages_per_buffer() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! The benchmark suite of the GPUShield reproduction.
+//!
+//! The paper evaluates 88 CUDA benchmarks (Rodinia, Parboil, GraphBig,
+//! CUDA-SDK) and 17 OpenCL benchmarks on a cycle-level simulator. The
+//! originals are CUDA/OpenCL sources we cannot compile here, so this crate
+//! provides IR-level workload programs that model each named benchmark's
+//! *structural traits* — buffer count, affine vs indirect addressing,
+//! memory intensity, launch structure — which are the properties the
+//! paper's results depend on (see DESIGN.md §5).
+//!
+//! Workloads are host programs written against the [`HostApi`] trait, so
+//! they can run on a protected system, an unprotected baseline, or a pure
+//! metadata probe ([`ProbeHost`], which regenerates Figs. 1 and 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod dsl;
+mod host;
+mod programs;
+mod registry;
+
+pub use data::{random_u32s, uniform_csr, workload_rng, CsrGraph};
+pub use dsl::AddrStyle;
+pub use host::{BufId, HostApi, ProbeHost, WArg};
+pub use programs::algos;
+pub use programs::common as kernels;
+pub use programs::rodinia;
+pub use programs::rep::{representative, RepKernel};
+pub use registry::{
+    all, by_name, cuda_set, fig11_set, fig18_names, fig19_set, opencl_set, rcache_sensitive_set,
+    Category, Program, Suite, Workload,
+};

@@ -1,0 +1,454 @@
+//! Parameterised kernel generators: the access-pattern archetypes that the
+//! paper's benchmarks are built from (affine streaming, stencils, tiled
+//! dense algebra, shared-memory reductions, CSR graph traversal, RCache-
+//! stressing buffer interleavings, local-memory arrays, and device-heap
+//! allocation).
+
+use crate::dsl::{byte_off4, g_ld, g_st, AddrStyle};
+use gpushield_isa::{CmpOp, Kernel, KernelBuilder, MemSpace, MemWidth, Operand};
+use std::sync::Arc;
+
+/// `out[i] = f(in0[i], …, ink[i])` with a `tid < n` guard — the affine
+/// streaming archetype (vectoradd, blackscholes, mri-q, …). Fully provable
+/// by static analysis.
+pub fn streaming_kernel(name: &str, n_inputs: usize, alu_ops: usize, style: AddrStyle) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let ins: Vec<_> = (0..n_inputs)
+        .map(|i| b.param_buffer(&format!("in{i}"), true))
+        .collect();
+    let out = b.param_buffer("out", false);
+    let n = b.param_scalar("n");
+    let tid = b.global_thread_id();
+    let c = b.lt(tid, n);
+    b.if_then(c, |b| {
+        let off = byte_off4(b, tid);
+        let mut acc = b.mov(Operand::Imm(0));
+        for &p in &ins {
+            let x = g_ld(b, style, p, off);
+            acc = b.xor(acc, x);
+        }
+        for _ in 0..alu_ops {
+            let t = b.mul(acc, Operand::Imm(1_103_515_245));
+            acc = b.add(t, Operand::Imm(12_345));
+        }
+        g_st(b, style, out, off, acc);
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// Cyclic multi-buffer access: each inner-loop iteration touches the
+/// buffers named by `pattern` (loads, with the last entry stored). This is
+/// the archetype that exercises the L1 RCache's FIFO capacity (Fig. 15):
+/// the hit rate collapses when the interleaving degree exceeds the entry
+/// count.
+pub fn interleaved_kernel(
+    name: &str,
+    n_bufs: usize,
+    pattern: &[usize],
+    iters: i64,
+    stride: i64,
+    style: AddrStyle,
+) -> Arc<Kernel> {
+    assert!(pattern.iter().all(|p| *p < n_bufs), "pattern out of range");
+    let mut b = KernelBuilder::new(name);
+    let bufs: Vec<_> = (0..n_bufs)
+        .map(|i| b.param_buffer(&format!("buf{i}"), false))
+        .collect();
+    let n = b.param_scalar("n");
+    let tid = b.global_thread_id();
+    let c = b.lt(tid, n);
+    let pattern = pattern.to_vec();
+    b.if_then(c, |b| {
+        let acc0 = b.mov(Operand::Imm(0));
+        b.for_loop(Operand::Imm(0), Operand::Imm(iters), 1, |b, i| {
+            let scaled = b.mul(i, Operand::Imm(stride));
+            let raw = b.add(tid, scaled);
+            let idx = b.rem(raw, n);
+            let off = byte_off4(b, idx);
+            let (loads, store) = pattern.split_at(pattern.len() - 1);
+            for &p in loads {
+                let x = g_ld(b, style, bufs[p], off);
+                let t = b.xor(acc0, x);
+                b.assign(acc0, t);
+            }
+            g_st(b, style, bufs[store[0]], off, acc0);
+        });
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// CSR graph traversal: per-vertex edge loop with indirect neighbour
+/// accesses. Loop bounds and indices come from memory, so static analysis
+/// cannot elide these checks (the §8.3 graph-benchmark observation).
+pub fn csr_kernel(name: &str, n_data: usize, writes_out: bool) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let row = b.param_buffer("row", true);
+    let col = b.param_buffer("col", true);
+    let data: Vec<_> = (0..n_data)
+        .map(|i| b.param_buffer(&format!("data{i}"), false))
+        .collect();
+    let out = b.param_buffer("out", false);
+    let n = b.param_scalar("n");
+    let v = b.global_thread_id();
+    let c = b.lt(v, n);
+    b.if_then(c, |b| {
+        let off_v = byte_off4(b, v);
+        let start = g_ld(b, AddrStyle::BaseOffset, row, off_v);
+        let vp1 = b.add(v, Operand::Imm(1));
+        let off_v1 = byte_off4(b, vp1);
+        let end = g_ld(b, AddrStyle::BaseOffset, row, off_v1);
+        let acc = b.mov(Operand::Imm(0));
+        b.for_loop(start, end, 1, |b, e| {
+            let off_e = byte_off4(b, e);
+            let j = g_ld(b, AddrStyle::BaseOffset, col, off_e);
+            let off_j = byte_off4(b, j);
+            for &d in &data {
+                let x = g_ld(b, AddrStyle::BaseOffset, d, off_j);
+                let t = b.add(acc, x);
+                b.assign(acc, t);
+            }
+        });
+        if writes_out {
+            g_st(b, AddrStyle::BaseOffset, out, off_v, acc);
+        } else {
+            // Still publish the result so the loop is not dead.
+            g_st(b, AddrStyle::BaseOffset, out, Operand::Imm(0), acc);
+        }
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// 1-D stencil with interior guards — provable via branch refinement.
+pub fn stencil_kernel(name: &str, radius: i64, style: AddrStyle) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let input = b.param_buffer("in", true);
+    let out = b.param_buffer("out", false);
+    let n = b.param_scalar("n");
+    let tid = b.global_thread_id();
+    let lo = b.ge(tid, Operand::Imm(radius));
+    b.if_then(lo, |b| {
+        let lim = b.sub(n, Operand::Imm(radius));
+        let hi = b.lt(tid, lim);
+        b.if_then(hi, |b| {
+            let mut acc = b.mov(Operand::Imm(0));
+            for d in -radius..=radius {
+                let idx = b.add(tid, Operand::Imm(d));
+                let off = byte_off4(b, idx);
+                let x = g_ld(b, style, input, off);
+                acc = b.add(acc, x);
+            }
+            let div = b.div(acc, Operand::Imm(2 * radius + 1));
+            let off = byte_off4(b, tid);
+            g_st(b, style, out, off, div);
+        });
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// Dense matrix multiply, one element per thread (`n × n`, row-major);
+/// affine and fully provable.
+pub fn matmul_kernel(name: &str) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let a = b.param_buffer("A", true);
+    let bb = b.param_buffer("B", true);
+    let cc = b.param_buffer("C", false);
+    let n = b.param_scalar("n");
+    let tid = b.global_thread_id();
+    let nn = b.mul(n, n);
+    let guard = b.lt(tid, nn);
+    b.if_then(guard, |b| {
+        let i = b.div(tid, n);
+        let j = b.rem(tid, n);
+        let acc = b.mov(Operand::Imm(0));
+        b.for_loop(Operand::Imm(0), n, 1, |b, k| {
+            let in_row = b.mul(i, n);
+            let aidx = b.add(in_row, k);
+            let aoff = byte_off4(b, aidx);
+            let av = g_ld(b, AddrStyle::BaseOffset, a, aoff);
+            let krow = b.mul(k, n);
+            let bidx = b.add(krow, j);
+            let boff = byte_off4(b, bidx);
+            let bv = g_ld(b, AddrStyle::BaseOffset, bb, boff);
+            let prod = b.mul(av, bv);
+            let t = b.add(acc, prod);
+            b.assign(acc, t);
+        });
+        let coff = byte_off4(b, tid);
+        g_st(b, AddrStyle::BaseOffset, cc, coff, acc);
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// Shared-memory tree reduction (one partial result per workgroup).
+/// `block` must be a power of two and is baked into the unrolled tree.
+pub fn reduce_kernel(name: &str, block: u32, style: AddrStyle) -> Arc<Kernel> {
+    assert!(block.is_power_of_two(), "reduction block must be 2^k");
+    let mut b = KernelBuilder::new(name);
+    let input = b.param_buffer("in", true);
+    let out = b.param_buffer("out", false);
+    let n = b.param_scalar("n");
+    b.shared_mem(u64::from(block) * 4);
+    let ltid = b.mov(b.thread_id());
+    let g = b.global_thread_id();
+    let x = b.mov(Operand::Imm(0));
+    let c = b.lt(g, n);
+    b.if_then(c, |b| {
+        let off = byte_off4(b, g);
+        let v = g_ld(b, style, input, off);
+        b.assign(x, v);
+    });
+    let soff = byte_off4(&mut b, ltid);
+    b.st(MemSpace::Shared, MemWidth::W4, b.flat(soff), x);
+    b.bar();
+    let mut s = block / 2;
+    while s >= 1 {
+        let cond = b.lt(ltid, Operand::Imm(i64::from(s)));
+        b.if_then(cond, |b| {
+            let peer = b.add(ltid, Operand::Imm(i64::from(s)));
+            let poff = byte_off4(b, peer);
+            let pv = b.ld(MemSpace::Shared, MemWidth::W4, b.flat(poff));
+            let moff = byte_off4(b, ltid);
+            let mv = b.ld(MemSpace::Shared, MemWidth::W4, b.flat(moff));
+            let sum = b.add(mv, pv);
+            b.st(MemSpace::Shared, MemWidth::W4, b.flat(moff), sum);
+        });
+        b.bar();
+        s /= 2;
+    }
+    let is0 = b.eq(ltid, Operand::Imm(0));
+    b.if_then(is0, |b| {
+        let zero = byte_off4(b, Operand::Imm(0));
+        let total = b.ld(MemSpace::Shared, MemWidth::W4, b.flat(zero));
+        let wg = b.mov(b.block_id());
+        let woff = byte_off4(b, wg);
+        g_st(b, style, out, woff, total);
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// Histogram: data-dependent bin update — the store index is loaded, so it
+/// is never provable, and the load/store alternation between two buffers
+/// stresses a 1-entry L1 RCache.
+pub fn histogram_kernel(name: &str, bins: i64) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let data = b.param_buffer("data", true);
+    let hist = b.param_buffer("hist", false);
+    let n = b.param_scalar("n");
+    let tid = b.global_thread_id();
+    let c = b.lt(tid, n);
+    b.if_then(c, |b| {
+        let off = byte_off4(b, tid);
+        let v = g_ld(b, AddrStyle::BaseOffset, data, off);
+        let bin = b.rem(v, Operand::Imm(bins));
+        let boff = byte_off4(b, bin);
+        let cur = g_ld(b, AddrStyle::BaseOffset, hist, boff);
+        let inc = b.add(cur, Operand::Imm(1));
+        g_st(b, AddrStyle::BaseOffset, hist, boff, inc);
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// Per-thread local-memory array with a data-dependent index (the
+/// particlefilter/myocyte archetype; Table 1's local-memory row). Local
+/// variables are laid out interleaved: word `w` of thread `t` lives at
+/// `(w * total_threads + t) * 4`.
+pub fn local_array_kernel(name: &str, words: i64, iters: i64) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let out = b.param_buffer("out", false);
+    let n = b.param_scalar("n");
+    let total = b.param_scalar("total_threads");
+    let arr = b.local_var("scratch", words as u64 * 4);
+    let tid = b.global_thread_id();
+    let c = b.lt(tid, n);
+    b.if_then(c, |b| {
+        b.for_loop(Operand::Imm(0), Operand::Imm(iters), 1, |b, i| {
+            let w = b.rem(i, Operand::Imm(words));
+            let scaled = b.mul(w, total);
+            let slot = b.add(scaled, tid);
+            let off = byte_off4(b, slot);
+            let base = b.local_base(arr);
+            let addr = b.base_offset(base, off);
+            b.st(MemSpace::Local, MemWidth::W4, addr, i);
+        });
+        let acc = b.mov(Operand::Imm(0));
+        b.for_loop(Operand::Imm(0), Operand::Imm(words), 1, |b, w| {
+            let scaled = b.mul(w, total);
+            let slot = b.add(scaled, tid);
+            let off = byte_off4(b, slot);
+            let base = b.local_base(arr);
+            let addr = b.base_offset(base, off);
+            let x = b.ld(MemSpace::Local, MemWidth::W4, addr);
+            let t = b.add(acc, x);
+            b.assign(acc, t);
+        });
+        let goff = byte_off4(b, tid);
+        g_st(b, AddrStyle::BaseOffset, out, goff, acc);
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// The streamcluster archetype (§8.1): a dependent chain of back-to-back
+/// loads/stores that mostly hit the L1 Dcache, launched with little
+/// thread-level parallelism — so every extra BCU bubble lands on the
+/// critical path instead of being hidden. Half the accesses are affine
+/// (provable) and half go through a loaded index (runtime-only), matching
+/// the paper's 49.4% check-reduction figure for this benchmark.
+pub fn memdense_kernel(name: &str, rounds: usize, style: AddrStyle) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let idx = b.param_buffer("idx", true);
+    let points = b.param_buffer("points", true);
+    let centers = b.param_buffer("centers", false);
+    let cost = b.param_buffer("cost", false);
+    let n = b.param_scalar("n");
+    let tid = b.global_thread_id();
+    let c = b.lt(tid, n);
+    b.if_then(c, |b| {
+        let tid4 = byte_off4(b, tid);
+        let acc = b.mov(Operand::Imm(0));
+        for k in 0..rounds {
+            // Whole-line shifts keep each warp's access a single 128 B
+            // transaction (the stall-visible case of Fig. 12).
+            let off = b.add(tid4, Operand::Imm((k as i64 % 7) * 128));
+            if k % 2 == 0 {
+                // Affine round: provable against the points buffer.
+                let x = g_ld(b, style, points, off);
+                let t = b.xor(acc, x);
+                b.assign(acc, t);
+            } else {
+                // Indirect round: the center index comes from memory.
+                let j = g_ld(b, style, idx, off);
+                let joff = byte_off4(b, j);
+                let y = g_ld(b, style, centers, joff);
+                let t = b.add(acc, y);
+                b.assign(acc, t);
+                g_st(b, style, cost, joff, t);
+            }
+        }
+        g_st(b, style, cost, tid4, acc);
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// Device-heap allocation microbenchmark (§5.2.1 footnote 2): every thread
+/// `malloc`s a buffer, writes through it, and records the pointer.
+pub fn malloc_kernel(name: &str, alloc_bytes: i64) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let out = b.param_buffer("out", false);
+    let tid = b.global_thread_id();
+    let p = b.malloc(Operand::Imm(alloc_bytes));
+    let nonnull = b.cmp(CmpOp::Ne, p, Operand::Imm(0));
+    b.if_then(nonnull, |b| {
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(p, Operand::Imm(0)),
+            tid,
+        );
+    });
+    let off = b.shl(tid, Operand::Imm(3));
+    b.st(MemSpace::Global, MemWidth::W8, b.base_offset(out, off), p);
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// The §6.4/Fig. 13 kmeans swap kernel, with or without the in-kernel
+/// `if (tid < npoints)` software bounds check.
+pub fn kmeans_swap_kernel(name: &str, sw_check: bool, nfeatures: i64) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let feat = b.param_buffer("feat", true);
+    let feat_swap = b.param_buffer("feat_swap", false);
+    let npoints = b.param_scalar("npoints");
+    let tid = b.global_thread_id();
+    let body = |b: &mut KernelBuilder| {
+        b.for_loop(Operand::Imm(0), Operand::Imm(nfeatures), 1, |b, i| {
+            let src_row = b.mul(tid, Operand::Imm(nfeatures));
+            let sidx = b.add(src_row, i);
+            let soff = byte_off4(b, sidx);
+            let v = g_ld(b, AddrStyle::BaseOffset, feat, soff);
+            let dst_col = b.mul(i, npoints);
+            let didx = b.add(dst_col, tid);
+            let doff = byte_off4(b, didx);
+            g_st(b, AddrStyle::BaseOffset, feat_swap, doff, v);
+        });
+    };
+    if sw_check {
+        let c = b.lt(tid, npoints);
+        b.if_then(c, body);
+    } else {
+        body(&mut b);
+    }
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+/// The §6.4 kernel with a *per-access* software bounds check: every loop
+/// iteration re-validates both indices before touching memory — the heavy
+/// end of hand-written checking that produces the paper's "up to 76%"
+/// overhead.
+pub fn kmeans_swap_checked_per_access(name: &str, nfeatures: i64) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new(name);
+    let feat = b.param_buffer("feat", true);
+    let feat_swap = b.param_buffer("feat_swap", false);
+    let npoints = b.param_scalar("npoints");
+    let tid = b.global_thread_id();
+    b.for_loop(Operand::Imm(0), Operand::Imm(nfeatures), 1, |b, i| {
+        let src_row = b.mul(tid, Operand::Imm(nfeatures));
+        let sidx = b.add(src_row, i);
+        let limit = b.mul(npoints, Operand::Imm(nfeatures));
+        let src_ok = b.lt(sidx, limit);
+        b.if_then(src_ok, |b| {
+            let soff = byte_off4(b, sidx);
+            let v = g_ld(b, AddrStyle::BaseOffset, feat, soff);
+            let dst_col = b.mul(i, npoints);
+            let didx = b.add(dst_col, tid);
+            let dst_ok = b.lt(didx, limit);
+            b.if_then(dst_ok, |b| {
+                let doff = byte_off4(b, didx);
+                g_st(b, AddrStyle::BaseOffset, feat_swap, doff, v);
+            });
+        });
+    });
+    b.ret();
+    Arc::new(b.finish().expect("generated kernel is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_valid_kernels() {
+        let _ = streaming_kernel("s", 3, 8, AddrStyle::BaseOffset);
+        let _ = interleaved_kernel("i", 4, &[0, 1, 2, 3], 16, 5, AddrStyle::Flat);
+        let _ = csr_kernel("c", 2, true);
+        let _ = stencil_kernel("st", 2, AddrStyle::BindingTable);
+        let _ = matmul_kernel("mm");
+        let _ = reduce_kernel("r", 128, AddrStyle::BaseOffset);
+        let _ = histogram_kernel("h", 64);
+        let _ = local_array_kernel("l", 8, 16);
+        let _ = malloc_kernel("m", 16);
+        let _ = kmeans_swap_kernel("k", true, 4);
+        let _ = kmeans_swap_checked_per_access("kpa", 4);
+    }
+
+    #[test]
+    fn streaming_kernel_counts_buffers() {
+        let k = streaming_kernel("s", 5, 0, AddrStyle::BaseOffset);
+        assert_eq!(k.buffer_param_count(), 6); // 5 inputs + out
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern out of range")]
+    fn interleaved_pattern_validated() {
+        let _ = interleaved_kernel("bad", 2, &[0, 5], 4, 1, AddrStyle::BaseOffset);
+    }
+}

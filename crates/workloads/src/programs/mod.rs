@@ -1,0 +1,7 @@
+//! Workload host programs and kernel generators.
+
+pub mod algos;
+pub mod common;
+pub mod rep;
+pub mod rodinia;
+pub mod suites;

@@ -1,0 +1,190 @@
+//! Representative single-kernel specifications for the multi-kernel
+//! co-execution experiment (paper Fig. 18): the seven OpenCL benchmarks
+//! whose 21 pairings share the GPU inter- or intra-core.
+
+use crate::data::{uniform_csr, workload_rng};
+use crate::dsl::AddrStyle;
+use crate::host::{HostApi, WArg};
+use crate::programs::common::{
+    csr_kernel, interleaved_kernel, kmeans_swap_kernel, memdense_kernel, stencil_kernel,
+};
+use gpushield_isa::Kernel;
+use std::sync::Arc;
+
+/// Buffer-setup closure: allocates/uploads and returns the bound arguments.
+type SetupFn = Box<dyn Fn(&mut dyn HostApi) -> Vec<WArg> + Send + Sync>;
+
+/// One co-runnable kernel: the kernel, its geometry, and a setup closure
+/// that allocates/uploads its buffers and returns the bound arguments.
+pub struct RepKernel {
+    /// Benchmark name (Fig. 18 label).
+    pub name: &'static str,
+    /// The kernel.
+    pub kernel: Arc<Kernel>,
+    /// Workgroups.
+    pub grid: u32,
+    /// Workitems per workgroup.
+    pub block: u32,
+    setup: SetupFn,
+}
+
+impl RepKernel {
+    /// Allocates this kernel's buffers on `host` and returns its arguments.
+    pub fn bind(&self, host: &mut dyn HostApi) -> Vec<WArg> {
+        (self.setup)(host)
+    }
+}
+
+impl std::fmt::Debug for RepKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepKernel")
+            .field("name", &self.name)
+            .field("grid", &self.grid)
+            .field("block", &self.block)
+            .finish_non_exhaustive()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn interleaved_rep(
+    name: &'static str,
+    kname: &'static str,
+    n_bufs: usize,
+    pattern: &'static [usize],
+    iters: i64,
+    stride: i64,
+    n: u64,
+    grid: u32,
+    block: u32,
+) -> RepKernel {
+    RepKernel {
+        name,
+        kernel: interleaved_kernel(kname, n_bufs, pattern, iters, stride, AddrStyle::BindingTable),
+        grid,
+        block,
+        setup: Box::new(move |h| {
+            let mut args: Vec<WArg> = (0..n_bufs).map(|_| WArg::Buf(h.alloc(n * 4))).collect();
+            args.push(WArg::Scalar(n));
+            args
+        }),
+    }
+}
+
+fn csr_rep(
+    name: &'static str,
+    kname: &'static str,
+    n_vertices: usize,
+    deg: usize,
+    n_data: usize,
+    grid: u32,
+    block: u32,
+) -> RepKernel {
+    RepKernel {
+        name,
+        kernel: csr_kernel(kname, n_data, true),
+        grid,
+        block,
+        setup: Box::new(move |h| {
+            let mut rng = workload_rng(kname);
+            let g = uniform_csr(&mut rng, n_vertices, deg);
+            let row = h.alloc(g.row.len() as u64 * 4);
+            h.upload_u32(row, 0, &g.row);
+            let col = h.alloc(g.col.len().max(1) as u64 * 4);
+            h.upload_u32(col, 0, &g.col);
+            let mut args = vec![WArg::Buf(row), WArg::Buf(col)];
+            for _ in 0..n_data + 1 {
+                args.push(WArg::Buf(h.alloc(n_vertices as u64 * 4)));
+            }
+            args.push(WArg::Scalar(n_vertices as u64));
+            args
+        }),
+    }
+}
+
+/// The Fig. 18 representative kernel for `name`, if it is one of the seven.
+pub fn representative(name: &str) -> Option<RepKernel> {
+    static P0123: [usize; 4] = [0, 1, 2, 3];
+    static P012: [usize; 3] = [0, 1, 2];
+    Some(match name {
+        "bfs" => csr_rep("bfs", "rep_bfs", 8192, 8, 1, 32, 256),
+        "cfd" => csr_rep("cfd", "rep_cfd", 4096, 4, 5, 16, 256),
+        "hotspot3D" => RepKernel {
+            name: "hotspot3D",
+            kernel: stencil_kernel("rep_hotspot3d", 1, AddrStyle::BindingTable),
+            grid: 128,
+            block: 256,
+            setup: Box::new(|h| {
+                let n = 32768u64;
+                vec![
+                    WArg::Buf(h.alloc(n * 4)),
+                    WArg::Buf(h.alloc(n * 4)),
+                    WArg::Scalar(n),
+                ]
+            }),
+        },
+        "hybridsort" => interleaved_rep("hybridsort", "rep_hybridsort", 3, &P012, 8, 32, 8192, 32, 256),
+        "kmeans" => RepKernel {
+            name: "kmeans",
+            kernel: kmeans_swap_kernel("rep_kmeans_swap", true, 8),
+            grid: 32,
+            block: 256,
+            setup: Box::new(|h| {
+                let npoints = 8192u64;
+                vec![
+                    WArg::Buf(h.alloc(npoints * 8 * 4)),
+                    WArg::Buf(h.alloc(npoints * 8 * 4)),
+                    WArg::Scalar(npoints),
+                ]
+            }),
+        },
+        "nn" => interleaved_rep("nn", "rep_nn", 4, &P0123, 16, 128, 16384, 64, 256),
+        "streamcluster" => RepKernel {
+            name: "streamcluster",
+            kernel: memdense_kernel("rep_streamcluster", 48, AddrStyle::BindingTable),
+            grid: 16,
+            block: 64,
+            setup: Box::new(|h| {
+                let n = 1024u64;
+                let mut rng = workload_rng("rep_streamcluster");
+                let idx_vals = crate::data::random_u32s(&mut rng, n as usize, 32);
+                let idx = h.alloc((n + 224) * 4);
+                h.upload_u32(idx, 0, &idx_vals);
+                vec![
+                    WArg::Buf(idx),
+                    WArg::Buf(h.alloc((n + 224) * 4)),
+                    WArg::Buf(h.alloc((n + 224) * 4)),
+                    WArg::Buf(h.alloc((n + 224) * 4)),
+                    WArg::Scalar(n),
+                ]
+            }),
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::ProbeHost;
+    use crate::registry::fig18_names;
+
+    #[test]
+    fn all_fig18_names_have_representatives() {
+        for n in fig18_names() {
+            let rep = representative(n).unwrap_or_else(|| panic!("missing rep for {n}"));
+            let mut probe = ProbeHost::new();
+            let args = rep.bind(&mut probe);
+            assert!(!args.is_empty());
+            assert_eq!(
+                args.iter().filter(|a| matches!(a, WArg::Buf(_))).count(),
+                probe.buffer_sizes.len(),
+                "{n}: every allocated buffer should be bound"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_has_no_representative() {
+        assert!(representative("mm").is_none());
+    }
+}

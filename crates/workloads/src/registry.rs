@@ -1,0 +1,309 @@
+//! The workload registry: every benchmark the evaluation runs, with the
+//! suite/category metadata of paper Table 6 and Fig. 1.
+
+use crate::host::{HostApi, ProbeHost};
+use std::fmt;
+
+/// Benchmark suite a workload models (the paper draws from 13 suites;
+/// Fig. 1's histogram is regenerated over the suites represented here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Rodinia (CUDA).
+    Rodinia,
+    /// Parboil (CUDA).
+    Parboil,
+    /// GraphBig (CUDA).
+    GraphBig,
+    /// CUDA SDK samples.
+    CudaSdk,
+    /// FinanceBench-style financial kernels.
+    FinanceBench,
+    /// SHOC-style HPC kernels.
+    Shoc,
+    /// PolyBench/ACC-style affine kernels.
+    PolybenchAcc,
+    /// The Intel OpenCL set of Table 6.
+    OpenCl,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::Rodinia => "rodinia",
+            Suite::Parboil => "Parboil",
+            Suite::GraphBig => "GraphBig",
+            Suite::CudaSdk => "CUDA-SDK",
+            Suite::FinanceBench => "FinanceBench",
+            Suite::Shoc => "SHOC",
+            Suite::PolybenchAcc => "PolyBench/ACC",
+            Suite::OpenCl => "OpenCL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Application domain (paper Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Machine learning.
+    Ml,
+    /// Linear algebra.
+    La,
+    /// Graph traversal.
+    Gt,
+    /// Graph iterative.
+    Gi,
+    /// Physics and modelling.
+    Ps,
+    /// Image and media.
+    Im,
+    /// Data mining.
+    Dm,
+    /// The OpenCL set (evaluated on the Intel configuration).
+    OpenCl,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Ml => "ML",
+            Category::La => "LA",
+            Category::Gt => "GT",
+            Category::Gi => "GI",
+            Category::Ps => "PS",
+            Category::Im => "IM",
+            Category::Dm => "DM",
+            Category::OpenCl => "OpenCL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A host-program closure.
+pub type Program = Box<dyn Fn(&mut dyn HostApi) + Send + Sync>;
+
+/// One benchmark: metadata plus the host program that runs it.
+pub struct Workload {
+    name: &'static str,
+    suite: Suite,
+    category: Category,
+    rcache_sensitive: bool,
+    program: Program,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(
+        name: &'static str,
+        suite: Suite,
+        category: Category,
+        rcache_sensitive: bool,
+        program: Program,
+    ) -> Self {
+        Workload {
+            name,
+            suite,
+            category,
+            rcache_sensitive,
+            program,
+        }
+    }
+
+    /// Unique registry name (OpenCL variants carry an `ocl:` prefix).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Name without the suite prefix — what the paper's figures label.
+    pub fn display_name(&self) -> &str {
+        self.name.rsplit(':').next().expect("non-empty name")
+    }
+
+    /// Source suite.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Application domain.
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// True for the Fig. 15 RCache-sensitive set.
+    pub fn rcache_sensitive(&self) -> bool {
+        self.rcache_sensitive
+    }
+
+    /// Runs the host program against `host`.
+    pub fn run(&self, host: &mut dyn HostApi) {
+        (self.program)(host);
+    }
+
+    /// Runs the program against a metadata probe (no simulation) — the
+    /// source of Figs. 1 and 11.
+    pub fn probe(&self) -> ProbeHost {
+        let mut p = ProbeHost::new();
+        self.run(&mut p);
+        p
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("category", &self.category)
+            .field("rcache_sensitive", &self.rcache_sensitive)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All workloads (CUDA-model set plus the OpenCL set).
+///
+/// # Example
+///
+/// ```
+/// use gpushield_workloads::{all, by_name};
+///
+/// assert!(all().len() > 60);
+/// let w = by_name("streamcluster").expect("registered");
+/// let probe = w.probe();
+/// assert_eq!(probe.launches, 150);
+/// assert_eq!(probe.max_buffers_per_kernel, 4);
+/// ```
+pub fn all() -> Vec<Workload> {
+    crate::programs::suites::all_workloads()
+}
+
+/// Looks a workload up by registry name (`ocl:` prefix for OpenCL ones).
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name() == name)
+}
+
+/// The CUDA-model workloads (run on the Nvidia configuration).
+pub fn cuda_set() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.suite() != Suite::OpenCl)
+        .collect()
+}
+
+/// The 17 OpenCL workloads (run on the Intel configuration, Fig. 16).
+pub fn opencl_set() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.suite() == Suite::OpenCl)
+        .collect()
+}
+
+/// The Fig. 15 RCache-sensitive benchmarks.
+pub fn rcache_sensitive_set() -> Vec<Workload> {
+    cuda_set()
+        .into_iter()
+        .filter(|w| w.rcache_sensitive())
+        .collect()
+}
+
+/// The Rodinia workloads used in the software-tool comparison (Fig. 19).
+pub fn fig19_set() -> Vec<Workload> {
+    const NAMES: [&str; 9] = [
+        "bfs-dtc",
+        "gaussian",
+        "heartwall",
+        "hotspot",
+        "kmeans",
+        "lavaMD",
+        "lud-64",
+        "particlefilter",
+        "streamcluster",
+    ];
+    NAMES
+        .iter()
+        .filter_map(|n| by_name(n))
+        .collect()
+}
+
+/// The Rodinia workloads whose buffers Fig. 11 counts pages for.
+pub fn fig11_set() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.suite() == Suite::Rodinia)
+        .collect()
+}
+
+/// The 7 OpenCL benchmarks the multi-kernel experiment pairs (Fig. 18).
+pub fn fig18_names() -> [&'static str; 7] {
+    [
+        "bfs",
+        "cfd",
+        "hotspot3D",
+        "hybridsort",
+        "kmeans",
+        "nn",
+        "streamcluster",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names: Vec<&str> = all().iter().map(|w| w.name()).collect();
+        let set: HashSet<&&str> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "duplicate workload names");
+    }
+
+    #[test]
+    fn every_workload_probes_cleanly() {
+        for w in all() {
+            let p = w.probe();
+            assert!(p.launches > 0, "{} never launches", w.name());
+            assert!(
+                p.max_buffers_per_kernel > 0,
+                "{} binds no buffers",
+                w.name()
+            );
+            assert!(
+                p.max_buffers_per_kernel <= 34,
+                "{} exceeds the paper's max of 34 buffers",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_count_distribution_matches_fig1_shape() {
+        // Fig. 1: most kernels have < 10 buffers; the average is ~6.5.
+        let counts: Vec<usize> = all().iter().map(|w| w.probe().max_buffers_per_kernel).collect();
+        let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(avg > 2.0 && avg < 10.0, "avg buffers {avg}");
+        let lt10 = counts.iter().filter(|c| **c < 10).count();
+        assert!(lt10 * 10 >= counts.len() * 7, "most should be <10");
+    }
+
+    #[test]
+    fn named_sets_are_complete() {
+        assert_eq!(opencl_set().len(), 17, "Table 6 lists 17 OpenCL benchmarks");
+        assert_eq!(rcache_sensitive_set().len(), 17, "Fig. 15 plots 17");
+        assert_eq!(fig19_set().len(), 9, "Fig. 19 plots 9 Rodinia benchmarks");
+        for n in fig18_names() {
+            assert!(
+                by_name(&format!("ocl:{n}")).is_some(),
+                "fig18 name {n} missing from the OpenCL set"
+            );
+        }
+        assert!(cuda_set().len() >= 39, "CUDA-model set too small");
+    }
+
+    #[test]
+    fn lookup_by_name_roundtrips() {
+        for w in all() {
+            assert_eq!(by_name(w.name()).unwrap().name(), w.name());
+        }
+        assert!(by_name("definitely-not-a-workload").is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Run a slice of the benchmark suite on baseline and protected systems
+//! and print per-workload statistics — a miniature of the Fig. 14 harness.
+//!
+//! ```text
+//! cargo run --release --example benchmark_suite [filter]
+//! ```
+
+use gpushield_bench::{run_workload, Protection, Target};
+use gpushield_workloads::cuda_set;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let selected: Vec<_> = cuda_set()
+        .into_iter()
+        .filter(|w| {
+            filter
+                .as_deref()
+                .map(|f| w.name().contains(f))
+                .unwrap_or_else(|| {
+                    // Default: one representative per category.
+                    ["mm", "vectoradd", "bfs-dtc", "pagerank", "blacksholes", "hotspot", "nw"]
+                        .contains(&w.name())
+                })
+        })
+        .collect();
+
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>8} {:>9} {:>8}",
+        "workload", "cat", "base(cyc)", "shield", "ovh%", "l1rc-hit%", "reduct%"
+    );
+    for w in selected {
+        let base = run_workload(&w, Target::Nvidia, Protection::baseline());
+        let gs = run_workload(&w, Target::Nvidia, Protection::shield_default());
+        let st = run_workload(&w, Target::Nvidia, Protection::shield_default().with_static());
+        println!(
+            "{:<14} {:>6} {:>10} {:>10} {:>8.2} {:>9.1} {:>8.1}",
+            w.display_name(),
+            w.category().to_string(),
+            base.cycles,
+            gs.cycles,
+            (gs.cycles as f64 / base.cycles as f64 - 1.0) * 100.0,
+            gs.bcu.l1_hit_rate() * 100.0,
+            st.check_reduction * 100.0,
+        );
+    }
+    println!("\n(run with a name filter to select specific workloads, e.g. `streamcluster`)");
+}

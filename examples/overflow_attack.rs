@@ -1,0 +1,136 @@
+//! The paper's Fig. 4 exploit, end to end: out-of-bounds writes on
+//! 512-byte-aligned SVM buffers behave exactly as observed on a real
+//! Nvidia GPU — suppressed inside the alignment slot, silently corrupting
+//! within the 2 MB mapped region, aborting only across it — and a
+//! mind-control-style function-pointer overwrite works. GPUShield stops
+//! all of it.
+//!
+//! ```text
+//! cargo run --release --example overflow_attack
+//! ```
+
+use gpushield::{Arg, System, SystemConfig, ViolationKind};
+use gpushield_isa::{Kernel, KernelBuilder, MemSpace, MemWidth, Operand};
+use std::error::Error;
+use std::sync::Arc;
+
+/// `A[off] = 0xBAD` from one thread.
+fn overflow_kernel() -> Arc<Kernel> {
+    let mut b = KernelBuilder::new("kernel_overflow");
+    let a = b.param_buffer("A", false);
+    let off_elems = b.param_scalar("off");
+    let off = b.shl(off_elems, Operand::Imm(2));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, off),
+        Operand::Imm(0xBAD),
+    );
+    b.ret();
+    Arc::new(b.finish().expect("valid kernel"))
+}
+
+/// A victim "dispatch" kernel: reads a function-pointer slot from its
+/// table and stores which function ran. The attacker's overflow rewrites
+/// the slot — the mind-control-attack setup phase (§5.7).
+fn dispatch_kernel() -> Arc<Kernel> {
+    let mut b = KernelBuilder::new("dispatch");
+    let table = b.param_buffer("fn_table", false);
+    let outcome = b.param_buffer("outcome", false);
+    let f = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(table, Operand::Imm(0)),
+    );
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(outcome, Operand::Imm(0)),
+        f,
+    );
+    b.ret();
+    Arc::new(b.finish().expect("valid kernel"))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== Fig. 4: three OOB writes on an UNPROTECTED GPU ==");
+    {
+        let mut sys = System::new(SystemConfig::nvidia_baseline());
+        let a = sys.alloc(16 * 4)?; // 64 B, 512 B-aligned slot
+        let b = sys.alloc(16 * 4)?; // adjacent
+
+        // Case 1: within A's 512 B slot — suppressed (no side effect).
+        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x10)])?;
+        println!(
+            "A[0x10]    -> completed={} B[0]=0x{:x} (suppressed by alignment padding)",
+            r.completed(),
+            sys.read_uint(b, 0, 4)
+        );
+
+        // Case 2: 512 B past A — lands exactly on B. Observable by the CPU.
+        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80)])?;
+        println!(
+            "A[0x80]    -> completed={} B[0]=0x{:x} (SILENT CORRUPTION)",
+            r.completed(),
+            sys.read_uint(b, 0, 4)
+        );
+
+        // Case 3: 2 MB past A — leaves the mapped region, kernel aborted.
+        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80000)])?;
+        println!("A[0x80000] -> completed={} ({})", r.completed(),
+            r.launches[0].abort.map(|x| x.to_string()).unwrap_or_default());
+    }
+
+    println!("\n== The same three writes under GPUShield ==");
+    {
+        for off in [0x10u64, 0x80, 0x80000] {
+            let mut sys = System::new(SystemConfig::nvidia_protected());
+            let a = sys.alloc(16 * 4)?;
+            let b = sys.alloc(16 * 4)?;
+            let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(off)])?;
+            println!(
+                "A[0x{off:x}] -> completed={} violation={:?} B intact={}",
+                r.completed(),
+                sys.violations().first().map(|v| v.kind),
+                sys.read_uint(b, 0, 4) == 0
+            );
+            assert!(!r.completed());
+            assert_eq!(sys.violations()[0].kind, ViolationKind::OutOfBounds);
+        }
+    }
+
+    println!("\n== Mind-control-style control-flow hijack ==");
+    {
+        // Unprotected: the attacker overflows `A` to rewrite the adjacent
+        // function-pointer table, and the victim dispatch kernel runs the
+        // attacker's "function".
+        let mut sys = System::new(SystemConfig::nvidia_baseline());
+        let a = sys.alloc(16 * 4)?;
+        let fn_table = sys.alloc(16 * 4)?;
+        let outcome = sys.alloc(4)?;
+        sys.write_buffer(fn_table, 0, &1u32.to_le_bytes()); // legit fn id 1
+        let _ = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80)])?;
+        let _ = sys.launch(dispatch_kernel(), 1, 1, &[Arg::Buffer(fn_table), Arg::Buffer(outcome)])?;
+        println!(
+            "unprotected: dispatch ran function 0x{:x} (0xBAD = attacker-controlled)",
+            sys.read_uint(outcome, 0, 4)
+        );
+        assert_eq!(sys.read_uint(outcome, 0, 4), 0xBAD);
+
+        // GPUShield: the setup phase itself is blocked.
+        let mut sys = System::new(SystemConfig::nvidia_protected());
+        let a = sys.alloc(16 * 4)?;
+        let fn_table = sys.alloc(16 * 4)?;
+        let outcome = sys.alloc(4)?;
+        sys.write_buffer(fn_table, 0, &1u32.to_le_bytes());
+        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80)])?;
+        assert!(!r.completed());
+        let _ = sys.launch(dispatch_kernel(), 1, 1, &[Arg::Buffer(fn_table), Arg::Buffer(outcome)])?;
+        println!(
+            "GPUShield:   setup phase aborted; dispatch ran function 0x{:x}",
+            sys.read_uint(outcome, 0, 4)
+        );
+        assert_eq!(sys.read_uint(outcome, 0, 4), 1);
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Pointer-forging attacks against GPUShield itself (paper §5.2.4, §6.1):
+//! an attacker who controls pointer bits tries to fabricate a region ID
+//! that maps to a victim buffer. The per-kernel encrypted random IDs make
+//! every attempt land on an invalid RBT entry and fault.
+//!
+//! ```text
+//! cargo run --release --example pointer_forging
+//! ```
+
+use gpushield_core::{Bcu, BcuConfig, ViolationKind};
+use gpushield_driver::{decrypt_id, Arg, Driver, DriverConfig};
+use gpushield_isa::{Kernel, KernelBuilder, MemSpace, MemWidth, Operand, TaggedPtr};
+use gpushield_sim::{Gpu, GpuConfig, MemGuard};
+use std::error::Error;
+use std::sync::Arc;
+
+/// Writes through its single pointer argument at a *loaded* offset, so
+/// the access is never statically provable and the runtime check always
+/// inspects the (possibly forged) pointer tag.
+fn write_kernel() -> Arc<Kernel> {
+    let mut b = KernelBuilder::new("attacker_write");
+    let p = b.param_buffer("p", false);
+    let j = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(0)),
+    );
+    let off = b.shl(j, Operand::Imm(2));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, off),
+        Operand::Imm(0xBAD),
+    );
+    b.ret();
+    Arc::new(b.finish().expect("valid kernel"))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut driver = Driver::new(DriverConfig::default(), 1234);
+    let mut gpu = Gpu::new(GpuConfig::nvidia());
+    let mut bcu = Bcu::new(BcuConfig::default(), 16);
+
+    // The victim's buffer, set up legitimately: its pointer carries an
+    // encrypted region ID for this kernel's RBT.
+    let secret = driver.malloc(4096)?;
+    // Force a runtime-checked pointer (an attacker-reachable one) by
+    // launching a kernel whose access is not statically provable.
+    let victim_prepared = driver.prepare_launch(
+        write_kernel(),
+        1,
+        1,
+        &[Arg::Buffer(secret)],
+    )?;
+    let setup = victim_prepared.shield.expect("shield on");
+    bcu.register_kernel(setup);
+    let legit_ptr = TaggedPtr::from_raw(victim_prepared.launch.args[0]);
+    println!("victim pointer: {legit_ptr}");
+    println!(
+        "  encrypted ID 0x{:04x} decrypts to RBT index 0x{:04x} under the kernel key",
+        legit_ptr.info(),
+        decrypt_id(legit_ptr.info(), setup.key)
+    );
+
+    // Attack: the adversary knows the victim's VA and the tag FORMAT, but
+    // not the per-launch key. Try a sweep of forged IDs.
+    let mut faults = 0;
+    let mut successes = 0;
+    const TRIES: u16 = 64;
+    for forged_id in 0..TRIES {
+        let mut launch = victim_prepared.launch.clone();
+        launch.args[0] = TaggedPtr::with_region_id(legit_ptr.va(), forged_id * 251).raw();
+        let report = gpu.run(driver.vm_mut(), &[launch], Some(&mut bcu as &mut dyn MemGuard))?;
+        if report.completed() {
+            successes += 1;
+        } else {
+            faults += 1;
+        }
+    }
+    println!("\nforged-ID sweep: {TRIES} attempts -> {faults} faulted, {successes} succeeded");
+    let bad_region = bcu
+        .violations()
+        .iter()
+        .filter(|v| v.kind == ViolationKind::BadRegion)
+        .count();
+    println!("  {bad_region} rejected as invalid/forged region IDs (BadRegion)");
+
+    // Even *replaying the correct encrypted ID* against a later launch
+    // fails: each launch gets a fresh key and fresh random IDs.
+    let replay = driver.prepare_launch(write_kernel(), 1, 1, &[Arg::Buffer(secret)])?;
+    bcu.register_kernel(replay.shield.expect("shield on"));
+    let mut launch = replay.launch.clone();
+    launch.args[0] = legit_ptr.raw(); // yesterday's pointer
+    let report = gpu.run(driver.vm_mut(), &[launch], Some(&mut bcu as &mut dyn MemGuard))?;
+    println!(
+        "\nreplaying a previous launch's encrypted pointer: completed={}",
+        report.completed()
+    );
+    assert!(!report.completed(), "stale tags must not survive re-keying");
+    Ok(())
+}

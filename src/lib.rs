@@ -1,0 +1,5 @@
+//! Workspace-root crate holding the repository's examples and integration
+//! tests. The real library surface lives in the [`gpushield`] facade crate
+//! and the per-subsystem crates it re-exports.
+
+pub use gpushield;

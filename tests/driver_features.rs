@@ -1,0 +1,164 @@
+//! Driver/system feature tests: §6.3 buffer-ID merging, §6.2 context
+//! switching, and §5.5.2 error reporting.
+
+use gpushield::{Arg, System, SystemConfig, ViolationKind};
+use gpushield_isa::{Kernel, KernelBuilder, MemSpace, MemWidth, Operand};
+use std::sync::Arc;
+
+/// A kernel whose four buffer accesses are all unprovable (loaded index),
+/// forcing four Region-classed pointers.
+fn four_buffer_kernel() -> Arc<Kernel> {
+    let mut b = KernelBuilder::new("four_bufs");
+    let bufs: Vec<_> = (0..4).map(|i| b.param_buffer(&format!("b{i}"), false)).collect();
+    let j = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(bufs[0], Operand::Imm(0)),
+    );
+    let off = b.shl(j, Operand::Imm(2));
+    for p in &bufs {
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(*p, off), j);
+    }
+    b.ret();
+    Arc::new(b.finish().unwrap())
+}
+
+#[test]
+fn id_merging_keeps_kernels_running_under_tight_budget() {
+    // §6.3: with only 2 region IDs available, adjacent buffers share
+    // merged bounds metadata and legitimate accesses still pass.
+    let mut cfg = SystemConfig::nvidia_protected();
+    cfg.driver.max_region_ids = 2;
+    let mut sys = System::new(cfg);
+    let bufs: Vec<_> = (0..4).map(|_| sys.alloc(256).unwrap()).collect();
+    let args: Vec<Arg> = bufs.iter().map(|b| Arg::Buffer(*b)).collect();
+    let r = sys.launch(four_buffer_kernel(), 1, 1, &args).unwrap();
+    assert!(r.completed(), "{}", sys.error_report());
+    assert_eq!(sys.violations().len(), 0);
+}
+
+#[test]
+fn id_merging_still_catches_far_out_of_bounds() {
+    // Coarser protection inside a merged group, but leaving the merged
+    // span entirely still faults.
+    let mut cfg = SystemConfig::nvidia_protected();
+    cfg.driver.max_region_ids = 1;
+    let mut sys = System::new(cfg);
+    let a = sys.alloc(256).unwrap();
+    let b2 = sys.alloc(256).unwrap();
+
+    let mut b = KernelBuilder::new("merged_oob");
+    let pa = b.param_buffer("a", false);
+    let pb = b.param_buffer("b", false);
+    let j = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(pa, Operand::Imm(0)),
+    );
+    let _keep = b.add(j, Operand::Imm(0));
+    // Store far outside the merged [a, b] span.
+    let far = b.add(j, Operand::Imm(1 << 20));
+    let off = b.shl(far, Operand::Imm(2));
+    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(pb, off), j);
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let r = sys
+        .launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(b2)])
+        .unwrap();
+    assert!(!r.completed(), "far OOB must fault even with merged IDs");
+    assert_eq!(sys.violations()[0].kind, ViolationKind::OutOfBounds);
+}
+
+#[test]
+fn merged_groups_lose_only_intra_group_precision() {
+    // Documented trade-off: with merging forced, a write that lands in the
+    // *adjacent group member* is no longer caught (the merged bounds cover
+    // both) — but the default configuration (no merging) catches it.
+    fn overflowing_pair(max_ids: usize) -> bool {
+        let mut cfg = SystemConfig::nvidia_protected();
+        cfg.driver.max_region_ids = max_ids;
+        let mut sys = System::new(cfg);
+        let a = sys.alloc(256).unwrap();
+        let victim = sys.alloc(256).unwrap();
+        let mut b = KernelBuilder::new("neighbour_oob");
+        let pa = b.param_buffer("a", false);
+        let pv = b.param_buffer("v", false);
+        let j = b.ld(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(pa, Operand::Imm(0)),
+        );
+        // a and victim are 512 B apart (Device512 packing); +0x80 elements
+        // of 4 B lands exactly on the victim.
+        let idx = b.add(j, Operand::Imm(0x80));
+        let off = b.shl(idx, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(pa, off), j);
+        // Keep the victim as a second *runtime-checked* region (a loaded
+        // offset, so static analysis cannot downgrade it to Type 1).
+        let voff = b.shl(j, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(pv, voff), j);
+        b.ret();
+        let k = Arc::new(b.finish().unwrap());
+        let r = sys
+            .launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(victim)])
+            .unwrap();
+        r.completed()
+    }
+    assert!(
+        !overflowing_pair(1 << 14),
+        "separate IDs catch the neighbour overflow"
+    );
+    assert!(
+        overflowing_pair(1),
+        "a single merged ID cannot distinguish the members (the §6.3 cost)"
+    );
+}
+
+#[test]
+fn error_report_lists_violations() {
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let a = sys.alloc(64).unwrap();
+    let mut b = KernelBuilder::new("oob");
+    let p = b.param_buffer("a", false);
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(4096)),
+        Operand::Imm(1),
+    );
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    assert_eq!(sys.error_report(), "no memory-safety violations detected");
+    let _ = sys.launch(k, 1, 1, &[Arg::Buffer(a)]).unwrap();
+    let report = sys.error_report();
+    assert!(report.contains("1 memory-safety violation"), "{report}");
+    assert!(report.contains("out-of-bounds access"), "{report}");
+    assert!(report.contains("store"), "{report}");
+}
+
+#[test]
+fn context_switch_flushes_rcaches_without_breaking_checks() {
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let a = sys.alloc(64).unwrap();
+    // Unprovable but in-bounds store (index loaded, zero-initialised).
+    let mut b = KernelBuilder::new("ctx");
+    let p = b.param_buffer("a", false);
+    let j = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(0)),
+    );
+    let off = b.shl(j, Operand::Imm(2));
+    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(p, off), Operand::Imm(9));
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+
+    let r1 = sys.launch(k.clone(), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    assert!(r1.completed());
+    let fetches_before = sys.bcu_stats().rbt_fetches;
+    sys.context_switch();
+    let r2 = sys.launch(k, 1, 1, &[Arg::Buffer(a)]).unwrap();
+    assert!(r2.completed());
+    // The flush forces a fresh RBT fetch on the next launch.
+    assert!(sys.bcu_stats().rbt_fetches > fetches_before);
+}

@@ -1,0 +1,228 @@
+//! Property-based tests on the system's core invariants (proptest).
+
+use gpushield_driver::{decrypt_id, encrypt_id, BoundsEntry};
+use gpushield_isa::{PtrClass, TaggedPtr};
+use gpushield_mem::coalesce::warp_address_range;
+use gpushield_mem::{coalesce_warp, AllocPolicy, VirtualMemorySpace, TRANSACTION_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    /// The 14-bit ID cipher is a bijection for every key.
+    #[test]
+    fn cipher_roundtrips(id in 0u16..(1 << 14), key in any::<u64>()) {
+        let ct = encrypt_id(id, key);
+        prop_assert!(ct < (1 << 14));
+        prop_assert_eq!(decrypt_id(ct, key), id);
+    }
+
+    /// Distinct IDs stay distinct after encryption (injectivity spot check).
+    #[test]
+    fn cipher_is_injective(a in 0u16..(1 << 14), b in 0u16..(1 << 14), key in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(encrypt_id(a, key), encrypt_id(b, key));
+    }
+
+    /// Tagged-pointer fields survive a round trip for all inputs.
+    #[test]
+    fn tagged_pointer_roundtrips(va in 0u64..(1 << 48), id in 0u16..(1 << 14)) {
+        let p = TaggedPtr::with_region_id(va, id);
+        prop_assert_eq!(p.class(), PtrClass::Region);
+        prop_assert_eq!(p.va(), va);
+        prop_assert_eq!(p.info(), id);
+    }
+
+    /// Pointer arithmetic below the tag bits preserves class and info.
+    #[test]
+    fn pointer_arithmetic_preserves_tag(
+        va in 0u64..(1u64 << 40),
+        id in 0u16..(1 << 14),
+        delta in 0u64..(1u64 << 30),
+    ) {
+        let p = TaggedPtr::with_region_id(va, id);
+        let q = TaggedPtr::from_raw(p.raw().wrapping_add(delta));
+        prop_assert_eq!(q.class(), PtrClass::Region);
+        prop_assert_eq!(q.info(), id);
+        prop_assert_eq!(q.va(), va + delta);
+    }
+
+    /// Coalescing covers every active lane and produces unique, sorted,
+    /// aligned transactions.
+    #[test]
+    fn coalescer_covers_and_partitions(
+        addrs in proptest::collection::vec(
+            proptest::option::of(0u64..(1 << 20)), 1..33),
+        width in prop_oneof![Just(1u64), Just(2), Just(4), Just(8)],
+    ) {
+        let txs = coalesce_warp(&addrs, width);
+        // Unique and sorted.
+        for w in txs.windows(2) {
+            prop_assert!(w[0].base < w[1].base);
+        }
+        for t in &txs {
+            prop_assert_eq!(t.base % TRANSACTION_BYTES, 0);
+        }
+        // Coverage: every byte of every active access is in some tx.
+        for a in addrs.iter().flatten() {
+            for byte in *a..(*a + width) {
+                prop_assert!(
+                    txs.iter().any(|t| t.contains(byte)),
+                    "byte {byte} uncovered"
+                );
+            }
+        }
+        // The gathered range bounds every lane address.
+        if let Some((lo, hi)) = warp_address_range(&addrs, width) {
+            for a in addrs.iter().flatten() {
+                prop_assert!(*a >= lo && *a + width <= hi);
+            }
+        }
+    }
+
+    /// Device allocations never overlap, regardless of the size sequence
+    /// and policy mix.
+    #[test]
+    fn allocations_never_overlap(
+        sizes in proptest::collection::vec((1u64..10_000, 0u8..3), 1..40)
+    ) {
+        let mut vm = VirtualMemorySpace::new();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (size, pol) in sizes {
+            let policy = match pol {
+                0 => AllocPolicy::Device512,
+                1 => AllocPolicy::PowerOfTwo,
+                _ => AllocPolicy::Isolated,
+            };
+            let a = vm.alloc(size, policy).unwrap();
+            prop_assert!(a.reserved >= a.size);
+            for (lo, hi) in &ranges {
+                prop_assert!(
+                    a.reserved_end() <= *lo || a.va >= *hi,
+                    "overlap: [{}, {}) vs [{}, {})", a.va, a.reserved_end(), lo, hi
+                );
+            }
+            ranges.push((a.va, a.reserved_end()));
+        }
+    }
+
+    /// Functional memory is a memory: the last write wins, other bytes are
+    /// untouched.
+    #[test]
+    fn memory_reads_see_last_write(
+        writes in proptest::collection::vec((0u64..4000, any::<u32>()), 1..50)
+    ) {
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(8192, AllocPolicy::Device512).unwrap();
+        let mut model = std::collections::HashMap::new();
+        for (off, val) in &writes {
+            let off = off & !3; // aligned words
+            vm.write_uint(a.va + off, 4, u64::from(*val)).unwrap();
+            model.insert(off, *val);
+        }
+        for (off, val) in model {
+            prop_assert_eq!(vm.read_uint(a.va + off, 4).unwrap(), u64::from(val));
+        }
+    }
+
+    /// The RBT bounds comparison agrees with a direct range oracle.
+    #[test]
+    fn bounds_entry_matches_oracle(
+        base in 0u64..(1 << 30),
+        size in 1u32..(1 << 20),
+        lo in 0u64..(1 << 31),
+        len in 1u64..4096,
+    ) {
+        let e = BoundsEntry {
+            valid: true,
+            readonly: false,
+            kernel_id: 1,
+            base,
+            size,
+        };
+        let hi = lo + len;
+        let oracle = lo >= base && hi <= base + u64::from(size);
+        prop_assert_eq!(e.in_bounds(lo, hi), oracle);
+    }
+
+    /// RBT entries round-trip through their packed encoding.
+    #[test]
+    fn rbt_encoding_roundtrips(
+        valid in any::<bool>(),
+        readonly in any::<bool>(),
+        kernel_id in 0u16..(1 << 12),
+        base in 0u64..(1 << 48),
+        size in any::<u32>(),
+    ) {
+        let e = BoundsEntry { valid, readonly, kernel_id, base, size };
+        prop_assert_eq!(BoundsEntry::decode(e.encode()), e);
+    }
+}
+
+/// Interval arithmetic soundness: the abstract result of an operation
+/// contains every concrete result of members of the inputs.
+mod interval_soundness {
+    use gpushield_compiler::Interval;
+    use proptest::prelude::*;
+
+    fn small_interval() -> impl Strategy<Value = (Interval, Vec<i128>)> {
+        (-1000i128..1000, 0i128..50).prop_map(|(lo, w)| {
+            let iv = Interval::range(lo, lo + w);
+            let samples = vec![lo, lo + w / 2, lo + w];
+            (iv, samples)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_mul_are_sound(
+            (a, xa) in small_interval(),
+            (b, xb) in small_interval(),
+        ) {
+            for &x in &xa {
+                for &y in &xb {
+                    prop_assert!(a.add(&b).contains(x + y));
+                    prop_assert!(a.sub(&b).contains(x - y));
+                    prop_assert!(a.mul(&b).contains(x * y));
+                    prop_assert!(a.min_(&b).contains(x.min(y)));
+                    prop_assert!(a.max_(&b).contains(x.max(y)));
+                }
+            }
+        }
+
+        #[test]
+        fn bit_ops_are_sound(
+            (a, xa) in small_interval(),
+            mask in 0i128..4096,
+            shift in 0i128..8,
+        ) {
+            let m = Interval::constant(mask);
+            let s = Interval::constant(shift);
+            for &x in &xa {
+                prop_assert!(a.and(&m).contains(x & mask));
+                if x >= 0 {
+                    prop_assert!(a.or_xor(&m).contains(x | mask) || a.lo() < 0);
+                    prop_assert!(a.shr(&s).contains(x >> shift) || a.lo() < 0);
+                }
+                prop_assert!(a.shl(&s).contains(x << shift));
+                if mask > 0 {
+                    prop_assert!(a.rem(&Interval::constant(mask)).contains(x % mask));
+                    prop_assert!(a.div(&Interval::constant(mask)).contains(x / mask));
+                }
+            }
+        }
+
+        #[test]
+        fn union_and_widen_grow(
+            (a, xa) in small_interval(),
+            (b, xb) in small_interval(),
+        ) {
+            let u = a.union(&b);
+            for &x in xa.iter().chain(&xb) {
+                prop_assert!(u.contains(x));
+            }
+            let w = a.widen(&u);
+            for &x in xa.iter().chain(&xb) {
+                prop_assert!(w.contains(x));
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Security integration tests: every Table 1 "overflow possible" row is
+//! demonstrated on the unprotected system and stopped by GPUShield, plus
+//! the §6.1 attacks against GPUShield itself.
+
+use gpushield::{Arg, System, SystemConfig, ViolationKind};
+use gpushield_core::{Bcu, BcuConfig};
+use gpushield_driver::{Driver, DriverConfig};
+use gpushield_isa::{Kernel, KernelBuilder, MemSpace, MemWidth, Operand, TaggedPtr};
+use gpushield_sim::{Gpu, GpuConfig, MemGuard};
+use std::sync::Arc;
+
+fn oob_store_kernel(offset_elems: i64) -> Arc<Kernel> {
+    let mut b = KernelBuilder::new("oob_store");
+    let a = b.param_buffer("A", false);
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, Operand::Imm(offset_elems * 4)),
+        Operand::Imm(0xBAD),
+    );
+    b.ret();
+    Arc::new(b.finish().unwrap())
+}
+
+/// Stores through its pointer at an offset *loaded from memory*, which no
+/// static analysis can prove — the access always takes the runtime path.
+fn indirect_store_kernel() -> Arc<Kernel> {
+    let mut b = KernelBuilder::new("indirect_store");
+    let a = b.param_buffer("A", false);
+    let j = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, Operand::Imm(0)),
+    );
+    let off = b.shl(j, Operand::Imm(2));
+    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(a, off), Operand::Imm(0xBAD));
+    b.ret();
+    Arc::new(b.finish().unwrap())
+}
+
+#[test]
+fn global_overflow_silently_corrupts_without_shield() {
+    let mut sys = System::new(SystemConfig::nvidia_baseline());
+    let a = sys.alloc(64).unwrap();
+    let victim = sys.alloc(64).unwrap();
+    let r = sys.launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    assert!(r.completed(), "unprotected GPU completes the overflow");
+    assert_eq!(sys.read_uint(victim, 0, 4), 0xBAD, "victim corrupted");
+}
+
+#[test]
+fn global_overflow_is_aborted_with_shield() {
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let a = sys.alloc(64).unwrap();
+    let victim = sys.alloc(64).unwrap();
+    let r = sys.launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    assert!(!r.completed());
+    assert_eq!(sys.read_uint(victim, 0, 4), 0, "victim intact");
+    assert_eq!(sys.violations()[0].kind, ViolationKind::OutOfBounds);
+    assert!(sys.violations()[0].is_store);
+}
+
+#[test]
+fn oob_reads_are_also_detected() {
+    // Canary tools cannot catch reads (§1); GPUShield can.
+    let mut b = KernelBuilder::new("oob_read");
+    let a = b.param_buffer("A", true);
+    let out = b.param_buffer("out", false);
+    let v = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, Operand::Imm(0x200)),
+    );
+    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, Operand::Imm(0)), v);
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let a = sys.alloc(64).unwrap();
+    let out = sys.alloc(64).unwrap();
+    let r = sys.launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(out)]).unwrap();
+    assert!(!r.completed());
+    assert!(!sys.violations()[0].is_store);
+}
+
+#[test]
+fn non_adjacent_jump_over_canary_region_is_caught() {
+    // A store that leaps far past any canary a canary-based tool would
+    // place — region bounds catch it anyway.
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let a = sys.alloc(64).unwrap();
+    let r = sys
+        .launch(oob_store_kernel(0x4000), 1, 1, &[Arg::Buffer(a)])
+        .unwrap();
+    assert!(!r.completed());
+}
+
+#[test]
+fn negative_offset_underflow_is_caught() {
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let _pad = sys.alloc(4096).unwrap();
+    let a = sys.alloc(64).unwrap();
+    let r = sys.launch(oob_store_kernel(-8), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    assert!(!r.completed(), "underflow below the base must fault");
+}
+
+#[test]
+fn readonly_buffers_reject_stores() {
+    let mut b = KernelBuilder::new("ro_store");
+    let a = b.param_buffer("A", true); // declared read-only
+    // Loaded offset: unprovable, so the runtime check (which owns
+    // read-only enforcement) fires — and rejects the store even though the
+    // loaded index (0) is in bounds.
+    let j = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, Operand::Imm(0)),
+    );
+    let off = b.shl(j, Operand::Imm(2));
+    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(a, off), Operand::Imm(1));
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let a = sys.alloc(4096).unwrap();
+    let r = sys.launch(k, 1, 1, &[Arg::Buffer(a)]).unwrap();
+    assert!(!r.completed());
+    assert_eq!(sys.violations()[0].kind, ViolationKind::ReadOnly);
+}
+
+#[test]
+fn local_variable_overflow_is_caught() {
+    let mut b = KernelBuilder::new("local_oob");
+    let v = b.local_var("arr", 16);
+    let base = b.local_base(v);
+    b.st(
+        MemSpace::Local,
+        MemWidth::W4,
+        b.base_offset(base, Operand::Imm(1 << 20)),
+        Operand::Imm(0xBAD),
+    );
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let r = sys.launch(k, 1, 32, &[]).unwrap();
+    assert!(!r.completed());
+}
+
+#[test]
+fn heap_overflow_beyond_chunk_is_caught() {
+    let mut b = KernelBuilder::new("heap_oob");
+    let p = b.malloc(Operand::Imm(16));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(1 << 21)), // past the 64KB heap
+        Operand::Imm(0xBAD),
+    );
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    sys.set_heap_limit(1 << 16);
+    let r = sys.launch(k, 1, 1, &[]).unwrap();
+    assert!(!r.completed());
+}
+
+#[test]
+fn shared_memory_stays_on_chip_and_unchecked() {
+    // Table 1: shared-memory overflow is possible (GPUShield scopes to
+    // off-chip regions); our model wraps inside the workgroup allocation,
+    // so it cannot touch other memory but is not a fault either.
+    let mut b = KernelBuilder::new("shared_oob");
+    b.shared_mem(64);
+    let out = b.param_buffer("out", false);
+    b.st(
+        MemSpace::Shared,
+        MemWidth::W4,
+        b.flat(Operand::Imm(1 << 20)),
+        Operand::Imm(7),
+    );
+    let v = b.ld(MemSpace::Shared, MemWidth::W4, b.flat(Operand::Imm((1 << 20) % 64)));
+    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, Operand::Imm(0)), v);
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let mut sys = System::new(SystemConfig::nvidia_protected());
+    let out = sys.alloc(64).unwrap();
+    let r = sys.launch(k, 1, 4, &[Arg::Buffer(out)]).unwrap();
+    assert!(r.completed());
+    assert_eq!(sys.read_uint(out, 0, 4), 7);
+}
+
+#[test]
+fn forged_plaintext_id_fails() {
+    // §6.1: an attacker who knows the pointer format but not the key.
+    let mut driver = Driver::new(DriverConfig::default(), 77);
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let mut bcu = Bcu::new(BcuConfig::default(), 2);
+    let buf = driver.malloc(4096).unwrap();
+    let prepared = driver
+        .prepare_launch(
+            indirect_store_kernel(),
+            1,
+            1,
+            &[gpushield_driver::Arg::Buffer(buf)],
+        )
+        .unwrap();
+    bcu.register_kernel(prepared.shield.unwrap());
+    let legit = TaggedPtr::from_raw(prepared.launch.args[0]);
+    // In-bounds store, but with a forged (unencrypted) ID.
+    let mut forged = prepared.launch.clone();
+    forged.args[0] = TaggedPtr::with_region_id(legit.va(), 0x1A2B).raw();
+    let r = gpu
+        .run(driver.vm_mut(), &[forged], Some(&mut bcu as &mut dyn MemGuard))
+        .unwrap();
+    assert!(!r.completed(), "forged ID must not authorize access");
+}
+
+#[test]
+fn kernels_cannot_read_the_rbt() {
+    // §6.1/§5.4: RBT pages are driver-protected; a kernel dereferencing
+    // them faults even though the BCU itself reads them via the bypass.
+    let mut driver = Driver::new(DriverConfig::default(), 78);
+    let mut gpu = Gpu::new(GpuConfig::test_tiny());
+    let mut bcu = Bcu::new(BcuConfig::default(), 2);
+    let buf = driver.malloc(64).unwrap();
+    let prepared = driver
+        .prepare_launch(oob_store_kernel(0), 1, 1, &[gpushield_driver::Arg::Buffer(buf)])
+        .unwrap();
+    let setup = prepared.shield.unwrap();
+    bcu.register_kernel(setup);
+
+    // A second kernel that stores straight to the RBT's address.
+    let mut b = KernelBuilder::new("rbt_write");
+    let p = b.param_buffer("p", false);
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(0)),
+        Operand::Imm(0xBAD),
+    );
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let attack_buf = driver.malloc(64).unwrap();
+    let mut attack = driver
+        .prepare_launch(k, 1, 1, &[gpushield_driver::Arg::Buffer(attack_buf)])
+        .unwrap();
+    bcu.register_kernel(attack.shield.unwrap());
+    // Overwrite the pointer with the raw RBT address (untagged).
+    attack.launch.args[0] = TaggedPtr::unprotected(setup.rbt_base).raw();
+    let r = gpu
+        .run(
+            driver.vm_mut(),
+            &[attack.launch],
+            Some(&mut bcu as &mut dyn MemGuard),
+        )
+        .unwrap();
+    assert!(!r.completed(), "direct RBT writes must fault");
+}
+
+#[test]
+fn squash_mode_logs_and_continues() {
+    let mut cfg = SystemConfig::nvidia_protected();
+    cfg.bcu.precise_faults = false;
+    let mut sys = System::new(cfg);
+    let a = sys.alloc(64).unwrap();
+    let victim = sys.alloc(64).unwrap();
+    let r = sys.launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    assert!(r.completed(), "squash mode does not abort");
+    assert_eq!(r.launches[0].violations_squashed, 1);
+    assert_eq!(sys.read_uint(victim, 0, 4), 0, "store dropped silently");
+    assert_eq!(sys.violations().len(), 1, "but the error is logged");
+}
+
+#[test]
+fn squashed_loads_return_zero() {
+    let mut b = KernelBuilder::new("oob_read_squash");
+    let a = b.param_buffer("A", true);
+    let out = b.param_buffer("out", false);
+    let v = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, Operand::Imm(0x300)),
+    );
+    let v2 = b.add(v, Operand::Imm(5));
+    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, Operand::Imm(0)), v2);
+    b.ret();
+    let k = Arc::new(b.finish().unwrap());
+    let mut cfg = SystemConfig::nvidia_protected();
+    cfg.bcu.precise_faults = false;
+    let mut sys = System::new(cfg);
+    let a = sys.alloc(64).unwrap();
+    sys.write_buffer(a, 0, &0xFFu32.to_le_bytes());
+    let out = sys.alloc(64).unwrap();
+    let r = sys.launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(out)]).unwrap();
+    assert!(r.completed());
+    assert_eq!(sys.read_uint(out, 0, 4), 5, "squashed load yields zero");
+}

@@ -1,0 +1,79 @@
+//! Workload-suite integration: metadata sanity for every benchmark and
+//! full simulated runs (baseline + protected) for a fast representative
+//! subset, asserting zero false positives.
+
+use gpushield::SystemConfig;
+use gpushield_bench::SystemHost;
+use gpushield_workloads::{all, by_name, fig19_set, opencl_set, rcache_sensitive_set};
+
+#[test]
+fn every_workload_has_consistent_metadata() {
+    for w in all() {
+        let p = w.probe();
+        assert!(p.launches > 0, "{}", w.name());
+        assert!(!p.kernel_names.is_empty(), "{}", w.name());
+        assert!(p.total_threads > 0, "{}", w.name());
+        // The paper's programming-model limit (§2.1).
+        assert!(p.max_buffers_per_kernel <= 128, "{}", w.name());
+    }
+}
+
+#[test]
+fn named_figure_sets_resolve() {
+    assert_eq!(rcache_sensitive_set().len(), 17);
+    assert_eq!(opencl_set().len(), 17);
+    assert_eq!(fig19_set().len(), 9);
+}
+
+fn run_both(name: &str) {
+    let w = by_name(name).unwrap_or_else(|| panic!("workload {name}"));
+    let mut base = SystemHost::new(SystemConfig::nvidia_baseline());
+    w.run(&mut base);
+    assert!(!base.any_abort(), "{name} aborted on baseline");
+    let base_cycles = base.total_cycles();
+
+    let mut prot = SystemHost::new(SystemConfig::nvidia_protected());
+    w.run(&mut prot);
+    assert!(!prot.any_abort(), "{name}: false positive under GPUShield");
+    let ratio = prot.total_cycles() as f64 / base_cycles as f64;
+    assert!(
+        ratio < 1.05,
+        "{name}: default-config overhead {ratio} exceeds the paper's bound"
+    );
+}
+
+#[test]
+fn vectoradd_runs_clean_on_both_systems() {
+    run_both("vectoradd");
+}
+
+#[test]
+fn histogram_runs_clean_on_both_systems() {
+    run_both("Histogram");
+}
+
+#[test]
+fn sensitive_interleaved_workload_runs_clean() {
+    run_both("Dxtc");
+}
+
+#[test]
+fn graph_workload_runs_clean() {
+    run_both("trianglecount");
+}
+
+#[test]
+fn local_memory_workload_runs_clean() {
+    run_both("myocyte");
+}
+
+#[test]
+fn opencl_workload_runs_on_intel() {
+    // A graph workload: indirect accesses guarantee runtime checks even
+    // with static analysis enabled.
+    let w = by_name("ocl:bfs").unwrap();
+    let mut host = SystemHost::new(SystemConfig::intel_protected());
+    w.run(&mut host);
+    assert!(!host.any_abort(), "ocl:bfs false positive on Intel");
+    assert!(host.system().bcu_stats().checks > 0);
+}
