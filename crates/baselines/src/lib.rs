@@ -104,8 +104,7 @@ pub trait OverheadModel {
         buffer_bytes: u64,
     ) -> u64 {
         let per_launch = kernel_cycles.checked_div(launches).unwrap_or(0);
-        kernel_cycles
-            + launches * self.launch_overhead(per_launch, buffers, buffer_bytes)
+        kernel_cycles + launches * self.launch_overhead(per_launch, buffers, buffer_bytes)
     }
 }
 

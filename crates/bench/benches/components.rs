@@ -2,35 +2,31 @@
 //! the warp coalescer + address gather, the RCache hierarchy, and a full
 //! BCU check (supports the Fig. 12 latency discussion and Table 3 sizing).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpushield_bench::microbench::{black_box, Group};
 use gpushield_core::{Bcu, BcuConfig, L1RCache, L2RCache};
 use gpushield_driver::{encrypt_id, write_entry, BoundsEntry, ShieldSetup};
 use gpushield_isa::{BlockId, MemSpace, SiteCheck, TaggedPtr};
 use gpushield_mem::coalesce::warp_address_range;
 use gpushield_mem::{coalesce_warp, AllocPolicy, VirtualMemorySpace};
 use gpushield_sim::{MemAccess, MemGuard};
-use std::time::Duration;
 
-fn bench_components(c: &mut Criterion) {
-    let mut g = c.benchmark_group("components");
-    g.sample_size(50).measurement_time(Duration::from_secs(2));
+fn main() {
+    let g = Group::new("components").sample_size(50);
 
-    g.bench_function("cipher_encrypt_decrypt", |b| {
-        b.iter(|| {
-            let ct = encrypt_id(black_box(0x1ABC), black_box(0xFEED));
-            gpushield_driver::decrypt_id(ct, 0xFEED)
-        })
+    g.bench("cipher_encrypt_decrypt", || {
+        let ct = encrypt_id(black_box(0x1ABC), black_box(0xFEED));
+        gpushield_driver::decrypt_id(ct, 0xFEED)
     });
 
     let addrs: Vec<Option<u64>> = (0..32).map(|i| Some(0x1000 + i * 4)).collect();
-    g.bench_function("coalesce_warp_32_lanes", |b| {
-        b.iter(|| coalesce_warp(black_box(&addrs), 4))
+    g.bench("coalesce_warp_32_lanes", || {
+        coalesce_warp(black_box(&addrs), 4)
     });
-    g.bench_function("warp_address_gather", |b| {
-        b.iter(|| warp_address_range(black_box(&addrs), 4))
+    g.bench("warp_address_gather", || {
+        warp_address_range(black_box(&addrs), 4)
     });
 
-    g.bench_function("l1_rcache_probe_hit", |b| {
+    {
         let mut rc = L1RCache::new(4);
         let e = BoundsEntry {
             valid: true,
@@ -40,10 +36,10 @@ fn bench_components(c: &mut Criterion) {
             size: 4096,
         };
         rc.fill((1, 7), e);
-        b.iter(|| rc.probe(black_box((1, 7))))
-    });
+        g.bench("l1_rcache_probe_hit", || rc.probe(black_box((1, 7))));
+    }
 
-    g.bench_function("l2_rcache_probe_hit_64_entries", |b| {
+    {
         let mut rc = L2RCache::new(64);
         let e = BoundsEntry {
             valid: true,
@@ -55,8 +51,10 @@ fn bench_components(c: &mut Criterion) {
         for id in 0..64u16 {
             rc.fill((1, id), e);
         }
-        b.iter(|| rc.probe(black_box((1, 33))))
-    });
+        g.bench("l2_rcache_probe_hit_64_entries", || {
+            rc.probe(black_box((1, 33)))
+        });
+    }
 
     // A full BCU check against a warm RCache.
     let mut vm = VirtualMemorySpace::new();
@@ -98,10 +96,5 @@ fn bench_components(c: &mut Criterion) {
         l1d_all_hit: true,
     };
     let _ = bcu.check(&access, &vm); // warm the RCaches
-    g.bench_function("bcu_check_l1_hit", |b| b.iter(|| bcu.check(black_box(&access), &vm)));
-
-    g.finish();
+    g.bench("bcu_check_l1_hit", || bcu.check(black_box(&access), &vm));
 }
-
-criterion_group!(benches, bench_components);
-criterion_main!(benches);

@@ -1,31 +1,25 @@
-//! Criterion bench behind Fig. 14: simulate representative workloads with
-//! no protection, default GPUShield, and slowed RCaches. The *simulated
+//! Microbench behind Fig. 14: simulate representative workloads with no
+//! protection, default GPUShield, and slowed RCaches. The *simulated
 //! cycle* comparison (the figure itself) is produced by
 //! `cargo run --release -p gpushield-bench --bin experiments fig14`; this
 //! bench tracks the harness's wall-clock cost per configuration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpushield_bench::microbench::Group;
 use gpushield_bench::{run_workload, Protection, Target};
 use gpushield_workloads::by_name;
-use std::time::Duration;
 
-fn bench_fig14(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig14_overhead");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
+    let g = Group::new("fig14_overhead");
     for name in ["vectoradd", "Histogram", "dct"] {
         let w = by_name(name).expect("registry name");
-        g.bench_with_input(BenchmarkId::new("baseline", name), &w, |b, w| {
-            b.iter(|| run_workload(w, Target::Nvidia, Protection::baseline()).cycles)
+        g.bench(&format!("baseline/{name}"), || {
+            run_workload(&w, Target::Nvidia, Protection::baseline()).cycles
         });
-        g.bench_with_input(BenchmarkId::new("gpushield_default", name), &w, |b, w| {
-            b.iter(|| run_workload(w, Target::Nvidia, Protection::shield_default()).cycles)
+        g.bench(&format!("gpushield_default/{name}"), || {
+            run_workload(&w, Target::Nvidia, Protection::shield_default()).cycles
         });
-        g.bench_with_input(BenchmarkId::new("gpushield_l1_2_l2_5", name), &w, |b, w| {
-            b.iter(|| run_workload(w, Target::Nvidia, Protection::shield_lat(2, 5)).cycles)
+        g.bench(&format!("gpushield_l1_2_l2_5/{name}"), || {
+            run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5)).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig14);
-criterion_main!(benches);

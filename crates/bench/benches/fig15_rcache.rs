@@ -1,35 +1,23 @@
-//! Criterion bench behind Figs. 15/16: one RCache-sensitive workload swept
+//! Microbench behind Figs. 15/16: one RCache-sensitive workload swept
 //! over L1 RCache entry counts (the hit-rate tables come from
 //! `experiments fig15` / `experiments fig16`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpushield_bench::microbench::Group;
 use gpushield_bench::{run_workload, Protection, Target};
 use gpushield_workloads::by_name;
-use std::time::Duration;
 
-fn bench_fig15(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig15_rcache_size");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
+    let g = Group::new("fig15_rcache_size");
     let w = by_name("Dxtc").expect("registry name");
     for entries in [1usize, 4, 16] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(entries),
-            &entries,
-            |b, &entries| {
-                b.iter(|| {
-                    run_workload(
-                        &w,
-                        Target::Nvidia,
-                        Protection::shield_default().with_l1_entries(entries),
-                    )
-                    .bcu
-                    .l1_hit_rate()
-                })
-            },
-        );
+        g.bench(&format!("{entries}"), || {
+            run_workload(
+                &w,
+                Target::Nvidia,
+                Protection::shield_default().with_l1_entries(entries),
+            )
+            .bcu
+            .l1_hit_rate()
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig15);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
-//! Criterion bench behind Fig. 18: a representative kernel pair co-running
+//! Microbench behind Fig. 18: a representative kernel pair co-running
 //! inter-core vs intra-core on the Intel configuration (the full 21-pair
 //! table comes from `experiments fig18`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpushield::{ConcurrentKernel, MultiKernelMode};
+use gpushield_bench::microbench::Group;
 use gpushield_bench::{config, Protection, SystemHost, Target};
 use gpushield_workloads::representative;
-use std::time::Duration;
 
 fn run_pair(mode: MultiKernelMode) -> u64 {
     let mut host = SystemHost::new(config(Target::Intel, Protection::shield_default()));
@@ -34,19 +33,12 @@ fn run_pair(mode: MultiKernelMode) -> u64 {
         .cycles
 }
 
-fn bench_fig18(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig18_multikernel");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
+fn main() {
+    let g = Group::new("fig18_multikernel");
     for (label, mode) in [
         ("inter-core", MultiKernelMode::InterCore),
         ("intra-core", MultiKernelMode::IntraCore),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            b.iter(|| run_pair(mode))
-        });
+        g.bench(label, || run_pair(mode));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig18);
-criterion_main!(benches);

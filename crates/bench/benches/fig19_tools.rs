@@ -1,37 +1,32 @@
-//! Criterion bench behind Fig. 19: one Rodinia workload under the
-//! unprotected baseline, the CUDA-MEMCHECK instrumentation model, and
-//! GPUShield (the full table comes from `experiments fig19`).
+//! Microbench behind Fig. 19: one Rodinia workload under the unprotected
+//! baseline, the CUDA-MEMCHECK instrumentation model, and GPUShield (the
+//! full table comes from `experiments fig19`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpushield_baselines::MemcheckGuard;
+use gpushield_bench::microbench::Group;
 use gpushield_bench::{config, run_workload, Protection, SystemHost, Target};
 use gpushield_workloads::by_name;
-use std::time::Duration;
 
-fn bench_fig19(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig19_tools");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
+fn main() {
+    let g = Group::new("fig19_tools");
     let w = by_name("kmeans").expect("registry name");
-    g.bench_function("baseline", |b| {
-        b.iter(|| run_workload(&w, Target::Nvidia, Protection::baseline()).cycles)
+    g.bench("baseline", || {
+        run_workload(&w, Target::Nvidia, Protection::baseline()).cycles
     });
-    g.bench_function("gpushield_static", |b| {
-        b.iter(|| {
-            run_workload(&w, Target::Nvidia, Protection::shield_default().with_static()).cycles
-        })
+    g.bench("gpushield_static", || {
+        run_workload(
+            &w,
+            Target::Nvidia,
+            Protection::shield_default().with_static(),
+        )
+        .cycles
     });
-    g.bench_function("cuda_memcheck_model", |b| {
-        b.iter(|| {
-            let mut host = SystemHost::with_guard(
-                config(Target::Nvidia, Protection::baseline()),
-                Box::new(MemcheckGuard::new()),
-            );
-            w.run(&mut host);
-            host.total_cycles()
-        })
+    g.bench("cuda_memcheck_model", || {
+        let mut host = SystemHost::with_guard(
+            config(Target::Nvidia, Protection::baseline()),
+            Box::new(MemcheckGuard::new()),
+        );
+        w.run(&mut host);
+        host.total_cycles()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig19);
-criterion_main!(benches);

@@ -52,7 +52,10 @@ impl SystemHost {
 
     /// Total bytes allocated.
     pub fn buffer_bytes(&self) -> u64 {
-        self.bufs.iter().map(|b| self.sys.driver().buffer_size(*b)).sum()
+        self.bufs
+            .iter()
+            .map(|b| self.sys.driver().buffer_size(*b))
+            .sum()
     }
 
     /// Number of buffers allocated.

@@ -1,55 +1,213 @@
 //! CLI regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments                  # list available experiments
-//! experiments fig14            # run one
-//! experiments all              # run everything (a few minutes)
-//! experiments all results/     # additionally write one file per exhibit
+//! experiments                        # list available experiments
+//! experiments fig14                  # run one
+//! experiments all                    # run everything (a few minutes)
+//! experiments all results/           # also write results/<id>.txt + <id>.json
+//! experiments all results/ --jobs 8  # fan each experiment's sweep over 8 threads
 //! ```
+//!
+//! `--jobs N` sets the worker count for each experiment's inner simulation
+//! sweep (default: available parallelism; `--jobs 1` is fully sequential).
+//! Rendered output is byte-identical for every value — jobs only change
+//! wall time. Exit status is non-zero when any experiment panics or any
+//! result file fails to write.
 
-use gpushield_bench::experiments;
+use gpushield_bench::{config_fingerprint, experiments};
+use gpushield_runtime::pool;
+use gpushield_runtime::report::{numeric_rows, Json};
 use std::path::Path;
-use std::time::Instant;
+use std::process::ExitCode;
 
-fn emit(id: &str, title: &str, text: &str, out_dir: Option<&str>) {
-    println!("==== {id} — {title} ====\n");
-    println!("{text}");
-    if let Some(dir) = out_dir {
-        let path = Path::new(dir).join(format!("{id}.txt"));
-        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text)) {
-            eprintln!("failed to write {}: {e}", path.display());
+/// Builds the machine-readable `results/<id>.json` document for one
+/// experiment outcome (`Err` = the experiment panicked).
+fn build_json(
+    id: &str,
+    title: &str,
+    outcome: &Result<String, String>,
+    wall_seconds: f64,
+    jobs: usize,
+) -> Json {
+    let mut doc = Json::obj();
+    doc.set("id", Json::Str(id.to_string()));
+    doc.set("title", Json::Str(title.to_string()));
+    doc.set("ok", Json::Bool(outcome.is_ok()));
+    doc.set("wall_seconds", Json::Float(wall_seconds));
+    doc.set("jobs", Json::UInt(jobs as u64));
+    doc.set("config_fingerprint", Json::Str(config_fingerprint()));
+    match outcome {
+        Ok(text) => {
+            let rows = numeric_rows(text)
+                .into_iter()
+                .map(|r| {
+                    let mut row = Json::obj();
+                    row.set("label", Json::Str(r.label));
+                    row.set(
+                        "values",
+                        Json::Arr(r.values.into_iter().map(Json::Float).collect()),
+                    );
+                    row
+                })
+                .collect();
+            doc.set("rows", Json::Arr(rows));
         }
+        Err(message) => {
+            doc.set("error", Json::Str(message.clone()));
+        }
+    }
+    doc
+}
+
+/// Prints one outcome and writes `<id>.txt` + `<id>.json` when an output
+/// directory was given. Returns false on any write failure.
+fn emit(
+    id: &str,
+    title: &str,
+    outcome: &Result<String, String>,
+    wall_seconds: f64,
+    jobs: usize,
+    out_dir: Option<&str>,
+) -> bool {
+    match outcome {
+        Ok(text) => {
+            println!("==== {id} — {title} ====\n");
+            println!("{text}");
+        }
+        Err(message) => {
+            eprintln!("==== {id} — {title} ====");
+            eprintln!("FAILED: {message}\n");
+        }
+    }
+    let Some(dir) = out_dir else { return true };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create {dir}: {e}");
+        return false;
+    }
+    let mut ok = true;
+    if let Ok(text) = outcome {
+        let path = Path::new(dir).join(format!("{id}.txt"));
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("failed to write {}: {e}", path.display());
+            ok = false;
+        }
+    }
+    let json = build_json(id, title, outcome, wall_seconds, jobs).render();
+    let path = Path::new(dir).join(format!("{id}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("failed to write {}: {e}", path.display());
+        ok = false;
+    }
+    ok
+}
+
+/// Runs a set of experiments: each isolated in the job pool (a panic in
+/// one experiment fails that experiment, not the run), sequential at the
+/// experiment level, `jobs`-wide inside each experiment's sweep.
+fn run_set(set: Vec<experiments::Experiment>, jobs: usize, out_dir: Option<&str>) -> ExitCode {
+    let tasks: Vec<_> = set
+        .iter()
+        .map(|e| {
+            let run = e.run;
+            move || run(jobs)
+        })
+        .collect();
+    let results = pool::run(tasks, 1);
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut total = 0.0f64;
+    let mut writes_ok = true;
+    for (e, r) in set.iter().zip(results) {
+        let wall = r.wall.as_secs_f64();
+        total += wall;
+        let outcome = r.result.map_err(|p| p.message);
+        match &outcome {
+            Ok(_) => ok += 1,
+            Err(_) => failed += 1,
+        }
+        writes_ok &= emit(e.id, e.title, &outcome, wall, jobs, out_dir);
+        eprintln!("[{} took {wall:.1}s]", e.id);
+    }
+    eprintln!("{ok} ok / {failed} failed / {total:.1}s total wall-time");
+    if failed > 0 || !writes_ok {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
-fn main() {
-    let arg = std::env::args().nth(1);
-    let out_dir = std::env::args().nth(2);
-    match arg.as_deref() {
+fn main() -> ExitCode {
+    let mut jobs = pool::available_parallelism();
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let out_dir = positional.get(1).cloned();
+    match positional.first().map(String::as_str) {
         None | Some("list") => {
             println!("available experiments:");
             for e in experiments::all() {
                 println!("  {:<8} {}", e.id, e.title);
             }
             println!("  all      run everything");
+            ExitCode::SUCCESS
         }
-        Some("all") => {
-            for e in experiments::all() {
-                let t0 = Instant::now();
-                let text = (e.run)();
-                emit(e.id, e.title, &text, out_dir.as_deref());
-                eprintln!("[{} took {:.1}s]", e.id, t0.elapsed().as_secs_f64());
-            }
-        }
+        Some("all") => run_set(experiments::all(), jobs, out_dir.as_deref()),
         Some(id) => match experiments::by_id(id) {
-            Some(e) => {
-                let text = (e.run)();
-                emit(e.id, e.title, &text, out_dir.as_deref());
-            }
+            Some(e) => run_set(vec![e], jobs, out_dir.as_deref()),
             None => {
                 eprintln!("unknown experiment {id}; run with no arguments to list");
-                std::process::exit(1);
+                ExitCode::FAILURE
             }
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The emitted JSON parses back and carries the scraped rows
+    /// (satellite smoke test for the results pipeline).
+    #[test]
+    fn result_json_roundtrips() {
+        let text = experiments::by_id("table3").expect("table3 exists");
+        let rendered = (text.run)(1);
+        let doc = build_json("table3", text.title, &Ok(rendered.clone()), 0.25, 2);
+        let back = Json::parse(&doc.render()).expect("valid JSON");
+        assert_eq!(back, doc);
+        assert_eq!(back.get("id").and_then(Json::as_str), Some("table3"));
+        assert_eq!(back.get("ok").and_then(Json::as_bool), Some(true));
+        let rows = back.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), numeric_rows(&rendered).len());
+        assert!(!rows.is_empty(), "table3 has numeric rows");
+    }
+
+    #[test]
+    fn failed_experiment_json_carries_the_error() {
+        let doc = build_json("fig4", "t", &Err("boom".to_string()), 0.0, 1);
+        let back = Json::parse(&doc.render()).expect("valid JSON");
+        assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(back.get("error").and_then(Json::as_str), Some("boom"));
+        assert!(back.get("rows").is_none());
     }
 }

@@ -4,18 +4,31 @@ use std::time::Instant;
 
 fn main() {
     let only: Option<String> = std::env::args().nth(1);
-    println!("{:<18} {:>9} {:>9} {:>7} {:>7} {:>8} {:>7} {:>7}", "name", "base_cyc", "gs_cyc", "ratio", "lat2", "l1rc%", "red%", "secs");
+    println!(
+        "{:<18} {:>9} {:>9} {:>7} {:>7} {:>8} {:>7} {:>7}",
+        "name", "base_cyc", "gs_cyc", "ratio", "lat2", "l1rc%", "red%", "secs"
+    );
     for w in gpushield_workloads::cuda_set() {
-        if let Some(f) = &only { if !w.name().contains(f.as_str()) { continue; } }
+        if let Some(f) = &only {
+            if !w.name().contains(f.as_str()) {
+                continue;
+            }
+        }
         let t0 = Instant::now();
         let base = run_workload(&w, Target::Nvidia, Protection::baseline());
         let gs = run_workload(&w, Target::Nvidia, Protection::shield_default());
         let lat2 = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5));
-        let st = run_workload(&w, Target::Nvidia, Protection::shield_default().with_static());
+        let st = run_workload(
+            &w,
+            Target::Nvidia,
+            Protection::shield_default().with_static(),
+        );
         let secs = t0.elapsed().as_secs_f64();
         println!(
             "{:<18} {:>9} {:>9} {:>7.3} {:>7.3} {:>8.1} {:>7.1} {:>7.2}",
-            w.name(), base.cycles, gs.cycles,
+            w.name(),
+            base.cycles,
+            gs.cycles,
             gs.cycles as f64 / base.cycles as f64,
             lat2.cycles as f64 / base.cycles as f64,
             gs.bcu.l1_hit_rate() * 100.0,

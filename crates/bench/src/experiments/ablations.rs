@@ -22,7 +22,14 @@ pub fn warp_vs_thread() -> String {
     );
     let mut warp_all = Vec::new();
     let mut thread_all = Vec::new();
-    for name in ["vectoradd", "dct", "Histogram", "ConvSep", "streamcluster", "hotspot"] {
+    for name in [
+        "vectoradd",
+        "dct",
+        "Histogram",
+        "ConvSep",
+        "streamcluster",
+        "hotspot",
+    ] {
         let w = by_name(name).expect("registry name");
         let base = run_workload(&w, Target::Nvidia, Protection::baseline());
         let warp = run_workload(&w, Target::Nvidia, Protection::shield_default());
@@ -54,10 +61,7 @@ pub fn warp_vs_thread() -> String {
 /// Type 3 pointers: checks without RBT accesses, at a fragmentation cost.
 pub fn type3() -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Ablation §5.3.3 — Type 3 (size-embedded) pointers\n"
-    );
+    let _ = writeln!(out, "Ablation §5.3.3 — Type 3 (size-embedded) pointers\n");
     let _ = writeln!(
         out,
         "{:<12} {:>10} {:>12} {:>12} {:>12} {:>10}",
@@ -68,7 +72,10 @@ pub fn type3() -> String {
         let base = run_workload(&w, Target::Nvidia, Protection::baseline());
         for (label, prot) in [
             ("type2", Protection::shield_default().with_static()),
-            ("type3", Protection::shield_default().with_static().with_type3()),
+            (
+                "type3",
+                Protection::shield_default().with_static().with_type3(),
+            ),
         ] {
             let mut host = SystemHost::new(config(Target::Nvidia, prot));
             w.run(&mut host);
@@ -109,6 +116,6 @@ pub fn type3() -> String {
 }
 
 /// Combined ablation report.
-pub fn ablations() -> String {
+pub fn ablations(_jobs: usize) -> String {
     format!("{}\n{}", warp_vs_thread(), type3())
 }

@@ -27,7 +27,12 @@ fn run_case(sys: &mut System, off_elems: u64) -> (bool, &'static str) {
     let a = sys.alloc(16 * 4).expect("A");
     let bb = sys.alloc(16 * 4).expect("B");
     let report = sys
-        .launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(off_elems)])
+        .launch(
+            overflow_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(a), Arg::Scalar(off_elems)],
+        )
         .expect("launch");
     if !report.completed() {
         return (false, "kernel aborted");
@@ -41,9 +46,12 @@ fn run_case(sys: &mut System, off_elems: u64) -> (bool, &'static str) {
 }
 
 /// Fig. 4: the three out-of-bounds write cases, unprotected vs GPUShield.
-pub fn fig4_overflow() -> String {
+pub fn fig4_overflow(_jobs: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 4 — OOB writes on 512B-aligned SVM buffers (A, B adjacent)\n");
+    let _ = writeln!(
+        out,
+        "Fig. 4 — OOB writes on 512B-aligned SVM buffers (A, B adjacent)\n"
+    );
     let cases = [
         (0x10u64, "case 1: within the 512B slot"),
         (0x80, "case 2: within the 2MB region (lands in B)"),
@@ -72,9 +80,12 @@ pub fn fig4_overflow() -> String {
 }
 
 /// Table 1: memory types, scope, location, and overflow possibility.
-pub fn table1_memory_types() -> String {
+pub fn table1_memory_types(_jobs: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 1 — GPU memory types and their vulnerabilities\n");
+    let _ = writeln!(
+        out,
+        "Table 1 — GPU memory types and their vulnerabilities\n"
+    );
     let _ = writeln!(
         out,
         "{:<16} {:<12} {:<9} {:<22} GPUShield coverage",
@@ -82,12 +93,48 @@ pub fn table1_memory_types() -> String {
     );
     let rows = [
         ("Register", "Thread", "On-chip", "No", "-"),
-        ("Local (stack)", "Thread", "Off-chip", "Yes", "per-variable bounds"),
-        ("Shared", "Workgroup", "On-chip", "Yes", "out of scope (on-chip)"),
-        ("Global", "Application", "Off-chip", "Yes", "per-buffer bounds"),
-        ("Heap", "Application", "Off-chip", "Yes", "whole-chunk bounds"),
-        ("Constant", "Application", "Off-chip", "No (read only)", "read-only enforced"),
-        ("Texture/Surface", "Application", "Off-chip", "No (read only)", "read-only enforced"),
+        (
+            "Local (stack)",
+            "Thread",
+            "Off-chip",
+            "Yes",
+            "per-variable bounds",
+        ),
+        (
+            "Shared",
+            "Workgroup",
+            "On-chip",
+            "Yes",
+            "out of scope (on-chip)",
+        ),
+        (
+            "Global",
+            "Application",
+            "Off-chip",
+            "Yes",
+            "per-buffer bounds",
+        ),
+        (
+            "Heap",
+            "Application",
+            "Off-chip",
+            "Yes",
+            "whole-chunk bounds",
+        ),
+        (
+            "Constant",
+            "Application",
+            "Off-chip",
+            "No (read only)",
+            "read-only enforced",
+        ),
+        (
+            "Texture/Surface",
+            "Application",
+            "Off-chip",
+            "No (read only)",
+            "read-only enforced",
+        ),
         ("SVM", "Application", "Off-chip", "Yes", "per-buffer bounds"),
     ];
     for (t, s, l, o, c) in rows {
@@ -102,7 +149,7 @@ pub fn table1_memory_types() -> String {
 
 /// Table 4: the three coverage rows, each demonstrated by an attack that
 /// GPUShield stops.
-pub fn table4_coverage() -> String {
+pub fn table4_coverage(_jobs: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table 4 — security coverage by GPUShield\n");
 
@@ -112,7 +159,12 @@ pub fn table4_coverage() -> String {
         let a = sys.alloc(64).expect("A");
         let _victim = sys.alloc(64).expect("victim");
         let r = sys
-            .launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80)])
+            .launch(
+                overflow_kernel(),
+                1,
+                1,
+                &[Arg::Buffer(a), Arg::Scalar(0x80)],
+            )
             .expect("launch");
         !r.completed()
             && sys
@@ -158,7 +210,13 @@ pub fn table4_coverage() -> String {
         !r.completed()
     };
 
-    let row = |ok: bool| if ok { "isolation enforced (attack aborted)" } else { "NOT BLOCKED" };
+    let row = |ok: bool| {
+        if ok {
+            "isolation enforced (attack aborted)"
+        } else {
+            "NOT BLOCKED"
+        }
+    };
     let _ = writeln!(out, "{:<24} {}", "Host-allocated buffers", row(blocked1));
     let _ = writeln!(out, "{:<24} {}", "Local memory", row(blocked2));
     let _ = writeln!(out, "{:<24} {}", "Heap memory", row(blocked3));

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Fig. 1: distribution of the number of buffers per kernel across suites.
-pub fn fig1_buffers() -> String {
+pub fn fig1_buffers(_jobs: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -24,7 +24,11 @@ pub fn fig1_buffers() -> String {
             .or_default()
             .push(p.max_buffers_per_kernel);
     }
-    let _ = writeln!(out, "{:<16} {:>4} {:>4} {:>4} {:>5} {:>6}", "suite", "<5", "<10", "<20", ">=20", "total");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>4} {:>4} {:>4} {:>5} {:>6}",
+        "suite", "<5", "<10", "<20", ">=20", "total"
+    );
     let mut all_counts: Vec<usize> = Vec::new();
     for (suite, counts) in &per_suite {
         let b = |lo: usize, hi: usize| counts.iter().filter(|c| **c >= lo && **c < hi).count();
@@ -47,7 +51,7 @@ pub fn fig1_buffers() -> String {
 }
 
 /// Fig. 11: 4KB pages per buffer for the Rodinia-model workloads.
-pub fn fig11_pages() -> String {
+pub fn fig11_pages(_jobs: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -62,7 +66,11 @@ pub fn fig11_pages() -> String {
         "          preserving the pages-per-buffer >> 1 relation that makes"
     );
     let _ = writeln!(out, "          TLB misses dominate RCache misses)\n");
-    let _ = writeln!(out, "{:<16} {:>9} {:>15}", "benchmark", "buffers", "pages/buffer");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>15}",
+        "benchmark", "buffers", "pages/buffer"
+    );
     let mut rates = Vec::new();
     for w in fig11_set() {
         let p = w.probe();
@@ -76,12 +84,15 @@ pub fn fig11_pages() -> String {
         rates.push(p.avg_pages_per_buffer());
     }
     let avg = rates.iter().sum::<f64>() / rates.len() as f64;
-    let _ = writeln!(out, "\naverage: {avg:.1} pages/buffer (>= 1 page per buffer everywhere)");
+    let _ = writeln!(
+        out,
+        "\naverage: {avg:.1} pages/buffer (>= 1 page per buffer everywhere)"
+    );
     out
 }
 
 /// Table 2: the mechanism-comparison matrix.
-pub fn table2_comparison() -> String {
+pub fn table2_comparison(_jobs: usize) -> String {
     format!(
         "Table 2 — memory-safety mechanism comparison\n\n{}",
         gpushield_baselines::comparison::render_table2()
@@ -89,10 +100,13 @@ pub fn table2_comparison() -> String {
 }
 
 /// Table 3: BCU area/power from the calibrated cost model.
-pub fn table3_hwcost() -> String {
+pub fn table3_hwcost(_jobs: usize) -> String {
     let cost = gpushield_hwcost::bcu_cost(4, 64);
     let mut out = String::new();
-    let _ = writeln!(out, "Table 3 — area and power overhead (45nm model, per core)\n");
+    let _ = writeln!(
+        out,
+        "Table 3 — area and power overhead (45nm model, per core)\n"
+    );
     let _ = write!(out, "{cost}");
     let _ = writeln!(
         out,
@@ -120,7 +134,7 @@ fn render_gpu(cfg: &GpuConfig) -> String {
 }
 
 /// Table 5: the simulated-system configurations.
-pub fn table5_config() -> String {
+pub fn table5_config(_jobs: usize) -> String {
     format!(
         "Table 5 — simulated system configurations\n\n{}\n{}\n",
         render_gpu(&GpuConfig::nvidia()),
@@ -129,9 +143,12 @@ pub fn table5_config() -> String {
 }
 
 /// Table 6: the benchmark list by domain.
-pub fn table6_benchmarks() -> String {
+pub fn table6_benchmarks(_jobs: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 6 — evaluated benchmarks (* = RCache-sensitive, Fig. 15)\n");
+    let _ = writeln!(
+        out,
+        "Table 6 — evaluated benchmarks (* = RCache-sensitive, Fig. 15)\n"
+    );
     for cat in [
         Category::Ml,
         Category::La,

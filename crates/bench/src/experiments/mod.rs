@@ -15,8 +15,10 @@ pub struct Experiment {
     pub id: &'static str,
     /// What the paper exhibit shows.
     pub title: &'static str,
-    /// Runs the experiment and renders its table.
-    pub run: fn() -> String,
+    /// Runs the experiment and renders its table. The argument is the
+    /// worker count for the experiment's inner simulation sweep (`--jobs`);
+    /// the rendered output is identical for every value.
+    pub run: fn(usize) -> String,
 }
 
 /// Every experiment, in paper order.
@@ -118,4 +120,43 @@ pub fn all() -> Vec<Experiment> {
 /// Looks up an experiment by id.
 pub fn by_id(id: &str) -> Option<Experiment> {
     all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden ID list: additions are deliberate, renames are breaking
+    /// (results/<id>.json consumers key on these).
+    #[test]
+    fn experiment_ids_are_the_published_set() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "fig1", "fig4", "table1", "table2", "table3", "table4", "table5", "table6",
+                "fig11", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "malloc", "swcheck",
+                "ablation",
+            ]
+        );
+    }
+
+    #[test]
+    fn ids_are_unique_and_resolvable() {
+        let exps = all();
+        let mut seen = std::collections::HashSet::new();
+        for e in &exps {
+            assert!(seen.insert(e.id), "duplicate experiment id {}", e.id);
+            assert!(!e.title.is_empty(), "{} has no title", e.id);
+            let found = by_id(e.id).unwrap_or_else(|| panic!("by_id misses {}", e.id));
+            assert_eq!(found.id, e.id);
+            assert!(
+                std::ptr::fn_addr_eq(found.run, e.run),
+                "{} resolves to a different runner",
+                e.id
+            );
+        }
+        assert!(by_id("fig99").is_none());
+        assert!(by_id("").is_none());
+    }
 }

@@ -1,19 +1,23 @@
 //! Performance exhibits: Figs. 14–17.
+//!
+//! Every per-workload measurement is an independent deterministic
+//! simulation, so the inner loops fan out through the
+//! [`crate::runner::fan_out`] job pool; results come back in submission
+//! order, making the rendered tables identical for any `jobs` width.
 
-use crate::runner::{geomean, run_workload, Protection, Target};
+use crate::runner::{fan_out, geomean, run_workload, Protection, Target};
 use gpushield_workloads::{cuda_set, opencl_set, rcache_sensitive_set, Category};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Fig. 14: normalized execution time per category under GPUShield with
 /// the default and slowed RCache latencies.
-pub fn fig14_overhead() -> String {
+pub fn fig14_overhead(jobs: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Fig. 14 — normalized execution time over no-bounds-check (Nvidia)\n"
     );
-    let mut per_cat: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
     let order = [
         Category::Ml,
         Category::La,
@@ -23,21 +27,42 @@ pub fn fig14_overhead() -> String {
         Category::Im,
         Category::Dm,
     ];
+    let runs: Vec<(Category, f64, f64)> = fan_out(
+        cuda_set()
+            .into_iter()
+            .map(|w| {
+                move || {
+                    let base = run_workload(&w, Target::Nvidia, Protection::baseline());
+                    let d = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 3));
+                    let s = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5));
+                    (
+                        w.category(),
+                        d.cycles as f64 / base.cycles as f64,
+                        s.cycles as f64 / base.cycles as f64,
+                    )
+                }
+            })
+            .collect(),
+        jobs,
+    );
+    let mut per_cat: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
     for cat in order {
-        per_cat.insert(format!("{:02}{}", order.iter().position(|c| *c == cat).unwrap(), cat), (vec![], vec![]));
+        per_cat.insert(
+            format!(
+                "{:02}{}",
+                order.iter().position(|c| *c == cat).unwrap(),
+                cat
+            ),
+            (vec![], vec![]),
+        );
     }
     let mut all_default = Vec::new();
     let mut all_lat2 = Vec::new();
-    for w in cuda_set() {
-        let base = run_workload(&w, Target::Nvidia, Protection::baseline());
-        let d = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 3));
-        let s = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5));
-        let rd = d.cycles as f64 / base.cycles as f64;
-        let rs = s.cycles as f64 / base.cycles as f64;
+    for (cat, rd, rs) in runs {
         let key = format!(
             "{:02}{}",
-            order.iter().position(|c| *c == w.category()).unwrap_or(0),
-            w.category()
+            order.iter().position(|c| *c == cat).unwrap_or(0),
+            cat
         );
         if let Some((dv, sv)) = per_cat.get_mut(&key) {
             dv.push(rd);
@@ -46,7 +71,11 @@ pub fn fig14_overhead() -> String {
         all_default.push(rd);
         all_lat2.push(rs);
     }
-    let _ = writeln!(out, "{:<10} {:>18} {:>18}", "category", "L1:1,L2:3 (def.)", "L1:2,L2:5");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>18} {:>18}",
+        "category", "L1:1,L2:3 (def.)", "L1:2,L2:5"
+    );
     for (key, (dv, sv)) in &per_cat {
         let _ = writeln!(
             out,
@@ -70,7 +99,12 @@ pub fn fig14_overhead() -> String {
     out
 }
 
-fn hit_rate_sweep(target: Target, workloads: Vec<gpushield_workloads::Workload>, title: &str) -> String {
+pub(crate) fn hit_rate_sweep(
+    target: Target,
+    workloads: Vec<gpushield_workloads::Workload>,
+    title: &str,
+    jobs: usize,
+) -> String {
     let sizes = [1usize, 2, 4, 8, 16];
     let mut out = String::new();
     let _ = writeln!(out, "{title}\n");
@@ -79,50 +113,68 @@ fn hit_rate_sweep(target: Target, workloads: Vec<gpushield_workloads::Workload>,
         let _ = write!(out, " {:>8}", format!("{s}-entry"));
     }
     let _ = writeln!(out);
+    let runs: Vec<(String, Vec<f64>)> = fan_out(
+        workloads
+            .into_iter()
+            .map(|w| {
+                move || {
+                    let rates = sizes
+                        .iter()
+                        .map(|s| {
+                            let r = run_workload(
+                                &w,
+                                target,
+                                Protection::shield_default().with_l1_entries(*s),
+                            );
+                            r.bcu.l1_hit_rate() * 100.0
+                        })
+                        .collect();
+                    (w.display_name().to_string(), rates)
+                }
+            })
+            .collect(),
+        jobs,
+    );
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for w in workloads {
-        let _ = write!(out, "{:<16}", w.display_name());
-        for (i, s) in sizes.iter().enumerate() {
-            let r = run_workload(
-                &w,
-                target,
-                Protection::shield_default().with_l1_entries(*s),
-            );
-            let rate = r.bcu.l1_hit_rate() * 100.0;
-            per_size[i].push(rate);
-            let _ = write!(out, " {:>8.1}", rate);
+    for (name, rates) in runs {
+        let _ = write!(out, "{name:<16}");
+        for (i, rate) in rates.iter().enumerate() {
+            per_size[i].push(*rate);
+            let _ = write!(out, " {rate:>8.1}");
         }
         let _ = writeln!(out);
     }
     let _ = write!(out, "{:<16}", "mean");
     for col in &per_size {
         let mean = col.iter().sum::<f64>() / col.len().max(1) as f64;
-        let _ = write!(out, " {:>8.1}", mean);
+        let _ = write!(out, " {mean:>8.1}");
     }
     let _ = writeln!(out);
     out
 }
 
 /// Fig. 15: L1 RCache hit rate vs entry count, RCache-sensitive set.
-pub fn fig15_l1_size() -> String {
+pub fn fig15_l1_size(jobs: usize) -> String {
     hit_rate_sweep(
         Target::Nvidia,
         rcache_sensitive_set(),
         "Fig. 15 — L1 RCache hit rate (%) vs entries, RCache-sensitive set (Nvidia)",
+        jobs,
     )
 }
 
 /// Fig. 16: the same sweep for the OpenCL set on the Intel configuration.
-pub fn fig16_intel() -> String {
+pub fn fig16_intel(jobs: usize) -> String {
     hit_rate_sweep(
         Target::Intel,
         opencl_set(),
         "Fig. 16 — L1 RCache hit rate (%) vs entries, OpenCL set (Intel)",
+        jobs,
     )
 }
 
 /// Fig. 17: static filtering under lengthened RCache latencies.
-pub fn fig17_static() -> String {
+pub fn fig17_static(jobs: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -133,34 +185,51 @@ pub fn fig17_static() -> String {
         "{:<16} {:>9} {:>11} {:>9} {:>11} {:>8}",
         "benchmark", "L1:1,L2:5", "+static", "L1:2,L2:5", "+static", "reduct%"
     );
+    let runs: Vec<(String, [f64; 4], f64)> = fan_out(
+        rcache_sensitive_set()
+            .into_iter()
+            .map(|w| {
+                move || {
+                    let base = run_workload(&w, Target::Nvidia, Protection::baseline());
+                    let a = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 5));
+                    let a_s = run_workload(
+                        &w,
+                        Target::Nvidia,
+                        Protection::shield_lat(1, 5).with_static(),
+                    );
+                    let b = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5));
+                    let b_s = run_workload(
+                        &w,
+                        Target::Nvidia,
+                        Protection::shield_lat(2, 5).with_static(),
+                    );
+                    let n = base.cycles as f64;
+                    (
+                        w.display_name().to_string(),
+                        [
+                            a.cycles as f64 / n,
+                            a_s.cycles as f64 / n,
+                            b.cycles as f64 / n,
+                            b_s.cycles as f64 / n,
+                        ],
+                        a_s.check_reduction * 100.0,
+                    )
+                }
+            })
+            .collect(),
+        jobs,
+    );
     let mut cols: [Vec<f64>; 4] = [vec![], vec![], vec![], vec![]];
     let mut reds = Vec::new();
-    for w in rcache_sensitive_set() {
-        let base = run_workload(&w, Target::Nvidia, Protection::baseline());
-        let a = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 5));
-        let a_s = run_workload(&w, Target::Nvidia, Protection::shield_lat(1, 5).with_static());
-        let b = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5));
-        let b_s = run_workload(&w, Target::Nvidia, Protection::shield_lat(2, 5).with_static());
-        let n = base.cycles as f64;
-        let rs = [
-            a.cycles as f64 / n,
-            a_s.cycles as f64 / n,
-            b.cycles as f64 / n,
-            b_s.cycles as f64 / n,
-        ];
+    for (name, rs, red) in runs {
         for (c, r) in cols.iter_mut().zip(rs) {
             c.push(r);
         }
-        reds.push(a_s.check_reduction * 100.0);
+        reds.push(red);
         let _ = writeln!(
             out,
             "{:<16} {:>9.3} {:>11.3} {:>9.3} {:>11.3} {:>8.1}",
-            w.display_name(),
-            rs[0],
-            rs[1],
-            rs[2],
-            rs[3],
-            a_s.check_reduction * 100.0
+            name, rs[0], rs[1], rs[2], rs[3], red
         );
     }
     let _ = writeln!(
@@ -178,4 +247,26 @@ pub fn fig17_static() -> String {
         "\n(graph benchmarks — bc, bfs-dtc, gc-dtc, sssp-dwc — keep low reduction:\n indirect accesses defeat static analysis, §8.3)"
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_workloads::by_name;
+
+    /// The determinism contract behind `--jobs N`: a pooled sweep renders
+    /// the same bytes at any worker count.
+    #[test]
+    fn sweep_output_identical_serial_vs_parallel() {
+        let set = || {
+            vec![
+                by_name("vectoradd").unwrap(),
+                by_name("Histogram").unwrap(),
+                by_name("dct").unwrap(),
+            ]
+        };
+        let serial = hit_rate_sweep(Target::Nvidia, set(), "sweep", 1);
+        let parallel = hit_rate_sweep(Target::Nvidia, set(), "sweep", 8);
+        assert_eq!(serial, parallel);
+    }
 }

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 /// §5.2.1 footnote 2: CUDA `malloc()` in-kernel is 4.9–63.7× slower than
 /// writing to a pre-allocated buffer, and the gap grows with the number of
 /// blocks because the device allocator serializes.
-pub fn malloc_study() -> String {
+pub fn malloc_study(_jobs: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -56,7 +56,7 @@ pub fn malloc_study() -> String {
 
 /// §6.4: the cost of in-kernel `if`-clause bounds checking vs letting
 /// GPUShield check in hardware.
-pub fn swcheck_study() -> String {
+pub fn swcheck_study(_jobs: usize) -> String {
     const NPOINTS: u64 = 8192;
     const NFEAT: i64 = 8;
     let mut out = String::new();
@@ -162,7 +162,10 @@ pub fn swcheck_study() -> String {
     let s_none = small(0);
     let s_sw = small(1);
     let s_pa = small(2);
-    let _ = writeln!(out, "\nissue-bound variant (small working set, 10 launches):");
+    let _ = writeln!(
+        out,
+        "\nissue-bound variant (small working set, 10 launches):"
+    );
     let _ = writeln!(out, "  no checking            {s_none:>8} cycles");
     let _ = writeln!(
         out,

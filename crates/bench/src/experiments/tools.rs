@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 /// Fig. 19: CUDA-MEMCHECK / clArmor / GMOD / GPUShield slowdowns over the
 /// unprotected baseline, plus the static check-reduction ratio.
-pub fn fig19_tools() -> String {
+pub fn fig19_tools(jobs: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -19,60 +19,76 @@ pub fn fig19_tools() -> String {
         "{:<16} {:>10} {:>9} {:>7} {:>10} {:>8}",
         "benchmark", "MEMCHECK", "clArmor", "GMOD", "GPUShield", "reduct%"
     );
+    let runs: Vec<(String, [f64; 4], f64)> = crate::runner::fan_out(
+        fig19_set()
+            .into_iter()
+            .map(|w| {
+                move || {
+                    let base = run_workload(&w, Target::Nvidia, Protection::baseline());
+
+                    // CUDA-MEMCHECK: per-access instrumented checking
+                    // (simulated) plus per-launch JIT instrumentation
+                    // (host model).
+                    let mut mc_host = SystemHost::with_guard(
+                        config(Target::Nvidia, Protection::baseline()),
+                        Box::new(MemcheckGuard::new()),
+                    );
+                    w.run(&mut mc_host);
+                    let mc_cycles = MemcheckHost::default().total_cycles(
+                        mc_host.total_cycles(),
+                        mc_host.launches(),
+                        mc_host.buffer_count(),
+                        mc_host.buffer_bytes(),
+                    );
+
+                    // clArmor / GMOD: canary tools modelled on top of the
+                    // baseline run.
+                    let cl_cycles = ClArmor::default().total_cycles(
+                        base.cycles,
+                        base.launches,
+                        base.buffers,
+                        base.buffer_bytes,
+                    );
+                    let gm_cycles = Gmod::default().total_cycles(
+                        base.cycles,
+                        base.launches,
+                        base.buffers,
+                        base.buffer_bytes,
+                    );
+
+                    // GPUShield with static filtering (§8.5 discusses the
+                    // reduction).
+                    let gs = run_workload(
+                        &w,
+                        Target::Nvidia,
+                        Protection::shield_default().with_static(),
+                    );
+
+                    let n = base.cycles as f64;
+                    (
+                        w.display_name().to_string(),
+                        [
+                            mc_cycles as f64 / n,
+                            cl_cycles as f64 / n,
+                            gm_cycles as f64 / n,
+                            gs.cycles as f64 / n,
+                        ],
+                        gs.check_reduction * 100.0,
+                    )
+                }
+            })
+            .collect(),
+        jobs,
+    );
     let mut cols: [Vec<f64>; 4] = [vec![], vec![], vec![], vec![]];
-    for w in fig19_set() {
-        let base = run_workload(&w, Target::Nvidia, Protection::baseline());
-
-        // CUDA-MEMCHECK: per-access instrumented checking (simulated) plus
-        // per-launch JIT instrumentation (host model).
-        let mut mc_host = SystemHost::with_guard(
-            config(Target::Nvidia, Protection::baseline()),
-            Box::new(MemcheckGuard::new()),
-        );
-        w.run(&mut mc_host);
-        let mc_cycles = MemcheckHost::default().total_cycles(
-            mc_host.total_cycles(),
-            mc_host.launches(),
-            mc_host.buffer_count(),
-            mc_host.buffer_bytes(),
-        );
-
-        // clArmor / GMOD: canary tools modelled on top of the baseline run.
-        let cl_cycles = ClArmor::default().total_cycles(
-            base.cycles,
-            base.launches,
-            base.buffers,
-            base.buffer_bytes,
-        );
-        let gm_cycles = Gmod::default().total_cycles(
-            base.cycles,
-            base.launches,
-            base.buffers,
-            base.buffer_bytes,
-        );
-
-        // GPUShield with static filtering (§8.5 discusses the reduction).
-        let gs = run_workload(&w, Target::Nvidia, Protection::shield_default().with_static());
-
-        let n = base.cycles as f64;
-        let rs = [
-            mc_cycles as f64 / n,
-            cl_cycles as f64 / n,
-            gm_cycles as f64 / n,
-            gs.cycles as f64 / n,
-        ];
+    for (name, rs, red) in runs {
         for (c, r) in cols.iter_mut().zip(rs) {
             c.push(r);
         }
         let _ = writeln!(
             out,
             "{:<16} {:>10.1} {:>9.1} {:>7.1} {:>10.3} {:>8.1}",
-            w.display_name(),
-            rs[0],
-            rs[1],
-            rs[2],
-            rs[3],
-            gs.check_reduction * 100.0
+            name, rs[0], rs[1], rs[2], rs[3], red
         );
     }
     let _ = writeln!(

@@ -6,5 +6,9 @@ pub mod adapter;
 pub mod experiments;
 pub mod runner;
 
+pub mod microbench;
+
 pub use adapter::SystemHost;
-pub use runner::{config, geomean, run_workload, Protection, Target, WorkloadRun};
+pub use runner::{
+    config, config_fingerprint, fan_out, geomean, run_workload, Protection, Target, WorkloadRun,
+};

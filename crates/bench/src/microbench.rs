@@ -1,0 +1,100 @@
+//! A tiny wall-clock harness for the per-exhibit microbenches
+//! (`benches/*`), replacing the Criterion dependency the offline build
+//! cannot resolve.
+//!
+//! Deliberately minimal: fixed warm-up, fixed sample count, min / mean /
+//! max wall time per sample. The microbenches track the *harness's* cost
+//! (how long a simulation takes on the host), not simulated cycles — the
+//! figures themselves come from the `experiments` binary — so a simple
+//! min/mean readout is the right fidelity.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark's result.
+///
+/// `std::hint::black_box` wrapper, re-exported so benches don't reach
+/// into `std::hint` themselves (and so the call sites read like the old
+/// Criterion ones).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named group of measurements, printed as one table.
+pub struct Group {
+    name: String,
+    samples: usize,
+    warmup: usize,
+}
+
+impl Group {
+    /// A group with 10 samples and 1 warm-up iteration per benchmark.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}",
+            "benchmark", "min", "mean", "max"
+        );
+        Group {
+            name: name.to_string(),
+            samples: 10,
+            warmup: 1,
+        }
+    }
+
+    /// Overrides the sample count.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Measures `f` `self.samples` times and prints one row.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / self.samples as u32;
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}",
+            format!("{}/{label}", self.name),
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        let g = Group::new("smoke").sample_size(2);
+        g.bench("noop", || 1 + 1);
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(150)), "150.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(25)), "25.0ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00s");
+    }
+}

@@ -171,6 +171,41 @@ pub fn run_workload(w: &Workload, target: Target, prot: Protection) -> WorkloadR
     }
 }
 
+/// Fans independent simulation jobs out over `jobs` worker threads.
+///
+/// Thin wrapper over [`gpushield_runtime::pool::run_all`]: results come
+/// back in submission order (so rendered tables are identical at any
+/// width), and a panicking job re-raises as this experiment's panic —
+/// which the `experiments` binary in turn isolates per experiment.
+pub fn fan_out<T, F>(tasks: Vec<F>, jobs: usize) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    gpushield_runtime::pool::run_all(tasks, jobs)
+}
+
+/// A stable fingerprint of everything that determines experiment output:
+/// both GPU presets, the default protection variants, and the simulation
+/// seed (FNV-1a over their `Debug` forms). Recorded in every
+/// `results/<id>.json` so trajectories across commits only compare runs
+/// of the same configuration.
+pub fn config_fingerprint() -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for target in [Target::Nvidia, Target::Intel] {
+        for prot in [Protection::baseline(), Protection::shield_default()] {
+            eat(&format!("{:?}", config(target, prot)));
+        }
+    }
+    format!("{h:016x}")
+}
+
 /// Geometric mean of positive values.
 pub fn geomean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

@@ -63,9 +63,7 @@ impl AbsVal {
     pub fn join(&self, o: &AbsVal) -> AbsVal {
         match (self, o) {
             (AbsVal::Num(a), AbsVal::Num(b)) => AbsVal::Num(a.union(b)),
-            (AbsVal::Ptr(oa, a), AbsVal::Ptr(ob, b)) if oa == ob => {
-                AbsVal::Ptr(*oa, a.union(b))
-            }
+            (AbsVal::Ptr(oa, a), AbsVal::Ptr(ob, b)) if oa == ob => AbsVal::Ptr(*oa, a.union(b)),
             _ => AbsVal::top(),
         }
     }
@@ -74,9 +72,7 @@ impl AbsVal {
     pub fn widen(&self, newer: &AbsVal) -> AbsVal {
         match (self, newer) {
             (AbsVal::Num(a), AbsVal::Num(b)) => AbsVal::Num(a.widen(b)),
-            (AbsVal::Ptr(oa, a), AbsVal::Ptr(ob, b)) if oa == ob => {
-                AbsVal::Ptr(*oa, a.widen(b))
-            }
+            (AbsVal::Ptr(oa, a), AbsVal::Ptr(ob, b)) if oa == ob => AbsVal::Ptr(*oa, a.widen(b)),
             _ => AbsVal::top(),
         }
     }

@@ -134,8 +134,7 @@ pub(crate) fn transfer(
             cmp_defs.insert(dst.0, (*op, *a, *b));
         }
         Instr::Sel { dst, a, b, .. } => {
-            let v = eval_operand(*a, st, kernel, know)
-                .join(&eval_operand(*b, st, kernel, know));
+            let v = eval_operand(*a, st, kernel, know).join(&eval_operand(*b, st, kernel, know));
             write(st, cmp_defs, *dst, v);
         }
         Instr::Ld { dst, .. } | Instr::AtomAdd { dst, .. } => {
@@ -398,16 +397,14 @@ pub(crate) fn resolve_site(
             offset: eval_operand(*offset, st, kernel, know).as_num(),
             method: 'A',
         }),
-        gpushield_isa::AddrExpr::Flat { addr } => {
-            match eval_operand(*addr, st, kernel, know) {
-                AbsVal::Ptr(o, i) => Some(SiteAddress {
-                    origin: o,
-                    offset: i,
-                    method: 'B',
-                }),
-                _ => None,
-            }
-        }
+        gpushield_isa::AddrExpr::Flat { addr } => match eval_operand(*addr, st, kernel, know) {
+            AbsVal::Ptr(o, i) => Some(SiteAddress {
+                origin: o,
+                offset: i,
+                method: 'B',
+            }),
+            _ => None,
+        },
     }
 }
 

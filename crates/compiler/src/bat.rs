@@ -366,10 +366,19 @@ mod tests {
         let ioff = b.shl(tid, Operand::Imm(2));
         let j = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(idx, ioff));
         let off = b.shl(j, Operand::Imm(2));
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), Operand::Imm(1));
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(out, off),
+            Operand::Imm(1),
+        );
         b.ret();
         let k = b.finish().unwrap();
-        let bat = analyze(&k, &know(&[64 * 4, 64 * 4], 16, 4), AnalysisConfig::default());
+        let bat = analyze(
+            &k,
+            &know(&[64 * 4, 64 * 4], 16, 4),
+            AnalysisConfig::default(),
+        );
         assert_eq!(bat.sites_static, 1, "the index load itself is affine");
         assert_eq!(bat.sites_runtime, 1, "the indirect store is not");
         assert_eq!(bat.param_class[1], PtrClass::Region);
@@ -403,7 +412,10 @@ mod tests {
         b.ret();
         let k = b.finish().unwrap();
         let knowledge = LaunchKnowledge {
-            args: vec![ArgInfo::Buffer { size: 256 }, ArgInfo::Scalar { value: None }],
+            args: vec![
+                ArgInfo::Buffer { size: 256 },
+                ArgInfo::Scalar { value: None },
+            ],
             local_sizes: vec![],
             block: 16,
             grid: 1,
@@ -583,7 +595,12 @@ mod extra_tests {
                 let dcol = b.mul(i, npoints);
                 let didx = b.add(dcol, tid);
                 let doff = b.shl(didx, Operand::Imm(2));
-                b.st(MemSpace::Global, MemWidth::W4, b.base_offset(feat_swap, doff), v);
+                b.st(
+                    MemSpace::Global,
+                    MemWidth::W4,
+                    b.base_offset(feat_swap, doff),
+                    v,
+                );
             });
         });
         b.ret();
@@ -591,8 +608,12 @@ mod extra_tests {
         let np = 512u64;
         let know = LaunchKnowledge {
             args: vec![
-                ArgInfo::Buffer { size: np * NF as u64 * 4 },
-                ArgInfo::Buffer { size: np * NF as u64 * 4 },
+                ArgInfo::Buffer {
+                    size: np * NF as u64 * 4,
+                },
+                ArgInfo::Buffer {
+                    size: np * NF as u64 * 4,
+                },
                 ArgInfo::Scalar { value: Some(np) },
             ],
             local_sizes: vec![],

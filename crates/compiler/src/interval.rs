@@ -214,9 +214,7 @@ impl Interval {
             let lo = self.lo.checked_shl(k);
             let hi = self.hi.checked_shl(k);
             match (lo, hi) {
-                (Some(l), Some(h))
-                    if (l >> k) == self.lo && (h >> k) == self.hi && l <= h =>
-                {
+                (Some(l), Some(h)) if (l >> k) == self.lo && (h >> k) == self.hi && l <= h => {
                     Interval::range(clamp(l), clamp(h))
                 }
                 _ => Interval::full(),

@@ -322,9 +322,7 @@ impl MemGuard for Bcu {
                     core.l1.fill(tag, e);
                     (
                         e,
-                        1 + self.cfg.l1_latency
-                            + self.cfg.l2_latency
-                            + self.cfg.rbt_fetch_penalty,
+                        1 + self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.rbt_fetch_penalty,
                     )
                 };
                 let stall = self.visible_stall(access, bcu_path);

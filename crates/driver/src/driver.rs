@@ -4,13 +4,10 @@
 use crate::cipher::encrypt_id;
 use crate::rbt::{write_entry, BoundsEntry, RBT_BYTES};
 use gpushield_compiler::{analyze, AnalysisConfig, ArgInfo, BoundsAnalysis, LaunchKnowledge};
-use gpushield_isa::{
-    CheckPlan, Instr, Kernel, ParamKind, PtrClass, TaggedPtr,
-};
+use gpushield_isa::{CheckPlan, Instr, Kernel, ParamKind, PtrClass, TaggedPtr};
 use gpushield_mem::{AllocPolicy, Allocation, VirtualMemorySpace};
+use gpushield_runtime::rng::StdRng;
 use gpushield_sim::{HeapDesc, KernelLaunch, LaunchConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -275,7 +272,10 @@ impl Driver {
     /// Host-side read of one little-endian unsigned value of `width` bytes.
     pub fn read_buffer_uint(&self, h: BufferHandle, offset: u64, width: u64) -> u64 {
         let rec = self.buffers[h.0];
-        assert!(offset + width <= rec.alloc.size, "host read overruns buffer");
+        assert!(
+            offset + width <= rec.alloc.size,
+            "host read overruns buffer"
+        );
         self.vm
             .read_uint(rec.alloc.va + offset, width)
             .expect("mapped")
@@ -453,10 +453,7 @@ impl Driver {
                 local_class: vec![PtrClass::Region; kernel.locals().len()],
                 violations: Vec::new(),
                 sites_static: 0,
-                sites_runtime: kernel
-                    .iter_instrs()
-                    .filter(|(_, _, i)| i.is_mem())
-                    .count(),
+                sites_runtime: kernel.iter_instrs().filter(|(_, _, i)| i.is_mem()).count(),
                 sites_type3: 0,
                 sites_total: kernel.iter_instrs().filter(|(_, _, i)| i.is_mem()).count(),
             }
@@ -466,7 +463,10 @@ impl Driver {
         self.kernel_seq = (self.kernel_seq + 1) & 0xFFF;
         let kernel_id = self.kernel_seq;
         let key: u64 = self.rng.gen();
-        let rbt = self.vm.alloc(RBT_BYTES, AllocPolicy::Isolated).expect("RBT");
+        let rbt = self
+            .vm
+            .alloc(RBT_BYTES, AllocPolicy::Isolated)
+            .expect("RBT");
 
         // Count the RBT entries needed: Region-classed params/locals + heap.
         let region_params: Vec<u8> = (0..args.len() as u8)
@@ -539,8 +539,7 @@ impl Driver {
                     match bat.param_class[p] {
                         PtrClass::Unprotected => TaggedPtr::unprotected(rec.alloc.va).raw(),
                         PtrClass::Region => {
-                            let (id, lo, hi) =
-                                *param_ids.get(&(p as u8)).expect("group assigned");
+                            let (id, lo, hi) = *param_ids.get(&(p as u8)).expect("group assigned");
                             // A merged entry is only read-only when every
                             // member is (otherwise legitimate writes to a
                             // writable member would fault).
@@ -776,10 +775,10 @@ mod tests {
         };
         let mut d = Driver::new(cfg, 1);
         let buf = d.malloc(100).unwrap(); // padded to 512
-        // Pass an unknowable scalar by pretending it's a runtime value: the
-        // driver knows it, so use a kernel where it still can't prove
-        // bounds: n is known (5) here, so offset 20 is provably fine —
-        // choose a huge n instead to stay unprovable but in-range at run.
+                                          // Pass an unknowable scalar by pretending it's a runtime value: the
+                                          // driver knows it, so use a kernel where it still can't prove
+                                          // bounds: n is known (5) here, so offset 20 is provably fine —
+                                          // choose a huge n instead to stay unprovable but in-range at run.
         let p = d
             .prepare_launch(k, 1, 32, &[Arg::Buffer(buf), Arg::Scalar(3)])
             .unwrap();

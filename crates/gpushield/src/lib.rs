@@ -189,7 +189,7 @@ impl System {
             gpu: Gpu::new(cfg.gpu.clone()),
             bcu,
             last_bat: None,
-        cfg,
+            cfg,
         }
     }
 
@@ -284,9 +284,9 @@ impl System {
         }
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
-        let report =
-            self.gpu
-                .run_traced(self.driver.vm_mut(), &[prepared.launch], guard, trace)?;
+        let report = self
+            .gpu
+            .run_traced(self.driver.vm_mut(), &[prepared.launch], guard, trace)?;
         Ok(report)
     }
 
@@ -363,8 +363,11 @@ impl System {
         if vs.is_empty() {
             return "no memory-safety violations detected".to_string();
         }
-        let mut out = format!("{} memory-safety violation(s) detected:
-", vs.len());
+        let mut out = format!(
+            "{} memory-safety violation(s) detected:
+",
+            vs.len()
+        );
         for v in vs {
             out.push_str(&format!(
                 "  kernel {} at {}:{} — {} ({}) addresses 0x{:x}..0x{:x}
@@ -464,10 +467,7 @@ mod tests {
         let r = shielded.launch(iota(), 8, 32, &[Arg::Buffer(a)]).unwrap();
         assert!(!r.completed());
         assert_eq!(shielded.read_uint(victim, 0, 4), 0, "victim intact");
-        assert_eq!(
-            shielded.violations()[0].kind,
-            ViolationKind::OutOfBounds
-        );
+        assert_eq!(shielded.violations()[0].kind, ViolationKind::OutOfBounds);
     }
 
     #[test]

@@ -261,7 +261,13 @@ impl KernelBuilder {
     }
 
     /// Stores `src` to `addr`.
-    pub fn st(&mut self, space: MemSpace, width: MemWidth, addr: AddrExpr, src: impl Into<Operand>) {
+    pub fn st(
+        &mut self,
+        space: MemSpace,
+        width: MemWidth,
+        addr: AddrExpr,
+        src: impl Into<Operand>,
+    ) {
         self.emit(Instr::St {
             src: src.into(),
             addr,

@@ -13,7 +13,12 @@ pub fn disassemble(kernel: &Kernel) -> String {
         let _ = writeln!(out, "  .param {} ({:?})", p.name(), p.kind());
     }
     for l in kernel.locals() {
-        let _ = writeln!(out, "  .local {} [{}B/thread]", l.name(), l.bytes_per_thread());
+        let _ = writeln!(
+            out,
+            "  .local {} [{}B/thread]",
+            l.name(),
+            l.bytes_per_thread()
+        );
     }
     if kernel.shared_bytes() > 0 {
         let _ = writeln!(out, "  .shared {}B", kernel.shared_bytes());
@@ -51,10 +56,18 @@ pub fn vendor_listing(kernel: &Kernel, style: VendorStyle) -> String {
     for (bid, _idx, instr) in kernel.iter_instrs() {
         match instr {
             Instr::Ld { dst, addr, .. } => {
-                let _ = writeln!(out, "  {}", render_mem(style, false, &format!("{dst}"), addr));
+                let _ = writeln!(
+                    out,
+                    "  {}",
+                    render_mem(style, false, &format!("{dst}"), addr)
+                );
             }
             Instr::St { src, addr, .. } => {
-                let _ = writeln!(out, "  {}", render_mem(style, true, &format!("{src}"), addr));
+                let _ = writeln!(
+                    out,
+                    "  {}",
+                    render_mem(style, true, &format!("{src}"), addr)
+                );
             }
             Instr::Jmp { .. } | Instr::Bra { .. } | Instr::Ret => {
                 let _ = writeln!(out, "  {instr} // {bid}");

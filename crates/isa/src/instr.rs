@@ -462,7 +462,11 @@ impl fmt::Display for Instr {
                 space,
                 width,
                 src,
-            } => write!(f, "atom.add.{space}.b{} {dst}, {addr}, {src}", width.bytes() * 8),
+            } => write!(
+                f,
+                "atom.add.{space}.b{} {dst}, {addr}, {src}",
+                width.bytes() * 8
+            ),
             Instr::Bra {
                 cond,
                 taken,

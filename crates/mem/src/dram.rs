@@ -149,7 +149,10 @@ mod tests {
         let base = miss; // issue after first completes to avoid queueing
         let hit = d.access(128, base) - base;
         let far = d.access(1 << 24, base + hit) - (base + hit);
-        assert!(hit < far, "open-row access should be faster: {hit} vs {far}");
+        assert!(
+            hit < far,
+            "open-row access should be faster: {hit} vs {far}"
+        );
     }
 
     #[test]

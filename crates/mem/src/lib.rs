@@ -18,8 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod coalesce;
 mod cache;
+pub mod coalesce;
 mod dram;
 mod shared;
 mod tlb;

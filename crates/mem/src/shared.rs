@@ -46,7 +46,12 @@ pub struct SharedMemorySystem {
 impl SharedMemorySystem {
     /// Builds the Table 5 shared system: `l2_bytes` of 16-way LRU L2 with
     /// 128 B lines, `l2_tlb_entries` 32-way shared TLB, and `dram`.
-    pub fn new(l2_bytes: u64, l2_tlb_entries: usize, dram: DramConfig, timings: MemTimings) -> Self {
+    pub fn new(
+        l2_bytes: u64,
+        l2_tlb_entries: usize,
+        dram: DramConfig,
+        timings: MemTimings,
+    ) -> Self {
         SharedMemorySystem {
             l2: Cache::new(l2_bytes, 128, 16, Replacement::Lru),
             l2_tlb: Tlb::new(l2_tlb_entries, 32),

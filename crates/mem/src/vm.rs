@@ -315,7 +315,8 @@ impl VirtualMemorySpace {
             let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
             let take = in_page.min(buf.len() - done);
             let off = (pa % PAGE_SIZE) as usize;
-            self.frame_mut(pa / PAGE_SIZE)[off..off + take].copy_from_slice(&buf[done..done + take]);
+            self.frame_mut(pa / PAGE_SIZE)[off..off + take]
+                .copy_from_slice(&buf[done..done + take]);
             done += take;
         }
         Ok(())

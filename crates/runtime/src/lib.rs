@@ -1,0 +1,28 @@
+//! Dependency-free runtime services for the GPUShield reproduction.
+//!
+//! The build environment has no registry access, so everything the
+//! workspace previously pulled from external crates lives here instead:
+//!
+//! - [`rng`] — a seeded SplitMix64 + xoshiro256\*\* PRNG exposing the small
+//!   API surface the repo used from `rand` ([`rng::StdRng::seed_from_u64`],
+//!   [`rng::StdRng::gen_range`], [`rng::StdRng::fill`],
+//!   [`rng::StdRng::shuffle`]). Fixing the algorithm in-tree preserves the
+//!   determinism contract of DESIGN.md §4.3: every stream is a pure
+//!   function of its seed, forever.
+//! - [`pool`] — a scoped-thread job executor that fans independent
+//!   simulations out across cores, returns results in deterministic
+//!   submission order, isolates per-job panics, and records per-job wall
+//!   time.
+//! - [`report`] — a minimal hand-rolled JSON value type (emit + parse, no
+//!   serde) plus a text-table scraper, so experiments can write
+//!   machine-readable `results/<id>.json` next to their `.txt` exhibits.
+
+#![forbid(unsafe_code)]
+
+pub mod pool;
+pub mod report;
+pub mod rng;
+
+pub use pool::{available_parallelism, JobPanic, JobResult};
+pub use report::Json;
+pub use rng::StdRng;

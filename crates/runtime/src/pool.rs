@@ -1,0 +1,222 @@
+//! A scoped-thread job pool for embarrassingly parallel simulation sweeps.
+//!
+//! Every GPUShield simulation is deterministic and single-threaded
+//! (DESIGN.md §4.3), so a `(workload × config × protection)` sweep is pure
+//! fan-out. [`run`] executes a batch of closures on `workers` OS threads
+//! that self-schedule from a shared queue (each idle worker steals the
+//! next unclaimed job), and returns results **in submission order** — so
+//! any output assembled from the results is bit-for-bit identical
+//! whatever the worker count.
+//!
+//! Each job runs under `catch_unwind`: one diverging simulation reports as
+//! a failed [`JobResult`] instead of killing the whole sweep. Per-job wall
+//! time is captured for the machine-readable reports.
+//!
+//! With `workers <= 1` the batch runs inline on the calling thread, in
+//! order — exactly the pre-pool sequential behaviour.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A job that panicked; carries the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// The outcome of one job.
+#[derive(Debug)]
+pub struct JobResult<T> {
+    /// Submission index (results come back sorted by this).
+    pub index: usize,
+    /// Wall-clock time the job spent executing.
+    pub wall: Duration,
+    /// The job's return value, or the panic that ended it.
+    pub result: Result<T, JobPanic>,
+}
+
+/// Number of hardware threads, with a serial fallback.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_one<T>(index: usize, job: impl FnOnce() -> T) -> JobResult<T> {
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(job)).map_err(|p| JobPanic {
+        message: panic_message(p.as_ref()),
+    });
+    JobResult {
+        index,
+        wall: t0.elapsed(),
+        result,
+    }
+}
+
+/// Runs `jobs` on up to `workers` threads; results in submission order.
+///
+/// Panicking jobs are isolated (their [`JobResult::result`] is an `Err`);
+/// the pool itself never panics on job failure.
+pub fn run<T, F>(jobs: Vec<F>, workers: usize) -> Vec<JobResult<T>>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| run_one(i, job))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let done: Vec<Mutex<Option<JobResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job slot lock")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = run_one(i, job);
+                *done[i].lock().expect("result slot lock") = Some(result);
+            });
+        }
+    });
+
+    done.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+/// [`run`], unwrapping every result and re-raising the first panic.
+///
+/// For callers that treat any job failure as their own failure (e.g. an
+/// experiment whose inner sweep diverged) but still want the fan-out and
+/// ordering guarantees.
+///
+/// # Panics
+///
+/// Panics with the original message if any job panicked.
+pub fn run_all<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    run(jobs, workers)
+        .into_iter()
+        .map(|r| match r.result {
+            Ok(v) => v,
+            Err(p) => panic!("job {} failed: {}", r.index, p.message),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order_any_width() {
+        let jobs = |n: usize| {
+            (0..n)
+                .map(|i| {
+                    move || {
+                        // Uneven work so completion order differs from
+                        // submission order under parallel execution.
+                        let spin = (n - i) * 1000;
+                        let mut acc = i as u64;
+                        for k in 0..spin {
+                            acc = acc.wrapping_mul(31).wrapping_add(k as u64);
+                        }
+                        (i, acc)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial: Vec<_> = run(jobs(64), 1)
+            .into_iter()
+            .map(|r| r.result.unwrap())
+            .collect();
+        let wide: Vec<_> = run(jobs(64), 8)
+            .into_iter()
+            .map(|r| r.result.unwrap())
+            .collect();
+        assert_eq!(serial, wide);
+        for (i, (idx, _)) in serial.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("diverging simulation")),
+            Box::new(|| 3),
+        ];
+        let results = run(jobs, 4);
+        assert_eq!(results[0].result, Ok(1));
+        assert_eq!(
+            results[1].result.as_ref().unwrap_err().message,
+            "diverging simulation"
+        );
+        assert_eq!(results[2].result, Ok(3));
+    }
+
+    #[test]
+    fn wall_time_is_captured() {
+        let results = run(vec![|| std::thread::sleep(Duration::from_millis(5))], 2);
+        assert!(results[0].wall >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let results: Vec<JobResult<u8>> = run(Vec::<fn() -> u8>::new(), 8);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 1 failed: boom")]
+    fn run_all_propagates_job_panics() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+        let _ = run_all(jobs, 2);
+    }
+}

@@ -149,7 +149,8 @@ pub struct Gpu {
 impl Gpu {
     /// Creates a GPU with the given hardware configuration.
     pub fn new(cfg: GpuConfig) -> Self {
-        let shared = SharedMemorySystem::new(cfg.l2_bytes, cfg.l2_tlb_entries, cfg.dram, cfg.timings);
+        let shared =
+            SharedMemorySystem::new(cfg.l2_bytes, cfg.l2_tlb_entries, cfg.dram, cfg.timings);
         Gpu { cfg, shared }
     }
 
@@ -254,8 +255,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             l.assert_bound();
             let warps_per_wg = (l.launch.block as usize).div_ceil(cfg.warp_width);
             // Reject workgroups that cannot fit an empty core.
-            let regs_needed =
-                warps_per_wg * usize::from(l.kernel.num_regs()) * cfg.warp_width;
+            let regs_needed = warps_per_wg * usize::from(l.kernel.num_regs()) * cfg.warp_width;
             if warps_per_wg > cfg.max_warps_per_core()
                 || regs_needed > cfg.regs_per_core
                 || l.kernel.shared_bytes() > cfg.shared_per_core
@@ -294,7 +294,15 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         })
     }
 
-    fn emit(&mut self, core: usize, li: usize, wg: u64, warp: usize, site: Option<(gpushield_isa::BlockId, usize)>, kind: TraceKind) {
+    fn emit(
+        &mut self,
+        core: usize,
+        li: usize,
+        wg: u64,
+        warp: usize,
+        site: Option<(gpushield_isa::BlockId, usize)>,
+        kind: TraceKind,
+    ) {
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceEvent {
                 cycle: self.cycle,
@@ -445,9 +453,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                     .cores
                     .iter()
                     .flat_map(|c| c.warps.iter())
-                    .filter(|w| {
-                        !w.done && !w.at_barrier && !self.launches[w.launch_idx].aborted
-                    })
+                    .filter(|w| !w.done && !w.at_barrier && !self.launches[w.launch_idx].aborted)
                     .map(|w| w.ready_at)
                     .min();
                 match next {
@@ -509,12 +515,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                     }
                     Instr::Free { ptr: _ } => {
                         // Timing-equivalent to an allocation round-trip.
-                        self.exec_malloc(
-                            core_idx,
-                            warp_idx,
-                            None,
-                            gpushield_isa::Operand::Imm(0),
-                        )?
+                        self.exec_malloc(core_idx, warp_idx, None, gpushield_isa::Operand::Imm(0))?
                     }
                     Instr::Ld { .. } | Instr::St { .. } | Instr::AtomAdd { .. } => {
                         self.exec_mem(core_idx, warp_idx, li, pc, &instr);
@@ -717,14 +718,12 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 }
                 let (base_raw, off) = match addr {
                     AddrExpr::Flat { addr } => (warp.eval(addr, lane, &ctx), 0u64),
-                    AddrExpr::BaseOffset { base, offset } => (
-                        warp.eval(base, lane, &ctx),
-                        warp.eval(offset, lane, &ctx),
-                    ),
-                    AddrExpr::BindingTable { bti, offset } => (
-                        ctx.args[usize::from(bti)],
-                        warp.eval(offset, lane, &ctx),
-                    ),
+                    AddrExpr::BaseOffset { base, offset } => {
+                        (warp.eval(base, lane, &ctx), warp.eval(offset, lane, &ctx))
+                    }
+                    AddrExpr::BindingTable { bti, offset } => {
+                        (ctx.args[usize::from(bti)], warp.eval(offset, lane, &ctx))
+                    }
                 };
                 if !ptr_set {
                     ptr = TaggedPtr::from_raw(base_raw);
@@ -749,7 +748,14 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         // ---- Shared memory: on-chip, no VM, no bounds checking -----------
         if space == MemSpace::Shared {
             self.exec_shared_mem(
-                core_idx, warp_idx, li, &lane_vas, width_b, dst, &store_vals, is_atomic,
+                core_idx,
+                warp_idx,
+                li,
+                &lane_vas,
+                width_b,
+                dst,
+                &store_vals,
+                is_atomic,
             );
             return;
         }
@@ -1121,8 +1127,8 @@ mod tests {
         let mut vm = VirtualMemorySpace::new();
         let buf = vm.alloc(64, AllocPolicy::Device512).unwrap();
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
-        let launch = KernelLaunch::new(k, LaunchConfig::new(1, 4))
-            .arg(TaggedPtr::unprotected(buf.va).raw());
+        let launch =
+            KernelLaunch::new(k, LaunchConfig::new(1, 4)).arg(TaggedPtr::unprotected(buf.va).raw());
         let report = gpu.run(&mut vm, &[launch], None).unwrap();
         assert!(!report.completed());
         assert!(matches!(
@@ -1240,7 +1246,9 @@ mod tests {
         let launch = KernelLaunch::new(write_iota_kernel(), LaunchConfig::new(2, 16))
             .arg(TaggedPtr::unprotected(buf.va).raw());
         let mut trace = crate::trace::Trace::new(10_000);
-        let report = gpu.run_traced(&mut vm, &[launch], None, &mut trace).unwrap();
+        let report = gpu
+            .run_traced(&mut vm, &[launch], None, &mut trace)
+            .unwrap();
         assert!(report.completed());
         let events = trace.events();
         assert!(!trace.truncated());
@@ -1304,10 +1312,20 @@ mod tests {
         b.if_then_else(
             is_even,
             |b| {
-                b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), Operand::Imm(7));
+                b.st(
+                    MemSpace::Global,
+                    MemWidth::W4,
+                    b.base_offset(out, off),
+                    Operand::Imm(7),
+                );
             },
             |b| {
-                b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), Operand::Imm(9));
+                b.st(
+                    MemSpace::Global,
+                    MemWidth::W4,
+                    b.base_offset(out, off),
+                    Operand::Imm(9),
+                );
             },
         );
         b.ret();
@@ -1354,7 +1372,9 @@ mod extra_tests {
         let launch = KernelLaunch::new(store_kernel(), LaunchConfig::new(2, 8))
             .arg(TaggedPtr::unprotected(buf.va).raw());
         let mut trace = crate::trace::Trace::new(64);
-        let r = gpu.run_traced(&mut vm, &[launch], None, &mut trace).unwrap();
+        let r = gpu
+            .run_traced(&mut vm, &[launch], None, &mut trace)
+            .unwrap();
         assert!(r.completed());
         let cores: std::collections::HashSet<usize> = trace
             .events()
@@ -1383,8 +1403,8 @@ mod extra_tests {
         let mut vm = VirtualMemorySpace::new();
         let buf = vm.alloc(64 * 4, AllocPolicy::Device512).unwrap();
         let mut gpu = Gpu::new(GpuConfig::test_tiny());
-        let launch = KernelLaunch::new(k, LaunchConfig::new(8, 8))
-            .arg(TaggedPtr::unprotected(buf.va).raw());
+        let launch =
+            KernelLaunch::new(k, LaunchConfig::new(8, 8)).arg(TaggedPtr::unprotected(buf.va).raw());
         let r = gpu.run(&mut vm, &[launch], None).unwrap();
         assert!(r.completed());
         for i in 0..64u64 {

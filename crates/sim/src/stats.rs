@@ -135,7 +135,12 @@ impl RunReport {
 
 impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "run: {} cycles, {} launches", self.cycles, self.launches.len())?;
+        writeln!(
+            f,
+            "run: {} cycles, {} launches",
+            self.cycles,
+            self.launches.len()
+        )?;
         for l in &self.launches {
             writeln!(
                 f,

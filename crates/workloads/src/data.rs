@@ -4,8 +4,7 @@
 //! structural properties (CSR graphs with bounded degree, random keys,
 //! point sets) from per-workload seeds so every run is reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpushield_runtime::rng::StdRng;
 
 /// A seeded RNG for workload `name` (stable across runs).
 pub fn workload_rng(name: &str) -> StdRng {
@@ -65,9 +64,9 @@ mod tests {
 
     #[test]
     fn rng_is_stable_per_name() {
-        let a: u64 = workload_rng("bfs").gen();
-        let b: u64 = workload_rng("bfs").gen();
-        let c: u64 = workload_rng("sssp").gen();
+        let a: u64 = workload_rng("bfs").next_u64();
+        let b: u64 = workload_rng("bfs").next_u64();
+        let c: u64 = workload_rng("sssp").next_u64();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

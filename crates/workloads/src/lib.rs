@@ -26,8 +26,8 @@ pub use dsl::AddrStyle;
 pub use host::{BufId, HostApi, ProbeHost, WArg};
 pub use programs::algos;
 pub use programs::common as kernels;
-pub use programs::rodinia;
 pub use programs::rep::{representative, RepKernel};
+pub use programs::rodinia;
 pub use registry::{
     all, by_name, cuda_set, fig11_set, fig18_names, fig19_set, opencl_set, rcache_sensitive_set,
     Category, Program, Suite, Workload,

@@ -40,8 +40,18 @@ pub fn bitonic_step_kernel() -> Arc<Kernel> {
             let asc = b.eq(bit, Operand::Imm(0));
             let first = b.sel(asc, lo, hi);
             let second = b.sel(asc, hi, lo);
-            b.st(MemSpace::Global, MemWidth::W4, b.base_offset(data, off_i), first);
-            b.st(MemSpace::Global, MemWidth::W4, b.base_offset(data, off_l), second);
+            b.st(
+                MemSpace::Global,
+                MemWidth::W4,
+                b.base_offset(data, off_i),
+                first,
+            );
+            b.st(
+                MemSpace::Global,
+                MemWidth::W4,
+                b.base_offset(data, off_l),
+                second,
+            );
         });
     });
     b.ret();
@@ -109,14 +119,24 @@ pub fn scan_block_kernel(block: u32) -> Arc<Kernel> {
     let inb2 = b.lt(g, n);
     b.if_then(inb2, |b| {
         let off = byte_off4(b, g);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), scanned);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(out, off),
+            scanned,
+        );
     });
     // Lane block-1 publishes the block total.
     let is_last = b.eq(ltid, Operand::Imm(i64::from(block) - 1));
     b.if_then(is_last, |b| {
         let wg = b.mov(b.block_id());
         let woff = byte_off4(b, wg);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(sums, woff), scanned);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(sums, woff),
+            scanned,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -152,7 +172,12 @@ pub fn bfs_step_kernel() -> Arc<Kernel> {
                 let unvisited = b.eq(lj, Operand::Imm(0xFFFF_FFFF));
                 b.if_then(unvisited, |b| {
                     let next = b.add(cur, Operand::Imm(1));
-                    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(level, joff), next);
+                    b.st(
+                        MemSpace::Global,
+                        MemWidth::W4,
+                        b.base_offset(level, joff),
+                        next,
+                    );
                     let zero = byte_off4(b, Operand::Imm(0));
                     let _ = b.atom_add(
                         MemSpace::Global,

@@ -11,7 +11,12 @@ use std::sync::Arc;
 /// `out[i] = f(in0[i], …, ink[i])` with a `tid < n` guard — the affine
 /// streaming archetype (vectoradd, blackscholes, mri-q, …). Fully provable
 /// by static analysis.
-pub fn streaming_kernel(name: &str, n_inputs: usize, alu_ops: usize, style: AddrStyle) -> Arc<Kernel> {
+pub fn streaming_kernel(
+    name: &str,
+    n_inputs: usize,
+    alu_ops: usize,
+    style: AddrStyle,
+) -> Arc<Kernel> {
     let mut b = KernelBuilder::new(name);
     let ins: Vec<_> = (0..n_inputs)
         .map(|i| b.param_buffer(&format!("in{i}"), true))

@@ -59,7 +59,14 @@ fn interleaved_rep(
 ) -> RepKernel {
     RepKernel {
         name,
-        kernel: interleaved_kernel(kname, n_bufs, pattern, iters, stride, AddrStyle::BindingTable),
+        kernel: interleaved_kernel(
+            kname,
+            n_bufs,
+            pattern,
+            iters,
+            stride,
+            AddrStyle::BindingTable,
+        ),
         grid,
         block,
         setup: Box::new(move |h| {
@@ -122,7 +129,17 @@ pub fn representative(name: &str) -> Option<RepKernel> {
                 ]
             }),
         },
-        "hybridsort" => interleaved_rep("hybridsort", "rep_hybridsort", 3, &P012, 8, 32, 8192, 32, 256),
+        "hybridsort" => interleaved_rep(
+            "hybridsort",
+            "rep_hybridsort",
+            3,
+            &P012,
+            8,
+            32,
+            8192,
+            32,
+            256,
+        ),
         "kmeans" => RepKernel {
             name: "kmeans",
             kernel: kmeans_swap_kernel("rep_kmeans_swap", true, 8),

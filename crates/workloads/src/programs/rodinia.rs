@@ -63,7 +63,12 @@ pub fn hotspot_kernel(name: &str) -> Arc<Kernel> {
                     acc = b.add(acc, p);
                     let delta = b.div(acc, Operand::Imm(5));
                     let t2 = b.add(c, delta);
-                    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off_c), t2);
+                    b.st(
+                        MemSpace::Global,
+                        MemWidth::W4,
+                        b.base_offset(out, off_c),
+                        t2,
+                    );
                 });
             });
         });
@@ -104,7 +109,12 @@ pub fn pathfinder_kernel(name: &str) -> Arc<Kernel> {
         let woff = byte_off4(b, widx);
         let wv = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(wall, woff));
         let total = b.add(m, wv);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(dst, off_c), total);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(dst, off_c),
+            total,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -138,7 +148,12 @@ pub fn srad1_kernel(name: &str) -> Arc<Kernel> {
         let g2 = b.add(g2a, g2b);
         let denom = b.add(g2, Operand::Imm(1));
         let k = b.div(Operand::Imm(1 << 16), denom);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(coeff, off_c), k);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(coeff, off_c),
+            k,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -167,7 +182,12 @@ pub fn srad2_kernel(name: &str) -> Arc<Kernel> {
         let upd = b.mul(c, ks);
         let scaled = b.shr(upd, Operand::Imm(16));
         let t2 = b.add(c, scaled);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off_c), t2);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(out, off_c),
+            t2,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -220,7 +240,12 @@ pub fn backprop_forward_kernel(name: &str, block: u32) -> Arc<Kernel> {
         let z = byte_off4(b, Operand::Imm(0));
         let total = b.ld(MemSpace::Shared, MemWidth::W4, b.flat(z));
         let hoff = byte_off4(b, unit);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(hidden, hoff), total);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(hidden, hoff),
+            total,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -249,7 +274,12 @@ pub fn backprop_adjust_kernel(name: &str) -> Arc<Kernel> {
         let woff = byte_off4(b, tid);
         let wv = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(weights, woff));
         let w2 = b.add(wv, upd);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(weights, woff), w2);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(weights, woff),
+            w2,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -291,7 +321,12 @@ pub fn kmeans_assign_kernel(name: &str, k: i64, nfeat: i64) -> Arc<Kernel> {
             b.assign(best_c, nc);
         });
         let moff = byte_off4(b, tid);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(membership, moff), best_c);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(membership, moff),
+            best_c,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -328,8 +363,7 @@ pub fn kmeans_assign_checked_kernel(name: &str, k: i64, nfeat: i64) -> Arc<Kerne
                     let c_ok = b.lt(cidx, Operand::Imm(k * nfeat));
                     b.if_then(c_ok, |b| {
                         let coff = byte_off4(b, cidx);
-                        let cv =
-                            b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(centers, coff));
+                        let cv = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(centers, coff));
                         let diff = b.sub(fv, cv);
                         let sq = b.mul(diff, diff);
                         let nd = b.add(dist, sq);
@@ -344,7 +378,12 @@ pub fn kmeans_assign_checked_kernel(name: &str, k: i64, nfeat: i64) -> Arc<Kerne
             b.assign(best_c, nc);
         });
         let moff = byte_off4(b, tid);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(membership, moff), best_c);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(membership, moff),
+            best_c,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -409,7 +448,12 @@ pub fn gaussian_fan2_kernel(name: &str) -> Arc<Kernel> {
         let cur = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(a, off_aij));
         let prod = b.mul(mi, av);
         let nv = b.sub(cur, prod);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(a, off_aij), nv);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(a, off_aij),
+            nv,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -442,10 +486,25 @@ pub fn cfd_flux_kernel(name: &str) -> Arc<Kernel> {
         let e_j = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(energy, joff));
         let dd = b.sub(d_j, d_i);
         let mm = b.add(mx_j, my_j);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(flux_d, off), dd);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(flux_m, off), mm);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(flux_d, off),
+            dd,
+        );
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(flux_m, off),
+            mm,
+        );
         let ee = b.add(e_j, dd);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(flux_e, off), ee);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(flux_e, off),
+            ee,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))
@@ -475,7 +534,12 @@ pub fn particlefilter_findindex_kernel(name: &str, nparticles: i64) -> Arc<Kerne
             b.assign(best, nb);
         });
         let ooff = byte_off4(b, tid);
-        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(idx_out, ooff), best);
+        b.st(
+            MemSpace::Global,
+            MemWidth::W4,
+            b.base_offset(idx_out, ooff),
+            best,
+        );
     });
     b.ret();
     Arc::new(b.finish().expect("valid kernel"))

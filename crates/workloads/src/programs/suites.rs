@@ -10,14 +10,14 @@ use crate::data::{random_u32s, uniform_csr, workload_rng};
 use crate::dsl::AddrStyle;
 use crate::host::{BufId, WArg};
 use crate::programs::algos::scan_block_kernel;
+use crate::programs::common::{
+    csr_kernel, histogram_kernel, interleaved_kernel, kmeans_swap_kernel, local_array_kernel,
+    matmul_kernel, memdense_kernel, reduce_kernel, stencil_kernel, streaming_kernel,
+};
 use crate::programs::rodinia::{
     backprop_adjust_kernel, backprop_forward_kernel, cfd_flux_kernel, gaussian_fan1_kernel,
     gaussian_fan2_kernel, hotspot_kernel, kmeans_assign_kernel, particlefilter_findindex_kernel,
     pathfinder_kernel, srad1_kernel, srad2_kernel,
-};
-use crate::programs::common::{
-    csr_kernel, histogram_kernel, interleaved_kernel, kmeans_swap_kernel, local_array_kernel,
-    matmul_kernel, memdense_kernel, reduce_kernel, stencil_kernel, streaming_kernel,
 };
 use crate::registry::{Category, Program, Suite, Workload};
 
@@ -104,13 +104,7 @@ fn csr_prog(
 }
 
 /// Iterated stencil with ping-pong buffers.
-fn stencil_prog(
-    kname: &'static str,
-    radius: i64,
-    n: u64,
-    iters: u32,
-    style: AddrStyle,
-) -> Program {
+fn stencil_prog(kname: &'static str, radius: i64, n: u64, iters: u32, style: AddrStyle) -> Program {
     Box::new(move |h| {
         let k = stencil_kernel(kname, radius, style);
         let a = h.alloc(n * 4);
@@ -375,7 +369,12 @@ fn hotspot_prog(kname: &'static str, width: u64, iters: u32) -> Program {
                 &k,
                 grid_for(n2, BLOCK),
                 BLOCK,
-                &[WArg::Buf(src), WArg::Buf(power), WArg::Buf(dst), WArg::Scalar(width)],
+                &[
+                    WArg::Buf(src),
+                    WArg::Buf(power),
+                    WArg::Buf(dst),
+                    WArg::Scalar(width),
+                ],
             );
         }
     })
@@ -425,7 +424,12 @@ fn srad_prog(kname: &'static str, width: u64, iters: u32) -> Program {
                 &k1,
                 grid_for(n, BLOCK),
                 BLOCK,
-                &[WArg::Buf(src), WArg::Buf(coeff), WArg::Scalar(width), WArg::Scalar(n)],
+                &[
+                    WArg::Buf(src),
+                    WArg::Buf(coeff),
+                    WArg::Scalar(width),
+                    WArg::Scalar(n),
+                ],
             );
             h.launch(
                 &k2,
@@ -483,7 +487,12 @@ fn particlefilter_prog_real() -> Program {
             &find,
             grid_for(N, BLOCK),
             BLOCK,
-            &[WArg::Buf(cdf), WArg::Buf(u), WArg::Buf(idx), WArg::Scalar(N)],
+            &[
+                WArg::Buf(cdf),
+                WArg::Buf(u),
+                WArg::Buf(idx),
+                WArg::Scalar(N),
+            ],
         );
     })
 }
@@ -598,13 +607,37 @@ pub fn all_workloads() -> Vec<Workload> {
         true,
         interleaved_prog("ConvSep", 3, &P012, 9, 1, 16384, 1, BLOCK, C),
     ));
-    v.push(w("kmeans", Rodinia, Ml, false, kmeans_prog("kmeans_assign", C)));
+    v.push(w(
+        "kmeans",
+        Rodinia,
+        Ml,
+        false,
+        kmeans_prog("kmeans_assign", C),
+    ));
     v.push(w("backprop", Rodinia, Ml, false, backprop_prog(C)));
 
     // --- Linear algebra (Table 6 LA) -----------------------------------
-    v.push(w("sad", Parboil, La, false, stencil_prog("sad", 8, 16384, 1, C)));
-    v.push(w("spmv", Parboil, La, false, csr_prog("spmv", 8192, 8, 2, 1)));
-    v.push(w("stencil", Parboil, La, false, stencil_prog("stencil", 1, 32768, 2, C)));
+    v.push(w(
+        "sad",
+        Parboil,
+        La,
+        false,
+        stencil_prog("sad", 8, 16384, 1, C),
+    ));
+    v.push(w(
+        "spmv",
+        Parboil,
+        La,
+        false,
+        csr_prog("spmv", 8192, 8, 2, 1),
+    ));
+    v.push(w(
+        "stencil",
+        Parboil,
+        La,
+        false,
+        stencil_prog("stencil", 1, 32768, 2, C),
+    ));
     v.push(w(
         "ScalarProd",
         CudaSdk,
@@ -612,8 +645,20 @@ pub fn all_workloads() -> Vec<Workload> {
         true,
         interleaved_prog("ScalarProd", 3, &P012, 16, 64, 8192, 1, BLOCK, C),
     ));
-    v.push(w("vectoradd", CudaSdk, La, false, streaming_prog("vectoradd", 2, 2, 32768, 1, C)));
-    v.push(w("dct", CudaSdk, La, false, streaming_prog("dct", 1, 24, 16384, 1, C)));
+    v.push(w(
+        "vectoradd",
+        CudaSdk,
+        La,
+        false,
+        streaming_prog("vectoradd", 2, 2, 32768, 1, C),
+    ));
+    v.push(w(
+        "dct",
+        CudaSdk,
+        La,
+        false,
+        streaming_prog("dct", 1, 24, 16384, 1, C),
+    ));
     v.push(w(
         "Reduction",
         CudaSdk,
@@ -624,10 +669,34 @@ pub fn all_workloads() -> Vec<Workload> {
 
     // --- Graph traversal (Table 6 GT) -----------------------------------
     v.push(w("bc", GraphBig, Gt, true, csr_prog("bc", 4096, 6, 3, 3)));
-    v.push(w("bfs-dtc", Rodinia, Gt, true, csr_prog("bfs-dtc", 8192, 8, 1, 6)));
-    v.push(w("gc-dtc", GraphBig, Gt, true, csr_prog("gc-dtc", 4096, 8, 2, 4)));
-    v.push(w("sssp-dwc", GraphBig, Gt, true, csr_prog("sssp-dwc", 4096, 8, 2, 6)));
-    v.push(w("lavaMD", Rodinia, Gt, false, csr_prog("lavaMD", 4096, 12, 2, 1)));
+    v.push(w(
+        "bfs-dtc",
+        Rodinia,
+        Gt,
+        true,
+        csr_prog("bfs-dtc", 8192, 8, 1, 6),
+    ));
+    v.push(w(
+        "gc-dtc",
+        GraphBig,
+        Gt,
+        true,
+        csr_prog("gc-dtc", 4096, 8, 2, 4),
+    ));
+    v.push(w(
+        "sssp-dwc",
+        GraphBig,
+        Gt,
+        true,
+        csr_prog("sssp-dwc", 4096, 8, 2, 6),
+    ));
+    v.push(w(
+        "lavaMD",
+        Rodinia,
+        Gt,
+        false,
+        csr_prog("lavaMD", 4096, 12, 2, 1),
+    ));
     v.push(w("gaussian", Rodinia, Gt, false, gaussian_prog()));
     v.push(w(
         "nn-256k-1",
@@ -638,13 +707,43 @@ pub fn all_workloads() -> Vec<Workload> {
     ));
 
     // --- Graph iterative (Table 6 GI) ------------------------------------
-    v.push(w("pagerank", GraphBig, Gi, false, csr_prog("pagerank", 8192, 8, 1, 5)));
-    v.push(w("kcore", GraphBig, Gi, false, csr_prog("kcore", 4096, 8, 1, 4)));
-    v.push(w("trianglecount", GraphBig, Gi, false, csr_prog("trianglecount", 2048, 16, 1, 1)));
+    v.push(w(
+        "pagerank",
+        GraphBig,
+        Gi,
+        false,
+        csr_prog("pagerank", 8192, 8, 1, 5),
+    ));
+    v.push(w(
+        "kcore",
+        GraphBig,
+        Gi,
+        false,
+        csr_prog("kcore", 4096, 8, 1, 4),
+    ));
+    v.push(w(
+        "trianglecount",
+        GraphBig,
+        Gi,
+        false,
+        csr_prog("trianglecount", 2048, 16, 1, 1),
+    ));
 
     // --- Physics and modelling (Table 6 PS) ------------------------------
-    v.push(w("cutcp", Parboil, Ps, false, stencil_prog("cutcp", 4, 16384, 1, C)));
-    v.push(w("tpacf", Parboil, Ps, false, histogram_prog("tpacf", 64, 16384)));
+    v.push(w(
+        "cutcp",
+        Parboil,
+        Ps,
+        false,
+        stencil_prog("cutcp", 4, 16384, 1, C),
+    ));
+    v.push(w(
+        "tpacf",
+        Parboil,
+        Ps,
+        false,
+        histogram_prog("tpacf", 64, 16384),
+    ));
     v.push(w(
         "blacksholes",
         FinanceBench,
@@ -659,8 +758,20 @@ pub fn all_workloads() -> Vec<Workload> {
         false,
         streaming_prog("mersennetwister", 1, 16, 32768, 1, C),
     ));
-    v.push(w("sorting", Shoc, Ps, false, sorting_prog("sorting", 8192, 28, C)));
-    v.push(w("shoc-reduction", Shoc, La, false, reduce_prog("shoc_reduction", 65536, C)));
+    v.push(w(
+        "sorting",
+        Shoc,
+        Ps,
+        false,
+        sorting_prog("sorting", 8192, 28, C),
+    ));
+    v.push(w(
+        "shoc-reduction",
+        Shoc,
+        La,
+        false,
+        reduce_prog("shoc_reduction", 65536, C),
+    ));
     v.push(w(
         "scan",
         Shoc,
@@ -676,7 +787,12 @@ pub fn all_workloads() -> Vec<Workload> {
                 &k,
                 (N / 256) as u32,
                 256,
-                &[WArg::Buf(input), WArg::Buf(out), WArg::Buf(sums), WArg::Scalar(N)],
+                &[
+                    WArg::Buf(input),
+                    WArg::Buf(out),
+                    WArg::Buf(sums),
+                    WArg::Scalar(N),
+                ],
             );
         }),
     ));
@@ -689,7 +805,13 @@ pub fn all_workloads() -> Vec<Workload> {
     ));
 
     // --- Image and media (Table 6 IM) -------------------------------------
-    v.push(w("mri-q", Parboil, Im, false, streaming_prog("mri-q", 5, 20, 16384, 1, C)));
+    v.push(w(
+        "mri-q",
+        Parboil,
+        Im,
+        false,
+        streaming_prog("mri-q", 5, 20, 16384, 1, C),
+    ));
     v.push(w(
         "SobolQRNG",
         CudaSdk,
@@ -697,10 +819,28 @@ pub fn all_workloads() -> Vec<Workload> {
         true,
         interleaved_prog("SobolQRNG", 3, &P012, 20, 17, 8192, 1, BLOCK, C),
     ));
-    v.push(w("DwtHarr", CudaSdk, Im, false, streaming_prog("DwtHarr", 1, 6, 16384, 4, C)));
-    v.push(w("hotspot", Rodinia, Im, false, hotspot_prog("hotspot", 128, 5)));
+    v.push(w(
+        "DwtHarr",
+        CudaSdk,
+        Im,
+        false,
+        streaming_prog("DwtHarr", 1, 6, 16384, 4, C),
+    ));
+    v.push(w(
+        "hotspot",
+        Rodinia,
+        Im,
+        false,
+        hotspot_prog("hotspot", 128, 5),
+    ));
     v.push(w("lud-64", Rodinia, Im, true, lud_prog("lud-64", 4, 4096)));
-    v.push(w("lud-256", Rodinia, Im, true, lud_prog("lud-256", 8, 16384)));
+    v.push(w(
+        "lud-256",
+        Rodinia,
+        Im,
+        true,
+        lud_prog("lud-256", 8, 16384),
+    ));
     v.push(w(
         "LineOfSight",
         CudaSdk,
@@ -715,7 +855,13 @@ pub fn all_workloads() -> Vec<Workload> {
         true,
         interleaved_prog("Dxtc", 4, &P0123, 10, 16, 8192, 1, BLOCK, C),
     ));
-    v.push(w("Histogram", CudaSdk, Im, true, histogram_prog("Histogram", 256, 32768)));
+    v.push(w(
+        "Histogram",
+        CudaSdk,
+        Im,
+        true,
+        histogram_prog("Histogram", 256, 32768),
+    ));
     v.push(w(
         "HSOpticalFlow",
         CudaSdk,
@@ -735,10 +881,28 @@ pub fn all_workloads() -> Vec<Workload> {
     v.push(w("nw", Rodinia, Dm, true, nw_prog("nw")));
 
     // --- Additional named CUDA benchmarks (suite breadth for Fig. 1) ------
-    v.push(w("transpose", CudaSdk, Im, false, transpose_prog("transpose", 96)));
+    v.push(w(
+        "transpose",
+        CudaSdk,
+        Im,
+        false,
+        transpose_prog("transpose", 96),
+    ));
     v.push(w("sgemm", Parboil, La, false, matmul_prog("sgemm", 96)));
-    v.push(w("lbm", Parboil, Ps, false, stencil_prog("lbm", 4, 32768, 2, C)));
-    v.push(w("histo", Parboil, Im, false, histogram_prog("histo", 128, 16384)));
+    v.push(w(
+        "lbm",
+        Parboil,
+        Ps,
+        false,
+        stencil_prog("lbm", 4, 32768, 2, C),
+    ));
+    v.push(w(
+        "histo",
+        Parboil,
+        Im,
+        false,
+        histogram_prog("histo", 128, 16384),
+    ));
     v.push(w(
         "mri-gridding",
         Parboil,
@@ -749,11 +913,41 @@ pub fn all_workloads() -> Vec<Workload> {
     v.push(w("atax", PolybenchAcc, La, false, matmul_prog("atax", 48)));
     v.push(w("bicg", PolybenchAcc, La, false, matmul_prog("bicg", 56)));
     v.push(w("mvt", PolybenchAcc, La, false, matmul_prog("mvt", 64)));
-    v.push(w("gemver", PolybenchAcc, La, false, streaming_prog("gemver", 4, 10, 16384, 1, C)));
-    v.push(w("jacobi2d", PolybenchAcc, Ps, false, stencil_prog("jacobi2d", 1, 16384, 4, C)));
-    v.push(w("fdtd2d", PolybenchAcc, Ps, false, stencil_prog("fdtd2d", 2, 16384, 3, C)));
-    v.push(w("correlation", PolybenchAcc, Dm, false, matmul_prog("correlation", 40)));
-    v.push(w("covariance", PolybenchAcc, Dm, false, matmul_prog("covariance", 40)));
+    v.push(w(
+        "gemver",
+        PolybenchAcc,
+        La,
+        false,
+        streaming_prog("gemver", 4, 10, 16384, 1, C),
+    ));
+    v.push(w(
+        "jacobi2d",
+        PolybenchAcc,
+        Ps,
+        false,
+        stencil_prog("jacobi2d", 1, 16384, 4, C),
+    ));
+    v.push(w(
+        "fdtd2d",
+        PolybenchAcc,
+        Ps,
+        false,
+        stencil_prog("fdtd2d", 2, 16384, 3, C),
+    ));
+    v.push(w(
+        "correlation",
+        PolybenchAcc,
+        Dm,
+        false,
+        matmul_prog("correlation", 40),
+    ));
+    v.push(w(
+        "covariance",
+        PolybenchAcc,
+        Dm,
+        false,
+        matmul_prog("covariance", 40),
+    ));
     v.push(w(
         "scalarprod-shoc",
         Shoc,
@@ -761,7 +955,13 @@ pub fn all_workloads() -> Vec<Workload> {
         false,
         streaming_prog("scalarprod_shoc", 2, 4, 32768, 1, C),
     ));
-    v.push(w("spmv-shoc", Shoc, La, false, csr_prog("spmv_shoc", 4096, 10, 1, 1)));
+    v.push(w(
+        "spmv-shoc",
+        Shoc,
+        La,
+        false,
+        csr_prog("spmv_shoc", 4096, 10, 1, 1),
+    ));
     v.push(w("md", Shoc, Ps, false, csr_prog("md", 2048, 16, 2, 1)));
     v.push(w("fft", Shoc, Im, false, sorting_prog("fft", 8192, 13, C)));
     v.push(w(
@@ -787,14 +987,56 @@ pub fn all_workloads() -> Vec<Workload> {
     ));
 
     // --- Rodinia applications of Figs. 11 and 19 not in Table 6 ----------
-    v.push(w("b+tree", Rodinia, Gt, false, csr_prog("b+tree", 4096, 4, 1, 2)));
+    v.push(w(
+        "b+tree",
+        Rodinia,
+        Gt,
+        false,
+        csr_prog("b+tree", 4096, 4, 1, 2),
+    ));
     v.push(w("cfd", Rodinia, Ps, false, cfd_prog_real("cfd", 8192, 2)));
-    v.push(w("dwt2d", Rodinia, Im, false, streaming_prog("dwt2d", 1, 8, 16384, 3, C)));
-    v.push(w("heartwall", Rodinia, Im, false, matmul_prog("heartwall", 48)));
-    v.push(w("hotspot3D", Rodinia, Im, false, hotspot_prog("hotspot3D", 180, 3)));
-    v.push(w("hybridsort", Rodinia, Ps, false, hybridsort_prog("hybridsort", C)));
-    v.push(w("myocyte", Rodinia, Ps, false, local_prog("myocyte", 16, 32, 128, 128)));
-    v.push(w("particlefilter", Rodinia, Ps, false, particlefilter_prog_real()));
+    v.push(w(
+        "dwt2d",
+        Rodinia,
+        Im,
+        false,
+        streaming_prog("dwt2d", 1, 8, 16384, 3, C),
+    ));
+    v.push(w(
+        "heartwall",
+        Rodinia,
+        Im,
+        false,
+        matmul_prog("heartwall", 48),
+    ));
+    v.push(w(
+        "hotspot3D",
+        Rodinia,
+        Im,
+        false,
+        hotspot_prog("hotspot3D", 180, 3),
+    ));
+    v.push(w(
+        "hybridsort",
+        Rodinia,
+        Ps,
+        false,
+        hybridsort_prog("hybridsort", C),
+    ));
+    v.push(w(
+        "myocyte",
+        Rodinia,
+        Ps,
+        false,
+        local_prog("myocyte", 16, 32, 128, 128),
+    ));
+    v.push(w(
+        "particlefilter",
+        Rodinia,
+        Ps,
+        false,
+        particlefilter_prog_real(),
+    ));
     v.push(w(
         "pathfinder",
         Rodinia,
@@ -807,8 +1049,20 @@ pub fn all_workloads() -> Vec<Workload> {
     // --- The 17 OpenCL benchmarks (Table 6, run on Intel; Fig. 16) -------
     // Intel kernels use Method A (binding-table) addressing where the
     // archetype supports it (§2.2).
-    v.push(w("ocl:backprop", Suite::OpenCl, Category::OpenCl, false, backprop_prog(A)));
-    v.push(w("ocl:bfs", Suite::OpenCl, Category::OpenCl, false, csr_prog("ocl_bfs", 8192, 8, 1, 6)));
+    v.push(w(
+        "ocl:backprop",
+        Suite::OpenCl,
+        Category::OpenCl,
+        false,
+        backprop_prog(A),
+    ));
+    v.push(w(
+        "ocl:bfs",
+        Suite::OpenCl,
+        Category::OpenCl,
+        false,
+        csr_prog("ocl_bfs", 8192, 8, 1, 6),
+    ));
     v.push(w(
         "ocl:BitonicSort",
         Suite::OpenCl,
@@ -816,7 +1070,13 @@ pub fn all_workloads() -> Vec<Workload> {
         false,
         sorting_prog("ocl_bitonic", 8192, 28, A),
     ));
-    v.push(w("ocl:GEMM", Suite::OpenCl, Category::OpenCl, false, matmul_prog("ocl_gemm", 64)));
+    v.push(w(
+        "ocl:GEMM",
+        Suite::OpenCl,
+        Category::OpenCl,
+        false,
+        matmul_prog("ocl_gemm", 64),
+    ));
     v.push(w(
         "ocl:image",
         Suite::OpenCl,
@@ -824,7 +1084,13 @@ pub fn all_workloads() -> Vec<Workload> {
         false,
         streaming_prog("ocl_image", 2, 10, 32768, 1, A),
     ));
-    v.push(w("ocl:lavaMD", Suite::OpenCl, Category::OpenCl, false, csr_prog("ocl_lavamd", 4096, 12, 2, 1)));
+    v.push(w(
+        "ocl:lavaMD",
+        Suite::OpenCl,
+        Category::OpenCl,
+        false,
+        csr_prog("ocl_lavamd", 4096, 12, 2, 1),
+    ));
     v.push(w(
         "ocl:MedianFilter",
         Suite::OpenCl,
@@ -832,7 +1098,13 @@ pub fn all_workloads() -> Vec<Workload> {
         false,
         stencil_prog("ocl_median", 2, 16384, 1, A),
     ));
-    v.push(w("ocl:cfd", Suite::OpenCl, Category::OpenCl, false, cfd_prog_real("ocl_cfd", 8192, 2)));
+    v.push(w(
+        "ocl:cfd",
+        Suite::OpenCl,
+        Category::OpenCl,
+        false,
+        cfd_prog_real("ocl_cfd", 8192, 2),
+    ));
     v.push(w(
         "ocl:MonteCarlo",
         Suite::OpenCl,
@@ -875,7 +1147,13 @@ pub fn all_workloads() -> Vec<Workload> {
         false,
         hybridsort_prog("ocl_hybridsort", A),
     ));
-    v.push(w("ocl:kmeans", Suite::OpenCl, Category::OpenCl, false, kmeans_prog("ocl_kmeans", A)));
+    v.push(w(
+        "ocl:kmeans",
+        Suite::OpenCl,
+        Category::OpenCl,
+        false,
+        kmeans_prog("ocl_kmeans", A),
+    ));
     v.push(w(
         "ocl:nn",
         Suite::OpenCl,

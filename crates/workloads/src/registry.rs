@@ -218,10 +218,7 @@ pub fn fig19_set() -> Vec<Workload> {
         "particlefilter",
         "streamcluster",
     ];
-    NAMES
-        .iter()
-        .filter_map(|n| by_name(n))
-        .collect()
+    NAMES.iter().filter_map(|n| by_name(n)).collect()
 }
 
 /// The Rodinia workloads whose buffers Fig. 11 counts pages for.
@@ -278,7 +275,10 @@ mod tests {
     #[test]
     fn buffer_count_distribution_matches_fig1_shape() {
         // Fig. 1: most kernels have < 10 buffers; the average is ~6.5.
-        let counts: Vec<usize> = all().iter().map(|w| w.probe().max_buffers_per_kernel).collect();
+        let counts: Vec<usize> = all()
+            .iter()
+            .map(|w| w.probe().max_buffers_per_kernel)
+            .collect();
         let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
         assert!(avg > 2.0 && avg < 10.0, "avg buffers {avg}");
         let lt10 = counts.iter().filter(|c| **c < 10).count();

@@ -49,10 +49,16 @@ fn vectoradd(method: char) -> Kernel {
 
 fn main() {
     println!("== Method A: binding table + offset (Intel send/BTS) ==");
-    println!("{}", vendor_listing(&vectoradd('A'), VendorStyle::IntelSend));
+    println!(
+        "{}",
+        vendor_listing(&vectoradd('A'), VendorStyle::IntelSend)
+    );
 
     println!("== Method B: full virtual address (Nvidia SASS) ==");
-    println!("{}", vendor_listing(&vectoradd('B'), VendorStyle::NvidiaSass));
+    println!(
+        "{}",
+        vendor_listing(&vectoradd('B'), VendorStyle::NvidiaSass)
+    );
 
     println!("== Method B: full virtual address (AMD flat) ==");
     println!("{}", vendor_listing(&vectoradd('B'), VendorStyle::AmdFlat));

@@ -18,8 +18,16 @@ fn main() {
                 .map(|f| w.name().contains(f))
                 .unwrap_or_else(|| {
                     // Default: one representative per category.
-                    ["mm", "vectoradd", "bfs-dtc", "pagerank", "blacksholes", "hotspot", "nw"]
-                        .contains(&w.name())
+                    [
+                        "mm",
+                        "vectoradd",
+                        "bfs-dtc",
+                        "pagerank",
+                        "blacksholes",
+                        "hotspot",
+                        "nw",
+                    ]
+                    .contains(&w.name())
                 })
         })
         .collect();
@@ -31,7 +39,11 @@ fn main() {
     for w in selected {
         let base = run_workload(&w, Target::Nvidia, Protection::baseline());
         let gs = run_workload(&w, Target::Nvidia, Protection::shield_default());
-        let st = run_workload(&w, Target::Nvidia, Protection::shield_default().with_static());
+        let st = run_workload(
+            &w,
+            Target::Nvidia,
+            Protection::shield_default().with_static(),
+        );
         println!(
             "{:<14} {:>6} {:>10} {:>10} {:>8.2} {:>9.1} {:>8.1}",
             w.display_name(),

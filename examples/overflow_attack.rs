@@ -60,7 +60,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         let b = sys.alloc(16 * 4)?; // adjacent
 
         // Case 1: within A's 512 B slot — suppressed (no side effect).
-        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x10)])?;
+        let r = sys.launch(
+            overflow_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(a), Arg::Scalar(0x10)],
+        )?;
         println!(
             "A[0x10]    -> completed={} B[0]=0x{:x} (suppressed by alignment padding)",
             r.completed(),
@@ -68,7 +73,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
 
         // Case 2: 512 B past A — lands exactly on B. Observable by the CPU.
-        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80)])?;
+        let r = sys.launch(
+            overflow_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(a), Arg::Scalar(0x80)],
+        )?;
         println!(
             "A[0x80]    -> completed={} B[0]=0x{:x} (SILENT CORRUPTION)",
             r.completed(),
@@ -76,9 +86,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
 
         // Case 3: 2 MB past A — leaves the mapped region, kernel aborted.
-        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80000)])?;
-        println!("A[0x80000] -> completed={} ({})", r.completed(),
-            r.launches[0].abort.map(|x| x.to_string()).unwrap_or_default());
+        let r = sys.launch(
+            overflow_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(a), Arg::Scalar(0x80000)],
+        )?;
+        println!(
+            "A[0x80000] -> completed={} ({})",
+            r.completed(),
+            r.launches[0]
+                .abort
+                .map(|x| x.to_string())
+                .unwrap_or_default()
+        );
     }
 
     println!("\n== The same three writes under GPUShield ==");
@@ -109,8 +130,18 @@ fn main() -> Result<(), Box<dyn Error>> {
         let fn_table = sys.alloc(16 * 4)?;
         let outcome = sys.alloc(4)?;
         sys.write_buffer(fn_table, 0, &1u32.to_le_bytes()); // legit fn id 1
-        let _ = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80)])?;
-        let _ = sys.launch(dispatch_kernel(), 1, 1, &[Arg::Buffer(fn_table), Arg::Buffer(outcome)])?;
+        let _ = sys.launch(
+            overflow_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(a), Arg::Scalar(0x80)],
+        )?;
+        let _ = sys.launch(
+            dispatch_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(fn_table), Arg::Buffer(outcome)],
+        )?;
         println!(
             "unprotected: dispatch ran function 0x{:x} (0xBAD = attacker-controlled)",
             sys.read_uint(outcome, 0, 4)
@@ -123,9 +154,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         let fn_table = sys.alloc(16 * 4)?;
         let outcome = sys.alloc(4)?;
         sys.write_buffer(fn_table, 0, &1u32.to_le_bytes());
-        let r = sys.launch(overflow_kernel(), 1, 1, &[Arg::Buffer(a), Arg::Scalar(0x80)])?;
+        let r = sys.launch(
+            overflow_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(a), Arg::Scalar(0x80)],
+        )?;
         assert!(!r.completed());
-        let _ = sys.launch(dispatch_kernel(), 1, 1, &[Arg::Buffer(fn_table), Arg::Buffer(outcome)])?;
+        let _ = sys.launch(
+            dispatch_kernel(),
+            1,
+            1,
+            &[Arg::Buffer(fn_table), Arg::Buffer(outcome)],
+        )?;
         println!(
             "GPUShield:   setup phase aborted; dispatch ran function 0x{:x}",
             sys.read_uint(outcome, 0, 4)

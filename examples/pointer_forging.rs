@@ -46,12 +46,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let secret = driver.malloc(4096)?;
     // Force a runtime-checked pointer (an attacker-reachable one) by
     // launching a kernel whose access is not statically provable.
-    let victim_prepared = driver.prepare_launch(
-        write_kernel(),
-        1,
-        1,
-        &[Arg::Buffer(secret)],
-    )?;
+    let victim_prepared = driver.prepare_launch(write_kernel(), 1, 1, &[Arg::Buffer(secret)])?;
     let setup = victim_prepared.shield.expect("shield on");
     bcu.register_kernel(setup);
     let legit_ptr = TaggedPtr::from_raw(victim_prepared.launch.args[0]);
@@ -70,7 +65,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     for forged_id in 0..TRIES {
         let mut launch = victim_prepared.launch.clone();
         launch.args[0] = TaggedPtr::with_region_id(legit_ptr.va(), forged_id * 251).raw();
-        let report = gpu.run(driver.vm_mut(), &[launch], Some(&mut bcu as &mut dyn MemGuard))?;
+        let report = gpu.run(
+            driver.vm_mut(),
+            &[launch],
+            Some(&mut bcu as &mut dyn MemGuard),
+        )?;
         if report.completed() {
             successes += 1;
         } else {
@@ -91,7 +90,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     bcu.register_kernel(replay.shield.expect("shield on"));
     let mut launch = replay.launch.clone();
     launch.args[0] = legit_ptr.raw(); // yesterday's pointer
-    let report = gpu.run(driver.vm_mut(), &[launch], Some(&mut bcu as &mut dyn MemGuard))?;
+    let report = gpu.run(
+        driver.vm_mut(),
+        &[launch],
+        Some(&mut bcu as &mut dyn MemGuard),
+    )?;
     println!(
         "\nreplaying a previous launch's encrypted pointer: completed={}",
         report.completed()

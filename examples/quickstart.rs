@@ -43,7 +43,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         kernel.clone(),
         (N / 256) as u32,
         256,
-        &[Arg::Buffer(ha), Arg::Buffer(hb), Arg::Buffer(hc), Arg::Scalar(N)],
+        &[
+            Arg::Buffer(ha),
+            Arg::Buffer(hb),
+            Arg::Buffer(hc),
+            Arg::Scalar(N),
+        ],
     )?;
     assert!(report.completed());
     assert_eq!(sys.read_uint(hc, 100 * 4, 4), 300);
@@ -71,7 +76,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let tid2 = buggy.global_thread_id();
     let off2 = buggy.shl(tid2, Operand::Imm(2));
     let x2 = buggy.ld(MemSpace::Global, MemWidth::W4, buggy.base_offset(a2, off2));
-    buggy.st(MemSpace::Global, MemWidth::W4, buggy.base_offset(c2, off2), x2);
+    buggy.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        buggy.base_offset(c2, off2),
+        x2,
+    );
     buggy.ret();
     let buggy = Arc::new(buggy.finish()?);
 

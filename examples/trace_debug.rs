@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut trace = Trace::new(4096);
     let report = sys.launch_traced(kernel, 2, 64, &[Arg::Buffer(buf)], &mut trace)?;
     assert!(report.completed());
-    assert_eq!(sys.read_uint(buf, 0, 4), 63, "reversed within the workgroup");
+    assert_eq!(
+        sys.read_uint(buf, 0, 4),
+        63,
+        "reversed within the workgroup"
+    );
 
     println!("== first 20 events ==");
     for e in trace.events().iter().take(20) {
@@ -51,7 +55,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .iter()
         .filter(|e| matches!(e.kind, TraceKind::Mem { .. }))
         .count();
-    println!("\n{} events total: {barriers} barrier arrivals, {mems} memory instructions", trace.events().len());
+    println!(
+        "\n{} events total: {barriers} barrier arrivals, {mems} memory instructions",
+        trace.events().len()
+    );
 
     // Now trace an out-of-bounds kernel and find the abort.
     let mut bad = KernelBuilder::new("oob");

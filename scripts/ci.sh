@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here must pass with zero registry access.
+#
+#   scripts/ci.sh          # format check, build, default tests, fig1 smoke
+#   CI_FULL=1 scripts/ci.sh # also run the randomized property suites
+#
+# The workspace has no external dependencies, so --offline is a hard
+# guarantee, not an optimization.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test (workspace, default features) --offline"
+cargo test -q --workspace --offline
+
+if [[ "${CI_FULL:-0}" == "1" ]]; then
+    echo "== cargo test --features proptest-tests --offline"
+    cargo test -q --features proptest-tests --offline
+fi
+
+echo "== experiments fig1 smoke run"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+./target/release/experiments fig1 "$out" --jobs 2
+test -s "$out/fig1.txt"
+test -s "$out/fig1.json"
+
+echo "CI OK"

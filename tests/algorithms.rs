@@ -19,7 +19,9 @@ fn upload_u32s(sys: &mut System, h: gpushield::BufferHandle, vals: &[u32]) {
 }
 
 fn read_u32s(sys: &System, h: gpushield::BufferHandle, n: usize) -> Vec<u32> {
-    (0..n).map(|i| sys.read_uint(h, i as u64 * 4, 4) as u32).collect()
+    (0..n)
+        .map(|i| sys.read_uint(h, i as u64 * 4, 4) as u32)
+        .collect()
 }
 
 #[test]
@@ -41,7 +43,12 @@ fn bitonic_network_sorts_under_protection() {
                     kernel.clone(),
                     (N / 256) as u32,
                     256,
-                    &[Arg::Buffer(data), Arg::Scalar(N), Arg::Scalar(j), Arg::Scalar(k)],
+                    &[
+                        Arg::Buffer(data),
+                        Arg::Scalar(N),
+                        Arg::Scalar(j),
+                        Arg::Scalar(k),
+                    ],
                 )
                 .unwrap();
             assert!(r.completed(), "bitonic step k={k} j={j} aborted");
@@ -73,7 +80,12 @@ fn block_scan_matches_host_prefix_sums() {
             scan_block_kernel(BLOCK),
             (N / u64::from(BLOCK)) as u32,
             BLOCK,
-            &[Arg::Buffer(inb), Arg::Buffer(outb), Arg::Buffer(sums), Arg::Scalar(N)],
+            &[
+                Arg::Buffer(inb),
+                Arg::Buffer(outb),
+                Arg::Buffer(sums),
+                Arg::Scalar(N),
+            ],
         )
         .unwrap();
     assert!(r.completed());
@@ -251,7 +263,12 @@ fn atomic_fetch_add_returns_unique_tickets() {
         Operand::Imm(1),
     );
     let off = b.shl(tid, Operand::Imm(2));
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), ticket);
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(out, off),
+        ticket,
+    );
     b.ret();
     let k = Arc::new(b.finish().unwrap());
 
@@ -260,7 +277,12 @@ fn atomic_fetch_add_returns_unique_tickets() {
     let counter = sys.alloc(64).unwrap();
     let out = sys.alloc(N as u64 * 4).unwrap();
     let r = sys
-        .launch(k, (N as u32) / 128, 128, &[Arg::Buffer(counter), Arg::Buffer(out)])
+        .launch(
+            k,
+            (N as u32) / 128,
+            128,
+            &[Arg::Buffer(counter), Arg::Buffer(out)],
+        )
         .unwrap();
     assert!(r.completed());
     let mut tickets = read_u32s(&sys, out, N);

@@ -9,7 +9,9 @@ use std::sync::Arc;
 /// forcing four Region-classed pointers.
 fn four_buffer_kernel() -> Arc<Kernel> {
     let mut b = KernelBuilder::new("four_bufs");
-    let bufs: Vec<_> = (0..4).map(|i| b.param_buffer(&format!("b{i}"), false)).collect();
+    let bufs: Vec<_> = (0..4)
+        .map(|i| b.param_buffer(&format!("b{i}"), false))
+        .collect();
     let j = b.ld(
         MemSpace::Global,
         MemWidth::W4,
@@ -149,7 +151,12 @@ fn context_switch_flushes_rcaches_without_breaking_checks() {
         b.base_offset(p, Operand::Imm(0)),
     );
     let off = b.shl(j, Operand::Imm(2));
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(p, off), Operand::Imm(9));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, off),
+        Operand::Imm(9),
+    );
     b.ret();
     let k = Arc::new(b.finish().unwrap());
 

@@ -40,7 +40,12 @@ fn run_saxpy(cfg: SystemConfig) -> (Vec<u32>, u64) {
             saxpy_kernel(),
             2,
             256,
-            &[Arg::Buffer(x), Arg::Buffer(y), Arg::Scalar(3), Arg::Scalar(N)],
+            &[
+                Arg::Buffer(x),
+                Arg::Buffer(y),
+                Arg::Scalar(3),
+                Arg::Scalar(N),
+            ],
         )
         .unwrap();
     assert!(r.completed());
@@ -58,7 +63,10 @@ fn protection_is_functionally_invisible() {
     }
     // The default configuration is near-free (paper Fig. 14).
     let ratio = prot_cycles as f64 / base_cycles as f64;
-    assert!(ratio <= 1.02, "default GPUShield overhead too high: {ratio}");
+    assert!(
+        ratio <= 1.02,
+        "default GPUShield overhead too high: {ratio}"
+    );
 }
 
 #[test]
@@ -71,7 +79,12 @@ fn guarded_saxpy_is_fully_static() {
             saxpy_kernel(),
             2,
             256,
-            &[Arg::Buffer(x), Arg::Buffer(y), Arg::Scalar(3), Arg::Scalar(500)],
+            &[
+                Arg::Buffer(x),
+                Arg::Buffer(y),
+                Arg::Scalar(3),
+                Arg::Scalar(500),
+            ],
         )
         .unwrap();
     assert!(r.completed());
@@ -96,7 +109,12 @@ fn multi_launch_state_persists_across_kernels() {
     let off = inc.shl(tid, Operand::Imm(2));
     let v = inc.ld(MemSpace::Global, MemWidth::W4, inc.base_offset(buf, off));
     let v2 = inc.add(v, Operand::Imm(1));
-    inc.st(MemSpace::Global, MemWidth::W4, inc.base_offset(buf, off), v2);
+    inc.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        inc.base_offset(buf, off),
+        v2,
+    );
     inc.ret();
     let inc = Arc::new(inc.finish().unwrap());
 
@@ -124,7 +142,12 @@ fn local_memory_roundtrips_per_thread() {
     let off = b.shl(tid, Operand::Imm(2));
     let _ = total; // layout only needs tid for a single word
     let magic = b.mul(tid, Operand::Imm(7));
-    b.st(MemSpace::Local, MemWidth::W4, b.base_offset(base, off), magic);
+    b.st(
+        MemSpace::Local,
+        MemWidth::W4,
+        b.base_offset(base, off),
+        magic,
+    );
     let v = b.ld(MemSpace::Local, MemWidth::W4, b.base_offset(base, off));
     let goff = b.shl(tid, Operand::Imm(2));
     b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, goff), v);
@@ -148,8 +171,17 @@ fn heap_allocations_are_disjoint_and_checked() {
     let out = b.param_buffer("out", false);
     let p = b.malloc(Operand::Imm(32));
     let tid = b.global_thread_id();
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(p, Operand::Imm(0)), tid);
-    let v = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(p, Operand::Imm(0)));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(0)),
+        tid,
+    );
+    let v = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(0)),
+    );
     let off = b.shl(tid, Operand::Imm(2));
     b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), v);
     b.ret();

@@ -6,10 +6,15 @@
 //! 2. **Static-analysis soundness** — enabling check elision never changes
 //!    which launches are aborted: a Type 1 classification may only remove
 //!    checks the access could never fail.
+//!
+//! Seeded loops on the in-tree RNG (formerly proptest), gated behind
+//! `--features proptest-tests`: each case derives from a fixed seed, so
+//! failures reproduce exactly.
+#![cfg(feature = "proptest-tests")]
 
 use gpushield::{Arg, BcuConfig, DriverConfig, GpuConfig, System, SystemConfig};
 use gpushield_isa::{Kernel, KernelBuilder, MemSpace, MemWidth, Operand};
-use proptest::prelude::*;
+use gpushield_runtime::rng::StdRng;
 use std::sync::Arc;
 
 fn tiny_cfg(shield: bool, static_analysis: bool) -> SystemConfig {
@@ -64,20 +69,15 @@ fn host_oracle(rows: &[Vec<u32>], alu: usize, mul: i64, add: i64, i: usize) -> u
     acc as u32
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn simt_matches_host_oracle_protected_and_not(
-        inputs in 1usize..4,
-        alu in 0usize..6,
-        mul in 3i64..99,
-        add in 0i64..1000,
-        n in 17u64..200,
-        seed in any::<u64>(),
-    ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn simt_matches_host_oracle_protected_and_not() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for case in 0..8 {
+        let inputs = rng.gen_range(1usize..4);
+        let alu = rng.gen_range(0usize..6);
+        let mul = rng.gen_range(3i64..99);
+        let add = rng.gen_range(0i64..1000);
+        let n = rng.gen_range(17u64..200);
         let rows: Vec<Vec<u32>> = (0..inputs)
             .map(|_| (0..n).map(|_| rng.gen()).collect())
             .collect();
@@ -99,27 +99,33 @@ proptest! {
             args.push(Arg::Buffer(out));
             args.push(Arg::Scalar(n));
             let r = sys.launch(kernel.clone(), grid, 16, &args).unwrap();
-            prop_assert!(r.completed(), "benign kernel aborted (shield={shield})");
+            assert!(
+                r.completed(),
+                "benign kernel aborted (case {case}, shield={shield})"
+            );
             for i in 0..n as usize {
                 let got = sys.read_uint(out, i as u64 * 4, 4) as u32;
-                prop_assert_eq!(
+                assert_eq!(
                     got,
                     host_oracle(&rows, alu, mul, add, i),
-                    "element {} (shield={})", i, shield
+                    "case {case}, element {i} (shield={shield})"
                 );
             }
         }
     }
+}
 
-    /// `out[tid * stride] = tid` with random buffer sizing: sometimes safe,
-    /// sometimes overflowing. Static analysis must agree with the
-    /// all-runtime configuration about which launches abort.
-    #[test]
-    fn static_elision_never_changes_abort_behaviour(
-        stride in 1i64..8,
-        elems in 8u64..256,
-        threads_pow in 1u32..4,
-    ) {
+/// `out[tid * stride] = tid` with random buffer sizing: sometimes safe,
+/// sometimes overflowing. Static analysis must agree with the all-runtime
+/// configuration about which launches abort.
+#[test]
+fn static_elision_never_changes_abort_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    for _ in 0..32 {
+        let stride = rng.gen_range(1i64..8);
+        let elems = rng.gen_range(8u64..256);
+        let threads_pow = rng.gen_range(1u32..4);
+
         let mut b = KernelBuilder::new("fuzz_static");
         let out = b.param_buffer("out", false);
         let tid = b.global_thread_id();
@@ -133,19 +139,20 @@ proptest! {
         let run = |static_on: bool| -> bool {
             let mut sys = System::new(tiny_cfg(true, static_on));
             let buf = sys.alloc(elems * 4).unwrap();
-            let r = sys.launch(kernel.clone(), grid, 16, &[Arg::Buffer(buf)]).unwrap();
+            let r = sys
+                .launch(kernel.clone(), grid, 16, &[Arg::Buffer(buf)])
+                .unwrap();
             r.completed()
         };
         let with_static = run(true);
         let without_static = run(false);
-        prop_assert_eq!(
+        assert_eq!(
             with_static, without_static,
-            "static analysis changed detection (stride={}, elems={}, grid={})",
-            stride, elems, grid
+            "static analysis changed detection (stride={stride}, elems={elems}, grid={grid})"
         );
         // Cross-check against ground truth: the launch is safe iff the
         // largest touched element fits.
         let max_index = (u64::from(grid) * 16 - 1) * stride as u64;
-        prop_assert_eq!(without_static, max_index < elems, "runtime check oracle");
+        assert_eq!(without_static, max_index < elems, "runtime check oracle");
     }
 }

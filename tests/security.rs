@@ -33,7 +33,12 @@ fn indirect_store_kernel() -> Arc<Kernel> {
         b.base_offset(a, Operand::Imm(0)),
     );
     let off = b.shl(j, Operand::Imm(2));
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(a, off), Operand::Imm(0xBAD));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, off),
+        Operand::Imm(0xBAD),
+    );
     b.ret();
     Arc::new(b.finish().unwrap())
 }
@@ -43,7 +48,9 @@ fn global_overflow_silently_corrupts_without_shield() {
     let mut sys = System::new(SystemConfig::nvidia_baseline());
     let a = sys.alloc(64).unwrap();
     let victim = sys.alloc(64).unwrap();
-    let r = sys.launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    let r = sys
+        .launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)])
+        .unwrap();
     assert!(r.completed(), "unprotected GPU completes the overflow");
     assert_eq!(sys.read_uint(victim, 0, 4), 0xBAD, "victim corrupted");
 }
@@ -53,7 +60,9 @@ fn global_overflow_is_aborted_with_shield() {
     let mut sys = System::new(SystemConfig::nvidia_protected());
     let a = sys.alloc(64).unwrap();
     let victim = sys.alloc(64).unwrap();
-    let r = sys.launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    let r = sys
+        .launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)])
+        .unwrap();
     assert!(!r.completed());
     assert_eq!(sys.read_uint(victim, 0, 4), 0, "victim intact");
     assert_eq!(sys.violations()[0].kind, ViolationKind::OutOfBounds);
@@ -71,13 +80,20 @@ fn oob_reads_are_also_detected() {
         MemWidth::W4,
         b.base_offset(a, Operand::Imm(0x200)),
     );
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, Operand::Imm(0)), v);
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(out, Operand::Imm(0)),
+        v,
+    );
     b.ret();
     let k = Arc::new(b.finish().unwrap());
     let mut sys = System::new(SystemConfig::nvidia_protected());
     let a = sys.alloc(64).unwrap();
     let out = sys.alloc(64).unwrap();
-    let r = sys.launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(out)]).unwrap();
+    let r = sys
+        .launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(out)])
+        .unwrap();
     assert!(!r.completed());
     assert!(!sys.violations()[0].is_store);
 }
@@ -99,7 +115,9 @@ fn negative_offset_underflow_is_caught() {
     let mut sys = System::new(SystemConfig::nvidia_protected());
     let _pad = sys.alloc(4096).unwrap();
     let a = sys.alloc(64).unwrap();
-    let r = sys.launch(oob_store_kernel(-8), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    let r = sys
+        .launch(oob_store_kernel(-8), 1, 1, &[Arg::Buffer(a)])
+        .unwrap();
     assert!(!r.completed(), "underflow below the base must fault");
 }
 
@@ -107,16 +125,21 @@ fn negative_offset_underflow_is_caught() {
 fn readonly_buffers_reject_stores() {
     let mut b = KernelBuilder::new("ro_store");
     let a = b.param_buffer("A", true); // declared read-only
-    // Loaded offset: unprovable, so the runtime check (which owns
-    // read-only enforcement) fires — and rejects the store even though the
-    // loaded index (0) is in bounds.
+                                       // Loaded offset: unprovable, so the runtime check (which owns
+                                       // read-only enforcement) fires — and rejects the store even though the
+                                       // loaded index (0) is in bounds.
     let j = b.ld(
         MemSpace::Global,
         MemWidth::W4,
         b.base_offset(a, Operand::Imm(0)),
     );
     let off = b.shl(j, Operand::Imm(2));
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(a, off), Operand::Imm(1));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(a, off),
+        Operand::Imm(1),
+    );
     b.ret();
     let k = Arc::new(b.finish().unwrap());
     let mut sys = System::new(SystemConfig::nvidia_protected());
@@ -176,8 +199,17 @@ fn shared_memory_stays_on_chip_and_unchecked() {
         b.flat(Operand::Imm(1 << 20)),
         Operand::Imm(7),
     );
-    let v = b.ld(MemSpace::Shared, MemWidth::W4, b.flat(Operand::Imm((1 << 20) % 64)));
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, Operand::Imm(0)), v);
+    let v = b.ld(
+        MemSpace::Shared,
+        MemWidth::W4,
+        b.flat(Operand::Imm((1 << 20) % 64)),
+    );
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(out, Operand::Imm(0)),
+        v,
+    );
     b.ret();
     let k = Arc::new(b.finish().unwrap());
     let mut sys = System::new(SystemConfig::nvidia_protected());
@@ -208,7 +240,11 @@ fn forged_plaintext_id_fails() {
     let mut forged = prepared.launch.clone();
     forged.args[0] = TaggedPtr::with_region_id(legit.va(), 0x1A2B).raw();
     let r = gpu
-        .run(driver.vm_mut(), &[forged], Some(&mut bcu as &mut dyn MemGuard))
+        .run(
+            driver.vm_mut(),
+            &[forged],
+            Some(&mut bcu as &mut dyn MemGuard),
+        )
         .unwrap();
     assert!(!r.completed(), "forged ID must not authorize access");
 }
@@ -222,7 +258,12 @@ fn kernels_cannot_read_the_rbt() {
     let mut bcu = Bcu::new(BcuConfig::default(), 2);
     let buf = driver.malloc(64).unwrap();
     let prepared = driver
-        .prepare_launch(oob_store_kernel(0), 1, 1, &[gpushield_driver::Arg::Buffer(buf)])
+        .prepare_launch(
+            oob_store_kernel(0),
+            1,
+            1,
+            &[gpushield_driver::Arg::Buffer(buf)],
+        )
         .unwrap();
     let setup = prepared.shield.unwrap();
     bcu.register_kernel(setup);
@@ -262,7 +303,9 @@ fn squash_mode_logs_and_continues() {
     let mut sys = System::new(cfg);
     let a = sys.alloc(64).unwrap();
     let victim = sys.alloc(64).unwrap();
-    let r = sys.launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)]).unwrap();
+    let r = sys
+        .launch(oob_store_kernel(0x80), 1, 1, &[Arg::Buffer(a)])
+        .unwrap();
     assert!(r.completed(), "squash mode does not abort");
     assert_eq!(r.launches[0].violations_squashed, 1);
     assert_eq!(sys.read_uint(victim, 0, 4), 0, "store dropped silently");
@@ -280,7 +323,12 @@ fn squashed_loads_return_zero() {
         b.base_offset(a, Operand::Imm(0x300)),
     );
     let v2 = b.add(v, Operand::Imm(5));
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, Operand::Imm(0)), v2);
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(out, Operand::Imm(0)),
+        v2,
+    );
     b.ret();
     let k = Arc::new(b.finish().unwrap());
     let mut cfg = SystemConfig::nvidia_protected();
@@ -289,7 +337,9 @@ fn squashed_loads_return_zero() {
     let a = sys.alloc(64).unwrap();
     sys.write_buffer(a, 0, &0xFFu32.to_le_bytes());
     let out = sys.alloc(64).unwrap();
-    let r = sys.launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(out)]).unwrap();
+    let r = sys
+        .launch(k, 1, 1, &[Arg::Buffer(a), Arg::Buffer(out)])
+        .unwrap();
     assert!(r.completed());
     assert_eq!(sys.read_uint(out, 0, 4), 5, "squashed load yields zero");
 }

@@ -24,7 +24,12 @@ fn repeated_load_kernel(rounds: usize) -> Arc<Kernel> {
         b.assign(acc, t);
     }
     let out_off = b.shl(j, Operand::Imm(3));
-    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(buf, out_off), acc);
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(buf, out_off),
+        acc,
+    );
     b.ret();
     Arc::new(b.finish().unwrap())
 }
@@ -37,7 +42,13 @@ fn stalls_under(l1_lat: u64, l2_lat: u64) -> (u64, u64) {
     let buf = sys.alloc(4096).unwrap();
     let mut trace = Trace::new(4096);
     let r = sys
-        .launch_traced(repeated_load_kernel(12), 1, 32, &[Arg::Buffer(buf)], &mut trace)
+        .launch_traced(
+            repeated_load_kernel(12),
+            1,
+            32,
+            &[Arg::Buffer(buf)],
+            &mut trace,
+        )
         .unwrap();
     assert!(r.completed());
     let mut stalled = 0u64;
@@ -114,7 +125,12 @@ fn multi_transaction_accesses_hide_the_bubble() {
         .unwrap();
     assert!(r.completed());
     for e in trace.events() {
-        if let TraceKind::Mem { transactions, stall, .. } = e.kind {
+        if let TraceKind::Mem {
+            transactions,
+            stall,
+            ..
+        } = e.kind
+        {
             if transactions > 1 {
                 assert_eq!(stall, 0, "multi-tx access must hide the BCU");
             }
