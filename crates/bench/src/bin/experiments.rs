@@ -14,11 +14,31 @@
 //! wall time. Exit status is non-zero when any experiment panics or any
 //! result file fails to write.
 
+use gpushield_bench::runner::profile_totals;
 use gpushield_bench::{config_fingerprint, experiments};
 use gpushield_runtime::pool;
 use gpushield_runtime::report::{numeric_rows, Json};
+use gpushield_sim::SimProfile;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// Counter-wise difference of two [`profile_totals`] snapshots taken
+/// around one experiment (experiments run sequentially, so the delta is
+/// exactly that experiment's simulator activity).
+fn profile_delta(before: &SimProfile, after: &SimProfile) -> SimProfile {
+    SimProfile {
+        alu_issues: after.alu_issues - before.alu_issues,
+        mem_issues: after.mem_issues - before.mem_issues,
+        shared_issues: after.shared_issues - before.shared_issues,
+        barrier_issues: after.barrier_issues - before.barrier_issues,
+        malloc_issues: after.malloc_issues - before.malloc_issues,
+        lsu_transactions: after.lsu_transactions - before.lsu_transactions,
+        bcu_checks: after.bcu_checks - before.bcu_checks,
+        bcu_stall_cycles: after.bcu_stall_cycles - before.bcu_stall_cycles,
+        dram_accesses: after.dram_accesses - before.dram_accesses,
+        idle_skips: after.idle_skips - before.idle_skips,
+    }
+}
 
 /// Builds the machine-readable `results/<id>.json` document for one
 /// experiment outcome (`Err` = the experiment panicked).
@@ -109,7 +129,12 @@ fn run_set(set: Vec<experiments::Experiment>, jobs: usize, out_dir: Option<&str>
         .iter()
         .map(|e| {
             let run = e.run;
-            move || run(jobs)
+            move || {
+                let (instrs0, prof0) = profile_totals();
+                let text = run(jobs);
+                let (instrs1, prof1) = profile_totals();
+                (text, instrs1 - instrs0, profile_delta(&prof0, &prof1))
+            }
         })
         .collect();
     let results = pool::run(tasks, 1);
@@ -120,13 +145,30 @@ fn run_set(set: Vec<experiments::Experiment>, jobs: usize, out_dir: Option<&str>
     for (e, r) in set.iter().zip(results) {
         let wall = r.wall.as_secs_f64();
         total += wall;
-        let outcome = r.result.map_err(|p| p.message);
+        let mut sim = None;
+        let outcome = r
+            .result
+            .map(|(text, instrs, prof)| {
+                sim = Some((instrs, prof));
+                text
+            })
+            .map_err(|p| p.message);
         match &outcome {
             Ok(_) => ok += 1,
             Err(_) => failed += 1,
         }
         writes_ok &= emit(e.id, e.title, &outcome, wall, jobs, out_dir);
-        eprintln!("[{} took {wall:.1}s]", e.id);
+        match sim {
+            Some((instrs, prof)) if instrs > 0 => {
+                let rate = instrs as f64 / wall.max(1e-9);
+                eprintln!(
+                    "[{} took {wall:.1}s — {instrs} instrs, {rate:.0} instrs/sec]",
+                    e.id
+                );
+                eprintln!("  sim profile: {prof}");
+            }
+            _ => eprintln!("[{} took {wall:.1}s]", e.id),
+        }
     }
     eprintln!("{ok} ok / {failed} failed / {total:.1}s total wall-time");
     if failed > 0 || !writes_ok {

@@ -4,7 +4,9 @@
 use crate::adapter::SystemHost;
 use gpushield::{BcuConfig, DriverConfig, GpuConfig, SystemConfig};
 use gpushield_core::BcuStats;
+use gpushield_sim::SimProfile;
 use gpushield_workloads::Workload;
+use std::sync::Mutex;
 
 /// Which GPU preset an experiment targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +132,8 @@ pub struct WorkloadRun {
     pub name: String,
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Total dynamic warp instructions across launches.
+    pub instructions: u64,
     /// Number of kernel launches.
     pub launches: u64,
     /// Buffers allocated.
@@ -142,6 +146,35 @@ pub struct WorkloadRun {
     pub check_reduction: f64,
     /// True when any launch aborted (must be false for benign workloads).
     pub aborted: bool,
+    /// Per-phase simulator activity counters, merged across launches.
+    pub profile: SimProfile,
+}
+
+/// Process-wide running totals over every [`run_workload`] call:
+/// `(instructions, merged profile)`. The `experiments` binary snapshots
+/// these around each experiment to report per-experiment simulator
+/// throughput on stderr without touching the deterministic stdout text.
+static TOTALS: Mutex<(u64, SimProfile)> = Mutex::new((
+    0,
+    SimProfile {
+        alu_issues: 0,
+        mem_issues: 0,
+        shared_issues: 0,
+        barrier_issues: 0,
+        malloc_issues: 0,
+        lsu_transactions: 0,
+        bcu_checks: 0,
+        bcu_stall_cycles: 0,
+        dram_accesses: 0,
+        idle_skips: 0,
+    },
+));
+
+/// Snapshot of the process-wide `(instructions, profile)` totals.
+pub fn profile_totals() -> (u64, SimProfile) {
+    *TOTALS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Runs one workload under one configuration.
@@ -159,15 +192,29 @@ pub fn run_workload(w: &Workload, target: Target, prot: Protection) -> WorkloadR
         w.name(),
         prot
     );
+    let mut profile = SimProfile::default();
+    for r in &host.reports {
+        profile.merge(&r.profile);
+    }
+    let instructions: u64 = host.reports.iter().map(|r| r.instructions()).sum();
+    {
+        let mut t = TOTALS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        t.0 += instructions;
+        t.1.merge(&profile);
+    }
     WorkloadRun {
         name: w.name().to_string(),
         cycles: host.total_cycles(),
+        instructions,
         launches: host.launches(),
         buffers: host.buffer_count(),
         buffer_bytes: host.buffer_bytes(),
         bcu: host.system().bcu_stats(),
         check_reduction: host.check_reduction(),
         aborted: host.any_abort(),
+        profile,
     }
 }
 

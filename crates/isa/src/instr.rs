@@ -253,8 +253,10 @@ impl fmt::Display for AddrExpr {
     }
 }
 
-/// One IR instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One IR instruction. Every payload is a small `Copy` value, so the whole
+/// instruction is `Copy` — the simulator's issue path reads instructions
+/// straight out of the interned kernel without cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// `dst = src`.
     Mov {

@@ -75,7 +75,12 @@ struct Line {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat slab, `ways` consecutive slots per set — a
+    /// single allocation per cache (cores are rebuilt per kernel batch, so
+    /// construction cost is on the simulator's warm path) and one cache
+    /// line walk per set scan.
+    lines: Vec<Line>,
+    nsets: usize,
     line_bytes: u64,
     ways: usize,
     policy: Replacement,
@@ -102,7 +107,15 @@ impl Cache {
             "cache lines not divisible into sets"
         );
         Cache {
-            sets: vec![Vec::with_capacity(ways); nsets],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0,
+                };
+                nsets * ways
+            ],
+            nsets,
             line_bytes,
             ways,
             policy,
@@ -118,11 +131,20 @@ impl Cache {
     }
 
     fn set_of(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes) % self.sets.len() as u64) as usize
+        ((addr / self.line_bytes) % self.nsets as u64) as usize
     }
 
     fn tag_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes / self.sets.len() as u64
+        addr / self.line_bytes / self.nsets as u64
+    }
+
+    fn set(&self, set_idx: usize) -> &[Line] {
+        &self.lines[set_idx * self.ways..(set_idx + 1) * self.ways]
+    }
+
+    fn set_mut(&mut self, set_idx: usize) -> &mut [Line] {
+        let ways = self.ways;
+        &mut self.lines[set_idx * ways..(set_idx + 1) * ways]
     }
 
     /// Looks up `addr`, allocating the line on miss. Returns `true` on hit.
@@ -130,89 +152,70 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let policy = self.policy;
-        let ways = self.ways;
         let set_idx = self.set_of(addr);
         let tag = self.tag_of(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            if policy == Replacement::Lru {
-                line.stamp = tick;
+        let hit = {
+            let set = self.set_mut(set_idx);
+            if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+                if policy == Replacement::Lru {
+                    line.stamp = tick;
+                }
+                true
+            } else {
+                false
             }
+        };
+        if hit {
             self.stats.hits += 1;
             return true;
         }
         self.stats.misses += 1;
-        if set.len() < ways {
-            set.push(Line {
-                tag,
-                valid: true,
-                stamp: tick,
-            });
-        } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|l| if l.valid { l.stamp } else { 0 })
-                .expect("non-empty set");
-            victim.tag = tag;
-            victim.valid = true;
-            victim.stamp = tick;
-        }
+        let set = self.set_mut(set_idx);
+        // Invalid slots rank as stamp 0, so they fill first (in slot
+        // order), exactly like the old grow-then-evict behaviour.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("non-empty set");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.stamp = tick;
         false
     }
 
-    /// Looks up `addr` without allocating. Returns `true` on hit; counts
-    /// toward statistics.
-    pub fn probe(&mut self, addr: u64) -> bool {
-        self.tick += 1;
-        let tick = self.tick;
-        let policy = self.policy;
+    /// Pure lookup: returns `true` when the line holding `addr` is present.
+    /// Unlike [`Cache::access`] it never allocates, never refreshes
+    /// LRU/FIFO state, and never counts toward statistics — probing a cache
+    /// to *ask* about its contents must not change them.
+    pub fn probe(&self, addr: u64) -> bool {
         let set_idx = self.set_of(addr);
         let tag = self.tag_of(addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            if policy == Replacement::Lru {
-                line.stamp = tick;
-            }
-            self.stats.hits += 1;
-            true
-        } else {
-            self.stats.misses += 1;
-            false
-        }
+        self.set(set_idx).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Inserts the line containing `addr` without counting an access.
     pub fn fill(&mut self, addr: u64) {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
         let set_idx = self.set_of(addr);
         let tag = self.tag_of(addr);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_mut(set_idx);
         if set.iter().any(|l| l.valid && l.tag == tag) {
             return;
         }
-        if set.len() < ways {
-            set.push(Line {
-                tag,
-                valid: true,
-                stamp: tick,
-            });
-        } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|l| if l.valid { l.stamp } else { 0 })
-                .expect("non-empty set");
-            victim.tag = tag;
-            victim.valid = true;
-            victim.stamp = tick;
-        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
+            .expect("non-empty set");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.stamp = tick;
     }
 
     /// Invalidates everything (kernel termination / context switch flush).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        for line in &mut self.lines {
+            line.valid = false;
         }
     }
 
@@ -298,5 +301,19 @@ mod tests {
         assert!(!c.probe(0));
         c.fill(0);
         assert!(c.probe(0));
+    }
+
+    #[test]
+    fn probe_is_observation_only() {
+        let mut c = Cache::new(256, 128, 0, Replacement::Lru);
+        c.access(0); // A
+        c.access(128); // B — A is now LRU
+        let stats_before = c.stats();
+        assert!(c.probe(0), "A resident");
+        assert_eq!(c.stats(), stats_before, "probe leaves stats untouched");
+        // A probe must not refresh LRU order: C still evicts A.
+        c.access(256);
+        assert!(!c.probe(0), "A evicted despite being probed");
+        assert!(c.probe(128), "B survived");
     }
 }

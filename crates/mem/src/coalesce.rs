@@ -50,7 +50,17 @@ impl Transaction {
 /// assert_eq!(coalesce_warp(&addrs, 4).len(), 32);
 /// ```
 pub fn coalesce_warp(lane_addrs: &[Option<u64>], width: u64) -> Vec<Transaction> {
-    let mut txs: Vec<Transaction> = Vec::with_capacity(4);
+    let mut txs = Vec::with_capacity(4);
+    coalesce_warp_into(lane_addrs, width, &mut txs);
+    txs
+}
+
+/// Allocation-free variant of [`coalesce_warp`]: clears `txs` and fills it
+/// with the coalesced transactions, reusing its capacity. The simulator's
+/// LSU calls this once per memory instruction with a per-core scratch
+/// vector.
+pub fn coalesce_warp_into(lane_addrs: &[Option<u64>], width: u64, txs: &mut Vec<Transaction>) {
+    txs.clear();
     for addr in lane_addrs.iter().flatten() {
         let first = Transaction::covering(*addr);
         let last = Transaction::covering(addr + width.saturating_sub(1));
@@ -67,8 +77,7 @@ pub fn coalesce_warp(lane_addrs: &[Option<u64>], width: u64) -> Vec<Transaction>
             };
         }
     }
-    txs.sort();
-    txs
+    txs.sort_unstable();
 }
 
 /// The per-warp (min, max-inclusive-end) address range the BCU's address

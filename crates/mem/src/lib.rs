@@ -26,7 +26,7 @@ mod tlb;
 mod vm;
 
 pub use cache::{Cache, CacheStats, Replacement};
-pub use coalesce::{coalesce_warp, Transaction, TRANSACTION_BYTES};
+pub use coalesce::{coalesce_warp, coalesce_warp_into, Transaction, TRANSACTION_BYTES};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use shared::{MemTimings, SharedMemorySystem};
 pub use tlb::{Tlb, TlbStats};

@@ -13,7 +13,7 @@
 //! Allocation policies also include power-of-two alignment with padding,
 //! which GPUShield's Type 3 pointers require (§5.3.3).
 
-use std::collections::HashMap;
+use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 
@@ -119,10 +119,16 @@ struct Region {
 #[derive(Debug, Default)]
 pub struct VirtualMemorySpace {
     regions: Vec<Region>,
-    /// VA page number → PA frame number.
-    page_table: HashMap<u64, u64>,
-    /// PA frame number → data.
-    frames: HashMap<u64, Box<[u8]>>,
+    /// Two-level (radix) page table: the root is indexed by the high bits
+    /// of the VA page number, each leaf by the low [`LEAF_BITS`] bits.
+    /// Entries store *frame number + 1* (0 = unmapped), so a zeroed leaf is
+    /// all-invalid. Allocations are carved from a monotonically increasing
+    /// cursor, so the root stays small and dense — the common load/store
+    /// translation is two array indexes.
+    page_root: Vec<Option<Box<[u64; LEAF_ENTRIES]>>>,
+    /// PA frame number → data, lazily populated (untouched pages read as
+    /// zero without materializing a frame).
+    frames: Vec<Option<Box<[u8]>>>,
     next_frame: u64,
     /// Bump cursor inside the current shared region.
     cursor: u64,
@@ -130,20 +136,27 @@ pub struct VirtualMemorySpace {
     cursor_region_end: u64,
     /// Next unmapped VA (regions are carved from here).
     next_region_va: u64,
+    /// Last successful [`VirtualMemorySpace::translate`]: `(page number +
+    /// 1, PA page base)`. Tag 0 never matches. Invalidated by
+    /// [`VirtualMemorySpace::protect`] (mappings are never removed, so new
+    /// regions cannot stale it).
+    last_xlate: Cell<(u64, u64)>,
+    /// Last successful bypass translation; protection changes do not affect
+    /// the bypass path, so this cache never needs invalidation.
+    last_bypass: Cell<(u64, u64)>,
 }
+
+/// Pages per page-table leaf (512 × 4 KB = one 2 MB region per leaf).
+const LEAF_BITS: u32 = 9;
+const LEAF_ENTRIES: usize = 1 << LEAF_BITS;
 
 impl VirtualMemorySpace {
     /// Creates an empty address space. Region 0 is left unmapped so that
     /// null-ish pointers always fault.
     pub fn new() -> Self {
         VirtualMemorySpace {
-            regions: Vec::new(),
-            page_table: HashMap::new(),
-            frames: HashMap::new(),
-            next_frame: 0,
-            cursor: 0,
-            cursor_region_end: 0,
             next_region_va: REGION_SIZE,
+            ..VirtualMemorySpace::default()
         }
     }
 
@@ -161,11 +174,26 @@ impl VirtualMemorySpace {
         // allocations with physical memory up front.
         let mut va = start;
         while va < end {
-            self.page_table.insert(va / PAGE_SIZE, self.next_frame);
+            let pn = va / PAGE_SIZE;
+            let root_idx = (pn >> LEAF_BITS) as usize;
+            if root_idx >= self.page_root.len() {
+                self.page_root.resize_with(root_idx + 1, || None);
+            }
+            let leaf =
+                self.page_root[root_idx].get_or_insert_with(|| Box::new([0u64; LEAF_ENTRIES]));
+            leaf[pn as usize & (LEAF_ENTRIES - 1)] = self.next_frame + 1;
             self.next_frame += 1;
             va += PAGE_SIZE;
         }
+        self.frames.resize_with(self.next_frame as usize, || None);
         start
+    }
+
+    /// Two-index page-table walk: VA page number → PA frame number.
+    #[inline]
+    fn lookup_frame(&self, pn: u64) -> Option<u64> {
+        let leaf = self.page_root.get((pn >> LEAF_BITS) as usize)?.as_ref()?;
+        leaf[pn as usize & (LEAF_ENTRIES - 1)].checked_sub(1)
     }
 
     /// Allocates `size` bytes under `policy`.
@@ -221,6 +249,9 @@ impl VirtualMemorySpace {
                 r.protected = true;
             }
         }
+        // The normal-path translation cache may hold a page that just became
+        // protected; drop it. (The bypass cache ignores protection.)
+        self.last_xlate.set((0, 0));
     }
 
     fn region_of(&self, va: u64) -> Option<&Region> {
@@ -239,16 +270,19 @@ impl VirtualMemorySpace {
     /// [`MemFault::Unmapped`] outside every region, [`MemFault::Protected`]
     /// inside a protected one.
     pub fn translate(&self, va: u64) -> Result<u64, MemFault> {
+        let pn = va / PAGE_SIZE;
+        let (tag, pa_base) = self.last_xlate.get();
+        if tag == pn + 1 {
+            return Ok(pa_base + va % PAGE_SIZE);
+        }
         match self.region_of(va) {
             None => Err(MemFault::Unmapped { va }),
             Some(r) if r.protected => Err(MemFault::Protected { va }),
             Some(_) => {
-                let frame = self
-                    .page_table
-                    .get(&(va / PAGE_SIZE))
-                    .copied()
-                    .ok_or(MemFault::Unmapped { va })?;
-                Ok(frame * PAGE_SIZE + va % PAGE_SIZE)
+                let frame = self.lookup_frame(pn).ok_or(MemFault::Unmapped { va })?;
+                let pa_base = frame * PAGE_SIZE;
+                self.last_xlate.set((pn + 1, pa_base));
+                Ok(pa_base + va % PAGE_SIZE)
             }
         }
     }
@@ -257,23 +291,31 @@ impl VirtualMemorySpace {
     /// hardware path GPU cores use for RBT fetches (§5.4: "RBT accesses in
     /// GPU cores will bypass the address translation").
     pub fn translate_bypass(&self, va: u64) -> Result<u64, MemFault> {
+        let pn = va / PAGE_SIZE;
+        let (tag, pa_base) = self.last_bypass.get();
+        if tag == pn + 1 {
+            return Ok(pa_base + va % PAGE_SIZE);
+        }
         match self.region_of(va) {
             None => Err(MemFault::Unmapped { va }),
             Some(_) => {
-                let frame = self
-                    .page_table
-                    .get(&(va / PAGE_SIZE))
-                    .copied()
-                    .ok_or(MemFault::Unmapped { va })?;
-                Ok(frame * PAGE_SIZE + va % PAGE_SIZE)
+                let frame = self.lookup_frame(pn).ok_or(MemFault::Unmapped { va })?;
+                let pa_base = frame * PAGE_SIZE;
+                self.last_bypass.set((pn + 1, pa_base));
+                Ok(pa_base + va % PAGE_SIZE)
             }
         }
     }
 
+    /// The frame's backing bytes, or `None` while it is still all-zero.
+    #[inline]
+    fn frame(&self, frame: u64) -> Option<&[u8]> {
+        self.frames.get(frame as usize)?.as_deref()
+    }
+
     fn frame_mut(&mut self, frame: u64) -> &mut [u8] {
-        self.frames
-            .entry(frame)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        self.frames[frame as usize]
+            .get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Reads `buf.len()` bytes starting at `va`.
@@ -289,7 +331,7 @@ impl VirtualMemorySpace {
             let pa = self.translate(cur)?;
             let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
             let take = in_page.min(buf.len() - done);
-            match self.frames.get(&(pa / PAGE_SIZE)) {
+            match self.frame(pa / PAGE_SIZE) {
                 Some(f) => {
                     let off = (pa % PAGE_SIZE) as usize;
                     buf[done..done + take].copy_from_slice(&f[off..off + take]);
@@ -353,9 +395,16 @@ impl VirtualMemorySpace {
     ///
     /// Faults only when the address is wholly unmapped.
     pub fn write_bypass(&mut self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
-        for (i, &b) in buf.iter().enumerate() {
-            let pa = self.translate_bypass(va + i as u64)?;
-            self.frame_mut(pa / PAGE_SIZE)[(pa % PAGE_SIZE) as usize] = b;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va + done as u64;
+            let pa = self.translate_bypass(cur)?;
+            let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
+            let take = in_page.min(buf.len() - done);
+            let off = (pa % PAGE_SIZE) as usize;
+            self.frame_mut(pa / PAGE_SIZE)[off..off + take]
+                .copy_from_slice(&buf[done..done + take]);
+            done += take;
         }
         Ok(())
     }
@@ -366,13 +415,20 @@ impl VirtualMemorySpace {
     ///
     /// Faults only when the address is wholly unmapped.
     pub fn read_bypass(&self, va: u64, buf: &mut [u8]) -> Result<(), MemFault> {
-        for (i, b) in buf.iter_mut().enumerate() {
-            let pa = self.translate_bypass(va + i as u64)?;
-            *b = self
-                .frames
-                .get(&(pa / PAGE_SIZE))
-                .map(|f| f[(pa % PAGE_SIZE) as usize])
-                .unwrap_or(0);
+        let mut done = 0usize;
+        while done < buf.len() {
+            let cur = va + done as u64;
+            let pa = self.translate_bypass(cur)?;
+            let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
+            let take = in_page.min(buf.len() - done);
+            match self.frame(pa / PAGE_SIZE) {
+                Some(f) => {
+                    let off = (pa % PAGE_SIZE) as usize;
+                    buf[done..done + take].copy_from_slice(&f[off..off + take]);
+                }
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
         }
         Ok(())
     }

@@ -5,13 +5,14 @@
 use crate::config::GpuConfig;
 use crate::guard::{GuardVerdict, MemAccess, MemGuard};
 use crate::launch::{KernelLaunch, SiteCheck};
-use crate::stats::{AbortReason, LaunchReport, RunReport};
+use crate::stats::{AbortReason, LaunchReport, RunReport, SimProfile};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::warp::{ExecCtx, SimpleOutcome, Warp};
 use gpushield_isa::{AddrExpr, Instr, MemSpace, ReconvergenceTable, TaggedPtr};
 use gpushield_mem::coalesce::warp_address_range;
 use gpushield_mem::{
-    coalesce_warp, Cache, MemFault, Replacement, SharedMemorySystem, Tlb, VirtualMemorySpace,
+    coalesce_warp_into, Cache, MemFault, Replacement, SharedMemorySystem, Tlb, Transaction,
+    VirtualMemorySpace,
 };
 use std::collections::HashMap;
 use std::error::Error;
@@ -76,6 +77,24 @@ struct ResidentWg {
     shared: Vec<u8>,
 }
 
+/// Reusable per-core lane buffers for the LSU/AGU path. Taken out of the
+/// core with `mem::take` for the duration of one memory instruction and
+/// put back afterwards, so the steady-state hot path performs no heap
+/// allocation — the vectors keep their capacity across instructions.
+#[derive(Default)]
+struct WarpScratch {
+    /// Per-lane effective addresses (`None` = masked-off lane).
+    lane_vas: Vec<Option<u64>>,
+    /// Per-lane store/addend values (empty for loads).
+    store_vals: Vec<u64>,
+    /// Per-lane `malloc` request sizes.
+    lane_sizes: Vec<Option<u64>>,
+    /// Per-lane `malloc` result pointers.
+    results: Vec<Option<u64>>,
+    /// Coalesced transactions of the current access.
+    txs: Vec<Transaction>,
+}
+
 struct Core {
     l1d: Cache,
     l1tlb: Tlb,
@@ -83,6 +102,18 @@ struct Core {
     warps: Vec<Warp>,
     wgs: Vec<ResidentWg>,
     last_issued: Option<usize>,
+    /// Registers held by resident warps — kept in sync incrementally so the
+    /// per-cycle dispatch fit check does not walk every warp.
+    regs_used: usize,
+    /// Shared-memory bytes held by resident workgroups, cached for the same
+    /// reason as `regs_used`.
+    shared_used: u64,
+    /// Conservative lower bound on the earliest cycle any resident warp can
+    /// issue. The scheduler skips the whole core while `cycle` is below it;
+    /// every `ready_at` write and barrier release lowers it, and a failed
+    /// warp pick recomputes it exactly.
+    next_ready_at: u64,
+    scratch: WarpScratch,
 }
 
 impl Core {
@@ -94,6 +125,10 @@ impl Core {
             warps: Vec::new(),
             wgs: Vec::new(),
             last_issued: None,
+            regs_used: 0,
+            shared_used: 0,
+            next_ready_at: 0,
+            scratch: WarpScratch::default(),
         }
     }
 
@@ -238,6 +273,7 @@ struct RunState<'c, 'v, 'g, 't> {
     age_seq: u64,
     rr_cursor: usize,
     trace: Option<&'t mut Trace>,
+    profile: SimProfile,
 }
 
 impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
@@ -291,6 +327,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             age_seq: 0,
             rr_cursor: 0,
             trace: None,
+            profile: SimProfile::default(),
         })
     }
 
@@ -328,6 +365,15 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
     }
 
     fn try_dispatch(&mut self) {
+        // Fast path: nothing left to place (the common case once every
+        // grid is fully dispatched) — skip the per-core fit probing.
+        if self
+            .launches
+            .iter()
+            .all(|l| l.aborted || l.next_wg >= u64::from(l.launch.launch.grid))
+        {
+            return;
+        }
         // Workgroups spread round-robin across cores (at most one new
         // workgroup per core per round), as real dispatchers balance
         // occupancy instead of packing one SM full first.
@@ -361,13 +407,18 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
     /// fits. Returns whether dispatch happened.
     fn dispatch_wg(&mut self, core_idx: usize, li: usize) -> bool {
         let needed_warps = self.launches[li].warps_per_wg;
-        let kernel = self.launches[li].launch.kernel.clone();
-        let regs_needed = needed_warps * usize::from(kernel.num_regs()) * self.cfg.warp_width;
+        let (num_regs, shared_bytes) = {
+            let k = &self.launches[li].launch.kernel;
+            (k.num_regs(), k.shared_bytes())
+        };
+        let regs_needed = needed_warps * usize::from(num_regs) * self.cfg.warp_width;
         {
             let core = &self.cores[core_idx];
+            debug_assert_eq!(core.regs_used, core.regs_in_use(&self.launches));
+            debug_assert_eq!(core.shared_used, core.shared_in_use());
             if core.resident_warps() + needed_warps > self.cfg.max_warps_per_core()
-                || core.regs_in_use(&self.launches) + regs_needed > self.cfg.regs_per_core
-                || core.shared_in_use() + kernel.shared_bytes() > self.cfg.shared_per_core
+                || core.regs_used + regs_needed > self.cfg.regs_per_core
+                || core.shared_used + shared_bytes > self.cfg.shared_per_core
             {
                 return false;
             }
@@ -385,8 +436,13 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         core.wgs.push(ResidentWg {
             launch_idx: li,
             wg,
-            shared: vec![0u8; kernel.shared_bytes() as usize],
+            shared: vec![0u8; shared_bytes as usize],
         });
+        core.regs_used += regs_needed;
+        core.shared_used += shared_bytes;
+        // The new warps are ready now; wake the core if it was parked on a
+        // later `next_ready_at`.
+        core.next_ready_at = core.next_ready_at.min(self.cycle);
         for w in 0..needed_warps {
             let lanes = (block - w * self.cfg.warp_width).min(self.cfg.warp_width);
             let mut warp = Warp::new(
@@ -395,7 +451,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 w,
                 self.cfg.warp_width,
                 lanes,
-                kernel.num_regs(),
+                num_regs,
                 self.age_seq,
             );
             warp.ready_at = self.cycle;
@@ -405,22 +461,28 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         true
     }
 
-    fn warp_ready(&self, core_idx: usize, warp_idx: usize) -> bool {
-        let w = &self.cores[core_idx].warps[warp_idx];
-        !w.done && !w.at_barrier && w.ready_at <= self.cycle && !self.launches[w.launch_idx].aborted
-    }
-
     fn pick_warp(&self, core_idx: usize) -> Option<usize> {
+        // No aborted-launch check anywhere here: `abort_launch` removes the
+        // launch's warps from every core immediately, so none survive to be
+        // picked.
+        let core = &self.cores[core_idx];
+        let ready = |w: &Warp| !w.done && !w.at_barrier && w.ready_at <= self.cycle;
         // Greedy: stick with the last-issued warp while it stays ready.
-        if let Some(i) = self.cores[core_idx].last_issued {
-            if i < self.cores[core_idx].warps.len() && self.warp_ready(core_idx, i) {
-                return Some(i);
+        if let Some(i) = core.last_issued {
+            if let Some(w) = core.warps.get(i) {
+                debug_assert!(!self.launches[w.launch_idx].aborted);
+                if ready(w) {
+                    return Some(i);
+                }
             }
         }
         // Then oldest.
-        (0..self.cores[core_idx].warps.len())
-            .filter(|&i| self.warp_ready(core_idx, i))
-            .min_by_key(|&i| self.cores[core_idx].warps[i].age)
+        core.warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| ready(w))
+            .min_by_key(|(_, w)| w.age)
+            .map(|(i, _)| i)
     }
 
     fn run(&mut self) -> Result<(), RunError> {
@@ -431,6 +493,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             }
             let mut any_issue = false;
             for core_idx in 0..self.cores.len() {
+                if self.cores[core_idx].next_ready_at > self.cycle {
+                    continue;
+                }
                 for _ in 0..self.cfg.issue_width {
                     match self.pick_warp(core_idx) {
                         Some(wi) => {
@@ -438,7 +503,20 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                             self.exec_warp(core_idx, wi)?;
                             any_issue = true;
                         }
-                        None => break,
+                        None => {
+                            // Nothing issuable: remember exactly when the
+                            // next warp wakes so the scans above are skipped
+                            // until then.
+                            let core = &mut self.cores[core_idx];
+                            core.next_ready_at = core
+                                .warps
+                                .iter()
+                                .filter(|w| !w.done && !w.at_barrier)
+                                .map(|w| w.ready_at)
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            break;
+                        }
                     }
                 }
             }
@@ -448,6 +526,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             if any_issue {
                 self.cycle += 1;
             } else {
+                self.profile.idle_skips += 1;
                 // Event skip: jump to the next cycle anything becomes ready.
                 let next = self
                     .cores
@@ -481,7 +560,8 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
 
     fn exec_warp(&mut self, core_idx: usize, warp_idx: usize) -> Result<(), RunError> {
         let li = self.cores[core_idx].warps[warp_idx].launch_idx;
-        let kernel = self.launches[li].launch.kernel.clone();
+        // Disjoint field borrows: the kernel stays interned in its launch
+        // (no per-issue `Arc` clone) while the warp mutates.
         let outcome = {
             let lstate = &self.launches[li];
             let ctx = ExecCtx {
@@ -491,15 +571,17 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 grid_dim: u64::from(lstate.launch.launch.grid),
             };
             let warp = &mut self.cores[core_idx].warps[warp_idx];
-            warp.exec_simple(&kernel, &lstate.recon, &ctx)
+            warp.exec_simple(&lstate.launch.kernel, &lstate.recon, &ctx)
         };
         match outcome {
             SimpleOutcome::Done => {
+                self.profile.alu_issues += 1;
                 self.launches[li].report.instructions += 1;
                 let warp = &mut self.cores[core_idx].warps[warp_idx];
                 warp.ready_at = self.cycle + self.cfg.alu_latency;
             }
             SimpleOutcome::Retired => {
+                self.profile.alu_issues += 1;
                 self.launches[li].report.instructions += 1;
                 self.retire_warp(core_idx, warp_idx);
             }
@@ -507,7 +589,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 let pc = self.cores[core_idx].warps[warp_idx]
                     .pc()
                     .expect("NeedsCore implies a live pc");
-                let instr = kernel.block(pc.0).instrs()[pc.1].clone();
+                let instr = self.launches[li].launch.kernel.block(pc.0).instrs()[pc.1];
                 match instr {
                     Instr::Bar => self.exec_barrier(core_idx, warp_idx),
                     Instr::Malloc { dst, size } => {
@@ -518,7 +600,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                         self.exec_malloc(core_idx, warp_idx, None, gpushield_isa::Operand::Imm(0))?
                     }
                     Instr::Ld { .. } | Instr::St { .. } | Instr::AtomAdd { .. } => {
-                        self.exec_mem(core_idx, warp_idx, li, pc, &instr);
+                        self.exec_mem(core_idx, warp_idx, li, pc, instr);
                     }
                     _ => unreachable!("exec_simple handles all other instructions"),
                 }
@@ -547,10 +629,21 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             .filter(|w| w.launch_idx == li && w.wg == wg)
             .all(|w| w.done);
         if wg_done {
+            let freed_regs = self.launches[li].warps_per_wg
+                * usize::from(self.launches[li].launch.kernel.num_regs())
+                * self.cfg.warp_width;
             let core = &mut self.cores[core_idx];
+            let freed_shared: u64 = core
+                .wgs
+                .iter()
+                .filter(|g| g.launch_idx == li && g.wg == wg)
+                .map(|g| g.shared.len() as u64)
+                .sum();
             core.warps.retain(|w| !(w.launch_idx == li && w.wg == wg));
             core.wgs.retain(|g| !(g.launch_idx == li && g.wg == wg));
             core.last_issued = None;
+            core.regs_used = core.regs_used.saturating_sub(freed_regs);
+            core.shared_used = core.shared_used.saturating_sub(freed_shared);
             let lstate = &mut self.launches[li];
             lstate.wgs_retired += 1;
             if lstate.finished() {
@@ -569,6 +662,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             w.advance_pc();
             (w.launch_idx, w.wg)
         };
+        self.profile.barrier_issues += 1;
         self.launches[li].report.instructions += 1;
         {
             let w = &self.cores[core_idx].warps[warp_idx];
@@ -617,7 +711,8 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 })
             }
         };
-        let lane_sizes: Vec<Option<u64>> = {
+        let mut scratch = std::mem::take(&mut self.cores[core_idx].scratch);
+        {
             let lstate = &self.launches[li];
             let ctx = ExecCtx {
                 args: &lstate.launch.args,
@@ -626,14 +721,17 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 grid_dim: u64::from(lstate.launch.launch.grid),
             };
             let warp = &self.cores[core_idx].warps[warp_idx];
-            (0..warp.width)
-                .map(|lane| warp.lane_active(lane).then(|| warp.eval(size, lane, &ctx)))
-                .collect()
-        };
+            scratch.lane_sizes.clear();
+            scratch.lane_sizes.extend(
+                (0..warp.width)
+                    .map(|lane| warp.lane_active(lane).then(|| warp.eval(size, lane, &ctx))),
+            );
+        }
         let entry = self.heaps.entry(heap.tagged_base.va()).or_default();
         let mut done_at = self.cycle;
-        let mut results: Vec<Option<u64>> = vec![None; lane_sizes.len()];
-        for (lane, sz) in lane_sizes.iter().enumerate() {
+        scratch.results.clear();
+        scratch.results.resize(scratch.lane_sizes.len(), None);
+        for (lane, sz) in scratch.lane_sizes.iter().enumerate() {
             let Some(sz) = sz else { continue };
             // The device allocator is a serialized global resource: each
             // lane's request takes its turn (§5.2.1 footnote 2).
@@ -645,15 +743,15 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 if entry.cursor + aligned <= heap.size {
                     let ptr = heap.tagged_base.raw() + entry.cursor;
                     entry.cursor += aligned;
-                    results[lane] = Some(ptr);
+                    scratch.results[lane] = Some(ptr);
                 } else {
-                    results[lane] = Some(0); // CUDA malloc returns NULL
+                    scratch.results[lane] = Some(0); // CUDA malloc returns NULL
                 }
             }
         }
         let warp = &mut self.cores[core_idx].warps[warp_idx];
         if let Some(dst) = dst {
-            for (lane, r) in results.iter().enumerate() {
+            for (lane, r) in scratch.results.iter().enumerate() {
                 if let Some(v) = r {
                     warp.set_reg(dst, lane, *v);
                 }
@@ -661,7 +759,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         }
         warp.ready_at = done_at;
         warp.advance_pc();
+        self.profile.malloc_issues += 1;
         self.launches[li].report.instructions += 1;
+        self.cores[core_idx].scratch = scratch;
         Ok(())
     }
 
@@ -672,7 +772,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         warp_idx: usize,
         li: usize,
         site: (gpushield_isa::BlockId, usize),
-        instr: &Instr,
+        instr: Instr,
     ) {
         let (is_store, addr, space, width, dst, src, is_atomic) = match instr {
             Instr::Ld {
@@ -680,26 +780,30 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 addr,
                 space,
                 width,
-            } => (false, *addr, *space, *width, Some(*dst), None, false),
+            } => (false, addr, space, width, Some(dst), None, false),
             Instr::St {
                 src,
                 addr,
                 space,
                 width,
-            } => (true, *addr, *space, *width, None, Some(*src), false),
+            } => (true, addr, space, width, None, Some(src), false),
             Instr::AtomAdd {
                 dst,
                 addr,
                 space,
                 width,
                 src,
-            } => (true, *addr, *space, *width, Some(*dst), Some(*src), true),
+            } => (true, addr, space, width, Some(dst), Some(src), true),
             _ => unreachable!("exec_mem only receives Ld/St/AtomAdd"),
         };
         let width_b = width.bytes();
 
+        // All per-lane buffers live in the core's reusable scratch; it is
+        // moved out here and must be moved back on every exit path.
+        let mut scratch = std::mem::take(&mut self.cores[core_idx].scratch);
+
         // ---- Phase 1: AGU — per-lane addresses and store values ----------
-        let (lane_vas, ptr, store_vals) = {
+        let ptr = {
             let lstate = &self.launches[li];
             let ctx = ExecCtx {
                 args: &lstate.launch.args,
@@ -708,7 +812,8 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 grid_dim: u64::from(lstate.launch.launch.grid),
             };
             let warp = &self.cores[core_idx].warps[warp_idx];
-            let mut lane_vas: Vec<Option<u64>> = vec![None; warp.width];
+            scratch.lane_vas.clear();
+            scratch.lane_vas.resize(warp.width, None);
             let mut ptr = TaggedPtr::from_raw(0);
             let mut ptr_set = false;
             #[allow(clippy::needless_range_loop)] // lane drives eval() too
@@ -735,15 +840,17 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 } else {
                     TaggedPtr::from_raw(base_raw).va().wrapping_add(off) & VA_MASK
                 };
-                lane_vas[lane] = Some(va);
+                scratch.lane_vas[lane] = Some(va);
             }
-            let store_vals: Option<Vec<u64>> = src.map(|s| {
-                (0..warp.width)
-                    .map(|lane| warp.eval(s, lane, &ctx))
-                    .collect()
-            });
-            (lane_vas, ptr, store_vals)
+            scratch.store_vals.clear();
+            if let Some(s) = src {
+                scratch
+                    .store_vals
+                    .extend((0..warp.width).map(|lane| warp.eval(s, lane, &ctx)));
+            }
+            ptr
         };
+        let has_store_vals = src.is_some();
 
         // ---- Shared memory: on-chip, no VM, no bounds checking -----------
         if space == MemSpace::Shared {
@@ -751,27 +858,28 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 core_idx,
                 warp_idx,
                 li,
-                &lane_vas,
+                &scratch.lane_vas,
                 width_b,
                 dst,
-                &store_vals,
+                has_store_vals.then_some(&scratch.store_vals[..]),
                 is_atomic,
             );
+            self.cores[core_idx].scratch = scratch;
             return;
         }
 
         // ---- Phase 2: translate + cache/TLB timing probe -----------------
         let mut translation_fault: Option<MemFault> = None;
-        for va in lane_vas.iter().flatten() {
+        for va in scratch.lane_vas.iter().flatten() {
             if let Err(f) = self.vm.translate(*va) {
                 translation_fault.get_or_insert(f);
             }
         }
-        let txs = coalesce_warp(&lane_vas, width_b);
+        coalesce_warp_into(&scratch.lane_vas, width_b, &mut scratch.txs);
         let start = self.cycle.max(self.cores[core_idx].lsu_busy_until);
         let mut done_at = start + self.cfg.timings.l1_hit;
         let mut all_l1_hit = true;
-        for tx in &txs {
+        for tx in &scratch.txs {
             let Ok(pa) = self.vm.translate_bypass(tx.base) else {
                 continue;
             };
@@ -798,7 +906,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         if let Some(g) = self.guard.as_mut() {
             if decision == SiteCheck::Static {
                 self.launches[li].report.checks_skipped += 1;
-            } else if let Some(range) = warp_address_range(&lane_vas, width_b) {
+            } else if let Some(range) = warp_address_range(&scratch.lane_vas, width_b) {
                 let access = MemAccess {
                     core: core_idx,
                     kernel_id: self.launches[li].launch.kernel_id,
@@ -808,13 +916,14 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                     site,
                     range,
                     site_check: decision,
-                    transactions: txs.len(),
-                    active_lanes: lane_vas.iter().flatten().count(),
+                    transactions: scratch.txs.len(),
+                    active_lanes: scratch.lane_vas.iter().flatten().count(),
                     l1d_all_hit: all_l1_hit,
                 };
                 let chk = g.check(&access, self.vm);
                 stall = chk.stall_cycles;
                 verdict = chk.verdict;
+                self.profile.bcu_checks += 1;
                 self.launches[li].report.checks_performed += 1;
             }
         }
@@ -822,6 +931,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         // ---- Phase 4: outcome -------------------------------------------
         match verdict {
             GuardVerdict::Fault => {
+                self.cores[core_idx].scratch = scratch;
                 self.abort_launch(li, AbortReason::BoundsViolation);
                 return;
             }
@@ -839,12 +949,13 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             }
             GuardVerdict::Allow => {
                 if let Some(f) = translation_fault {
+                    self.cores[core_idx].scratch = scratch;
                     self.abort_launch(li, AbortReason::MemFault(f));
                     return;
                 }
                 // Functional access.
                 let warp_width = self.cores[core_idx].warps[warp_idx].width;
-                for (lane, lane_va) in lane_vas.iter().enumerate().take(warp_width) {
+                for (lane, lane_va) in scratch.lane_vas.iter().enumerate().take(warp_width) {
                     let Some(va) = *lane_va else { continue };
                     if is_atomic {
                         // Lanes are serialized in lane order (real hardware
@@ -854,14 +965,14 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                             .vm
                             .read_uint(va, width_b)
                             .expect("translation already verified");
-                        let add = store_vals.as_ref().expect("atomic has addend")[lane];
+                        let add = scratch.store_vals[lane];
                         self.vm
                             .write_uint(va, width_b, old.wrapping_add(add))
                             .expect("translation already verified");
                         let warp = &mut self.cores[core_idx].warps[warp_idx];
                         warp.set_reg(dst.expect("atomic has dst"), lane, old);
                     } else if is_store {
-                        let v = store_vals.as_ref().expect("store has values")[lane];
+                        let v = scratch.store_vals[lane];
                         self.vm
                             .write_uint(va, width_b, v)
                             .expect("translation already verified");
@@ -890,25 +1001,30 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 TraceKind::Mem {
                     space,
                     is_store,
-                    transactions: txs.len().min(255) as u8,
+                    transactions: scratch.txs.len().min(255) as u8,
                     stall: stall.min(255) as u8,
                 },
             );
         }
         let atomic_serial = if is_atomic {
-            lane_vas.iter().flatten().count() as u64
+            scratch.lane_vas.iter().flatten().count() as u64
         } else {
             0
         };
+        let n_txs = scratch.txs.len() as u64;
         let core = &mut self.cores[core_idx];
-        core.lsu_busy_until = start + txs.len() as u64 + stall + atomic_serial;
+        core.lsu_busy_until = start + n_txs + stall + atomic_serial;
         let warp = &mut core.warps[warp_idx];
         warp.ready_at = done_at + stall + atomic_serial;
         warp.advance_pc();
+        core.scratch = scratch;
+        self.profile.mem_issues += 1;
+        self.profile.lsu_transactions += n_txs;
+        self.profile.bcu_stall_cycles += stall;
         let report = &mut self.launches[li].report;
         report.instructions += 1;
         report.mem_instructions += 1;
-        report.transactions += txs.len() as u64;
+        report.transactions += n_txs;
         report.guard_stall_cycles += stall;
     }
 
@@ -921,9 +1037,10 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         lane_vas: &[Option<u64>],
         width_b: u64,
         dst: Option<gpushield_isa::VReg>,
-        store_vals: &Option<Vec<u64>>,
+        store_vals: Option<&[u64]>,
         is_atomic: bool,
     ) {
+        self.profile.shared_issues += 1;
         let wg = self.cores[core_idx].warps[warp_idx].wg;
         let start = self.cycle.max(self.cores[core_idx].lsu_busy_until);
         let done_at = start + self.cfg.timings.l1_hit;
@@ -957,7 +1074,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                     old_bytes[i as usize] = shared[((va + i) % n) as usize];
                 }
                 let old = u64::from_le_bytes(old_bytes);
-                let add = store_vals.as_ref().expect("atomic has addend")[lane];
+                let add = store_vals.expect("atomic has addend")[lane];
                 let new_bytes = old.wrapping_add(add).to_le_bytes();
                 for i in 0..width_b {
                     shared[((va + i) % n) as usize] = new_bytes[i as usize];
@@ -1008,17 +1125,26 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
 
     fn abort_launch(&mut self, li: usize, reason: AbortReason) {
         self.emit(0, li, 0, 0, None, TraceKind::Abort);
-        let lstate = &mut self.launches[li];
-        lstate.aborted = true;
-        lstate.report.abort = Some(reason);
-        lstate.report.end_cycle = self.cycle;
+        let kernel_id = {
+            let lstate = &mut self.launches[li];
+            lstate.aborted = true;
+            lstate.report.abort = Some(reason);
+            lstate.report.end_cycle = self.cycle;
+            lstate.launch.kernel_id
+        };
         for core in &mut self.cores {
             core.warps.retain(|w| w.launch_idx != li);
             core.wgs.retain(|g| g.launch_idx != li);
             core.last_issued = None;
         }
+        // Aborts are rare: recompute occupancy caches from scratch.
+        for ci in 0..self.cores.len() {
+            let regs = self.cores[ci].regs_in_use(&self.launches);
+            self.cores[ci].regs_used = regs;
+            self.cores[ci].shared_used = self.cores[ci].shared_in_use();
+        }
         if let Some(g) = self.guard.as_mut() {
-            g.on_kernel_end(lstate.launch.kernel_id);
+            g.on_kernel_end(kernel_id);
         }
     }
 
@@ -1033,6 +1159,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             l1tlb.hits += t.hits;
             l1tlb.misses += t.misses;
         }
+        let dram = self.shared.dram_stats();
+        let mut profile = self.profile;
+        profile.dram_accesses = dram.requests;
         RunReport {
             cycles: self.cycle,
             launches: self.launches.into_iter().map(|l| l.report).collect(),
@@ -1040,7 +1169,8 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             l1_tlb: l1tlb,
             l2: self.shared.l2_stats(),
             l2_tlb: self.shared.l2_tlb_stats(),
-            dram: self.shared.dram_stats(),
+            dram,
+            profile,
         }
     }
 }

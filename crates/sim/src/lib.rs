@@ -57,5 +57,5 @@ pub use config::GpuConfig;
 pub use gpu::{Gpu, MultiKernelMode, RunError};
 pub use guard::{GuardCheck, GuardVerdict, MemAccess, MemGuard};
 pub use launch::{CheckPlan, HeapDesc, KernelLaunch, LaunchConfig, SiteCheck};
-pub use stats::{AbortReason, LaunchReport, RunReport};
+pub use stats::{AbortReason, LaunchReport, RunReport, SimProfile};
 pub use trace::{Trace, TraceEvent, TraceKind};

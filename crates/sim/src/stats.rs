@@ -84,6 +84,81 @@ impl LaunchReport {
     }
 }
 
+/// Cheap per-phase counters for the simulator's own hot path (the
+/// `sim-profile` observability layer). Every counter is a plain `u64`
+/// increment on an already-taken branch, so keeping them always-on does
+/// not perturb the timing model — they measure *simulator* work, not
+/// simulated-machine behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// ALU/control instructions issued (the `exec_simple` fast path).
+    pub alu_issues: u64,
+    /// Global/local memory instructions issued to the LSU.
+    pub mem_issues: u64,
+    /// Shared-memory instructions issued.
+    pub shared_issues: u64,
+    /// Barrier instructions issued (including re-checks while waiting).
+    pub barrier_issues: u64,
+    /// Device-side `malloc`/`free` instructions issued.
+    pub malloc_issues: u64,
+    /// Coalesced transactions pushed through the LSU pipeline.
+    pub lsu_transactions: u64,
+    /// Warp-level bounds checks handed to the guard (BCU or SW).
+    pub bcu_checks: u64,
+    /// Visible stall cycles the guard charged to LSUs.
+    pub bcu_stall_cycles: u64,
+    /// Transactions that reached DRAM (L2 misses).
+    pub dram_accesses: u64,
+    /// Scheduler passes that found no eligible warp on a core.
+    pub idle_skips: u64,
+}
+
+impl SimProfile {
+    /// Accumulates another profile into this one (used when aggregating
+    /// across launches or whole runs).
+    pub fn merge(&mut self, other: &SimProfile) {
+        self.alu_issues += other.alu_issues;
+        self.mem_issues += other.mem_issues;
+        self.shared_issues += other.shared_issues;
+        self.barrier_issues += other.barrier_issues;
+        self.malloc_issues += other.malloc_issues;
+        self.lsu_transactions += other.lsu_transactions;
+        self.bcu_checks += other.bcu_checks;
+        self.bcu_stall_cycles += other.bcu_stall_cycles;
+        self.dram_accesses += other.dram_accesses;
+        self.idle_skips += other.idle_skips;
+    }
+
+    /// Total instructions issued across all phases.
+    pub fn issues(&self) -> u64 {
+        self.alu_issues
+            + self.mem_issues
+            + self.shared_issues
+            + self.barrier_issues
+            + self.malloc_issues
+    }
+}
+
+impl fmt::Display for SimProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "issue alu={} mem={} shared={} barrier={} malloc={} | \
+             lsu tx={} bcu checks={} stalls={} | dram={} idle={}",
+            self.alu_issues,
+            self.mem_issues,
+            self.shared_issues,
+            self.barrier_issues,
+            self.malloc_issues,
+            self.lsu_transactions,
+            self.bcu_checks,
+            self.bcu_stall_cycles,
+            self.dram_accesses,
+            self.idle_skips
+        )
+    }
+}
+
 /// Whole-run outcome: per-launch reports plus shared-resource statistics.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -101,6 +176,8 @@ pub struct RunReport {
     pub l2_tlb: TlbStats,
     /// DRAM statistics.
     pub dram: DramStats,
+    /// Simulator hot-path phase counters (see [`SimProfile`]).
+    pub profile: SimProfile,
 }
 
 impl RunReport {

@@ -180,7 +180,7 @@ impl Warp {
                 return SimpleOutcome::Retired;
             }
         };
-        let instr = kernel.block(block).instrs()[idx].clone();
+        let instr = kernel.block(block).instrs()[idx];
         let mask = self.active_mask();
         match instr {
             Instr::Mov { dst, src } => {

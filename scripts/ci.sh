@@ -3,6 +3,8 @@
 #
 #   scripts/ci.sh          # format check, build, default tests, fig1 smoke
 #   CI_FULL=1 scripts/ci.sh # also run the randomized property suites
+#   CI_PERF=0 scripts/ci.sh # skip the simulator-throughput regression gate
+#                           # (for machines much slower than the baseline's)
 #
 # The workspace has no external dependencies, so --offline is a hard
 # guarantee, not an optimization.
@@ -21,6 +23,13 @@ cargo test -q --workspace --offline
 if [[ "${CI_FULL:-0}" == "1" ]]; then
     echo "== cargo test --features proptest-tests --offline"
     cargo test -q --features proptest-tests --offline
+fi
+
+if [[ "${CI_PERF:-1}" == "1" ]]; then
+    echo "== simulator throughput smoke gate (CI_PERF=0 to skip)"
+    # Fails when the smoke sweep's instrs/sec drops more than 30% below
+    # the rate recorded in the committed BENCH_simcore.json.
+    ./target/release/throughput --smoke --check BENCH_simcore.json
 fi
 
 echo "== experiments fig1 smoke run"
