@@ -132,7 +132,7 @@ impl HostApi for SystemHost {
     }
 
     fn set_heap(&mut self, bytes: u64) {
-        self.sys.set_heap_limit(bytes);
+        self.sys.set_heap_limit(bytes).expect("heap limit");
     }
 
     fn launch(&mut self, kernel: &Arc<Kernel>, grid: u32, block: u32, args: &[WArg]) {

@@ -11,7 +11,12 @@
 //! `--jobs N` sets the worker count for each experiment's inner simulation
 //! sweep (default: available parallelism; `--jobs 1` is fully sequential).
 //! Rendered output is byte-identical for every value — jobs only change
-//! wall time. Exit status is non-zero when any experiment panics or any
+//! wall time. `--timeout-secs N` bounds each experiment's wall time
+//! (default 900): an experiment that exceeds it is quarantined — recorded
+//! as failed in its JSON with `"quarantined": true` — and the run moves
+//! on. A panicking experiment is retried once before being quarantined.
+//! `--max-cycles N` overrides the fault-resilience sweep's watchdog
+//! budget. Exit status is non-zero when any experiment fails or any
 //! result file fails to write.
 
 use gpushield_bench::runner::profile_totals;
@@ -19,8 +24,14 @@ use gpushield_bench::{config_fingerprint, experiments};
 use gpushield_runtime::pool;
 use gpushield_runtime::report::{numeric_rows, Json};
 use gpushield_sim::SimProfile;
+use std::panic::AssertUnwindSafe;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Default per-experiment wall-time budget (seconds).
+const DEFAULT_TIMEOUT_SECS: u64 = 900;
 
 /// Counter-wise difference of two [`profile_totals`] snapshots taken
 /// around one experiment (experiments run sequentially, so the delta is
@@ -41,13 +52,18 @@ fn profile_delta(before: &SimProfile, after: &SimProfile) -> SimProfile {
 }
 
 /// Builds the machine-readable `results/<id>.json` document for one
-/// experiment outcome (`Err` = the experiment panicked).
+/// experiment outcome (`Err` = the experiment panicked or timed out).
+/// `attempts` counts executions including retries; `quarantined` marks an
+/// experiment that stayed broken after its retry (or hit the timeout) and
+/// was skipped so the rest of the run could proceed.
 fn build_json(
     id: &str,
     title: &str,
     outcome: &Result<String, String>,
     wall_seconds: f64,
     jobs: usize,
+    attempts: u64,
+    quarantined: bool,
 ) -> Json {
     let mut doc = Json::obj();
     doc.set("id", Json::Str(id.to_string()));
@@ -55,6 +71,8 @@ fn build_json(
     doc.set("ok", Json::Bool(outcome.is_ok()));
     doc.set("wall_seconds", Json::Float(wall_seconds));
     doc.set("jobs", Json::UInt(jobs as u64));
+    doc.set("attempts", Json::UInt(attempts));
+    doc.set("quarantined", Json::Bool(quarantined));
     doc.set("config_fingerprint", Json::Str(config_fingerprint()));
     match outcome {
         Ok(text) => {
@@ -87,6 +105,8 @@ fn emit(
     outcome: &Result<String, String>,
     wall_seconds: f64,
     jobs: usize,
+    attempts: u64,
+    quarantined: bool,
     out_dir: Option<&str>,
 ) -> bool {
     match outcome {
@@ -96,7 +116,8 @@ fn emit(
         }
         Err(message) => {
             eprintln!("==== {id} — {title} ====");
-            eprintln!("FAILED: {message}\n");
+            let tag = if quarantined { "QUARANTINED" } else { "FAILED" };
+            eprintln!("{tag}: {message}\n");
         }
     }
     let Some(dir) = out_dir else { return true };
@@ -112,7 +133,16 @@ fn emit(
             ok = false;
         }
     }
-    let json = build_json(id, title, outcome, wall_seconds, jobs).render();
+    let json = build_json(
+        id,
+        title,
+        outcome,
+        wall_seconds,
+        jobs,
+        attempts,
+        quarantined,
+    )
+    .render();
     let path = Path::new(dir).join(format!("{id}.json"));
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("failed to write {}: {e}", path.display());
@@ -121,43 +151,101 @@ fn emit(
     ok
 }
 
-/// Runs a set of experiments: each isolated in the job pool (a panic in
-/// one experiment fails that experiment, not the run), sequential at the
-/// experiment level, `jobs`-wide inside each experiment's sweep.
-fn run_set(set: Vec<experiments::Experiment>, jobs: usize, out_dir: Option<&str>) -> ExitCode {
-    let tasks: Vec<_> = set
-        .iter()
-        .map(|e| {
-            let run = e.run;
-            move || {
-                let (instrs0, prof0) = profile_totals();
-                let text = run(jobs);
-                let (instrs1, prof1) = profile_totals();
-                (text, instrs1 - instrs0, profile_delta(&prof0, &prof1))
-            }
-        })
-        .collect();
-    let results = pool::run(tasks, 1);
+/// One execution of an experiment, with the simulator-activity delta on
+/// success.
+struct Attempt {
+    outcome: Result<(String, u64, SimProfile), String>,
+    wall: f64,
+    timed_out: bool,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "experiment panicked".to_string()
+    }
+}
+
+/// Runs one experiment on a watchdog-supervised worker thread. A panic is
+/// caught and reported as `Err`; exceeding `timeout` abandons the worker
+/// (it keeps running detached — its profile counters may bleed into later
+/// deltas, which is why timed-out runs report no simulator activity).
+fn run_supervised(run: fn(usize) -> String, jobs: usize, timeout: Duration) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let start = Instant::now();
+    std::thread::spawn(move || {
+        let (instrs0, prof0) = profile_totals();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| run(jobs)));
+        let (instrs1, prof1) = profile_totals();
+        let _ = tx.send(match result {
+            Ok(text) => Ok((text, instrs1 - instrs0, profile_delta(&prof0, &prof1))),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        });
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(outcome) => Attempt {
+            outcome,
+            wall: start.elapsed().as_secs_f64(),
+            timed_out: false,
+        },
+        Err(_) => Attempt {
+            outcome: Err(format!(
+                "exceeded the {}s wall-time budget; worker abandoned",
+                timeout.as_secs()
+            )),
+            wall: start.elapsed().as_secs_f64(),
+            timed_out: true,
+        },
+    }
+}
+
+/// Runs a set of experiments sequentially, `jobs`-wide inside each
+/// experiment's sweep. A panicking experiment is retried once; a second
+/// panic — or a wall-time budget overrun — quarantines it (recorded as
+/// failed, run continues).
+fn run_set(
+    set: Vec<experiments::Experiment>,
+    jobs: usize,
+    out_dir: Option<&str>,
+    timeout: Duration,
+) -> ExitCode {
     let mut ok = 0usize;
     let mut failed = 0usize;
     let mut total = 0.0f64;
     let mut writes_ok = true;
-    for (e, r) in set.iter().zip(results) {
-        let wall = r.wall.as_secs_f64();
+    for e in &set {
+        let mut attempts = 1u64;
+        let mut attempt = run_supervised(e.run, jobs, timeout);
+        if attempt.outcome.is_err() && !attempt.timed_out {
+            eprintln!("[{} panicked; retrying once]", e.id);
+            attempts = 2;
+            attempt = run_supervised(e.run, jobs, timeout);
+        }
+        let quarantined = attempt.outcome.is_err();
+        let wall = attempt.wall;
         total += wall;
         let mut sim = None;
-        let outcome = r
-            .result
-            .map(|(text, instrs, prof)| {
-                sim = Some((instrs, prof));
-                text
-            })
-            .map_err(|p| p.message);
+        let outcome = attempt.outcome.map(|(text, instrs, prof)| {
+            sim = Some((instrs, prof));
+            text
+        });
         match &outcome {
             Ok(_) => ok += 1,
             Err(_) => failed += 1,
         }
-        writes_ok &= emit(e.id, e.title, &outcome, wall, jobs, out_dir);
+        writes_ok &= emit(
+            e.id,
+            e.title,
+            &outcome,
+            wall,
+            jobs,
+            attempts,
+            quarantined,
+            out_dir,
+        );
         match sim {
             Some((instrs, prof)) if instrs > 0 => {
                 let rate = instrs as f64 / wall.max(1e-9);
@@ -178,30 +266,63 @@ fn run_set(set: Vec<experiments::Experiment>, jobs: usize, out_dir: Option<&str>
     }
 }
 
+/// Parses `--flag N` / `--flag=N` style options; returns `Ok(None)` when
+/// `arg` is not this flag.
+fn parse_flag<T: std::str::FromStr>(
+    flag: &str,
+    arg: &str,
+    args: &mut impl Iterator<Item = String>,
+) -> Result<Option<T>, ()> {
+    let value = if arg == flag {
+        args.next().ok_or(())?
+    } else if let Some(v) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+        v.to_string()
+    } else {
+        return Ok(None);
+    };
+    value.parse::<T>().map(Some).map_err(|_| ())
+}
+
 fn main() -> ExitCode {
     let mut jobs = pool::available_parallelism();
+    let mut timeout = Duration::from_secs(DEFAULT_TIMEOUT_SECS);
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--jobs" {
-            match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => jobs = n,
-                _ => {
-                    eprintln!("--jobs needs a positive integer");
-                    return ExitCode::FAILURE;
-                }
+        match parse_flag::<usize>("--jobs", &arg, &mut args) {
+            Ok(Some(n)) if n >= 1 => {
+                jobs = n;
+                continue;
             }
-        } else if let Some(v) = arg.strip_prefix("--jobs=") {
-            match v.parse::<usize>() {
-                Ok(n) if n >= 1 => jobs = n,
-                _ => {
-                    eprintln!("--jobs needs a positive integer");
-                    return ExitCode::FAILURE;
-                }
+            Ok(Some(_)) | Err(()) => {
+                eprintln!("--jobs needs a positive integer");
+                return ExitCode::FAILURE;
             }
-        } else {
-            positional.push(arg);
+            Ok(None) => {}
         }
+        match parse_flag::<u64>("--timeout-secs", &arg, &mut args) {
+            Ok(Some(n)) if n >= 1 => {
+                timeout = Duration::from_secs(n);
+                continue;
+            }
+            Ok(Some(_)) | Err(()) => {
+                eprintln!("--timeout-secs needs a positive integer");
+                return ExitCode::FAILURE;
+            }
+            Ok(None) => {}
+        }
+        match parse_flag::<u64>("--max-cycles", &arg, &mut args) {
+            Ok(Some(n)) if n >= 1 => {
+                experiments::resilience::set_max_cycles(n);
+                continue;
+            }
+            Ok(Some(_)) | Err(()) => {
+                eprintln!("--max-cycles needs a positive integer");
+                return ExitCode::FAILURE;
+            }
+            Ok(None) => {}
+        }
+        positional.push(arg);
     }
     let out_dir = positional.get(1).cloned();
     match positional.first().map(String::as_str) {
@@ -213,9 +334,9 @@ fn main() -> ExitCode {
             println!("  all      run everything");
             ExitCode::SUCCESS
         }
-        Some("all") => run_set(experiments::all(), jobs, out_dir.as_deref()),
+        Some("all") => run_set(experiments::all(), jobs, out_dir.as_deref(), timeout),
         Some(id) => match experiments::by_id(id) {
-            Some(e) => run_set(vec![e], jobs, out_dir.as_deref()),
+            Some(e) => run_set(vec![e], jobs, out_dir.as_deref(), timeout),
             None => {
                 eprintln!("unknown experiment {id}; run with no arguments to list");
                 ExitCode::FAILURE
@@ -234,11 +355,21 @@ mod tests {
     fn result_json_roundtrips() {
         let text = experiments::by_id("table3").expect("table3 exists");
         let rendered = (text.run)(1);
-        let doc = build_json("table3", text.title, &Ok(rendered.clone()), 0.25, 2);
+        let doc = build_json(
+            "table3",
+            text.title,
+            &Ok(rendered.clone()),
+            0.25,
+            2,
+            1,
+            false,
+        );
         let back = Json::parse(&doc.render()).expect("valid JSON");
         assert_eq!(back, doc);
         assert_eq!(back.get("id").and_then(Json::as_str), Some("table3"));
         assert_eq!(back.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(back.get("attempts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(back.get("quarantined").and_then(Json::as_bool), Some(false));
         let rows = back.get("rows").and_then(Json::as_arr).expect("rows");
         assert_eq!(rows.len(), numeric_rows(&rendered).len());
         assert!(!rows.is_empty(), "table3 has numeric rows");
@@ -246,10 +377,33 @@ mod tests {
 
     #[test]
     fn failed_experiment_json_carries_the_error() {
-        let doc = build_json("fig4", "t", &Err("boom".to_string()), 0.0, 1);
+        let doc = build_json("fig4", "t", &Err("boom".to_string()), 0.0, 1, 2, true);
         let back = Json::parse(&doc.render()).expect("valid JSON");
         assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(back.get("error").and_then(Json::as_str), Some("boom"));
+        assert_eq!(back.get("attempts").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(back.get("quarantined").and_then(Json::as_bool), Some(true));
         assert!(back.get("rows").is_none());
+    }
+
+    /// A panicking experiment is caught by the supervisor, not propagated;
+    /// a hanging one is cut off at the wall-time budget.
+    #[test]
+    fn supervisor_catches_panics_and_timeouts() {
+        fn boom(_jobs: usize) -> String {
+            panic!("deliberate test panic")
+        }
+        let a = run_supervised(boom, 1, Duration::from_secs(30));
+        assert!(!a.timed_out);
+        assert!(a.outcome.unwrap_err().contains("deliberate test panic"));
+
+        fn hang(_jobs: usize) -> String {
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        let a = run_supervised(hang, 1, Duration::from_millis(200));
+        assert!(a.timed_out);
+        assert!(a.outcome.unwrap_err().contains("wall-time budget"));
     }
 }

@@ -205,7 +205,7 @@ pub fn table4_coverage(_jobs: usize) -> String {
         b.ret();
         let k = Arc::new(b.finish().expect("valid"));
         let mut sys = System::new(SystemConfig::nvidia_protected());
-        sys.set_heap_limit(1 << 16);
+        sys.set_heap_limit(1 << 16).expect("heap limit");
         let r = sys.launch(k, 1, 1, &[]).expect("launch");
         !r.completed()
     };

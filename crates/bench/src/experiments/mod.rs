@@ -6,6 +6,7 @@ mod attacks;
 mod metadata;
 mod multikernel;
 mod perf;
+pub mod resilience;
 mod studies;
 mod tools;
 
@@ -114,6 +115,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Design ablations: warp-level checking and Type 3 pointers",
             run: ablations::ablations,
         },
+        Experiment {
+            id: "fault_resilience",
+            title: "Graceful degradation under injected protection-metadata faults",
+            run: resilience::fault_resilience,
+        },
     ]
 }
 
@@ -134,9 +140,25 @@ mod tests {
         assert_eq!(
             ids,
             [
-                "fig1", "fig4", "table1", "table2", "table3", "table4", "table5", "table6",
-                "fig11", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "malloc", "swcheck",
+                "fig1",
+                "fig4",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "fig11",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "fig19",
+                "malloc",
+                "swcheck",
                 "ablation",
+                "fault_resilience",
             ]
         );
     }

@@ -352,6 +352,17 @@ impl MemGuard for Bcu {
         }
     }
 
+    fn inject_metadata_fault(&mut self, core: usize, entropy: u64) -> bool {
+        if self.cores.is_empty() {
+            return false;
+        }
+        let n = self.cores.len();
+        let c = &mut self.cores[core % n];
+        // Prefer the L1 (its entries are hotter, so the corruption is more
+        // likely to be consumed before eviction); fall back to the L2.
+        c.l1.poison(entropy) || c.l2.poison(entropy)
+    }
+
     fn name(&self) -> &str {
         "gpushield"
     }

@@ -6,6 +6,18 @@
 use gpushield_driver::BoundsEntry;
 use std::collections::VecDeque;
 
+/// Flips one bit of a cached [`BoundsEntry`], modelling an SRAM soft error
+/// in the RCache data array: bits 0–31 land in `size`, 32–79 in the 48-bit
+/// `base`, 80 toggles `valid`, 81 toggles `readonly`.
+fn poison_entry(e: &mut BoundsEntry, entropy: u64) {
+    match entropy % 82 {
+        b @ 0..=31 => e.size ^= 1u32 << b,
+        b @ 32..=79 => e.base ^= 1u64 << (b - 32),
+        80 => e.valid = !e.valid,
+        _ => e.readonly = !e.readonly,
+    }
+}
+
 /// Tag of an RCache entry: (kernel ID, decrypted buffer ID).
 pub type RTag = (u16, u16);
 
@@ -71,6 +83,18 @@ impl L1RCache {
             self.entries.pop_front();
         }
         self.entries.push_back((tag, entry));
+    }
+
+    /// Fault-injection hook: corrupts one bit of one resident entry's
+    /// bounds data, victim and bit chosen deterministically from `entropy`.
+    /// Returns `false` when the cache holds nothing to corrupt.
+    pub fn poison(&mut self, entropy: u64) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let idx = (entropy as usize) % self.entries.len();
+        poison_entry(&mut self.entries[idx].1, entropy >> 8);
+        true
     }
 
     /// Drops all entries belonging to `kernel_id` (kernel termination).
@@ -169,6 +193,18 @@ impl L2RCache {
             self.entries.swap_remove(victim);
         }
         self.entries.push((tag, entry, self.tick));
+    }
+
+    /// Fault-injection hook: corrupts one bit of one resident entry's
+    /// bounds data, victim and bit chosen deterministically from `entropy`.
+    /// Returns `false` when the cache holds nothing to corrupt.
+    pub fn poison(&mut self, entropy: u64) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let idx = (entropy as usize) % self.entries.len();
+        poison_entry(&mut self.entries[idx].1, entropy >> 8);
+        true
     }
 
     /// Drops all entries belonging to `kernel_id`.
@@ -311,6 +347,41 @@ mod extra_tests {
         let e = c.probe((3, 9)).unwrap();
         assert_eq!(e.base, 0xAB00);
         assert_eq!(e.kernel_id, 3);
+    }
+
+    #[test]
+    fn poison_on_empty_cache_reports_nothing_to_corrupt() {
+        let mut l1 = L1RCache::new(2);
+        let mut l2 = L2RCache::new(2);
+        assert!(!l1.poison(0xDEAD));
+        assert!(!l2.poison(0xDEAD));
+    }
+
+    #[test]
+    fn poison_mutates_exactly_one_resident_entry() {
+        let mut c = L1RCache::new(4);
+        c.fill((1, 1), entry(1, 0x1000));
+        c.fill((1, 2), entry(1, 0x2000));
+        assert!(c.poison(0x1234_5678));
+        let a = c.probe((1, 1)).unwrap();
+        let b = c.probe((1, 2)).unwrap();
+        let clean_a = entry(1, 0x1000);
+        let clean_b = entry(1, 0x2000);
+        let changed = usize::from(a != clean_a) + usize::from(b != clean_b);
+        assert_eq!(changed, 1, "exactly one entry corrupted");
+    }
+
+    #[test]
+    fn poison_is_deterministic_in_entropy() {
+        let mut c1 = L2RCache::new(4);
+        let mut c2 = L2RCache::new(4);
+        for c in [&mut c1, &mut c2] {
+            c.fill((1, 1), entry(1, 0x1000));
+            c.fill((1, 2), entry(1, 0x2000));
+            assert!(c.poison(0xABCD_EF01_2345_6789));
+        }
+        assert_eq!(c1.probe((1, 1)), c2.probe((1, 1)));
+        assert_eq!(c1.probe((1, 2)), c2.probe((1, 2)));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::cipher::encrypt_id;
 use crate::rbt::{write_entry, BoundsEntry, RBT_BYTES};
 use gpushield_compiler::{analyze, AnalysisConfig, ArgInfo, BoundsAnalysis, LaunchKnowledge};
 use gpushield_isa::{CheckPlan, Instr, Kernel, ParamKind, PtrClass, TaggedPtr};
-use gpushield_mem::{AllocPolicy, Allocation, VirtualMemorySpace};
+use gpushield_mem::{AllocPolicy, Allocation, MemFault, VirtualMemorySpace};
 use gpushield_runtime::rng::StdRng;
 use gpushield_sim::{HeapDesc, KernelLaunch, LaunchConfig};
 use std::collections::HashSet;
@@ -78,10 +78,14 @@ pub struct PreparedLaunch {
     pub shield: Option<ShieldSetup>,
     /// The compiler's Bounds-Analysis Table (when analysis ran).
     pub bat: Option<BoundsAnalysis>,
+    /// Every region ID given an RBT entry for this launch (params, locals,
+    /// heap) — the addressable metadata surface, e.g. for fault injection.
+    pub region_ids: Vec<u16>,
 }
 
 /// Driver-level errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DriverError {
     /// Argument list does not match the kernel's parameters.
     ArgMismatch {
@@ -100,6 +104,31 @@ pub enum DriverError {
         /// Kernel name.
         kernel: String,
     },
+    /// A launch with a zero grid or block dimension.
+    DegenerateLaunch {
+        /// Requested grid dimension.
+        grid: u32,
+        /// Requested block dimension.
+        block: u32,
+    },
+    /// A launch asked for more distinct region IDs than the 14-bit ID
+    /// space holds.
+    RegionIdsExhausted {
+        /// IDs the launch needed.
+        needed: usize,
+    },
+    /// The device address space could not satisfy an allocation.
+    AllocationFailed {
+        /// What was being allocated ("buffer", "heap", "local memory", "RBT").
+        what: &'static str,
+        /// The underlying memory fault.
+        fault: MemFault,
+    },
+    /// Writing bounds metadata into the RBT failed.
+    MetadataWrite {
+        /// The underlying memory fault.
+        fault: MemFault,
+    },
 }
 
 impl fmt::Display for DriverError {
@@ -113,6 +142,21 @@ impl fmt::Display for DriverError {
             }
             DriverError::NoHeapConfigured { kernel } => {
                 write!(f, "kernel {kernel} uses malloc but no heap limit was set")
+            }
+            DriverError::DegenerateLaunch { grid, block } => {
+                write!(f, "degenerate launch geometry {grid}x{block}")
+            }
+            DriverError::RegionIdsExhausted { needed } => {
+                write!(
+                    f,
+                    "launch needs {needed} region IDs, exceeding the 14-bit ID space"
+                )
+            }
+            DriverError::AllocationFailed { what, fault } => {
+                write!(f, "failed to allocate {what}: {fault}")
+            }
+            DriverError::MetadataWrite { fault } => {
+                write!(f, "failed to write RBT metadata: {fault}")
             }
         }
     }
@@ -194,7 +238,13 @@ impl Driver {
         } else {
             AllocPolicy::Device512
         };
-        let alloc = self.vm.alloc(size, policy).expect("allocation");
+        let alloc = self
+            .vm
+            .alloc(size, policy)
+            .map_err(|fault| DriverError::AllocationFailed {
+                what: "buffer",
+                fault,
+            })?;
         self.buffers.push(BufferRecord {
             alloc,
             canary_written: false,
@@ -203,9 +253,21 @@ impl Driver {
     }
 
     /// Reserves the device heap (`cudaDeviceSetLimit(cudaLimitMallocHeapSize)`).
-    pub fn set_heap_limit(&mut self, size: u64) {
-        let alloc = self.vm.alloc(size, AllocPolicy::Isolated).expect("heap");
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::AllocationFailed`] when the device address space
+    /// cannot hold the heap.
+    pub fn set_heap_limit(&mut self, size: u64) -> Result<(), DriverError> {
+        let alloc = self
+            .vm
+            .alloc(size, AllocPolicy::Isolated)
+            .map_err(|fault| DriverError::AllocationFailed {
+                what: "heap",
+                fault,
+            })?;
         self.heap = Some(alloc);
+        Ok(())
     }
 
     /// Base virtual address of a buffer.
@@ -291,7 +353,12 @@ impl Driver {
         &self.vm
     }
 
-    fn fresh_ids(&mut self, n: usize) -> Vec<u16> {
+    fn fresh_ids(&mut self, n: usize) -> Result<Vec<u16>, DriverError> {
+        // IDs are drawn from 1..2^14; asking for more distinct values than
+        // that space holds would otherwise loop forever.
+        if n >= (1 << 14) {
+            return Err(DriverError::RegionIdsExhausted { needed: n });
+        }
         let mut used = HashSet::new();
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
@@ -300,7 +367,7 @@ impl Driver {
                 out.push(id);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Sets up one kernel launch: runs static analysis, assigns random
@@ -317,6 +384,9 @@ impl Driver {
         block: u32,
         args: &[Arg],
     ) -> Result<PreparedLaunch, DriverError> {
+        if grid == 0 || block == 0 {
+            return Err(DriverError::DegenerateLaunch { grid, block });
+        }
         if args.len() != kernel.params().len() {
             return Err(DriverError::ArgMismatch {
                 kernel: kernel.name().to_string(),
@@ -351,19 +421,23 @@ impl Driver {
 
         // Allocate local-memory regions for this launch (each local
         // variable is interleaved across all threads, §3.1).
-        let local_allocs: Vec<Allocation> = kernel
-            .locals()
-            .iter()
-            .map(|l| {
-                let total = l.bytes_per_thread() * total_threads;
-                let policy = if self.cfg.enable_type3 {
-                    AllocPolicy::PowerOfTwo
-                } else {
-                    AllocPolicy::Device512
-                };
-                self.vm.alloc(total, policy).expect("local memory")
-            })
-            .collect();
+        let mut local_allocs: Vec<Allocation> = Vec::with_capacity(kernel.locals().len());
+        for l in kernel.locals() {
+            let total = l.bytes_per_thread() * total_threads;
+            let policy = if self.cfg.enable_type3 {
+                AllocPolicy::PowerOfTwo
+            } else {
+                AllocPolicy::Device512
+            };
+            let alloc =
+                self.vm
+                    .alloc(total, policy)
+                    .map_err(|fault| DriverError::AllocationFailed {
+                        what: "local memory",
+                        fault,
+                    })?;
+            local_allocs.push(alloc);
+        }
 
         let launch_cfg = LaunchConfig::new(grid, block);
         if !self.cfg.enable_shield {
@@ -389,6 +463,7 @@ impl Driver {
                 launch,
                 shield: None,
                 bat: None,
+                region_ids: Vec::new(),
             });
         }
 
@@ -466,7 +541,7 @@ impl Driver {
         let rbt = self
             .vm
             .alloc(RBT_BYTES, AllocPolicy::Isolated)
-            .expect("RBT");
+            .map_err(|fault| DriverError::AllocationFailed { what: "RBT", fault })?;
 
         // Count the RBT entries needed: Region-classed params/locals + heap.
         let region_params: Vec<u8> = (0..args.len() as u8)
@@ -512,7 +587,8 @@ impl Driver {
             groups[best].extend(tail);
         }
         let n_ids = groups.len() + fixed;
-        let ids = self.fresh_ids(n_ids);
+        let ids = self.fresh_ids(n_ids)?;
+        let region_ids = ids.clone();
         let mut id_iter = ids.into_iter();
 
         // Pre-assign one ID and merged bounds per group.
@@ -566,7 +642,7 @@ impl Driver {
                                     size: (hi - lo) as u32,
                                 },
                             )
-                            .expect("RBT is mapped");
+                            .map_err(|fault| DriverError::MetadataWrite { fault })?;
                             TaggedPtr::with_region_id(rec.alloc.va, encrypt_id(id, key)).raw()
                         }
                         PtrClass::SizeEmbedded => {
@@ -598,7 +674,7 @@ impl Driver {
                             size: alloc.size as u32,
                         },
                     )
-                    .expect("RBT is mapped");
+                    .map_err(|fault| DriverError::MetadataWrite { fault })?;
                     TaggedPtr::with_region_id(alloc.va, encrypt_id(id, key)).raw()
                 }
                 PtrClass::SizeEmbedded => {
@@ -625,7 +701,7 @@ impl Driver {
                     size: h.size as u32,
                 },
             )
-            .expect("RBT is mapped");
+            .map_err(|fault| DriverError::MetadataWrite { fault })?;
             launch = launch.heap(HeapDesc {
                 tagged_base: TaggedPtr::with_region_id(h.va, encrypt_id(id, key)),
                 size: h.size,
@@ -644,6 +720,7 @@ impl Driver {
                 key,
             }),
             bat: Some(bat),
+            region_ids,
         })
     }
 
@@ -813,7 +890,7 @@ mod tests {
             d.prepare_launch(k.clone(), 1, 32, &[]),
             Err(DriverError::NoHeapConfigured { .. })
         ));
-        d.set_heap_limit(1 << 20);
+        d.set_heap_limit(1 << 20).unwrap();
         let p = d.prepare_launch(k, 1, 32, &[]).unwrap();
         let heap = p.launch.heap.unwrap();
         assert_eq!(heap.tagged_base.class(), PtrClass::Region);
@@ -850,10 +927,92 @@ mod tests {
     #[test]
     fn ids_are_unique_per_launch() {
         let mut d = Driver::new(DriverConfig::default(), 9);
-        let ids = d.fresh_ids(1000);
+        let ids = d.fresh_ids(1000).unwrap();
         let set: HashSet<u16> = ids.iter().copied().collect();
         assert_eq!(set.len(), 1000);
         assert!(ids.iter().all(|i| *i > 0 && *i < (1 << 14)));
+    }
+
+    #[test]
+    fn fresh_ids_refuses_more_than_the_id_space() {
+        let mut d = Driver::new(DriverConfig::default(), 9);
+        let e = d.fresh_ids(1 << 14).unwrap_err();
+        assert_eq!(e, DriverError::RegionIdsExhausted { needed: 1 << 14 });
+    }
+
+    #[test]
+    fn zero_geometry_is_rejected_not_a_panic() {
+        let mut d = Driver::new(DriverConfig::default(), 1);
+        let buf = d.malloc(64).unwrap();
+        let e = d
+            .prepare_launch(iota_kernel(), 0, 32, &[Arg::Buffer(buf)])
+            .unwrap_err();
+        assert_eq!(e, DriverError::DegenerateLaunch { grid: 0, block: 32 });
+        let e = d
+            .prepare_launch(iota_kernel(), 4, 0, &[Arg::Buffer(buf)])
+            .unwrap_err();
+        assert_eq!(e, DriverError::DegenerateLaunch { grid: 4, block: 0 });
+    }
+
+    #[test]
+    fn prepared_launch_exposes_its_region_ids() {
+        let mut d = Driver::new(
+            DriverConfig {
+                enable_static_analysis: false,
+                ..DriverConfig::default()
+            },
+            3,
+        );
+        let buf = d.malloc(1024 * 4).unwrap();
+        let p = d
+            .prepare_launch(iota_kernel(), 4, 256, &[Arg::Buffer(buf)])
+            .unwrap();
+        // Without static analysis the buffer param is Region-classed, so
+        // exactly one RBT entry was assigned.
+        assert_eq!(p.region_ids.len(), 1);
+        assert!(p.region_ids[0] > 0 && p.region_ids[0] < (1 << 14));
+    }
+
+    #[test]
+    fn unprotected_launch_has_no_region_ids() {
+        let mut d = Driver::new(
+            DriverConfig {
+                enable_shield: false,
+                ..DriverConfig::default()
+            },
+            3,
+        );
+        let buf = d.malloc(1024 * 4).unwrap();
+        let p = d
+            .prepare_launch(iota_kernel(), 4, 256, &[Arg::Buffer(buf)])
+            .unwrap();
+        assert!(p.region_ids.is_empty());
+    }
+
+    #[test]
+    fn error_displays_cover_the_untriggerable_variants() {
+        let a = DriverError::AllocationFailed {
+            what: "heap",
+            fault: MemFault::Unmapped { va: 0x40 },
+        };
+        assert_eq!(
+            a.to_string(),
+            "failed to allocate heap: illegal memory access at 0x40"
+        );
+        let m = DriverError::MetadataWrite {
+            fault: MemFault::Protected { va: 0x80 },
+        };
+        assert_eq!(
+            m.to_string(),
+            "failed to write RBT metadata: access to protected page at 0x80"
+        );
+        let r = DriverError::RegionIdsExhausted { needed: 99999 };
+        assert_eq!(
+            r.to_string(),
+            "launch needs 99999 region IDs, exceeding the 14-bit ID space"
+        );
+        let g = DriverError::DegenerateLaunch { grid: 0, block: 64 };
+        assert_eq!(g.to_string(), "degenerate launch geometry 0x64");
     }
 
     #[test]

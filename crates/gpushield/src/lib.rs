@@ -41,11 +41,13 @@
 pub use gpushield_core::{Bcu, BcuConfig, BcuStats, ViolationKind, ViolationRecord};
 pub use gpushield_driver::{Arg, BufferHandle, Driver, DriverConfig, DriverError, ShieldSetup};
 pub use gpushield_sim::{
-    Gpu, GpuConfig, KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, RunError, RunReport,
-    Trace, TraceEvent, TraceKind,
+    FaultKind, FaultPlan, FaultSession, FaultSpec, FaultTargets, Gpu, GpuConfig, InjectionRecord,
+    KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, RunError, RunReport, Trace, TraceEvent,
+    TraceKind,
 };
 
 use gpushield_compiler::BoundsAnalysis;
+use gpushield_driver::RBT_ENTRY_BYTES;
 use gpushield_isa::Kernel;
 use std::error::Error;
 use std::fmt;
@@ -221,8 +223,13 @@ impl System {
     }
 
     /// Reserves the device heap.
-    pub fn set_heap_limit(&mut self, bytes: u64) {
-        self.driver.set_heap_limit(bytes);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriverError::AllocationFailed`].
+    pub fn set_heap_limit(&mut self, bytes: u64) -> Result<(), SystemError> {
+        self.driver.set_heap_limit(bytes)?;
+        Ok(())
     }
 
     /// Host write into a buffer.
@@ -263,6 +270,55 @@ impl System {
             .gpu
             .run(self.driver.vm_mut(), &[prepared.launch], guard)?;
         Ok(report)
+    }
+
+    /// Launches one kernel under a deterministic fault-injection plan
+    /// corrupting the protection substrate mid-run (see
+    /// [`FaultPlan`]). The injectable RBT-entry addresses are derived from
+    /// the launch's own region IDs, so the plan attacks exactly the
+    /// metadata protecting this kernel. Returns the run report plus the
+    /// record of every fault that came due.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch`] — including [`RunError::CycleBudgetExceeded`]
+    /// when an injected fault hangs the kernel past the configured
+    /// watchdog budget.
+    pub fn launch_with_faults(
+        &mut self,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+        plan: FaultPlan,
+    ) -> Result<(RunReport, Vec<InjectionRecord>), SystemError> {
+        let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
+        let mut targets = FaultTargets::default();
+        if let Some(setup) = prepared.shield {
+            targets.rbt_entries = prepared
+                .region_ids
+                .iter()
+                .map(|id| {
+                    (
+                        setup.rbt_base + u64::from(*id) * RBT_ENTRY_BYTES,
+                        RBT_ENTRY_BYTES,
+                    )
+                })
+                .collect();
+        }
+        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+            bcu.register_kernel(setup);
+        }
+        self.last_bat = prepared.bat;
+        let mut session = FaultSession::new(plan, targets);
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report = self.gpu.run_faulted(
+            self.driver.vm_mut(),
+            &[prepared.launch],
+            guard,
+            &mut session,
+        )?;
+        Ok((report, session.injected().to_vec()))
     }
 
     /// Launches one kernel with execution tracing (see [`Trace`]).

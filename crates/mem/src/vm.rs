@@ -80,6 +80,12 @@ pub enum MemFault {
         /// Faulting virtual address.
         va: u64,
     },
+    /// An integer access asked for a width outside 1..=8 bytes — malformed
+    /// input (e.g. a corrupted kernel image), not a memory condition.
+    BadWidth {
+        /// The rejected width.
+        width: u64,
+    },
 }
 
 impl fmt::Display for MemFault {
@@ -87,6 +93,9 @@ impl fmt::Display for MemFault {
         match self {
             MemFault::Unmapped { va } => write!(f, "illegal memory access at 0x{va:x}"),
             MemFault::Protected { va } => write!(f, "access to protected page at 0x{va:x}"),
+            MemFault::BadWidth { width } => {
+                write!(f, "unsupported integer access width {width}")
+            }
         }
     }
 }
@@ -364,16 +373,16 @@ impl VirtualMemorySpace {
         Ok(())
     }
 
-    /// Reads a little-endian unsigned integer of `width` ∈ {1,2,4,8} bytes.
+    /// Reads a little-endian unsigned integer of `width` ∈ 1..=8 bytes.
     ///
     /// # Errors
     ///
-    /// Faults as [`VirtualMemorySpace::read`] does.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unsupported width.
+    /// Faults as [`VirtualMemorySpace::read`] does, plus
+    /// [`MemFault::BadWidth`] for widths outside 1..=8.
     pub fn read_uint(&self, va: u64, width: u64) -> Result<u64, MemFault> {
+        if width == 0 || width > 8 {
+            return Err(MemFault::BadWidth { width });
+        }
         let mut buf = [0u8; 8];
         self.read(va, &mut buf[..width as usize])?;
         Ok(u64::from_le_bytes(buf))
@@ -383,8 +392,12 @@ impl VirtualMemorySpace {
     ///
     /// # Errors
     ///
-    /// Faults as [`VirtualMemorySpace::write`] does.
+    /// Faults as [`VirtualMemorySpace::write`] does, plus
+    /// [`MemFault::BadWidth`] for widths outside 1..=8.
     pub fn write_uint(&mut self, va: u64, width: u64, value: u64) -> Result<(), MemFault> {
+        if width == 0 || width > 8 {
+            return Err(MemFault::BadWidth { width });
+        }
         let bytes = value.to_le_bytes();
         self.write(va, &bytes[..width as usize])
     }
@@ -464,6 +477,22 @@ mod tests {
         let b = vm.alloc(64, AllocPolicy::Device512).unwrap();
         vm.write_uint(a.va + 512, 4, 0xBAD).unwrap();
         assert_eq!(vm.read_uint(b.va, 4).unwrap(), 0xBAD);
+    }
+
+    #[test]
+    fn degenerate_widths_fault_instead_of_panicking() {
+        let mut vm = VirtualMemorySpace::new();
+        let a = vm.alloc(64, AllocPolicy::Device512).unwrap();
+        assert_eq!(vm.read_uint(a.va, 0), Err(MemFault::BadWidth { width: 0 }));
+        assert_eq!(vm.read_uint(a.va, 9), Err(MemFault::BadWidth { width: 9 }));
+        assert_eq!(
+            vm.write_uint(a.va, 16, 1),
+            Err(MemFault::BadWidth { width: 16 })
+        );
+        assert_eq!(
+            MemFault::BadWidth { width: 9 }.to_string(),
+            "unsupported integer access width 9"
+        );
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub struct GpuConfig {
     /// Serialized cost of one device-side heap `malloc`/`free` (the global
     /// allocator lock round-trip; §5.2.1 footnote 2).
     pub heap_alloc_cycles: u64,
+    /// Hard cycle budget (watchdog): the run fails with
+    /// `RunError::CycleBudgetExceeded` once the cycle counter reaches this
+    /// value, so injected or programmed hangs terminate deterministically.
+    /// `u64::MAX` (the presets' default) disables the watchdog.
+    pub max_cycles: u64,
+    /// When true, a device-heap `malloc` that cannot be satisfied blocks
+    /// the requesting warp until memory is freed — and surfaces as
+    /// `RunError::HeapDeadlock` when nothing ever frees. When false
+    /// (default, matching CUDA device malloc) the allocation returns NULL.
+    pub malloc_blocks_on_exhaustion: bool,
 }
 
 impl GpuConfig {
@@ -63,6 +73,8 @@ impl GpuConfig {
             alu_latency: 4,
             issue_width: 1,
             heap_alloc_cycles: 12,
+            max_cycles: u64::MAX,
+            malloc_blocks_on_exhaustion: false,
         }
     }
 
@@ -88,6 +100,8 @@ impl GpuConfig {
             alu_latency: 4,
             issue_width: 1,
             heap_alloc_cycles: 12,
+            max_cycles: u64::MAX,
+            malloc_blocks_on_exhaustion: false,
         }
     }
 
@@ -111,6 +125,8 @@ impl GpuConfig {
             alu_latency: 4,
             issue_width: 1,
             heap_alloc_cycles: 50,
+            max_cycles: u64::MAX,
+            malloc_blocks_on_exhaustion: false,
         }
     }
 

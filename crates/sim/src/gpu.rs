@@ -3,6 +3,7 @@
 //! multi-kernel execution modes (§6.2).
 
 use crate::config::GpuConfig;
+use crate::fault::{self, FaultKind, FaultSession};
 use crate::guard::{GuardVerdict, MemAccess, MemGuard};
 use crate::launch::{KernelLaunch, SiteCheck};
 use crate::stats::{AbortReason, LaunchReport, RunReport, SimProfile};
@@ -34,6 +35,7 @@ pub enum MultiKernelMode {
 /// Host-visible simulation errors (distinct from in-kernel faults, which
 /// abort the offending launch and are reported in its [`LaunchReport`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RunError {
     /// A workgroup cannot fit on an empty core (threads, registers, or
     /// shared memory).
@@ -51,6 +53,22 @@ pub enum RunError {
         /// Offending kernel name.
         kernel: String,
     },
+    /// The cycle counter reached the configured hard budget
+    /// (`GpuConfig::max_cycles`): the watchdog terminated a hang
+    /// deterministically instead of simulating forever.
+    CycleBudgetExceeded {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// All remaining live warps are blocked on an exhausted device-heap
+    /// allocator and no warp that could free memory is left (only
+    /// reachable under `GpuConfig::malloc_blocks_on_exhaustion`).
+    HeapDeadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -64,6 +82,12 @@ impl fmt::Display for RunError {
             }
             RunError::NoHeap { kernel } => {
                 write!(f, "kernel {kernel} uses malloc but no heap was configured")
+            }
+            RunError::CycleBudgetExceeded { cycle, budget } => {
+                write!(f, "cycle budget of {budget} exceeded at cycle {cycle}")
+            }
+            RunError::HeapDeadlock { cycle } => {
+                write!(f, "heap-allocation deadlock detected at cycle {cycle}")
             }
         }
     }
@@ -258,6 +282,36 @@ impl Gpu {
         st.run()?;
         Ok(st.into_report())
     }
+
+    /// Like [`Gpu::run`], but with a deterministic fault-injection session
+    /// (see [`crate::fault`]) corrupting protection metadata mid-run. The
+    /// session's injection log survives the call; running with an empty
+    /// plan is behaviourally identical to [`Gpu::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::run`]; additionally [`RunError::CycleBudgetExceeded`]
+    /// when an injected hang trips the `max_cycles` watchdog.
+    pub fn run_faulted(
+        &mut self,
+        vm: &mut VirtualMemorySpace,
+        launches: &[KernelLaunch],
+        guard: Option<&mut dyn MemGuard>,
+        session: &mut FaultSession,
+    ) -> Result<RunReport, RunError> {
+        self.shared.begin_run();
+        let mut st = RunState::new(
+            &self.cfg,
+            vm,
+            &mut self.shared,
+            launches,
+            MultiKernelMode::IntraCore,
+            guard,
+        )?;
+        st.fault = Some(session);
+        st.run()?;
+        Ok(st.into_report())
+    }
 }
 
 struct RunState<'c, 'v, 'g, 't> {
@@ -273,6 +327,7 @@ struct RunState<'c, 'v, 'g, 't> {
     age_seq: u64,
     rr_cursor: usize,
     trace: Option<&'t mut Trace>,
+    fault: Option<&'t mut FaultSession>,
     profile: SimProfile,
 }
 
@@ -327,6 +382,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             age_seq: 0,
             rr_cursor: 0,
             trace: None,
+            fault: None,
             profile: SimProfile::default(),
         })
     }
@@ -466,7 +522,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         // launch's warps from every core immediately, so none survive to be
         // picked.
         let core = &self.cores[core_idx];
-        let ready = |w: &Warp| !w.done && !w.at_barrier && w.ready_at <= self.cycle;
+        let ready = |w: &Warp| !w.done && !w.at_barrier && !w.blocked && w.ready_at <= self.cycle;
         // Greedy: stick with the last-issued warp while it stays ready.
         if let Some(i) = core.last_issued {
             if let Some(w) = core.warps.get(i) {
@@ -487,6 +543,15 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
 
     fn run(&mut self) -> Result<(), RunError> {
         loop {
+            // Watchdog: a hard cycle budget turns hangs (injected faults
+            // squashing a loop's exit condition, adversarial kernels) into
+            // a deterministic, classifiable error.
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(RunError::CycleBudgetExceeded {
+                    cycle: self.cycle,
+                    budget: self.cfg.max_cycles,
+                });
+            }
             self.try_dispatch();
             if self.launches.iter().all(|l| l.finished()) {
                 break;
@@ -511,7 +576,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                             core.next_ready_at = core
                                 .warps
                                 .iter()
-                                .filter(|w| !w.done && !w.at_barrier)
+                                .filter(|w| !w.done && !w.at_barrier && !w.blocked)
                                 .map(|w| w.ready_at)
                                 .min()
                                 .unwrap_or(u64::MAX);
@@ -532,24 +597,32 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                     .cores
                     .iter()
                     .flat_map(|c| c.warps.iter())
-                    .filter(|w| !w.done && !w.at_barrier && !self.launches[w.launch_idx].aborted)
+                    .filter(|w| {
+                        !w.done
+                            && !w.at_barrier
+                            && !w.blocked
+                            && !self.launches[w.launch_idx].aborted
+                    })
                     .map(|w| w.ready_at)
                     .min();
                 match next {
-                    Some(n) => self.cycle = n.max(self.cycle + 1),
+                    // Clamp the skip to the watchdog budget so the error
+                    // reports the budget cycle, not a far-future wakeup.
+                    Some(n) => self.cycle = n.max(self.cycle + 1).min(self.cfg.max_cycles),
                     None => {
                         // Live warps exist but none can ever become ready.
-                        let stuck = self
-                            .cores
-                            .iter()
-                            .flat_map(|c| c.warps.iter())
-                            .any(|w| !w.done && !self.launches[w.launch_idx].aborted);
-                        if stuck {
-                            return Err(RunError::BarrierDeadlock { cycle: self.cycle });
+                        // Distinguish warps parked on the exhausted device
+                        // heap from barrier waits that can never complete.
+                        let alloc_blocked =
+                            self.cores.iter().flat_map(|c| c.warps.iter()).any(|w| {
+                                !w.done && w.blocked && !self.launches[w.launch_idx].aborted
+                            });
+                        if alloc_blocked {
+                            return Err(RunError::HeapDeadlock { cycle: self.cycle });
                         }
-                        // Otherwise workgroups remain but dispatch made no
-                        // progress — impossible given the fit pre-check, but
-                        // guard against an infinite loop.
+                        // Barrier deadlock — or workgroups remain but
+                        // dispatch made no progress (impossible given the
+                        // fit pre-check, but guard against spinning).
                         return Err(RunError::BarrierDeadlock { cycle: self.cycle });
                     }
                 }
@@ -729,6 +802,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         }
         let entry = self.heaps.entry(heap.tagged_base.va()).or_default();
         let mut done_at = self.cycle;
+        let mut exhausted = false;
         scratch.results.clear();
         scratch.results.resize(scratch.lane_sizes.len(), None);
         for (lane, sz) in scratch.lane_sizes.iter().enumerate() {
@@ -744,10 +818,23 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                     let ptr = heap.tagged_base.raw() + entry.cursor;
                     entry.cursor += aligned;
                     scratch.results[lane] = Some(ptr);
+                } else if self.cfg.malloc_blocks_on_exhaustion {
+                    // The allocator parks the whole warp until memory is
+                    // freed; with nothing freeing, the deadlock detector
+                    // reports HeapDeadlock instead of spinning forever.
+                    exhausted = true;
+                    break;
                 } else {
                     scratch.results[lane] = Some(0); // CUDA malloc returns NULL
                 }
             }
+        }
+        if exhausted {
+            self.cores[core_idx].warps[warp_idx].blocked = true;
+            self.cores[core_idx].scratch = scratch;
+            self.profile.malloc_issues += 1;
+            self.launches[li].report.instructions += 1;
+            return Ok(());
         }
         let warp = &mut self.cores[core_idx].warps[warp_idx];
         if let Some(dst) = dst {
@@ -763,6 +850,48 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         self.launches[li].report.instructions += 1;
         self.cores[core_idx].scratch = scratch;
         Ok(())
+    }
+
+    /// Applies every injected fault scheduled for the current access (see
+    /// [`crate::fault`]): pointer-tag mangling and site-check falsification
+    /// act on the in-flight access, RBT bit flips and RCache poisoning
+    /// corrupt the metadata the bounds check will consult. Returns the
+    /// (possibly mangled) pointer and (possibly falsified) decision.
+    fn apply_due_faults(
+        &mut self,
+        core_idx: usize,
+        mut ptr: TaggedPtr,
+        mut decision: SiteCheck,
+    ) -> (TaggedPtr, SiteCheck) {
+        let Some(fs) = self.fault.as_mut() else {
+            return (ptr, decision);
+        };
+        let seq = fs.begin_access();
+        while let Some(spec) = fs.take_due(seq) {
+            let applied = match spec.kind {
+                FaultKind::TagMangle => {
+                    ptr = fault::mangle_pointer(ptr, spec.entropy);
+                    true
+                }
+                FaultKind::SiteCheckFalsify => {
+                    decision = match decision {
+                        SiteCheck::Static => SiteCheck::Runtime,
+                        _ => SiteCheck::Static,
+                    };
+                    true
+                }
+                FaultKind::RbtBitFlip => {
+                    fault::flip_rbt_bit(&mut *self.vm, fs.targets(), spec.entropy)
+                }
+                FaultKind::RcachePoison => self
+                    .guard
+                    .as_mut()
+                    .is_some_and(|g| g.inject_metadata_fault(core_idx, spec.entropy)),
+            };
+            let cycle = self.cycle;
+            fs.record(spec, cycle, seq, applied);
+        }
+        (ptr, decision)
     }
 
     /// The full LSU + BCU pipeline for one warp-level memory instruction.
@@ -900,7 +1029,11 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         }
 
         // ---- Phase 3: bounds check (GPUShield BCU or baseline guard) -----
-        let decision = self.launches[li].launch.plan.get(site);
+        let mut ptr = ptr;
+        let mut decision = self.launches[li].launch.plan.get(site);
+        if self.fault.is_some() {
+            (ptr, decision) = self.apply_due_faults(core_idx, ptr, decision);
+        }
         let mut stall = 0u64;
         let mut verdict = GuardVerdict::Allow;
         if let Some(g) = self.guard.as_mut() {

@@ -90,6 +90,16 @@ pub trait MemGuard {
     /// flush here (§5.5).
     fn on_kernel_end(&mut self, kernel_id: u16);
 
+    /// Fault-injection hook: corrupt one resident piece of cached bounds
+    /// metadata (an RCache entry) on `core`, the victim chosen
+    /// deterministically from `entropy`. Returns whether anything was
+    /// corrupted. The default implementation caches no metadata and
+    /// reports `false`; GPUShield's BCU overrides it.
+    fn inject_metadata_fault(&mut self, core: usize, entropy: u64) -> bool {
+        let _ = (core, entropy);
+        false
+    }
+
     /// Human-readable mechanism name (for reports).
     fn name(&self) -> &str;
 }

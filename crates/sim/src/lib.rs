@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fault;
 mod gpu;
 mod guard;
 mod launch;
@@ -54,6 +55,7 @@ mod trace;
 mod warp;
 
 pub use config::GpuConfig;
+pub use fault::{FaultKind, FaultPlan, FaultSession, FaultSpec, FaultTargets, InjectionRecord};
 pub use gpu::{Gpu, MultiKernelMode, RunError};
 pub use guard::{GuardCheck, GuardVerdict, MemAccess, MemGuard};
 pub use launch::{CheckPlan, HeapDesc, KernelLaunch, LaunchConfig, SiteCheck};

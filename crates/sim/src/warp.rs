@@ -51,6 +51,10 @@ pub(crate) struct Warp {
     pub stack: Vec<StackEntry>,
     pub ready_at: u64,
     pub at_barrier: bool,
+    /// Blocked forever on an exhausted device-heap allocator (only set
+    /// under `GpuConfig::malloc_blocks_on_exhaustion`); the deadlock
+    /// detector reports these as `HeapDeadlock` rather than spinning.
+    pub blocked: bool,
     pub done: bool,
     /// Monotonic dispatch sequence for greedy-then-oldest scheduling.
     pub age: u64,
@@ -84,6 +88,7 @@ impl Warp {
             }],
             ready_at: 0,
             at_barrier: false,
+            blocked: false,
             done: false,
             age,
         }

@@ -188,7 +188,7 @@ fn heap_allocations_are_disjoint_and_checked() {
     let k = Arc::new(b.finish().unwrap());
 
     let mut sys = System::new(SystemConfig::nvidia_protected());
-    sys.set_heap_limit(1 << 20);
+    sys.set_heap_limit(1 << 20).unwrap();
     let out = sys.alloc(128 * 4).unwrap();
     let r = sys.launch(k, 4, 32, &[Arg::Buffer(out)]).unwrap();
     assert!(r.completed(), "in-bounds heap use must pass checking");

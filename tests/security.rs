@@ -180,7 +180,7 @@ fn heap_overflow_beyond_chunk_is_caught() {
     b.ret();
     let k = Arc::new(b.finish().unwrap());
     let mut sys = System::new(SystemConfig::nvidia_protected());
-    sys.set_heap_limit(1 << 16);
+    sys.set_heap_limit(1 << 16).unwrap();
     let r = sys.launch(k, 1, 1, &[]).unwrap();
     assert!(!r.completed());
 }
