@@ -99,6 +99,7 @@ fn build_json(
 
 /// Prints one outcome and writes `<id>.txt` + `<id>.json` when an output
 /// directory was given. Returns false on any write failure.
+#[allow(clippy::too_many_arguments)] // one flat record per outcome
 fn emit(
     id: &str,
     title: &str,

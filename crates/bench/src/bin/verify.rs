@@ -1,0 +1,87 @@
+//! Registry-wide kernel verifier CLI — the CI gate for static analysis.
+//!
+//! ```text
+//! verify            # sweep every registry workload, print findings
+//! verify -v         # also print per-kernel Type 1/2/3 breakdowns
+//! ```
+//!
+//! Runs the compiler's verification pass pipeline (def-before-use, barrier
+//! divergence, shared-memory races, redundant checks) over every distinct
+//! (kernel, launch) pair the registry's host programs produce. Every
+//! `warning`- or `error`-severity finding must either be fixed or appear in
+//! the justification table below with a reviewed explanation; an
+//! unjustified finding fails the process (non-zero exit), which is how
+//! `scripts/ci.sh` keeps the registry race- and divergence-clean.
+
+use gpushield_bench::verifysweep::verify_workload;
+use gpushield_compiler::Severity;
+use gpushield_workloads::all;
+use std::process::ExitCode;
+
+/// Findings that are understood and deliberately kept, as
+/// `(kernel, pass, reason)`. The reason is printed next to the finding so
+/// the sweep output stays self-explanatory. Entries match by exact kernel
+/// name and pass id; severity is not widened — an `error` needs its own
+/// entry even if a `warning` on the same kernel/pass is justified.
+const JUSTIFIED: &[(&str, &str, &str)] = &[];
+
+fn justification(kernel: &str, pass: &str) -> Option<&'static str> {
+    JUSTIFIED
+        .iter()
+        .find(|(k, p, _)| *k == kernel && *p == pass)
+        .map(|(_, _, r)| *r)
+}
+
+fn main() -> ExitCode {
+    let verbose = std::env::args().any(|a| a == "-v" || a == "--verbose");
+    let mut kernels = 0usize;
+    let mut findings = 0usize;
+    let mut justified = 0usize;
+    let mut unjustified = 0usize;
+    for w in all() {
+        let v = verify_workload(&w);
+        for r in &v.reports {
+            kernels += 1;
+            if verbose {
+                println!(
+                    "{:<14} {:<22} T1 {:>2}  T2 {:>2}  T3 {:>2}  elidable {:>2}",
+                    v.workload,
+                    r.kernel,
+                    r.breakdown.type1,
+                    r.breakdown.type2,
+                    r.breakdown.type3,
+                    r.breakdown.elidable
+                );
+            }
+            for d in &r.diagnostics {
+                findings += 1;
+                if d.severity < Severity::Warning {
+                    if verbose {
+                        println!("  {d}");
+                    }
+                    continue;
+                }
+                match justification(&d.kernel, d.pass) {
+                    Some(reason) => {
+                        justified += 1;
+                        println!("  {d}\n    justified: {reason}");
+                    }
+                    None => {
+                        unjustified += 1;
+                        println!("  UNJUSTIFIED {d}");
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "\nverified {kernels} kernel/launch pairs: {findings} findings, \
+         {justified} justified, {unjustified} unjustified"
+    );
+    if unjustified > 0 {
+        println!("FAIL: every warning/error must be fixed or justified");
+        return ExitCode::FAILURE;
+    }
+    println!("OK");
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,7 @@ mod perf;
 pub mod resilience;
 mod studies;
 mod tools;
+mod verifier;
 
 /// A runnable experiment.
 pub struct Experiment {
@@ -120,6 +121,16 @@ pub fn all() -> Vec<Experiment> {
             title: "Graceful degradation under injected protection-metadata faults",
             run: resilience::fault_resilience,
         },
+        Experiment {
+            id: "static_analysis",
+            title: "Registry-wide check-site taxonomy and verifier findings (Fig. 16)",
+            run: verifier::static_analysis,
+        },
+        Experiment {
+            id: "bat_soundness",
+            title: "BAT soundness audit: observed addresses vs static claims",
+            run: verifier::bat_soundness,
+        },
     ]
 }
 
@@ -159,6 +170,8 @@ mod tests {
                 "swcheck",
                 "ablation",
                 "fault_resilience",
+                "static_analysis",
+                "bat_soundness",
             ]
         );
     }

@@ -1,0 +1,202 @@
+//! Verifier exhibits: the registry-wide static-analysis breakdown
+//! (paper Fig. 16's taxonomy) and the BAT soundness audit.
+
+use crate::runner::fan_out;
+use crate::verifysweep::{audit_workload, verify_workload, WorkloadAudit, WorkloadVerify};
+use gpushield_compiler::Severity;
+use gpushield_workloads::all;
+use std::fmt::Write as _;
+
+/// `static_analysis`: per-workload Type 1/2/3 check-site breakdown plus
+/// verification findings across the whole registry.
+pub fn static_analysis(jobs: usize) -> String {
+    let sweeps: Vec<WorkloadVerify> = fan_out(
+        all()
+            .into_iter()
+            .map(|w| move || verify_workload(&w))
+            .collect(),
+        jobs,
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Static analysis — per-workload check-site taxonomy (Fig. 16) and"
+    );
+    let _ = writeln!(
+        out,
+        "verifier findings (def-use, barrier divergence, shared races)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>7} {:>6} {:>6} {:>6} {:>8} {:>6} {:>6} {:>6}",
+        "workload", "kernels", "type1", "type2", "type3", "elidable", "info", "warn", "error"
+    );
+    let mut tk = 0usize;
+    let mut t = [0usize; 4];
+    let mut sev = [0usize; 3];
+    for v in &sweeps {
+        let mut row = [0usize; 4];
+        let mut rs = [0usize; 3];
+        for r in &v.reports {
+            row[0] += r.breakdown.type1;
+            row[1] += r.breakdown.type2;
+            row[2] += r.breakdown.type3;
+            row[3] += r.breakdown.elidable;
+            for d in &r.diagnostics {
+                rs[match d.severity {
+                    Severity::Info => 0,
+                    Severity::Warning => 1,
+                    Severity::Error => 2,
+                }] += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7} {:>6} {:>6} {:>6} {:>8} {:>6} {:>6} {:>6}",
+            v.workload,
+            v.reports.len(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            rs[0],
+            rs[1],
+            rs[2]
+        );
+        tk += v.reports.len();
+        for i in 0..4 {
+            t[i] += row[i];
+        }
+        for i in 0..3 {
+            sev[i] += rs[i];
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<18} {:>7} {:>6} {:>6} {:>6} {:>8} {:>6} {:>6} {:>6}",
+        "total", tk, t[0], t[1], t[2], t[3], sev[0], sev[1], sev[2]
+    );
+    let sites = (t[0] + t[1] + t[2]) as f64;
+    let _ = writeln!(
+        out,
+        "\nstatic share: {:.1}% of sites proven Type 1 (paper: ~21% without",
+        100.0 * t[0] as f64 / sites.max(1.0)
+    );
+    let _ = writeln!(
+        out,
+        "launch-time argument knowledge; the driver-side analysis here sees"
+    );
+    let _ = writeln!(out, "buffer sizes and constant scalars, so it proves more)");
+    let _ = writeln!(
+        out,
+        "verifier: {} warnings, {} errors across {} kernel/launch pairs",
+        sev[1], sev[2], tk
+    );
+    out
+}
+
+/// `bat_soundness`: replay every workload with per-site address recording
+/// and audit the observed ranges against the driver's static claims.
+pub fn bat_soundness(jobs: usize) -> String {
+    let audits: Vec<WorkloadAudit> = fan_out(
+        all()
+            .into_iter()
+            .map(|w| move || audit_workload(&w))
+            .collect(),
+        jobs,
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "BAT soundness audit — observed per-site address ranges vs the"
+    );
+    let _ = writeln!(
+        out,
+        "driver's static claims (Type 1 regions, Type 3 reservations)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>7} {:>8} {:>8} {:>7} {:>10}",
+        "workload", "launches", "claims", "audited", "static", "type3", "violations"
+    );
+    let mut tot = [0u64; 6];
+    let mut details: Vec<String> = Vec::new();
+    for a in &audits {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>7} {:>8} {:>8} {:>7} {:>10}",
+            a.workload,
+            a.launches,
+            a.claims,
+            a.audited,
+            a.audited_static,
+            a.audited_type3,
+            a.violations.len()
+        );
+        tot[0] += a.launches;
+        tot[1] += a.claims;
+        tot[2] += a.audited;
+        tot[3] += a.audited_static;
+        tot[4] += a.audited_type3;
+        tot[5] += a.violations.len() as u64;
+        for v in &a.violations {
+            details.push(format!(
+                "  {}: {} {:?} site {}:{} — {}",
+                a.workload, v.kernel, v.check, v.site.0, v.site.1, v.detail
+            ));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>7} {:>8} {:>8} {:>7} {:>10}",
+        "total", tot[0], tot[1], tot[2], tot[3], tot[4], tot[5]
+    );
+    if details.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nno observed access escaped its claimed window: every Type 1"
+        );
+        let _ = writeln!(
+            out,
+            "elision and Type 3 reservation the analysis committed to held"
+        );
+        let _ = writeln!(out, "at runtime (violations: 0)");
+    } else {
+        let _ = writeln!(out, "\nSOUNDNESS VIOLATIONS:");
+        for d in details {
+            let _ = writeln!(out, "{d}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hard gate of the soundness auditor: across the entire registry,
+    /// no observed address may escape a Static or SizeEmbedded claim.
+    #[test]
+    fn bat_soundness_reports_zero_violations_registry_wide() {
+        for w in all() {
+            let a = audit_workload(&w);
+            assert!(
+                a.violations.is_empty(),
+                "{}: {} claim(s) disproved, e.g. {} {:?} — {}",
+                a.workload,
+                a.violations.len(),
+                a.violations[0].kernel,
+                a.violations[0].check,
+                a.violations[0].detail
+            );
+        }
+    }
+
+    /// The sim-free exhibit must render identically for any worker count
+    /// (the audit exhibit shares the same order-preserving `fan_out`, and
+    /// is additionally diffed across `--jobs` when results are generated).
+    #[test]
+    fn static_analysis_is_jobs_invariant() {
+        assert_eq!(static_analysis(1), static_analysis(4));
+    }
+}

@@ -1,0 +1,304 @@
+//! Registry-wide kernel verification and BAT soundness auditing.
+//!
+//! Two consumers share this module: the `static_analysis` / `bat_soundness`
+//! experiments and the `verify` CLI that gates CI. Both sweep the full
+//! workload registry; the difference is what they run per launch:
+//!
+//! * **Verification** replays each workload's host program against a
+//!   [`CaptureHost`] — a pure recorder that mirrors exactly the
+//!   [`gpushield_compiler::LaunchKnowledge`] the driver would construct at
+//!   launch time — and runs the [`gpushield_compiler::PassManager`] over
+//!   every distinct (kernel, knowledge) pair.
+//! * **Auditing** runs each workload on a live [`gpushield::System`] with
+//!   address recording on, and checks every observed per-site address range
+//!   against the static claims the driver published for that launch: a
+//!   Type 1 (Static) site observed outside its declared region, or a
+//!   Type 3 site whose power-of-two reservation under-covers an observed
+//!   access, disproves the analysis and is reported as a violation.
+
+use gpushield::{Arg, BufferHandle, System, SystemConfig};
+use gpushield_compiler::{ArgInfo, LaunchKnowledge, PassManager, VerifyReport};
+use gpushield_isa::{Kernel, SiteCheck};
+use gpushield_workloads::{BufId, HostApi, WArg, Workload};
+use std::sync::Arc;
+
+/// One recorded kernel launch with the knowledge the driver would have.
+pub struct CapturedLaunch {
+    /// The launched kernel.
+    pub kernel: Arc<Kernel>,
+    /// Workgroups.
+    pub grid: u32,
+    /// Threads per workgroup.
+    pub block: u32,
+    /// Launch-time knowledge, mirroring the driver's construction.
+    pub know: LaunchKnowledge,
+}
+
+/// A metadata-only host recording every launch as a [`CapturedLaunch`].
+#[derive(Default)]
+pub struct CaptureHost {
+    sizes: Vec<u64>,
+    heap: Option<u64>,
+    /// All launches, in program order.
+    pub launches: Vec<CapturedLaunch>,
+}
+
+impl CaptureHost {
+    /// Creates an empty capture host.
+    pub fn new() -> Self {
+        CaptureHost::default()
+    }
+}
+
+impl HostApi for CaptureHost {
+    fn alloc(&mut self, bytes: u64) -> BufId {
+        self.sizes.push(bytes);
+        self.sizes.len() - 1
+    }
+
+    fn upload_u32(&mut self, _buf: BufId, _offset_bytes: u64, _data: &[u32]) {}
+
+    fn set_heap(&mut self, bytes: u64) {
+        self.heap = Some(bytes);
+    }
+
+    fn launch(&mut self, kernel: &Arc<Kernel>, grid: u32, block: u32, args: &[WArg]) {
+        // Mirror the driver: buffer args expose their allocation size,
+        // scalars are launch-time constants, locals scale with the thread
+        // count.
+        let total_threads = u64::from(grid) * u64::from(block);
+        let know = LaunchKnowledge {
+            args: args
+                .iter()
+                .map(|a| match a {
+                    WArg::Buf(b) => ArgInfo::Buffer {
+                        size: self.sizes[*b],
+                    },
+                    WArg::Scalar(v) => ArgInfo::Scalar { value: Some(*v) },
+                })
+                .collect(),
+            local_sizes: kernel
+                .locals()
+                .iter()
+                .map(|l| l.bytes_per_thread() * total_threads)
+                .collect(),
+            block,
+            grid,
+            heap_size: self.heap,
+        };
+        self.launches.push(CapturedLaunch {
+            kernel: kernel.clone(),
+            grid,
+            block,
+            know,
+        });
+    }
+}
+
+/// Verification results for one workload: one report per distinct
+/// (kernel, launch-knowledge) pair, in first-launch order.
+pub struct WorkloadVerify {
+    /// Registry name of the workload.
+    pub workload: &'static str,
+    /// Per-kernel verification reports.
+    pub reports: Vec<VerifyReport>,
+}
+
+/// Replays `w`'s host program and verifies every distinct launch.
+pub fn verify_workload(w: &Workload) -> WorkloadVerify {
+    let mut cap = CaptureHost::new();
+    w.run(&mut cap);
+    let pm = PassManager::with_default_passes();
+    let mut seen: Vec<String> = Vec::new();
+    let mut reports = Vec::new();
+    for l in &cap.launches {
+        // Workloads re-launch the same kernel in loops; knowledge has no
+        // Eq, so the Debug form is the dedup key.
+        let key = format!("{} {:?}", l.kernel.name(), l.know);
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        reports.push(pm.verify(&l.kernel, &l.know));
+    }
+    WorkloadVerify {
+        workload: w.name(),
+        reports,
+    }
+}
+
+/// One audit violation: an observed address range escaping its claim.
+pub struct AuditViolation {
+    /// Kernel whose claim was disproved.
+    pub kernel: String,
+    /// The violated claim's site.
+    pub site: (gpushield_isa::BlockId, usize),
+    /// `Static` or `SizeEmbedded`.
+    pub check: SiteCheck,
+    /// Rendered `observed vs claimed` description.
+    pub detail: String,
+}
+
+/// Audit results for one workload.
+pub struct WorkloadAudit {
+    /// Registry name of the workload.
+    pub workload: &'static str,
+    /// Kernel launches performed.
+    pub launches: u64,
+    /// Claims published by the driver across all launches.
+    pub claims: u64,
+    /// Claims with at least one observed access (audited for real).
+    pub audited: u64,
+    /// Static (Type 1) claims among the audited.
+    pub audited_static: u64,
+    /// Size-embedded (Type 3) claims among the audited.
+    pub audited_type3: u64,
+    /// Observed ranges escaping their claim — must be empty.
+    pub violations: Vec<AuditViolation>,
+}
+
+/// The audit system configuration: the paper's default Nvidia shield with
+/// every static decision the driver can make turned on, so Static,
+/// elided-Static and SizeEmbedded claims all get exercised.
+pub fn audit_config() -> SystemConfig {
+    let mut cfg = SystemConfig::nvidia_protected();
+    cfg.driver.enable_type3 = true;
+    cfg.driver.enable_elision = true;
+    cfg
+}
+
+/// A host that launches through [`System::launch_audited`] and checks
+/// every observed per-site address range against the published claims.
+struct AuditHost {
+    sys: System,
+    bufs: Vec<BufferHandle>,
+    out: WorkloadAudit,
+}
+
+impl HostApi for AuditHost {
+    fn alloc(&mut self, bytes: u64) -> BufId {
+        let h = self.sys.alloc(bytes).expect("workload allocation");
+        self.bufs.push(h);
+        self.bufs.len() - 1
+    }
+
+    fn upload_u32(&mut self, buf: BufId, offset_bytes: u64, data: &[u32]) {
+        let h = self.bufs[buf];
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.sys.write_buffer(h, offset_bytes, &bytes);
+    }
+
+    fn set_heap(&mut self, bytes: u64) {
+        self.sys.set_heap_limit(bytes).expect("heap limit");
+    }
+
+    fn launch(&mut self, kernel: &Arc<Kernel>, grid: u32, block: u32, args: &[WArg]) {
+        let mapped: Vec<Arg> = args
+            .iter()
+            .map(|a| match a {
+                WArg::Buf(b) => Arg::Buffer(self.bufs[*b]),
+                WArg::Scalar(v) => Arg::Scalar(*v),
+            })
+            .collect();
+        let (report, claims) = self
+            .sys
+            .launch_audited(kernel.clone(), grid, block, &mapped)
+            .expect("workload launch");
+        self.out.launches += 1;
+        self.out.claims += claims.len() as u64;
+        for l in &report.launches {
+            for o in &l.observed_ranges {
+                let Some(c) = claims.iter().find(|c| c.site == o.site) else {
+                    continue; // Runtime-checked site: nothing claimed.
+                };
+                self.out.audited += 1;
+                match c.check {
+                    SiteCheck::Static => self.out.audited_static += 1,
+                    SiteCheck::SizeEmbedded => self.out.audited_type3 += 1,
+                    SiteCheck::Runtime => {}
+                }
+                if o.lo < c.lo || o.hi > c.hi {
+                    self.out.violations.push(AuditViolation {
+                        kernel: kernel.name().to_string(),
+                        site: c.site,
+                        check: c.check,
+                        detail: format!(
+                            "observed [0x{:x}, 0x{:x}) escapes claimed [0x{:x}, 0x{:x})",
+                            o.lo, o.hi, c.lo, c.hi
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Runs `w` on a fresh audited system and cross-checks every launch.
+pub fn audit_workload(w: &Workload) -> WorkloadAudit {
+    let mut host = AuditHost {
+        sys: System::new(audit_config()),
+        bufs: Vec::new(),
+        out: WorkloadAudit {
+            workload: w.name(),
+            launches: 0,
+            claims: 0,
+            audited: 0,
+            audited_static: 0,
+            audited_type3: 0,
+            violations: Vec::new(),
+        },
+    };
+    w.run(&mut host);
+    host.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_compiler::Severity;
+    use gpushield_workloads::by_name;
+
+    #[test]
+    fn capture_host_mirrors_driver_knowledge() {
+        let w = by_name("vectoradd").expect("registry workload");
+        let mut cap = CaptureHost::new();
+        w.run(&mut cap);
+        assert!(!cap.launches.is_empty());
+        let l = &cap.launches[0];
+        assert_eq!(l.know.block, l.block);
+        assert_eq!(l.know.grid, l.grid);
+        assert_eq!(l.know.args.len(), l.kernel.params().len());
+        assert!(l
+            .know
+            .args
+            .iter()
+            .any(|a| matches!(a, ArgInfo::Buffer { size } if *size > 0)));
+    }
+
+    #[test]
+    fn vectoradd_verifies_clean() {
+        let w = by_name("vectoradd").unwrap();
+        let v = verify_workload(&w);
+        assert!(!v.reports.is_empty());
+        for r in &v.reports {
+            assert!(
+                r.at_least(Severity::Warning).next().is_none(),
+                "unexpected findings: {:?}",
+                r.diagnostics
+            );
+            assert!(r.breakdown.type1 + r.breakdown.type2 + r.breakdown.type3 > 0);
+        }
+    }
+
+    #[test]
+    fn vectoradd_audit_has_coverage_and_no_violations() {
+        let w = by_name("vectoradd").unwrap();
+        let a = audit_workload(&w);
+        assert!(a.launches > 0);
+        assert!(a.audited_static > 0, "static claims must be exercised");
+        assert!(a.violations.is_empty());
+    }
+}

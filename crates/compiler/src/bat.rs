@@ -5,7 +5,9 @@ use crate::absval::Origin;
 use crate::analysis::{
     analyze_kernel, origin_size, protected_space, resolve_site, transfer, LaunchKnowledge,
 };
-use gpushield_isa::{BlockId, CheckPlan, Instr, Kernel, PtrClass, SiteCheck};
+use gpushield_isa::{
+    AddrExpr, BlockId, CheckPlan, Instr, Kernel, MemSpace, Operand, PtrClass, SiteCheck,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -15,6 +17,13 @@ pub struct AnalysisConfig {
     /// Enable Type 3 (size-embedded) pointers for Method A/C addressing
     /// (§5.3.3). Requires the driver to pad allocations to powers of two.
     pub enable_type3: bool,
+    /// Enable redundant-check elision: a Type 2 site whose address
+    /// expression was already checked on every incoming path (with no
+    /// intervening redefinition of its registers) is upgraded to Type 1.
+    /// Sound only under precise faulting — a squashed violation at the
+    /// covering site would otherwise let the elided site run unchecked —
+    /// so it is off by default and opted into per launch.
+    pub enable_elision: bool,
 }
 
 /// An out-of-bounds access proven at compile time (reported to the user
@@ -63,6 +72,16 @@ pub struct BoundsAnalysis {
     pub sites_type3: usize,
     /// All protected-space memory sites.
     pub sites_total: usize,
+    /// The region each resolvable site was proven to address, keyed by
+    /// site. Sites whose base could not be traced are absent. The driver's
+    /// soundness auditor uses this to turn per-site check claims into
+    /// concrete virtual-address windows.
+    pub site_origins: HashMap<(BlockId, usize), Origin>,
+    /// Sites upgraded from Type 2 to Type 1 by redundant-check elision
+    /// (empty unless [`AnalysisConfig::enable_elision`]), sorted. Their
+    /// in-bounds guarantee is the *region* entry of their origin — the
+    /// covering runtime check — not an interval proof of their own.
+    pub elided_sites: Vec<(BlockId, usize)>,
 }
 
 impl BoundsAnalysis {
@@ -236,6 +255,13 @@ pub fn analyze(kernel: &Kernel, know: &LaunchKnowledge, cfg: AnalysisConfig) -> 
         })
         .collect();
 
+    let mut elided_sites = Vec::new();
+    if cfg.enable_elision {
+        elided_sites = elide_redundant_checks(kernel, &mut plan);
+        sites_static += elided_sites.len();
+        sites_runtime -= elided_sites.len();
+    }
+
     BoundsAnalysis {
         sites_total: sites_static + sites_runtime + sites_type3,
         plan,
@@ -245,7 +271,144 @@ pub fn analyze(kernel: &Kernel, know: &LaunchKnowledge, cfg: AnalysisConfig) -> 
         sites_static,
         sites_runtime,
         sites_type3,
+        site_origins: site_origin,
+        elided_sites,
     }
+}
+
+/// What a dominating runtime check established for one address expression:
+/// the widest access checked and whether any checking site was a write
+/// (stores may only ride on a checked *store*, which also exercised the
+/// region's read-only bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Avail {
+    width: u64,
+    store: bool,
+}
+
+type AvailState = HashMap<(AddrExpr, MemSpace), Avail>;
+
+fn addr_mentions(addr: &AddrExpr, r: gpushield_isa::VReg) -> bool {
+    let ops: [Option<Operand>; 2] = match addr {
+        AddrExpr::BindingTable { offset, .. } => [Some(*offset), None],
+        AddrExpr::Flat { addr } => [Some(*addr), None],
+        AddrExpr::BaseOffset { base, offset } => [Some(*base), Some(*offset)],
+    };
+    ops.iter()
+        .flatten()
+        .any(|op| matches!(op, Operand::Reg(x) if *x == r))
+}
+
+/// Available-expressions dataflow over the Type 2 sites of `plan`: a site
+/// is upgraded to [`SiteCheck::Static`] when, on *every* path reaching it,
+/// an identical address expression (same [`AddrExpr`] and space, registers
+/// not redefined in between) was already checked at a Type 2 site with at
+/// least this site's width — and, for writes, that covering check was
+/// itself a write. Intersection at joins makes this the dataflow form of
+/// "dominated by an identical-region check"; it is strictly more precise
+/// than a dominator-tree walk because a check on each arm of a diamond
+/// also covers the join.
+fn elide_redundant_checks(kernel: &Kernel, plan: &mut CheckPlan) -> Vec<(BlockId, usize)> {
+    let cfg = gpushield_isa::Cfg::build(kernel);
+    let nblocks = kernel.blocks().len();
+
+    // Per-block walk: from an entry state, computes the exit state and —
+    // in the decision pass — records sites whose key is available at the
+    // point of the access.
+    let walk = |bi: usize, st: &mut AvailState, elided: Option<&mut Vec<(BlockId, usize)>>| {
+        let mut elided = elided;
+        for (ii, instr) in kernel.blocks()[bi].instrs().iter().enumerate() {
+            if let Instr::Ld {
+                addr, space, width, ..
+            }
+            | Instr::St {
+                addr, space, width, ..
+            }
+            | Instr::AtomAdd {
+                addr, space, width, ..
+            } = instr
+            {
+                let site = (BlockId(bi as u32), ii);
+                if protected_space(*space) && plan.get(site) == SiteCheck::Runtime {
+                    let key = (*addr, *space);
+                    let is_write = !matches!(instr, Instr::Ld { .. });
+                    if let Some(out) = elided.as_deref_mut() {
+                        if let Some(a) = st.get(&key) {
+                            if a.width >= width.bytes() && (a.store || !is_write) {
+                                out.push(site);
+                            }
+                        }
+                    }
+                    let e = st.entry(key).or_insert(Avail {
+                        width: 0,
+                        store: false,
+                    });
+                    e.width = e.width.max(width.bytes());
+                    e.store |= is_write;
+                }
+            }
+            if let Some(r) = instr.dst() {
+                st.retain(|(addr, _), _| !addr_mentions(addr, r));
+            }
+        }
+    };
+
+    let meet = |a: &AvailState, b: &AvailState| -> AvailState {
+        let mut out = AvailState::new();
+        for (k, va) in a {
+            if let Some(vb) = b.get(k) {
+                out.insert(
+                    *k,
+                    Avail {
+                        width: va.width.min(vb.width),
+                        store: va.store && vb.store,
+                    },
+                );
+            }
+        }
+        out
+    };
+
+    // Fixpoint on block-entry states; `None` is ⊤ (block not yet reached),
+    // so loops converge from above as in classic available expressions.
+    let mut in_states: Vec<Option<AvailState>> = vec![None; nblocks];
+    in_states[0] = Some(AvailState::new());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..nblocks {
+            let Some(entry) = in_states[bi].clone() else {
+                continue;
+            };
+            let mut st = entry;
+            walk(bi, &mut st, None);
+            for s in cfg.successors(BlockId(bi as u32)) {
+                let si = s.0 as usize;
+                let new = match &in_states[si] {
+                    None => st.clone(),
+                    Some(old) => meet(old, &st),
+                };
+                if in_states[si].as_ref() != Some(&new) {
+                    in_states[si] = Some(new);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mut elided = Vec::new();
+    for (bi, state) in in_states.iter().enumerate() {
+        let Some(entry) = state.clone() else {
+            continue;
+        };
+        let mut st = entry;
+        walk(bi, &mut st, Some(&mut elided));
+    }
+    elided.sort_unstable();
+    for site in &elided {
+        plan.set(*site, SiteCheck::Static);
+    }
+    elided
 }
 
 fn maybe_type3(cfg: AnalysisConfig, method: char, origin: Origin) -> SiteCheck {
@@ -421,7 +584,14 @@ mod tests {
             grid: 1,
             heap_size: None,
         };
-        let with = analyze(&k, &knowledge, AnalysisConfig { enable_type3: true });
+        let with = analyze(
+            &k,
+            &knowledge,
+            AnalysisConfig {
+                enable_type3: true,
+                ..AnalysisConfig::default()
+            },
+        );
         assert_eq!(with.sites_type3, 1);
         assert_eq!(with.param_class[0], PtrClass::SizeEmbedded);
         let without = analyze(&k, &knowledge, AnalysisConfig::default());
@@ -653,6 +823,152 @@ mod extra_tests {
         };
         let bat = analyze(&k, &know, AnalysisConfig::default());
         assert_eq!(bat.sites_static, 1, "clamped index must be provable");
+    }
+
+    fn elide_cfg() -> AnalysisConfig {
+        AnalysisConfig {
+            enable_elision: true,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    #[test]
+    fn repeated_identical_access_is_elided_with_store_discipline() {
+        // Three accesses to out[tid<<2] on an undersized buffer: the first
+        // load checks; the store may NOT ride on a load-only check (it
+        // must exercise the read-only bit itself); the second load rides
+        // on either check.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        let v = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(out, off));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), v);
+        let _ = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(out, off));
+        b.ret();
+        let k = b.finish().unwrap();
+        let know = know1(16, 64, 4); // 64 threads, 4 elements: unprovable
+        let plain = analyze(&k, &know, AnalysisConfig::default());
+        assert_eq!(plain.sites_runtime, 3);
+        assert!(plain.elided_sites.is_empty());
+
+        let bat = analyze(&k, &know, elide_cfg());
+        assert_eq!(bat.elided_sites.len(), 1, "only the trailing load");
+        assert_eq!(bat.sites_static, 1);
+        assert_eq!(bat.sites_runtime, 2);
+        let elided = bat.elided_sites[0];
+        assert_eq!(bat.plan.get(elided), SiteCheck::Static);
+        // The trailing load is the last memory instruction in block 0.
+        assert!(matches!(k.blocks()[0].instrs()[elided.1], Instr::Ld { .. }));
+    }
+
+    #[test]
+    fn store_rides_on_a_dominating_store_check() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(16, 64, 4), elide_cfg());
+        assert_eq!(bat.sites_runtime, 1);
+        assert_eq!(bat.elided_sites.len(), 1);
+    }
+
+    #[test]
+    fn register_redefinition_kills_availability() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        let _ = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(out, off));
+        // Same register, new value: the old check no longer covers it.
+        let off2 = b.add(off, Operand::Imm(4));
+        b.assign(off, off2);
+        let _ = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(out, off));
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(16, 64, 4), elide_cfg());
+        assert!(bat.elided_sites.is_empty(), "redefinition must kill");
+        assert_eq!(bat.sites_runtime, 2);
+    }
+
+    #[test]
+    fn join_is_covered_only_when_every_path_checks() {
+        // Check on one arm only: the join access keeps its check. Check on
+        // both arms: the join access is elided (this is where dataflow is
+        // stronger than a dominator-tree walk).
+        let build = |both: bool| {
+            let mut b = KernelBuilder::new("k");
+            let out = b.param_buffer("out", false);
+            let tid = b.global_thread_id();
+            let off = b.shl(tid, Operand::Imm(2));
+            let c = b.lt(tid, Operand::Imm(32));
+            b.if_then_else(
+                c,
+                |b| {
+                    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+                },
+                |b| {
+                    if both {
+                        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+                    }
+                },
+            );
+            b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+            b.ret();
+            b.finish().unwrap()
+        };
+        let know = know1(16, 64, 4);
+        let one_arm = analyze(&build(false), &know, elide_cfg());
+        assert!(one_arm.elided_sites.is_empty());
+        let both_arms = analyze(&build(true), &know, elide_cfg());
+        assert_eq!(both_arms.elided_sites.len(), 1);
+        assert_eq!(both_arms.elided_sites[0].0, BlockId(3), "the join block");
+    }
+
+    #[test]
+    fn narrower_checks_do_not_cover_wider_accesses() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(3));
+        let _ = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(out, off));
+        let _ = b.ld(MemSpace::Global, MemWidth::W8, b.base_offset(out, off));
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(16, 64, 4), elide_cfg());
+        assert!(bat.elided_sites.is_empty(), "W8 exceeds the W4 check");
+        // The other way around is covered.
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(3));
+        let _ = b.ld(MemSpace::Global, MemWidth::W8, b.base_offset(out, off));
+        let _ = b.ld(MemSpace::Global, MemWidth::W4, b.base_offset(out, off));
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(16, 64, 4), elide_cfg());
+        assert_eq!(bat.elided_sites.len(), 1);
+    }
+
+    #[test]
+    fn site_origins_cover_every_resolvable_site() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_buffer("out", false);
+        let tid = b.global_thread_id();
+        let off = b.shl(tid, Operand::Imm(2));
+        b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), tid);
+        b.ret();
+        let k = b.finish().unwrap();
+        let bat = analyze(&k, &know1(64 * 4, 16, 4), AnalysisConfig::default());
+        assert_eq!(bat.site_origins.len(), 1);
+        assert_eq!(
+            bat.site_origins.values().next().copied(),
+            Some(Origin::Param(0))
+        );
     }
 
     #[test]

@@ -365,4 +365,89 @@ mod tests {
         assert_eq!(a.neg(), Interval::range(-3, 5));
         assert_eq!(a.abs(), Interval::range(0, 5));
     }
+
+    #[test]
+    fn widening_chain_reaches_fixpoint_past_widen_after() {
+        // Simulates the analyser's loop handling: after WIDEN_AFTER visits
+        // it widens every further growth, so any monotone chain of updates
+        // stabilises in at most two widening steps per side.
+        let mut cur = Interval::range(0, 0);
+        let mut steps = 0;
+        loop {
+            let grown = cur.add(&Interval::constant(1));
+            let next = cur.widen(&grown);
+            steps += 1;
+            if next == cur {
+                break;
+            }
+            cur = next;
+            assert!(steps < 4, "widening failed to converge");
+        }
+        assert!(cur.hi() >= POS_INF);
+        assert_eq!(cur.lo(), 0);
+        // A two-sided growing chain also converges immediately.
+        let full = Interval::range(0, 0).widen(&Interval::range(-1, 1));
+        assert!(full.is_full());
+        assert_eq!(full.widen(&Interval::full()), full);
+    }
+
+    #[test]
+    fn empty_meets() {
+        // Disjoint, adjacent, and barely-touching intersections.
+        let a = Interval::range(0, 9);
+        assert!(a.intersect(&Interval::range(10, 20)).is_none());
+        assert!(Interval::constant(5)
+            .intersect(&Interval::constant(6))
+            .is_none());
+        // Touching at a single point is a singleton, not empty.
+        assert_eq!(
+            a.intersect(&Interval::range(9, 20)),
+            Some(Interval::constant(9))
+        );
+        // Meets against the full interval are identity.
+        assert_eq!(a.intersect(&Interval::full()), Some(a));
+        // An empty meet of refined branch facts, e.g. x < 0 ∧ x ∈ [0, 9].
+        assert!(a.intersect(&Interval::range(NEG_INF, -1)).is_none());
+    }
+
+    #[test]
+    fn u64_boundary_arithmetic_does_not_overflow() {
+        // The analyser models 64-bit kernel values in i128; every bound a
+        // kernel can produce must survive arithmetic without a debug-mode
+        // overflow panic (clamped to the ±inf sentinels instead).
+        let umax = Interval::constant(u64::MAX as i128);
+        let r = umax.add(&umax);
+        assert!(r.contains(2 * u64::MAX as i128));
+        let sq = umax.mul(&umax);
+        assert_eq!(sq.hi(), POS_INF);
+        assert!(!umax.sub(&umax.neg()).is_full() || umax.sub(&umax.neg()).hi() >= POS_INF);
+
+        // Full-interval (±inf sentinel) arithmetic saturates, never panics.
+        let f = Interval::full();
+        assert!(f.add(&f).is_full());
+        assert!(f.sub(&f).is_full());
+        assert!(f.mul(&f).is_full());
+        // Negating the sentinels clamps (−POS_INF is one above NEG_INF):
+        // still a superset of every representable 64-bit value, no panic.
+        let nf = f.neg();
+        assert!(nf.lo() <= NEG_INF + 1 && nf.hi() >= POS_INF);
+
+        // Shifting a u64-sized value left by 63 overflows 64 bits but not
+        // the i128 domain; the result is exact.
+        let one = Interval::constant(1);
+        let shifted = one.shl(&Interval::constant(63));
+        assert_eq!(shifted, Interval::constant(1i128 << 63));
+        // Shifting the sentinel loses exactness and falls back to full.
+        assert!(Interval::full().shl(&Interval::constant(1)).is_full());
+        // Right shift of a u64::MAX-sized value stays exact.
+        assert_eq!(
+            umax.shr(&Interval::constant(32)),
+            Interval::range(u64::MAX as i128 >> 32, u64::MAX as i128 >> 32)
+        );
+
+        // or/xor near the top of the u64 range stays sound and finite.
+        let big = Interval::range(0, (u64::MAX - 1) as i128);
+        let bound = big.or_xor(&big);
+        assert!(bound.hi() >= big.hi());
+    }
 }

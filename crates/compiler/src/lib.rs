@@ -23,8 +23,12 @@ mod absval;
 mod analysis;
 mod bat;
 mod interval;
+pub mod verify;
 
 pub use absval::{AbsVal, Origin};
 pub use analysis::{ArgInfo, LaunchKnowledge};
 pub use bat::{analyze, AnalysisConfig, BoundsAnalysis, StaticViolation};
 pub use interval::Interval;
+pub use verify::{
+    CheckBreakdown, Diagnostic, Pass, PassContext, PassManager, Severity, VerifyReport,
+};

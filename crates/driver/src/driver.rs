@@ -3,8 +3,10 @@
 
 use crate::cipher::encrypt_id;
 use crate::rbt::{write_entry, BoundsEntry, RBT_BYTES};
-use gpushield_compiler::{analyze, AnalysisConfig, ArgInfo, BoundsAnalysis, LaunchKnowledge};
-use gpushield_isa::{CheckPlan, Instr, Kernel, ParamKind, PtrClass, TaggedPtr};
+use gpushield_compiler::{
+    analyze, AnalysisConfig, ArgInfo, BoundsAnalysis, LaunchKnowledge, Origin,
+};
+use gpushield_isa::{CheckPlan, Instr, Kernel, ParamKind, PtrClass, SiteCheck, TaggedPtr};
 use gpushield_mem::{AllocPolicy, Allocation, MemFault, VirtualMemorySpace};
 use gpushield_runtime::rng::StdRng;
 use gpushield_sim::{HeapDesc, KernelLaunch, LaunchConfig};
@@ -26,6 +28,11 @@ pub struct DriverConfig {
     /// Allow Type 3 size-embedded pointers (requires power-of-two
     /// allocation padding).
     pub enable_type3: bool,
+    /// Redundant-check elision: upgrade Type 2 sites that are covered by an
+    /// identical dominating check (see
+    /// [`gpushield_compiler::AnalysisConfig::enable_elision`]). Sound only
+    /// under precise faulting, so off by default.
+    pub enable_elision: bool,
     /// Maximum region IDs one launch may consume. When a kernel needs
     /// more, the driver merges VA-adjacent buffers into shared IDs with
     /// merged bounds metadata — the paper's §6.3 contingency for future
@@ -39,6 +46,7 @@ impl Default for DriverConfig {
             enable_shield: true,
             enable_static_analysis: true,
             enable_type3: false,
+            enable_elision: false,
             max_region_ids: 1 << 14,
         }
     }
@@ -69,6 +77,24 @@ pub struct ShieldSetup {
     pub key: u64,
 }
 
+/// The virtual-address window a non-Runtime check decision guarantees for
+/// one memory-instruction site: every address the site accesses during the
+/// launch must fall in `[lo, hi)`. The sim-side access recorder replays
+/// observed per-site address ranges against these claims — the BAT
+/// soundness audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteClaim {
+    /// Instruction site `(block, index)`.
+    pub site: (gpushield_isa::BlockId, usize),
+    /// The decision being audited ([`gpushield_isa::SiteCheck::Static`] or
+    /// [`gpushield_isa::SiteCheck::SizeEmbedded`]).
+    pub check: gpushield_isa::SiteCheck,
+    /// Inclusive lower bound of the declared window.
+    pub lo: u64,
+    /// Exclusive upper bound of the declared window.
+    pub hi: u64,
+}
+
 /// Everything `prepare_launch` produces.
 #[derive(Debug, Clone)]
 pub struct PreparedLaunch {
@@ -81,6 +107,9 @@ pub struct PreparedLaunch {
     /// Every region ID given an RBT entry for this launch (params, locals,
     /// heap) — the addressable metadata surface, e.g. for fault injection.
     pub region_ids: Vec<u16>,
+    /// Declared per-site address windows for every auditable non-Runtime
+    /// decision (sorted by site). Empty when the shield or analysis is off.
+    pub site_claims: Vec<SiteClaim>,
 }
 
 /// Driver-level errors.
@@ -464,6 +493,7 @@ impl Driver {
                 shield: None,
                 bat: None,
                 region_ids: Vec::new(),
+                site_claims: Vec::new(),
             });
         }
 
@@ -489,6 +519,7 @@ impl Driver {
                 &knowledge,
                 AnalysisConfig {
                     enable_type3: self.cfg.enable_type3,
+                    enable_elision: self.cfg.enable_elision,
                 },
             );
             // Type 3 needs power-of-two padded allocations; if any chosen
@@ -505,7 +536,14 @@ impl Driver {
                         }
                 });
                 if !compatible {
-                    b = analyze(&kernel, &knowledge, AnalysisConfig::default());
+                    b = analyze(
+                        &kernel,
+                        &knowledge,
+                        AnalysisConfig {
+                            enable_type3: false,
+                            enable_elision: self.cfg.enable_elision,
+                        },
+                    );
                 }
             }
             b
@@ -531,6 +569,8 @@ impl Driver {
                 sites_runtime: kernel.iter_instrs().filter(|(_, _, i)| i.is_mem()).count(),
                 sites_type3: 0,
                 sites_total: kernel.iter_instrs().filter(|(_, _, i)| i.is_mem()).count(),
+                site_origins: std::collections::HashMap::new(),
+                elided_sites: Vec::new(),
             }
         };
 
@@ -712,6 +752,62 @@ impl Driver {
         // the BCU reads them via the bypass path.
         self.vm.protect(rbt.va, RBT_BYTES);
 
+        // --- Auditable claims: the VA window each non-Runtime decision
+        // guarantees. A Static site proven by intervals claims its origin's
+        // logical extent; an elided Static site claims the RBT entry window
+        // of the covering runtime check (the merged group for params); a
+        // Type 3 site claims its power-of-two reservation.
+        let mut site_claims = Vec::new();
+        let elided: HashSet<(gpushield_isa::BlockId, usize)> =
+            bat.elided_sites.iter().copied().collect();
+        for (site, check) in bat.plan.iter() {
+            if check == SiteCheck::Runtime {
+                continue;
+            }
+            let Some(origin) = bat.site_origins.get(&site).copied() else {
+                // Unresolved origin (e.g. an elided site whose base came
+                // from a loaded pointer): dynamically covered, but there is
+                // no static window to audit against.
+                continue;
+            };
+            let window = match (check, origin) {
+                (SiteCheck::Static, Origin::Param(p)) if elided.contains(&site) => {
+                    param_ids.get(&p).map(|(_, lo, hi)| (*lo, *hi))
+                }
+                (SiteCheck::Static, Origin::Param(p)) => match args[usize::from(p)] {
+                    Arg::Buffer(h) => {
+                        let a = self.buffers[h.0].alloc;
+                        Some((a.va, a.va + a.size))
+                    }
+                    Arg::Scalar(_) => None,
+                },
+                (SiteCheck::Static, Origin::Local(v)) => local_allocs
+                    .get(usize::from(v))
+                    .map(|a| (a.va, a.va + a.size)),
+                (SiteCheck::Static, Origin::Heap) => self.heap.map(|h| (h.va, h.va + h.size)),
+                (SiteCheck::SizeEmbedded, Origin::Param(p)) => match args[usize::from(p)] {
+                    Arg::Buffer(h) => {
+                        let a = self.buffers[h.0].alloc;
+                        Some((a.va, a.va + a.reserved))
+                    }
+                    Arg::Scalar(_) => None,
+                },
+                (SiteCheck::SizeEmbedded, Origin::Local(v)) => local_allocs
+                    .get(usize::from(v))
+                    .map(|a| (a.va, a.va + a.reserved)),
+                _ => None,
+            };
+            if let Some((lo, hi)) = window {
+                site_claims.push(SiteClaim {
+                    site,
+                    check,
+                    lo,
+                    hi,
+                });
+            }
+        }
+        site_claims.sort_unstable_by_key(|c| c.site);
+
         Ok(PreparedLaunch {
             launch,
             shield: Some(ShieldSetup {
@@ -721,6 +817,7 @@ impl Driver {
             }),
             bat: Some(bat),
             region_ids,
+            site_claims,
         })
     }
 

@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 
 pub use gpushield_core::{Bcu, BcuConfig, BcuStats, ViolationKind, ViolationRecord};
-pub use gpushield_driver::{Arg, BufferHandle, Driver, DriverConfig, DriverError, ShieldSetup};
+pub use gpushield_driver::{
+    Arg, BufferHandle, Driver, DriverConfig, DriverError, ShieldSetup, SiteClaim,
+};
 pub use gpushield_sim::{
     FaultKind, FaultPlan, FaultSession, FaultSpec, FaultTargets, Gpu, GpuConfig, InjectionRecord,
-    KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, RunError, RunReport, Trace, TraceEvent,
-    TraceKind,
+    KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, ObservedRange, RunError, RunReport,
+    Trace, TraceEvent, TraceKind,
 };
 
 use gpushield_compiler::BoundsAnalysis;
@@ -321,6 +323,36 @@ impl System {
         Ok((report, session.injected().to_vec()))
     }
 
+    /// Launches one kernel with soundness-audit recording: runs under
+    /// [`Gpu::run_recorded`] and returns, alongside the run report, the
+    /// driver's static [`SiteClaim`]s for this launch. The caller can then
+    /// compare each claim's declared window against the matching
+    /// [`ObservedRange`] in the report — any statically elided (Type 1) or
+    /// size-embedded (Type 3) site whose observed addresses escape the
+    /// declared window is a soundness violation of the BAT.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch`].
+    pub fn launch_audited(
+        &mut self,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+    ) -> Result<(RunReport, Vec<SiteClaim>), SystemError> {
+        let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
+        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+            bcu.register_kernel(setup);
+        }
+        self.last_bat = prepared.bat;
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report = self
+            .gpu
+            .run_recorded(self.driver.vm_mut(), &[prepared.launch], guard)?;
+        Ok((report, prepared.site_claims))
+    }
+
     /// Launches one kernel with execution tracing (see [`Trace`]).
     ///
     /// # Errors
@@ -524,6 +556,42 @@ mod tests {
         assert!(!r.completed());
         assert_eq!(shielded.read_uint(victim, 0, 4), 0, "victim intact");
         assert_eq!(shielded.violations()[0].kind, ViolationKind::OutOfBounds);
+    }
+
+    #[test]
+    fn audited_launch_observes_addresses_within_static_claims() {
+        let mut sys = System::new(SystemConfig::nvidia_protected());
+        let buf = sys.alloc(256 * 4).unwrap();
+        let (r, claims) = sys
+            .launch_audited(iota(), 8, 32, &[Arg::Buffer(buf)])
+            .unwrap();
+        assert!(r.completed());
+        // iota's store is fully proven static, so a claim exists for it
+        // and every observed address falls inside the claimed window.
+        assert!(!claims.is_empty());
+        let obs = &r.launches[0].observed_ranges;
+        assert!(!obs.is_empty());
+        for o in obs {
+            let claim = claims.iter().find(|c| c.site == o.site).unwrap();
+            assert!(claim.lo <= o.lo && o.hi <= claim.hi);
+        }
+    }
+
+    #[test]
+    fn audited_launch_sees_oob_attempt_outside_runtime_claims() {
+        // The shield aborts the overflowing launch, but the recorder must
+        // still have captured the attempted out-of-bounds extreme.
+        let mut sys = System::new(SystemConfig::nvidia_protected());
+        let a = sys.alloc(128 * 4).unwrap();
+        let (r, _claims) = sys
+            .launch_audited(iota(), 8, 32, &[Arg::Buffer(a)])
+            .unwrap();
+        assert!(!r.completed());
+        let obs = &r.launches[0].observed_ranges;
+        assert!(!obs.is_empty());
+        let max_hi = obs.iter().map(|o| o.hi).max().unwrap();
+        let min_lo = obs.iter().map(|o| o.lo).min().unwrap();
+        assert!(max_hi - min_lo > 128 * 4, "overflow attempt was recorded");
     }
 
     #[test]

@@ -155,6 +155,108 @@ impl Cfg {
             })
             .collect()
     }
+
+    /// Reverse post-order of the forward CFG starting at the entry block,
+    /// as indices into the internal node numbering (the virtual exit is
+    /// reachable and included but callers only look at real blocks).
+    fn forward_rpo(&self) -> Vec<usize> {
+        let n = self.exit + 1;
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some(&(node, idx)) = stack.last() {
+            if idx < self.succs[node].len() {
+                stack.last_mut().expect("non-empty stack").1 += 1;
+                let next = self.succs[node][idx];
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    /// Computes immediate (forward) dominators using the same
+    /// Cooper–Harvey–Kennedy iteration as [`Cfg::immediate_post_dominators`],
+    /// rooted at the entry block. Returns, for each real block, its
+    /// immediate dominator; the entry block and any block unreachable from
+    /// the entry map to `None`.
+    pub fn immediate_dominators(&self) -> Vec<Option<BlockId>> {
+        let n = self.exit + 1;
+        let rpo = self.forward_rpo();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+        let mut idom = vec![usize::MAX; n];
+        idom[0] = 0;
+
+        let intersect = |idom: &[usize], rpo_pos: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_pos[a] > rpo_pos[b] {
+                    a = idom[a];
+                }
+                while rpo_pos[b] > rpo_pos[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for &p in &self.preds[b] {
+                    if idom[p] != usize::MAX && rpo_pos[p] != usize::MAX {
+                        new_idom = if new_idom == usize::MAX {
+                            p
+                        } else {
+                            intersect(&idom, &rpo_pos, new_idom, p)
+                        };
+                    }
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        (0..self.exit)
+            .map(|b| {
+                let d = idom[b];
+                if b == 0 || d == usize::MAX {
+                    None
+                } else {
+                    Some(BlockId(d as u32))
+                }
+            })
+            .collect()
+    }
+
+    /// True when block `a` dominates block `b` under the `idoms` tree
+    /// returned by [`Cfg::immediate_dominators`] (every block dominates
+    /// itself; the entry block dominates every reachable block).
+    pub fn dominates(idoms: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idoms.get(cur.0 as usize).copied().flatten() {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
 }
 
 /// Per-branch reconvergence points: for every block ending in a divergent
@@ -232,6 +334,93 @@ mod tests {
         let cfg = Cfg::build(&k);
         assert_eq!(cfg.len(), 1);
         assert!(cfg.successors(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn forward_dominators_on_diamond() {
+        let mut b = KernelBuilder::new("k");
+        let t = b.mov(b.thread_id());
+        let c = b.lt(t, Operand::Imm(4));
+        b.if_then_else(
+            c,
+            |b| {
+                let _ = b.add(t, Operand::Imm(1));
+            },
+            |b| {
+                let _ = b.sub(t, Operand::Imm(1));
+            },
+        );
+        b.ret();
+        let k = b.finish().unwrap();
+        // Blocks: 0 entry(bra), 1 then, 2 else, 3 join.
+        let cfg = Cfg::build(&k);
+        let idoms = cfg.immediate_dominators();
+        assert_eq!(idoms[0], None);
+        assert_eq!(idoms[1], Some(BlockId(0)));
+        assert_eq!(idoms[2], Some(BlockId(0)));
+        // Neither arm dominates the join; the branch block does.
+        assert_eq!(idoms[3], Some(BlockId(0)));
+        assert!(Cfg::dominates(&idoms, BlockId(0), BlockId(3)));
+        assert!(!Cfg::dominates(&idoms, BlockId(1), BlockId(3)));
+        assert!(Cfg::dominates(&idoms, BlockId(2), BlockId(2)));
+    }
+
+    #[test]
+    fn forward_dominators_on_loop() {
+        let mut b = KernelBuilder::new("k");
+        let n = b.param_scalar("n");
+        b.for_loop(Operand::Imm(0), n, 1, |b, i| {
+            let _ = b.add(i, Operand::Imm(0));
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        // Blocks: 0 entry, 1 header, 2 body, 3 exit.
+        let cfg = Cfg::build(&k);
+        let idoms = cfg.immediate_dominators();
+        assert_eq!(idoms[1], Some(BlockId(0)));
+        // The back edge from the body does not lower the header's idom.
+        assert_eq!(idoms[2], Some(BlockId(1)));
+        assert_eq!(idoms[3], Some(BlockId(1)));
+        assert!(Cfg::dominates(&idoms, BlockId(1), BlockId(2)));
+        assert!(!Cfg::dominates(&idoms, BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn forward_dominators_on_multi_exit() {
+        use crate::instr::{CmpOp, Instr, VReg};
+        use crate::kernel::BasicBlock;
+        // 0: cmp + bra -> {1, 2}; both arms Ret (two real exits).
+        let b0 = BasicBlock::from_instrs(vec![
+            Instr::Cmp {
+                op: CmpOp::Lt,
+                dst: VReg(0),
+                a: Operand::Special(crate::instr::Special::ThreadId),
+                b: Operand::Imm(2),
+            },
+            Instr::Bra {
+                cond: Operand::Reg(VReg(0)),
+                taken: BlockId(1),
+                not_taken: BlockId(2),
+            },
+        ]);
+        let b1 = BasicBlock::from_instrs(vec![Instr::Ret]);
+        let b2 = BasicBlock::from_instrs(vec![Instr::Ret]);
+        let k = Kernel::from_raw(
+            "multi_exit".to_string(),
+            vec![],
+            vec![],
+            vec![b0, b1, b2],
+            1,
+            0,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&k);
+        let idoms = cfg.immediate_dominators();
+        assert_eq!(idoms, vec![None, Some(BlockId(0)), Some(BlockId(0))]);
+        // Post-dominators still meet only at the virtual exit.
+        let ipdoms = cfg.immediate_post_dominators();
+        assert_eq!(ipdoms[0], None);
+        assert!(!Cfg::dominates(&idoms, BlockId(1), BlockId(2)));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Structural validation of kernels.
 
-use crate::instr::{AddrExpr, BlockId, Instr, MemSpace, Operand};
+use crate::instr::{AddrExpr, BlockId, Instr, MemSpace, Operand, VReg};
 use crate::kernel::{Kernel, ParamKind};
 use std::error::Error;
 use std::fmt;
@@ -20,6 +20,10 @@ pub enum ValidateError {
     BadLocal(BlockId, usize, u8),
     /// A binding-table access references a slot with no buffer parameter.
     BadBindingTable(BlockId, usize, u8),
+    /// An instruction reads or writes a vector register outside the
+    /// kernel's declared register count (would otherwise index out of
+    /// bounds in the analyser's state vectors and the warp register file).
+    BadReg(BlockId, usize, VReg),
     /// A store targets read-only constant memory.
     ConstStore(BlockId, usize),
     /// The kernel has no `Ret` anywhere.
@@ -45,6 +49,11 @@ impl fmt::Display for ValidateError {
                 f,
                 "instruction {b}:{i} uses binding-table slot {bti} with no buffer parameter"
             ),
+            ValidateError::BadReg(b, i, r) => write!(
+                f,
+                "instruction {b}:{i} references register r{} beyond the declared register count",
+                r.0
+            ),
             ValidateError::ConstStore(b, i) => {
                 write!(f, "instruction {b}:{i} stores to read-only constant memory")
             }
@@ -65,6 +74,7 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
     let nblocks = kernel.blocks().len() as u32;
     let nparams = kernel.params().len() as u8;
     let nlocals = kernel.locals().len() as u8;
+    let nregs = kernel.num_regs();
     let mut has_ret = false;
 
     let check_target = |from: BlockId, t: BlockId| {
@@ -112,7 +122,15 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
                     Operand::LocalBase(v) if v >= nlocals => {
                         return Err(ValidateError::BadLocal(bid, ii, v));
                     }
+                    Operand::Reg(r) if r.0 >= nregs => {
+                        return Err(ValidateError::BadReg(bid, ii, r));
+                    }
                     _ => {}
+                }
+            }
+            if let Some(r) = instr.dst() {
+                if r.0 >= nregs {
+                    return Err(ValidateError::BadReg(bid, ii, r));
                 }
             }
             if let Instr::Ld { addr, .. } | Instr::St { addr, .. } | Instr::AtomAdd { addr, .. } =
@@ -191,6 +209,61 @@ mod tests {
             b.finish().unwrap_err(),
             ValidateError::BadBindingTable(_, _, 0)
         ));
+    }
+
+    #[test]
+    fn out_of_range_source_register_rejected() {
+        use crate::instr::VReg;
+        use crate::kernel::BasicBlock;
+        // r7 read with only 1 declared register: previously an index panic
+        // deep in the analyser / warp register file, now a typed error.
+        let blk = BasicBlock::from_instrs(vec![
+            Instr::Mov {
+                dst: VReg(0),
+                src: Operand::Reg(VReg(7)),
+            },
+            Instr::Ret,
+        ]);
+        let err = Kernel::from_raw("k".to_string(), vec![], vec![], vec![blk], 1, 0).unwrap_err();
+        assert_eq!(err, ValidateError::BadReg(BlockId(0), 0, VReg(7)));
+    }
+
+    #[test]
+    fn out_of_range_destination_register_rejected() {
+        use crate::instr::VReg;
+        use crate::kernel::BasicBlock;
+        let blk = BasicBlock::from_instrs(vec![
+            Instr::Mov {
+                dst: VReg(3),
+                src: Operand::Imm(0),
+            },
+            Instr::Ret,
+        ]);
+        let err = Kernel::from_raw("k".to_string(), vec![], vec![], vec![blk], 2, 0).unwrap_err();
+        assert_eq!(err, ValidateError::BadReg(BlockId(0), 0, VReg(3)));
+    }
+
+    #[test]
+    fn out_of_range_branch_cond_register_rejected() {
+        use crate::instr::VReg;
+        use crate::kernel::BasicBlock;
+        let b0 = BasicBlock::from_instrs(vec![Instr::Bra {
+            cond: Operand::Reg(VReg(9)),
+            taken: BlockId(1),
+            not_taken: BlockId(1),
+        }]);
+        let b1 = BasicBlock::from_instrs(vec![Instr::Ret]);
+        let err =
+            Kernel::from_raw("k".to_string(), vec![], vec![], vec![b0, b1], 1, 0).unwrap_err();
+        assert_eq!(err, ValidateError::BadReg(BlockId(0), 0, VReg(9)));
+    }
+
+    #[test]
+    fn branch_to_missing_block_rejected() {
+        use crate::kernel::BasicBlock;
+        let b0 = BasicBlock::from_instrs(vec![Instr::Jmp { target: BlockId(5) }]);
+        let err = Kernel::from_raw("k".to_string(), vec![], vec![], vec![b0], 0, 0).unwrap_err();
+        assert_eq!(err, ValidateError::BadTarget(BlockId(0), BlockId(5)));
     }
 
     #[test]

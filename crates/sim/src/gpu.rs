@@ -180,6 +180,10 @@ struct LaunchState {
     wgs_retired: u64,
     aborted: bool,
     report: LaunchReport,
+    /// Per-site attempted-address extremes, populated only under
+    /// [`Gpu::run_recorded`] (`None` keeps the default hot path
+    /// allocation-free).
+    observed: Option<HashMap<(gpushield_isa::BlockId, usize), (u64, u64)>>,
 }
 
 impl LaunchState {
@@ -283,6 +287,42 @@ impl Gpu {
         Ok(st.into_report())
     }
 
+    /// Like [`Gpu::run`], additionally recording, for every static memory
+    /// instruction outside shared memory, the lowest and highest byte
+    /// address any lane *attempted* to access (captured after address
+    /// generation, before the bounds-check verdict). The extremes surface
+    /// in each [`LaunchReport`]'s `observed_ranges`, sorted by site.
+    ///
+    /// This is the measurement side of the BAT soundness audit: replaying a
+    /// workload under `run_recorded` and comparing the observed ranges
+    /// against the driver's static claims detects any elided or
+    /// size-embedded check whose declared window the kernel escaped.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::run`].
+    pub fn run_recorded(
+        &mut self,
+        vm: &mut VirtualMemorySpace,
+        launches: &[KernelLaunch],
+        guard: Option<&mut dyn MemGuard>,
+    ) -> Result<RunReport, RunError> {
+        self.shared.begin_run();
+        let mut st = RunState::new(
+            &self.cfg,
+            vm,
+            &mut self.shared,
+            launches,
+            MultiKernelMode::IntraCore,
+            guard,
+        )?;
+        for l in &mut st.launches {
+            l.observed = Some(HashMap::new());
+        }
+        st.run()?;
+        Ok(st.into_report())
+    }
+
     /// Like [`Gpu::run`], but with a deterministic fault-injection session
     /// (see [`crate::fault`]) corrupting protection metadata mid-run. The
     /// session's injection log survives the call; running with an empty
@@ -367,6 +407,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                     ..LaunchReport::default()
                 },
                 launch: l.clone(),
+                observed: None,
             });
         }
         Ok(RunState {
@@ -997,6 +1038,19 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             return;
         }
 
+        // ---- Soundness-audit recording (run_recorded only) ---------------
+        // Capture the attempted per-lane extremes *before* any verdict so
+        // that a squashed or aborted out-of-bounds access is still visible
+        // to the auditor.
+        if let Some(obs) = self.launches[li].observed.as_mut() {
+            for va in scratch.lane_vas.iter().flatten() {
+                let end = va.saturating_add(width_b);
+                let e = obs.entry(site).or_insert((*va, end));
+                e.0 = e.0.min(*va);
+                e.1 = e.1.max(end);
+            }
+        }
+
         // ---- Phase 2: translate + cache/TLB timing probe -----------------
         let mut translation_fault: Option<MemFault> = None;
         for va in scratch.lane_vas.iter().flatten() {
@@ -1297,7 +1351,21 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         profile.dram_accesses = dram.requests;
         RunReport {
             cycles: self.cycle,
-            launches: self.launches.into_iter().map(|l| l.report).collect(),
+            launches: self
+                .launches
+                .into_iter()
+                .map(|mut l| {
+                    if let Some(obs) = l.observed.take() {
+                        let mut v: Vec<_> = obs
+                            .into_iter()
+                            .map(|(site, (lo, hi))| crate::stats::ObservedRange { site, lo, hi })
+                            .collect();
+                        v.sort_unstable_by_key(|r| r.site);
+                        l.report.observed_ranges = v;
+                    }
+                    l.report
+                })
+                .collect(),
             l1d,
             l1_tlb: l1tlb,
             l2: self.shared.l2_stats(),

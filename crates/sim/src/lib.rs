@@ -59,5 +59,5 @@ pub use fault::{FaultKind, FaultPlan, FaultSession, FaultSpec, FaultTargets, Inj
 pub use gpu::{Gpu, MultiKernelMode, RunError};
 pub use guard::{GuardCheck, GuardVerdict, MemAccess, MemGuard};
 pub use launch::{CheckPlan, HeapDesc, KernelLaunch, LaunchConfig, SiteCheck};
-pub use stats::{AbortReason, LaunchReport, RunReport, SimProfile};
+pub use stats::{AbortReason, LaunchReport, ObservedRange, RunReport, SimProfile};
 pub use trace::{Trace, TraceEvent, TraceKind};

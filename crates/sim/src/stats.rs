@@ -1,5 +1,6 @@
 //! Run reports and statistics.
 
+use gpushield_isa::BlockId;
 use gpushield_mem::{CacheStats, DramStats, MemFault, TlbStats};
 use std::fmt;
 
@@ -21,6 +22,23 @@ impl fmt::Display for AbortReason {
             AbortReason::BoundsViolation => f.write_str("kernel aborted: bounds violation"),
         }
     }
+}
+
+/// The extreme addresses one static memory instruction *attempted* to
+/// touch during a recorded run (see [`crate::Gpu::run_recorded`]).
+///
+/// Ranges are captured after address generation but before the bounds
+/// check renders a verdict, so an out-of-bounds attempt is visible here
+/// even when the guard squashed or aborted it — exactly what a soundness
+/// audit of statically elided checks needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservedRange {
+    /// The memory instruction (block, instruction index).
+    pub site: (BlockId, usize),
+    /// Lowest byte address any lane attempted (inclusive).
+    pub lo: u64,
+    /// One past the highest byte address any lane attempted (exclusive).
+    pub hi: u64,
 }
 
 /// Per-launch outcome and counters.
@@ -50,6 +68,9 @@ pub struct LaunchReport {
     pub violations_squashed: u64,
     /// Early-termination reason, if any.
     pub abort: Option<AbortReason>,
+    /// Per-site observed address extremes, sorted by site. Empty unless the
+    /// run was started via [`crate::Gpu::run_recorded`].
+    pub observed_ranges: Vec<ObservedRange>,
 }
 
 impl LaunchReport {

@@ -29,6 +29,9 @@ if [[ "$panic_sites" -gt "$panic_ceiling" ]]; then
 fi
 echo "   $panic_sites unwrap/expect sites (ceiling $panic_ceiling)"
 
+echo "== cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== cargo build --release --offline"
 cargo build --release --offline
 
@@ -46,6 +49,12 @@ if [[ "${CI_PERF:-1}" == "1" ]]; then
     # the rate recorded in the committed BENCH_simcore.json.
     ./target/release/throughput --smoke --check BENCH_simcore.json
 fi
+
+echo "== kernel-verifier registry sweep (warnings/errors must be justified)"
+# Runs the static-analysis pass pipeline (def-use, barrier divergence,
+# shared-memory races, redundant checks) over every registry kernel; any
+# unjustified warning/error finding fails CI.
+./target/release/verify
 
 echo "== experiments fig1 smoke run"
 out="$(mktemp -d)"
