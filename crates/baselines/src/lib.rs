@@ -24,7 +24,7 @@
 pub mod comparison;
 
 use gpushield_mem::VirtualMemorySpace;
-use gpushield_sim::{GuardCheck, GuardVerdict, MemAccess, MemGuard};
+use gpushield_sim::{CheckPath, GuardCheck, GuardVerdict, MemAccess, MemGuard};
 
 /// CUDA-MEMCHECK cost model: every warp memory instruction traps into an
 /// instrumented software checking routine.
@@ -67,6 +67,7 @@ impl MemGuard for MemcheckGuard {
         GuardCheck {
             verdict: GuardVerdict::Allow,
             stall_cycles: self.per_access_cycles,
+            path: CheckPath::Software,
         }
     }
 

@@ -1,6 +1,6 @@
 //! Adapter running workload host programs on a [`System`].
 
-use gpushield::{Arg, BufferHandle, MemGuard, System, SystemConfig};
+use gpushield::{Arg, BufferHandle, MemGuard, Registry, System, SystemConfig, Trace};
 use gpushield_isa::Kernel;
 use gpushield_sim::RunReport;
 use gpushield_workloads::{BufId, HostApi, WArg};
@@ -12,6 +12,8 @@ pub struct SystemHost {
     sys: System,
     bufs: Vec<BufferHandle>,
     guard: Option<Box<dyn MemGuard>>,
+    registry: Option<Registry>,
+    trace: Option<Trace>,
     /// One report per kernel launch, in order.
     pub reports: Vec<RunReport>,
 }
@@ -23,6 +25,8 @@ impl SystemHost {
             sys: System::new(cfg),
             bufs: Vec::new(),
             guard: None,
+            registry: None,
+            trace: None,
             reports: Vec::new(),
         }
     }
@@ -35,8 +39,38 @@ impl SystemHost {
             sys: System::new(cfg),
             bufs: Vec::new(),
             guard: Some(guard),
+            registry: None,
+            trace: None,
             reports: Vec::new(),
         }
+    }
+
+    /// Attaches a telemetry registry: every later launch runs through
+    /// [`System::launch_instrumented`], publishing scheduler, memory and
+    /// driver metrics into the registry. Attaching a
+    /// [`Registry::disabled`] registry keeps the instrumented code path
+    /// but records nothing. External-guard launches ignore the registry.
+    pub fn attach_registry(&mut self, registry: Registry) {
+        self.registry = Some(registry);
+    }
+
+    /// Detaches and returns the registry attached with
+    /// [`SystemHost::attach_registry`], if any.
+    pub fn take_registry(&mut self) -> Option<Registry> {
+        self.registry.take()
+    }
+
+    /// Attaches an execution trace recorder. Only effective together with
+    /// [`SystemHost::attach_registry`]: instrumented launches append their
+    /// events to this trace (subject to its capacity bound).
+    pub fn attach_trace(&mut self, trace: Trace) {
+        self.trace = Some(trace);
+    }
+
+    /// Detaches and returns the trace attached with
+    /// [`SystemHost::attach_trace`], if any.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
     }
 
     /// Total simulated cycles across all launches (host programs run their
@@ -137,12 +171,23 @@ impl HostApi for SystemHost {
 
     fn launch(&mut self, kernel: &Arc<Kernel>, grid: u32, block: u32, args: &[WArg]) {
         let mapped = self.map_args(args);
-        let report = match self.guard.as_mut() {
-            Some(g) => self
+        let report = match (self.guard.as_mut(), self.registry.as_mut()) {
+            (Some(g), _) => self
                 .sys
                 .launch_with_guard(kernel.clone(), grid, block, &mapped, g.as_mut())
                 .expect("workload launch"),
-            None => self
+            (None, Some(reg)) => self
+                .sys
+                .launch_instrumented(
+                    kernel.clone(),
+                    grid,
+                    block,
+                    &mapped,
+                    reg,
+                    self.trace.as_mut(),
+                )
+                .expect("workload launch"),
+            (None, None) => self
                 .sys
                 .launch(kernel.clone(), grid, block, &mapped)
                 .expect("workload launch"),

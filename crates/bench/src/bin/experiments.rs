@@ -33,22 +33,18 @@ use std::time::{Duration, Instant};
 /// Default per-experiment wall-time budget (seconds).
 const DEFAULT_TIMEOUT_SECS: u64 = 900;
 
-/// Counter-wise difference of two [`profile_totals`] snapshots taken
-/// around one experiment (experiments run sequentially, so the delta is
-/// exactly that experiment's simulator activity).
-fn profile_delta(before: &SimProfile, after: &SimProfile) -> SimProfile {
-    SimProfile {
-        alu_issues: after.alu_issues - before.alu_issues,
-        mem_issues: after.mem_issues - before.mem_issues,
-        shared_issues: after.shared_issues - before.shared_issues,
-        barrier_issues: after.barrier_issues - before.barrier_issues,
-        malloc_issues: after.malloc_issues - before.malloc_issues,
-        lsu_transactions: after.lsu_transactions - before.lsu_transactions,
-        bcu_checks: after.bcu_checks - before.bcu_checks,
-        bcu_stall_cycles: after.bcu_stall_cycles - before.bcu_stall_cycles,
-        dram_accesses: after.dram_accesses - before.dram_accesses,
-        idle_skips: after.idle_skips - before.idle_skips,
-    }
+/// Renders this experiment's simulator activity as a `telemetry` JSON
+/// object, with the telemetry registry as the single source of truth for
+/// metric names and shapes: the [`SimProfile`] delta is published as
+/// `sim.profile.*` gauges and read back from the registry's own renderer.
+fn telemetry_json(sim: Option<&(u64, SimProfile)>) -> Json {
+    let Some((instrs, prof)) = sim else {
+        return Json::obj();
+    };
+    let mut reg = gpushield_telemetry::Registry::new();
+    reg.set_named("sim.instructions", *instrs);
+    prof.publish(&mut reg);
+    Json::parse(&reg.render_json()).expect("registry renders valid JSON")
 }
 
 /// Builds the machine-readable `results/<id>.json` document for one
@@ -56,6 +52,7 @@ fn profile_delta(before: &SimProfile, after: &SimProfile) -> SimProfile {
 /// `attempts` counts executions including retries; `quarantined` marks an
 /// experiment that stayed broken after its retry (or hit the timeout) and
 /// was skipped so the rest of the run could proceed.
+#[allow(clippy::too_many_arguments)] // one flat record per outcome
 fn build_json(
     id: &str,
     title: &str,
@@ -64,6 +61,7 @@ fn build_json(
     jobs: usize,
     attempts: u64,
     quarantined: bool,
+    sim: Option<&(u64, SimProfile)>,
 ) -> Json {
     let mut doc = Json::obj();
     doc.set("id", Json::Str(id.to_string()));
@@ -74,6 +72,7 @@ fn build_json(
     doc.set("attempts", Json::UInt(attempts));
     doc.set("quarantined", Json::Bool(quarantined));
     doc.set("config_fingerprint", Json::Str(config_fingerprint()));
+    doc.set("telemetry", telemetry_json(sim));
     match outcome {
         Ok(text) => {
             let rows = numeric_rows(text)
@@ -108,6 +107,7 @@ fn emit(
     jobs: usize,
     attempts: u64,
     quarantined: bool,
+    sim: Option<&(u64, SimProfile)>,
     out_dir: Option<&str>,
 ) -> bool {
     match outcome {
@@ -142,6 +142,7 @@ fn emit(
         jobs,
         attempts,
         quarantined,
+        sim,
     )
     .render();
     let path = Path::new(dir).join(format!("{id}.json"));
@@ -182,7 +183,7 @@ fn run_supervised(run: fn(usize) -> String, jobs: usize, timeout: Duration) -> A
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| run(jobs)));
         let (instrs1, prof1) = profile_totals();
         let _ = tx.send(match result {
-            Ok(text) => Ok((text, instrs1 - instrs0, profile_delta(&prof0, &prof1))),
+            Ok(text) => Ok((text, instrs1 - instrs0, prof1.diff(&prof0))),
             Err(payload) => Err(panic_message(payload.as_ref())),
         });
     });
@@ -245,16 +246,16 @@ fn run_set(
             jobs,
             attempts,
             quarantined,
+            sim.as_ref(),
             out_dir,
         );
         match sim {
-            Some((instrs, prof)) if instrs > 0 => {
+            Some((instrs, _)) if instrs > 0 => {
                 let rate = instrs as f64 / wall.max(1e-9);
                 eprintln!(
                     "[{} took {wall:.1}s — {instrs} instrs, {rate:.0} instrs/sec]",
                     e.id
                 );
-                eprintln!("  sim profile: {prof}");
             }
             _ => eprintln!("[{} took {wall:.1}s]", e.id),
         }
@@ -356,6 +357,13 @@ mod tests {
     fn result_json_roundtrips() {
         let text = experiments::by_id("table3").expect("table3 exists");
         let rendered = (text.run)(1);
+        let sim = (
+            1234u64,
+            SimProfile {
+                alu_issues: 7,
+                ..SimProfile::default()
+            },
+        );
         let doc = build_json(
             "table3",
             text.title,
@@ -364,6 +372,7 @@ mod tests {
             2,
             1,
             false,
+            Some(&sim),
         );
         let back = Json::parse(&doc.render()).expect("valid JSON");
         assert_eq!(back, doc);
@@ -374,11 +383,23 @@ mod tests {
         let rows = back.get("rows").and_then(Json::as_arr).expect("rows");
         assert_eq!(rows.len(), numeric_rows(&rendered).len());
         assert!(!rows.is_empty(), "table3 has numeric rows");
+        // The telemetry section comes straight from the registry renderer.
+        let tele = back.get("telemetry").expect("telemetry section");
+        let instrs = tele
+            .get("sim.instructions")
+            .and_then(|m| m.get("value"))
+            .and_then(Json::as_f64);
+        assert_eq!(instrs, Some(1234.0));
+        let alu = tele
+            .get("sim.profile.alu_issues")
+            .and_then(|m| m.get("value"))
+            .and_then(Json::as_f64);
+        assert_eq!(alu, Some(7.0));
     }
 
     #[test]
     fn failed_experiment_json_carries_the_error() {
-        let doc = build_json("fig4", "t", &Err("boom".to_string()), 0.0, 1, 2, true);
+        let doc = build_json("fig4", "t", &Err("boom".to_string()), 0.0, 1, 2, true, None);
         let back = Json::parse(&doc.render()).expect("valid JSON");
         assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(back.get("error").and_then(Json::as_str), Some("boom"));

@@ -1,0 +1,194 @@
+//! Telemetry CLI: stall-attribution tables, Chrome traces, and the metric
+//! schema gate.
+//!
+//! ```text
+//! profile                          # stall-attribution table (Fig. 13 analogue)
+//! profile --jobs 4                 # same table, 4 worker threads (byte-identical)
+//! profile --trace vectoradd --out trace.json   # Chrome trace for one workload
+//! profile --schema                 # print the instrumented-run metric key set
+//! profile --check-schema FIXTURE   # CI gate: key set must match the fixture
+//! ```
+//!
+//! The schema is the *key set* of the telemetry registry after one
+//! instrumented reference run (simulator + memory + driver metrics) plus a
+//! verifier sweep (compiler pass metrics). Values are free to drift —
+//! wall times and cycle counts change with the code — but a key
+//! appearing or vanishing is a schema change consumers must see, so CI
+//! pins the set against `tests/golden/telemetry_schema.json`.
+
+use gpushield::{Registry, Trace};
+use gpushield_bench::adapter::SystemHost;
+use gpushield_bench::experiments::by_id;
+use gpushield_bench::runner::{config, Protection, Target};
+use gpushield_bench::verifysweep::verify_workload_telemetry;
+use gpushield_runtime::report::Json;
+use gpushield_workloads::by_name;
+use std::process::ExitCode;
+
+/// Trace capacity for `--trace`: large enough for every small workload,
+/// bounded so a long one cannot exhaust memory (the export renders the
+/// cut point when it truncates).
+const TRACE_CAPACITY: usize = 200_000;
+
+/// Runs the reference instrumented sweep and returns the populated
+/// registry: `vectoradd` under default GPUShield (all `sim.*`, `mem.*`
+/// and `driver.*` metrics) plus its verifier sweep (`compiler.pass.*`).
+fn reference_registry() -> Registry {
+    let w = by_name("vectoradd").expect("vectoradd registered");
+    let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
+    host.attach_registry(Registry::new());
+    w.run(&mut host);
+    let mut reg = host.take_registry().expect("registry attached");
+    verify_workload_telemetry(&w, &mut reg);
+    reg
+}
+
+/// The schema document: the sorted metric key set as a JSON array.
+fn schema_json(reg: &Registry) -> String {
+    let mut doc = Json::obj();
+    doc.set(
+        "keys",
+        Json::Arr(
+            reg.names()
+                .into_iter()
+                .map(|n| Json::Str(n.to_string()))
+                .collect(),
+        ),
+    );
+    doc.render()
+}
+
+fn check_schema(fixture_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(fixture_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {fixture_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {fixture_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let expected: Vec<String> = doc
+        .get("keys")
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(|k| k.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let reg = reference_registry();
+    let actual: Vec<String> = reg.names().into_iter().map(str::to_string).collect();
+    let missing: Vec<&String> = expected.iter().filter(|k| !actual.contains(k)).collect();
+    let added: Vec<&String> = actual.iter().filter(|k| !expected.contains(k)).collect();
+    if missing.is_empty() && added.is_empty() {
+        eprintln!(
+            "telemetry schema OK: {} keys match {fixture_path}",
+            actual.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("TELEMETRY SCHEMA MISMATCH vs {fixture_path}:");
+    for k in &missing {
+        eprintln!("  - {k} (in fixture, not produced)");
+    }
+    for k in &added {
+        eprintln!("  + {k} (produced, not in fixture)");
+    }
+    eprintln!("regenerate with: profile --schema > {fixture_path}");
+    ExitCode::FAILURE
+}
+
+/// Runs `name` instrumented + traced and writes a Chrome Trace Event
+/// Format JSON with one launch span per kernel launch.
+fn trace_workload(name: &str, out: Option<&str>) -> ExitCode {
+    let Some(w) = by_name(name) else {
+        eprintln!("unknown workload {name}");
+        return ExitCode::FAILURE;
+    };
+    let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
+    host.attach_registry(Registry::new());
+    host.attach_trace(Trace::new(TRACE_CAPACITY));
+    w.run(&mut host);
+    let trace = host.take_trace().expect("trace attached");
+    let mut chrome = trace.to_chrome();
+    // Launch phase spans on a dedicated host lane: every launch restarts
+    // the simulated clock, so spans share t=0 and are told apart by tid.
+    for (i, r) in host.reports.iter().enumerate() {
+        chrome.push_span(
+            &format!("launch {i}"),
+            "launch",
+            0,
+            r.cycles,
+            u32::MAX,
+            i as u32,
+        );
+        chrome.arg("cycles", &r.cycles.to_string());
+        chrome.arg("instructions", &r.instructions().to_string());
+    }
+    let rendered = chrome.render();
+    eprintln!(
+        "{name}: {} events ({} trace events, {} dropped), {} launches",
+        chrome.len(),
+        trace.events().len(),
+        trace.dropped(),
+        host.reports.len()
+    );
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut jobs = gpushield_runtime::pool::available_parallelism();
+    let mut trace: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut schema = false;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => trace = args.next(),
+            "--out" => out = args.next(),
+            "--schema" => schema = true,
+            "--check-schema" => check = args.next(),
+            other => {
+                eprintln!("unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if schema {
+        println!("{}", schema_json(&reference_registry()));
+        return ExitCode::SUCCESS;
+    }
+    if let Some(fixture) = check {
+        return check_schema(&fixture);
+    }
+    if let Some(name) = trace {
+        return trace_workload(&name, out.as_deref());
+    }
+    let e = by_id("profile").expect("profile exhibit registered");
+    print!("{}", (e.run)(jobs));
+    ExitCode::SUCCESS
+}

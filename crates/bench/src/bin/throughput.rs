@@ -109,19 +109,13 @@ fn measure_json(m: &Measure) -> Json {
     doc
 }
 
+/// The profile section comes from the telemetry registry — the same
+/// publish path the `experiments` binary and the instrumented simulator
+/// use — so every consumer sees one metric namespace (`sim.profile.*`).
 fn profile_json(p: &SimProfile) -> Json {
-    let mut doc = Json::obj();
-    doc.set("alu_issues", Json::UInt(p.alu_issues));
-    doc.set("mem_issues", Json::UInt(p.mem_issues));
-    doc.set("shared_issues", Json::UInt(p.shared_issues));
-    doc.set("barrier_issues", Json::UInt(p.barrier_issues));
-    doc.set("malloc_issues", Json::UInt(p.malloc_issues));
-    doc.set("lsu_transactions", Json::UInt(p.lsu_transactions));
-    doc.set("bcu_checks", Json::UInt(p.bcu_checks));
-    doc.set("bcu_stall_cycles", Json::UInt(p.bcu_stall_cycles));
-    doc.set("dram_accesses", Json::UInt(p.dram_accesses));
-    doc.set("idle_skips", Json::UInt(p.idle_skips));
-    doc
+    let mut reg = gpushield_telemetry::Registry::new();
+    p.publish(&mut reg);
+    Json::parse(&reg.render_json()).expect("registry renders valid JSON")
 }
 
 fn print_measure(label: &str, m: &Measure) {

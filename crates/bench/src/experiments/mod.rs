@@ -6,6 +6,7 @@ mod attacks;
 mod metadata;
 mod multikernel;
 mod perf;
+mod profile;
 pub mod resilience;
 mod studies;
 mod tools;
@@ -131,6 +132,11 @@ pub fn all() -> Vec<Experiment> {
             title: "BAT soundness audit: observed addresses vs static claims",
             run: verifier::bat_soundness,
         },
+        Experiment {
+            id: "profile",
+            title: "Bounds-check stall attribution by metadata path (Fig. 13 analogue)",
+            run: profile::profile,
+        },
     ]
 }
 
@@ -172,6 +178,7 @@ mod tests {
                 "fault_resilience",
                 "static_analysis",
                 "bat_soundness",
+                "profile",
             ]
         );
     }

@@ -4,7 +4,7 @@
 use crate::adapter::SystemHost;
 use gpushield::{BcuConfig, DriverConfig, GpuConfig, SystemConfig};
 use gpushield_core::BcuStats;
-use gpushield_sim::SimProfile;
+use gpushield_sim::{SimProfile, StallAttribution};
 use gpushield_workloads::Workload;
 use std::sync::Mutex;
 
@@ -148,6 +148,9 @@ pub struct WorkloadRun {
     pub aborted: bool,
     /// Per-phase simulator activity counters, merged across launches.
     pub profile: SimProfile,
+    /// Bounds-check stall attribution by metadata path (Fig. 13 analogue),
+    /// merged across launches.
+    pub attribution: StallAttribution,
 }
 
 /// Process-wide running totals over every [`run_workload`] call:
@@ -193,8 +196,12 @@ pub fn run_workload(w: &Workload, target: Target, prot: Protection) -> WorkloadR
         prot
     );
     let mut profile = SimProfile::default();
+    let mut attribution = StallAttribution::default();
     for r in &host.reports {
         profile.merge(&r.profile);
+        for l in &r.launches {
+            attribution.merge(&l.stall_attribution);
+        }
     }
     let instructions: u64 = host.reports.iter().map(|r| r.instructions()).sum();
     {
@@ -215,6 +222,7 @@ pub fn run_workload(w: &Workload, target: Target, prot: Protection) -> WorkloadR
         check_reduction: host.check_reduction(),
         aborted: host.any_abort(),
         profile,
+        attribution,
     }
 }
 

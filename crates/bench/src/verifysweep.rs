@@ -106,6 +106,18 @@ pub struct WorkloadVerify {
 
 /// Replays `w`'s host program and verifies every distinct launch.
 pub fn verify_workload(w: &Workload) -> WorkloadVerify {
+    let mut sink = gpushield_telemetry::Registry::disabled();
+    verify_workload_telemetry(w, &mut sink)
+}
+
+/// As [`verify_workload`], additionally publishing per-pass wall time and
+/// diagnostic counts into `reg` under `compiler.pass.*` (accumulating
+/// across kernels; wall times are nondeterministic — never byte-compare
+/// them).
+pub fn verify_workload_telemetry(
+    w: &Workload,
+    reg: &mut gpushield_telemetry::Registry,
+) -> WorkloadVerify {
     let mut cap = CaptureHost::new();
     w.run(&mut cap);
     let pm = PassManager::with_default_passes();
@@ -119,7 +131,9 @@ pub fn verify_workload(w: &Workload) -> WorkloadVerify {
             continue;
         }
         seen.push(key);
-        reports.push(pm.verify(&l.kernel, &l.know));
+        let (report, profile) = pm.verify_profiled(&l.kernel, &l.know);
+        profile.publish(reg);
+        reports.push(report);
     }
     WorkloadVerify {
         workload: w.name(),

@@ -30,5 +30,6 @@ pub use analysis::{ArgInfo, LaunchKnowledge};
 pub use bat::{analyze, AnalysisConfig, BoundsAnalysis, StaticViolation};
 pub use interval::Interval;
 pub use verify::{
-    CheckBreakdown, Diagnostic, Pass, PassContext, PassManager, Severity, VerifyReport,
+    CheckBreakdown, Diagnostic, Pass, PassContext, PassManager, PassProfile, PassTiming, Severity,
+    VerifyReport,
 };

@@ -207,6 +207,17 @@ impl PassManager {
     /// Verifies one kernel under `know`, running every registered pass and
     /// computing the Fig. 16 check breakdown.
     pub fn verify(&self, kernel: &Kernel, know: &LaunchKnowledge) -> VerifyReport {
+        self.verify_profiled(kernel, know).0
+    }
+
+    /// Like [`PassManager::verify`], additionally returning a per-pass
+    /// [`PassProfile`] (wall time and diagnostic counts). Wall times are
+    /// nondeterministic; keep them out of byte-compared artefacts.
+    pub fn verify_profiled(
+        &self,
+        kernel: &Kernel,
+        know: &LaunchKnowledge,
+    ) -> (VerifyReport, PassProfile) {
         let cfg = Cfg::build(kernel);
         let idoms = cfg.immediate_dominators();
         let ipdoms = cfg.immediate_post_dominators();
@@ -218,8 +229,16 @@ impl PassManager {
             ipdoms: &ipdoms,
         };
         let mut diagnostics = Vec::new();
+        let mut profile = PassProfile::default();
         for p in &self.passes {
-            diagnostics.extend(p.run(&ctx));
+            let start = std::time::Instant::now();
+            let found = p.run(&ctx);
+            profile.passes.push(PassTiming {
+                id: p.id(),
+                wall_nanos: start.elapsed().as_nanos() as u64,
+                diagnostics: found.len() as u64,
+            });
+            diagnostics.extend(found);
         }
         // Classify with every static decision enabled — the breakdown is
         // the paper's full Fig. 16 taxonomy, independent of which options
@@ -240,10 +259,50 @@ impl PassManager {
             type3: bat.sites_type3,
             elidable: bat.elided_sites.len(),
         };
-        VerifyReport {
-            kernel: kernel.name().to_string(),
-            diagnostics,
-            breakdown,
+        (
+            VerifyReport {
+                kernel: kernel.name().to_string(),
+                diagnostics,
+                breakdown,
+            },
+            profile,
+        )
+    }
+}
+
+/// Timing and finding count for one verifier pass execution.
+#[derive(Debug, Clone, Copy)]
+pub struct PassTiming {
+    /// Stable pass identifier.
+    pub id: &'static str,
+    /// Wall-clock time the pass took, in nanoseconds (nondeterministic).
+    pub wall_nanos: u64,
+    /// Diagnostics the pass emitted.
+    pub diagnostics: u64,
+}
+
+/// Per-pass profile for one [`PassManager::verify_profiled`] run.
+#[derive(Debug, Clone, Default)]
+pub struct PassProfile {
+    /// One entry per registered pass, in execution order.
+    pub passes: Vec<PassTiming>,
+}
+
+impl PassProfile {
+    /// Publishes the profile into `reg` under
+    /// `compiler.pass.<id>.{wall_nanos,diagnostics}` (accumulating across
+    /// kernels) plus a `compiler.verify.kernels` run counter.
+    pub fn publish(&self, reg: &mut gpushield_telemetry::Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        reg.add_named("compiler.verify.kernels", 1);
+        for t in &self.passes {
+            reg.add_named(&format!("compiler.pass.{}.wall_nanos", t.id), t.wall_nanos);
+            reg.add_named(
+                &format!("compiler.pass.{}.diagnostics", t.id),
+                t.diagnostics,
+            );
         }
     }
 }

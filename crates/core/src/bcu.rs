@@ -7,7 +7,7 @@ use crate::rcache::{L1RCache, L2RCache};
 use gpushield_driver::{decrypt_id, read_entry, BoundsEntry, ShieldSetup};
 use gpushield_isa::{BlockId, PtrClass};
 use gpushield_mem::VirtualMemorySpace;
-use gpushield_sim::{GuardCheck, GuardVerdict, MemAccess, MemGuard};
+use gpushield_sim::{CheckPath, GuardCheck, GuardVerdict, MemAccess, MemGuard};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -226,7 +226,13 @@ impl Bcu {
         self.cfg
     }
 
-    fn violate(&mut self, access: &MemAccess, kind: ViolationKind, stall: u64) -> GuardCheck {
+    fn violate(
+        &mut self,
+        access: &MemAccess,
+        kind: ViolationKind,
+        stall: u64,
+        path: CheckPath,
+    ) -> GuardCheck {
         self.stats.violations += 1;
         if self.violations.len() < 4096 {
             self.violations.push(ViolationRecord {
@@ -244,6 +250,7 @@ impl Bcu {
                 GuardVerdict::Squash
             },
             stall_cycles: stall,
+            path,
         }
     }
 
@@ -286,27 +293,46 @@ impl MemGuard for Bcu {
                 let size = 1u64 << log2;
                 let (lo, hi) = access.range;
                 if lo >= base && hi <= base + size {
-                    GuardCheck::allow_free()
+                    GuardCheck {
+                        verdict: GuardVerdict::Allow,
+                        stall_cycles: 0,
+                        path: CheckPath::SizeEmbedded,
+                    }
                 } else {
-                    self.violate(access, ViolationKind::OutOfBounds, 0)
+                    self.violate(
+                        access,
+                        ViolationKind::OutOfBounds,
+                        0,
+                        CheckPath::SizeEmbedded,
+                    )
                 }
             }
             PtrClass::Region => {
                 self.stats.checks += 1;
                 let Some(setup) = self.kernels.get(&access.kernel_id).copied() else {
-                    return self.violate(access, ViolationKind::UnknownKernel, 0);
+                    // No registration means no metadata was consulted.
+                    return self.violate(
+                        access,
+                        ViolationKind::UnknownKernel,
+                        0,
+                        CheckPath::Unchecked,
+                    );
                 };
                 let id = decrypt_id(access.pointer.info(), setup.key);
                 let tag = (access.kernel_id, id);
                 let core = &mut self.cores[access.core];
-                let (entry, bcu_path) = if let Some(e) = core.l1.probe(tag) {
+                let (entry, bcu_path, path) = if let Some(e) = core.l1.probe(tag) {
                     self.stats.l1_hits += 1;
                     // gather + L1 RCache + compare.
-                    (e, 1 + self.cfg.l1_latency + 1)
+                    (e, 1 + self.cfg.l1_latency + 1, CheckPath::L1RCache)
                 } else if let Some(e) = core.l2.probe(tag) {
                     self.stats.l2_hits += 1;
                     core.l1.fill(tag, e);
-                    (e, 1 + self.cfg.l1_latency + self.cfg.l2_latency + 1)
+                    (
+                        e,
+                        1 + self.cfg.l1_latency + self.cfg.l2_latency + 1,
+                        CheckPath::L2RCache,
+                    )
                 } else {
                     // Fetch from the RBT in device memory through the
                     // translation-bypass path (§5.4). The latency largely
@@ -323,23 +349,25 @@ impl MemGuard for Bcu {
                     (
                         e,
                         1 + self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.rbt_fetch_penalty,
+                        CheckPath::RbtFetch,
                     )
                 };
                 let stall = self.visible_stall(access, bcu_path);
                 if !entry.valid || entry.kernel_id != access.kernel_id {
-                    return self.violate(access, ViolationKind::BadRegion, stall);
+                    return self.violate(access, ViolationKind::BadRegion, stall, path);
                 }
                 if entry.readonly && access.is_store {
-                    return self.violate(access, ViolationKind::ReadOnly, stall);
+                    return self.violate(access, ViolationKind::ReadOnly, stall, path);
                 }
                 let (lo, hi) = access.range;
                 if !entry.in_bounds(lo, hi) {
-                    return self.violate(access, ViolationKind::OutOfBounds, stall);
+                    return self.violate(access, ViolationKind::OutOfBounds, stall, path);
                 }
                 self.stats.stall_cycles += stall;
                 GuardCheck {
                     verdict: GuardVerdict::Allow,
                     stall_cycles: stall,
+                    path,
                 }
             }
         }

@@ -10,6 +10,7 @@ use gpushield_isa::{CheckPlan, Instr, Kernel, ParamKind, PtrClass, SiteCheck, Ta
 use gpushield_mem::{AllocPolicy, Allocation, MemFault, VirtualMemorySpace};
 use gpushield_runtime::rng::StdRng;
 use gpushield_sim::{HeapDesc, KernelLaunch, LaunchConfig};
+use gpushield_telemetry::Registry;
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -199,6 +200,28 @@ struct BufferRecord {
     canary_written: bool,
 }
 
+/// Cumulative counters over the driver's metadata paths: how much RBT
+/// materialisation, region-ID assignment and BAT-attachment work launch
+/// preparation performed. Published into a telemetry [`Registry`] via
+/// [`Driver::publish_telemetry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Launches successfully prepared (shielded or not).
+    pub launches_prepared: u64,
+    /// Per-launch RBTs allocated in device memory.
+    pub rbt_allocs: u64,
+    /// RBT entries written (one per region-ID group, local, and heap).
+    pub rbt_entries_written: u64,
+    /// Region IDs drawn from the per-launch ID space.
+    pub region_ids_assigned: u64,
+    /// §6.3 group merges performed because region IDs ran low.
+    pub groups_merged: u64,
+    /// Static bounds analyses run (BAT generation + attach).
+    pub bat_analyses: u64,
+    /// Type 3 canary paddings written.
+    pub canaries_written: u64,
+}
+
 /// The GPU driver: owns the device address space and sets up kernels.
 ///
 /// # Example
@@ -230,6 +253,7 @@ pub struct Driver {
     buffers: Vec<BufferRecord>,
     heap: Option<Allocation>,
     kernel_seq: u16,
+    stats: DriverStats,
 }
 
 impl Driver {
@@ -243,12 +267,39 @@ impl Driver {
             buffers: Vec::new(),
             heap: None,
             kernel_seq: 0,
+            stats: DriverStats::default(),
         }
     }
 
     /// The driver configuration.
     pub fn config(&self) -> DriverConfig {
         self.cfg
+    }
+
+    /// Cumulative metadata-path counters since construction.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Publishes the metadata-path counters as `driver.*` gauges (the
+    /// counters are already cumulative, so last-write-wins is exact).
+    pub fn publish_telemetry(&self, reg: &mut Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        let s = &self.stats;
+        let fields: [(&str, u64); 7] = [
+            ("launches_prepared", s.launches_prepared),
+            ("rbt_allocs", s.rbt_allocs),
+            ("rbt_entries_written", s.rbt_entries_written),
+            ("region_ids_assigned", s.region_ids_assigned),
+            ("groups_merged", s.groups_merged),
+            ("bat_analyses", s.bat_analyses),
+            ("canaries_written", s.canaries_written),
+        ];
+        for (name, v) in fields {
+            reg.set_named(&format!("driver.{name}"), v);
+        }
     }
 
     /// Allocates a device buffer. Uses Nvidia-style 512 B packing, or
@@ -488,6 +539,7 @@ impl Driver {
                     size: h.size,
                 });
             }
+            self.stats.launches_prepared += 1;
             return Ok(PreparedLaunch {
                 launch,
                 shield: None,
@@ -514,6 +566,7 @@ impl Driver {
             heap_size: self.heap.map(|h| h.size),
         };
         let bat = if self.cfg.enable_static_analysis {
+            self.stats.bat_analyses += 1;
             let mut b = analyze(
                 &kernel,
                 &knowledge,
@@ -582,6 +635,7 @@ impl Driver {
             .vm
             .alloc(RBT_BYTES, AllocPolicy::Isolated)
             .map_err(|fault| DriverError::AllocationFailed { what: "RBT", fault })?;
+        self.stats.rbt_allocs += 1;
 
         // Count the RBT entries needed: Region-classed params/locals + heap.
         let region_params: Vec<u8> = (0..args.len() as u8)
@@ -625,9 +679,11 @@ impl Driver {
             }
             let tail = groups.remove(best + 1);
             groups[best].extend(tail);
+            self.stats.groups_merged += 1;
         }
         let n_ids = groups.len() + fixed;
         let ids = self.fresh_ids(n_ids)?;
+        self.stats.region_ids_assigned += n_ids as u64;
         let region_ids = ids.clone();
         let mut id_iter = ids.into_iter();
 
@@ -683,6 +739,7 @@ impl Driver {
                                 },
                             )
                             .map_err(|fault| DriverError::MetadataWrite { fault })?;
+                            self.stats.rbt_entries_written += 1;
                             TaggedPtr::with_region_id(rec.alloc.va, encrypt_id(id, key)).raw()
                         }
                         PtrClass::SizeEmbedded => {
@@ -715,6 +772,7 @@ impl Driver {
                         },
                     )
                     .map_err(|fault| DriverError::MetadataWrite { fault })?;
+                    self.stats.rbt_entries_written += 1;
                     TaggedPtr::with_region_id(alloc.va, encrypt_id(id, key)).raw()
                 }
                 PtrClass::SizeEmbedded => {
@@ -742,6 +800,7 @@ impl Driver {
                 },
             )
             .map_err(|fault| DriverError::MetadataWrite { fault })?;
+            self.stats.rbt_entries_written += 1;
             launch = launch.heap(HeapDesc {
                 tagged_base: TaggedPtr::with_region_id(h.va, encrypt_id(id, key)),
                 size: h.size,
@@ -807,6 +866,7 @@ impl Driver {
             }
         }
         site_claims.sort_unstable_by_key(|c| c.site);
+        self.stats.launches_prepared += 1;
 
         Ok(PreparedLaunch {
             launch,
@@ -830,6 +890,7 @@ impl Driver {
         let pad = vec![CANARY_BYTE; (rec.alloc.reserved - rec.alloc.size) as usize];
         let va = rec.alloc.va + rec.alloc.size;
         rec.canary_written = true;
+        self.stats.canaries_written += 1;
         self.vm.write(va, &pad).expect("padding is mapped");
     }
 

@@ -16,7 +16,7 @@ mod rbt;
 
 pub use cipher::{decrypt_id, encrypt_id};
 pub use driver::{
-    Arg, BufferHandle, Driver, DriverConfig, DriverError, PreparedLaunch, ShieldSetup, SiteClaim,
-    CANARY_BYTE,
+    Arg, BufferHandle, Driver, DriverConfig, DriverError, DriverStats, PreparedLaunch, ShieldSetup,
+    SiteClaim, CANARY_BYTE,
 };
 pub use rbt::{read_entry, write_entry, BoundsEntry, RBT_BYTES, RBT_ENTRIES, RBT_ENTRY_BYTES};

@@ -40,13 +40,14 @@
 
 pub use gpushield_core::{Bcu, BcuConfig, BcuStats, ViolationKind, ViolationRecord};
 pub use gpushield_driver::{
-    Arg, BufferHandle, Driver, DriverConfig, DriverError, ShieldSetup, SiteClaim,
+    Arg, BufferHandle, Driver, DriverConfig, DriverError, DriverStats, ShieldSetup, SiteClaim,
 };
 pub use gpushield_sim::{
-    FaultKind, FaultPlan, FaultSession, FaultSpec, FaultTargets, Gpu, GpuConfig, InjectionRecord,
-    KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, ObservedRange, RunError, RunReport,
-    Trace, TraceEvent, TraceKind,
+    CheckPath, FaultKind, FaultPlan, FaultSession, FaultSpec, FaultTargets, Gpu, GpuConfig,
+    InjectionRecord, KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, ObservedRange,
+    RunError, RunReport, StallAttribution, Trace, TraceEvent, TraceKind,
 };
+pub use gpushield_telemetry::{chrome::ChromeTrace, MetricId, Registry};
 
 use gpushield_compiler::BoundsAnalysis;
 use gpushield_driver::RBT_ENTRY_BYTES;
@@ -375,6 +376,42 @@ impl System {
         let report = self
             .gpu
             .run_traced(self.driver.vm_mut(), &[prepared.launch], guard, trace)?;
+        Ok(report)
+    }
+
+    /// Launches one kernel with full telemetry: scheduler occupancy series,
+    /// stall-attribution counters, cache/TLB/DRAM statistics and driver
+    /// metadata-cost gauges are published into `registry`, and the
+    /// execution is optionally recorded into `trace` for Chrome export.
+    /// With a [`Registry::disabled`] registry the run behaves exactly like
+    /// [`System::launch`] apart from one branch per scheduler slot.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch`].
+    pub fn launch_instrumented(
+        &mut self,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+        registry: &mut Registry,
+        trace: Option<&mut Trace>,
+    ) -> Result<RunReport, SystemError> {
+        let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
+        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+            bcu.register_kernel(setup);
+        }
+        self.last_bat = prepared.bat;
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report = self.gpu.run_instrumented(
+            self.driver.vm_mut(),
+            &[prepared.launch],
+            guard,
+            registry,
+            trace,
+        )?;
+        self.driver.publish_telemetry(registry);
         Ok(report)
     }
 

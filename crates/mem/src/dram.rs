@@ -52,6 +52,8 @@ pub struct DramStats {
 struct Channel {
     open_row: Option<u64>,
     busy_until: u64,
+    /// Total cycles this channel spent servicing requests (occupancy).
+    busy_cycles: u64,
 }
 
 /// The DRAM device: channels with open-row state.
@@ -115,6 +117,7 @@ impl Dram {
         };
         ch.open_row = Some(row);
         ch.busy_until = start + service;
+        ch.busy_cycles += service;
         self.stats.requests += 1;
         if hit {
             self.stats.row_hits += 1;
@@ -126,6 +129,13 @@ impl Dram {
     /// Accumulated statistics.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Per-channel occupancy: total service cycles each channel has spent
+    /// busy, in channel order. The spread across channels is the
+    /// interleaving-quality signal telemetry histograms.
+    pub fn channel_busy_cycles(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.busy_cycles).collect()
     }
 
     /// Clears statistics and channel state.
@@ -185,6 +195,22 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.requests, 2);
         assert_eq!(s.row_hits, 1);
+    }
+
+    #[test]
+    fn channel_busy_cycles_track_service_time() {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(cfg);
+        d.access(0, 0); // channel 0, row miss
+        d.access(128, 200); // channel 0, row hit
+        d.access(256, 0); // channel 1, row miss
+        let busy = d.channel_busy_cycles();
+        assert_eq!(busy.len(), cfg.channels);
+        assert_eq!(busy[0], cfg.row_miss_cycles + cfg.row_hit_cycles);
+        assert_eq!(busy[1], cfg.row_miss_cycles);
+        assert!(busy[2..].iter().all(|&b| b == 0));
+        d.reset();
+        assert!(d.channel_busy_cycles().iter().all(|&b| b == 0));
     }
 }
 

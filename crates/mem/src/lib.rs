@@ -22,6 +22,7 @@ mod cache;
 pub mod coalesce;
 mod dram;
 mod shared;
+mod telemetry;
 mod tlb;
 mod vm;
 
@@ -29,5 +30,8 @@ pub use cache::{Cache, CacheStats, Replacement};
 pub use coalesce::{coalesce_warp, coalesce_warp_into, Transaction, TRANSACTION_BYTES};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use shared::{MemTimings, SharedMemorySystem};
+pub use telemetry::{
+    publish_cache_stats, publish_dram_channels, publish_dram_stats, publish_tlb_stats,
+};
 pub use tlb::{Tlb, TlbStats};
 pub use vm::{AllocPolicy, Allocation, MemFault, VirtualMemorySpace, PAGE_SIZE, REGION_SIZE};

@@ -105,6 +105,11 @@ impl SharedMemorySystem {
         self.dram.stats()
     }
 
+    /// The DRAM device (read-only), for per-channel occupancy telemetry.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
     /// Flushes caches/TLB and resets statistics (fresh-context runs).
     pub fn reset(&mut self) {
         self.l2.flush();

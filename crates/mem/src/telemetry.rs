@@ -1,0 +1,94 @@
+//! Telemetry publishers for memory-hierarchy statistics.
+//!
+//! Every helper is prefix-parameterised so the same stats type can be
+//! published for different hierarchy levels (`mem.l1d`, `mem.l2`, …) and
+//! no-ops on a disabled registry.
+
+use crate::cache::CacheStats;
+use crate::dram::{Dram, DramStats};
+use crate::tlb::TlbStats;
+use gpushield_telemetry::Registry;
+
+/// Publishes cache hits/misses as `<prefix>.{hits,misses}` counters.
+pub fn publish_cache_stats(reg: &mut Registry, prefix: &str, s: &CacheStats) {
+    if !reg.enabled() {
+        return;
+    }
+    reg.add_named(&format!("{prefix}.hits"), s.hits);
+    reg.add_named(&format!("{prefix}.misses"), s.misses);
+}
+
+/// Publishes TLB hits/misses as `<prefix>.{hits,misses}` counters.
+pub fn publish_tlb_stats(reg: &mut Registry, prefix: &str, s: &TlbStats) {
+    publish_cache_stats(reg, prefix, s);
+}
+
+/// Publishes DRAM totals as `<prefix>.{requests,row_hits,queue_cycles}`
+/// counters.
+pub fn publish_dram_stats(reg: &mut Registry, prefix: &str, s: &DramStats) {
+    if !reg.enabled() {
+        return;
+    }
+    reg.add_named(&format!("{prefix}.requests"), s.requests);
+    reg.add_named(&format!("{prefix}.row_hits"), s.row_hits);
+    reg.add_named(&format!("{prefix}.queue_cycles"), s.queue_cycles);
+}
+
+/// Publishes per-channel DRAM occupancy: one histogram observation per
+/// channel under `<prefix>.channel_busy_cycles`, plus a
+/// `<prefix>.busy_cycles_total` counter. The histogram's spread across
+/// log2 buckets shows how evenly interleaving loaded the channels.
+pub fn publish_dram_channels(reg: &mut Registry, prefix: &str, dram: &Dram) {
+    if !reg.enabled() {
+        return;
+    }
+    let busy = dram.channel_busy_cycles();
+    let hist = format!("{prefix}.channel_busy_cycles");
+    let mut total = 0u64;
+    for b in busy {
+        reg.observe_named(&hist, b);
+        total += b;
+    }
+    reg.add_named(&format!("{prefix}.busy_cycles_total"), total);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramConfig;
+
+    #[test]
+    fn publishers_accumulate_counters() {
+        let mut reg = Registry::new();
+        let s = CacheStats { hits: 3, misses: 2 };
+        publish_cache_stats(&mut reg, "mem.l1d", &s);
+        publish_cache_stats(&mut reg, "mem.l1d", &s);
+        assert_eq!(reg.value("mem.l1d.hits"), Some(6));
+        assert_eq!(reg.value("mem.l1d.misses"), Some(4));
+    }
+
+    #[test]
+    fn dram_channel_occupancy_publishes_histogram_and_total() {
+        let mut dram = Dram::new(DramConfig::default());
+        dram.access(0, 0);
+        dram.access(256, 0);
+        let mut reg = Registry::new();
+        publish_dram_channels(&mut reg, "mem.dram", &dram);
+        let total = reg.value("mem.dram.busy_cycles_total");
+        assert_eq!(total, Some(2 * DramConfig::default().row_miss_cycles));
+        match reg.lookup("mem.dram.channel_busy_cycles") {
+            Some(gpushield_telemetry::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, DramConfig::default().channels as u64);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = Registry::disabled();
+        publish_cache_stats(&mut reg, "x", &CacheStats::default());
+        publish_dram_stats(&mut reg, "x", &DramStats::default());
+        assert!(reg.is_empty());
+    }
+}

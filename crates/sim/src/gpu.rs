@@ -6,7 +6,7 @@ use crate::config::GpuConfig;
 use crate::fault::{self, FaultKind, FaultSession};
 use crate::guard::{GuardVerdict, MemAccess, MemGuard};
 use crate::launch::{KernelLaunch, SiteCheck};
-use crate::stats::{AbortReason, LaunchReport, RunReport, SimProfile};
+use crate::stats::{self, AbortReason, LaunchReport, RunReport, SimProfile};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::warp::{ExecCtx, SimpleOutcome, Warp};
 use gpushield_isa::{AddrExpr, Instr, MemSpace, ReconvergenceTable, TaggedPtr};
@@ -15,6 +15,7 @@ use gpushield_mem::{
     coalesce_warp_into, Cache, MemFault, Replacement, SharedMemorySystem, Tlb, Transaction,
     VirtualMemorySpace,
 };
+use gpushield_telemetry::{MetricId, Registry};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -352,6 +353,86 @@ impl Gpu {
         st.run()?;
         Ok(st.into_report())
     }
+
+    /// Like [`Gpu::run`], publishing the full telemetry of the run into
+    /// `registry`: scheduler counters and stride-sampled occupancy series
+    /// while running, then launch totals, per-path stall attribution
+    /// (`sim.stall.*`), the hot-path profile (`sim.profile.*` gauges) and
+    /// memory-hierarchy statistics (`mem.*`, including per-channel DRAM
+    /// occupancy) at completion. With `trace`, additionally records the
+    /// bounded event stream exactly as [`Gpu::run_traced`] does — the two
+    /// feeds together are what the Chrome-trace exporter consumes.
+    ///
+    /// Passing a [`Registry::disabled`] registry is behaviourally and
+    /// allocation-identical to [`Gpu::run`]: every hook degenerates to one
+    /// early-returning branch.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::run`].
+    pub fn run_instrumented(
+        &mut self,
+        vm: &mut VirtualMemorySpace,
+        launches: &[KernelLaunch],
+        guard: Option<&mut dyn MemGuard>,
+        registry: &mut Registry,
+        trace: Option<&mut Trace>,
+    ) -> Result<RunReport, RunError> {
+        self.shared.begin_run();
+        let mut st = RunState::new(
+            &self.cfg,
+            vm,
+            &mut self.shared,
+            launches,
+            MultiKernelMode::IntraCore,
+            guard,
+        )?;
+        st.trace = trace;
+        st.telemetry = if registry.enabled() {
+            Some(TeleCtx::new(&mut *registry))
+        } else {
+            None
+        };
+        st.run()?;
+        let report = st.into_report();
+        stats::publish_run_report(registry, &report);
+        gpushield_mem::publish_dram_channels(registry, "mem.dram", self.shared.dram());
+        Ok(report)
+    }
+}
+
+/// Hot-loop telemetry hooks: the registry plus pre-resolved metric
+/// handles, so instrumented runs record in O(1) and uninstrumented runs
+/// pay exactly one `Option` branch per hook site.
+struct TeleCtx<'t> {
+    reg: &'t mut Registry,
+    /// Next cycle at or after which the occupancy series sample fires
+    /// (stride-bucket crossing; robust to event-skip cycle jumps).
+    next_sample: u64,
+    resident_warps: MetricId,
+    ready_warps: MetricId,
+    no_issue_slots: MetricId,
+    idle_skip_cycles: MetricId,
+    visible_stall: MetricId,
+}
+
+impl<'t> TeleCtx<'t> {
+    fn new(reg: &'t mut Registry) -> Self {
+        let resident_warps = reg.series("sim.series.resident_warps");
+        let ready_warps = reg.series("sim.series.ready_warps");
+        let no_issue_slots = reg.counter("sim.sched.no_issue_slots");
+        let idle_skip_cycles = reg.counter("sim.sched.idle_skip_cycles");
+        let visible_stall = reg.histogram("sim.hist.visible_stall_cycles");
+        TeleCtx {
+            reg,
+            next_sample: 0,
+            resident_warps,
+            ready_warps,
+            no_issue_slots,
+            idle_skip_cycles,
+            visible_stall,
+        }
+    }
 }
 
 struct RunState<'c, 'v, 'g, 't> {
@@ -368,6 +449,7 @@ struct RunState<'c, 'v, 'g, 't> {
     rr_cursor: usize,
     trace: Option<&'t mut Trace>,
     fault: Option<&'t mut FaultSession>,
+    telemetry: Option<TeleCtx<'t>>,
     profile: SimProfile,
 }
 
@@ -424,6 +506,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             rr_cursor: 0,
             trace: None,
             fault: None,
+            telemetry: None,
             profile: SimProfile::default(),
         })
     }
@@ -448,6 +531,37 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 kind,
             });
         }
+    }
+
+    /// Samples the occupancy time series on stride-bucket crossings. The
+    /// scheduler's event skip jumps the cycle counter, so sampling keys on
+    /// "has the cycle reached the next stride boundary" rather than exact
+    /// cycle equality — one point per crossed bucket, deterministic in
+    /// simulated time.
+    fn sample_occupancy(&mut self) {
+        let Some(t) = self.telemetry.as_mut() else {
+            return;
+        };
+        if self.cycle < t.next_sample {
+            return;
+        }
+        let stride = t.reg.stride();
+        t.next_sample = (self.cycle / stride + 1) * stride;
+        let mut resident = 0u64;
+        let mut ready = 0u64;
+        for core in &self.cores {
+            for w in &core.warps {
+                if w.done {
+                    continue;
+                }
+                resident += 1;
+                if !w.at_barrier && !w.blocked && w.ready_at <= self.cycle {
+                    ready += 1;
+                }
+            }
+        }
+        t.reg.sample(t.resident_warps, self.cycle, resident);
+        t.reg.sample(t.ready_warps, self.cycle, ready);
     }
 
     fn launch_allowed_on_core(&self, launch_idx: usize, core_idx: usize) -> bool {
@@ -597,6 +711,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             if self.launches.iter().all(|l| l.finished()) {
                 break;
             }
+            if self.telemetry.is_some() {
+                self.sample_occupancy();
+            }
             let mut any_issue = false;
             for core_idx in 0..self.cores.len() {
                 if self.cores[core_idx].next_ready_at > self.cycle {
@@ -613,6 +730,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                             // Nothing issuable: remember exactly when the
                             // next warp wakes so the scans above are skipped
                             // until then.
+                            if let Some(t) = self.telemetry.as_mut() {
+                                t.reg.add(t.no_issue_slots, 1);
+                            }
                             let core = &mut self.cores[core_idx];
                             core.next_ready_at = core
                                 .warps
@@ -649,7 +769,13 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 match next {
                     // Clamp the skip to the watchdog budget so the error
                     // reports the budget cycle, not a far-future wakeup.
-                    Some(n) => self.cycle = n.max(self.cycle + 1).min(self.cfg.max_cycles),
+                    Some(n) => {
+                        let target = n.max(self.cycle + 1).min(self.cfg.max_cycles);
+                        if let Some(t) = self.telemetry.as_mut() {
+                            t.reg.add(t.idle_skip_cycles, target - self.cycle);
+                        }
+                        self.cycle = target;
+                    }
                     None => {
                         // Live warps exist but none can ever become ready.
                         // Distinguish warps parked on the exhausted device
@@ -1111,7 +1237,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 stall = chk.stall_cycles;
                 verdict = chk.verdict;
                 self.profile.bcu_checks += 1;
-                self.launches[li].report.checks_performed += 1;
+                let report = &mut self.launches[li].report;
+                report.checks_performed += 1;
+                report.stall_attribution.record(chk.path, chk.stall_cycles);
             }
         }
 
@@ -1208,6 +1336,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         self.profile.mem_issues += 1;
         self.profile.lsu_transactions += n_txs;
         self.profile.bcu_stall_cycles += stall;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.reg.observe(t.visible_stall, stall);
+        }
         let report = &mut self.launches[li].report;
         report.instructions += 1;
         report.mem_instructions += 1;

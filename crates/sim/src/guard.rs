@@ -54,6 +54,42 @@ pub enum GuardVerdict {
     Squash,
 }
 
+/// Which microarchitectural path resolved a bounds check — the paper's
+/// Fig. 13/14 attribution axis. GPUShield's BCU reports where the region
+/// bounds came from (L1 RCache, L2 RCache, or an RBT fetch from device
+/// memory); software baselines report [`CheckPath::Software`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckPath {
+    /// No bounds metadata consulted (unprotected pointer, or no guard).
+    Unchecked,
+    /// Region bounds found in the per-core L1 RCache.
+    L1RCache,
+    /// L1 RCache miss served by the shared L2 RCache.
+    L2RCache,
+    /// Both RCache levels missed; bounds fetched from the RBT in device
+    /// memory.
+    RbtFetch,
+    /// Type 3 size-embedded pointer: bounds decoded from the pointer
+    /// itself, no table lookup (§5.4).
+    SizeEmbedded,
+    /// Software instrumentation (baseline tools), fixed per-access cost.
+    Software,
+}
+
+impl CheckPath {
+    /// Short stable label used for telemetry metric names and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckPath::Unchecked => "unchecked",
+            CheckPath::L1RCache => "l1_rcache",
+            CheckPath::L2RCache => "l2_rcache",
+            CheckPath::RbtFetch => "rbt_fetch",
+            CheckPath::SizeEmbedded => "size_embedded",
+            CheckPath::Software => "software",
+        }
+    }
+}
+
 /// Result of a guard consultation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GuardCheck {
@@ -62,6 +98,8 @@ pub struct GuardCheck {
     /// Extra LSU-pipeline cycles *visible* to this access after overlapping
     /// with the Dcache path (0 when hidden; Fig. 12).
     pub stall_cycles: u64,
+    /// Which metadata path resolved the check (stall attribution).
+    pub path: CheckPath,
 }
 
 impl GuardCheck {
@@ -70,6 +108,7 @@ impl GuardCheck {
         GuardCheck {
             verdict: GuardVerdict::Allow,
             stall_cycles: 0,
+            path: CheckPath::Unchecked,
         }
     }
 }
@@ -134,5 +173,6 @@ mod tests {
         let c = GuardCheck::allow_free();
         assert_eq!(c.verdict, GuardVerdict::Allow);
         assert_eq!(c.stall_cycles, 0);
+        assert_eq!(c.path, CheckPath::Unchecked);
     }
 }

@@ -1,7 +1,9 @@
 //! Run reports and statistics.
 
+use crate::guard::CheckPath;
 use gpushield_isa::BlockId;
 use gpushield_mem::{CacheStats, DramStats, MemFault, TlbStats};
+use gpushield_telemetry::Registry;
 use std::fmt;
 
 /// Why a launch terminated early.
@@ -71,6 +73,10 @@ pub struct LaunchReport {
     /// Per-site observed address extremes, sorted by site. Empty unless the
     /// run was started via [`crate::Gpu::run_recorded`].
     pub observed_ranges: Vec<ObservedRange>,
+    /// Per-path bounds-check counts and visible stall cycles (the Fig. 13
+    /// attribution axis). Always recorded — plain `u64` increments on an
+    /// already-taken branch, same philosophy as [`SimProfile`].
+    pub stall_attribution: StallAttribution,
 }
 
 impl LaunchReport {
@@ -102,6 +108,123 @@ impl LaunchReport {
     /// True when the launch ran to completion.
     pub fn completed(&self) -> bool {
         self.abort.is_none()
+    }
+}
+
+/// Bounds-check counts and visible stall cycles split by the metadata
+/// path that resolved each check — the simulator-side analogue of the
+/// paper's Fig. 13 overhead attribution. A "count" is one warp-level
+/// guard consultation; a "stall" is the portion of
+/// [`LaunchReport::guard_stall_cycles`] charged to that path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallAttribution {
+    /// Checks resolved by the per-core L1 RCache.
+    pub l1_hits: u64,
+    /// Checks that missed L1 and hit the shared L2 RCache.
+    pub l2_hits: u64,
+    /// Checks that missed both RCaches and fetched the RBT entry from
+    /// device memory.
+    pub rbt_fetches: u64,
+    /// Type 3 size-embedded checks (no table lookup).
+    pub type3_checks: u64,
+    /// Software-instrumentation checks (baseline tools).
+    pub software_checks: u64,
+    /// Consultations that checked nothing (unprotected pointers).
+    pub unchecked: u64,
+    /// Visible stall cycles charged by L1-RCache-hit checks (the
+    /// single-cycle Dcache-hit/RCache-lookup stall of Fig. 12).
+    pub l1_stall_cycles: u64,
+    /// Visible stall cycles charged by L2-RCache-hit checks.
+    pub l2_stall_cycles: u64,
+    /// Visible stall cycles charged by RBT fetches.
+    pub rbt_stall_cycles: u64,
+    /// Visible stall cycles charged by Type 3 checks.
+    pub type3_stall_cycles: u64,
+    /// Visible stall cycles charged by software checks.
+    pub software_stall_cycles: u64,
+}
+
+impl StallAttribution {
+    /// Records one guard consultation outcome.
+    pub fn record(&mut self, path: CheckPath, stall_cycles: u64) {
+        match path {
+            CheckPath::Unchecked => self.unchecked += 1,
+            CheckPath::L1RCache => {
+                self.l1_hits += 1;
+                self.l1_stall_cycles += stall_cycles;
+            }
+            CheckPath::L2RCache => {
+                self.l2_hits += 1;
+                self.l2_stall_cycles += stall_cycles;
+            }
+            CheckPath::RbtFetch => {
+                self.rbt_fetches += 1;
+                self.rbt_stall_cycles += stall_cycles;
+            }
+            CheckPath::SizeEmbedded => {
+                self.type3_checks += 1;
+                self.type3_stall_cycles += stall_cycles;
+            }
+            CheckPath::Software => {
+                self.software_checks += 1;
+                self.software_stall_cycles += stall_cycles;
+            }
+        }
+    }
+
+    /// Accumulates another attribution into this one.
+    pub fn merge(&mut self, other: &StallAttribution) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.rbt_fetches += other.rbt_fetches;
+        self.type3_checks += other.type3_checks;
+        self.software_checks += other.software_checks;
+        self.unchecked += other.unchecked;
+        self.l1_stall_cycles += other.l1_stall_cycles;
+        self.l2_stall_cycles += other.l2_stall_cycles;
+        self.rbt_stall_cycles += other.rbt_stall_cycles;
+        self.type3_stall_cycles += other.type3_stall_cycles;
+        self.software_stall_cycles += other.software_stall_cycles;
+    }
+
+    /// Total guard consultations recorded (all paths, including
+    /// unchecked ones).
+    pub fn consultations(&self) -> u64 {
+        self.l1_hits
+            + self.l2_hits
+            + self.rbt_fetches
+            + self.type3_checks
+            + self.software_checks
+            + self.unchecked
+    }
+
+    /// Total visible stall cycles across all paths — reconciles with
+    /// [`LaunchReport::guard_stall_cycles`].
+    pub fn stall_cycles(&self) -> u64 {
+        self.l1_stall_cycles
+            + self.l2_stall_cycles
+            + self.rbt_stall_cycles
+            + self.type3_stall_cycles
+            + self.software_stall_cycles
+    }
+
+    /// Publishes per-path counters under `<prefix>.<path>.{checks,stall_cycles}`.
+    pub fn publish(&self, reg: &mut Registry, prefix: &str) {
+        if !reg.enabled() {
+            return;
+        }
+        let pairs: [(&str, u64, u64); 5] = [
+            ("l1_rcache", self.l1_hits, self.l1_stall_cycles),
+            ("l2_rcache", self.l2_hits, self.l2_stall_cycles),
+            ("rbt_fetch", self.rbt_fetches, self.rbt_stall_cycles),
+            ("size_embedded", self.type3_checks, self.type3_stall_cycles),
+            ("software", self.software_checks, self.software_stall_cycles),
+        ];
+        for (label, checks, stalls) in pairs {
+            reg.add_named(&format!("{prefix}.{label}.checks"), checks);
+            reg.add_named(&format!("{prefix}.{label}.stall_cycles"), stalls);
+        }
+        reg.add_named(&format!("{prefix}.unchecked.checks"), self.unchecked);
     }
 }
 
@@ -157,6 +280,63 @@ impl SimProfile {
             + self.shared_issues
             + self.barrier_issues
             + self.malloc_issues
+    }
+
+    /// Field-wise difference `self - other` (saturating). Used to carve a
+    /// per-experiment slice out of cumulative process-wide totals.
+    pub fn diff(&self, other: &SimProfile) -> SimProfile {
+        SimProfile {
+            alu_issues: self.alu_issues.saturating_sub(other.alu_issues),
+            mem_issues: self.mem_issues.saturating_sub(other.mem_issues),
+            shared_issues: self.shared_issues.saturating_sub(other.shared_issues),
+            barrier_issues: self.barrier_issues.saturating_sub(other.barrier_issues),
+            malloc_issues: self.malloc_issues.saturating_sub(other.malloc_issues),
+            lsu_transactions: self.lsu_transactions.saturating_sub(other.lsu_transactions),
+            bcu_checks: self.bcu_checks.saturating_sub(other.bcu_checks),
+            bcu_stall_cycles: self.bcu_stall_cycles.saturating_sub(other.bcu_stall_cycles),
+            dram_accesses: self.dram_accesses.saturating_sub(other.dram_accesses),
+            idle_skips: self.idle_skips.saturating_sub(other.idle_skips),
+        }
+    }
+
+    fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("alu_issues", self.alu_issues),
+            ("mem_issues", self.mem_issues),
+            ("shared_issues", self.shared_issues),
+            ("barrier_issues", self.barrier_issues),
+            ("malloc_issues", self.malloc_issues),
+            ("lsu_transactions", self.lsu_transactions),
+            ("bcu_checks", self.bcu_checks),
+            ("bcu_stall_cycles", self.bcu_stall_cycles),
+            ("dram_accesses", self.dram_accesses),
+            ("idle_skips", self.idle_skips),
+        ]
+    }
+
+    /// Publishes every field as a `sim.profile.*` gauge — the single
+    /// source of truth the `throughput` and `profile` bins and the
+    /// per-exhibit `results/<id>.json` telemetry sections all render from.
+    /// Use on an already-merged profile; last write wins.
+    pub fn publish(&self, reg: &mut Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        for (name, v) in self.fields() {
+            reg.set_named(&format!("sim.profile.{name}"), v);
+        }
+    }
+
+    /// Publishes every field as an accumulating `sim.profile.*` counter —
+    /// the form [`publish_run_report`] uses, so instrumenting several
+    /// launches into one registry yields workload totals.
+    pub fn publish_cumulative(&self, reg: &mut Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        for (name, v) in self.fields() {
+            reg.add_named(&format!("sim.profile.{name}"), v);
+        }
     }
 }
 
@@ -258,6 +438,42 @@ impl fmt::Display for RunReport {
         }
         writeln!(f, "  L1D {} | L2 {}", self.l1d, self.l2)
     }
+}
+
+/// Publishes an entire [`RunReport`] into a telemetry registry: launch
+/// totals as `sim.launch.*` counters, per-path stall attribution under
+/// `sim.stall.*`, the hot-path profile as `sim.profile.*` gauges, and the
+/// memory-hierarchy statistics under `mem.*`.
+///
+/// Counters *accumulate* across calls, so publishing several reports into
+/// one registry yields workload-level totals; gauges are last-write-wins.
+pub fn publish_run_report(reg: &mut Registry, report: &RunReport) {
+    if !reg.enabled() {
+        return;
+    }
+    reg.set_named("sim.run.cycles", report.cycles);
+    reg.add_named("sim.run.launches", report.launches.len() as u64);
+    let mut attribution = StallAttribution::default();
+    for l in &report.launches {
+        reg.add_named("sim.launch.instructions", l.instructions);
+        reg.add_named("sim.launch.mem_instructions", l.mem_instructions);
+        reg.add_named("sim.launch.transactions", l.transactions);
+        reg.add_named("sim.launch.checks_performed", l.checks_performed);
+        reg.add_named("sim.launch.checks_skipped", l.checks_skipped);
+        reg.add_named("sim.launch.guard_stall_cycles", l.guard_stall_cycles);
+        reg.add_named("sim.launch.violations_squashed", l.violations_squashed);
+        // Adding 0 still registers the key, keeping the schema stable
+        // between aborting and clean runs.
+        reg.add_named("sim.launch.aborts", u64::from(l.abort.is_some()));
+        attribution.merge(&l.stall_attribution);
+    }
+    attribution.publish(reg, "sim.stall");
+    report.profile.publish_cumulative(reg);
+    gpushield_mem::publish_cache_stats(reg, "mem.l1d", &report.l1d);
+    gpushield_mem::publish_cache_stats(reg, "mem.l2", &report.l2);
+    gpushield_mem::publish_tlb_stats(reg, "mem.l1_tlb", &report.l1_tlb);
+    gpushield_mem::publish_tlb_stats(reg, "mem.l2_tlb", &report.l2_tlb);
+    gpushield_mem::publish_dram_stats(reg, "mem.dram", &report.dram);
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! a long simulation cannot exhaust memory.
 
 use gpushield_isa::{BlockId, MemSpace};
+use gpushield_telemetry::chrome::ChromeTrace;
 use std::fmt;
 
 /// What happened.
@@ -34,6 +35,10 @@ pub enum TraceKind {
     Retire,
     /// The launch aborted (fault or bounds violation).
     Abort,
+    /// Sentinel: the trace hit its capacity here and dropped every later
+    /// event. Always the final event of a truncated trace, so exports can
+    /// render the cut point.
+    Truncated,
 }
 
 /// One trace event.
@@ -81,25 +86,33 @@ impl fmt::Display for TraceEvent {
             TraceKind::Barrier => f.write_str("barrier"),
             TraceKind::Retire => f.write_str("retire"),
             TraceKind::Abort => f.write_str("ABORT"),
+            TraceKind::Truncated => f.write_str("TRACE TRUNCATED"),
         }
     }
 }
 
 /// A bounded event recorder.
+///
+/// At most `capacity` payload events are stored; the first overflowing
+/// push appends one [`TraceKind::Truncated`] sentinel (so a truncated
+/// trace holds `capacity + 1` events, the sentinel always last) and every
+/// later push only increments the dropped-event count.
 #[derive(Debug)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,
     truncated: bool,
+    dropped: u64,
 }
 
 impl Trace {
-    /// Creates a trace holding at most `capacity` events.
+    /// Creates a trace holding at most `capacity` payload events.
     pub fn new(capacity: usize) -> Self {
         Trace {
             events: Vec::new(),
             capacity,
             truncated: false,
+            dropped: 0,
         }
     }
 
@@ -107,7 +120,15 @@ impl Trace {
         if self.events.len() < self.capacity {
             self.events.push(e);
         } else {
-            self.truncated = true;
+            if !self.truncated {
+                self.truncated = true;
+                self.events.push(TraceEvent {
+                    kind: TraceKind::Truncated,
+                    site: None,
+                    ..e
+                });
+            }
+            self.dropped += 1;
         }
     }
 
@@ -121,6 +142,11 @@ impl Trace {
         self.truncated
     }
 
+    /// Number of events dropped after the capacity bound was hit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Renders the whole trace, one event per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -129,9 +155,52 @@ impl Trace {
             out.push('\n');
         }
         if self.truncated {
-            out.push_str("... (truncated)\n");
+            out.push_str(&format!("... (truncated, {} dropped)\n", self.dropped));
         }
         out
+    }
+
+    /// Converts the event stream to Chrome Trace Event Format, mapping
+    /// cores to `pid` and `(wg, warp)` to `tid` so the trace viewer
+    /// groups lanes per-SM, per-warp. Memory instructions become complete
+    /// (`X`) slices whose duration is `transactions + stall` cycles;
+    /// everything else becomes an instant event. The truncation sentinel,
+    /// when present, renders as an instant named `trace-truncated`.
+    pub fn to_chrome(&self) -> ChromeTrace {
+        let mut chrome = ChromeTrace::new();
+        for e in &self.events {
+            let pid = e.core as u32;
+            let tid = ((e.wg as u32) << 6) | (e.warp as u32 & 0x3f);
+            match e.kind {
+                TraceKind::Dispatch { wg } => {
+                    chrome.push_instant("dispatch", "sched", e.cycle, pid, tid);
+                    chrome.arg("wg", &wg.to_string());
+                }
+                TraceKind::Mem {
+                    space,
+                    is_store,
+                    transactions,
+                    stall,
+                } => {
+                    let name = format!("{} {space}", if is_store { "st" } else { "ld" });
+                    let dur = transactions as u64 + stall as u64;
+                    chrome.push_complete(&name, "mem", e.cycle, dur, pid, tid);
+                    chrome.arg("transactions", &transactions.to_string());
+                    chrome.arg("stall", &stall.to_string());
+                    if let Some((b, i)) = e.site {
+                        chrome.arg("site", &format!("{b}:{i}"));
+                    }
+                }
+                TraceKind::Barrier => chrome.push_instant("barrier", "sched", e.cycle, pid, tid),
+                TraceKind::Retire => chrome.push_instant("retire", "sched", e.cycle, pid, tid),
+                TraceKind::Abort => chrome.push_instant("abort", "sched", e.cycle, pid, tid),
+                TraceKind::Truncated => {
+                    chrome.push_instant("trace-truncated", "trace", e.cycle, pid, tid);
+                    chrome.arg("dropped", &self.dropped.to_string());
+                }
+            }
+        }
+        chrome
     }
 }
 
@@ -139,22 +208,84 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core: 0,
+            launch: 0,
+            wg: 0,
+            warp: 0,
+            site: None,
+            kind: TraceKind::Barrier,
+        }
+    }
+
     #[test]
     fn capacity_bound_is_enforced() {
         let mut t = Trace::new(2);
         for i in 0..5 {
-            t.push(TraceEvent {
-                cycle: i,
-                core: 0,
-                launch: 0,
-                wg: 0,
-                warp: 0,
-                site: None,
-                kind: TraceKind::Barrier,
-            });
+            t.push(ev(i));
         }
-        assert_eq!(t.events().len(), 2);
+        // 2 payload events + 1 truncation sentinel; 3 drops counted.
+        assert_eq!(t.events().len(), 3);
         assert!(t.truncated());
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[2].kind, TraceKind::Truncated);
+    }
+
+    #[test]
+    fn capacity_holds_under_event_storm() {
+        // A storm three orders of magnitude over capacity: the bound, the
+        // flag, the drop count and the sentinel position must all hold.
+        let cap = 64;
+        let mut t = Trace::new(cap);
+        let storm = 100_000u64;
+        for i in 0..storm {
+            t.push(ev(i));
+        }
+        assert_eq!(t.events().len(), cap + 1);
+        assert!(t.truncated());
+        assert_eq!(t.dropped(), storm - cap as u64);
+        let last = t.events().last().copied();
+        assert!(matches!(
+            last,
+            Some(TraceEvent {
+                kind: TraceKind::Truncated,
+                ..
+            })
+        ));
+        // The sentinel timestamp is the first dropped event's cycle.
+        assert_eq!(t.events()[cap].cycle, cap as u64);
+        // Payload events before the sentinel are untouched.
+        assert!(t.events()[..cap]
+            .iter()
+            .all(|e| e.kind == TraceKind::Barrier));
+        let r = t.render();
+        assert!(r.contains(&format!("(truncated, {} dropped)", storm - cap as u64)));
+        assert!(r.contains("TRACE TRUNCATED"));
+    }
+
+    #[test]
+    fn untruncated_trace_has_no_sentinel() {
+        let mut t = Trace::new(4);
+        t.push(ev(0));
+        t.push(ev(1));
+        assert!(!t.truncated());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.events().iter().all(|e| e.kind != TraceKind::Truncated));
+        assert!(!t.render().contains("truncated"));
+    }
+
+    #[test]
+    fn chrome_export_renders_cut_point() {
+        let mut t = Trace::new(1);
+        for i in 0..3 {
+            t.push(ev(i));
+        }
+        let chrome = t.to_chrome();
+        assert_eq!(chrome.len(), 2);
+        assert_eq!(chrome.events[1].name, "trace-truncated");
+        assert!(chrome.render().contains("\"dropped\": \"2\""));
     }
 
     #[test]

@@ -1,0 +1,578 @@
+//! Unified metrics registry for GPUShield, dependency-free and
+//! **zero-overhead when disabled**.
+//!
+//! The paper's evaluation (Fig. 13/14) is an *attribution* argument —
+//! overhead is explained by which microarchitectural path each bounds
+//! check took, not by end-to-end totals alone. This crate is the
+//! substrate every layer reports through: the simulator's scheduler,
+//! LSU and BCU, the memory hierarchy, the driver's metadata paths and
+//! the compiler's verify passes all publish into one [`Registry`].
+//!
+//! Four metric kinds cover the needs of a timing simulator:
+//!
+//! * **Counters** — monotonic `u64` event counts (instructions issued,
+//!   RBT fetches, …).
+//! * **Gauges** — last-write-wins values (end-of-run profile numbers,
+//!   configuration echoes).
+//! * **Histograms** — log2-bucketed distributions (visible stall cycles
+//!   per access, DRAM channel busy cycles). Bucket 0 holds exact zeros;
+//!   bucket `1 + floor(log2 v)` holds `v ≥ 1`.
+//! * **Time series** — cycle-sampled values with a **fixed sampling
+//!   stride**: at most one point per stride bucket, keyed to simulated
+//!   cycles. Because simulated cycles are deterministic, series output
+//!   is byte-identical across `--jobs` and host machines.
+//!
+//! # Determinism
+//!
+//! Everything the registry records is a function of simulated state, and
+//! [`Registry::render_json`] emits metrics sorted by name, so rendered
+//! output is reproducible. Wall-clock values (e.g. compiler pass timing)
+//! may be stored too — callers must keep those out of byte-compared
+//! artefacts; the JSON *key set* stays deterministic either way, which
+//! is what the CI schema fixture checks.
+//!
+//! # Zero overhead when disabled
+//!
+//! A [`Registry::disabled`] registry never allocates: registration
+//! returns the sentinel [`MetricId::NONE`] without interning the name,
+//! and every recording operation early-returns. The hot-path contract is
+//! a single well-predicted branch, verified by the allocation-counting
+//! test in `tests/alloc_profile.rs` at the workspace root.
+
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+
+use std::collections::BTreeMap;
+
+/// Default sampling stride for time series, in simulated cycles.
+pub const DEFAULT_STRIDE: u64 = 1024;
+
+/// Default bound on stored points per time series.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+/// Number of log2 histogram buckets: bucket 0 for exact zeros, then one
+/// bucket per power of two up to `2^63`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Handle to a registered metric. Obtained once (outside the hot loop)
+/// and used for O(1) recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(usize);
+
+impl MetricId {
+    /// The no-op handle handed out by a disabled registry. All recording
+    /// operations on it return immediately.
+    pub const NONE: MetricId = MetricId(usize::MAX);
+
+    /// True when this handle records nowhere.
+    pub fn is_none(&self) -> bool {
+        self.0 == usize::MAX
+    }
+}
+
+/// A log2-bucketed distribution with exact count and sum.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// `buckets[0]` counts zeros; `buckets[1 + floor(log2 v)]` counts
+    /// `v ≥ 1`.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            1 + (63 - value.leading_zeros() as usize)
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+}
+
+/// A stride-sampled time series over simulated cycles.
+///
+/// At most one point is stored per stride bucket (`cycle / stride`), so
+/// re-sampling within a bucket is a no-op and event-skip cycle jumps in
+/// the simulator simply land in a later bucket. Storage is bounded by a
+/// fixed capacity; once full the series stops recording and sets
+/// `truncated`.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Sampling stride in cycles.
+    pub stride: u64,
+    /// `(cycle, value)` points in sampling order.
+    pub points: Vec<(u64, u64)>,
+    /// True when the capacity bound dropped at least one sample.
+    pub truncated: bool,
+    capacity: usize,
+    last_bucket: Option<u64>,
+}
+
+impl Series {
+    fn new(stride: u64, capacity: usize) -> Self {
+        Series {
+            stride: stride.max(1),
+            points: Vec::new(),
+            truncated: false,
+            capacity,
+            last_bucket: None,
+        }
+    }
+
+    fn sample(&mut self, cycle: u64, value: u64) {
+        let bucket = cycle / self.stride;
+        if self.last_bucket == Some(bucket) {
+            return;
+        }
+        self.last_bucket = Some(bucket);
+        if self.points.len() < self.capacity {
+            self.points.push((cycle, value));
+        } else {
+            self.truncated = true;
+        }
+    }
+}
+
+/// The value slot of one registered metric.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(u64),
+    /// Log2-bucketed distribution.
+    Histogram(Histogram),
+    /// Stride-sampled time series.
+    Series(Series),
+}
+
+struct Metric {
+    name: String,
+    value: MetricValue,
+}
+
+/// The metrics registry. See the crate docs for the design contract.
+pub struct Registry {
+    enabled: bool,
+    stride: u64,
+    series_capacity: usize,
+    metrics: Vec<Metric>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry with the default series stride.
+    pub fn new() -> Self {
+        Registry::with_stride(DEFAULT_STRIDE)
+    }
+
+    /// An enabled registry sampling time series every `stride` cycles.
+    pub fn with_stride(stride: u64) -> Self {
+        Registry {
+            enabled: true,
+            stride: stride.max(1),
+            series_capacity: DEFAULT_SERIES_CAPACITY,
+            metrics: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// A disabled registry: never allocates, every operation is a no-op.
+    pub fn disabled() -> Self {
+        Registry {
+            enabled: false,
+            stride: DEFAULT_STRIDE,
+            series_capacity: DEFAULT_SERIES_CAPACITY,
+            metrics: Vec::new(),
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The time-series sampling stride in cycles.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    fn register(&mut self, name: &str, make: impl FnOnce(&Self) -> MetricValue) -> MetricId {
+        if !self.enabled {
+            return MetricId::NONE;
+        }
+        if let Some(&i) = self.index.get(name) {
+            return MetricId(i);
+        }
+        let value = make(self);
+        let i = self.metrics.len();
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value,
+        });
+        self.index.insert(name.to_string(), i);
+        MetricId(i)
+    }
+
+    /// Registers (or looks up) a monotonic counter.
+    pub fn counter(&mut self, name: &str) -> MetricId {
+        self.register(name, |_| MetricValue::Counter(0))
+    }
+
+    /// Registers (or looks up) a gauge.
+    pub fn gauge(&mut self, name: &str) -> MetricId {
+        self.register(name, |_| MetricValue::Gauge(0))
+    }
+
+    /// Registers (or looks up) a log2 histogram.
+    pub fn histogram(&mut self, name: &str) -> MetricId {
+        self.register(name, |_| MetricValue::Histogram(Histogram::new()))
+    }
+
+    /// Registers (or looks up) a stride-sampled time series.
+    pub fn series(&mut self, name: &str) -> MetricId {
+        self.register(name, |r| {
+            MetricValue::Series(Series::new(r.stride, r.series_capacity))
+        })
+    }
+
+    /// Adds `delta` to a counter. No-op for [`MetricId::NONE`] or a
+    /// non-counter metric.
+    pub fn add(&mut self, id: MetricId, delta: u64) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(MetricValue::Counter(c)) = self.metrics.get_mut(id.0).map(|m| &mut m.value) {
+            *c += delta;
+        }
+    }
+
+    /// Sets a gauge to `value`. No-op for [`MetricId::NONE`] or a
+    /// non-gauge metric.
+    pub fn set(&mut self, id: MetricId, value: u64) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(MetricValue::Gauge(g)) = self.metrics.get_mut(id.0).map(|m| &mut m.value) {
+            *g = value;
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: MetricId, value: u64) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(MetricValue::Histogram(h)) = self.metrics.get_mut(id.0).map(|m| &mut m.value) {
+            h.observe(value);
+        }
+    }
+
+    /// Samples a time-series point at `cycle`. At most one point per
+    /// stride bucket is kept.
+    pub fn sample(&mut self, id: MetricId, cycle: u64, value: u64) {
+        if id.is_none() {
+            return;
+        }
+        if let Some(MetricValue::Series(s)) = self.metrics.get_mut(id.0).map(|m| &mut m.value) {
+            s.sample(cycle, value);
+        }
+    }
+
+    /// Convenience for cold paths: register-or-lookup then add.
+    pub fn add_named(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let id = self.counter(name);
+        self.add(id, delta);
+    }
+
+    /// Convenience for cold paths: register-or-lookup then set.
+    pub fn set_named(&mut self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let id = self.gauge(name);
+        self.set(id, value);
+    }
+
+    /// Convenience for cold paths: register-or-lookup then observe.
+    pub fn observe_named(&mut self, name: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let id = self.histogram(name);
+        self.observe(id, value);
+    }
+
+    /// The current value of a counter or gauge, if registered.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        match self.lookup(name)? {
+            MetricValue::Counter(c) => Some(*c),
+            MetricValue::Gauge(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The full value slot of a metric, if registered.
+    pub fn lookup(&self, name: &str) -> Option<&MetricValue> {
+        let &i = self.index.get(name)?;
+        Some(&self.metrics[i].value)
+    }
+
+    /// Registered metric names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.index.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders every metric as a JSON object, keys sorted by metric name.
+    ///
+    /// Output shape per kind:
+    /// `{"type": "counter", "value": N}`,
+    /// `{"type": "gauge", "value": N}`,
+    /// `{"type": "histogram", "count": N, "sum": N, "buckets": [[i, n], ...]}`
+    /// (non-empty buckets only),
+    /// `{"type": "series", "stride": N, "truncated": B, "points": [[c, v], ...]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for &i in self.index.values() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let m = &self.metrics[i];
+            out.push_str("  ");
+            push_json_string(&mut out, &m.name);
+            out.push_str(": ");
+            render_value(&mut out, &m.value);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn render_value(out: &mut String, v: &MetricValue) {
+    use std::fmt::Write as _;
+    match v {
+        MetricValue::Counter(c) => {
+            let _ = write!(out, "{{\"type\": \"counter\", \"value\": {c}}}");
+        }
+        MetricValue::Gauge(g) => {
+            let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {g}}}");
+        }
+        MetricValue::Histogram(h) => {
+            let _ = write!(
+                out,
+                "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                h.count, h.sum
+            );
+            let mut first = true;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "[{i}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        MetricValue::Series(s) => {
+            let _ = write!(
+                out,
+                "{{\"type\": \"series\", \"stride\": {}, \"truncated\": {}, \"points\": [",
+                s.stride, s.truncated
+            );
+            let mut first = true;
+            for &(c, v) in &s.points {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "[{c}, {v}]");
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let mut r = Registry::new();
+        let c = r.counter("sim.instructions");
+        r.add(c, 5);
+        r.add(c, 7);
+        let g = r.gauge("sim.cores");
+        r.set(g, 3);
+        r.set(g, 4);
+        assert_eq!(r.value("sim.instructions"), Some(12));
+        assert_eq!(r.value("sim.cores"), Some(4));
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let mut r = Registry::new();
+        let h = r.histogram("stalls");
+        for v in [0, 1, 2, 3, 4, 1000] {
+            r.observe(h, v);
+        }
+        match r.lookup("stalls") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 6);
+                assert_eq!(h.sum, 1010);
+                assert_eq!(h.buckets[0], 1);
+                assert_eq!(h.buckets[2], 2);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn series_keeps_one_point_per_stride_bucket_and_bounds_storage() {
+        let mut r = Registry::with_stride(10);
+        let s = r.series("warps");
+        r.sample(s, 0, 1);
+        r.sample(s, 3, 2); // same bucket: dropped
+        r.sample(s, 10, 3);
+        r.sample(s, 95, 4); // jump over buckets is fine
+        match r.lookup("warps") {
+            Some(MetricValue::Series(s)) => {
+                assert_eq!(s.points, vec![(0, 1), (10, 3), (95, 4)]);
+                assert!(!s.truncated);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn series_truncates_at_capacity() {
+        let mut r = Registry::with_stride(1);
+        r.series_capacity = 4;
+        let s = r.series("v");
+        for c in 0..10 {
+            r.sample(s, c, c);
+        }
+        match r.lookup("v") {
+            Some(MetricValue::Series(s)) => {
+                assert_eq!(s.points.len(), 4);
+                assert!(s.truncated);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_registry_is_inert_and_allocation_free() {
+        let mut r = Registry::disabled();
+        let c = r.counter("x");
+        assert!(c.is_none());
+        r.add(c, 1);
+        r.add_named("y", 1);
+        r.set_named("z", 1);
+        r.observe_named("w", 1);
+        r.sample(MetricId::NONE, 0, 0);
+        assert!(r.is_empty());
+        assert_eq!(r.value("x"), None);
+        assert_eq!(r.render_json(), "{\n\n}\n");
+    }
+
+    #[test]
+    fn render_json_is_sorted_and_stable() {
+        let mut r = Registry::new();
+        r.add_named("b.count", 2);
+        r.add_named("a.count", 1);
+        r.set_named("c.gauge", 3);
+        let j = r.render_json();
+        let a = j.find("a.count").unwrap();
+        let b = j.find("b.count").unwrap();
+        let c = j.find("c.gauge").unwrap();
+        assert!(a < b && b < c, "keys not sorted: {j}");
+        assert_eq!(j, r.render_json());
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

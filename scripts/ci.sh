@@ -63,6 +63,24 @@ trap 'rm -rf "$out"' EXIT
 test -s "$out/fig1.txt"
 test -s "$out/fig1.json"
 
+echo "== telemetry schema gate"
+# The registry key set is the machine-readable surface downstream tooling
+# parses; the fixture pins the names (values are free to drift). A
+# mismatch means a metric was renamed/removed without regenerating
+# tests/golden/telemetry_schema.json.
+./target/release/profile --check-schema tests/golden/telemetry_schema.json
+
+if [[ "${CI_PERF:-1}" == "1" ]]; then
+    echo "== stall-attribution exhibit determinism (CI_PERF=0 to skip)"
+    # The Fig. 13-analogue table must be byte-identical regardless of the
+    # fan-out width — results merge in submission order, never arrival
+    # order.
+    ./target/release/experiments profile "$out" --jobs 1
+    mv "$out/profile.txt" "$out/profile.j1.txt"
+    ./target/release/experiments profile "$out" --jobs 4
+    cmp "$out/profile.j1.txt" "$out/profile.txt"
+fi
+
 if [[ "${CI_PERF:-1}" == "1" ]]; then
     echo "== fault-resilience smoke run (CI_PERF=0 to skip)"
     # The injected-fault sweep must classify every trial and terminate

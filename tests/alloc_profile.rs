@@ -73,3 +73,44 @@ fn hot_path_allocations_per_kilocycle_stay_bounded() {
         r.cycles
     );
 }
+
+/// The telemetry disabled path costs nothing: running through the
+/// instrumented entry point with a [`Registry::disabled`] registry must
+/// satisfy the same allocation bound as the plain hot-path run above —
+/// registration returns `MetricId::NONE` without allocating and every
+/// recording hook degenerates to one early-returning branch.
+#[test]
+fn disabled_telemetry_keeps_the_hot_path_allocation_free() {
+    use gpushield::Registry;
+    use gpushield_bench::adapter::SystemHost;
+    use gpushield_bench::runner::{config, Protection, Target};
+    use gpushield_workloads::by_name;
+
+    let w = by_name("streamcluster").expect("streamcluster registered");
+    let run = || {
+        let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_lat(1, 3)));
+        host.attach_registry(Registry::disabled());
+        w.run(&mut host);
+        host
+    };
+
+    // Warm-up run, as in the plain-path test.
+    let warm = run();
+    assert!(warm.total_cycles() > 0);
+
+    let before = allocs();
+    let mut host = run();
+    let during = allocs() - before;
+
+    let reg = host.take_registry().expect("registry attached");
+    assert!(!reg.enabled());
+    assert!(reg.is_empty(), "a disabled registry must register nothing");
+
+    let cycles = host.total_cycles();
+    let per_kilocycle = during as f64 * 1000.0 / cycles as f64;
+    assert!(
+        per_kilocycle < 150.0,
+        "disabled-telemetry path regressed to {per_kilocycle:.1} allocations \
+         per kilocycle ({during} allocations over {cycles} cycles)"
+    );
+}

@@ -1,0 +1,164 @@
+//! Counter-consistency invariants: the telemetry registry, the
+//! [`LaunchReport`] totals, and the per-path [`StallAttribution`] all
+//! describe the same run, so they must reconcile exactly — a drifting
+//! counter means one of the feeds lost or double-counted events.
+
+use gpushield::Registry;
+use gpushield_bench::adapter::SystemHost;
+use gpushield_bench::runner::{config, Protection, Target};
+use gpushield_sim::StallAttribution;
+use gpushield_workloads::by_name;
+
+/// Runs `name` instrumented under default GPUShield and returns the host
+/// (with its reports) and the populated registry.
+fn instrumented(name: &str) -> (SystemHost, Registry) {
+    let w = by_name(name).expect("workload registered");
+    let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
+    host.attach_registry(Registry::new());
+    w.run(&mut host);
+    let reg = host.take_registry().expect("registry attached");
+    (host, reg)
+}
+
+#[test]
+fn registry_counters_reconcile_with_launch_reports() {
+    let (host, reg) = instrumented("vectoradd");
+    let launches: Vec<_> = host
+        .reports
+        .iter()
+        .flat_map(|r| r.launches.iter())
+        .collect();
+    assert!(!launches.is_empty());
+
+    let total =
+        |f: fn(&gpushield_sim::LaunchReport) -> u64| -> u64 { launches.iter().map(|l| f(l)).sum() };
+    assert_eq!(
+        reg.value("sim.run.launches"),
+        Some(launches.len() as u64),
+        "every launch publishes itself exactly once"
+    );
+    assert_eq!(
+        reg.value("sim.launch.instructions"),
+        Some(total(|l| l.instructions))
+    );
+    assert_eq!(
+        reg.value("sim.launch.mem_instructions"),
+        Some(total(|l| l.mem_instructions))
+    );
+    assert_eq!(
+        reg.value("sim.launch.transactions"),
+        Some(total(|l| l.transactions))
+    );
+    assert_eq!(
+        reg.value("sim.launch.checks_performed"),
+        Some(total(|l| l.checks_performed))
+    );
+    assert_eq!(
+        reg.value("sim.launch.checks_skipped"),
+        Some(total(|l| l.checks_skipped))
+    );
+    assert_eq!(
+        reg.value("sim.launch.guard_stall_cycles"),
+        Some(total(|l| l.guard_stall_cycles))
+    );
+    assert_eq!(reg.value("sim.launch.aborts"), Some(0));
+}
+
+#[test]
+fn stall_attribution_reconciles_with_launch_totals() {
+    // A mix of workloads so every quantity is exercised with checks both
+    // performed and skipped.
+    for name in ["vectoradd", "gaussian", "backprop"] {
+        let (host, reg) = instrumented(name);
+        let mut attribution = StallAttribution::default();
+        let mut checks_performed = 0u64;
+        let mut checks_skipped = 0u64;
+        let mut mem_instructions = 0u64;
+        let mut instructions = 0u64;
+        let mut guard_stall_cycles = 0u64;
+        for l in host.reports.iter().flat_map(|r| r.launches.iter()) {
+            attribution.merge(&l.stall_attribution);
+            checks_performed += l.checks_performed;
+            checks_skipped += l.checks_skipped;
+            mem_instructions += l.mem_instructions;
+            instructions += l.instructions;
+            guard_stall_cycles += l.guard_stall_cycles;
+        }
+        // Every performed check was attributed to exactly one path.
+        assert_eq!(
+            checks_performed,
+            attribution.consultations(),
+            "{name}: checks_performed vs attribution consultations"
+        );
+        // Every visible stall cycle was attributed to exactly one path.
+        assert_eq!(
+            guard_stall_cycles,
+            attribution.stall_cycles(),
+            "{name}: guard_stall_cycles vs attribution stall cycles"
+        );
+        // Structural sanity: a warp executes at most one check decision
+        // per memory instruction, and memory instructions are a subset of
+        // all instructions.
+        assert!(instructions >= mem_instructions, "{name}");
+        assert!(
+            checks_performed + checks_skipped <= mem_instructions,
+            "{name}: at most one check decision per memory instruction"
+        );
+        // The registry's per-path counters agree with the merged struct.
+        assert_eq!(
+            reg.value("sim.stall.l1_rcache.checks"),
+            Some(attribution.l1_hits),
+            "{name}"
+        );
+        assert_eq!(
+            reg.value("sim.stall.l2_rcache.checks"),
+            Some(attribution.l2_hits),
+            "{name}"
+        );
+        assert_eq!(
+            reg.value("sim.stall.rbt_fetch.checks"),
+            Some(attribution.rbt_fetches),
+            "{name}"
+        );
+        assert_eq!(
+            reg.value("sim.stall.l1_rcache.stall_cycles"),
+            Some(attribution.l1_stall_cycles),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn profile_gauges_are_the_single_source_of_truth() {
+    let (host, reg) = instrumented("vectoradd");
+    let mut profile = gpushield_sim::SimProfile::default();
+    for r in &host.reports {
+        profile.merge(&r.profile);
+    }
+    // `publish_run_report` accumulates each run's profile as counters,
+    // so after the last launch the registry holds the workload totals —
+    // the same numbers `SimProfile::merge` produces from the reports.
+    assert_eq!(
+        reg.value("sim.profile.bcu_checks"),
+        Some(profile.bcu_checks)
+    );
+    assert_eq!(
+        reg.value("sim.profile.bcu_stall_cycles"),
+        Some(profile.bcu_stall_cycles)
+    );
+    assert_eq!(
+        reg.value("sim.profile.mem_issues"),
+        Some(profile.mem_issues)
+    );
+}
+
+#[test]
+fn disabled_registry_stays_empty_through_a_full_run() {
+    let w = by_name("vectoradd").expect("vectoradd registered");
+    let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
+    host.attach_registry(Registry::disabled());
+    w.run(&mut host);
+    let reg = host.take_registry().expect("registry attached");
+    assert!(reg.is_empty());
+    assert_eq!(reg.value("sim.launch.instructions"), None);
+}
