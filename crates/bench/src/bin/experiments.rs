@@ -37,13 +37,22 @@ const DEFAULT_TIMEOUT_SECS: u64 = 900;
 /// object, with the telemetry registry as the single source of truth for
 /// metric names and shapes: the [`SimProfile`] delta is published as
 /// `sim.profile.*` gauges and read back from the registry's own renderer.
+/// Serving exhibits additionally stash `driver.tenant.*` gauges (see
+/// [`gpushield_bench::serving::stash_telemetry`]); the stash is drained
+/// here so the per-tenant accounting lands in the same JSON document.
 fn telemetry_json(sim: Option<&(u64, SimProfile)>) -> Json {
-    let Some((instrs, prof)) = sim else {
+    let stashed = gpushield_bench::serving::take_stashed_telemetry();
+    if sim.is_none() && stashed.is_empty() {
         return Json::obj();
-    };
+    }
     let mut reg = gpushield_telemetry::Registry::new();
-    reg.set_named("sim.instructions", *instrs);
-    prof.publish(&mut reg);
+    if let Some((instrs, prof)) = sim {
+        reg.set_named("sim.instructions", *instrs);
+        prof.publish(&mut reg);
+    }
+    for (name, v) in &stashed {
+        reg.set_named(name, *v);
+    }
     Json::parse(&reg.render_json()).expect("registry renders valid JSON")
 }
 

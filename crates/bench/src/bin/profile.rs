@@ -32,7 +32,8 @@ const TRACE_CAPACITY: usize = 200_000;
 
 /// Runs the reference instrumented sweep and returns the populated
 /// registry: `vectoradd` under default GPUShield (all `sim.*`, `mem.*`
-/// and `driver.*` metrics) plus its verifier sweep (`compiler.pass.*`).
+/// and `driver.*` metrics), its verifier sweep (`compiler.pass.*`), and
+/// the tenant table's aggregate gauges (`driver.tenant.*`).
 fn reference_registry() -> Registry {
     let w = by_name("vectoradd").expect("vectoradd registered");
     let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
@@ -40,6 +41,7 @@ fn reference_registry() -> Registry {
     w.run(&mut host);
     let mut reg = host.take_registry().expect("registry attached");
     verify_workload_telemetry(&w, &mut reg);
+    gpushield::TenantTable::with_slices([(1u16, 2u16, 1u64)]).publish_telemetry(&mut reg);
     reg
 }
 

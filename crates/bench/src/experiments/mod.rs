@@ -9,6 +9,7 @@ mod perf;
 mod profile;
 pub mod resilience;
 mod studies;
+mod tenancy;
 mod tools;
 mod verifier;
 
@@ -137,6 +138,16 @@ pub fn all() -> Vec<Experiment> {
             title: "Bounds-check stall attribution by metadata path (Fig. 13 analogue)",
             run: profile::profile,
         },
+        Experiment {
+            id: "multi_tenant",
+            title: "Multi-tenant serving: isolation domains, ID churn, co-located contention",
+            run: tenancy::multi_tenant,
+        },
+        Experiment {
+            id: "qos_fairness",
+            title: "Weighted-fair admission across tenants under equal demand",
+            run: tenancy::qos_fairness,
+        },
     ]
 }
 
@@ -179,6 +190,8 @@ mod tests {
                 "static_analysis",
                 "bat_soundness",
                 "profile",
+                "multi_tenant",
+                "qos_fairness",
             ]
         );
     }

@@ -5,6 +5,7 @@
 pub mod adapter;
 pub mod experiments;
 pub mod runner;
+pub mod serving;
 pub mod verifysweep;
 
 pub mod microbench;

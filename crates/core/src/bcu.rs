@@ -5,7 +5,7 @@
 
 use crate::rcache::{L1RCache, L2RCache};
 use gpushield_driver::{decrypt_id, read_entry, BoundsEntry, ShieldSetup};
-use gpushield_isa::{BlockId, PtrClass};
+use gpushield_isa::{BlockId, PtrClass, SiteCheck};
 use gpushield_mem::VirtualMemorySpace;
 use gpushield_sim::{CheckPath, GuardCheck, GuardVerdict, MemAccess, MemGuard};
 use std::collections::HashMap;
@@ -39,6 +39,15 @@ pub struct BcuConfig {
     /// then performs `active_lanes` serialized comparisons per access, and
     /// the exposed stall grows accordingly.
     pub per_thread_checks: bool,
+    /// Multi-tenant hardening: reject Type 1 (unprotected) and Type 3
+    /// (size-embedded) pointers at sites the compiler classified as
+    /// `Runtime`. Under a serving configuration (analysis off, Type 3
+    /// off) every legitimate runtime-checked pointer is Region-class, so
+    /// a differently-classed pointer at such a site can only be a forged
+    /// value smuggled in through data (e.g. a raw victim VA loaded from
+    /// the attacker's own buffer). Off by default: single-tenant configs
+    /// legitimately mix classes at runtime sites.
+    pub strict_runtime_tags: bool,
 }
 
 impl Default for BcuConfig {
@@ -52,6 +61,7 @@ impl Default for BcuConfig {
             lsu_overlap: 4,
             precise_faults: true,
             per_thread_checks: false,
+            strict_runtime_tags: false,
         }
     }
 }
@@ -68,6 +78,10 @@ pub enum ViolationKind {
     BadRegion,
     /// The kernel was never registered with the BCU (driver bug or attack).
     UnknownKernel,
+    /// A non-Region pointer reached a site the compiler classified as
+    /// `Runtime` while [`BcuConfig::strict_runtime_tags`] is on — the
+    /// signature of a pointer forged wholesale from data.
+    ForgedPointer,
 }
 
 impl fmt::Display for ViolationKind {
@@ -77,6 +91,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ReadOnly => "write to read-only region",
             ViolationKind::BadRegion => "invalid or forged region ID",
             ViolationKind::UnknownKernel => "unregistered kernel",
+            ViolationKind::ForgedPointer => "forged pointer class at runtime site",
         };
         f.write_str(s)
     }
@@ -116,6 +131,11 @@ pub struct BcuStats {
     pub violations: u64,
     /// Total visible stall cycles charged.
     pub stall_cycles: u64,
+    /// RCache fills (either level) that displaced a resident entry.
+    pub rcache_evictions: u64,
+    /// Displacements where victim and newcomer belonged to different
+    /// kernels — the cross-tenant contention signal under co-location.
+    pub cross_kernel_evictions: u64,
 }
 
 impl BcuStats {
@@ -278,12 +298,36 @@ impl MemGuard for Bcu {
     fn check(&mut self, access: &MemAccess, vm: &VirtualMemorySpace) -> GuardCheck {
         match access.pointer.class() {
             PtrClass::Unprotected => {
+                if self.cfg.strict_runtime_tags && access.site_check == SiteCheck::Runtime {
+                    // A runtime site should only ever see Region pointers
+                    // under the serving config; an untagged value here was
+                    // forged from data, not issued by the driver.
+                    self.stats.checks += 1;
+                    return self.violate(
+                        access,
+                        ViolationKind::ForgedPointer,
+                        0,
+                        CheckPath::Unchecked,
+                    );
+                }
                 // Type 1: static analysis already proved the access (or the
                 // shield never tagged this pointer). No work, no stall.
                 self.stats.unprotected += 1;
                 GuardCheck::allow_free()
             }
             PtrClass::SizeEmbedded => {
+                if self.cfg.strict_runtime_tags && access.site_check == SiteCheck::Runtime {
+                    // The attacker controls the embedded log2 size, so a
+                    // crafted Type 3 value would bound-check against bounds
+                    // of its own choosing — reject the class outright.
+                    self.stats.checks += 1;
+                    return self.violate(
+                        access,
+                        ViolationKind::ForgedPointer,
+                        0,
+                        CheckPath::Unchecked,
+                    );
+                }
                 // Type 3: compare against the pointer-embedded log2 size —
                 // no RCache, no RBT (§5.3.3).
                 self.stats.checks += 1;
@@ -327,7 +371,12 @@ impl MemGuard for Bcu {
                     (e, 1 + self.cfg.l1_latency + 1, CheckPath::L1RCache)
                 } else if let Some(e) = core.l2.probe(tag) {
                     self.stats.l2_hits += 1;
-                    core.l1.fill(tag, e);
+                    if let Some(victim) = core.l1.fill(tag, e) {
+                        self.stats.rcache_evictions += 1;
+                        if victim.0 != tag.0 {
+                            self.stats.cross_kernel_evictions += 1;
+                        }
+                    }
                     (
                         e,
                         1 + self.cfg.l1_latency + self.cfg.l2_latency + 1,
@@ -344,8 +393,15 @@ impl MemGuard for Bcu {
                         valid: false,
                         ..BoundsEntry::default()
                     });
-                    core.l2.fill(tag, e);
-                    core.l1.fill(tag, e);
+                    for victim in [core.l2.fill(tag, e), core.l1.fill(tag, e)]
+                        .into_iter()
+                        .flatten()
+                    {
+                        self.stats.rcache_evictions += 1;
+                        if victim.0 != tag.0 {
+                            self.stats.cross_kernel_evictions += 1;
+                        }
+                    }
                     (
                         e,
                         1 + self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.rbt_fetch_penalty,
@@ -610,6 +666,114 @@ mod tests {
         let r = bcu.check(&access(ptr, (base, base + 4), false), &vm);
         assert_eq!(r.verdict, GuardVerdict::Fault);
         assert_eq!(bcu.violations()[0].kind, ViolationKind::UnknownKernel);
+    }
+
+    #[test]
+    fn strict_mode_rejects_non_region_pointers_at_runtime_sites() {
+        let (vm, setup, _, base) = setup_env();
+        let cfg = BcuConfig {
+            strict_runtime_tags: true,
+            ..BcuConfig::default()
+        };
+        let mut bcu = Bcu::new(cfg, 1);
+        bcu.register_kernel(setup);
+        // A raw (untagged) VA smuggled in through data: class Unprotected.
+        let raw = TaggedPtr::from_raw(base);
+        let r = bcu.check(&access(raw, (base, base + 4), true), &vm);
+        assert_eq!(r.verdict, GuardVerdict::Fault);
+        assert_eq!(bcu.violations()[0].kind, ViolationKind::ForgedPointer);
+        // A crafted Type 3 value claiming a huge power-of-two bound.
+        let crafted = TaggedPtr::with_log2_size(base, 40);
+        let r = bcu.check(&access(crafted, (base, base + 4), true), &vm);
+        assert_eq!(r.verdict, GuardVerdict::Fault);
+        assert_eq!(bcu.violations()[1].kind, ViolationKind::ForgedPointer);
+        assert_eq!(bcu.stats().unprotected, 0);
+        assert_eq!(bcu.stats().type3_checks, 0);
+    }
+
+    #[test]
+    fn strict_mode_spares_static_sites_and_default_allows() {
+        let (vm, setup, _, base) = setup_env();
+        let cfg = BcuConfig {
+            strict_runtime_tags: true,
+            ..BcuConfig::default()
+        };
+        let mut bcu = Bcu::new(cfg, 1);
+        bcu.register_kernel(setup);
+        // A statically-proven site carries an untagged pointer by design.
+        let mut proven = access(TaggedPtr::from_raw(base), (base, base + 4), false);
+        proven.site_check = SiteCheck::Static;
+        assert_eq!(bcu.check(&proven, &vm).verdict, GuardVerdict::Allow);
+        // With strict mode off (the default) the same runtime-site access
+        // passes unchecked — the exposure the serving config closes.
+        let mut lax = Bcu::new(BcuConfig::default(), 1);
+        lax.register_kernel(setup);
+        let r = lax.check(
+            &access(TaggedPtr::from_raw(base), (base, base + 4), true),
+            &vm,
+        );
+        assert_eq!(r.verdict, GuardVerdict::Allow);
+        assert_eq!(lax.stats().unprotected, 1);
+    }
+
+    #[test]
+    fn rcache_evictions_attribute_cross_kernel_pressure() {
+        let (mut vm, setup, _, _) = setup_env();
+        // Two kernels sharing one core, each touching more regions than the
+        // 2-entry L1 holds, forces displacement; victims from the other
+        // kernel count as cross-kernel contention.
+        let other = ShieldSetup {
+            kernel_id: 6,
+            key: 0x1357_9BDF_0246_8ACE,
+            ..setup
+        };
+        let mut ids = Vec::new();
+        for i in 0..4u16 {
+            let buf = vm.alloc(64, AllocPolicy::Device512).ok();
+            let Some(buf) = buf else { panic!("alloc") };
+            for k in [5u16, 6] {
+                let id = 0x100 + i * 2 + (k - 5);
+                write_entry(
+                    &mut vm,
+                    setup.rbt_base,
+                    id,
+                    &BoundsEntry {
+                        valid: true,
+                        readonly: false,
+                        kernel_id: k,
+                        base: buf.va,
+                        size: 64,
+                    },
+                )
+                .ok();
+                ids.push((k, id, buf.va));
+            }
+        }
+        let cfg = BcuConfig {
+            l1_entries: 2,
+            l2_entries: 4,
+            ..BcuConfig::default()
+        };
+        let mut bcu = Bcu::new(cfg, 1);
+        bcu.register_kernel(setup);
+        bcu.register_kernel(other);
+        // Kernel-major order: kernel 5 warms both levels, then kernel 6's
+        // fills displace its residents.
+        ids.sort_by_key(|(k, id, _)| (*k, *id));
+        for (k, id, va) in &ids {
+            let key = if *k == 5 { setup.key } else { other.key };
+            let ptr = TaggedPtr::with_region_id(*va, encrypt_id(*id, key));
+            let mut a = access(ptr, (*va, *va + 4), false);
+            a.kernel_id = *k;
+            assert_eq!(bcu.check(&a, &vm).verdict, GuardVerdict::Allow);
+        }
+        let s = bcu.stats();
+        assert!(s.rcache_evictions > 0, "tiny RCaches must evict");
+        assert!(
+            s.cross_kernel_evictions > 0,
+            "interleaved kernels must displace each other"
+        );
+        assert!(s.cross_kernel_evictions <= s.rcache_evictions);
     }
 
     #[test]

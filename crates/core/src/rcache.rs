@@ -74,15 +74,19 @@ impl L1RCache {
         }
     }
 
-    /// Inserts an entry, evicting the oldest when full.
-    pub fn fill(&mut self, tag: RTag, entry: BoundsEntry) {
+    /// Inserts an entry, evicting the oldest when full. Returns the
+    /// displaced victim's tag, if any — the BCU's contention signal.
+    pub fn fill(&mut self, tag: RTag, entry: BoundsEntry) -> Option<RTag> {
         if self.entries.iter().any(|(t, _)| *t == tag) {
-            return;
+            return None;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-        }
+        let victim = if self.entries.len() == self.capacity {
+            self.entries.pop_front().map(|(t, _)| t)
+        } else {
+            None
+        };
         self.entries.push_back((tag, entry));
+        victim
     }
 
     /// Fault-injection hook: corrupts one bit of one resident entry's
@@ -177,22 +181,25 @@ impl L2RCache {
     }
 
     /// Inserts an entry, evicting the least recently used when full.
-    pub fn fill(&mut self, tag: RTag, entry: BoundsEntry) {
+    /// Returns the displaced victim's tag, if any — the BCU's contention
+    /// signal.
+    pub fn fill(&mut self, tag: RTag, entry: BoundsEntry) -> Option<RTag> {
         self.tick += 1;
         if self.entries.iter().any(|(t, _, _)| *t == tag) {
-            return;
+            return None;
         }
-        if self.entries.len() == self.capacity {
-            let victim = self
-                .entries
+        let evicted = if self.entries.len() == self.capacity {
+            self.entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, _, s))| *s)
                 .map(|(i, _)| i)
-                .expect("full cache has entries");
-            self.entries.swap_remove(victim);
-        }
+                .map(|i| self.entries.swap_remove(i).0)
+        } else {
+            None
+        };
         self.entries.push((tag, entry, self.tick));
+        evicted
     }
 
     /// Fault-injection hook: corrupts one bit of one resident entry's

@@ -3,6 +3,7 @@
 
 use crate::cipher::encrypt_id;
 use crate::rbt::{write_entry, BoundsEntry, RBT_BYTES};
+use crate::tenant::RegionIdAllocator;
 use gpushield_compiler::{
     analyze, AnalysisConfig, ArgInfo, BoundsAnalysis, LaunchKnowledge, Origin,
 };
@@ -159,6 +160,25 @@ pub enum DriverError {
         /// The underlying memory fault.
         fault: MemFault,
     },
+    /// A region ID was released that is not currently bound to an
+    /// in-flight launch (double release, or a cross-tenant confusion).
+    RegionIdNotLive {
+        /// The offending ID.
+        id: u16,
+    },
+    /// A tenant ID that no tenant table row corresponds to.
+    UnknownTenant {
+        /// The offending tenant ID.
+        id: u16,
+    },
+    /// An internal launch-preparation invariant did not hold — reserved
+    /// metadata (region IDs, group assignments, heap descriptors) went
+    /// missing mid-preparation. Indicates a driver bug, reported as an
+    /// error instead of a panic so a serving loop degrades gracefully.
+    LaunchInvariant {
+        /// Which invariant broke.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for DriverError {
@@ -187,6 +207,15 @@ impl fmt::Display for DriverError {
             }
             DriverError::MetadataWrite { fault } => {
                 write!(f, "failed to write RBT metadata: {fault}")
+            }
+            DriverError::RegionIdNotLive { id } => {
+                write!(f, "region ID {id} released while not live")
+            }
+            DriverError::UnknownTenant { id } => {
+                write!(f, "unknown tenant {id}")
+            }
+            DriverError::LaunchInvariant { what } => {
+                write!(f, "launch preparation invariant broken: {what}")
             }
         }
     }
@@ -464,6 +493,28 @@ impl Driver {
         block: u32,
         args: &[Arg],
     ) -> Result<PreparedLaunch, DriverError> {
+        self.prepare_launch_scoped(kernel, grid, block, args, None)
+    }
+
+    /// Like [`Driver::prepare_launch`], but draws region IDs from a
+    /// caller-provided per-tenant allocator instead of the driver's global
+    /// random pool, confining the launch to that tenant's disjoint slice
+    /// of the ID space. The caller owns the IDs' lifecycle: release them
+    /// back to the allocator (via the tenant table) when the launch
+    /// retires.
+    ///
+    /// # Errors
+    ///
+    /// See [`DriverError`]; notably [`DriverError::RegionIdsExhausted`]
+    /// when the tenant's slice cannot cover the launch's demand.
+    pub fn prepare_launch_scoped(
+        &mut self,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+        scope: Option<&mut RegionIdAllocator>,
+    ) -> Result<PreparedLaunch, DriverError> {
         if grid == 0 || block == 0 {
             return Err(DriverError::DegenerateLaunch { grid, block });
         }
@@ -682,7 +733,10 @@ impl Driver {
             self.stats.groups_merged += 1;
         }
         let n_ids = groups.len() + fixed;
-        let ids = self.fresh_ids(n_ids)?;
+        let ids = match scope {
+            Some(alloc) => alloc.acquire(n_ids)?,
+            None => self.fresh_ids(n_ids)?,
+        };
         self.stats.region_ids_assigned += n_ids as u64;
         let region_ids = ids.clone();
         let mut id_iter = ids.into_iter();
@@ -691,7 +745,9 @@ impl Driver {
         let mut param_ids: std::collections::HashMap<u8, (u16, u64, u64)> =
             std::collections::HashMap::new();
         for g in &groups {
-            let id = id_iter.next().expect("id reserved");
+            let id = id_iter.next().ok_or(DriverError::LaunchInvariant {
+                what: "region ID reserved for every group",
+            })?;
             let (lo, hi) = group_span(g, &self.buffers, args);
             for p in g {
                 param_ids.insert(*p, (id, lo, hi));
@@ -711,14 +767,21 @@ impl Driver {
                     match bat.param_class[p] {
                         PtrClass::Unprotected => TaggedPtr::unprotected(rec.alloc.va).raw(),
                         PtrClass::Region => {
-                            let (id, lo, hi) = *param_ids.get(&(p as u8)).expect("group assigned");
+                            let (id, lo, hi) =
+                                *param_ids
+                                    .get(&(p as u8))
+                                    .ok_or(DriverError::LaunchInvariant {
+                                        what: "region param assigned to a group",
+                                    })?;
                             // A merged entry is only read-only when every
                             // member is (otherwise legitimate writes to a
                             // writable member would fault).
                             let readonly = groups
                                 .iter()
                                 .find(|g| g.contains(&(p as u8)))
-                                .expect("param grouped")
+                                .ok_or(DriverError::LaunchInvariant {
+                                    what: "region param present in a merge group",
+                                })?
                                 .iter()
                                 .all(|q| {
                                     matches!(
@@ -758,7 +821,9 @@ impl Driver {
             let raw = match bat.local_class[v] {
                 PtrClass::Unprotected => TaggedPtr::unprotected(alloc.va).raw(),
                 PtrClass::Region => {
-                    let id = id_iter.next().expect("id reserved");
+                    let id = id_iter.next().ok_or(DriverError::LaunchInvariant {
+                        what: "region ID reserved for every local",
+                    })?;
                     write_entry(
                         &mut self.vm,
                         rbt.va,
@@ -785,8 +850,12 @@ impl Driver {
 
         // Heap: one coarse entry for the whole chunk (§5.2.1).
         if uses_heap {
-            let h = self.heap.expect("checked above");
-            let id = id_iter.next().expect("id reserved");
+            let h = self.heap.ok_or(DriverError::LaunchInvariant {
+                what: "heap configured for a heap-using kernel",
+            })?;
+            let id = id_iter.next().ok_or(DriverError::LaunchInvariant {
+                what: "region ID reserved for the heap",
+            })?;
             write_entry(
                 &mut self.vm,
                 rbt.va,

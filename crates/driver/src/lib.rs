@@ -13,6 +13,7 @@
 mod cipher;
 mod driver;
 mod rbt;
+pub mod tenant;
 
 pub use cipher::{decrypt_id, encrypt_id};
 pub use driver::{
@@ -20,3 +21,4 @@ pub use driver::{
     SiteClaim, CANARY_BYTE,
 };
 pub use rbt::{read_entry, write_entry, BoundsEntry, RBT_BYTES, RBT_ENTRIES, RBT_ENTRY_BYTES};
+pub use tenant::{AllocatorStats, RegionIdAllocator, TenantId, TenantStats, TenantTable};

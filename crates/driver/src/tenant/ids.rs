@@ -1,0 +1,251 @@
+//! Per-tenant region-ID allocation over a disjoint slice of the 14-bit ID
+//! space.
+//!
+//! The global driver draws random IDs from the whole `1..2^14` range
+//! (§5.2.4); under multi-tenant serving each tenant instead owns a
+//! contiguous, mutually disjoint slice and recycles IDs as launches retire.
+//! The allocator never hands out an ID that is still bound to an in-flight
+//! launch — reuse-after-free of a live region would let a stale pointer in
+//! one launch alias a fresh RBT entry of the next — and it recycles retired
+//! IDs least-recently-released first, so a dangling reference has the
+//! longest possible window in which it still names an invalid entry.
+
+use crate::driver::DriverError;
+use std::collections::{HashSet, VecDeque};
+
+/// Cumulative counters over one allocator's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocatorStats {
+    /// IDs handed out (fresh and recycled).
+    pub acquired: u64,
+    /// IDs handed out that had been used and released before (the LRU
+    /// recycling path).
+    pub recycled: u64,
+    /// IDs returned by completed launches.
+    pub released: u64,
+    /// Acquisitions refused because demand exceeded the non-live supply.
+    pub exhausted_rejections: u64,
+    /// Peak number of simultaneously live IDs.
+    pub live_peak: u64,
+}
+
+/// Allocates region IDs from the half-open slice `[lo, hi)`.
+///
+/// IDs cycle through three states: *fresh* (never used, handed out in
+/// ascending order for determinism), *live* (bound to an in-flight
+/// launch), and *retired* (released, waiting in LRU order to be recycled).
+///
+/// # Example
+///
+/// ```
+/// use gpushield_driver::RegionIdAllocator;
+///
+/// let mut a = RegionIdAllocator::new(100, 104);
+/// let ids = a.acquire(2)?;
+/// assert_eq!(ids, vec![100, 101]);
+/// a.release(&ids)?;
+/// // Fresh IDs are preferred; recycling starts once the slice is used up.
+/// assert_eq!(a.acquire(4)?, vec![102, 103, 100, 101]);
+/// # Ok::<(), gpushield_driver::DriverError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionIdAllocator {
+    lo: u16,
+    hi: u16,
+    /// Next never-used ID; fresh supply is `next_fresh..hi`.
+    next_fresh: u16,
+    /// Released IDs in least-recently-released-first order.
+    retired: VecDeque<u16>,
+    /// IDs bound to in-flight launches.
+    live: HashSet<u16>,
+    stats: AllocatorStats,
+}
+
+impl RegionIdAllocator {
+    /// Creates an allocator over the slice `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice is empty or escapes the valid region-ID range
+    /// `1..2^14` (ID 0 is reserved: an untagged pointer decodes to it).
+    pub fn new(lo: u16, hi: u16) -> Self {
+        assert!(lo >= 1, "region ID 0 is reserved");
+        assert!(hi <= 1 << 14, "slice escapes the 14-bit ID space");
+        assert!(lo < hi, "empty region-ID slice");
+        RegionIdAllocator {
+            lo,
+            hi,
+            next_fresh: lo,
+            retired: VecDeque::new(),
+            live: HashSet::new(),
+            stats: AllocatorStats::default(),
+        }
+    }
+
+    /// The slice bounds `(lo, hi)` this allocator draws from.
+    pub fn slice(&self) -> (u16, u16) {
+        (self.lo, self.hi)
+    }
+
+    /// Total IDs in the slice.
+    pub fn capacity(&self) -> usize {
+        usize::from(self.hi - self.lo)
+    }
+
+    /// IDs currently bound to in-flight launches.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// IDs available to the next acquisition (fresh plus retired).
+    pub fn available(&self) -> usize {
+        usize::from(self.hi - self.next_fresh) + self.retired.len()
+    }
+
+    /// True when `id` is currently bound to an in-flight launch.
+    pub fn is_live(&self, id: u16) -> bool {
+        self.live.contains(&id)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> AllocatorStats {
+        self.stats
+    }
+
+    /// Acquires `n` distinct IDs, preferring never-used IDs and then
+    /// recycling retired ones least-recently-released first. Live IDs are
+    /// never handed out.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::RegionIdsExhausted`] when `n` exceeds the non-live
+    /// supply; the allocator is left unchanged (all-or-nothing).
+    pub fn acquire(&mut self, n: usize) -> Result<Vec<u16>, DriverError> {
+        if n > self.available() {
+            self.stats.exhausted_rejections += 1;
+            return Err(DriverError::RegionIdsExhausted { needed: n });
+        }
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n && self.next_fresh < self.hi {
+            out.push(self.next_fresh);
+            self.next_fresh += 1;
+        }
+        while out.len() < n {
+            let id = self
+                .retired
+                .pop_front()
+                .ok_or(DriverError::RegionIdsExhausted { needed: n })?;
+            self.stats.recycled += 1;
+            out.push(id);
+        }
+        for id in &out {
+            self.live.insert(*id);
+        }
+        self.stats.acquired += n as u64;
+        self.stats.live_peak = self.stats.live_peak.max(self.live.len() as u64);
+        Ok(out)
+    }
+
+    /// Returns IDs from a retired launch to the recycling pool.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::RegionIdNotLive`] when any ID is not currently live —
+    /// a double release or a release of an ID this allocator never handed
+    /// out. IDs preceding the offender are still released.
+    pub fn release(&mut self, ids: &[u16]) -> Result<(), DriverError> {
+        for id in ids {
+            if !self.live.remove(id) {
+                return Err(DriverError::RegionIdNotLive { id: *id });
+            }
+            self.retired.push_back(*id);
+            self.stats.released += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_sequential_and_slice_bounded() {
+        let mut a = RegionIdAllocator::new(10, 14);
+        assert_eq!(a.acquire(3), Ok(vec![10, 11, 12]));
+        assert_eq!(a.capacity(), 4);
+        assert_eq!(a.live_count(), 3);
+        assert_eq!(a.available(), 1);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_and_all_or_nothing() {
+        let mut a = RegionIdAllocator::new(1, 4);
+        assert_eq!(a.acquire(2), Ok(vec![1, 2]));
+        assert_eq!(
+            a.acquire(2),
+            Err(DriverError::RegionIdsExhausted { needed: 2 })
+        );
+        // The failed acquisition consumed nothing: the last fresh ID is
+        // still available.
+        assert_eq!(a.acquire(1), Ok(vec![3]));
+        assert_eq!(a.stats().exhausted_rejections, 1);
+    }
+
+    #[test]
+    fn recycling_is_least_recently_released_first() {
+        let mut a = RegionIdAllocator::new(1, 4);
+        let ids = a.acquire(3).ok().filter(|v| v == &[1, 2, 3]);
+        assert!(ids.is_some());
+        assert_eq!(a.release(&[2]), Ok(()));
+        assert_eq!(a.release(&[1, 3]), Ok(()));
+        // 2 was released first, so it recycles first; then 1, then 3.
+        assert_eq!(a.acquire(3), Ok(vec![2, 1, 3]));
+        assert_eq!(a.stats().recycled, 3);
+    }
+
+    #[test]
+    fn live_id_is_never_reissued_under_churn() {
+        let mut a = RegionIdAllocator::new(1, 9);
+        let pinned = a.acquire(2).unwrap_or_default();
+        // Churn through many acquire/release cycles; the pinned (live) IDs
+        // must never reappear.
+        let mut batch = Vec::new();
+        for _ in 0..50 {
+            if let Ok(ids) = a.acquire(3) {
+                assert!(
+                    ids.iter().all(|id| !pinned.contains(id)),
+                    "live ID reissued: {ids:?} overlaps pinned {pinned:?}"
+                );
+                batch = ids;
+            }
+            assert_eq!(a.release(&batch), Ok(()));
+        }
+        assert!(a.stats().recycled > 0, "churn exercised recycling");
+    }
+
+    #[test]
+    fn double_release_and_foreign_release_are_rejected() {
+        let mut a = RegionIdAllocator::new(5, 10);
+        let ids = a.acquire(1).unwrap_or_default();
+        assert_eq!(a.release(&ids), Ok(()));
+        assert_eq!(
+            a.release(&ids),
+            Err(DriverError::RegionIdNotLive { id: ids[0] })
+        );
+        // An ID from outside the live set (never acquired) is also refused.
+        assert_eq!(a.release(&[9]), Err(DriverError::RegionIdNotLive { id: 9 }));
+    }
+
+    #[test]
+    fn stats_track_peak_and_totals() {
+        let mut a = RegionIdAllocator::new(1, 20);
+        let ids = a.acquire(5).unwrap_or_default();
+        assert_eq!(a.release(&ids[..2]), Ok(()));
+        let _ = a.acquire(1);
+        let s = a.stats();
+        assert_eq!(s.acquired, 6);
+        assert_eq!(s.released, 2);
+        assert_eq!(s.live_peak, 5);
+    }
+}

@@ -1,0 +1,14 @@
+//! Multi-tenant isolation domains layered on region IDs.
+//!
+//! The base driver treats every launch as one trust domain and draws region
+//! IDs at random from the whole 14-bit space. This module adds the notion
+//! of a *principal*: each tenant owns a disjoint slice of the ID space
+//! ([`ids::RegionIdAllocator`]), so no two tenants can ever hold the same
+//! region ID, and per-kernel attribution ([`table::TenantTable`]) maps BCU
+//! violation records back to the tenant whose kernel raised them.
+
+pub mod ids;
+pub mod table;
+
+pub use ids::{AllocatorStats, RegionIdAllocator};
+pub use table::{TenantId, TenantStats, TenantTable};

@@ -1,0 +1,402 @@
+//! The tenant table: isolation domains layered on region IDs.
+//!
+//! Each tenant is a principal with its own disjoint slice of the 14-bit
+//! region-ID space (see [`RegionIdAllocator`]), its own accounting, and an
+//! attribution map from driver-assigned kernel IDs back to the tenant that
+//! launched them — which is how a violation logged by the BCU (keyed by
+//! kernel ID) is charged to the right principal.
+
+use crate::driver::DriverError;
+use crate::tenant::ids::RegionIdAllocator;
+use gpushield_telemetry::Registry;
+use std::collections::HashMap;
+
+/// Identifies one tenant (an isolation domain) within a [`TenantTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u16);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// Per-tenant accounting the serving loop and exhibits read back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Launches admitted into preparation.
+    pub launches_admitted: u64,
+    /// Launches that ran to completion (with or without violations).
+    pub launches_completed: u64,
+    /// Launches refused at preparation (e.g. region-ID exhaustion).
+    pub launches_rejected: u64,
+    /// Violations the BCU attributed to this tenant's kernels.
+    pub violations_attributed: u64,
+    /// Simulated cycles consumed by this tenant's launches.
+    pub cycles_consumed: u64,
+    /// Total simulated cycles this tenant's jobs waited before admission.
+    pub queue_wait_cycles: u64,
+}
+
+struct Tenant {
+    allocator: RegionIdAllocator,
+    weight: u64,
+    stats: TenantStats,
+}
+
+/// Partitions the region-ID space into per-tenant isolation domains and
+/// tracks kernel-ID → tenant attribution.
+///
+/// # Example
+///
+/// ```
+/// use gpushield_driver::{TenantId, TenantTable};
+///
+/// let mut t = TenantTable::new(4);
+/// // Slices are disjoint: tenant 0 and tenant 1 can never mint the same ID.
+/// let a = t.allocator_mut(TenantId(0))?.acquire(2)?;
+/// let b = t.allocator_mut(TenantId(1))?.acquire(2)?;
+/// assert!(a.iter().all(|id| !b.contains(id)));
+/// # Ok::<(), gpushield_driver::DriverError>(())
+/// ```
+pub struct TenantTable {
+    tenants: Vec<Tenant>,
+    /// Kernel-ID → tenant index, recorded at launch. Kernel IDs are 12-bit
+    /// and wrap, so latest-launch-wins — matching the BCU, which also keeps
+    /// one registration per kernel ID.
+    kernel_owner: HashMap<u16, u16>,
+}
+
+impl TenantTable {
+    /// Creates `n` tenants with equal weights, splitting `1..2^14` into `n`
+    /// equal disjoint slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or exceeds the ID space.
+    pub fn new(n: usize) -> Self {
+        let space = (1 << 14) - 1;
+        assert!(n > 0, "at least one tenant");
+        assert!(n <= space, "more tenants than region IDs");
+        let per = (space / n) as u16;
+        Self::with_slices((0..n).map(|i| {
+            let lo = 1 + i as u16 * per;
+            (lo, lo + per, 1)
+        }))
+    }
+
+    /// Creates tenants from explicit `(lo, hi, weight)` slices — for
+    /// unequal shares or deliberately tiny slices that force recycling and
+    /// exhaustion under churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics when slices overlap, escape `1..2^14`, or a weight is zero
+    /// (delegating slice validation to [`RegionIdAllocator::new`]).
+    pub fn with_slices(slices: impl IntoIterator<Item = (u16, u16, u64)>) -> Self {
+        let mut tenants = Vec::new();
+        let mut claimed: Vec<(u16, u16)> = Vec::new();
+        for (lo, hi, weight) in slices {
+            assert!(weight > 0, "zero-weight tenant");
+            assert!(
+                claimed.iter().all(|(l, h)| hi <= *l || lo >= *h),
+                "tenant slices overlap"
+            );
+            claimed.push((lo, hi));
+            tenants.push(Tenant {
+                allocator: RegionIdAllocator::new(lo, hi),
+                weight,
+                stats: TenantStats::default(),
+            });
+        }
+        assert!(!tenants.is_empty(), "at least one tenant");
+        TenantTable {
+            tenants,
+            kernel_owner: HashMap::new(),
+        }
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Always false: construction requires at least one tenant.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    fn tenant(&self, t: TenantId) -> Result<&Tenant, DriverError> {
+        self.tenants
+            .get(usize::from(t.0))
+            .ok_or(DriverError::UnknownTenant { id: t.0 })
+    }
+
+    fn tenant_mut(&mut self, t: TenantId) -> Result<&mut Tenant, DriverError> {
+        self.tenants
+            .get_mut(usize::from(t.0))
+            .ok_or(DriverError::UnknownTenant { id: t.0 })
+    }
+
+    /// The tenant's region-ID allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn allocator_mut(&mut self, t: TenantId) -> Result<&mut RegionIdAllocator, DriverError> {
+        Ok(&mut self.tenant_mut(t)?.allocator)
+    }
+
+    /// The tenant's fair-share weight.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn weight(&self, t: TenantId) -> Result<u64, DriverError> {
+        Ok(self.tenant(t)?.weight)
+    }
+
+    /// Read-only per-tenant accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn stats(&self, t: TenantId) -> Result<TenantStats, DriverError> {
+        Ok(self.tenant(t)?.stats)
+    }
+
+    /// Mutable per-tenant accounting (the serving loop charges queue waits
+    /// and consumed cycles here).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn stats_mut(&mut self, t: TenantId) -> Result<&mut TenantStats, DriverError> {
+        Ok(&mut self.tenant_mut(t)?.stats)
+    }
+
+    /// Records that `kernel_id` belongs to tenant `t` (call when the launch
+    /// is admitted) and bumps its admission counter.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn record_launch(&mut self, t: TenantId, kernel_id: u16) -> Result<(), DriverError> {
+        self.tenant_mut(t)?.stats.launches_admitted += 1;
+        self.kernel_owner.insert(kernel_id, t.0);
+        Ok(())
+    }
+
+    /// Records a launch refused at preparation.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn record_rejection(&mut self, t: TenantId) -> Result<(), DriverError> {
+        self.tenant_mut(t)?.stats.launches_rejected += 1;
+        Ok(())
+    }
+
+    /// The tenant that launched `kernel_id`, if any — the attribution a
+    /// BCU violation record resolves through.
+    pub fn owner_of_kernel(&self, kernel_id: u16) -> Option<TenantId> {
+        self.kernel_owner.get(&kernel_id).map(|t| TenantId(*t))
+    }
+
+    /// Charges one attributed violation to tenant `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn note_violation(&mut self, t: TenantId) -> Result<(), DriverError> {
+        self.tenant_mut(t)?.stats.violations_attributed += 1;
+        Ok(())
+    }
+
+    /// Retires a completed launch: releases its region IDs back to the
+    /// tenant's allocator and bumps the completion counter.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID;
+    /// [`DriverError::RegionIdNotLive`] when a released ID was not live
+    /// (double completion or cross-tenant confusion).
+    pub fn complete_launch(&mut self, t: TenantId, region_ids: &[u16]) -> Result<(), DriverError> {
+        let tenant = self.tenant_mut(t)?;
+        tenant.allocator.release(region_ids)?;
+        tenant.stats.launches_completed += 1;
+        Ok(())
+    }
+
+    /// Publishes the aggregate `driver.tenant.*` gauges — the fixed,
+    /// schema-pinned surface (totals only; the per-tenant breakdown goes
+    /// through [`TenantTable::per_tenant_metrics`] into exhibit JSON so
+    /// the schema stays independent of tenant count).
+    pub fn publish_telemetry(&self, reg: &mut Registry) {
+        if !reg.enabled() {
+            return;
+        }
+        let mut admitted = 0;
+        let mut completed = 0;
+        let mut rejected = 0;
+        let mut violations = 0;
+        let mut acquired = 0;
+        let mut recycled = 0;
+        let mut live = 0u64;
+        let mut capacity = 0u64;
+        for t in &self.tenants {
+            admitted += t.stats.launches_admitted;
+            completed += t.stats.launches_completed;
+            rejected += t.stats.launches_rejected;
+            violations += t.stats.violations_attributed;
+            let a = t.allocator.stats();
+            acquired += a.acquired;
+            recycled += a.recycled;
+            live += t.allocator.live_count() as u64;
+            capacity += t.allocator.capacity() as u64;
+        }
+        let fields: [(&str, u64); 9] = [
+            ("tenants", self.tenants.len() as u64),
+            ("launches_admitted", admitted),
+            ("launches_completed", completed),
+            ("launches_rejected", rejected),
+            ("violations_attributed", violations),
+            ("ids_acquired", acquired),
+            ("ids_recycled", recycled),
+            ("ids_live", live),
+            ("id_capacity", capacity),
+        ];
+        for (name, v) in fields {
+            reg.set_named(&format!("driver.tenant.{name}"), v);
+        }
+    }
+
+    /// The per-tenant metric breakdown as `driver.tenant.<i>.*` pairs —
+    /// free-form (tenant count varies per exhibit), so it rides in exhibit
+    /// result JSON rather than the pinned schema.
+    pub fn per_tenant_metrics(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (i, t) in self.tenants.iter().enumerate() {
+            let a = t.allocator.stats();
+            let fields: [(&str, u64); 8] = [
+                ("launches_admitted", t.stats.launches_admitted),
+                ("launches_completed", t.stats.launches_completed),
+                ("launches_rejected", t.stats.launches_rejected),
+                ("violations_attributed", t.stats.violations_attributed),
+                ("cycles_consumed", t.stats.cycles_consumed),
+                ("queue_wait_cycles", t.stats.queue_wait_cycles),
+                ("ids_acquired", a.acquired),
+                ("ids_recycled", a.recycled),
+            ];
+            for (name, v) in fields {
+                out.push((format!("driver.tenant.{i}.{name}"), v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_partition_is_disjoint_and_covers_no_zero() {
+        let mut t = TenantTable::new(8);
+        let mut seen: Vec<u16> = Vec::new();
+        for i in 0..8 {
+            let (lo, hi) = match t.allocator_mut(TenantId(i)) {
+                Ok(a) => a.slice(),
+                Err(e) => panic!("tenant {i}: {e}"),
+            };
+            assert!(lo >= 1 && hi <= 1 << 14);
+            assert!(seen.iter().all(|s| *s < lo || *s >= hi), "slices overlap");
+            seen.extend([lo, hi - 1]);
+        }
+    }
+
+    #[test]
+    fn unknown_tenant_is_a_typed_error() {
+        let mut t = TenantTable::new(2);
+        assert!(matches!(
+            t.allocator_mut(TenantId(7)),
+            Err(DriverError::UnknownTenant { id: 7 })
+        ));
+        assert!(matches!(
+            t.record_launch(TenantId(9), 1),
+            Err(DriverError::UnknownTenant { id: 9 })
+        ));
+    }
+
+    #[test]
+    fn kernel_attribution_resolves_latest_launch() {
+        let mut t = TenantTable::new(3);
+        assert_eq!(t.record_launch(TenantId(1), 7), Ok(()));
+        assert_eq!(t.owner_of_kernel(7), Some(TenantId(1)));
+        // 12-bit kernel IDs wrap: the newest owner wins.
+        assert_eq!(t.record_launch(TenantId(2), 7), Ok(()));
+        assert_eq!(t.owner_of_kernel(7), Some(TenantId(2)));
+        assert_eq!(t.owner_of_kernel(8), None);
+    }
+
+    #[test]
+    fn complete_launch_releases_ids_and_counts() {
+        let mut t = TenantTable::new(2);
+        let ids = match t.allocator_mut(TenantId(0)) {
+            Ok(a) => a.acquire(2).unwrap_or_default(),
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(t.complete_launch(TenantId(0), &ids), Ok(()));
+        assert_eq!(
+            t.complete_launch(TenantId(0), &ids),
+            Err(DriverError::RegionIdNotLive { id: ids[0] })
+        );
+        assert_eq!(t.stats(TenantId(0)).map(|s| s.launches_completed), Ok(1));
+    }
+
+    #[test]
+    fn aggregate_telemetry_has_the_pinned_key_set() {
+        let mut t = TenantTable::new(2);
+        let _ = t.record_launch(TenantId(0), 1);
+        let mut reg = Registry::new();
+        t.publish_telemetry(&mut reg);
+        let names: Vec<&str> = reg.names();
+        for key in [
+            "driver.tenant.tenants",
+            "driver.tenant.launches_admitted",
+            "driver.tenant.launches_completed",
+            "driver.tenant.launches_rejected",
+            "driver.tenant.violations_attributed",
+            "driver.tenant.ids_acquired",
+            "driver.tenant.ids_recycled",
+            "driver.tenant.ids_live",
+            "driver.tenant.id_capacity",
+        ] {
+            assert!(names.contains(&key), "{key} missing");
+        }
+        assert_eq!(names.len(), 9, "aggregate surface is exactly 9 keys");
+        assert_eq!(reg.value("driver.tenant.tenants"), Some(2));
+        assert_eq!(reg.value("driver.tenant.launches_admitted"), Some(1));
+    }
+
+    #[test]
+    fn per_tenant_metrics_break_down_by_index() {
+        let mut t = TenantTable::new(2);
+        let _ = t.record_launch(TenantId(1), 3);
+        let _ = t.note_violation(TenantId(1));
+        let m = t.per_tenant_metrics();
+        assert_eq!(m.len(), 16);
+        let get = |k: &str| m.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("driver.tenant.1.launches_admitted"), Some(1));
+        assert_eq!(get("driver.tenant.1.violations_attributed"), Some(1));
+        assert_eq!(get("driver.tenant.0.launches_admitted"), Some(0));
+    }
+
+    #[test]
+    fn disabled_registry_publishes_nothing() {
+        let t = TenantTable::new(1);
+        let mut reg = Registry::disabled();
+        t.publish_telemetry(&mut reg);
+        assert!(reg.is_empty());
+    }
+}

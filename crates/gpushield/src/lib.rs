@@ -40,7 +40,8 @@
 
 pub use gpushield_core::{Bcu, BcuConfig, BcuStats, ViolationKind, ViolationRecord};
 pub use gpushield_driver::{
-    Arg, BufferHandle, Driver, DriverConfig, DriverError, DriverStats, ShieldSetup, SiteClaim,
+    Arg, BufferHandle, Driver, DriverConfig, DriverError, DriverStats, RegionIdAllocator,
+    ShieldSetup, SiteClaim, TenantId, TenantStats, TenantTable,
 };
 pub use gpushield_sim::{
     CheckPath, FaultKind, FaultPlan, FaultSession, FaultSpec, FaultTargets, Gpu, GpuConfig,
@@ -273,6 +274,132 @@ impl System {
             .gpu
             .run(self.driver.vm_mut(), &[prepared.launch], guard)?;
         Ok(report)
+    }
+
+    /// Launches one kernel on behalf of tenant `t`: region IDs come from
+    /// the tenant's disjoint allocator slice (not the global random pool),
+    /// the launch's kernel ID is recorded for attribution, and any
+    /// violations the run logs are charged to the owning tenant before the
+    /// IDs are released back for recycling. Returns the run report plus
+    /// the violations raised by *this* launch (the BCU's log is
+    /// cumulative; the slice here is per-launch).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch`], plus [`DriverError::RegionIdsExhausted`]
+    /// when the tenant's slice cannot cover the launch (counted against
+    /// the tenant as a rejection) and [`DriverError::UnknownTenant`] for
+    /// an ID outside the table.
+    pub fn launch_tenant(
+        &mut self,
+        tenants: &mut TenantTable,
+        t: TenantId,
+        kernel: Arc<Kernel>,
+        grid: u32,
+        block: u32,
+        args: &[Arg],
+    ) -> Result<(RunReport, Vec<ViolationRecord>), SystemError> {
+        let scope = tenants.allocator_mut(t)?;
+        let prepared =
+            match self
+                .driver
+                .prepare_launch_scoped(kernel, grid, block, args, Some(scope))
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    tenants.record_rejection(t)?;
+                    return Err(e.into());
+                }
+            };
+        tenants.record_launch(t, prepared.launch.kernel_id)?;
+        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+            bcu.register_kernel(setup);
+        }
+        self.last_bat = prepared.bat;
+        let logged_before = self.bcu.as_ref().map(|b| b.violations().len());
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report = self
+            .gpu
+            .run(self.driver.vm_mut(), &[prepared.launch], guard)?;
+        let new_violations: Vec<ViolationRecord> = match (self.bcu.as_ref(), logged_before) {
+            (Some(b), Some(n)) => b.violations()[n..].to_vec(),
+            _ => Vec::new(),
+        };
+        for v in &new_violations {
+            if let Some(owner) = tenants.owner_of_kernel(v.kernel_id) {
+                tenants.note_violation(owner)?;
+            }
+        }
+        tenants.stats_mut(t)?.cycles_consumed += report.cycles;
+        tenants.complete_launch(t, &prepared.region_ids)?;
+        Ok((report, new_violations))
+    }
+
+    /// Launches several kernels concurrently on behalf of their tenants
+    /// (§6.2 co-location under isolation domains): each kernel's region
+    /// IDs come from its own tenant's slice, kernel IDs are recorded for
+    /// attribution, and the co-resident kernels contend for the per-core
+    /// RCaches under their distinct kernel-ID tags (see
+    /// [`BcuStats::cross_kernel_evictions`]). The whole run's cycles are
+    /// charged to every participating tenant (they co-occupied the GPU).
+    ///
+    /// # Errors
+    ///
+    /// As [`System::launch_tenant`]; on a mid-batch preparation failure
+    /// the IDs of already-prepared kernels are returned to their
+    /// allocators before the error propagates.
+    pub fn launch_tenant_concurrent(
+        &mut self,
+        tenants: &mut TenantTable,
+        kernels: Vec<(TenantId, ConcurrentKernel)>,
+        mode: MultiKernelMode,
+    ) -> Result<(RunReport, Vec<ViolationRecord>), SystemError> {
+        let mut launches = Vec::with_capacity(kernels.len());
+        let mut owners: Vec<(TenantId, Vec<u16>)> = Vec::with_capacity(kernels.len());
+        for (t, k) in kernels {
+            let scope = tenants.allocator_mut(t)?;
+            let prepared = match self.driver.prepare_launch_scoped(
+                k.kernel,
+                k.grid,
+                k.block,
+                &k.args,
+                Some(scope),
+            ) {
+                Ok(p) => p,
+                Err(e) => {
+                    tenants.record_rejection(t)?;
+                    for (pt, ids) in &owners {
+                        tenants.allocator_mut(*pt)?.release(ids)?;
+                    }
+                    return Err(e.into());
+                }
+            };
+            tenants.record_launch(t, prepared.launch.kernel_id)?;
+            if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
+                bcu.register_kernel(setup);
+            }
+            owners.push((t, prepared.region_ids.clone()));
+            launches.push(prepared.launch);
+        }
+        let logged_before = self.bcu.as_ref().map(|b| b.violations().len());
+        let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
+        let report = self
+            .gpu
+            .run_multi(self.driver.vm_mut(), &launches, mode, guard)?;
+        let new_violations: Vec<ViolationRecord> = match (self.bcu.as_ref(), logged_before) {
+            (Some(b), Some(n)) => b.violations()[n..].to_vec(),
+            _ => Vec::new(),
+        };
+        for v in &new_violations {
+            if let Some(owner) = tenants.owner_of_kernel(v.kernel_id) {
+                tenants.note_violation(owner)?;
+            }
+        }
+        for (t, ids) in &owners {
+            tenants.stats_mut(*t)?.cycles_consumed += report.cycles;
+            tenants.complete_launch(*t, ids)?;
+        }
+        Ok((report, new_violations))
     }
 
     /// Launches one kernel under a deterministic fault-injection plan

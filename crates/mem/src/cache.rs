@@ -22,6 +22,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// Line allocations that displaced a valid resident line — the
+    /// capacity/conflict contention signal (co-located kernels fighting
+    /// over sets show up here).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -177,9 +181,13 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.stamp } else { 0 })
             .expect("non-empty set");
+        let displaced = victim.valid;
         victim.tag = tag;
         victim.valid = true;
         victim.stamp = tick;
+        if displaced {
+            self.stats.evictions += 1;
+        }
         false
     }
 
@@ -207,9 +215,13 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.stamp } else { 0 })
             .expect("non-empty set");
+        let displaced = victim.valid;
         victim.tag = tag;
         victim.valid = true;
         victim.stamp = tick;
+        if displaced {
+            self.stats.evictions += 1;
+        }
     }
 
     /// Invalidates everything (kernel termination / context switch flush).
@@ -292,6 +304,23 @@ mod tests {
         assert_eq!(s.hits, 2);
         assert_eq!(s.misses, 1);
         assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evictions_count_only_valid_victims() {
+        // Two lines, fully associative: the first two allocations land in
+        // invalid slots (no eviction), the third displaces a resident.
+        let mut c = Cache::new(256, 128, 0, Replacement::Lru);
+        c.access(0);
+        c.access(128);
+        assert_eq!(c.stats().evictions, 0, "cold fills evict nothing");
+        c.access(256);
+        assert_eq!(c.stats().evictions, 1);
+        c.fill(384);
+        assert_eq!(c.stats().evictions, 2, "fill() evictions count too");
+        // Re-filling a resident line displaces nothing.
+        c.fill(384);
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]

@@ -9,13 +9,15 @@ use crate::dram::{Dram, DramStats};
 use crate::tlb::TlbStats;
 use gpushield_telemetry::Registry;
 
-/// Publishes cache hits/misses as `<prefix>.{hits,misses}` counters.
+/// Publishes cache hits/misses/evictions as
+/// `<prefix>.{hits,misses,evictions}` counters.
 pub fn publish_cache_stats(reg: &mut Registry, prefix: &str, s: &CacheStats) {
     if !reg.enabled() {
         return;
     }
     reg.add_named(&format!("{prefix}.hits"), s.hits);
     reg.add_named(&format!("{prefix}.misses"), s.misses);
+    reg.add_named(&format!("{prefix}.evictions"), s.evictions);
 }
 
 /// Publishes TLB hits/misses as `<prefix>.{hits,misses}` counters.
@@ -60,11 +62,16 @@ mod tests {
     #[test]
     fn publishers_accumulate_counters() {
         let mut reg = Registry::new();
-        let s = CacheStats { hits: 3, misses: 2 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+        };
         publish_cache_stats(&mut reg, "mem.l1d", &s);
         publish_cache_stats(&mut reg, "mem.l1d", &s);
         assert_eq!(reg.value("mem.l1d.hits"), Some(6));
         assert_eq!(reg.value("mem.l1d.misses"), Some(4));
+        assert_eq!(reg.value("mem.l1d.evictions"), Some(2));
     }
 
     #[test]

@@ -1473,9 +1473,11 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             let s = c.l1d.stats();
             l1d.hits += s.hits;
             l1d.misses += s.misses;
+            l1d.evictions += s.evictions;
             let t = c.l1tlb.stats();
             l1tlb.hits += t.hits;
             l1tlb.misses += t.misses;
+            l1tlb.evictions += t.evictions;
         }
         let dram = self.shared.dram_stats();
         let mut profile = self.profile;

@@ -21,7 +21,7 @@ echo "== panic-surface gate (driver/sim/mem unwrap+expect ceiling)"
 # conversion to a structured error or a deliberate ceiling bump here.
 panic_sites=$(grep -rEo '\.unwrap\(\)|\.expect\(' \
     crates/driver/src crates/sim/src crates/mem/src | wc -l)
-panic_ceiling=143
+panic_ceiling=137
 if [[ "$panic_sites" -gt "$panic_ceiling" ]]; then
     echo "panic surface grew: $panic_sites unwrap/expect sites in" \
          "driver+sim+mem (ceiling $panic_ceiling)" >&2
@@ -91,6 +91,29 @@ if [[ "${CI_PERF:-1}" == "1" ]]; then
     ./target/release/experiments fault_resilience "$out" --jobs 8 --max-cycles 100000
     cmp "$out/fault_resilience.j1.txt" "$out/fault_resilience.txt"
     grep -q '"quarantined": false' "$out/fault_resilience.json"
+fi
+
+if [[ "${CI_PERF:-1}" == "1" ]]; then
+    echo "== multi-tenant serving exhibit (CI_PERF=0 to skip)"
+    # 2000 queued launches from 8 tenants under weighted-fair admission:
+    # every cross-tenant probe must classify as detected (never masked or
+    # silent), the per-tenant driver.tenant.* accounting must land in the
+    # results JSON, and the rendered exhibit must be byte-identical at any
+    # worker count.
+    ./target/release/experiments multi_tenant "$out" --jobs 1
+    mv "$out/multi_tenant.txt" "$out/multi_tenant.j1.txt"
+    ./target/release/experiments multi_tenant "$out" --jobs 4
+    cmp "$out/multi_tenant.j1.txt" "$out/multi_tenant.txt"
+    grep -q 'masked=0 silent=0' "$out/multi_tenant.txt"
+    grep -q 'misattributed=0 secrets_intact=true' "$out/multi_tenant.txt"
+    grep -q '"driver.tenant.launches_admitted"' "$out/multi_tenant.json"
+
+    echo "== QoS fairness exhibit (CI_PERF=0 to skip)"
+    ./target/release/experiments qos_fairness "$out" --jobs 1
+    mv "$out/qos_fairness.txt" "$out/qos_fairness.j1.txt"
+    ./target/release/experiments qos_fairness "$out" --jobs 4
+    cmp "$out/qos_fairness.j1.txt" "$out/qos_fairness.txt"
+    grep -q 'jain_index_over_mean_wait' "$out/qos_fairness.txt"
 fi
 
 echo "CI OK"
