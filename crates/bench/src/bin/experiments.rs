@@ -16,10 +16,13 @@
 //! as failed in its JSON with `"quarantined": true` — and the run moves
 //! on. A panicking experiment is retried once before being quarantined.
 //! `--max-cycles N` overrides the fault-resilience sweep's watchdog
-//! budget. Exit status is non-zero when any experiment fails or any
-//! result file fails to write.
+//! budget. `--sim-threads N` shards each simulated GPU's cores across N
+//! worker threads inside the cycle-quantum engine (default 1); like
+//! `--jobs`, rendered output is byte-identical for every value. Exit
+//! status is non-zero when any experiment fails or any result file fails
+//! to write.
 
-use gpushield_bench::runner::profile_totals;
+use gpushield_bench::runner::{self, profile_totals};
 use gpushield_bench::{config_fingerprint, experiments};
 use gpushield_runtime::pool;
 use gpushield_runtime::report::{numeric_rows, Json};
@@ -318,6 +321,17 @@ fn main() -> ExitCode {
             }
             Ok(Some(_)) | Err(()) => {
                 eprintln!("--timeout-secs needs a positive integer");
+                return ExitCode::FAILURE;
+            }
+            Ok(None) => {}
+        }
+        match parse_flag::<usize>("--sim-threads", &arg, &mut args) {
+            Ok(Some(n)) if n >= 1 => {
+                runner::set_sim_threads(n);
+                continue;
+            }
+            Ok(Some(_)) | Err(()) => {
+                eprintln!("--sim-threads needs a positive integer");
                 return ExitCode::FAILURE;
             }
             Ok(None) => {}

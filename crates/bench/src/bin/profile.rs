@@ -4,6 +4,8 @@
 //! ```text
 //! profile                          # stall-attribution table (Fig. 13 analogue)
 //! profile --jobs 4                 # same table, 4 worker threads (byte-identical)
+//! profile --sim-threads 4          # shard each GPU's cores over 4 workers
+//!                                  # inside the engine (also byte-identical)
 //! profile --trace vectoradd --out trace.json   # Chrome trace for one workload
 //! profile --schema                 # print the instrumented-run metric key set
 //! profile --check-schema FIXTURE   # CI gate: key set must match the fixture
@@ -167,6 +169,13 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => jobs = n,
                 _ => {
                     eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sim-threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => gpushield_bench::runner::set_sim_threads(n),
+                _ => {
+                    eprintln!("--sim-threads needs a positive integer");
                     return ExitCode::FAILURE;
                 }
             },

@@ -9,15 +9,19 @@
 //! throughput --smoke --check BENCH_simcore.json   # CI gate: fail if the
 //!                                           # smoke rate regressed >30%
 //! --tolerance 0.30                          # override the gate threshold
+//! throughput --sim-threads 4 --out BENCH_parcore.json   # cycle-quantum
+//!                                           # engine sharded over 4 workers
 //! ```
 //!
-//! The sweep is intentionally single-threaded: the quantity tracked is the
-//! per-core simulation rate of `GpuSim::step`-equivalent work (one warp
-//! instruction at a time), not the parallel-engine throughput PR 1 already
-//! measures. Wall-clock numbers are machine-dependent; the committed
-//! `BENCH_simcore.json` records the container that produced it via the
-//! config fingerprint, and the CI gate uses a generous tolerance so only
-//! real hot-path regressions trip it.
+//! At `--sim-threads 1` (the default) the quantity tracked is the
+//! sequential simulation rate of the cycle-quantum engine (committed as
+//! `BENCH_simcore.json`); at higher counts it is the parallel-engine
+//! throughput with the simulated GPU's cores sharded across worker
+//! threads (committed as `BENCH_parcore.json` at 4). Simulated results
+//! are byte-identical either way. Wall-clock numbers are
+//! machine-dependent; the committed documents record the container that
+//! produced them via the config fingerprint, and the CI gates use
+//! generous tolerances so only real regressions trip them.
 
 use gpushield_bench::runner::{config_fingerprint, run_workload, Protection, Target};
 use gpushield_runtime::report::Json;
@@ -155,6 +159,13 @@ fn main() -> ExitCode {
             "--baseline" => baseline = args.next(),
             "--check" => check = args.next(),
             "--smoke" => smoke = true,
+            "--sim-threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => gpushield_bench::runner::set_sim_threads(n),
+                _ => {
+                    eprintln!("--sim-threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
                 _ => {
@@ -217,10 +228,31 @@ fn main() -> ExitCode {
     print_measure("fig14 set (cuda_set x3 prot)", &full);
 
     let mut doc = Json::obj();
-    doc.set("bench", Json::Str("simcore-throughput".to_string()));
+    let st = gpushield_bench::runner::sim_threads();
+    doc.set(
+        "bench",
+        Json::Str(
+            if st > 1 {
+                "parcore-throughput"
+            } else {
+                "simcore-throughput"
+            }
+            .to_string(),
+        ),
+    );
     doc.set(
         "workload_set",
-        Json::Str("fig14: cuda_set x {baseline, shield(1,3), shield(2,5)}, serial".to_string()),
+        Json::Str(format!(
+            "fig14: cuda_set x {{baseline, shield(1,3), shield(2,5)}}, sim_threads={st}"
+        )),
+    );
+    doc.set("sim_threads", Json::UInt(st as u64));
+    // Wall-clock rates only mean something relative to the machine that
+    // produced them; the CI speedup gate compares parcore vs simcore only
+    // when the producer actually had the cores to run the workers on.
+    doc.set(
+        "host_parallelism",
+        Json::UInt(gpushield_runtime::pool::available_parallelism() as u64),
     );
     doc.set("config_fingerprint", Json::Str(config_fingerprint()));
     doc.set("full", measure_json(&full));

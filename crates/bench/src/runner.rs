@@ -6,7 +6,27 @@ use gpushield::{BcuConfig, DriverConfig, GpuConfig, SystemConfig};
 use gpushield_core::BcuStats;
 use gpushield_sim::{SimProfile, StallAttribution};
 use gpushield_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide simulator worker-thread count applied by [`config`] to
+/// every configuration it builds. Defaults to 1 (sequential); the
+/// `--sim-threads` flag of the experiment binaries sets it at startup.
+/// Simulation results are bit-identical for every value, so this knob
+/// never appears in [`config_fingerprint`].
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the worker-thread count the simulator's cycle-quantum engine uses
+/// for every subsequently built configuration. Values are clamped to
+/// `[1, num_cores]` by the engine itself.
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide simulator worker-thread count.
+pub fn sim_threads() -> usize {
+    SIM_THREADS.load(Ordering::Relaxed)
+}
 
 /// Which GPU preset an experiment targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +126,10 @@ impl Protection {
 
 /// Builds the full system configuration for a target + protection pair.
 pub fn config(target: Target, prot: Protection) -> SystemConfig {
+    let mut gpu = target.gpu();
+    gpu.sim_threads = sim_threads();
     SystemConfig {
-        gpu: target.gpu(),
+        gpu,
         driver: DriverConfig {
             enable_shield: prot.shield,
             enable_static_analysis: prot.static_analysis,
@@ -255,7 +277,11 @@ pub fn config_fingerprint() -> String {
     };
     for target in [Target::Nvidia, Target::Intel] {
         for prot in [Protection::baseline(), Protection::shield_default()] {
-            eat(&format!("{:?}", config(target, prot)));
+            let mut c = config(target, prot);
+            // Host-side tuning knob with no effect on simulated results;
+            // runs at different worker counts must share a fingerprint.
+            c.gpu.sim_threads = 1;
+            eat(&format!("{c:?}"));
         }
     }
     format!("{h:016x}")

@@ -7,7 +7,7 @@ use crate::rcache::{L1RCache, L2RCache};
 use gpushield_driver::{decrypt_id, read_entry, BoundsEntry, ShieldSetup};
 use gpushield_isa::{BlockId, PtrClass, SiteCheck};
 use gpushield_mem::VirtualMemorySpace;
-use gpushield_sim::{CheckPath, GuardCheck, GuardVerdict, MemAccess, MemGuard};
+use gpushield_sim::{CheckPath, CoreGuard, GuardCheck, GuardVerdict, MemAccess, MemGuard};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -156,6 +156,31 @@ struct CoreBcu {
     l2: L2RCache,
 }
 
+/// Per-core observation inbox filled by a [`BcuShard`] during a parallel
+/// phase and folded into the global statistics/violation log by
+/// [`MemGuard::merge_forked`] in canonical core order.
+#[derive(Default)]
+struct CorePending {
+    stats: BcuStats,
+    violations: Vec<ViolationRecord>,
+}
+
+impl BcuStats {
+    /// Adds another statistics block field-by-field.
+    fn absorb(&mut self, o: &BcuStats) {
+        self.checks += o.checks;
+        self.l1_hits += o.l1_hits;
+        self.l2_hits += o.l2_hits;
+        self.rbt_fetches += o.rbt_fetches;
+        self.type3_checks += o.type3_checks;
+        self.unprotected += o.unprotected;
+        self.violations += o.violations;
+        self.stall_cycles += o.stall_cycles;
+        self.rcache_evictions += o.rcache_evictions;
+        self.cross_kernel_evictions += o.cross_kernel_evictions;
+    }
+}
+
 /// The GPUShield bounds-checking unit for a whole GPU (one RCache pair per
 /// core). Implements the simulator's [`MemGuard`] hook.
 ///
@@ -197,6 +222,9 @@ pub struct Bcu {
     kernels: HashMap<u16, ShieldSetup>,
     stats: BcuStats,
     violations: Vec<ViolationRecord>,
+    /// One inbox per core for forked-shard observations (empty outside
+    /// parallel runs).
+    pending: Vec<CorePending>,
 }
 
 impl Bcu {
@@ -213,6 +241,7 @@ impl Bcu {
             kernels: HashMap::new(),
             stats: BcuStats::default(),
             violations: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -245,188 +274,283 @@ impl Bcu {
     pub fn config(&self) -> BcuConfig {
         self.cfg
     }
+}
 
-    fn violate(
-        &mut self,
-        access: &MemAccess,
-        kind: ViolationKind,
-        stall: u64,
-        path: CheckPath,
-    ) -> GuardCheck {
-        self.stats.violations += 1;
-        if self.violations.len() < 4096 {
-            self.violations.push(ViolationRecord {
-                kernel_id: access.kernel_id,
-                site: access.site,
-                range: access.range,
-                is_store: access.is_store,
-                kind,
-            });
+/// Logs a violation into the given sinks and builds the rejecting check
+/// result. Free function so the serial guard and per-core shards share it.
+fn violate_into(
+    cfg: &BcuConfig,
+    stats: &mut BcuStats,
+    violations: &mut Vec<ViolationRecord>,
+    access: &MemAccess,
+    kind: ViolationKind,
+    stall: u64,
+    path: CheckPath,
+) -> GuardCheck {
+    stats.violations += 1;
+    if violations.len() < 4096 {
+        violations.push(ViolationRecord {
+            kernel_id: access.kernel_id,
+            site: access.site,
+            range: access.range,
+            is_store: access.is_store,
+            kind,
+        });
+    }
+    GuardCheck {
+        verdict: if cfg.precise_faults {
+            GuardVerdict::Fault
+        } else {
+            GuardVerdict::Squash
+        },
+        stall_cycles: stall,
+        path,
+    }
+}
+
+/// The Fig. 12 stall-visibility rule: checking overlaps the LSU
+/// pipeline; only a single-transaction access that hits the L1 Dcache
+/// exposes the part of the BCU path that exceeds the overlap budget.
+///
+/// In the per-thread ablation the comparator is occupied for one cycle
+/// per active lane, so everything beyond the overlap budget becomes
+/// visible regardless of how the data access fared.
+fn visible_stall(cfg: &BcuConfig, access: &MemAccess, bcu_path: u64) -> u64 {
+    if cfg.per_thread_checks {
+        let path = bcu_path + access.active_lanes as u64;
+        return path.saturating_sub(cfg.lsu_overlap.saturating_sub(1));
+    }
+    if access.transactions == 1 && access.l1d_all_hit {
+        bcu_path.saturating_sub(cfg.lsu_overlap.saturating_sub(1))
+    } else {
+        0
+    }
+}
+
+/// One warp-level bounds check against a single core's RCache pair.
+///
+/// This is the whole §5.5 algorithm; [`Bcu::check`] routes here with the
+/// global statistic sinks, a [`BcuShard`] with its per-core inbox. The
+/// result depends only on the core's own RCache history, the registration
+/// table, and device memory — never on other cores — which is what makes
+/// the forked-shard execution order-independent.
+fn check_core(
+    cfg: &BcuConfig,
+    kernels: &HashMap<u16, ShieldSetup>,
+    core: &mut CoreBcu,
+    stats: &mut BcuStats,
+    violations: &mut Vec<ViolationRecord>,
+    access: &MemAccess,
+    vm: &VirtualMemorySpace,
+) -> GuardCheck {
+    match access.pointer.class() {
+        PtrClass::Unprotected => {
+            if cfg.strict_runtime_tags && access.site_check == SiteCheck::Runtime {
+                // A runtime site should only ever see Region pointers
+                // under the serving config; an untagged value here was
+                // forged from data, not issued by the driver.
+                stats.checks += 1;
+                return violate_into(
+                    cfg,
+                    stats,
+                    violations,
+                    access,
+                    ViolationKind::ForgedPointer,
+                    0,
+                    CheckPath::Unchecked,
+                );
+            }
+            // Type 1: static analysis already proved the access (or the
+            // shield never tagged this pointer). No work, no stall.
+            stats.unprotected += 1;
+            GuardCheck::allow_free()
         }
-        GuardCheck {
-            verdict: if self.cfg.precise_faults {
-                GuardVerdict::Fault
+        PtrClass::SizeEmbedded => {
+            if cfg.strict_runtime_tags && access.site_check == SiteCheck::Runtime {
+                // The attacker controls the embedded log2 size, so a
+                // crafted Type 3 value would bound-check against bounds
+                // of its own choosing — reject the class outright.
+                stats.checks += 1;
+                return violate_into(
+                    cfg,
+                    stats,
+                    violations,
+                    access,
+                    ViolationKind::ForgedPointer,
+                    0,
+                    CheckPath::Unchecked,
+                );
+            }
+            // Type 3: compare against the pointer-embedded log2 size —
+            // no RCache, no RBT (§5.3.3).
+            stats.checks += 1;
+            stats.type3_checks += 1;
+            let base = access.pointer.va();
+            let log2 = u32::from(access.pointer.info()).min(46);
+            let size = 1u64 << log2;
+            let (lo, hi) = access.range;
+            if lo >= base && hi <= base + size {
+                GuardCheck {
+                    verdict: GuardVerdict::Allow,
+                    stall_cycles: 0,
+                    path: CheckPath::SizeEmbedded,
+                }
             } else {
-                GuardVerdict::Squash
-            },
-            stall_cycles: stall,
-            path,
+                violate_into(
+                    cfg,
+                    stats,
+                    violations,
+                    access,
+                    ViolationKind::OutOfBounds,
+                    0,
+                    CheckPath::SizeEmbedded,
+                )
+            }
+        }
+        PtrClass::Region => {
+            stats.checks += 1;
+            let Some(setup) = kernels.get(&access.kernel_id).copied() else {
+                // No registration means no metadata was consulted.
+                return violate_into(
+                    cfg,
+                    stats,
+                    violations,
+                    access,
+                    ViolationKind::UnknownKernel,
+                    0,
+                    CheckPath::Unchecked,
+                );
+            };
+            let id = decrypt_id(access.pointer.info(), setup.key);
+            let tag = (access.kernel_id, id);
+            let (entry, bcu_path, path) = if let Some(e) = core.l1.probe(tag) {
+                stats.l1_hits += 1;
+                // gather + L1 RCache + compare.
+                (e, 1 + cfg.l1_latency + 1, CheckPath::L1RCache)
+            } else if let Some(e) = core.l2.probe(tag) {
+                stats.l2_hits += 1;
+                if let Some(victim) = core.l1.fill(tag, e) {
+                    stats.rcache_evictions += 1;
+                    if victim.0 != tag.0 {
+                        stats.cross_kernel_evictions += 1;
+                    }
+                }
+                (
+                    e,
+                    1 + cfg.l1_latency + cfg.l2_latency + 1,
+                    CheckPath::L2RCache,
+                )
+            } else {
+                // Fetch from the RBT in device memory through the
+                // translation-bypass path (§5.4). The latency largely
+                // overlaps TLB misses (Fig. 11 argument); the visible
+                // part is a fixed penalty when the data access was an
+                // L1 hit.
+                stats.rbt_fetches += 1;
+                let e = read_entry(vm, setup.rbt_base, id).unwrap_or(BoundsEntry {
+                    valid: false,
+                    ..BoundsEntry::default()
+                });
+                for victim in [core.l2.fill(tag, e), core.l1.fill(tag, e)]
+                    .into_iter()
+                    .flatten()
+                {
+                    stats.rcache_evictions += 1;
+                    if victim.0 != tag.0 {
+                        stats.cross_kernel_evictions += 1;
+                    }
+                }
+                (
+                    e,
+                    1 + cfg.l1_latency + cfg.l2_latency + cfg.rbt_fetch_penalty,
+                    CheckPath::RbtFetch,
+                )
+            };
+            let stall = visible_stall(cfg, access, bcu_path);
+            if !entry.valid || entry.kernel_id != access.kernel_id {
+                return violate_into(
+                    cfg,
+                    stats,
+                    violations,
+                    access,
+                    ViolationKind::BadRegion,
+                    stall,
+                    path,
+                );
+            }
+            if entry.readonly && access.is_store {
+                return violate_into(
+                    cfg,
+                    stats,
+                    violations,
+                    access,
+                    ViolationKind::ReadOnly,
+                    stall,
+                    path,
+                );
+            }
+            let (lo, hi) = access.range;
+            if !entry.in_bounds(lo, hi) {
+                return violate_into(
+                    cfg,
+                    stats,
+                    violations,
+                    access,
+                    ViolationKind::OutOfBounds,
+                    stall,
+                    path,
+                );
+            }
+            stats.stall_cycles += stall;
+            GuardCheck {
+                verdict: GuardVerdict::Allow,
+                stall_cycles: stall,
+                path,
+            }
         }
     }
+}
 
-    /// The Fig. 12 stall-visibility rule: checking overlaps the LSU
-    /// pipeline; only a single-transaction access that hits the L1 Dcache
-    /// exposes the part of the BCU path that exceeds the overlap budget.
-    ///
-    /// In the per-thread ablation the comparator is occupied for one cycle
-    /// per active lane, so everything beyond the overlap budget becomes
-    /// visible regardless of how the data access fared.
-    fn visible_stall(&self, access: &MemAccess, bcu_path: u64) -> u64 {
-        if self.cfg.per_thread_checks {
-            let path = bcu_path + access.active_lanes as u64;
-            return path.saturating_sub(self.cfg.lsu_overlap.saturating_sub(1));
-        }
-        if access.transactions == 1 && access.l1d_all_hit {
-            bcu_path.saturating_sub(self.cfg.lsu_overlap.saturating_sub(1))
-        } else {
-            0
-        }
+/// One core's slice of the BCU, checked from a worker thread during a
+/// parallel phase. Holds the core's RCache pair mutably plus a private
+/// observation inbox; the registration table is shared read-only.
+struct BcuShard<'a> {
+    cfg: BcuConfig,
+    kernels: &'a HashMap<u16, ShieldSetup>,
+    core: &'a mut CoreBcu,
+    pending: &'a mut CorePending,
+}
+
+impl CoreGuard for BcuShard<'_> {
+    fn check(&mut self, access: &MemAccess, vm: &VirtualMemorySpace) -> GuardCheck {
+        check_core(
+            &self.cfg,
+            self.kernels,
+            self.core,
+            &mut self.pending.stats,
+            &mut self.pending.violations,
+            access,
+            vm,
+        )
+    }
+
+    fn on_kernel_end(&mut self, kernel_id: u16) {
+        self.core.l1.flush_kernel(kernel_id);
+        self.core.l2.flush_kernel(kernel_id);
     }
 }
 
 impl MemGuard for Bcu {
     fn check(&mut self, access: &MemAccess, vm: &VirtualMemorySpace) -> GuardCheck {
-        match access.pointer.class() {
-            PtrClass::Unprotected => {
-                if self.cfg.strict_runtime_tags && access.site_check == SiteCheck::Runtime {
-                    // A runtime site should only ever see Region pointers
-                    // under the serving config; an untagged value here was
-                    // forged from data, not issued by the driver.
-                    self.stats.checks += 1;
-                    return self.violate(
-                        access,
-                        ViolationKind::ForgedPointer,
-                        0,
-                        CheckPath::Unchecked,
-                    );
-                }
-                // Type 1: static analysis already proved the access (or the
-                // shield never tagged this pointer). No work, no stall.
-                self.stats.unprotected += 1;
-                GuardCheck::allow_free()
-            }
-            PtrClass::SizeEmbedded => {
-                if self.cfg.strict_runtime_tags && access.site_check == SiteCheck::Runtime {
-                    // The attacker controls the embedded log2 size, so a
-                    // crafted Type 3 value would bound-check against bounds
-                    // of its own choosing — reject the class outright.
-                    self.stats.checks += 1;
-                    return self.violate(
-                        access,
-                        ViolationKind::ForgedPointer,
-                        0,
-                        CheckPath::Unchecked,
-                    );
-                }
-                // Type 3: compare against the pointer-embedded log2 size —
-                // no RCache, no RBT (§5.3.3).
-                self.stats.checks += 1;
-                self.stats.type3_checks += 1;
-                let base = access.pointer.va();
-                let log2 = u32::from(access.pointer.info()).min(46);
-                let size = 1u64 << log2;
-                let (lo, hi) = access.range;
-                if lo >= base && hi <= base + size {
-                    GuardCheck {
-                        verdict: GuardVerdict::Allow,
-                        stall_cycles: 0,
-                        path: CheckPath::SizeEmbedded,
-                    }
-                } else {
-                    self.violate(
-                        access,
-                        ViolationKind::OutOfBounds,
-                        0,
-                        CheckPath::SizeEmbedded,
-                    )
-                }
-            }
-            PtrClass::Region => {
-                self.stats.checks += 1;
-                let Some(setup) = self.kernels.get(&access.kernel_id).copied() else {
-                    // No registration means no metadata was consulted.
-                    return self.violate(
-                        access,
-                        ViolationKind::UnknownKernel,
-                        0,
-                        CheckPath::Unchecked,
-                    );
-                };
-                let id = decrypt_id(access.pointer.info(), setup.key);
-                let tag = (access.kernel_id, id);
-                let core = &mut self.cores[access.core];
-                let (entry, bcu_path, path) = if let Some(e) = core.l1.probe(tag) {
-                    self.stats.l1_hits += 1;
-                    // gather + L1 RCache + compare.
-                    (e, 1 + self.cfg.l1_latency + 1, CheckPath::L1RCache)
-                } else if let Some(e) = core.l2.probe(tag) {
-                    self.stats.l2_hits += 1;
-                    if let Some(victim) = core.l1.fill(tag, e) {
-                        self.stats.rcache_evictions += 1;
-                        if victim.0 != tag.0 {
-                            self.stats.cross_kernel_evictions += 1;
-                        }
-                    }
-                    (
-                        e,
-                        1 + self.cfg.l1_latency + self.cfg.l2_latency + 1,
-                        CheckPath::L2RCache,
-                    )
-                } else {
-                    // Fetch from the RBT in device memory through the
-                    // translation-bypass path (§5.4). The latency largely
-                    // overlaps TLB misses (Fig. 11 argument); the visible
-                    // part is a fixed penalty when the data access was an
-                    // L1 hit.
-                    self.stats.rbt_fetches += 1;
-                    let e = read_entry(vm, setup.rbt_base, id).unwrap_or(BoundsEntry {
-                        valid: false,
-                        ..BoundsEntry::default()
-                    });
-                    for victim in [core.l2.fill(tag, e), core.l1.fill(tag, e)]
-                        .into_iter()
-                        .flatten()
-                    {
-                        self.stats.rcache_evictions += 1;
-                        if victim.0 != tag.0 {
-                            self.stats.cross_kernel_evictions += 1;
-                        }
-                    }
-                    (
-                        e,
-                        1 + self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.rbt_fetch_penalty,
-                        CheckPath::RbtFetch,
-                    )
-                };
-                let stall = self.visible_stall(access, bcu_path);
-                if !entry.valid || entry.kernel_id != access.kernel_id {
-                    return self.violate(access, ViolationKind::BadRegion, stall, path);
-                }
-                if entry.readonly && access.is_store {
-                    return self.violate(access, ViolationKind::ReadOnly, stall, path);
-                }
-                let (lo, hi) = access.range;
-                if !entry.in_bounds(lo, hi) {
-                    return self.violate(access, ViolationKind::OutOfBounds, stall, path);
-                }
-                self.stats.stall_cycles += stall;
-                GuardCheck {
-                    verdict: GuardVerdict::Allow,
-                    stall_cycles: stall,
-                    path,
-                }
-            }
-        }
+        check_core(
+            &self.cfg,
+            &self.kernels,
+            &mut self.cores[access.core],
+            &mut self.stats,
+            &mut self.violations,
+            access,
+            vm,
+        )
     }
 
     fn on_kernel_end(&mut self, kernel_id: u16) {
@@ -449,6 +573,48 @@ impl MemGuard for Bcu {
 
     fn name(&self) -> &str {
         "gpushield"
+    }
+
+    fn supports_fork(&self, num_cores: usize) -> bool {
+        num_cores == self.cores.len()
+    }
+
+    fn fork_cores(&mut self, num_cores: usize) -> Option<Vec<Box<dyn CoreGuard + Send + '_>>> {
+        if num_cores != self.cores.len() {
+            return None;
+        }
+        if self.pending.len() != num_cores {
+            self.pending.clear();
+            self.pending.resize_with(num_cores, CorePending::default);
+        }
+        let cfg = self.cfg;
+        let kernels = &self.kernels;
+        Some(
+            self.cores
+                .iter_mut()
+                .zip(self.pending.iter_mut())
+                .map(|(core, pending)| {
+                    Box::new(BcuShard {
+                        cfg,
+                        kernels,
+                        core,
+                        pending,
+                    }) as Box<dyn CoreGuard + Send + '_>
+                })
+                .collect(),
+        )
+    }
+
+    fn merge_forked(&mut self) {
+        for p in &mut self.pending {
+            self.stats.absorb(&p.stats);
+            p.stats = BcuStats::default();
+            for v in p.violations.drain(..) {
+                if self.violations.len() < 4096 {
+                    self.violations.push(v);
+                }
+            }
+        }
     }
 }
 

@@ -27,11 +27,14 @@
 //! let kernel = Arc::new(b.finish()?);
 //!
 //! // Protected system: the launch is aborted with a bounds violation.
+//! // The abort lands at the cycle of the canonically-first violation;
+//! // cores still in flight inside the same scheduling quantum may log
+//! // further (deterministic) records for the same doomed launch.
 //! let mut sys = System::new(SystemConfig::nvidia_protected());
 //! let buf = sys.alloc(64 * 4)?;
 //! let report = sys.launch(kernel, 4, 32, &[Arg::Buffer(buf)])?;
 //! assert!(!report.completed());
-//! assert_eq!(sys.violations().len(), 1);
+//! assert!(!sys.violations().is_empty());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

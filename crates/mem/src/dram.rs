@@ -145,6 +145,55 @@ impl Dram {
             *ch = Channel::default();
         }
     }
+
+    /// Builds a timing-only snapshot of the channel state for speculative
+    /// scheduling (see [`DramView`]).
+    pub fn view(&self) -> DramView {
+        DramView {
+            cfg: self.cfg,
+            channels: self.channels.clone(),
+        }
+    }
+
+    /// Refreshes an existing view in place (no allocation once the channel
+    /// vector exists).
+    pub fn refresh_view(&self, view: &mut DramView) {
+        view.cfg = self.cfg;
+        view.channels.clear();
+        view.channels.extend_from_slice(&self.channels);
+    }
+}
+
+/// A private timing-only copy of the DRAM channel state.
+///
+/// The parallel engine gives each SIMT core a view refreshed from the real
+/// [`Dram`] at every quantum start; during the phase the core predicts
+/// completion cycles against its view (mutating only the copy), and the
+/// quantum drain replays the accesses against the real device in canonical
+/// order. Views never touch statistics — those come from the replay.
+#[derive(Debug, Clone, Default)]
+pub struct DramView {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+}
+
+impl DramView {
+    /// Predicted completion cycle for a request at `pa` issued at `now`,
+    /// using the same FR-FCFS timing math as [`Dram::access`].
+    pub fn access(&mut self, pa: u64, now: u64) -> u64 {
+        let ch_idx = ((pa / 256) % self.channels.len() as u64) as usize;
+        let row = pa / (self.cfg.row_bytes * self.channels.len() as u64);
+        let ch = &mut self.channels[ch_idx];
+        let start = now.max(ch.busy_until);
+        let service = if ch.open_row == Some(row) {
+            self.cfg.row_hit_cycles
+        } else {
+            self.cfg.row_miss_cycles
+        };
+        ch.open_row = Some(row);
+        ch.busy_until = start + service;
+        start + service + self.cfg.interconnect_cycles
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ mod vm;
 
 pub use cache::{Cache, CacheStats, Replacement};
 pub use coalesce::{coalesce_warp, coalesce_warp_into, Transaction, TRANSACTION_BYTES};
-pub use dram::{Dram, DramConfig, DramStats};
+pub use dram::{Dram, DramConfig, DramStats, DramView};
 pub use shared::{MemTimings, SharedMemorySystem};
 pub use telemetry::{
     publish_cache_stats, publish_dram_channels, publish_dram_stats, publish_tlb_stats,

@@ -110,6 +110,17 @@ impl SharedMemorySystem {
         &self.dram
     }
 
+    /// The L2 cache (read-only), for snapshot `probe`s by the parallel
+    /// engine's phase stage.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The shared L2 TLB (read-only), for snapshot `probe`s.
+    pub fn l2_tlb(&self) -> &Tlb {
+        &self.l2_tlb
+    }
+
     /// Flushes caches/TLB and resets statistics (fresh-context runs).
     pub fn reset(&mut self) {
         self.l2.flush();

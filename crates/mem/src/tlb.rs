@@ -45,6 +45,13 @@ impl Tlb {
         self.inner.access(va)
     }
 
+    /// Pure lookup: would `access` hit? No allocation, no statistics, no
+    /// LRU update — the observation the parallel engine's phase stage uses
+    /// to predict timing against a quantum-start snapshot.
+    pub fn probe(&self, va: u64) -> bool {
+        self.inner.probe(va)
+    }
+
     /// Flushes all translations.
     pub fn flush(&mut self) {
         self.inner.flush();

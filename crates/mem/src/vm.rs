@@ -13,9 +13,10 @@
 //! Allocation policies also include power-of-two alignment with padding,
 //! which GPUShield's Type 3 pointers require (§5.3.3).
 
-use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 /// Translation granularity (bytes).
 pub const PAGE_SIZE: u64 = 4096;
@@ -136,8 +137,16 @@ pub struct VirtualMemorySpace {
     /// translation is two array indexes.
     page_root: Vec<Option<Box<[u64; LEAF_ENTRIES]>>>,
     /// PA frame number → data, lazily populated (untouched pages read as
-    /// zero without materializing a frame).
-    frames: Vec<Option<Box<[u8]>>>,
+    /// zero without materializing a frame). Frames are atomic bytes behind
+    /// a `OnceLock` so the *run-time* data path (`read`, `write`,
+    /// `read_uint`, `write_uint`, the bypass pair) works through `&self`:
+    /// simulated cores on different worker threads share one address space
+    /// with no lock. Relaxed per-byte atomics deliberately model GPU global
+    /// memory: racing same-byte plain accesses from different cores within
+    /// one cycle quantum have no ordering guarantee (real GPUs give none
+    /// either); programs that need cross-core ordering use atomics, which
+    /// the simulator serialises at the quantum drain.
+    frames: Vec<OnceLock<Box<[AtomicU8]>>>,
     next_frame: u64,
     /// Bump cursor inside the current shared region.
     cursor: u64,
@@ -145,14 +154,56 @@ pub struct VirtualMemorySpace {
     cursor_region_end: u64,
     /// Next unmapped VA (regions are carved from here).
     next_region_va: u64,
-    /// Last successful [`VirtualMemorySpace::translate`]: `(page number +
-    /// 1, PA page base)`. Tag 0 never matches. Invalidated by
-    /// [`VirtualMemorySpace::protect`] (mappings are never removed, so new
-    /// regions cannot stale it).
-    last_xlate: Cell<(u64, u64)>,
+    /// Last successful [`VirtualMemorySpace::translate`], packed as
+    /// `(page number + 1) << XLATE_FRAME_BITS | frame` (0 = empty; see
+    /// [`xlate_pack`]). A single word so concurrent readers can share it
+    /// without tearing: the cache is pure memoization — a hit returns
+    /// exactly what the radix walk would — so cross-thread races only
+    /// affect *which* translation is remembered, never the result.
+    /// Invalidated by [`VirtualMemorySpace::protect`] (mappings are never
+    /// removed, so new regions cannot stale it).
+    last_xlate: AtomicU64,
     /// Last successful bypass translation; protection changes do not affect
     /// the bypass path, so this cache never needs invalidation.
-    last_bypass: Cell<(u64, u64)>,
+    last_bypass: AtomicU64,
+}
+
+/// Bits of the packed translation-cache word holding the frame number.
+/// VAs are ≤ 48 bits (pn + 1 < 2³⁷), leaving room for 26 frame bits —
+/// 256 GB of backing store; larger spaces simply skip the one-entry cache.
+const XLATE_FRAME_BITS: u32 = 26;
+
+/// Packs a translation-cache entry, or `None` when it does not fit.
+#[inline]
+fn xlate_pack(pn: u64, frame: u64) -> Option<u64> {
+    let tag = pn + 1;
+    (frame < (1 << XLATE_FRAME_BITS) && tag < (1 << (64 - XLATE_FRAME_BITS)))
+        .then_some((tag << XLATE_FRAME_BITS) | frame)
+}
+
+/// Probes a packed translation cache for `pn`, returning the PA page base.
+#[inline]
+fn xlate_probe(cache: &AtomicU64, pn: u64) -> Option<u64> {
+    let packed = cache.load(Ordering::Relaxed);
+    (packed >> XLATE_FRAME_BITS == pn + 1)
+        .then(|| (packed & ((1 << XLATE_FRAME_BITS) - 1)) * PAGE_SIZE)
+}
+
+/// Copies frame bytes out into a plain buffer (relaxed per-byte loads
+/// compile down to plain byte copies).
+#[inline]
+fn copy_out(src: &[AtomicU8], dst: &mut [u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.load(Ordering::Relaxed);
+    }
+}
+
+/// Copies a plain buffer into frame bytes.
+#[inline]
+fn copy_in(src: &[u8], dst: &[AtomicU8]) {
+    for (s, d) in src.iter().zip(dst) {
+        d.store(*s, Ordering::Relaxed);
+    }
 }
 
 /// Pages per page-table leaf (512 × 4 KB = one 2 MB region per leaf).
@@ -194,7 +245,8 @@ impl VirtualMemorySpace {
             self.next_frame += 1;
             va += PAGE_SIZE;
         }
-        self.frames.resize_with(self.next_frame as usize, || None);
+        self.frames
+            .resize_with(self.next_frame as usize, OnceLock::new);
         start
     }
 
@@ -260,7 +312,7 @@ impl VirtualMemorySpace {
         }
         // The normal-path translation cache may hold a page that just became
         // protected; drop it. (The bypass cache ignores protection.)
-        self.last_xlate.set((0, 0));
+        self.last_xlate.store(0, Ordering::Relaxed);
     }
 
     fn region_of(&self, va: u64) -> Option<&Region> {
@@ -280,8 +332,7 @@ impl VirtualMemorySpace {
     /// inside a protected one.
     pub fn translate(&self, va: u64) -> Result<u64, MemFault> {
         let pn = va / PAGE_SIZE;
-        let (tag, pa_base) = self.last_xlate.get();
-        if tag == pn + 1 {
+        if let Some(pa_base) = xlate_probe(&self.last_xlate, pn) {
             return Ok(pa_base + va % PAGE_SIZE);
         }
         match self.region_of(va) {
@@ -289,9 +340,10 @@ impl VirtualMemorySpace {
             Some(r) if r.protected => Err(MemFault::Protected { va }),
             Some(_) => {
                 let frame = self.lookup_frame(pn).ok_or(MemFault::Unmapped { va })?;
-                let pa_base = frame * PAGE_SIZE;
-                self.last_xlate.set((pn + 1, pa_base));
-                Ok(pa_base + va % PAGE_SIZE)
+                if let Some(packed) = xlate_pack(pn, frame) {
+                    self.last_xlate.store(packed, Ordering::Relaxed);
+                }
+                Ok(frame * PAGE_SIZE + va % PAGE_SIZE)
             }
         }
     }
@@ -301,30 +353,34 @@ impl VirtualMemorySpace {
     /// GPU cores will bypass the address translation").
     pub fn translate_bypass(&self, va: u64) -> Result<u64, MemFault> {
         let pn = va / PAGE_SIZE;
-        let (tag, pa_base) = self.last_bypass.get();
-        if tag == pn + 1 {
+        if let Some(pa_base) = xlate_probe(&self.last_bypass, pn) {
             return Ok(pa_base + va % PAGE_SIZE);
         }
         match self.region_of(va) {
             None => Err(MemFault::Unmapped { va }),
             Some(_) => {
                 let frame = self.lookup_frame(pn).ok_or(MemFault::Unmapped { va })?;
-                let pa_base = frame * PAGE_SIZE;
-                self.last_bypass.set((pn + 1, pa_base));
-                Ok(pa_base + va % PAGE_SIZE)
+                if let Some(packed) = xlate_pack(pn, frame) {
+                    self.last_bypass.store(packed, Ordering::Relaxed);
+                }
+                Ok(frame * PAGE_SIZE + va % PAGE_SIZE)
             }
         }
     }
 
     /// The frame's backing bytes, or `None` while it is still all-zero.
     #[inline]
-    fn frame(&self, frame: u64) -> Option<&[u8]> {
-        self.frames.get(frame as usize)?.as_deref()
+    fn frame(&self, frame: u64) -> Option<&[AtomicU8]> {
+        self.frames.get(frame as usize)?.get().map(|f| &f[..])
     }
 
-    fn frame_mut(&mut self, frame: u64) -> &mut [u8] {
+    /// The frame's backing bytes, materializing the zero-filled page on
+    /// first touch. Lock-free after initialization; losers of a racing
+    /// first touch drop their page and use the winner's (both are zero).
+    #[inline]
+    fn frame_init(&self, frame: u64) -> &[AtomicU8] {
         self.frames[frame as usize]
-            .get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+            .get_or_init(|| (0..PAGE_SIZE).map(|_| AtomicU8::new(0)).collect())
     }
 
     /// Reads `buf.len()` bytes starting at `va`.
@@ -343,7 +399,7 @@ impl VirtualMemorySpace {
             match self.frame(pa / PAGE_SIZE) {
                 Some(f) => {
                     let off = (pa % PAGE_SIZE) as usize;
-                    buf[done..done + take].copy_from_slice(&f[off..off + take]);
+                    copy_out(&f[off..off + take], &mut buf[done..done + take]);
                 }
                 None => buf[done..done + take].fill(0),
             }
@@ -358,7 +414,7 @@ impl VirtualMemorySpace {
     ///
     /// Faults as [`VirtualMemorySpace::translate`] does; bytes before the
     /// fault are written (device stores are not transactional).
-    pub fn write(&mut self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
+    pub fn write(&self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
         let mut done = 0usize;
         while done < buf.len() {
             let cur = va + done as u64;
@@ -366,8 +422,10 @@ impl VirtualMemorySpace {
             let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
             let take = in_page.min(buf.len() - done);
             let off = (pa % PAGE_SIZE) as usize;
-            self.frame_mut(pa / PAGE_SIZE)[off..off + take]
-                .copy_from_slice(&buf[done..done + take]);
+            copy_in(
+                &buf[done..done + take],
+                &self.frame_init(pa / PAGE_SIZE)[off..off + take],
+            );
             done += take;
         }
         Ok(())
@@ -394,7 +452,7 @@ impl VirtualMemorySpace {
     ///
     /// Faults as [`VirtualMemorySpace::write`] does, plus
     /// [`MemFault::BadWidth`] for widths outside 1..=8.
-    pub fn write_uint(&mut self, va: u64, width: u64, value: u64) -> Result<(), MemFault> {
+    pub fn write_uint(&self, va: u64, width: u64, value: u64) -> Result<(), MemFault> {
         if width == 0 || width > 8 {
             return Err(MemFault::BadWidth { width });
         }
@@ -407,7 +465,7 @@ impl VirtualMemorySpace {
     /// # Errors
     ///
     /// Faults only when the address is wholly unmapped.
-    pub fn write_bypass(&mut self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
+    pub fn write_bypass(&self, va: u64, buf: &[u8]) -> Result<(), MemFault> {
         let mut done = 0usize;
         while done < buf.len() {
             let cur = va + done as u64;
@@ -415,8 +473,10 @@ impl VirtualMemorySpace {
             let in_page = (PAGE_SIZE - pa % PAGE_SIZE) as usize;
             let take = in_page.min(buf.len() - done);
             let off = (pa % PAGE_SIZE) as usize;
-            self.frame_mut(pa / PAGE_SIZE)[off..off + take]
-                .copy_from_slice(&buf[done..done + take]);
+            copy_in(
+                &buf[done..done + take],
+                &self.frame_init(pa / PAGE_SIZE)[off..off + take],
+            );
             done += take;
         }
         Ok(())
@@ -437,7 +497,7 @@ impl VirtualMemorySpace {
             match self.frame(pa / PAGE_SIZE) {
                 Some(f) => {
                     let off = (pa % PAGE_SIZE) as usize;
-                    buf[done..done + take].copy_from_slice(&f[off..off + take]);
+                    copy_out(&f[off..off + take], &mut buf[done..done + take]);
                 }
                 None => buf[done..done + take].fill(0),
             }

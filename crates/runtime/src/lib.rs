@@ -23,6 +23,6 @@ pub mod pool;
 pub mod report;
 pub mod rng;
 
-pub use pool::{available_parallelism, JobPanic, JobResult};
+pub use pool::{available_parallelism, with_crew, CrewCtl, JobPanic, JobResult, SpinBarrier};
 pub use report::Json;
 pub use rng::StdRng;

@@ -16,8 +16,9 @@
 //! order — exactly the pre-pool sequential behaviour.
 
 use std::any::Any;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -94,35 +95,184 @@ where
             .collect();
     }
 
+    // Workers claim job indices through one atomic counter (no shared
+    // queue lock); each job slot's mutex is locked exactly once, by its
+    // unique claimant. Results accumulate in per-worker local vectors —
+    // no shared result slots to contend on — and are merged + sorted back
+    // into submission order at the end.
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let done: Vec<Mutex<Option<JobResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
+    let mut results: Vec<JobResult<T>> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = slots[i]
-                    .lock()
-                    .expect("job slot lock")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let result = run_one(i, job);
-                *done[i].lock().expect("result slot lock") = Some(result);
-            });
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let job = slots[i]
+                            .lock()
+                            .expect("job slot lock")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        local.push(run_one(i, job));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("pool worker thread"));
         }
     });
+    results.sort_unstable_by_key(|r| r.index);
+    results
+}
 
-    done.into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot lock")
-                .expect("every job ran to completion")
-        })
-        .collect()
+/// A sense-reversing spin barrier for tightly-coupled phase/drain loops.
+///
+/// All `n` participants block in [`SpinBarrier::wait`] until the last one
+/// arrives; the barrier is immediately reusable for the next round. Each
+/// participant keeps its own *sense* flag (passed in by `&mut`), flipped
+/// every round, so consecutive rounds cannot be confused. Waiting spins
+/// briefly (quantum rounds are microseconds apart) and then yields to the
+/// scheduler so oversubscribed hosts still make progress.
+pub struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// A barrier for `n` participants (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        SpinBarrier {
+            n: n.max(1),
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until all participants of this round have arrived.
+    pub fn wait(&self, local_sense: &mut bool) {
+        let target = !*local_sense;
+        *local_sense = target;
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(target, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != target {
+                spins = spins.wrapping_add(1);
+                if spins < 1 << 14 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Driver-side handle for a [`with_crew`] session.
+///
+/// The driver thread owns the round structure: every [`CrewCtl::round`]
+/// releases the parked workers, runs the work function inline as worker 0,
+/// and returns once every worker has finished the round.
+pub struct CrewCtl<'a> {
+    barrier: &'a SpinBarrier,
+    sense: Cell<bool>,
+    work: &'a (dyn Fn(usize) + Sync),
+}
+
+impl CrewCtl<'_> {
+    /// Runs one round: all workers (the driver included, as worker 0)
+    /// execute the work function once, then rendezvous.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the driver's own work-function call after
+    /// completing the rendezvous (so spawned workers are never left
+    /// stranded at the barrier).
+    pub fn round(&self) {
+        let mut s = self.sense.get();
+        self.barrier.wait(&mut s); // release the crew into the round
+        let r = catch_unwind(AssertUnwindSafe(|| (self.work)(0)));
+        self.barrier.wait(&mut s); // join: everyone finished the round
+        self.sense.set(s);
+        if let Err(p) = r {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Runs `driver` with a persistent crew of `workers` threads executing
+/// `work` once per [`CrewCtl::round`] — the fan-out primitive for
+/// quantum-stepped simulation, where re-spawning threads every few dozen
+/// simulated cycles would dwarf the work itself.
+///
+/// The crew is spawned once (scoped, borrowing the caller's state), parks
+/// on a [`SpinBarrier`] between rounds, and is shut down when `driver`
+/// returns. Worker index 0 is the driver thread itself, so `workers == 1`
+/// spawns nothing and runs every round inline. A panic inside `work` on
+/// any thread is caught, the round completes, and the panic is re-raised
+/// on the driver thread.
+pub fn with_crew<R>(
+    workers: usize,
+    work: impl Fn(usize) + Sync,
+    driver: impl FnOnce(&CrewCtl) -> R,
+) -> R {
+    let workers = workers.max(1);
+    let barrier = SpinBarrier::new(workers);
+    let stop = AtomicBool::new(false);
+    let crew_panic: Mutex<Option<String>> = Mutex::new(None);
+    let r = std::thread::scope(|scope| {
+        for w in 1..workers {
+            let barrier = &barrier;
+            let stop = &stop;
+            let work = &work;
+            let crew_panic = &crew_panic;
+            scope.spawn(move || {
+                let mut sense = false;
+                loop {
+                    barrier.wait(&mut sense); // wait for a round (or stop)
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Err(p) = catch_unwind(AssertUnwindSafe(|| work(w))) {
+                        let mut slot = crew_panic.lock().expect("crew panic slot");
+                        slot.get_or_insert_with(|| panic_message(p.as_ref()));
+                    }
+                    barrier.wait(&mut sense); // join the round
+                }
+            });
+        }
+        let ctl = CrewCtl {
+            barrier: &barrier,
+            sense: Cell::new(false),
+            work: &work,
+        };
+        let r = catch_unwind(AssertUnwindSafe(|| driver(&ctl)));
+        // Shut the crew down even when the driver unwound: workers are
+        // parked at the release barrier and must observe `stop`.
+        stop.store(true, Ordering::Release);
+        if workers > 1 {
+            let mut s = ctl.sense.get();
+            barrier.wait(&mut s);
+        }
+        r
+    });
+    if let Some(msg) = crew_panic.into_inner().expect("crew panic slot") {
+        panic!("crew worker panicked: {msg}");
+    }
+    match r {
+        Ok(v) => v,
+        Err(p) => resume_unwind(p),
+    }
 }
 
 /// [`run`], unwrapping every result and re-raising the first panic.
@@ -218,5 +368,76 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
             vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
         let _ = run_all(jobs, 2);
+    }
+
+    #[test]
+    fn crew_runs_every_worker_every_round() {
+        for workers in [1usize, 2, 4, 7] {
+            let hits: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+            let rounds = 50;
+            with_crew(
+                workers,
+                |w| {
+                    hits[w].fetch_add(1, Ordering::Relaxed);
+                },
+                |ctl| {
+                    for _ in 0..rounds {
+                        ctl.round();
+                    }
+                },
+            );
+            for (w, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    rounds,
+                    "worker {w} of {workers} must run every round"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crew_driver_return_value_passes_through() {
+        let v = with_crew(
+            3,
+            |_| {},
+            |ctl| {
+                ctl.round();
+                42u64
+            },
+        );
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "crew worker panicked: round bomb")]
+    fn crew_worker_panic_is_reraised_on_driver() {
+        with_crew(
+            4,
+            |w| {
+                if w == 3 {
+                    panic!("round bomb");
+                }
+            },
+            |ctl| ctl.round(),
+        );
+    }
+
+    #[test]
+    fn spin_barrier_round_trips() {
+        let b = SpinBarrier::new(3);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let mut sense = false;
+                    for _ in 0..100 {
+                        total.fetch_add(1, Ordering::Relaxed);
+                        b.wait(&mut sense);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 300);
     }
 }

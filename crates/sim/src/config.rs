@@ -49,6 +49,12 @@ pub struct GpuConfig {
     /// `RunError::HeapDeadlock` when nothing ever frees. When false
     /// (default, matching CUDA device malloc) the allocation returns NULL.
     pub malloc_blocks_on_exhaustion: bool,
+    /// Worker threads the simulator's cycle-quantum engine shards SIMT
+    /// cores across (clamped to `[1, num_cores]`). Simulation results are
+    /// bit-identical for every value — parallelism changes wall-clock
+    /// time, never simulated behaviour — so this is a host-side tuning
+    /// knob, not part of the modelled hardware.
+    pub sim_threads: usize,
 }
 
 impl GpuConfig {
@@ -75,6 +81,7 @@ impl GpuConfig {
             heap_alloc_cycles: 12,
             max_cycles: u64::MAX,
             malloc_blocks_on_exhaustion: false,
+            sim_threads: 1,
         }
     }
 
@@ -102,6 +109,7 @@ impl GpuConfig {
             heap_alloc_cycles: 12,
             max_cycles: u64::MAX,
             malloc_blocks_on_exhaustion: false,
+            sim_threads: 1,
         }
     }
 
@@ -127,6 +135,7 @@ impl GpuConfig {
             heap_alloc_cycles: 50,
             max_cycles: u64::MAX,
             malloc_blocks_on_exhaustion: false,
+            sim_threads: 1,
         }
     }
 

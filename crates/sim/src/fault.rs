@@ -220,6 +220,13 @@ impl FaultSession {
         });
     }
 
+    /// True when the session's plan schedules nothing: no fault can ever
+    /// come due, so a run under this session is equivalent to an
+    /// unfaulted run.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
     /// Every fault that came due, in firing order.
     pub fn injected(&self) -> &[InjectionRecord] {
         &self.injected

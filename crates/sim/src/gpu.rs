@@ -20,6 +20,13 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+/// The deterministic cycle-quantum parallel engine. A child module of
+/// `gpu` (not a sibling) so it can reuse every private piece of the
+/// sequential model — `Core`, `LaunchState`, scheduling and LSU helpers —
+/// without widening their visibility.
+#[path = "par.rs"]
+mod par;
+
 const VA_MASK: u64 = (1 << 48) - 1;
 
 /// How concurrent kernels share the GPU (§6.2).
@@ -256,9 +263,16 @@ impl Gpu {
         guard: Option<&mut dyn MemGuard>,
     ) -> Result<RunReport, RunError> {
         self.shared.begin_run();
-        let mut st = RunState::new(&self.cfg, vm, &mut self.shared, launches, mode, guard)?;
-        st.run()?;
-        Ok(st.into_report())
+        par::run_engine(
+            &self.cfg,
+            vm,
+            &mut self.shared,
+            launches,
+            mode,
+            guard,
+            None,
+            None,
+        )
     }
 
     /// Like [`Gpu::run`], recording dispatch/memory/barrier/retire events
@@ -275,17 +289,16 @@ impl Gpu {
         trace: &mut Trace,
     ) -> Result<RunReport, RunError> {
         self.shared.begin_run();
-        let mut st = RunState::new(
+        par::run_engine(
             &self.cfg,
             vm,
             &mut self.shared,
             launches,
             MultiKernelMode::IntraCore,
             guard,
-        )?;
-        st.trace = Some(trace);
-        st.run()?;
-        Ok(st.into_report())
+            Some(trace),
+            None,
+        )
     }
 
     /// Like [`Gpu::run`], additionally recording, for every static memory
@@ -340,6 +353,11 @@ impl Gpu {
         guard: Option<&mut dyn MemGuard>,
         session: &mut FaultSession,
     ) -> Result<RunReport, RunError> {
+        if session.is_empty() {
+            // Nothing can ever fire: take the quantum engine so the
+            // documented "empty plan ≡ run" equivalence holds exactly.
+            return self.run(vm, launches, guard);
+        }
         self.shared.begin_run();
         let mut st = RunState::new(
             &self.cfg,
@@ -379,22 +397,16 @@ impl Gpu {
         trace: Option<&mut Trace>,
     ) -> Result<RunReport, RunError> {
         self.shared.begin_run();
-        let mut st = RunState::new(
+        let report = par::run_engine(
             &self.cfg,
             vm,
             &mut self.shared,
             launches,
             MultiKernelMode::IntraCore,
             guard,
+            trace,
+            registry.enabled().then_some(&mut *registry),
         )?;
-        st.trace = trace;
-        st.telemetry = if registry.enabled() {
-            Some(TeleCtx::new(&mut *registry))
-        } else {
-            None
-        };
-        st.run()?;
-        let report = st.into_report();
         stats::publish_run_report(registry, &report);
         gpushield_mem::publish_dram_channels(registry, "mem.dram", self.shared.dram());
         Ok(report)
@@ -435,6 +447,45 @@ impl<'t> TeleCtx<'t> {
     }
 }
 
+/// Validates the launches and builds their per-run bookkeeping. Shared by
+/// the sequential [`RunState`] and the quantum engine in [`par`].
+fn build_launch_states(
+    cfg: &GpuConfig,
+    launches: &[KernelLaunch],
+) -> Result<Vec<LaunchState>, RunError> {
+    assert!(!launches.is_empty(), "no launches given");
+    let mut ls = Vec::with_capacity(launches.len());
+    for l in launches {
+        l.assert_bound();
+        let warps_per_wg = (l.launch.block as usize).div_ceil(cfg.warp_width);
+        // Reject workgroups that cannot fit an empty core.
+        let regs_needed = warps_per_wg * usize::from(l.kernel.num_regs()) * cfg.warp_width;
+        if warps_per_wg > cfg.max_warps_per_core()
+            || regs_needed > cfg.regs_per_core
+            || l.kernel.shared_bytes() > cfg.shared_per_core
+        {
+            return Err(RunError::WorkgroupTooLarge {
+                kernel: l.kernel.name().to_string(),
+            });
+        }
+        ls.push(LaunchState {
+            recon: ReconvergenceTable::build(&l.kernel),
+            warps_per_wg,
+            next_wg: 0,
+            wgs_retired: 0,
+            aborted: false,
+            report: LaunchReport {
+                kernel: l.kernel.name().to_string(),
+                kernel_id: l.kernel_id,
+                ..LaunchReport::default()
+            },
+            launch: l.clone(),
+            observed: None,
+        });
+    }
+    Ok(ls)
+}
+
 struct RunState<'c, 'v, 'g, 't> {
     cfg: &'c GpuConfig,
     vm: &'v mut VirtualMemorySpace,
@@ -462,36 +513,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         mode: MultiKernelMode,
         guard: Option<&'g mut (dyn MemGuard + 'g)>,
     ) -> Result<Self, RunError> {
-        assert!(!launches.is_empty(), "no launches given");
-        let mut ls = Vec::with_capacity(launches.len());
-        for l in launches {
-            l.assert_bound();
-            let warps_per_wg = (l.launch.block as usize).div_ceil(cfg.warp_width);
-            // Reject workgroups that cannot fit an empty core.
-            let regs_needed = warps_per_wg * usize::from(l.kernel.num_regs()) * cfg.warp_width;
-            if warps_per_wg > cfg.max_warps_per_core()
-                || regs_needed > cfg.regs_per_core
-                || l.kernel.shared_bytes() > cfg.shared_per_core
-            {
-                return Err(RunError::WorkgroupTooLarge {
-                    kernel: l.kernel.name().to_string(),
-                });
-            }
-            ls.push(LaunchState {
-                recon: ReconvergenceTable::build(&l.kernel),
-                warps_per_wg,
-                next_wg: 0,
-                wgs_retired: 0,
-                aborted: false,
-                report: LaunchReport {
-                    kernel: l.kernel.name().to_string(),
-                    kernel_id: l.kernel_id,
-                    ..LaunchReport::default()
-                },
-                launch: l.clone(),
-                observed: None,
-            });
-        }
+        let ls = build_launch_states(cfg, launches)?;
         Ok(RunState {
             cfg,
             vm,

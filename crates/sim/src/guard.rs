@@ -119,7 +119,11 @@ impl GuardCheck {
 /// software-tool cost models (crate `gpushield-baselines`). The simulator
 /// owns the guard mutably for a whole run; per-core state (RCaches) is the
 /// implementation's business, keyed by [`MemAccess::core`].
-pub trait MemGuard {
+///
+/// `Send` is required because the cycle-quantum engine may consult a
+/// non-forkable guard from its (single) worker context; all guards are
+/// plain owned state, so the bound is free in practice.
+pub trait MemGuard: Send {
     /// Observes one warp-level access and returns the verdict plus visible
     /// stall. `vm` grants read access to bounds metadata in device memory
     /// (the RBT) via the translation-bypass path.
@@ -141,6 +145,55 @@ pub trait MemGuard {
 
     /// Human-readable mechanism name (for reports).
     fn name(&self) -> &str;
+
+    /// Splits the guard into one independently-owned checker per SIMT
+    /// core so the parallel engine can consult them from worker threads
+    /// during a cycle quantum. Implementations whose per-core state is
+    /// already disjoint (GPUShield's BCU: per-core RCaches) hand out
+    /// shards borrowing `self`; the default reports `None`, which makes
+    /// the engine fall back to single-worker execution with the whole
+    /// guard (still quantum-based, still deterministic).
+    ///
+    /// Contract: while shards are alive the parent is unusable (they
+    /// borrow it mutably); after they drop, [`MemGuard::merge_forked`]
+    /// folds the per-core observations (statistics, violation logs) back
+    /// into the parent in canonical core order.
+    ///
+    /// Must return `Some` exactly when [`MemGuard::supports_fork`] reports
+    /// `true` for the same `num_cores`.
+    fn fork_cores(&mut self, num_cores: usize) -> Option<Vec<Box<dyn CoreGuard + Send + '_>>> {
+        let _ = num_cores;
+        None
+    }
+
+    /// Whether [`MemGuard::fork_cores`] would hand out shards for
+    /// `num_cores` cores. A separate probe (rather than matching on the
+    /// fork result) lets the engine keep using the whole guard on the
+    /// `false` path without borrowing conflicts.
+    fn supports_fork(&self, num_cores: usize) -> bool {
+        let _ = num_cores;
+        false
+    }
+
+    /// Folds observations accumulated by forked shards back into the
+    /// guard. No-op when [`MemGuard::fork_cores`] returned `None`.
+    fn merge_forked(&mut self) {}
+}
+
+/// A per-core slice of a [`MemGuard`], usable from a worker thread.
+///
+/// A shard only ever sees accesses for its own core, so all its mutable
+/// state (RCache tag arrays, per-core counters) is private to one worker;
+/// determinism follows because the check result depends only on the
+/// shard's own history, never on which thread runs it.
+pub trait CoreGuard: Send {
+    /// As [`MemGuard::check`], for this shard's core only.
+    fn check(&mut self, access: &MemAccess, vm: &VirtualMemorySpace) -> GuardCheck;
+
+    /// As [`MemGuard::on_kernel_end`], flushing this core's cached
+    /// metadata for `kernel_id`. The engine calls every shard at the
+    /// quantum drain where the kernel retires.
+    fn on_kernel_end(&mut self, kernel_id: u16);
 }
 
 #[cfg(test)]

@@ -1,0 +1,1906 @@
+//! Deterministic cycle-quantum parallel engine.
+//!
+//! [`run_engine`] advances the GPU in fixed *quanta* of [`QUANTUM`]
+//! simulated cycles. Inside a quantum, every SIMT core is advanced
+//! independently — a crew of worker threads claims cores from a shared
+//! counter — against an **immutable snapshot** of the shared memory
+//! system: per-core L1/L1-TLB state mutates live (it is core-private),
+//! while L2/L2-TLB hits are *predicted* with side-effect-free probes and
+//! DRAM timing with a private per-core [`DramView`]. Every side effect
+//! that crosses core boundaries (L2/DRAM state, trace records, launch
+//! counters, aborts) is buffered in a per-core outbox with a `(cycle,
+//! core, seq)` key.
+//!
+//! At the quantum barrier the driver thread *drains* the outboxes: it
+//! merges counters in core order, sorts the buffered events by their
+//! canonical key, and replays them against the real shared memory system.
+//! Because the canonical order is a pure function of simulated time — not
+//! of which worker ran first — every scheduling decision, cache state
+//! transition, verdict and cycle count is identical for every worker
+//! count, including one.
+//!
+//! Three operations are not executed inside the phase at all because they
+//! touch globally shared *mutable* state: device-heap `malloc`/`free`
+//! (the serialized allocator lock) and global-memory atomics (read-
+//! modify-write ordering). Issuing one *parks* the warp (`ready_at =
+//! u64::MAX`, pc not advanced); the drain re-derives the instruction from
+//! the frozen warp state and executes it with the legacy sequential
+//! semantics at its recorded issue cycle, in canonical order.
+//!
+//! Model deltas vs. the sequential engine (all deterministic): workgroup
+//! dispatch happens at quantum boundaries; an abort strips the launch at
+//! the end of its quantum, so other cores may execute up to one quantum
+//! of extra instructions for an aborting launch; L2/L2-TLB/DRAM timing
+//! seen by a warp is the quantum-start prediction rather than the
+//! serially-interleaved value. Plain (non-atomic) global accesses by
+//! *different* cores to the *same* location inside one quantum are data
+//! races in the programming model and take no defined interleaving.
+
+use super::{
+    build_launch_states, Core, GpuConfig, HeapRun, LaunchState, MultiKernelMode, ResidentWg,
+    RunError, TeleCtx, VA_MASK,
+};
+use crate::guard::{CoreGuard, GuardCheck, GuardVerdict, MemAccess, MemGuard};
+use crate::launch::{KernelLaunch, SiteCheck};
+use crate::stats::{AbortReason, LaunchReport, RunReport, SimProfile, StallAttribution};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::warp::{ExecCtx, SimpleOutcome, Warp};
+use gpushield_isa::{AddrExpr, BlockId, Instr, MemSpace, Operand, TaggedPtr, VReg};
+use gpushield_mem::coalesce::warp_address_range;
+use gpushield_mem::{
+    coalesce_warp_into, DramView, MemFault, SharedMemorySystem, VirtualMemorySpace,
+};
+use gpushield_runtime::with_crew;
+use gpushield_telemetry::{MetricId, Registry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{LockResult, Mutex, RwLock};
+
+/// Simulated cycles per parallel phase. Large enough to amortize the
+/// barrier + drain, small enough that the boundary-only dispatch and the
+/// quantum-granular abort stay close to the sequential model.
+const QUANTUM: u64 = 64;
+
+/// Unwraps a lock result, adopting the data on poisoning. A poisoned lock
+/// here means a worker panicked mid-quantum; the crew re-raises that
+/// panic on the driver thread, so pressing on with the inner data never
+/// publishes results built from the poisoned state.
+fn lock_ok<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Per-launch counter deltas accumulated core-locally during a phase and
+/// folded into the real [`LaunchReport`]s at the drain, in core order.
+#[derive(Default)]
+struct LaunchAcc {
+    instructions: u64,
+    mem_instructions: u64,
+    transactions: u64,
+    checks_performed: u64,
+    checks_skipped: u64,
+    guard_stall_cycles: u64,
+    violations_squashed: u64,
+    stall_attribution: StallAttribution,
+}
+
+impl LaunchAcc {
+    fn drain_into(&mut self, r: &mut LaunchReport) {
+        r.instructions += self.instructions;
+        r.mem_instructions += self.mem_instructions;
+        r.transactions += self.transactions;
+        r.checks_performed += self.checks_performed;
+        r.checks_skipped += self.checks_skipped;
+        r.guard_stall_cycles += self.guard_stall_cycles;
+        r.violations_squashed += self.violations_squashed;
+        r.stall_attribution.merge(&self.stall_attribution);
+        *self = LaunchAcc::default();
+    }
+}
+
+/// One buffered cross-core side effect, stamped with its issue cycle and
+/// a per-core sequence number so the drain can replay the quantum in a
+/// canonical total order.
+#[derive(Clone, Copy)]
+struct QEv {
+    t: u64,
+    seq: u32,
+    ev: Ev,
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    /// An L1-missing data transaction to replay against the real L2/DRAM.
+    Data(u64),
+    /// An L1-TLB-missing translation to replay against the real shared TLB.
+    Xlate(u64),
+    /// A warp parked on a serialized operation (malloc/free/global atomic),
+    /// identified by (launch, workgroup, warp-in-wg) because warp indices
+    /// shift when workgroups retire.
+    Parked { li: u32, wg: u64, win: u32 },
+    /// A workgroup of launch `li` fully retired on its core.
+    Retired { li: u32 },
+    /// The launch must abort (bounds violation or translation fault).
+    Abort { li: u32, reason: AbortReason },
+    /// A buffered trace record.
+    Trace(TraceEvent),
+}
+
+/// A drained event: [`QEv`] plus its core, forming the canonical sort key
+/// `(t, core, seq)`.
+struct DrainKey {
+    t: u64,
+    core: u32,
+    seq: u32,
+    ev: Ev,
+}
+
+/// Everything a core accumulates during one phase; cleared (capacity
+/// kept) by the drain, so steady-state quanta allocate nothing.
+#[derive(Default)]
+struct Outbox {
+    evs: Vec<QEv>,
+    seq: u32,
+    profile: SimProfile,
+    accs: Vec<LaunchAcc>,
+    /// Visible bounds-check stalls, in issue order, for the telemetry
+    /// histogram (observed at the drain in core order).
+    stalls: Vec<u64>,
+    no_issue: u64,
+    /// Instructions issued (including parks) this quantum.
+    issued: u64,
+    /// Cycles with at least one issue this quantum — the per-core load
+    /// signal behind `sim.parallel.*` skew telemetry.
+    busy: u64,
+}
+
+impl Outbox {
+    /// An outbox with its buffers sized for a full quantum up front, so a
+    /// run pays one warm-up allocation per buffer instead of replaying the
+    /// `Vec` doubling ladder — workloads made of many short launches
+    /// (one `run` each) would otherwise pay that ladder per launch.
+    fn for_run(n_launches: usize) -> Self {
+        let mut out = Outbox {
+            evs: Vec::with_capacity(QUANTUM as usize * 24),
+            stalls: Vec::with_capacity(QUANTUM as usize * 2),
+            ..Outbox::default()
+        };
+        out.accs.resize_with(n_launches, LaunchAcc::default);
+        out
+    }
+}
+
+/// One core's share of the machine: the simulated core itself, its
+/// outbox, its forked guard shard (when the guard supports forking), and
+/// its private DRAM timing view (refreshed from the real DRAM after every
+/// drain).
+struct CoreSlot<'g> {
+    core: Core,
+    out: Outbox,
+    shard: Option<Box<dyn CoreGuard + Send + 'g>>,
+    dram_view: DramView,
+}
+
+/// How a phase consults the bounds-check guard. Forked guards hand each
+/// core an independent shard; a non-forkable guard is shared behind a
+/// mutex, and the engine then runs single-worker so the check order stays
+/// canonical (core-major), which keeps results identical to the forked
+/// layout's per-core sequences.
+enum PhaseCheck<'a, 's, 'w, 'g> {
+    None,
+    Shard(&'a mut (dyn CoreGuard + Send + 's)),
+    Whole(&'a Mutex<&'w mut (dyn MemGuard + 'g)>),
+}
+
+impl PhaseCheck<'_, '_, '_, '_> {
+    fn some(&self) -> bool {
+        !matches!(self, PhaseCheck::None)
+    }
+
+    fn check(&mut self, access: &MemAccess, vm: &VirtualMemorySpace) -> GuardCheck {
+        match self {
+            PhaseCheck::None => GuardCheck::allow_free(),
+            PhaseCheck::Shard(g) => g.check(access, vm),
+            PhaseCheck::Whole(m) => lock_ok(m.lock()).check(access, vm),
+        }
+    }
+}
+
+/// The sequential engine's telemetry hooks plus the parallel-engine
+/// additions: quantum count, worst per-quantum busy-cycle skew between
+/// cores, and per-core busy-cycle gauges. Keyed per *core* (not per
+/// worker) so the published values are independent of how cores were
+/// claimed by threads.
+struct ParTele<'t> {
+    base: TeleCtx<'t>,
+    quantum_count: MetricId,
+    max_skew: MetricId,
+    busy: Vec<MetricId>,
+}
+
+impl<'t> ParTele<'t> {
+    fn new(reg: &'t mut Registry, num_cores: usize) -> Self {
+        let quantum_count = reg.counter("sim.parallel.quantum_count");
+        let max_skew = reg.gauge("sim.parallel.max_skew_cycles");
+        let busy = (0..num_cores)
+            .map(|i| reg.gauge(&format!("sim.parallel.cluster.{i}.busy_cycles")))
+            .collect();
+        ParTele {
+            base: TeleCtx::new(reg),
+            quantum_count,
+            max_skew,
+            busy,
+        }
+    }
+}
+
+fn push_ev(out: &mut Outbox, t: u64, ev: Ev) {
+    let seq = out.seq;
+    out.seq += 1;
+    out.evs.push(QEv { t, seq, ev });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_trace(
+    out: &mut Outbox,
+    want_trace: bool,
+    t: u64,
+    core: usize,
+    li: usize,
+    wg: u64,
+    warp: usize,
+    site: Option<(BlockId, usize)>,
+    kind: TraceKind,
+) {
+    if want_trace {
+        push_ev(
+            out,
+            t,
+            Ev::Trace(TraceEvent {
+                cycle: t,
+                core,
+                launch: li,
+                wg,
+                warp,
+                site,
+                kind,
+            }),
+        );
+    }
+}
+
+/// Greedy-then-oldest warp pick at cycle `t` — the sequential scheduler's
+/// policy verbatim, evaluated against core-local state only.
+fn pick_warp_at(core: &Core, t: u64) -> Option<usize> {
+    let ready = |w: &Warp| !w.done && !w.at_barrier && !w.blocked && w.ready_at <= t;
+    if let Some(i) = core.last_issued {
+        if let Some(w) = core.warps.get(i) {
+            if ready(w) {
+                return Some(i);
+            }
+        }
+    }
+    core.warps
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| ready(w))
+        .min_by_key(|(_, w)| w.age)
+        .map(|(i, _)| i)
+}
+
+fn recompute_next_ready(core: &Core) -> u64 {
+    core.warps
+        .iter()
+        .filter(|w| !w.done && !w.at_barrier && !w.blocked)
+        .map(|w| w.ready_at)
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// Timing prediction for a translation that missed the core's L1 TLB:
+/// the sequential `SharedMemorySystem::translate` arithmetic, with the
+/// snapshot probe standing in for the L2 TLB access and the core's
+/// private DRAM view standing in for the shared channels.
+fn predict_translate(shared: &SharedMemorySystem, dv: &mut DramView, va: u64, now: u64) -> u64 {
+    let tm = shared.timings();
+    let at_l2 = now + tm.l2_tlb_hit;
+    if shared.l2_tlb().probe(va) {
+        at_l2
+    } else {
+        dv.access((va >> 12) * 8, at_l2 + tm.walk)
+    }
+}
+
+/// Timing prediction for a data transaction that missed the core's L1
+/// Dcache (sequential `access_data` arithmetic against the snapshot).
+fn predict_data(shared: &SharedMemorySystem, dv: &mut DramView, pa: u64, now: u64) -> u64 {
+    let tm = shared.timings();
+    let at_l2 = now + tm.l2_hit;
+    if shared.l2().probe(pa) {
+        at_l2
+    } else {
+        dv.access(pa, at_l2)
+    }
+}
+
+/// Advances one core from `t0` to `t1`: the per-cycle issue loop of the
+/// sequential engine, restricted to core-local state + the snapshot.
+#[allow(clippy::too_many_arguments)]
+fn advance_core(
+    cfg: &GpuConfig,
+    t0: u64,
+    t1: u64,
+    core: &mut Core,
+    out: &mut Outbox,
+    check: &mut PhaseCheck<'_, '_, '_, '_>,
+    dram_view: &mut DramView,
+    launches: &[LaunchState],
+    shared: &SharedMemorySystem,
+    vm: &VirtualMemorySpace,
+    core_idx: usize,
+    want_trace: bool,
+) {
+    if out.accs.len() != launches.len() {
+        out.accs.resize_with(launches.len(), LaunchAcc::default);
+    }
+    let mut t = t0;
+    while t < t1 {
+        if core.next_ready_at > t {
+            if core.next_ready_at >= t1 {
+                break;
+            }
+            t = core.next_ready_at;
+            continue;
+        }
+        let mut issued = false;
+        for _ in 0..cfg.issue_width {
+            match pick_warp_at(core, t) {
+                Some(wi) => {
+                    core.last_issued = Some(wi);
+                    exec_warp_phase(
+                        cfg, t, core, out, check, dram_view, launches, shared, vm, core_idx,
+                        want_trace, wi,
+                    );
+                    out.issued += 1;
+                    issued = true;
+                }
+                None => {
+                    out.no_issue += 1;
+                    core.next_ready_at = recompute_next_ready(core);
+                    break;
+                }
+            }
+        }
+        if issued {
+            out.busy += 1;
+        }
+        t += 1;
+    }
+}
+
+fn exec_ctx(ls: &LaunchState) -> ExecCtx<'_> {
+    ExecCtx {
+        args: &ls.launch.args,
+        local_bases: &ls.launch.local_bases,
+        block_dim: u64::from(ls.launch.launch.block),
+        grid_dim: u64::from(ls.launch.launch.grid),
+    }
+}
+
+/// Parks a warp on a serialized operation: frozen in place (pc not
+/// advanced) until the drain re-derives and executes the instruction.
+fn park_warp(out: &mut Outbox, t: u64, core: &mut Core, wi: usize) {
+    let w = &mut core.warps[wi];
+    w.ready_at = u64::MAX;
+    push_ev(
+        out,
+        t,
+        Ev::Parked {
+            li: w.launch_idx as u32,
+            wg: w.wg,
+            win: w.warp_in_wg as u32,
+        },
+    );
+}
+
+/// Freezes a warp that triggered an abort verdict; the drain strips the
+/// whole launch when (and only when) this event is first in canonical
+/// order for that launch.
+fn freeze_abort(
+    out: &mut Outbox,
+    t: u64,
+    core: &mut Core,
+    wi: usize,
+    li: usize,
+    reason: AbortReason,
+) {
+    core.warps[wi].ready_at = u64::MAX;
+    push_ev(
+        out,
+        t,
+        Ev::Abort {
+            li: li as u32,
+            reason,
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_warp_phase(
+    cfg: &GpuConfig,
+    t: u64,
+    core: &mut Core,
+    out: &mut Outbox,
+    check: &mut PhaseCheck<'_, '_, '_, '_>,
+    dram_view: &mut DramView,
+    launches: &[LaunchState],
+    shared: &SharedMemorySystem,
+    vm: &VirtualMemorySpace,
+    core_idx: usize,
+    want_trace: bool,
+    wi: usize,
+) {
+    let li = core.warps[wi].launch_idx;
+    let outcome = {
+        let ls = &launches[li];
+        let ctx = exec_ctx(ls);
+        core.warps[wi].exec_simple(&ls.launch.kernel, &ls.recon, &ctx)
+    };
+    match outcome {
+        SimpleOutcome::Done => {
+            out.profile.alu_issues += 1;
+            out.accs[li].instructions += 1;
+            core.warps[wi].ready_at = t + cfg.alu_latency;
+        }
+        SimpleOutcome::Retired => {
+            out.profile.alu_issues += 1;
+            out.accs[li].instructions += 1;
+            retire_warp_phase(cfg, t, core, out, launches, core_idx, want_trace, wi);
+        }
+        SimpleOutcome::NeedsCore => {
+            let pc = core.warps[wi].pc().expect("NeedsCore implies a live pc");
+            let instr = launches[li].launch.kernel.block(pc.0).instrs()[pc.1];
+            match instr {
+                Instr::Bar => {
+                    exec_barrier_phase(t, core, out, core_idx, want_trace, wi, li);
+                }
+                Instr::Malloc { .. } | Instr::Free { .. } => park_warp(out, t, core, wi),
+                Instr::Ld { .. } | Instr::St { .. } | Instr::AtomAdd { .. } => {
+                    exec_mem_phase(
+                        cfg, t, core, out, check, dram_view, launches, shared, vm, core_idx,
+                        want_trace, wi, li, pc, instr,
+                    );
+                }
+                _ => unreachable!("exec_simple handles all other instructions"),
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn retire_warp_phase(
+    cfg: &GpuConfig,
+    t: u64,
+    core: &mut Core,
+    out: &mut Outbox,
+    launches: &[LaunchState],
+    core_idx: usize,
+    want_trace: bool,
+    wi: usize,
+) {
+    let (li, wg, win) = {
+        let w = &core.warps[wi];
+        (w.launch_idx, w.wg, w.warp_in_wg)
+    };
+    push_trace(
+        out,
+        want_trace,
+        t,
+        core_idx,
+        li,
+        wg,
+        win,
+        None,
+        TraceKind::Retire,
+    );
+    release_barrier_at(core, li, wg, t);
+    let wg_done = core
+        .warps
+        .iter()
+        .filter(|w| w.launch_idx == li && w.wg == wg)
+        .all(|w| w.done);
+    if wg_done {
+        let freed_regs = launches[li].warps_per_wg
+            * usize::from(launches[li].launch.kernel.num_regs())
+            * cfg.warp_width;
+        let freed_shared: u64 = core
+            .wgs
+            .iter()
+            .filter(|g| g.launch_idx == li && g.wg == wg)
+            .map(|g| g.shared.len() as u64)
+            .sum();
+        core.warps.retain(|w| !(w.launch_idx == li && w.wg == wg));
+        core.wgs.retain(|g| !(g.launch_idx == li && g.wg == wg));
+        core.last_issued = None;
+        core.regs_used = core.regs_used.saturating_sub(freed_regs);
+        core.shared_used = core.shared_used.saturating_sub(freed_shared);
+        push_ev(out, t, Ev::Retired { li: li as u32 });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_barrier_phase(
+    t: u64,
+    core: &mut Core,
+    out: &mut Outbox,
+    core_idx: usize,
+    want_trace: bool,
+    wi: usize,
+    li: usize,
+) {
+    let (wg, win) = {
+        let w = &mut core.warps[wi];
+        w.at_barrier = true;
+        w.advance_pc();
+        (w.wg, w.warp_in_wg)
+    };
+    out.profile.barrier_issues += 1;
+    out.accs[li].instructions += 1;
+    push_trace(
+        out,
+        want_trace,
+        t,
+        core_idx,
+        li,
+        wg,
+        win,
+        None,
+        TraceKind::Barrier,
+    );
+    release_barrier_at(core, li, wg, t);
+}
+
+fn release_barrier_at(core: &mut Core, li: usize, wg: u64, t: u64) {
+    let all_arrived = core
+        .warps
+        .iter()
+        .filter(|w| w.launch_idx == li && w.wg == wg && !w.done)
+        .all(|w| w.at_barrier);
+    let any_waiting = core
+        .warps
+        .iter()
+        .any(|w| w.launch_idx == li && w.wg == wg && w.at_barrier);
+    if all_arrived && any_waiting {
+        for w in core
+            .warps
+            .iter_mut()
+            .filter(|w| w.launch_idx == li && w.wg == wg && w.at_barrier)
+        {
+            w.at_barrier = false;
+            w.ready_at = t + 1;
+        }
+    }
+}
+
+/// The LSU pipeline for one warp-level memory instruction inside a phase.
+/// Shared-memory accesses are entirely core-local and run to completion;
+/// global loads/stores run functionally against the (lock-free) VM with
+/// snapshot-predicted timing; global atomics park for the drain.
+#[allow(clippy::too_many_arguments)]
+fn exec_mem_phase(
+    cfg: &GpuConfig,
+    t: u64,
+    core: &mut Core,
+    out: &mut Outbox,
+    check: &mut PhaseCheck<'_, '_, '_, '_>,
+    dram_view: &mut DramView,
+    launches: &[LaunchState],
+    shared: &SharedMemorySystem,
+    vm: &VirtualMemorySpace,
+    core_idx: usize,
+    want_trace: bool,
+    wi: usize,
+    li: usize,
+    site: (BlockId, usize),
+    instr: Instr,
+) {
+    let (is_store, addr, space, width, dst, src, is_atomic) = match instr {
+        Instr::Ld {
+            dst,
+            addr,
+            space,
+            width,
+        } => (false, addr, space, width, Some(dst), None, false),
+        Instr::St {
+            src,
+            addr,
+            space,
+            width,
+        } => (true, addr, space, width, None, Some(src), false),
+        Instr::AtomAdd {
+            dst,
+            addr,
+            space,
+            width,
+            src,
+        } => (true, addr, space, width, Some(dst), Some(src), true),
+        _ => unreachable!("exec_mem_phase only receives Ld/St/AtomAdd"),
+    };
+    if is_atomic && space != MemSpace::Shared {
+        // Global read-modify-writes are serialized machine-wide; the
+        // drain executes them in canonical order.
+        park_warp(out, t, core, wi);
+        return;
+    }
+    let width_b = width.bytes();
+    let mut scratch = std::mem::take(&mut core.scratch);
+
+    // ---- AGU: per-lane addresses and store values (sequential logic) ----
+    let ptr = {
+        let ctx = exec_ctx(&launches[li]);
+        let warp = &core.warps[wi];
+        scratch.lane_vas.clear();
+        scratch.lane_vas.resize(warp.width, None);
+        let mut ptr = TaggedPtr::from_raw(0);
+        let mut ptr_set = false;
+        #[allow(clippy::needless_range_loop)] // lane drives eval() too
+        for lane in 0..warp.width {
+            if !warp.lane_active(lane) {
+                continue;
+            }
+            let (base_raw, off) = match addr {
+                AddrExpr::Flat { addr } => (warp.eval(addr, lane, &ctx), 0u64),
+                AddrExpr::BaseOffset { base, offset } => {
+                    (warp.eval(base, lane, &ctx), warp.eval(offset, lane, &ctx))
+                }
+                AddrExpr::BindingTable { bti, offset } => {
+                    (ctx.args[usize::from(bti)], warp.eval(offset, lane, &ctx))
+                }
+            };
+            if !ptr_set {
+                ptr = TaggedPtr::from_raw(base_raw);
+                ptr_set = true;
+            }
+            let va = if space == MemSpace::Shared {
+                base_raw.wrapping_add(off)
+            } else {
+                TaggedPtr::from_raw(base_raw).va().wrapping_add(off) & VA_MASK
+            };
+            scratch.lane_vas[lane] = Some(va);
+        }
+        scratch.store_vals.clear();
+        if let Some(s) = src {
+            scratch
+                .store_vals
+                .extend((0..warp.width).map(|lane| warp.eval(s, lane, &ctx)));
+        }
+        ptr
+    };
+    let has_store_vals = src.is_some();
+
+    if space == MemSpace::Shared {
+        exec_shared_phase(
+            cfg,
+            t,
+            core,
+            out,
+            core_idx,
+            want_trace,
+            wi,
+            li,
+            &scratch.lane_vas,
+            width_b,
+            dst,
+            has_store_vals.then_some(&scratch.store_vals[..]),
+            is_atomic,
+        );
+        core.scratch = scratch;
+        return;
+    }
+
+    // ---- Translate + timing against the quantum-start snapshot ----------
+    let mut translation_fault: Option<MemFault> = None;
+    for va in scratch.lane_vas.iter().flatten() {
+        if let Err(f) = vm.translate(*va) {
+            translation_fault.get_or_insert(f);
+        }
+    }
+    coalesce_warp_into(&scratch.lane_vas, width_b, &mut scratch.txs);
+    let start = t.max(core.lsu_busy_until);
+    let mut done_at = start + cfg.timings.l1_hit;
+    let mut all_l1_hit = true;
+    for tx in &scratch.txs {
+        let Ok(pa) = vm.translate_bypass(tx.base) else {
+            continue;
+        };
+        let t_ready = if core.l1tlb.access(tx.base) {
+            start
+        } else {
+            push_ev(out, start, Ev::Xlate(tx.base));
+            predict_translate(shared, dram_view, tx.base, start)
+        };
+        let tx_done = if core.l1d.access(pa) {
+            (start + cfg.timings.l1_hit).max(t_ready + 1)
+        } else {
+            all_l1_hit = false;
+            let at = (start + cfg.timings.l1_hit).max(t_ready);
+            push_ev(out, at, Ev::Data(pa));
+            predict_data(shared, dram_view, pa, at)
+        };
+        done_at = done_at.max(tx_done);
+    }
+
+    // ---- Bounds check via the core's shard (or the whole guard) ---------
+    let decision = launches[li].launch.plan.get(site);
+    let mut stall = 0u64;
+    let mut verdict = GuardVerdict::Allow;
+    if check.some() {
+        if decision == SiteCheck::Static {
+            out.accs[li].checks_skipped += 1;
+        } else if let Some(range) = warp_address_range(&scratch.lane_vas, width_b) {
+            let access = MemAccess {
+                core: core_idx,
+                kernel_id: launches[li].launch.kernel_id,
+                is_store,
+                space,
+                pointer: ptr,
+                site,
+                range,
+                site_check: decision,
+                transactions: scratch.txs.len(),
+                active_lanes: scratch.lane_vas.iter().flatten().count(),
+                l1d_all_hit: all_l1_hit,
+            };
+            let chk = check.check(&access, vm);
+            stall = chk.stall_cycles;
+            verdict = chk.verdict;
+            out.profile.bcu_checks += 1;
+            out.accs[li].checks_performed += 1;
+            out.accs[li]
+                .stall_attribution
+                .record(chk.path, chk.stall_cycles);
+        }
+    }
+
+    // ---- Outcome --------------------------------------------------------
+    match verdict {
+        GuardVerdict::Fault => {
+            core.scratch = scratch;
+            freeze_abort(out, t, core, wi, li, AbortReason::BoundsViolation);
+            return;
+        }
+        GuardVerdict::Squash => {
+            out.accs[li].violations_squashed += 1;
+            if let Some(d) = dst {
+                let warp = &mut core.warps[wi];
+                for lane in 0..warp.width {
+                    if warp.lane_active(lane) {
+                        warp.set_reg(d, lane, 0);
+                    }
+                }
+            }
+        }
+        GuardVerdict::Allow => {
+            if let Some(f) = translation_fault {
+                core.scratch = scratch;
+                freeze_abort(out, t, core, wi, li, AbortReason::MemFault(f));
+                return;
+            }
+            let warp_width = core.warps[wi].width;
+            for (lane, lane_va) in scratch.lane_vas.iter().enumerate().take(warp_width) {
+                let Some(va) = *lane_va else { continue };
+                if is_store {
+                    let v = scratch.store_vals[lane];
+                    vm.write_uint(va, width_b, v)
+                        .expect("translation already verified");
+                } else {
+                    let v = vm
+                        .read_uint(va, width_b)
+                        .expect("translation already verified");
+                    let warp = &mut core.warps[wi];
+                    warp.set_reg(dst.expect("load has dst"), lane, v);
+                }
+            }
+        }
+    }
+
+    // ---- Timing commit --------------------------------------------------
+    {
+        let w = &core.warps[wi];
+        let (wgid, win) = (w.wg, w.warp_in_wg);
+        push_trace(
+            out,
+            want_trace,
+            t,
+            core_idx,
+            li,
+            wgid,
+            win,
+            Some(site),
+            TraceKind::Mem {
+                space,
+                is_store,
+                transactions: scratch.txs.len().min(255) as u8,
+                stall: stall.min(255) as u8,
+            },
+        );
+    }
+    let n_txs = scratch.txs.len() as u64;
+    core.lsu_busy_until = start + n_txs + stall;
+    let warp = &mut core.warps[wi];
+    warp.ready_at = done_at + stall;
+    warp.advance_pc();
+    core.scratch = scratch;
+    out.profile.mem_issues += 1;
+    out.profile.lsu_transactions += n_txs;
+    out.profile.bcu_stall_cycles += stall;
+    out.stalls.push(stall);
+    let acc = &mut out.accs[li];
+    acc.instructions += 1;
+    acc.mem_instructions += 1;
+    acc.transactions += n_txs;
+    acc.guard_stall_cycles += stall;
+}
+
+/// Shared-memory access: on-chip, core-local, no VM, no bounds checking —
+/// the sequential `exec_shared_mem` verbatim against core-local state.
+#[allow(clippy::too_many_arguments)]
+fn exec_shared_phase(
+    cfg: &GpuConfig,
+    t: u64,
+    core: &mut Core,
+    out: &mut Outbox,
+    core_idx: usize,
+    want_trace: bool,
+    wi: usize,
+    li: usize,
+    lane_vas: &[Option<u64>],
+    width_b: u64,
+    dst: Option<VReg>,
+    store_vals: Option<&[u64]>,
+    is_atomic: bool,
+) {
+    out.profile.shared_issues += 1;
+    let wg = core.warps[wi].wg;
+    let start = t.max(core.lsu_busy_until);
+    let done_at = start + cfg.timings.l1_hit;
+    let wg_idx = core
+        .wgs
+        .iter()
+        .position(|g| g.launch_idx == li && g.wg == wg)
+        .expect("warp's workgroup is resident");
+    let (wgs, warps) = (&mut core.wgs, &mut core.warps);
+    let sh = &mut wgs[wg_idx].shared;
+    let warp = &mut warps[wi];
+    let n = sh.len() as u64;
+    for (lane, va) in lane_vas.iter().enumerate() {
+        let Some(va) = va else { continue };
+        if n == 0 {
+            if let Some(d) = dst {
+                warp.set_reg(d, lane, 0);
+            }
+            continue;
+        }
+        if is_atomic {
+            let mut old_bytes = [0u8; 8];
+            for i in 0..width_b {
+                old_bytes[i as usize] = sh[((va + i) % n) as usize];
+            }
+            let old = u64::from_le_bytes(old_bytes);
+            let add = store_vals.expect("atomic has addend")[lane];
+            let new_bytes = old.wrapping_add(add).to_le_bytes();
+            for i in 0..width_b {
+                sh[((va + i) % n) as usize] = new_bytes[i as usize];
+            }
+            if let Some(d) = dst {
+                warp.set_reg(d, lane, old);
+            }
+            continue;
+        }
+        let mut bytes = [0u8; 8];
+        for i in 0..width_b {
+            let idx = ((va + i) % n) as usize;
+            if let Some(vals) = store_vals {
+                sh[idx] = vals[lane].to_le_bytes()[i as usize];
+            } else {
+                bytes[i as usize] = sh[idx];
+            }
+        }
+        if let Some(d) = dst {
+            warp.set_reg(d, lane, u64::from_le_bytes(bytes));
+        }
+    }
+    core.lsu_busy_until = start + 1;
+    let warp = &mut core.warps[wi];
+    warp.ready_at = done_at;
+    warp.advance_pc();
+    let (wgid, win) = (warp.wg, warp.warp_in_wg);
+    push_trace(
+        out,
+        want_trace,
+        t,
+        core_idx,
+        li,
+        wgid,
+        win,
+        None,
+        TraceKind::Mem {
+            space: MemSpace::Shared,
+            is_store: store_vals.is_some(),
+            transactions: 1,
+            stall: 0,
+        },
+    );
+    let acc = &mut out.accs[li];
+    acc.instructions += 1;
+    acc.mem_instructions += 1;
+}
+
+/// Runs `launches` to completion on the cycle-quantum engine. The
+/// entry point behind [`super::Gpu::run`], [`super::Gpu::run_multi`],
+/// [`super::Gpu::run_traced`] and [`super::Gpu::run_instrumented`];
+/// fault-injected and observed-range runs keep the sequential engine.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn run_engine(
+    cfg: &GpuConfig,
+    vm: &mut VirtualMemorySpace,
+    shared: &mut SharedMemorySystem,
+    launches: &[KernelLaunch],
+    mode: MultiKernelMode,
+    mut guard: Option<&mut dyn MemGuard>,
+    trace: Option<&mut Trace>,
+    registry: Option<&mut Registry>,
+) -> Result<RunReport, RunError> {
+    let ls = build_launch_states(cfg, launches)?;
+    let n = cfg.num_cores;
+    let vm: &VirtualMemorySpace = vm;
+
+    // A forkable guard always runs sharded — even single-threaded — so the
+    // per-core check sequences are the same for every worker count. A
+    // non-forkable guard is shared behind a mutex and forces one worker,
+    // which keeps its global check order canonical (core-major).
+    let (forked, whole) = match guard.as_deref_mut() {
+        Some(g) if g.supports_fork(n) => (
+            Some(
+                g.fork_cores(n)
+                    .expect("supports_fork implies fork_cores succeeds"),
+            ),
+            None,
+        ),
+        Some(g) => (None, Some(Mutex::new(g))),
+        None => (None, None),
+    };
+    let workers = if whole.is_some() {
+        1
+    } else {
+        cfg.sim_threads.clamp(1, n)
+    };
+
+    let mut shards: Vec<Option<Box<dyn CoreGuard + Send + '_>>> = forked.map_or_else(
+        || (0..n).map(|_| None).collect(),
+        |v| v.into_iter().map(Some).collect(),
+    );
+    let slots: Vec<Mutex<CoreSlot<'_>>> = (0..n)
+        .map(|i| {
+            Mutex::new(CoreSlot {
+                core: Core::new(cfg),
+                out: Outbox::for_run(launches.len()),
+                shard: shards[i].take(),
+                dram_view: shared.dram().view(),
+            })
+        })
+        .collect();
+    drop(shards); // all `None` now; ends its borrow of the guard
+    let launches_lk = RwLock::new(ls);
+    let shared_lk = RwLock::new(&mut *shared);
+    let t0a = AtomicU64::new(0);
+    let t1a = AtomicU64::new(0);
+    let claim = AtomicUsize::new(0);
+    let want_trace = trace.is_some();
+
+    let work = |_w: usize| {
+        let t0 = t0a.load(Ordering::Relaxed);
+        let t1 = t1a.load(Ordering::Relaxed);
+        loop {
+            let i = claim.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let mut slot = lock_ok(slots[i].lock());
+            let CoreSlot {
+                core,
+                out,
+                shard,
+                dram_view,
+            } = &mut *slot;
+            let lr = lock_ok(launches_lk.read());
+            let sr = lock_ok(shared_lk.read());
+            let mut check = match (shard.as_deref_mut(), whole.as_ref()) {
+                (Some(s), _) => PhaseCheck::Shard(s),
+                (None, Some(m)) => PhaseCheck::Whole(m),
+                (None, None) => PhaseCheck::None,
+            };
+            advance_core(
+                cfg, t0, t1, core, out, &mut check, dram_view, &lr, &sr, vm, i, want_trace,
+            );
+        }
+    };
+
+    let driver = |ctl: &gpushield_runtime::CrewCtl| -> Result<(u64, SimProfile), RunError> {
+        let mut cycle: u64 = 0;
+        let mut age_seq: u64 = 0;
+        let mut rr_cursor: usize = 0;
+        let mut profile = SimProfile::default();
+        let mut heaps: HashMap<u64, HeapRun> = HashMap::new();
+        let mut keys: Vec<DrainKey> = Vec::with_capacity(n * QUANTUM as usize * 4);
+        let mut quanta: u64 = 0;
+        let mut busy_totals = vec![0u64; n];
+        let mut max_skew: u64 = 0;
+        let mut tele = registry.map(|reg| ParTele::new(reg, n));
+        let mut trace = trace;
+        loop {
+            if cycle >= cfg.max_cycles {
+                return Err(RunError::CycleBudgetExceeded {
+                    cycle,
+                    budget: cfg.max_cycles,
+                });
+            }
+            {
+                let mut lw = lock_ok(launches_lk.write());
+                try_dispatch(
+                    cfg,
+                    &slots,
+                    &mut lw,
+                    mode,
+                    cycle,
+                    &mut age_seq,
+                    &mut rr_cursor,
+                    &mut trace,
+                );
+                if lw.iter().all(|l| l.finished()) {
+                    break;
+                }
+            }
+            sample_occupancy_par(&mut tele, cycle, &slots);
+            let t1 = cycle.saturating_add(QUANTUM).min(cfg.max_cycles);
+            t0a.store(cycle, Ordering::Relaxed);
+            t1a.store(t1, Ordering::Relaxed);
+            claim.store(0, Ordering::Relaxed);
+            ctl.round();
+            quanta += 1;
+            let issued = drain(
+                cfg,
+                &slots,
+                &launches_lk,
+                &shared_lk,
+                vm,
+                &whole,
+                &mut heaps,
+                &mut profile,
+                &mut trace,
+                &mut tele,
+                &mut keys,
+                &mut busy_totals,
+                &mut max_skew,
+            )?;
+            if lock_ok(launches_lk.read()).iter().all(|l| l.finished()) {
+                break;
+            }
+            if issued > 0 {
+                cycle = t1;
+            } else {
+                profile.idle_skips += 1;
+                // Event skip: jump to the next cycle anything becomes ready.
+                // Blocked warps (exhausted heap) never wake; warps at a
+                // barrier wake only through peers, which issue first.
+                let mut next: Option<u64> = None;
+                let mut alloc_blocked = false;
+                {
+                    let lr = lock_ok(launches_lk.read());
+                    for slot in &slots {
+                        let s = lock_ok(slot.lock());
+                        for w in &s.core.warps {
+                            if w.done || lr[w.launch_idx].aborted {
+                                continue;
+                            }
+                            if w.blocked {
+                                alloc_blocked = true;
+                                continue;
+                            }
+                            if w.at_barrier || w.ready_at == u64::MAX {
+                                continue;
+                            }
+                            next = Some(next.map_or(w.ready_at, |m| m.min(w.ready_at)));
+                        }
+                    }
+                }
+                match next {
+                    Some(nr) => {
+                        // Clamp to the watchdog budget so the error reports
+                        // the budget cycle, not a far-future wakeup.
+                        let target = nr.max(t1).min(cfg.max_cycles);
+                        if let Some(t) = tele.as_mut() {
+                            let tb = &mut t.base;
+                            tb.reg.add(tb.idle_skip_cycles, target - cycle);
+                        }
+                        cycle = target;
+                    }
+                    None => {
+                        if alloc_blocked {
+                            return Err(RunError::HeapDeadlock { cycle });
+                        }
+                        return Err(RunError::BarrierDeadlock { cycle });
+                    }
+                }
+            }
+        }
+        let final_cycles = lock_ok(launches_lk.read())
+            .iter()
+            .map(|l| l.report.end_cycle)
+            .max()
+            .unwrap_or(0);
+        if let Some(t) = tele.as_mut() {
+            let qc = t.quantum_count;
+            let ms = t.max_skew;
+            t.base.reg.add(qc, quanta);
+            t.base.reg.set(ms, max_skew);
+            for (i, id) in t.busy.iter().enumerate() {
+                t.base.reg.set(*id, busy_totals[i]);
+            }
+        }
+        Ok((final_cycles, profile))
+    };
+
+    let crew_result = with_crew(workers, work, driver);
+
+    let _ = whole; // end the serialized-guard borrow before merging forks
+    let mut l1d = gpushield_mem::CacheStats::default();
+    let mut l1tlb = gpushield_mem::CacheStats::default();
+    for slot in slots {
+        let s = lock_ok(slot.into_inner());
+        let cs = s.core.l1d.stats();
+        l1d.hits += cs.hits;
+        l1d.misses += cs.misses;
+        l1d.evictions += cs.evictions;
+        let ts = s.core.l1tlb.stats();
+        l1tlb.hits += ts.hits;
+        l1tlb.misses += ts.misses;
+        l1tlb.evictions += ts.evictions;
+    }
+    if let Some(g) = guard {
+        g.merge_forked();
+    }
+    let (final_cycles, mut profile) = crew_result?;
+    let ls = lock_ok(launches_lk.into_inner());
+    let _ = shared_lk; // end the shared-system borrow before reading stats
+    let dram = shared.dram_stats();
+    profile.dram_accesses = dram.requests;
+    Ok(RunReport {
+        cycles: final_cycles,
+        launches: ls.into_iter().map(|l| l.report).collect(),
+        l1d,
+        l1_tlb: l1tlb,
+        l2: shared.l2_stats(),
+        l2_tlb: shared.l2_tlb_stats(),
+        dram,
+        profile,
+    })
+}
+
+fn launch_allowed_on_core(
+    cfg: &GpuConfig,
+    mode: MultiKernelMode,
+    n_launches: usize,
+    launch_idx: usize,
+    core_idx: usize,
+) -> bool {
+    match mode {
+        MultiKernelMode::IntraCore => true,
+        MultiKernelMode::InterCore => {
+            let per = cfg.num_cores.div_ceil(n_launches);
+            core_idx / per == launch_idx.min(cfg.num_cores / per)
+        }
+    }
+}
+
+/// Round-robin workgroup dispatch at a quantum boundary — the sequential
+/// dispatcher verbatim, run serially by the driver thread.
+#[allow(clippy::too_many_arguments)]
+fn try_dispatch(
+    cfg: &GpuConfig,
+    slots: &[Mutex<CoreSlot<'_>>],
+    lw: &mut [LaunchState],
+    mode: MultiKernelMode,
+    cycle: u64,
+    age_seq: &mut u64,
+    rr_cursor: &mut usize,
+    trace: &mut Option<&mut Trace>,
+) {
+    // Fast path: nothing left to place.
+    if lw
+        .iter()
+        .all(|l| l.aborted || l.next_wg >= u64::from(l.launch.launch.grid))
+    {
+        return;
+    }
+    loop {
+        let mut any = false;
+        for core_idx in 0..slots.len() {
+            let nl = lw.len();
+            for k in 0..nl {
+                let li = (*rr_cursor + k) % nl;
+                if lw[li].aborted
+                    || lw[li].next_wg >= u64::from(lw[li].launch.launch.grid)
+                    || !launch_allowed_on_core(cfg, mode, nl, li, core_idx)
+                {
+                    continue;
+                }
+                if dispatch_wg(cfg, slots, lw, cycle, age_seq, trace, core_idx, li) {
+                    *rr_cursor = (li + 1) % nl;
+                    any = true;
+                    break;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_wg(
+    cfg: &GpuConfig,
+    slots: &[Mutex<CoreSlot<'_>>],
+    lw: &mut [LaunchState],
+    cycle: u64,
+    age_seq: &mut u64,
+    trace: &mut Option<&mut Trace>,
+    core_idx: usize,
+    li: usize,
+) -> bool {
+    let needed_warps = lw[li].warps_per_wg;
+    let (num_regs, shared_bytes) = {
+        let k = &lw[li].launch.kernel;
+        (k.num_regs(), k.shared_bytes())
+    };
+    let regs_needed = needed_warps * usize::from(num_regs) * cfg.warp_width;
+    let mut slot = lock_ok(slots[core_idx].lock());
+    let core = &mut slot.core;
+    debug_assert_eq!(core.regs_used, core.regs_in_use(lw));
+    debug_assert_eq!(core.shared_used, core.shared_in_use());
+    if core.resident_warps() + needed_warps > cfg.max_warps_per_core()
+        || core.regs_used + regs_needed > cfg.regs_per_core
+        || core.shared_used + shared_bytes > cfg.shared_per_core
+    {
+        return false;
+    }
+    let lstate = &mut lw[li];
+    let wg = lstate.next_wg;
+    lstate.next_wg += 1;
+    if let Some(t) = trace.as_mut() {
+        t.push(TraceEvent {
+            cycle,
+            core: core_idx,
+            launch: li,
+            wg,
+            warp: 0,
+            site: None,
+            kind: TraceKind::Dispatch { wg },
+        });
+    }
+    if lstate.report.start_cycle == 0 && lstate.report.instructions == 0 {
+        lstate.report.start_cycle = cycle;
+    }
+    let block = lstate.launch.launch.block as usize;
+    core.wgs.push(ResidentWg {
+        launch_idx: li,
+        wg,
+        shared: vec![0u8; shared_bytes as usize],
+    });
+    core.regs_used += regs_needed;
+    core.shared_used += shared_bytes;
+    core.next_ready_at = core.next_ready_at.min(cycle);
+    for w in 0..needed_warps {
+        let lanes = (block - w * cfg.warp_width).min(cfg.warp_width);
+        let mut warp = Warp::new(li, wg, w, cfg.warp_width, lanes, num_regs, *age_seq);
+        warp.ready_at = cycle;
+        *age_seq += 1;
+        core.warps.push(warp);
+    }
+    true
+}
+
+/// Stride-bucket occupancy sampling at a quantum boundary (the sequential
+/// rule, evaluated over all cores by the driver thread).
+fn sample_occupancy_par(tele: &mut Option<ParTele<'_>>, cycle: u64, slots: &[Mutex<CoreSlot<'_>>]) {
+    let Some(t) = tele.as_mut() else {
+        return;
+    };
+    let tb = &mut t.base;
+    if cycle < tb.next_sample {
+        return;
+    }
+    let stride = tb.reg.stride();
+    tb.next_sample = (cycle / stride + 1) * stride;
+    let mut resident = 0u64;
+    let mut ready = 0u64;
+    for slot in slots {
+        let s = lock_ok(slot.lock());
+        for w in &s.core.warps {
+            if w.done {
+                continue;
+            }
+            resident += 1;
+            if !w.at_barrier && !w.blocked && w.ready_at <= cycle {
+                ready += 1;
+            }
+        }
+    }
+    tb.reg.sample(tb.resident_warps, cycle, resident);
+    tb.reg.sample(tb.ready_warps, cycle, ready);
+}
+
+/// The quantum drain, run serially by the driver thread. Pass 1 collects
+/// every outbox (counters merge in core order; events gain their core in
+/// the sort key); pass 2 replays the events against the real shared
+/// system in canonical `(t, core, seq)` order; pass 3 refreshes each
+/// core's private DRAM timing view from the post-drain channel state.
+/// Returns the number of instructions issued across the quantum.
+#[allow(clippy::too_many_arguments)]
+fn drain<'w, 'g>(
+    cfg: &GpuConfig,
+    slots: &[Mutex<CoreSlot<'_>>],
+    launches_lk: &RwLock<Vec<LaunchState>>,
+    shared_lk: &RwLock<&mut SharedMemorySystem>,
+    vm: &VirtualMemorySpace,
+    whole: &Option<Mutex<&'w mut (dyn MemGuard + 'g)>>,
+    heaps: &mut HashMap<u64, HeapRun>,
+    profile: &mut SimProfile,
+    trace: &mut Option<&mut Trace>,
+    tele: &mut Option<ParTele<'_>>,
+    keys: &mut Vec<DrainKey>,
+    busy_totals: &mut [u64],
+    max_skew: &mut u64,
+) -> Result<u64, RunError> {
+    keys.clear();
+    let mut issued_total = 0u64;
+    let (mut busy_min, mut busy_max) = (u64::MAX, 0u64);
+    {
+        let mut lw = lock_ok(launches_lk.write());
+        for (ci, slot) in slots.iter().enumerate() {
+            let mut s = lock_ok(slot.lock());
+            let out = &mut s.out;
+            for q in out.evs.drain(..) {
+                keys.push(DrainKey {
+                    t: q.t,
+                    core: ci as u32,
+                    seq: q.seq,
+                    ev: q.ev,
+                });
+            }
+            out.seq = 0;
+            profile.merge(&out.profile);
+            out.profile = SimProfile::default();
+            for (li, acc) in out.accs.iter_mut().enumerate() {
+                acc.drain_into(&mut lw[li].report);
+            }
+            if let Some(t) = tele.as_mut() {
+                let tb = &mut t.base;
+                tb.reg.add(tb.no_issue_slots, out.no_issue);
+                for &st in &out.stalls {
+                    tb.reg.observe(tb.visible_stall, st);
+                }
+            }
+            out.no_issue = 0;
+            out.stalls.clear();
+            issued_total += out.issued;
+            busy_totals[ci] += out.busy;
+            busy_min = busy_min.min(out.busy);
+            busy_max = busy_max.max(out.busy);
+            out.issued = 0;
+            out.busy = 0;
+        }
+    }
+    if busy_max > busy_min {
+        *max_skew = (*max_skew).max(busy_max - busy_min);
+    }
+    keys.sort_unstable_by_key(|k| (k.t, k.core, k.seq));
+
+    {
+        let mut lw = lock_ok(launches_lk.write());
+        let mut sw = lock_ok(shared_lk.write());
+        let shared: &mut SharedMemorySystem = &mut sw;
+        for k in keys.iter() {
+            match k.ev {
+                Ev::Data(pa) => {
+                    shared.access_data(pa, k.t);
+                }
+                Ev::Xlate(va) => {
+                    shared.translate(va, k.t);
+                }
+                Ev::Trace(ev) => {
+                    if let Some(t) = trace.as_mut() {
+                        t.push(ev);
+                    }
+                }
+                Ev::Retired { li } => {
+                    let li = li as usize;
+                    let lstate = &mut lw[li];
+                    lstate.wgs_retired += 1;
+                    if lstate.finished() {
+                        lstate.report.end_cycle = k.t;
+                        let kid = lstate.launch.kernel_id;
+                        guard_kernel_end(slots, whole, kid);
+                    }
+                }
+                Ev::Abort { li, reason } => {
+                    let li = li as usize;
+                    if !lw[li].aborted {
+                        apply_abort(slots, &mut lw, trace, whole, li, reason, k.t);
+                    }
+                }
+                Ev::Parked { li, wg, win } => {
+                    let pending = drain_parked(
+                        cfg,
+                        slots,
+                        &mut lw,
+                        shared,
+                        vm,
+                        whole,
+                        heaps,
+                        profile,
+                        trace,
+                        tele,
+                        k.t,
+                        k.core as usize,
+                        li as usize,
+                        wg,
+                        win as usize,
+                    )?;
+                    if let Some((ali, reason)) = pending {
+                        if !lw[ali].aborted {
+                            apply_abort(slots, &mut lw, trace, whole, ali, reason, k.t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    {
+        let sr = lock_ok(shared_lk.read());
+        for slot in slots {
+            let mut s = lock_ok(slot.lock());
+            sr.dram().refresh_view(&mut s.dram_view);
+        }
+    }
+    Ok(issued_total)
+}
+
+/// Executes a parked serialized operation at the drain. The warp is
+/// re-found by its stable `(launch, wg, warp-in-wg)` identity (indices
+/// shift when workgroups retire); a missing warp means its launch aborted
+/// earlier in canonical order and the park is moot. Returns a pending
+/// abort request to apply after the slot lock drops.
+#[allow(clippy::too_many_arguments)]
+fn drain_parked<'w, 'g>(
+    cfg: &GpuConfig,
+    slots: &[Mutex<CoreSlot<'_>>],
+    lw: &mut [LaunchState],
+    shared: &mut SharedMemorySystem,
+    vm: &VirtualMemorySpace,
+    whole: &Option<Mutex<&'w mut (dyn MemGuard + 'g)>>,
+    heaps: &mut HashMap<u64, HeapRun>,
+    profile: &mut SimProfile,
+    trace: &mut Option<&mut Trace>,
+    tele: &mut Option<ParTele<'_>>,
+    t: u64,
+    ci: usize,
+    li: usize,
+    wg: u64,
+    win: usize,
+) -> Result<Option<(usize, AbortReason)>, RunError> {
+    let mut slot = lock_ok(slots[ci].lock());
+    let sl = &mut *slot;
+    let Some(wi) = sl
+        .core
+        .warps
+        .iter()
+        .position(|w| w.launch_idx == li && w.wg == wg && w.warp_in_wg == win && !w.done)
+    else {
+        return Ok(None);
+    };
+    let Some(pc) = sl.core.warps[wi].pc() else {
+        return Ok(None);
+    };
+    let instr = lw[li].launch.kernel.block(pc.0).instrs()[pc.1];
+    match instr {
+        Instr::Malloc { dst, size } => {
+            drain_malloc(cfg, sl, lw, heaps, profile, t, wi, li, Some(dst), size)?;
+            Ok(None)
+        }
+        Instr::Free { .. } => {
+            drain_malloc(
+                cfg,
+                sl,
+                lw,
+                heaps,
+                profile,
+                t,
+                wi,
+                li,
+                None,
+                Operand::Imm(0),
+            )?;
+            Ok(None)
+        }
+        Instr::AtomAdd { .. } => Ok(drain_atom(
+            cfg, sl, lw, shared, vm, whole, profile, trace, tele, t, ci, wi, li, pc, instr,
+        )),
+        _ => unreachable!("only malloc/free/global atomics park"),
+    }
+}
+
+/// Device-heap `malloc`/`free` at the drain: the sequential allocator
+/// semantics at the park's issue cycle, against the (driver-owned) global
+/// heap cursor map.
+#[allow(clippy::too_many_arguments)]
+fn drain_malloc(
+    cfg: &GpuConfig,
+    sl: &mut CoreSlot<'_>,
+    lw: &mut [LaunchState],
+    heaps: &mut HashMap<u64, HeapRun>,
+    profile: &mut SimProfile,
+    t: u64,
+    wi: usize,
+    li: usize,
+    dst: Option<VReg>,
+    size: Operand,
+) -> Result<(), RunError> {
+    let heap = match lw[li].launch.heap {
+        Some(h) => h,
+        None => {
+            return Err(RunError::NoHeap {
+                kernel: lw[li].launch.kernel.name().to_string(),
+            })
+        }
+    };
+    let core = &mut sl.core;
+    let mut scratch = std::mem::take(&mut core.scratch);
+    {
+        let ctx = exec_ctx(&lw[li]);
+        let warp = &core.warps[wi];
+        scratch.lane_sizes.clear();
+        scratch.lane_sizes.extend(
+            (0..warp.width).map(|lane| warp.lane_active(lane).then(|| warp.eval(size, lane, &ctx))),
+        );
+    }
+    let entry = heaps.entry(heap.tagged_base.va()).or_default();
+    let mut done_at = t;
+    let mut exhausted = false;
+    scratch.results.clear();
+    scratch.results.resize(scratch.lane_sizes.len(), None);
+    for (lane, sz) in scratch.lane_sizes.iter().enumerate() {
+        let Some(sz) = sz else { continue };
+        // The device allocator is a serialized global resource: each
+        // lane's request takes its turn (§5.2.1 footnote 2).
+        let start = entry.lock_until.max(t);
+        entry.lock_until = start + cfg.heap_alloc_cycles;
+        done_at = done_at.max(entry.lock_until);
+        if dst.is_some() {
+            let aligned = sz.div_ceil(16).max(1) * 16;
+            if entry.cursor + aligned <= heap.size {
+                let ptr = heap.tagged_base.raw() + entry.cursor;
+                entry.cursor += aligned;
+                scratch.results[lane] = Some(ptr);
+            } else if cfg.malloc_blocks_on_exhaustion {
+                exhausted = true;
+                break;
+            } else {
+                scratch.results[lane] = Some(0); // CUDA malloc returns NULL
+            }
+        }
+    }
+    if exhausted {
+        let warp = &mut core.warps[wi];
+        warp.blocked = true;
+        warp.ready_at = t;
+        core.scratch = scratch;
+        profile.malloc_issues += 1;
+        lw[li].report.instructions += 1;
+        return Ok(());
+    }
+    let warp = &mut core.warps[wi];
+    if let Some(dst) = dst {
+        for (lane, r) in scratch.results.iter().enumerate() {
+            if let Some(v) = r {
+                warp.set_reg(dst, lane, *v);
+            }
+        }
+    }
+    warp.ready_at = done_at;
+    warp.advance_pc();
+    core.next_ready_at = core.next_ready_at.min(done_at);
+    core.scratch = scratch;
+    profile.malloc_issues += 1;
+    lw[li].report.instructions += 1;
+    Ok(())
+}
+
+/// A global-memory atomic at the drain: the sequential LSU/BCU pipeline
+/// verbatim at the park's issue cycle, against the *real* shared memory
+/// system — canonical order makes the read-modify-write sequence and its
+/// timing identical for every worker count.
+#[allow(clippy::too_many_arguments)]
+fn drain_atom<'w, 'g>(
+    cfg: &GpuConfig,
+    sl: &mut CoreSlot<'_>,
+    lw: &mut [LaunchState],
+    shared: &mut SharedMemorySystem,
+    vm: &VirtualMemorySpace,
+    whole: &Option<Mutex<&'w mut (dyn MemGuard + 'g)>>,
+    profile: &mut SimProfile,
+    trace: &mut Option<&mut Trace>,
+    tele: &mut Option<ParTele<'_>>,
+    t: u64,
+    ci: usize,
+    wi: usize,
+    li: usize,
+    site: (BlockId, usize),
+    instr: Instr,
+) -> Option<(usize, AbortReason)> {
+    let Instr::AtomAdd {
+        dst,
+        addr,
+        space,
+        width,
+        src,
+    } = instr
+    else {
+        unreachable!("drain_atom only receives AtomAdd");
+    };
+    let width_b = width.bytes();
+    let CoreSlot { core, shard, .. } = sl;
+
+    // ---- AGU (global-space path; shared atomics never park) -------------
+    let mut scratch = std::mem::take(&mut core.scratch);
+    let ptr = {
+        let ctx = exec_ctx(&lw[li]);
+        let warp = &core.warps[wi];
+        scratch.lane_vas.clear();
+        scratch.lane_vas.resize(warp.width, None);
+        let mut ptr = TaggedPtr::from_raw(0);
+        let mut ptr_set = false;
+        #[allow(clippy::needless_range_loop)] // lane drives eval() too
+        for lane in 0..warp.width {
+            if !warp.lane_active(lane) {
+                continue;
+            }
+            let (base_raw, off) = match addr {
+                AddrExpr::Flat { addr } => (warp.eval(addr, lane, &ctx), 0u64),
+                AddrExpr::BaseOffset { base, offset } => {
+                    (warp.eval(base, lane, &ctx), warp.eval(offset, lane, &ctx))
+                }
+                AddrExpr::BindingTable { bti, offset } => {
+                    (ctx.args[usize::from(bti)], warp.eval(offset, lane, &ctx))
+                }
+            };
+            if !ptr_set {
+                ptr = TaggedPtr::from_raw(base_raw);
+                ptr_set = true;
+            }
+            scratch.lane_vas[lane] =
+                Some(TaggedPtr::from_raw(base_raw).va().wrapping_add(off) & VA_MASK);
+        }
+        scratch.store_vals.clear();
+        scratch
+            .store_vals
+            .extend((0..warp.width).map(|lane| warp.eval(src, lane, &ctx)));
+        ptr
+    };
+
+    // ---- Translate + real shared-system timing --------------------------
+    let mut translation_fault: Option<MemFault> = None;
+    for va in scratch.lane_vas.iter().flatten() {
+        if let Err(f) = vm.translate(*va) {
+            translation_fault.get_or_insert(f);
+        }
+    }
+    coalesce_warp_into(&scratch.lane_vas, width_b, &mut scratch.txs);
+    let start = t.max(core.lsu_busy_until);
+    let mut done_at = start + cfg.timings.l1_hit;
+    let mut all_l1_hit = true;
+    for tx in &scratch.txs {
+        let Ok(pa) = vm.translate_bypass(tx.base) else {
+            continue;
+        };
+        let t_ready = if core.l1tlb.access(tx.base) {
+            start
+        } else {
+            shared.translate(tx.base, start)
+        };
+        let tx_done = if core.l1d.access(pa) {
+            (start + cfg.timings.l1_hit).max(t_ready + 1)
+        } else {
+            all_l1_hit = false;
+            shared.access_data(pa, (start + cfg.timings.l1_hit).max(t_ready))
+        };
+        done_at = done_at.max(tx_done);
+    }
+
+    // ---- Bounds check ----------------------------------------------------
+    let decision = lw[li].launch.plan.get(site);
+    let mut stall = 0u64;
+    let mut verdict = GuardVerdict::Allow;
+    if shard.is_some() || whole.is_some() {
+        if decision == SiteCheck::Static {
+            lw[li].report.checks_skipped += 1;
+        } else if let Some(range) = warp_address_range(&scratch.lane_vas, width_b) {
+            let access = MemAccess {
+                core: ci,
+                kernel_id: lw[li].launch.kernel_id,
+                is_store: true,
+                space,
+                pointer: ptr,
+                site,
+                range,
+                site_check: decision,
+                transactions: scratch.txs.len(),
+                active_lanes: scratch.lane_vas.iter().flatten().count(),
+                l1d_all_hit: all_l1_hit,
+            };
+            let chk = match (shard.as_deref_mut(), whole.as_ref()) {
+                (Some(s), _) => s.check(&access, vm),
+                (None, Some(m)) => lock_ok(m.lock()).check(&access, vm),
+                (None, None) => GuardCheck::allow_free(),
+            };
+            stall = chk.stall_cycles;
+            verdict = chk.verdict;
+            profile.bcu_checks += 1;
+            let report = &mut lw[li].report;
+            report.checks_performed += 1;
+            report.stall_attribution.record(chk.path, chk.stall_cycles);
+        }
+    }
+
+    // ---- Outcome ---------------------------------------------------------
+    match verdict {
+        GuardVerdict::Fault => {
+            core.scratch = scratch;
+            return Some((li, AbortReason::BoundsViolation));
+        }
+        GuardVerdict::Squash => {
+            lw[li].report.violations_squashed += 1;
+            let warp = &mut core.warps[wi];
+            for lane in 0..warp.width {
+                if warp.lane_active(lane) {
+                    warp.set_reg(dst, lane, 0);
+                }
+            }
+        }
+        GuardVerdict::Allow => {
+            if let Some(f) = translation_fault {
+                core.scratch = scratch;
+                return Some((li, AbortReason::MemFault(f)));
+            }
+            // Lanes serialize in lane order (real hardware serializes
+            // same-address atomics; a fixed order keeps it deterministic).
+            let warp_width = core.warps[wi].width;
+            for (lane, lane_va) in scratch.lane_vas.iter().enumerate().take(warp_width) {
+                let Some(va) = *lane_va else { continue };
+                let old = vm
+                    .read_uint(va, width_b)
+                    .expect("translation already verified");
+                let add = scratch.store_vals[lane];
+                vm.write_uint(va, width_b, old.wrapping_add(add))
+                    .expect("translation already verified");
+                let warp = &mut core.warps[wi];
+                warp.set_reg(dst, lane, old);
+            }
+        }
+    }
+
+    // ---- Timing commit ---------------------------------------------------
+    if let Some(tr) = trace.as_mut() {
+        let w = &core.warps[wi];
+        tr.push(TraceEvent {
+            cycle: t,
+            core: ci,
+            launch: li,
+            wg: w.wg,
+            warp: w.warp_in_wg,
+            site: Some(site),
+            kind: TraceKind::Mem {
+                space,
+                is_store: true,
+                transactions: scratch.txs.len().min(255) as u8,
+                stall: stall.min(255) as u8,
+            },
+        });
+    }
+    let atomic_serial = scratch.lane_vas.iter().flatten().count() as u64;
+    let n_txs = scratch.txs.len() as u64;
+    core.lsu_busy_until = start + n_txs + stall + atomic_serial;
+    let warp = &mut core.warps[wi];
+    warp.ready_at = done_at + stall + atomic_serial;
+    warp.advance_pc();
+    core.next_ready_at = core.next_ready_at.min(done_at + stall + atomic_serial);
+    core.scratch = scratch;
+    profile.mem_issues += 1;
+    profile.lsu_transactions += n_txs;
+    profile.bcu_stall_cycles += stall;
+    if let Some(te) = tele.as_mut() {
+        let tb = &mut te.base;
+        tb.reg.observe(tb.visible_stall, stall);
+    }
+    let report = &mut lw[li].report;
+    report.instructions += 1;
+    report.mem_instructions += 1;
+    report.transactions += n_txs;
+    report.guard_stall_cycles += stall;
+    None
+}
+
+/// Strips an aborting launch from the whole machine at the drain — the
+/// sequential `abort_launch` semantics at the abort's issue cycle. Only
+/// the canonically-first abort event per launch gets here.
+fn apply_abort<'w, 'g>(
+    slots: &[Mutex<CoreSlot<'_>>],
+    lw: &mut [LaunchState],
+    trace: &mut Option<&mut Trace>,
+    whole: &Option<Mutex<&'w mut (dyn MemGuard + 'g)>>,
+    li: usize,
+    reason: AbortReason,
+    t: u64,
+) {
+    if let Some(tr) = trace.as_mut() {
+        tr.push(TraceEvent {
+            cycle: t,
+            core: 0,
+            launch: li,
+            wg: 0,
+            warp: 0,
+            site: None,
+            kind: TraceKind::Abort,
+        });
+    }
+    let kernel_id = {
+        let lstate = &mut lw[li];
+        lstate.aborted = true;
+        lstate.report.abort = Some(reason);
+        lstate.report.end_cycle = t;
+        lstate.launch.kernel_id
+    };
+    for slot in slots {
+        let mut s = lock_ok(slot.lock());
+        let core = &mut s.core;
+        core.warps.retain(|w| w.launch_idx != li);
+        core.wgs.retain(|g| g.launch_idx != li);
+        core.last_issued = None;
+        core.regs_used = core.regs_in_use(lw);
+        core.shared_used = core.shared_in_use();
+        core.next_ready_at = recompute_next_ready(core);
+    }
+    guard_kernel_end(slots, whole, kernel_id);
+}
+
+/// RCache flush on kernel end: every shard (core order) plus the whole
+/// guard when running unsharded.
+fn guard_kernel_end<'w, 'g>(
+    slots: &[Mutex<CoreSlot<'_>>],
+    whole: &Option<Mutex<&'w mut (dyn MemGuard + 'g)>>,
+    kernel_id: u16,
+) {
+    for slot in slots {
+        let mut s = lock_ok(slot.lock());
+        if let Some(sh) = s.shard.as_deref_mut() {
+            sh.on_kernel_end(kernel_id);
+        }
+    }
+    if let Some(m) = whole {
+        lock_ok(m.lock()).on_kernel_end(kernel_id);
+    }
+}
