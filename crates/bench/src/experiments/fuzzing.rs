@@ -1,0 +1,49 @@
+//! The adversarial-fuzz exhibit: the per-bug-class detection scoreboard
+//! over the default [`gpushield_fuzzgen`] corpus (see
+//! [`crate::fuzzsweep`] for generation and classification semantics).
+
+use crate::fuzzsweep::run_sweep;
+use gpushield_fuzzgen::{CORPUS_SEED, PER_CLASS};
+
+/// Runs the default corpus (225 specimens, 9 classes) over `jobs` workers
+/// and renders the scoreboard.
+pub fn fuzz_scoreboard(jobs: usize) -> String {
+    let sb = run_sweep(CORPUS_SEED, PER_CLASS, jobs);
+    let conforming: usize = sb.rows.iter().map(|r| r.conforming).sum();
+    eprintln!(
+        "  fuzz totals: {} specimens, {} conforming, {} hangs",
+        sb.total(),
+        conforming,
+        sb.rows.iter().map(|r| r.tally[5]).sum::<usize>()
+    );
+    sb.render_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoreboard_covers_all_classes_and_has_no_hangs() {
+        let text = fuzz_scoreboard(8);
+        for class in gpushield_fuzzgen::BugClass::ALL {
+            assert!(text.contains(class.slug()), "{} missing", class.slug());
+        }
+        let totals = text
+            .lines()
+            .find(|l| l.starts_with("TOTALS"))
+            .expect("totals row");
+        let cols: Vec<usize> = totals
+            .split_whitespace()
+            .skip(1)
+            .map(|v| v.parse().expect("numeric"))
+            .collect();
+        // det false silent masked compl hang conform static
+        assert_eq!(cols[5], 0, "hangs present: {totals}");
+        let classified: usize = cols[..6].iter().sum();
+        assert_eq!(
+            classified,
+            gpushield_fuzzgen::BugClass::ALL.len() * PER_CLASS
+        );
+    }
+}

@@ -3,6 +3,7 @@
 
 mod ablations;
 mod attacks;
+mod fuzzing;
 mod metadata;
 mod multikernel;
 mod perf;
@@ -124,6 +125,11 @@ pub fn all() -> Vec<Experiment> {
             run: resilience::fault_resilience,
         },
         Experiment {
+            id: "fuzz_scoreboard",
+            title: "Adversarial fuzz corpus: per-bug-class detection scoreboard",
+            run: fuzzing::fuzz_scoreboard,
+        },
+        Experiment {
             id: "static_analysis",
             title: "Registry-wide check-site taxonomy and verifier findings (Fig. 16)",
             run: verifier::static_analysis,
@@ -187,6 +193,7 @@ mod tests {
                 "swcheck",
                 "ablation",
                 "fault_resilience",
+                "fuzz_scoreboard",
                 "static_analysis",
                 "bat_soundness",
                 "profile",

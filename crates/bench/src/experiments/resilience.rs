@@ -11,6 +11,7 @@ use gpushield::{
     SystemConfig, SystemError, ViolationKind,
 };
 use gpushield_isa::{CmpOp, Kernel, KernelBuilder, MemSpace, MemWidth, Operand};
+use gpushield_runtime::rng::derive_seed;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -173,12 +174,12 @@ fn classify_aborted(sys: &System) -> Outcome {
 
 fn run_trial(t: Trial) -> TrialResult {
     // Seeds 0–2 run the diffable store workload; seed 3 runs the
-    // watchdog-exercising spin workload.
+    // watchdog-exercising spin workload. Each (scenario, count) cell draws
+    // its fault plan from a labelled child stream of the scenario seed, so
+    // plans can never collide with each other or with any other consumer
+    // of the same experiment seed.
     let spin = t.seed == 3;
-    let plan_seed = t
-        .seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(t.count as u64);
+    let plan_seed = derive_seed(t.seed, &format!("fault-plan/{}", t.count));
     let (kernel, grid, block, words, window) = if spin {
         (spin_kernel(), 1u32, 32u32, 8u64, 5u64)
     } else {

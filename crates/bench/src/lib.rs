@@ -4,6 +4,7 @@
 
 pub mod adapter;
 pub mod experiments;
+pub mod fuzzsweep;
 pub mod runner;
 pub mod serving;
 pub mod verifysweep;

@@ -396,6 +396,16 @@ impl Driver {
         self.buffers[h.0].alloc.reserved
     }
 
+    /// Device-heap window `(va, size)` reserved by [`set_heap_limit`],
+    /// or `None` when no heap is configured. Oracles (e.g. the fuzzer
+    /// scoreboard) use this to map heap-relative victim ranges to
+    /// virtual addresses.
+    ///
+    /// [`set_heap_limit`]: Driver::set_heap_limit
+    pub fn heap_window(&self) -> Option<(u64, u64)> {
+        self.heap.map(|h| (h.va, h.size))
+    }
+
     /// Host-side write into a buffer (SVM-style access).
     ///
     /// # Panics

@@ -1,0 +1,899 @@
+//! Seeded adversarial kernel generator.
+//!
+//! The harness so far injects *metadata* faults (flipped RBT bits, mangled
+//! tags); real escapes come from adversarial *programs*. This crate grows
+//! well-formed kernels through [`gpushield_isa::KernelBuilder`] and the
+//! [`gpushield_workloads::dsl`] helpers, then plants exactly one bug from
+//! a taxonomy spanning all three of the paper's check types — Type 1
+//! (statically resolvable global addressing), Type 2 (runtime-checked
+//! global and device-heap regions), Type 3 (size-embedded local pointers
+//! plus the explicitly unprotected shared scratch of Table 1) — and ships
+//! a machine-readable [`PlantedBug`] oracle alongside each specimen: the
+//! buggy site, its addressing class, and the victim window the access
+//! should land in.
+//!
+//! Everything is a pure function of the corpus seed. Each bug class draws
+//! from its own labelled RNG stream ([`StdRng::stream`]) and each
+//! specimen from a labelled split of that, so adding a class or growing a
+//! class's population never perturbs any other specimen.
+//!
+//! The generator never panics on the shapes it draws: loop and buffer
+//! plans go through the typed-validating `dsl` helpers
+//! ([`dsl::counted_loop`], [`dsl::planned_buffer`]).
+
+use gpushield_isa::{CmpOp, Kernel, KernelBuilder, MemSpace, MemWidth, Operand};
+use gpushield_runtime::rng::StdRng;
+use gpushield_workloads::dsl::{self, AddrStyle};
+use std::sync::Arc;
+
+/// The value an intra-region victim cell holds before the overflow.
+pub const CLEAN_WORD: u64 = 0x0C1E_A401;
+/// The value the planted overflow writes into the victim cell.
+pub const EVIL_WORD: u64 = 0x0E71_1BAD;
+
+/// The planted-bug taxonomy. One specimen carries exactly one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// Type 1: a global store at a constant offset past the end of the
+    /// buffer — fully resolvable (and provably out of bounds) at BAT
+    /// construction time.
+    StaticOobWrite,
+    /// Type 2: a thread-indexed global load where the upper half of the
+    /// grid runs off the end of the buffer.
+    DynOobRead,
+    /// Type 2: a store through a device-`malloc`ed pointer that lands past
+    /// the end of the whole heap chunk.
+    HeapOobWrite,
+    /// Type 2 soft spot: an overflow out of one heap block into its
+    /// neighbour. Both blocks live under the heap's single coarse RBT
+    /// entry (§5.2.1), so the access is in-region and undetectable — the
+    /// overflow silently corrupts the sibling.
+    IntraRegionOverflow,
+    /// Type 2 soft spot: a store through a pointer the kernel already
+    /// passed to `deviceFree`. The model's `Free` is timing-only (no
+    /// region is invalidated), so the access is indistinguishable from a
+    /// live one.
+    UseAfterFree,
+    /// Type 2: a wide (8-byte) store that *starts* in bounds but straddles
+    /// the end of the buffer — the checked range `[va, va+width)` must
+    /// catch the tail.
+    PartialWidthStraddle,
+    /// Type 3: a store past the end of a local (stack) variable's
+    /// power-of-two reservation.
+    LocalOobWrite,
+    /// Type 3 family, excluded surface: a shared-memory store past the
+    /// workgroup's scratch size. On-chip scratch is not protected by
+    /// GPUShield (Table 1) and the model wraps the offset, so nothing in
+    /// global memory is touched.
+    SharedOobWrite,
+    /// Control: no planted bug. Anything but a clean completion is a
+    /// false fault.
+    Benign,
+}
+
+impl BugClass {
+    /// Every class, in scoreboard order.
+    pub const ALL: [BugClass; 9] = [
+        BugClass::StaticOobWrite,
+        BugClass::DynOobRead,
+        BugClass::HeapOobWrite,
+        BugClass::IntraRegionOverflow,
+        BugClass::UseAfterFree,
+        BugClass::PartialWidthStraddle,
+        BugClass::LocalOobWrite,
+        BugClass::SharedOobWrite,
+        BugClass::Benign,
+    ];
+
+    /// Stable machine-readable name (scoreboard key).
+    pub fn slug(self) -> &'static str {
+        match self {
+            BugClass::StaticOobWrite => "static-oob-write",
+            BugClass::DynOobRead => "dyn-oob-read",
+            BugClass::HeapOobWrite => "heap-oob-write",
+            BugClass::IntraRegionOverflow => "intra-region-overflow",
+            BugClass::UseAfterFree => "use-after-free",
+            BugClass::PartialWidthStraddle => "partial-width-straddle",
+            BugClass::LocalOobWrite => "local-oob-write",
+            BugClass::SharedOobWrite => "shared-oob-write",
+            BugClass::Benign => "benign-control",
+        }
+    }
+
+    /// Which of the paper's check types guards the planted site.
+    pub fn check_family(self) -> &'static str {
+        match self {
+            BugClass::StaticOobWrite => "type1",
+            BugClass::DynOobRead
+            | BugClass::HeapOobWrite
+            | BugClass::IntraRegionOverflow
+            | BugClass::UseAfterFree
+            | BugClass::PartialWidthStraddle => "type2",
+            BugClass::LocalOobWrite | BugClass::SharedOobWrite => "type3",
+            BugClass::Benign => "control",
+        }
+    }
+
+    /// The outcome the GPUShield model is expected to produce for this
+    /// class — the scoreboard's conformance column and the trend gate's
+    /// per-class floor.
+    pub fn expected(self) -> Expected {
+        match self {
+            BugClass::StaticOobWrite
+            | BugClass::DynOobRead
+            | BugClass::HeapOobWrite
+            | BugClass::PartialWidthStraddle
+            | BugClass::LocalOobWrite => Expected::Detected,
+            BugClass::IntraRegionOverflow => Expected::SilentCorruption,
+            BugClass::UseAfterFree | BugClass::SharedOobWrite => Expected::Masked,
+            BugClass::Benign => Expected::Completed,
+        }
+    }
+}
+
+/// Expected end-to-end outcome for a bug class (see
+/// [`BugClass::expected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// The shield reports a violation at the planted site.
+    Detected,
+    /// The bug cannot manifest in an observable way; the run completes
+    /// clean (documented blind spot or excluded surface).
+    Masked,
+    /// The bug corrupts memory and nothing is logged (documented soft
+    /// spot).
+    SilentCorruption,
+    /// Benign control: clean completion.
+    Completed,
+}
+
+impl Expected {
+    /// Stable machine-readable name.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Expected::Detected => "detected",
+            Expected::Masked => "masked",
+            Expected::SilentCorruption => "silent-corruption",
+            Expected::Completed => "completed",
+        }
+    }
+}
+
+/// How far out of bounds the planted access reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Magnitude {
+    /// First byte(s) past the protection boundary.
+    OffByOne,
+    /// Kilobytes past it.
+    Far,
+}
+
+/// The memory the planted access should land in, in host-resolvable
+/// terms (the generator does not know virtual addresses; the harness
+/// resolves these against the driver's allocation records after launch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimRef {
+    /// `[end+lo, end+hi)` relative to the end of buffer argument
+    /// `param` (negative `lo` covers straddling accesses that begin in
+    /// bounds).
+    BufferEnd {
+        /// Index of the victim buffer in the argument list.
+        param: usize,
+        /// Window start, bytes relative to the buffer's end.
+        lo: i64,
+        /// Window end (exclusive), bytes relative to the buffer's end.
+        hi: i64,
+    },
+    /// `[end+lo, end+hi)` relative to the end of the device-heap chunk.
+    HeapEnd {
+        /// Window start, bytes past the chunk's end.
+        lo: u64,
+        /// Window end (exclusive), bytes past the chunk's end.
+        hi: u64,
+    },
+    /// A sibling device-heap block inside the same coarse heap region —
+    /// in bounds as far as the RBT is concerned.
+    HeapSibling,
+    /// A device-heap block the kernel has already freed (still mapped:
+    /// the model's `Free` is timing-only).
+    FreedHeapBlock,
+    /// Past the end of local variable `var`'s per-launch allocation.
+    LocalEnd {
+        /// Local variable slot.
+        var: u8,
+    },
+    /// The workgroup's on-chip shared scratch (unprotected, wrapping).
+    SharedWindow,
+    /// No victim: benign control specimen.
+    None,
+}
+
+/// The machine-readable oracle attached to every specimen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedBug {
+    /// Which taxonomy entry was planted.
+    pub class: BugClass,
+    /// Ordinal of the buggy access among the kernel's memory
+    /// instructions, in `iter_instrs` order (`None` for benign controls).
+    pub mem_ordinal: Option<usize>,
+    /// Addressing style of the buggy site, where a Fig. 2 style applies.
+    pub style: Option<AddrStyle>,
+    /// Whether the buggy access is a store.
+    pub is_store: bool,
+    /// Overshoot distance, where the class has one.
+    pub magnitude: Option<Magnitude>,
+    /// Where the access should land.
+    pub victim: VictimRef,
+}
+
+/// Host-side corruption probe: after a completed run the harness reads
+/// `offset` in buffer argument `param` and compares against `clean` —
+/// a mismatch is silent corruption the shield let through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Buffer argument to read back.
+    pub param: usize,
+    /// Byte offset of the probed word.
+    pub offset: u64,
+    /// Value the word holds when the bug did not manifest.
+    pub clean: u64,
+}
+
+/// One generated kernel plus everything the harness needs to run and
+/// judge it.
+#[derive(Debug, Clone)]
+pub struct Specimen {
+    /// Corpus-unique name (`fuzz_<class>_<index>`).
+    pub name: String,
+    /// Seed of this specimen's private RNG stream.
+    pub seed: u64,
+    /// The generated kernel (validated by construction).
+    pub kernel: Arc<Kernel>,
+    /// Sizes in bytes of the buffers to allocate and pass, in argument
+    /// order.
+    pub buffers: Vec<u64>,
+    /// Grid dimension of the launch.
+    pub grid: u32,
+    /// Block dimension of the launch.
+    pub block: u32,
+    /// Device-heap limit to configure before launch (0: no heap).
+    pub heap_limit: u64,
+    /// Post-run corruption probe, when the class plants one.
+    pub probe: Option<Probe>,
+    /// The oracle.
+    pub bug: PlantedBug,
+}
+
+/// Grid/block combinations the generator draws from. All totals are
+/// powers of two so buffer plans sized from the thread count stay
+/// power-of-two (exact Type 3 reservations — no canary padding to blur
+/// the detection boundary).
+const LAUNCH_COMBOS: [(u32, u32); 4] = [(1, 32), (2, 32), (1, 64), (2, 64)];
+
+const STYLES: [AddrStyle; 3] = [
+    AddrStyle::BaseOffset,
+    AddrStyle::Flat,
+    AddrStyle::BindingTable,
+];
+
+fn pick<T: Copy>(rng: &mut StdRng, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Benign shape noise: a few arithmetic ops and, sometimes, a bounded
+/// counted loop, so specimens within a class differ structurally and not
+/// just numerically. Never emits a memory access (the oracle's
+/// `mem_ordinal` bookkeeping stays simple).
+fn filler(b: &mut KernelBuilder, rng: &mut StdRng) {
+    let tid = b.global_thread_id();
+    let mut acc = b.add(tid, Operand::Imm(rng.gen_range(1..64)));
+    for _ in 0..rng.gen_range(0usize..3) {
+        acc = b.mul(acc, Operand::Imm(rng.gen_range(3..17)));
+        acc = b.xor(acc, Operand::Imm(rng.gen_range(0..255)));
+    }
+    if rng.gen_bool(0.5) {
+        let trips = rng.gen_range(1i64..4);
+        dsl::counted_loop(b, 0, trips, 1, |b, i| {
+            let t = b.add(i, acc);
+            b.and(t, Operand::Imm(0xFFFF));
+        })
+        .expect("generator-chosen loop shape is valid");
+    }
+}
+
+/// Corpus-unique kernel name for specimen `index` of `class`.
+fn specimen_name(class: BugClass, index: usize) -> String {
+    format!("fuzz_{}_{:03}", class.slug().replace('-', "_"), index)
+}
+
+fn gen_static_oob_write(rng: &mut StdRng, name: String) -> Specimen {
+    let size = pick(rng, &[64u64, 128, 256, 512, 1024]);
+    let style = pick(rng, &STYLES);
+    let (grid, block) = pick(rng, &LAUNCH_COMBOS);
+    let magnitude = if rng.gen_bool(0.5) {
+        Magnitude::OffByOne
+    } else {
+        Magnitude::Far
+    };
+    let delta = match magnitude {
+        Magnitude::OffByOne => 0,
+        Magnitude::Far => 2048 + 1024 * rng.gen_range(0u64..4),
+    };
+    let mut b = KernelBuilder::new(name.clone());
+    let a = dsl::planned_buffer(&mut b, "a", size, false).expect("one buffer");
+    filler(&mut b, rng);
+    let payload = rng.gen_range(1u64..0xFFFF);
+    dsl::g_st(
+        &mut b,
+        style,
+        a,
+        Operand::Imm((size + delta) as i64),
+        Operand::Imm(payload as i64),
+    );
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![size],
+        grid,
+        block,
+        heap_limit: 0,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::StaticOobWrite,
+            mem_ordinal: Some(0),
+            style: Some(style),
+            is_store: true,
+            magnitude: Some(magnitude),
+            victim: VictimRef::BufferEnd {
+                param: 0,
+                lo: delta as i64,
+                hi: delta as i64 + 4,
+            },
+        },
+    }
+}
+
+fn gen_dyn_oob_read(rng: &mut StdRng, name: String) -> Specimen {
+    let style = pick(rng, &STYLES);
+    // Bigger launches than the shared pool: the input buffer is half the
+    // thread count in words, and it must be at least the allocator's
+    // 512-byte reservation floor — otherwise the overrun lands in Type 3
+    // power-of-two padding and is (correctly) not a violation.
+    let (grid, block) = pick(rng, &[(8u32, 32u32), (4, 64), (8, 64), (16, 32)]);
+    let threads = u64::from(grid) * u64::from(block);
+    // Half the grid reads past the end.
+    let a_bytes = threads * 2;
+    let out_bytes = threads * 4;
+    let mut b = KernelBuilder::new(name.clone());
+    let a = dsl::planned_buffer(&mut b, "a", a_bytes, true).expect("input buffer");
+    let out = dsl::planned_buffer(&mut b, "out", out_bytes, false).expect("output buffer");
+    filler(&mut b, rng);
+    let tid = b.global_thread_id();
+    let off = dsl::byte_off4(&mut b, tid);
+    let v = dsl::g_ld(&mut b, style, a, off);
+    let sum = b.add(v, tid);
+    dsl::g_st(&mut b, AddrStyle::BaseOffset, out, off, sum);
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![a_bytes, out_bytes],
+        grid,
+        block,
+        heap_limit: 0,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::DynOobRead,
+            mem_ordinal: Some(0),
+            style: Some(style),
+            is_store: false,
+            magnitude: Some(Magnitude::OffByOne),
+            victim: VictimRef::BufferEnd {
+                param: 0,
+                lo: 0,
+                hi: a_bytes as i64,
+            },
+        },
+    }
+}
+
+fn gen_heap_oob_write(rng: &mut StdRng, name: String) -> Specimen {
+    let heap_limit = pick(rng, &[1u64 << 14, 1 << 15]);
+    let magnitude = if rng.gen_bool(0.5) {
+        Magnitude::OffByOne
+    } else {
+        Magnitude::Far
+    };
+    let delta = match magnitude {
+        Magnitude::OffByOne => 0,
+        Magnitude::Far => 4096 * rng.gen_range(1u64..4),
+    };
+    let use_flat = rng.gen_bool(0.5);
+    let mut b = KernelBuilder::new(name.clone());
+    let out = dsl::planned_buffer(&mut b, "out", 64, false).expect("output buffer");
+    filler(&mut b, rng);
+    // Single-thread launch: the first malloc sits at the chunk base, so
+    // `heap_limit + delta` from the block pointer is past the chunk end.
+    let p = b.malloc(Operand::Imm(64));
+    let off = (heap_limit + delta) as i64;
+    let addr = if use_flat {
+        let full = b.add(p, Operand::Imm(off));
+        b.flat(full)
+    } else {
+        b.base_offset(p, Operand::Imm(off))
+    };
+    b.st(MemSpace::Global, MemWidth::W4, addr, Operand::Imm(0x0BAD));
+    // Keep the block pointer observable so the malloc is not dead code.
+    b.st(
+        MemSpace::Global,
+        MemWidth::W8,
+        b.base_offset(out, Operand::Imm(0)),
+        p,
+    );
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![64],
+        grid: 1,
+        block: 1,
+        heap_limit,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::HeapOobWrite,
+            mem_ordinal: Some(0),
+            style: Some(if use_flat {
+                AddrStyle::Flat
+            } else {
+                AddrStyle::BaseOffset
+            }),
+            is_store: true,
+            magnitude: Some(magnitude),
+            victim: VictimRef::HeapEnd {
+                lo: delta,
+                hi: delta + 4,
+            },
+        },
+    }
+}
+
+fn gen_intra_region_overflow(rng: &mut StdRng, name: String) -> Specimen {
+    // Block A's size is a multiple of the heap allocator's 16-byte grain,
+    // so block B starts exactly at A's end.
+    let a_size = pick(rng, &[32u64, 48, 64, 80, 96]);
+    let magnitude = if rng.gen_bool(0.5) {
+        Magnitude::OffByOne
+    } else {
+        Magnitude::Far
+    };
+    let k = match magnitude {
+        Magnitude::OffByOne => 0,
+        Magnitude::Far => 4 * rng.gen_range(1u64..8),
+    };
+    let mut b = KernelBuilder::new(name.clone());
+    let out = dsl::planned_buffer(&mut b, "out", 64, false).expect("output buffer");
+    filler(&mut b, rng);
+    let pa = b.malloc(Operand::Imm(a_size as i64));
+    let pb = b.malloc(Operand::Imm(64));
+    // Victim cell starts clean; the overflow out of A clobbers it; the
+    // readback exfiltrates what the shield let through.
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(pb, Operand::Imm(k as i64)),
+        Operand::Imm(CLEAN_WORD as i64),
+    );
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(pa, Operand::Imm((a_size + k) as i64)),
+        Operand::Imm(EVIL_WORD as i64),
+    );
+    let v = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(pb, Operand::Imm(k as i64)),
+    );
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(out, Operand::Imm(0)),
+        v,
+    );
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![64],
+        grid: 1,
+        block: 1,
+        heap_limit: 1 << 14,
+        probe: Some(Probe {
+            param: 0,
+            offset: 0,
+            clean: CLEAN_WORD,
+        }),
+        bug: PlantedBug {
+            class: BugClass::IntraRegionOverflow,
+            mem_ordinal: Some(1),
+            style: Some(AddrStyle::BaseOffset),
+            is_store: true,
+            magnitude: Some(magnitude),
+            victim: VictimRef::HeapSibling,
+        },
+    }
+}
+
+fn gen_use_after_free(rng: &mut StdRng, name: String) -> Specimen {
+    let off = 4 * rng.gen_range(0u64..15);
+    let mut b = KernelBuilder::new(name.clone());
+    let out = dsl::planned_buffer(&mut b, "out", 64, false).expect("output buffer");
+    filler(&mut b, rng);
+    let p = b.malloc(Operand::Imm(64));
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(off as i64)),
+        Operand::Imm(0x0A11_0C8D),
+    );
+    b.free(p);
+    // The dangling store and load: the model's Free is timing-only, so
+    // the region stays valid and this is expected to pass unremarked.
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(off as i64)),
+        Operand::Imm(0x0DEA_D5E1),
+    );
+    let v = b.ld(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(p, Operand::Imm(off as i64)),
+    );
+    b.st(
+        MemSpace::Global,
+        MemWidth::W4,
+        b.base_offset(out, Operand::Imm(0)),
+        v,
+    );
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![64],
+        grid: 1,
+        block: 1,
+        heap_limit: 1 << 14,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::UseAfterFree,
+            mem_ordinal: Some(1),
+            style: Some(AddrStyle::BaseOffset),
+            is_store: true,
+            magnitude: None,
+            victim: VictimRef::FreedHeapBlock,
+        },
+    }
+}
+
+fn gen_partial_width_straddle(rng: &mut StdRng, name: String) -> Specimen {
+    let size = pick(rng, &[64u64, 128, 256, 512]);
+    let (grid, block) = pick(rng, &LAUNCH_COMBOS);
+    let threads = u64::from(grid) * u64::from(block);
+    let out_bytes = threads * 4;
+    let mut b = KernelBuilder::new(name.clone());
+    let a = dsl::planned_buffer(&mut b, "a", size, false).expect("victim buffer");
+    let out = dsl::planned_buffer(&mut b, "out", out_bytes, false).expect("output buffer");
+    filler(&mut b, rng);
+    let tid = b.global_thread_id();
+    // Only thread 0 performs the straddling wide store; the last 4 bytes
+    // of `a` are in bounds, the next 4 are not.
+    let is0 = b.cmp(CmpOp::Eq, tid, Operand::Imm(0));
+    b.if_then(is0, |b| {
+        b.st(
+            MemSpace::Global,
+            MemWidth::W8,
+            b.base_offset(a, Operand::Imm(size as i64 - 4)),
+            Operand::Imm(0x0102_0304_0506),
+        );
+    });
+    let off = dsl::byte_off4(&mut b, tid);
+    dsl::g_st(&mut b, AddrStyle::BaseOffset, out, off, tid);
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![size, out_bytes],
+        grid,
+        block,
+        heap_limit: 0,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::PartialWidthStraddle,
+            mem_ordinal: Some(0),
+            style: Some(AddrStyle::BaseOffset),
+            is_store: true,
+            magnitude: Some(Magnitude::OffByOne),
+            victim: VictimRef::BufferEnd {
+                param: 0,
+                lo: -4,
+                hi: 4,
+            },
+        },
+    }
+}
+
+fn gen_local_oob_write(rng: &mut StdRng, name: String) -> Specimen {
+    let (grid, block) = pick(rng, &LAUNCH_COMBOS);
+    let threads = u64::from(grid) * u64::from(block);
+    let bpt = pick(rng, &[16u64, 32, 64]);
+    let total = bpt * threads;
+    let magnitude = if rng.gen_bool(0.5) {
+        Magnitude::OffByOne
+    } else {
+        Magnitude::Far
+    };
+    let delta = match magnitude {
+        Magnitude::OffByOne => 0,
+        Magnitude::Far => 4096,
+    };
+    let mut b = KernelBuilder::new(name.clone());
+    let out = dsl::planned_buffer(&mut b, "out", threads * 4, false).expect("output buffer");
+    let scratch = b.local_var("scratch", bpt);
+    filler(&mut b, rng);
+    let tid = b.global_thread_id();
+    // Benign per-thread slot write, then the planted store one past (or
+    // far past) the whole allocation's power-of-two reservation.
+    let slot = b.mul(tid, Operand::Imm(bpt as i64));
+    b.st(
+        MemSpace::Local,
+        MemWidth::W4,
+        b.base_offset(b.local_base(scratch), slot),
+        tid,
+    );
+    b.st(
+        MemSpace::Local,
+        MemWidth::W4,
+        b.base_offset(b.local_base(scratch), Operand::Imm((total + delta) as i64)),
+        Operand::Imm(0x10CA_100B),
+    );
+    let off = dsl::byte_off4(&mut b, tid);
+    dsl::g_st(&mut b, AddrStyle::BaseOffset, out, off, tid);
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![threads * 4],
+        grid,
+        block,
+        heap_limit: 0,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::LocalOobWrite,
+            mem_ordinal: Some(1),
+            style: Some(AddrStyle::BaseOffset),
+            is_store: true,
+            magnitude: Some(magnitude),
+            victim: VictimRef::LocalEnd { var: scratch },
+        },
+    }
+}
+
+fn gen_shared_oob_write(rng: &mut StdRng, name: String) -> Specimen {
+    let (grid, block) = pick(rng, &[(1u32, 32u32), (2, 32)]);
+    let threads = u64::from(grid) * u64::from(block);
+    let n = pick(rng, &[128u64, 256, 512]);
+    let mut b = KernelBuilder::new(name.clone());
+    let out = dsl::planned_buffer(&mut b, "out", threads * 4, false).expect("output buffer");
+    b.shared_mem(n);
+    filler(&mut b, rng);
+    let tid = b.global_thread_id();
+    // Every lane stores one slot past the scratch window at a disjoint
+    // per-thread offset (so the race pass has nothing to flag). The model
+    // wraps the index back into the window: nothing outside the
+    // workgroup's on-chip scratch is reachable.
+    let t4 = dsl::byte_off4(&mut b, tid);
+    let off = b.add(t4, Operand::Imm(n as i64));
+    b.st(MemSpace::Shared, MemWidth::W4, b.flat(off), tid);
+    let off_g = dsl::byte_off4(&mut b, tid);
+    dsl::g_st(&mut b, AddrStyle::BaseOffset, out, off_g, tid);
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![threads * 4],
+        grid,
+        block,
+        heap_limit: 0,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::SharedOobWrite,
+            mem_ordinal: Some(0),
+            style: None,
+            is_store: true,
+            magnitude: Some(Magnitude::OffByOne),
+            victim: VictimRef::SharedWindow,
+        },
+    }
+}
+
+fn gen_benign(rng: &mut StdRng, name: String) -> Specimen {
+    let style = pick(rng, &STYLES);
+    let (grid, block) = pick(rng, &LAUNCH_COMBOS);
+    let threads = u64::from(grid) * u64::from(block);
+    let bytes = threads * 4;
+    let mut b = KernelBuilder::new(name.clone());
+    let a = dsl::planned_buffer(&mut b, "a", bytes, true).expect("input buffer");
+    let out = dsl::planned_buffer(&mut b, "out", bytes, false).expect("output buffer");
+    filler(&mut b, rng);
+    let tid = b.global_thread_id();
+    let off = dsl::byte_off4(&mut b, tid);
+    let v = dsl::g_ld(&mut b, style, a, off);
+    let w = b.add(v, tid);
+    dsl::g_st(&mut b, AddrStyle::BaseOffset, out, off, w);
+    b.ret();
+    Specimen {
+        name,
+        seed: 0,
+        kernel: Arc::new(b.finish().expect("generated kernel validates")),
+        buffers: vec![bytes, bytes],
+        grid,
+        block,
+        heap_limit: 0,
+        probe: None,
+        bug: PlantedBug {
+            class: BugClass::Benign,
+            mem_ordinal: None,
+            style: Some(style),
+            is_store: false,
+            magnitude: None,
+            victim: VictimRef::None,
+        },
+    }
+}
+
+/// Generates `per_class` specimens for every taxonomy class, in class
+/// order then index order — a pure function of `(corpus_seed,
+/// per_class)`. Each class draws from its own labelled stream and each
+/// specimen from a labelled split of that, so corpora are stable under
+/// extension.
+pub fn corpus(corpus_seed: u64, per_class: usize) -> Vec<Specimen> {
+    let mut out = Vec::with_capacity(BugClass::ALL.len() * per_class);
+    for class in BugClass::ALL {
+        let mut class_rng = StdRng::stream(corpus_seed, &format!("fuzz/{}", class.slug()));
+        for index in 0..per_class {
+            let mut srng = class_rng.split(&format!("specimen/{index}"));
+            let name = specimen_name(class, index);
+            let mut s = match class {
+                BugClass::StaticOobWrite => gen_static_oob_write(&mut srng, name),
+                BugClass::DynOobRead => gen_dyn_oob_read(&mut srng, name),
+                BugClass::HeapOobWrite => gen_heap_oob_write(&mut srng, name),
+                BugClass::IntraRegionOverflow => gen_intra_region_overflow(&mut srng, name),
+                BugClass::UseAfterFree => gen_use_after_free(&mut srng, name),
+                BugClass::PartialWidthStraddle => gen_partial_width_straddle(&mut srng, name),
+                BugClass::LocalOobWrite => gen_local_oob_write(&mut srng, name),
+                BugClass::SharedOobWrite => gen_shared_oob_write(&mut srng, name),
+                BugClass::Benign => gen_benign(&mut srng, name),
+            };
+            s.seed = gpushield_runtime::rng::derive_seed(
+                corpus_seed,
+                &format!("fuzz/{}/specimen/{index}", class.slug()),
+            );
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The committed scoreboard's corpus: seed shared with every exhibit,
+/// 25 specimens per class (225 total).
+pub const CORPUS_SEED: u64 = 0x6057_5E1D;
+/// Specimens per class in the default corpus.
+pub const PER_CLASS: usize = 25;
+
+/// The corpus the `fuzz_scoreboard` exhibit and `BENCH_detection.json`
+/// are built from.
+pub fn default_corpus() -> Vec<Specimen> {
+    corpus(CORPUS_SEED, PER_CLASS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn fingerprint(specs: &[Specimen]) -> String {
+        specs
+            .iter()
+            .map(|s| format!("{s:#?}\n"))
+            .collect::<String>()
+    }
+
+    #[test]
+    fn corpus_is_a_pure_function_of_the_seed() {
+        let a = corpus(7, 3);
+        let b = corpus(7, 3);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = corpus(8, 3);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn every_specimen_validates_and_is_wellformed() {
+        for s in corpus(11, 4) {
+            // finish() already validated; re-validate the finished kernel
+            // and sanity-check the plan.
+            gpushield_isa::validate(&s.kernel).expect("specimen kernel validates");
+            assert!(s.grid >= 1 && s.block >= 1, "{}: degenerate launch", s.name);
+            assert!(
+                s.buffers.iter().all(|&b| b > 0),
+                "{}: zero-width buffer plan",
+                s.name
+            );
+            if s.bug.class != BugClass::Benign {
+                assert!(
+                    s.bug.mem_ordinal.is_some(),
+                    "{}: oracle missing site",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_spans_the_taxonomy_and_check_types() {
+        let specs = default_corpus();
+        assert!(specs.len() >= 200, "corpus has {} specimens", specs.len());
+        let classes: HashSet<_> = specs.iter().map(|s| s.bug.class).collect();
+        assert_eq!(classes.len(), BugClass::ALL.len());
+        let families: HashSet<_> = specs.iter().map(|s| s.bug.class.check_family()).collect();
+        for fam in ["type1", "type2", "type3"] {
+            assert!(families.contains(fam), "missing {fam} coverage");
+        }
+        let styles: HashSet<_> = specs.iter().filter_map(|s| s.bug.style).collect();
+        assert_eq!(styles.len(), 3, "all Fig. 2 styles exercised: {styles:?}");
+        let magnitudes: HashSet<_> = specs
+            .iter()
+            .filter_map(|s| s.bug.magnitude.map(|m| format!("{m:?}")))
+            .collect();
+        assert_eq!(magnitudes.len(), 2, "off-by-one and far strides present");
+    }
+
+    #[test]
+    fn planted_site_ordinal_points_at_a_memory_instruction() {
+        use gpushield_isa::Instr;
+        for s in corpus(3, 2) {
+            let Some(ord) = s.bug.mem_ordinal else {
+                continue;
+            };
+            let mems: Vec<_> = s
+                .kernel
+                .iter_instrs()
+                .filter(|(_, _, i)| {
+                    matches!(
+                        i,
+                        Instr::Ld { .. } | Instr::St { .. } | Instr::AtomAdd { .. }
+                    )
+                })
+                .collect();
+            assert!(
+                ord < mems.len(),
+                "{}: ordinal {ord} out of range ({} mem ops)",
+                s.name,
+                mems.len()
+            );
+            let (_, _, instr) = mems[ord];
+            let is_store = matches!(instr, Instr::St { .. } | Instr::AtomAdd { .. });
+            assert_eq!(is_store, s.bug.is_store, "{}: store-ness mismatch", s.name);
+        }
+    }
+}

@@ -656,6 +656,11 @@ impl System {
         &self.driver
     }
 
+    /// Device-heap window `(va, size)`, if a heap limit was set.
+    pub fn heap_window(&self) -> Option<(u64, u64)> {
+        self.driver.heap_window()
+    }
+
     /// Mutable driver access (host-side memory manipulation).
     pub fn driver_mut(&mut self) -> &mut Driver {
         &mut self.driver

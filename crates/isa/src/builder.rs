@@ -106,6 +106,12 @@ impl KernelBuilder {
         self.shared_bytes = bytes;
     }
 
+    /// Number of parameters declared so far (the builder panics past 128;
+    /// generators that must not panic check this first).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
     // ---- operand shorthands -------------------------------------------
 
     /// `threadIdx.x` as an operand.

@@ -791,16 +791,32 @@ fn exec_mem_phase(
             let warp_width = core.warps[wi].width;
             for (lane, lane_va) in scratch.lane_vas.iter().enumerate().take(warp_width) {
                 let Some(va) = *lane_va else { continue };
+                // The pre-check translated every lane VA, so a fault here
+                // means the mapping changed under us (e.g. host-injected
+                // metadata corruption) — degrade into the same typed abort
+                // a translation fault takes, never a panic.
                 if is_store {
                     let v = scratch.store_vals[lane];
-                    vm.write_uint(va, width_b, v)
-                        .expect("translation already verified");
+                    if let Err(f) = vm.write_uint(va, width_b, v) {
+                        core.scratch = scratch;
+                        freeze_abort(out, t, core, wi, li, AbortReason::MemFault(f));
+                        return;
+                    }
                 } else {
-                    let v = vm
-                        .read_uint(va, width_b)
-                        .expect("translation already verified");
+                    let v = match vm.read_uint(va, width_b) {
+                        Ok(v) => v,
+                        Err(f) => {
+                            core.scratch = scratch;
+                            freeze_abort(out, t, core, wi, li, AbortReason::MemFault(f));
+                            return;
+                        }
+                    };
+                    // A load without a destination is dropped by decode, so
+                    // `dst` is always present here; skip defensively rather
+                    // than assert.
+                    let Some(d) = dst else { continue };
                     let warp = &mut core.warps[wi];
-                    warp.set_reg(dst.expect("load has dst"), lane, v);
+                    warp.set_reg(d, lane, v);
                 }
             }
         }
@@ -884,12 +900,14 @@ fn exec_shared_phase(
             continue;
         }
         if is_atomic {
+            // Decode always materialises an addend vector for atomics; a
+            // missing one is treated as adding zero rather than a panic.
             let mut old_bytes = [0u8; 8];
             for i in 0..width_b {
                 old_bytes[i as usize] = sh[((va + i) % n) as usize];
             }
             let old = u64::from_le_bytes(old_bytes);
-            let add = store_vals.expect("atomic has addend")[lane];
+            let add = store_vals.map_or(0, |vals| vals[lane]);
             let new_bytes = old.wrapping_add(add).to_le_bytes();
             for i in 0..width_b {
                 sh[((va + i) % n) as usize] = new_bytes[i as usize];
@@ -1791,12 +1809,21 @@ fn drain_atom<'w, 'g>(
             let warp_width = core.warps[wi].width;
             for (lane, lane_va) in scratch.lane_vas.iter().enumerate().take(warp_width) {
                 let Some(va) = *lane_va else { continue };
-                let old = vm
-                    .read_uint(va, width_b)
-                    .expect("translation already verified");
+                // As in the load/store path: the pre-check translated every
+                // lane VA, so a fault here means the mapping changed under
+                // us — take the typed abort, never a panic.
+                let old = match vm.read_uint(va, width_b) {
+                    Ok(v) => v,
+                    Err(f) => {
+                        core.scratch = scratch;
+                        return Some((li, AbortReason::MemFault(f)));
+                    }
+                };
                 let add = scratch.store_vals[lane];
-                vm.write_uint(va, width_b, old.wrapping_add(add))
-                    .expect("translation already verified");
+                if let Err(f) = vm.write_uint(va, width_b, old.wrapping_add(add)) {
+                    core.scratch = scratch;
+                    return Some((li, AbortReason::MemFault(f)));
+                }
                 let warp = &mut core.warps[wi];
                 warp.set_reg(dst, lane, old);
             }

@@ -5,7 +5,7 @@ use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand, ParamRef, VReg};
 
 /// Which Fig. 2 addressing method generated kernels use for global
 /// accesses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AddrStyle {
     /// Method C: base register + offset (also what Intel's stateless mode
     /// lowers to).
@@ -57,6 +57,120 @@ pub fn byte_off4(b: &mut KernelBuilder, idx: impl Into<Operand>) -> VReg {
     b.shl(idx, Operand::Imm(2))
 }
 
+/// Degenerate kernel shapes a program generator can request but the
+/// builder cannot express — returned as typed errors where the raw
+/// [`KernelBuilder`] calls would panic (`for_loop` asserts a non-zero
+/// step, parameter declaration asserts the 128-argument limit) or where
+/// the emitted kernel could never terminate (a counted loop stepping away
+/// from its bound spins until the cycle watchdog kills the launch).
+///
+/// Shapes that merely look odd but are well-defined are *not* errors:
+/// zero-trip loops (`start == end`, or a step moving past an already-met
+/// bound) emit a loop that executes no iterations, and empty loop/branch
+/// bodies still get their terminators from the structured-control-flow
+/// helpers, so both validate and run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// `for` loop with step 0: the induction variable never advances.
+    ZeroStep {
+        /// Requested constant bounds.
+        start: i64,
+        /// Requested constant bounds.
+        end: i64,
+    },
+    /// `for` loop whose step moves the induction variable away from the
+    /// bound (`start < end` with a negative step or vice versa): the trip
+    /// count is unbounded.
+    UnboundedLoop {
+        /// Requested constant bounds.
+        start: i64,
+        /// Requested constant bounds.
+        end: i64,
+        /// The divergent step.
+        step: i64,
+    },
+    /// A buffer parameter whose planned allocation is zero bytes wide:
+    /// nothing can legally dereference it, and a zero-size region entry
+    /// would make every access to it a violation.
+    ZeroWidthBuffer {
+        /// Declared parameter name.
+        name: String,
+    },
+    /// The kernel already carries the architectural maximum of 128
+    /// arguments (OpenCL 2.0's limit, paper §2.1).
+    TooManyParams {
+        /// Parameters already declared.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::ZeroStep { start, end } => {
+                write!(f, "counted loop {start}..{end} with step 0 never advances")
+            }
+            ShapeError::UnboundedLoop { start, end, step } => {
+                write!(
+                    f,
+                    "counted loop {start}..{end} with step {step} is unbounded"
+                )
+            }
+            ShapeError::ZeroWidthBuffer { name } => {
+                write!(f, "buffer parameter {name} has a zero-byte allocation plan")
+            }
+            ShapeError::TooManyParams { count } => {
+                write!(f, "kernel already has {count} parameters (limit 128)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Emits a constant-bound counted loop after validating the shape:
+/// rejects step 0 (builder panic) and steps that diverge from the bound
+/// (unbounded trip count) with a [`ShapeError`] instead. Zero-trip
+/// shapes are valid and emit a loop that executes no iterations.
+pub fn counted_loop(
+    b: &mut KernelBuilder,
+    start: i64,
+    end: i64,
+    step: i64,
+    body: impl FnOnce(&mut KernelBuilder, VReg),
+) -> Result<(), ShapeError> {
+    if step == 0 {
+        return Err(ShapeError::ZeroStep { start, end });
+    }
+    if (start < end && step < 0) || (start > end && step > 0) {
+        return Err(ShapeError::UnboundedLoop { start, end, step });
+    }
+    b.for_loop(Operand::Imm(start), Operand::Imm(end), step, body);
+    Ok(())
+}
+
+/// Declares a global buffer parameter with a planned host allocation of
+/// `planned_bytes`, rejecting width-0 plans and the 129th parameter with
+/// a [`ShapeError`] instead of a builder panic.
+pub fn planned_buffer(
+    b: &mut KernelBuilder,
+    name: &str,
+    planned_bytes: u64,
+    readonly: bool,
+) -> Result<ParamRef, ShapeError> {
+    if planned_bytes == 0 {
+        return Err(ShapeError::ZeroWidthBuffer {
+            name: name.to_string(),
+        });
+    }
+    if b.param_count() >= 128 {
+        return Err(ShapeError::TooManyParams {
+            count: b.param_count(),
+        });
+    }
+    Ok(b.param_buffer(name, readonly))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +196,66 @@ mod tests {
             });
             assert_eq!(found, Some(method), "style {style:?}");
         }
+    }
+
+    #[test]
+    fn degenerate_loop_shapes_are_typed_errors() {
+        let mut b = KernelBuilder::new("t");
+        assert_eq!(
+            counted_loop(&mut b, 0, 8, 0, |_, _| {}),
+            Err(ShapeError::ZeroStep { start: 0, end: 8 })
+        );
+        assert_eq!(
+            counted_loop(&mut b, 0, 8, -1, |_, _| {}),
+            Err(ShapeError::UnboundedLoop {
+                start: 0,
+                end: 8,
+                step: -1
+            })
+        );
+        assert_eq!(
+            counted_loop(&mut b, 8, 0, 2, |_, _| {}),
+            Err(ShapeError::UnboundedLoop {
+                start: 8,
+                end: 0,
+                step: 2
+            })
+        );
+    }
+
+    #[test]
+    fn zero_trip_and_empty_body_loops_are_valid() {
+        // A zero-trip bound and an empty body are well-defined: the
+        // structured helpers still terminate every block, so the kernel
+        // validates and would simply skip the loop at runtime.
+        let mut b = KernelBuilder::new("t");
+        let p = b.param_buffer("p", false);
+        counted_loop(&mut b, 5, 5, 1, |_, _| {}).unwrap();
+        counted_loop(&mut b, 0, 3, 1, |b, i| {
+            let off = byte_off4(b, i);
+            let _ = g_ld(b, AddrStyle::BaseOffset, p, off);
+        })
+        .unwrap();
+        b.ret();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn degenerate_buffer_plans_are_typed_errors() {
+        let mut b = KernelBuilder::new("t");
+        assert_eq!(
+            planned_buffer(&mut b, "empty", 0, false),
+            Err(ShapeError::ZeroWidthBuffer {
+                name: "empty".to_string()
+            })
+        );
+        for i in 0..128 {
+            planned_buffer(&mut b, &format!("p{i}"), 64, false).unwrap();
+        }
+        assert_eq!(
+            planned_buffer(&mut b, "overflow", 64, false),
+            Err(ShapeError::TooManyParams { count: 128 })
+        );
     }
 
     #[test]

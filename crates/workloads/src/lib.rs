@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 mod data;
-mod dsl;
+pub mod dsl;
 mod host;
 mod programs;
 mod registry;

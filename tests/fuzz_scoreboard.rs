@@ -1,0 +1,93 @@
+//! Determinism and conformance gates for the adversarial fuzz sweep.
+//!
+//! The scoreboard is a CI artifact (`BENCH_detection.json`, the `trend`
+//! gate), so it must be a pure function of the corpus seed: byte-identical
+//! at any `--jobs` fan-out and any `--sim-threads` engine sharding, with
+//! every specimen classified and zero watchdog hangs.
+
+use gpushield_bench::fuzzsweep::run_sweep;
+use gpushield_bench::runner;
+use gpushield_fuzzgen::{corpus, BugClass, CORPUS_SEED, PER_CLASS};
+
+/// Debug-format fingerprint of a corpus (kernel structure + oracles).
+fn corpus_fingerprint(seed: u64, per_class: usize) -> String {
+    corpus(seed, per_class)
+        .iter()
+        .map(|s| format!("{s:#?}\n"))
+        .collect()
+}
+
+#[test]
+fn corpus_is_byte_identical_for_a_seed() {
+    assert_eq!(
+        corpus_fingerprint(CORPUS_SEED, PER_CLASS),
+        corpus_fingerprint(CORPUS_SEED, PER_CLASS)
+    );
+    assert_ne!(
+        corpus_fingerprint(CORPUS_SEED, 2),
+        corpus_fingerprint(CORPUS_SEED ^ 1, 2)
+    );
+}
+
+/// One test drives every full sweep: the worker-count knobs are
+/// process-wide, so a single serial body keeps them race-free.
+#[test]
+fn full_scoreboard_is_deterministic_and_conforms() {
+    runner::set_sim_threads(1);
+    let base = run_sweep(CORPUS_SEED, PER_CLASS, 1);
+    let base_text = base.render_text();
+    let base_json = base.to_json().render();
+
+    // --jobs fan-out must not change a byte.
+    let wide = run_sweep(CORPUS_SEED, PER_CLASS, 4);
+    assert_eq!(base_text, wide.render_text(), "jobs 1 vs 4 diverged");
+    assert_eq!(base_json, wide.to_json().render());
+
+    // Neither must engine sharding (7 deliberately does not divide the
+    // simulated core count).
+    runner::set_sim_threads(7);
+    let sharded = run_sweep(CORPUS_SEED, PER_CLASS, 4);
+    runner::set_sim_threads(1);
+    assert_eq!(
+        base_text,
+        sharded.render_text(),
+        "sim-threads 1 vs 7 diverged"
+    );
+    assert_eq!(base_json, sharded.to_json().render());
+
+    // Coverage: the acceptance floor for the committed corpus.
+    assert!(base.total() >= 200, "only {} specimens", base.total());
+    assert_eq!(base.rows.len(), BugClass::ALL.len());
+    let bug_classes = base
+        .rows
+        .iter()
+        .filter(|r| r.class != BugClass::Benign)
+        .count();
+    assert!(bug_classes >= 6, "only {bug_classes} bug classes");
+
+    // Every specimen classified, none hung, and every class behaves as
+    // its taxonomy entry documents.
+    for row in &base.rows {
+        assert_eq!(
+            row.specimens(),
+            PER_CLASS,
+            "{} row incomplete",
+            row.class.slug()
+        );
+        assert_eq!(row.tally[5], 0, "{} hung", row.class.slug());
+        assert_eq!(
+            row.conforming,
+            row.specimens(),
+            "{}: expected every specimen to be {:?}, tally {:?}",
+            row.class.slug(),
+            row.class.expected(),
+            row.tally
+        );
+    }
+
+    // The Type 1 class must also be caught before launch: the BAT proves
+    // the constant-offset overrun and records a StaticViolation.
+    let static_row = &base.rows[0];
+    assert_eq!(static_row.class, BugClass::StaticOobWrite);
+    assert_eq!(static_row.static_flagged, static_row.specimens());
+}
