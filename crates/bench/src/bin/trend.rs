@@ -6,20 +6,26 @@
 //! trend --write              # regenerate BENCH_detection.json from a fresh sweep
 //! ```
 //!
-//! `--check` reruns the default fuzz corpus, renders a one-table trend
-//! report covering all three committed baselines (`BENCH_detection.json`,
-//! `BENCH_simcore.json`, `BENCH_parcore.json`), and exits non-zero when
-//! the detection scoreboard regresses against its baseline:
+//! `--check` reruns the default fuzz corpus plus the static-precision
+//! classification, renders a one-table trend report covering the committed
+//! baselines (`BENCH_detection.json`, `BENCH_static_precision.json`,
+//! `BENCH_simcore.json`, `BENCH_parcore.json`), and exits non-zero when a
+//! gated baseline regresses:
 //!
 //! * any class's `detected` or `conforming` count drops,
 //! * any class hangs,
 //! * the class set or the per-class JSON key set drifts (schema drift —
 //!   downstream consumers key on these),
-//! * a benign control faults.
+//! * a benign control faults,
+//! * the certificate prover's Type 1 count drops — overall, per workload,
+//!   or in how many workloads improve over the seed analysis,
+//! * the runtime auditor catches any certificate window lying.
 //!
 //! The simcore/parcore rows are report-only context (their rates are gated
-//! separately by the throughput smoke); detection is the gating table.
+//! separately by the throughput smoke); detection and precision are the
+//! gating tables.
 
+use gpushield_bench::experiments::precision::precision_summary;
 use gpushield_bench::fuzzsweep::{run_sweep, Scoreboard};
 use gpushield_bench::runner;
 use gpushield_fuzzgen::{CORPUS_SEED, PER_CLASS};
@@ -27,6 +33,7 @@ use gpushield_runtime::report::Json;
 use std::process::ExitCode;
 
 const DETECTION_PATH: &str = "BENCH_detection.json";
+const PRECISION_PATH: &str = "BENCH_static_precision.json";
 
 fn usage() -> ExitCode {
     eprintln!("usage: trend [--check|--write] [--jobs N] [--sim-threads N]");
@@ -150,6 +157,90 @@ fn check_detection(sb: &Scoreboard, baseline: &Json, report: &mut String) -> Vec
     failures
 }
 
+/// Compares the fresh static-precision summary against the committed
+/// baseline. The gate fails on a Type-1-share regression — overall, per
+/// workload, or in the improved-workload count — and on any certificate
+/// the runtime auditor caught lying.
+fn check_precision(fresh: &Json, baseline: &Json, report: &mut String) -> Vec<String> {
+    let mut failures = Vec::new();
+    if baseline.get("schema").and_then(Json::as_str) != fresh.get("schema").and_then(Json::as_str) {
+        failures.push(format!(
+            "precision schema drift: baseline {:?} vs current {:?}",
+            baseline.get("schema").and_then(Json::as_str),
+            fresh.get("schema").and_then(Json::as_str)
+        ));
+        return failures;
+    }
+    let (b_cert, c_cert) = (uint(baseline, "cert_t1"), uint(fresh, "cert_t1"));
+    let (b_imp, c_imp) = (uint(baseline, "improved"), uint(fresh, "improved"));
+    let violations = uint(fresh, "audit_violations").unwrap_or(0);
+    let mut note = "ok";
+    if c_cert < b_cert {
+        failures.push(format!(
+            "certified Type 1 sites dropped {} -> {}",
+            b_cert.unwrap_or(0),
+            c_cert.unwrap_or(0)
+        ));
+        note = "REGRESSED";
+    }
+    if c_imp < b_imp {
+        failures.push(format!(
+            "improved-workload count dropped {} -> {}",
+            b_imp.unwrap_or(0),
+            c_imp.unwrap_or(0)
+        ));
+        note = "REGRESSED";
+    }
+    if violations > 0 {
+        failures.push(format!("{violations} certificate audit violation(s)"));
+        note = "UNSOUND";
+    }
+    let empty: Vec<Json> = Vec::new();
+    let b_rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let c_rows = fresh.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
+    let name = |j: &Json| {
+        j.get("workload")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    if b_rows.iter().map(name).collect::<Vec<_>>() != c_rows.iter().map(name).collect::<Vec<_>>() {
+        failures.push("precision workload-set drift".to_string());
+    } else {
+        for (b, c) in b_rows.iter().zip(c_rows) {
+            if uint(c, "cert_t1") < uint(b, "cert_t1") {
+                failures.push(format!(
+                    "{}: certified Type 1 sites dropped {} -> {}",
+                    name(b),
+                    uint(b, "cert_t1").unwrap_or(0),
+                    uint(c, "cert_t1").unwrap_or(0)
+                ));
+                note = "REGRESSED";
+            }
+        }
+    }
+    row(
+        report,
+        "precision/cert-type1",
+        format!(
+            "{}/{} sites",
+            b_cert.unwrap_or(0),
+            uint(baseline, "sites").unwrap_or(0)
+        ),
+        format!(
+            "{}/{} improved {}",
+            c_cert.unwrap_or(0),
+            uint(fresh, "sites").unwrap_or(0),
+            c_imp.unwrap_or(0)
+        ),
+        note,
+    );
+    failures
+}
+
 /// Report-only context row for a committed throughput baseline.
 fn perf_row(report: &mut String, path: &str) {
     let Ok(text) = std::fs::read_to_string(path) else {
@@ -212,28 +303,41 @@ fn main() -> ExitCode {
     }
 
     let sb = run_sweep(CORPUS_SEED, PER_CLASS, jobs);
+    let precision = precision_summary(jobs);
     if write {
-        let doc = sb.to_json().render();
-        if let Err(e) = std::fs::write(DETECTION_PATH, doc + "\n") {
-            eprintln!("trend: cannot write {DETECTION_PATH}: {e}");
-            return ExitCode::from(2);
+        for (path, doc) in [
+            (DETECTION_PATH, sb.to_json().render()),
+            (PRECISION_PATH, precision.render()),
+        ] {
+            if let Err(e) = std::fs::write(path, doc + "\n") {
+                eprintln!("trend: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("wrote {path}");
         }
-        println!("wrote {DETECTION_PATH} ({} specimens)", sb.total());
         return ExitCode::SUCCESS;
     }
 
-    let baseline = match std::fs::read_to_string(DETECTION_PATH) {
+    let read_baseline = |path: &str| match std::fs::read_to_string(path) {
         Ok(text) => match Json::parse(&text) {
-            Ok(doc) => doc,
+            Ok(doc) => Ok(doc),
             Err(e) => {
-                eprintln!("trend: {DETECTION_PATH} is not valid JSON: {e}");
-                return ExitCode::from(2);
+                eprintln!("trend: {path} is not valid JSON: {e}");
+                Err(ExitCode::from(2))
             }
         },
         Err(e) => {
-            eprintln!("trend: cannot read {DETECTION_PATH}: {e} (run `trend --write`)");
-            return ExitCode::from(2);
+            eprintln!("trend: cannot read {path}: {e} (run `trend --write`)");
+            Err(ExitCode::from(2))
         }
+    };
+    let baseline = match read_baseline(DETECTION_PATH) {
+        Ok(doc) => doc,
+        Err(code) => return code,
+    };
+    let precision_baseline = match read_baseline(PRECISION_PATH) {
+        Ok(doc) => doc,
+        Err(code) => return code,
     };
 
     let mut report = String::new();
@@ -241,7 +345,12 @@ fn main() -> ExitCode {
         "{:<34} {:>16} {:>16}   {}\n",
         "trend", "baseline", "current", "status"
     ));
-    let failures = check_detection(&sb, &baseline, &mut report);
+    let mut failures = check_detection(&sb, &baseline, &mut report);
+    failures.extend(check_precision(
+        &precision,
+        &precision_baseline,
+        &mut report,
+    ));
     perf_row(&mut report, "BENCH_simcore.json");
     perf_row(&mut report, "BENCH_parcore.json");
     print!("{report}");

@@ -7,6 +7,7 @@ mod fuzzing;
 mod metadata;
 mod multikernel;
 mod perf;
+pub mod precision;
 mod profile;
 pub mod resilience;
 mod studies;
@@ -140,6 +141,11 @@ pub fn all() -> Vec<Experiment> {
             run: verifier::bat_soundness,
         },
         Experiment {
+            id: "static_precision",
+            title: "Relational certificates: Type 2 → Type 1 migration and stall delta",
+            run: precision::static_precision,
+        },
+        Experiment {
             id: "profile",
             title: "Bounds-check stall attribution by metadata path (Fig. 13 analogue)",
             run: profile::profile,
@@ -196,6 +202,7 @@ mod tests {
                 "fuzz_scoreboard",
                 "static_analysis",
                 "bat_soundness",
+                "static_precision",
                 "profile",
                 "multi_tenant",
                 "qos_fairness",

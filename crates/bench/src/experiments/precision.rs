@@ -1,0 +1,419 @@
+//! `static_precision` exhibit (Fig. 16 upgrade): how many Type 2
+//! (runtime-checked) sites the relational certificate prover migrates to
+//! Type 1 (statically proven, check elided) per workload, and what that
+//! migration buys at runtime in elided checks and BCU stall cycles.
+//!
+//! Three sections:
+//!
+//! 1. **Classification** — per unique launch (deduplicated like the
+//!    verifier sweep), the seed interval analysis runs under value-less
+//!    launch knowledge, then every relational [`SiteProof`] over a
+//!    Runtime-planned site is discharged against the *full* knowledge.
+//!    Each successful discharge migrates one site Type 2 → Type 1.
+//! 2. **Stall delta** — every workload simulated twice: default
+//!    GPUShield (runtime checks everywhere) vs the certified
+//!    configuration ([`Protection::shield_certified`]), where the only
+//!    elision mechanism is a discharged certificate. The delta in checks
+//!    performed and BCU stall cycles is therefore attributable to
+//!    certificates alone.
+//! 3. **Audit** — the BAT soundness auditor replays every workload with
+//!    elision live and cross-checks observed per-site address ranges
+//!    against every claim, certificate windows included.
+//!
+//! [`SiteProof`]: gpushield_compiler::SiteProof
+//! [`Protection::shield_certified`]: crate::runner::Protection::shield_certified
+
+use crate::adapter::SystemHost;
+use crate::runner::{config, fan_out, Protection, Target};
+use crate::verifysweep::{audit_workload, CaptureHost};
+use gpushield_compiler::{analyze, discharge, prove_sites, AnalysisConfig};
+use gpushield_isa::SiteCheck;
+use gpushield_runtime::report::Json;
+use gpushield_workloads::{all, Workload};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Per-workload site-classification outcome: the seed interval split and
+/// the certificate-migrated split, over deduplicated launches.
+#[derive(Debug, Clone)]
+pub struct PrecisionRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Access sites across unique launches.
+    pub sites: usize,
+    /// Sites the seed interval analysis proves under value-less knowledge.
+    pub seed_t1: usize,
+    /// Seed Type 1 plus certificate-discharged sites.
+    pub cert_t1: usize,
+    /// Sites migrated Type 2 → Type 1 by a discharged certificate.
+    pub migrated: usize,
+}
+
+impl PrecisionRow {
+    /// Seed Type 1 share of all sites.
+    pub fn seed_share(&self) -> f64 {
+        self.seed_t1 as f64 / self.sites.max(1) as f64
+    }
+
+    /// Certificate-augmented Type 1 share of all sites.
+    pub fn cert_share(&self) -> f64 {
+        self.cert_t1 as f64 / self.sites.max(1) as f64
+    }
+}
+
+/// Classifies one workload's unique launches: seed interval split under
+/// value-less knowledge, then relational proofs discharged with the full
+/// launch knowledge. This is the compile-time view the driver's elision
+/// pass realises at launch time.
+pub fn classify_workload(w: &Workload) -> PrecisionRow {
+    let mut cap = CaptureHost::new();
+    w.run(&mut cap);
+    let mut seen: Vec<String> = Vec::new();
+    let mut row = PrecisionRow {
+        name: w.name(),
+        sites: 0,
+        seed_t1: 0,
+        cert_t1: 0,
+        migrated: 0,
+    };
+    for l in &cap.launches {
+        // Workloads re-launch the same kernel in loops; knowledge has no
+        // Eq, so the Debug form is the dedup key.
+        let key = format!("{} {:?}", l.kernel.name(), l.know);
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let compile_view = l.know.value_less();
+        let seed = analyze(&l.kernel, &compile_view, AnalysisConfig::default());
+        row.sites += seed.sites_total;
+        row.seed_t1 += seed.sites_static;
+        let mut certified = HashSet::new();
+        for proof in prove_sites(&l.kernel, &compile_view) {
+            if seed.plan.get(proof.site) != SiteCheck::Runtime {
+                continue;
+            }
+            if discharge(&proof, &l.kernel, &l.know).is_some() {
+                certified.insert(proof.site);
+            }
+        }
+        row.migrated += certified.len();
+    }
+    row.cert_t1 = row.seed_t1 + row.migrated;
+    row
+}
+
+/// Classification rows for the whole registry, in registry order.
+pub fn classification(jobs: usize) -> Vec<PrecisionRow> {
+    fan_out(
+        all()
+            .into_iter()
+            .map(|w| move || classify_workload(&w))
+            .collect(),
+        jobs,
+    )
+}
+
+/// One simulated run's check/stall quantities.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallRun {
+    /// Runtime checks the BCU performed (warp granularity).
+    pub checks: u64,
+    /// Checks skipped at issue because the plan marked the site Static.
+    pub skipped: u64,
+    /// Subset of `skipped` backed by a discharged certificate.
+    pub certified: u64,
+    /// Visible BCU stall cycles charged.
+    pub stall_cycles: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Certificates the driver discharged across the run's launches.
+    pub discharged: u64,
+}
+
+/// Runs one workload under one protection variant and collects the
+/// check/stall quantities the stall-delta section compares.
+fn measure(w: &Workload, prot: Protection) -> StallRun {
+    let mut host = SystemHost::new(config(Target::Nvidia, prot));
+    w.run(&mut host);
+    assert!(
+        !host.any_abort(),
+        "false positive: {} aborted under {:?}",
+        w.name(),
+        prot
+    );
+    let launches = host.reports.iter().flat_map(|r| &r.launches);
+    let mut run = StallRun {
+        cycles: host.total_cycles(),
+        ..StallRun::default()
+    };
+    for l in launches {
+        run.skipped += l.checks_skipped;
+        run.certified += l.checks_certified;
+    }
+    let bcu = host.system().bcu_stats();
+    run.checks = bcu.checks;
+    run.stall_cycles = bcu.stall_cycles;
+    run.discharged = host.system().driver().stats().certs_discharged;
+    run
+}
+
+/// The `static_precision` exhibit.
+pub fn static_precision(jobs: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Static precision — relational certificates migrating Type 2 sites to Type 1"
+    );
+    let _ = writeln!(
+        out,
+        "seed = interval analysis, value-less knowledge; cert = seed + discharged proofs\n"
+    );
+
+    // §1: compile-time classification.
+    let rows = classification(jobs);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "workload", "sites", "seed_t1", "cert_t1", "migrated", "seed%", "cert%"
+    );
+    let (mut t_sites, mut t_seed, mut t_cert) = (0usize, 0usize, 0usize);
+    let mut improved = 0usize;
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>8} {:>8} {:>9} {:>7.1}% {:>7.1}%",
+            r.name,
+            r.sites,
+            r.seed_t1,
+            r.cert_t1,
+            r.migrated,
+            100.0 * r.seed_share(),
+            100.0 * r.cert_share(),
+        );
+        t_sites += r.sites;
+        t_seed += r.seed_t1;
+        t_cert += r.cert_t1;
+        if r.migrated > 0 {
+            improved += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>8} {:>8} {:>9} {:>7.1}% {:>7.1}%",
+        "TOTAL",
+        t_sites,
+        t_seed,
+        t_cert,
+        t_cert - t_seed,
+        100.0 * t_seed as f64 / t_sites.max(1) as f64,
+        100.0 * t_cert as f64 / t_sites.max(1) as f64,
+    );
+    let _ = writeln!(
+        out,
+        "\nworkloads with a strictly higher Type 1 share: {}/{}",
+        improved,
+        rows.len()
+    );
+
+    // §2: runtime stall-attribution delta, certificates alone.
+    let _ = writeln!(
+        out,
+        "\nBCU stall delta (Nvidia): default GPUShield vs certificate-only elision"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>8} {:>10} {:>10} {:>10} {:>6}",
+        "workload", "checks", "checks'", "elided", "stall_cyc", "stall_cyc'", "certs", "Δ%"
+    );
+    let pairs: Vec<(StallRun, StallRun)> = fan_out(
+        all()
+            .into_iter()
+            .map(|w| {
+                move || {
+                    (
+                        measure(&w, Protection::shield_default()),
+                        measure(&w, Protection::shield_certified()),
+                    )
+                }
+            })
+            .collect(),
+        jobs,
+    );
+    let (mut tb, mut tc) = (StallRun::default(), StallRun::default());
+    for (w, (base, cert)) in all().iter().zip(&pairs) {
+        let delta = 100.0 * (base.stall_cycles.saturating_sub(cert.stall_cycles)) as f64
+            / base.stall_cycles.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>8} {:>10} {:>10} {:>10} {:>5.1}%",
+            w.name(),
+            base.checks,
+            cert.checks,
+            cert.certified,
+            base.stall_cycles,
+            cert.stall_cycles,
+            cert.discharged,
+            delta,
+        );
+        for (t, r) in [(&mut tb, base), (&mut tc, cert)] {
+            t.checks += r.checks;
+            t.skipped += r.skipped;
+            t.certified += r.certified;
+            t.stall_cycles += r.stall_cycles;
+            t.cycles += r.cycles;
+            t.discharged += r.discharged;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>9} {:>8} {:>10} {:>10} {:>10} {:>5.1}%",
+        "TOTAL",
+        tb.checks,
+        tc.checks,
+        tc.certified,
+        tb.stall_cycles,
+        tc.stall_cycles,
+        tc.discharged,
+        100.0 * (tb.stall_cycles.saturating_sub(tc.stall_cycles)) as f64
+            / tb.stall_cycles.max(1) as f64,
+    );
+    let _ = writeln!(
+        out,
+        "checks elided by certificates: {} ({:.1}% of baseline checks)",
+        tb.checks.saturating_sub(tc.checks),
+        100.0 * tb.checks.saturating_sub(tc.checks) as f64 / tb.checks.max(1) as f64,
+    );
+
+    // §3: soundness — every certificate window audited against observed
+    // per-site address ranges.
+    let audits = fan_out(
+        all()
+            .into_iter()
+            .map(|w| move || audit_workload(&w))
+            .collect(),
+        jobs,
+    );
+    let claims: u64 = audits.iter().map(|a| a.claims).sum();
+    let audited: u64 = audits.iter().map(|a| a.audited).sum();
+    let violations: usize = audits.iter().map(|a| a.violations.len()).sum();
+    let _ = writeln!(
+        out,
+        "\naudit (elision live): {claims} claims, {audited} audited sites, {violations} violations"
+    );
+    for a in &audits {
+        for v in &a.violations {
+            let _ = writeln!(
+                out,
+                "  VIOLATION {} {} site {:?}: {}",
+                a.workload, v.kernel, v.site, v.detail
+            );
+        }
+    }
+    out
+}
+
+/// Machine-readable summary for the committed `BENCH_static_precision.json`
+/// baseline: per-workload classification rows plus the registry-wide
+/// certificate-audit verdict. The `trend` gate fails when any workload's
+/// certificate-augmented Type 1 count drops below the baseline, when the
+/// improved-workload count shrinks, or when the auditor logs a violation.
+pub fn precision_summary(jobs: usize) -> Json {
+    let rows = classification(jobs);
+    let audits = fan_out(
+        all()
+            .into_iter()
+            .map(|w| move || audit_workload(&w))
+            .collect(),
+        jobs,
+    );
+    let mut doc = Json::obj();
+    doc.set("bench", Json::Str("static-precision".to_string()));
+    doc.set("schema", Json::Str("static-precision/v1".to_string()));
+    doc.set("workloads", Json::UInt(rows.len() as u64));
+    let (sites, seed_t1, cert_t1): (usize, usize, usize) =
+        rows.iter().fold((0, 0, 0), |(s, a, c), r| {
+            (s + r.sites, a + r.seed_t1, c + r.cert_t1)
+        });
+    doc.set("sites", Json::UInt(sites as u64));
+    doc.set("seed_t1", Json::UInt(seed_t1 as u64));
+    doc.set("cert_t1", Json::UInt(cert_t1 as u64));
+    doc.set(
+        "improved",
+        Json::UInt(rows.iter().filter(|r| r.migrated > 0).count() as u64),
+    );
+    doc.set(
+        "audit_claims",
+        Json::UInt(audits.iter().map(|a| a.claims).sum()),
+    );
+    doc.set(
+        "audit_violations",
+        Json::UInt(audits.iter().map(|a| a.violations.len() as u64).sum()),
+    );
+    doc.set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    let mut row = Json::obj();
+                    row.set("workload", Json::Str(r.name.to_string()));
+                    row.set("sites", Json::UInt(r.sites as u64));
+                    row.set("seed_t1", Json::UInt(r.seed_t1 as u64));
+                    row.set("cert_t1", Json::UInt(r.cert_t1 as u64));
+                    row
+                })
+                .collect(),
+        ),
+    );
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_workloads::by_name;
+
+    #[test]
+    fn certificates_strictly_improve_the_type1_share() {
+        let rows = classification(2);
+        let improved = rows.iter().filter(|r| r.migrated > 0).count();
+        assert!(
+            improved * 2 >= rows.len(),
+            "certificates should migrate sites on at least half the registry, got {improved}/{}",
+            rows.len()
+        );
+        for r in &rows {
+            assert!(
+                r.cert_t1 >= r.seed_t1,
+                "{}: migration cannot regress",
+                r.name
+            );
+            assert!(r.cert_t1 <= r.sites, "{}: more Type 1 than sites", r.name);
+        }
+    }
+
+    #[test]
+    fn certified_run_skips_checks_without_new_stalls() {
+        let w = by_name("vectoradd").unwrap();
+        let base = measure(&w, Protection::shield_default());
+        let cert = measure(&w, Protection::shield_certified());
+        assert!(
+            cert.discharged > 0,
+            "vectoradd should discharge certificates"
+        );
+        assert!(cert.certified > 0, "certified skips should be counted");
+        assert!(
+            cert.checks < base.checks,
+            "certificates should elide runtime checks ({} vs {})",
+            cert.checks,
+            base.checks
+        );
+        assert!(cert.stall_cycles <= base.stall_cycles);
+        assert_eq!(base.certified, 0, "no certificates without elision");
+    }
+
+    #[test]
+    fn static_precision_is_jobs_invariant() {
+        assert_eq!(static_precision(1), static_precision(3));
+    }
+}

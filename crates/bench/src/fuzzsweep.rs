@@ -44,10 +44,10 @@ const SENTINEL_WORD: u32 = 0x53E7_71E1;
 /// The everything-on audit configuration the sweep judges: the paper's
 /// Nvidia shield with static analysis, Type 3 size-embedded pointers and
 /// check elision all enabled, plus the livelock watchdog.
-fn sweep_config() -> SystemConfig {
+fn sweep_config(elision: bool) -> SystemConfig {
     let mut cfg = SystemConfig::nvidia_protected();
     cfg.driver.enable_type3 = true;
-    cfg.driver.enable_elision = true;
+    cfg.driver.enable_elision = elision;
     cfg.gpu.max_cycles = MAX_CYCLES;
     cfg.gpu.sim_threads = runner::sim_threads();
     cfg
@@ -169,14 +169,14 @@ fn knowledge(s: &Specimen) -> LaunchKnowledge {
     }
 }
 
-fn run_specimen(s: &Specimen) -> SpecimenResult {
+fn run_specimen(s: &Specimen, elision: bool) -> SpecimenResult {
     // Stage 1: verifier passes over the same knowledge the driver gets.
     let report = PassManager::with_default_passes().verify(&s.kernel, &knowledge(s));
     let verify_flagged = report.at_least(Severity::Warning).next().is_some();
 
     // Stage 2: audited launch with a pattern-filled sentinel allocation
     // right after the specimen's buffers.
-    let mut sys = System::new(sweep_config());
+    let mut sys = System::new(sweep_config(elision));
     let bufs: Vec<BufferHandle> = s
         .buffers
         .iter()
@@ -283,12 +283,25 @@ pub struct Scoreboard {
 /// worker count (and at any `--sim-threads` value: the violation log is
 /// bit-stable across engine shardings).
 pub fn run_sweep(corpus_seed: u64, per_class: usize, jobs: usize) -> Scoreboard {
+    run_sweep_with(corpus_seed, per_class, jobs, true)
+}
+
+/// [`run_sweep`] with proof-carrying check elision switchable: the
+/// `elision_soundness` gate runs the corpus both ways and requires the
+/// per-class outcomes to match — a discharged certificate must never turn
+/// a Detected planted bug into a Masked one.
+pub fn run_sweep_with(
+    corpus_seed: u64,
+    per_class: usize,
+    jobs: usize,
+    elision: bool,
+) -> Scoreboard {
     let specs = gpushield_fuzzgen::corpus(corpus_seed, per_class);
     let tasks: Vec<_> = specs
         .iter()
         .map(|s| {
             let s = s.clone();
-            move || run_specimen(&s)
+            move || run_specimen(&s, elision)
         })
         .collect();
     let results = fan_out(tasks, jobs);

@@ -63,6 +63,9 @@ pub struct Protection {
     pub per_thread: bool,
     /// Type 3 size-embedded pointers (§5.3.3).
     pub type3: bool,
+    /// Proof-carrying check elision: the driver discharges relational
+    /// certificates at launch and elides the proven sites' checks.
+    pub elision: bool,
 }
 
 impl Protection {
@@ -76,6 +79,7 @@ impl Protection {
             l2_latency: 3,
             per_thread: false,
             type3: false,
+            elision: false,
         }
     }
 
@@ -122,6 +126,24 @@ impl Protection {
         self.type3 = true;
         self
     }
+
+    /// Enables proof-carrying check elision (relational certificates
+    /// discharged at launch time).
+    pub fn with_elision(mut self) -> Self {
+        self.elision = true;
+        self
+    }
+
+    /// GPUShield running on *certificates alone*: the interval-analysis
+    /// elision path stays off, so every skipped check is attributable to a
+    /// discharged relational proof. This is the `static_precision`
+    /// exhibit's measurement configuration.
+    pub fn shield_certified() -> Self {
+        Protection {
+            elision: true,
+            ..Protection::shield_default()
+        }
+    }
 }
 
 /// Builds the full system configuration for a target + protection pair.
@@ -134,6 +156,7 @@ pub fn config(target: Target, prot: Protection) -> SystemConfig {
             enable_shield: prot.shield,
             enable_static_analysis: prot.static_analysis,
             enable_type3: prot.type3,
+            enable_elision: prot.elision,
             ..DriverConfig::default()
         },
         bcu: BcuConfig {

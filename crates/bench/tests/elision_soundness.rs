@@ -1,0 +1,40 @@
+//! End-to-end soundness gate for proof-carrying check elision: eliding
+//! certified checks must not change what the adversarial fuzz corpus
+//! detects. A planted bug that degrades from Detected to Masked when
+//! elision is on would mean a discharged certificate covered an access it
+//! should not have — exactly the failure the relational prover's
+//! side-conditions and the BAT auditor exist to rule out.
+
+use gpushield_bench::fuzzsweep::run_sweep_with;
+use gpushield_bench::runner;
+use gpushield_fuzzgen::{CORPUS_SEED, PER_CLASS};
+
+/// One serial body drives both sweeps: the worker-count knobs are
+/// process-wide, so interleaving with other sweep tests would race.
+#[test]
+fn elision_preserves_every_detection_outcome() {
+    runner::set_sim_threads(1);
+    let jobs = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let with_elision = run_sweep_with(CORPUS_SEED, PER_CLASS, jobs, true);
+    let without = run_sweep_with(CORPUS_SEED, PER_CLASS, jobs, false);
+
+    // Per-class outcome tallies must be identical with and without
+    // elision — in particular, zero newly-Masked planted bugs.
+    assert_eq!(
+        with_elision.render_text(),
+        without.render_text(),
+        "elision changed a detection outcome"
+    );
+
+    // And the elision-on run must be byte-identical to the committed
+    // baseline the `trend` CI gate checks against: the corpus seed,
+    // per-class tallies and conformance columns all agree.
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_detection.json");
+    let baseline = std::fs::read_to_string(baseline_path).expect("committed BENCH_detection.json");
+    assert_eq!(
+        with_elision.to_json().render() + "\n",
+        baseline,
+        "fuzz scoreboard diverged from the committed baseline"
+    );
+}

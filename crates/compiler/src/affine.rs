@@ -1,0 +1,276 @@
+//! Shared affine abstract domain `t·tid + b·ctaid + c`.
+//!
+//! An [`Aff`] models a per-lane value as an affine combination of the
+//! thread index within the block (`tid`) and the block index (`ctaid`),
+//! with *interval* coefficients: `%tid` is `1·tid`, uniform values have
+//! both coefficients zero, and anything non-affine (loaded data,
+//! `tid·tid`) widens to `c = ⊤` with zero coefficients — which can never
+//! be proven anything, so over-approximation always errs toward keeping
+//! a runtime check (bounds domain) or reporting a race (race pass).
+//!
+//! This module was promoted out of `verify/race.rs` (where it tracked
+//! only `k·tid + c`) so the relational bounds domain and the
+//! shared-memory race pass share one implementation. The race pass keeps
+//! `ctaid` folded to a uniform interval — shared memory is block-local,
+//! so both threads of a candidate race agree on `ctaid` — while the
+//! bounds domain keeps it symbolic for grid-wide windows.
+
+use crate::interval::Interval;
+use gpushield_isa::{BinOp, CmpOp, UnOp};
+use std::fmt;
+
+/// An abstract per-lane value `t·tid + b·ctaid + c` with interval
+/// coefficients (each chosen per lane, so widening `c` to ⊤ soundly
+/// covers arbitrary thread-dependent values with zero coefficients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aff {
+    /// Coefficient on the in-block thread index.
+    pub t: Interval,
+    /// Coefficient on the block index.
+    pub b: Interval,
+    /// Constant term.
+    pub c: Interval,
+}
+
+impl Aff {
+    /// The completely unknown value (`c = ⊤`, no usable form).
+    pub fn top() -> Self {
+        Aff {
+            t: Interval::constant(0),
+            b: Interval::constant(0),
+            c: Interval::full(),
+        }
+    }
+
+    /// A thread-uniform value in `c`.
+    pub fn uniform(c: Interval) -> Self {
+        Aff {
+            t: Interval::constant(0),
+            b: Interval::constant(0),
+            c,
+        }
+    }
+
+    /// Exactly the thread index: `1·tid + 0`.
+    pub fn tid() -> Self {
+        Aff {
+            t: Interval::constant(1),
+            b: Interval::constant(0),
+            c: Interval::constant(0),
+        }
+    }
+
+    /// Exactly the block index: `1·ctaid + 0`.
+    pub fn ctaid() -> Self {
+        Aff {
+            t: Interval::constant(0),
+            b: Interval::constant(1),
+            c: Interval::constant(0),
+        }
+    }
+
+    /// True when both coefficients are exactly zero (a uniform value).
+    pub fn is_uniform(&self) -> bool {
+        self.t == Interval::constant(0) && self.b == Interval::constant(0)
+    }
+
+    /// Lattice join (componentwise hull).
+    pub fn join(&self, o: &Aff) -> Aff {
+        Aff {
+            t: self.t.union(&o.t),
+            b: self.b.union(&o.b),
+            c: self.c.union(&o.c),
+        }
+    }
+
+    /// Componentwise widening (applied at loop heads).
+    pub fn widen(&self, newer: &Aff) -> Aff {
+        Aff {
+            t: self.t.widen(&newer.t),
+            b: self.b.widen(&newer.b),
+            c: self.c.widen(&newer.c),
+        }
+    }
+
+    /// The concrete interval this form can take when `tid ∈ tids` and
+    /// `ctaid ∈ ctaids`.
+    pub fn concretize(&self, tids: &Interval, ctaids: &Interval) -> Interval {
+        self.t.mul(tids).add(&self.b.mul(ctaids)).add(&self.c)
+    }
+}
+
+impl fmt::Display for Aff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}*tid + {}*ctaid + {}", self.t, self.b, self.c)
+    }
+}
+
+/// Abstract binary operation on affine forms.
+pub fn aff_bin(op: BinOp, a: Aff, b: Aff) -> Aff {
+    match op {
+        BinOp::Add => Aff {
+            t: a.t.add(&b.t),
+            b: a.b.add(&b.b),
+            c: a.c.add(&b.c),
+        },
+        BinOp::Sub => Aff {
+            t: a.t.sub(&b.t),
+            b: a.b.sub(&b.b),
+            c: a.c.sub(&b.c),
+        },
+        BinOp::Mul => {
+            // (t·tid + b·ctaid + c)·u stays affine only when one factor is
+            // uniform.
+            if a.is_uniform() {
+                Aff {
+                    t: b.t.mul(&a.c),
+                    b: b.b.mul(&a.c),
+                    c: b.c.mul(&a.c),
+                }
+            } else if b.is_uniform() {
+                Aff {
+                    t: a.t.mul(&b.c),
+                    b: a.b.mul(&b.c),
+                    c: a.c.mul(&b.c),
+                }
+            } else {
+                Aff::top()
+            }
+        }
+        BinOp::Shl if b.is_uniform() => Aff {
+            t: a.t.shl(&b.c),
+            b: a.b.shl(&b.c),
+            c: a.c.shl(&b.c),
+        },
+        _ => {
+            if a.is_uniform() && b.is_uniform() {
+                let c = match op {
+                    BinOp::Div => a.c.div(&b.c),
+                    BinOp::Rem => a.c.rem(&b.c),
+                    BinOp::And => a.c.and(&b.c),
+                    BinOp::Or | BinOp::Xor => a.c.or_xor(&b.c),
+                    BinOp::Shl => a.c.shl(&b.c),
+                    BinOp::Shr => a.c.shr(&b.c),
+                    BinOp::Min => a.c.min_(&b.c),
+                    BinOp::Max => a.c.max_(&b.c),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => unreachable!("handled above"),
+                };
+                Aff::uniform(c)
+            } else {
+                Aff::top()
+            }
+        }
+    }
+}
+
+/// Abstract unary operation on affine forms.
+pub fn aff_un(op: UnOp, a: Aff) -> Aff {
+    match op {
+        UnOp::Neg => Aff {
+            t: a.t.neg(),
+            b: a.b.neg(),
+            c: a.c.neg(),
+        },
+        UnOp::Abs if a.is_uniform() => Aff::uniform(a.c.abs()),
+        _ => Aff::top(),
+    }
+}
+
+/// The comparison that holds on the fall-through edge when `op` failed.
+pub fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+    }
+}
+
+/// The comparison with its operands exchanged (`a op b ⟺ b swap(op) a`).
+pub fn swap(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_times_uniform_scales_the_coefficient() {
+        let four = Aff::uniform(Interval::constant(4));
+        let r = aff_bin(BinOp::Mul, Aff::tid(), four);
+        assert_eq!(r.t, Interval::constant(4));
+        assert_eq!(r.b, Interval::constant(0));
+        assert_eq!(r.c, Interval::constant(0));
+        // Commuted form too.
+        assert_eq!(aff_bin(BinOp::Mul, four, Aff::tid()), r);
+    }
+
+    #[test]
+    fn global_thread_id_form_is_exact() {
+        // gtid = ctaid·blockDim + tid with blockDim = 64.
+        let bdim = Aff::uniform(Interval::constant(64));
+        let scaled = aff_bin(BinOp::Mul, Aff::ctaid(), bdim);
+        let gtid = aff_bin(BinOp::Add, scaled, Aff::tid());
+        assert_eq!(gtid.t, Interval::constant(1));
+        assert_eq!(gtid.b, Interval::constant(64));
+        assert_eq!(gtid.c, Interval::constant(0));
+        // Concretizing over a 64×4 launch covers exactly [0, 255].
+        let r = gtid.concretize(&Interval::range(0, 63), &Interval::range(0, 3));
+        assert_eq!(r, Interval::range(0, 255));
+    }
+
+    #[test]
+    fn non_affine_products_go_to_top() {
+        assert_eq!(aff_bin(BinOp::Mul, Aff::tid(), Aff::tid()), Aff::top());
+        assert_eq!(aff_bin(BinOp::Mul, Aff::tid(), Aff::ctaid()), Aff::top());
+    }
+
+    #[test]
+    fn shl_by_uniform_shifts_all_components() {
+        let two = Aff::uniform(Interval::constant(2));
+        let r = aff_bin(BinOp::Shl, Aff::tid(), two);
+        assert_eq!(r.t, Interval::constant(4));
+        assert!(!r.is_uniform());
+    }
+
+    #[test]
+    fn join_and_widen_are_componentwise() {
+        let a = Aff::tid();
+        let b = Aff::uniform(Interval::constant(7));
+        let j = a.join(&b);
+        assert_eq!(j.t, Interval::range(0, 1));
+        assert_eq!(j.c, Interval::range(0, 7));
+        // Widening the old `a` against the grown join blows the grown
+        // bounds to ±inf and keeps the stable ones.
+        let w = a.widen(&j);
+        assert!(w.t.lo() < 0, "t's lower bound grew downward, so it widens");
+        assert_eq!(w.t.hi(), 1);
+        assert!(w.c.hi() > 7);
+        assert_eq!(w.c.lo(), 0);
+    }
+
+    #[test]
+    fn negate_and_swap_are_involutions_where_expected() {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            assert_eq!(negate(negate(op)), op);
+            assert_eq!(swap(swap(op)), op);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! lets `if (tid < n)`-guarded accesses and counted loops be proven safe.
 
 use crate::absval::{AbsVal, Origin};
+use crate::affine::{negate, swap};
 use crate::interval::Interval;
 use gpushield_isa::{CmpOp, Instr, Kernel, MemSpace, Operand, ParamKind, Special, VReg};
 use std::collections::{HashMap, VecDeque};
@@ -53,10 +54,33 @@ impl LaunchKnowledge {
             _ => None,
         }
     }
+
+    /// The compile-time view of this launch: scalar argument *values* are
+    /// blanked while buffer/local sizes and the grid geometry — which the
+    /// driver always knows — are kept. The relational prover runs under
+    /// this view so its [`crate::SiteProof`] certificates stay valid for
+    /// any scalar values the host may pass; the driver then discharges
+    /// them against the concrete values at launch.
+    pub fn value_less(&self) -> LaunchKnowledge {
+        LaunchKnowledge {
+            args: self
+                .args
+                .iter()
+                .map(|a| match a {
+                    ArgInfo::Scalar { .. } => ArgInfo::Scalar { value: None },
+                    buf => *buf,
+                })
+                .collect(),
+            local_sizes: self.local_sizes.clone(),
+            block: self.block,
+            grid: self.grid,
+            heap_size: self.heap_size,
+        }
+    }
 }
 
 const WIDEN_AFTER: u32 = 4;
-const VISIT_FUEL: u32 = 50_000;
+pub(crate) const VISIT_FUEL: u32 = 50_000;
 
 /// A branch condition traced back to its comparison: `(op, lhs, rhs)`.
 type Fact = (CmpOp, Operand, Operand);
@@ -64,6 +88,9 @@ type Fact = (CmpOp, Operand, Operand);
 pub(crate) struct AnalysisResult {
     /// Abstract state at each block entry (`None` = unreachable).
     pub in_states: Vec<Option<Vec<AbsVal>>>,
+    /// Worklist iterations the fixpoint consumed (out of [`VISIT_FUEL`]);
+    /// pinned by the widening-termination tests.
+    pub iterations: u32,
 }
 
 pub(crate) fn eval_operand(
@@ -161,28 +188,6 @@ fn meet_bound(op: CmpOp, x: Interval, bound: Interval) -> Option<Interval> {
         CmpOp::Ne => return Some(x),
     };
     x.intersect(&constraint)
-}
-
-fn negate(op: CmpOp) -> CmpOp {
-    match op {
-        CmpOp::Lt => CmpOp::Ge,
-        CmpOp::Le => CmpOp::Gt,
-        CmpOp::Gt => CmpOp::Le,
-        CmpOp::Ge => CmpOp::Lt,
-        CmpOp::Eq => CmpOp::Ne,
-        CmpOp::Ne => CmpOp::Eq,
-    }
-}
-
-fn swap(op: CmpOp) -> CmpOp {
-    match op {
-        CmpOp::Lt => CmpOp::Gt,
-        CmpOp::Le => CmpOp::Ge,
-        CmpOp::Gt => CmpOp::Lt,
-        CmpOp::Ge => CmpOp::Le,
-        CmpOp::Eq => CmpOp::Eq,
-        CmpOp::Ne => CmpOp::Ne,
-    }
 }
 
 /// Refines `st` along a branch edge where `(op, a, b)` is known to hold.
@@ -357,7 +362,10 @@ pub(crate) fn analyze_kernel(kernel: &Kernel, know: &LaunchKnowledge) -> Analysi
         in_states = new_in;
     }
 
-    AnalysisResult { in_states }
+    AnalysisResult {
+        in_states,
+        iterations: VISIT_FUEL - fuel,
+    }
 }
 
 /// Resolved abstract address of a memory site.
@@ -429,4 +437,53 @@ pub(crate) fn protected_space(space: MemSpace) -> bool {
         space,
         MemSpace::Global | MemSpace::Local | MemSpace::Const | MemSpace::Texture
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpushield_isa::{KernelBuilder, MemSpace, MemWidth, Operand};
+
+    /// Pathological triple-nested loop whose accumulator couples all three
+    /// induction variables: the concrete iteration space is cubic in `n`,
+    /// so the only way the fixpoint terminates promptly is the widening
+    /// discipline (every header widens after `WIDEN_AFTER` visits).
+    #[test]
+    fn nested_loop_widening_terminates_in_bounded_iterations() {
+        let mut b = KernelBuilder::new("nested");
+        let out = b.param_buffer("out", false);
+        let n = b.param_scalar("n");
+        let acc = b.mov(Operand::Imm(0));
+        b.for_loop(Operand::Imm(0), n, 1, |b, i| {
+            b.for_loop(Operand::Imm(0), n, 1, |b, j| {
+                b.for_loop(Operand::Imm(0), n, 1, |b, k| {
+                    let t1 = b.add(i, j);
+                    let t2 = b.add(t1, k);
+                    let t3 = b.add(acc, t2);
+                    b.assign(acc, t3);
+                    let off = b.and(t3, Operand::Imm(0xfc));
+                    b.st(MemSpace::Global, MemWidth::W4, b.base_offset(out, off), t3);
+                });
+            });
+        });
+        b.ret();
+        let k = b.finish().unwrap();
+        let know = LaunchKnowledge {
+            args: vec![
+                ArgInfo::Buffer { size: 256 },
+                ArgInfo::Scalar { value: None },
+            ],
+            local_sizes: vec![],
+            block: 64,
+            grid: 4,
+            heap_size: None,
+        };
+        let res = analyze_kernel(&k, &know);
+        assert!(res.iterations < VISIT_FUEL, "fixpoint exhausted its fuel");
+        assert!(
+            res.iterations <= 200,
+            "nested-loop fixpoint took {} worklist iterations",
+            res.iterations
+        );
+    }
 }

@@ -82,6 +82,10 @@ pub struct BoundsAnalysis {
     /// in-bounds guarantee is the *region* entry of their origin — the
     /// covering runtime check — not an interval proof of their own.
     pub elided_sites: Vec<(BlockId, usize)>,
+    /// Worklist iterations the interval fixpoint consumed — a widening
+    /// health diagnostic (bounded far below the fuel ceiling for any
+    /// well-behaved kernel; see the nested-loop termination test).
+    pub fixpoint_iterations: u32,
 }
 
 impl BoundsAnalysis {
@@ -273,6 +277,7 @@ pub fn analyze(kernel: &Kernel, know: &LaunchKnowledge, cfg: AnalysisConfig) -> 
         sites_type3,
         site_origins: site_origin,
         elided_sites,
+        fixpoint_iterations: result.iterations,
     }
 }
 

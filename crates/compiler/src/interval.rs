@@ -450,4 +450,50 @@ mod tests {
         let bound = big.or_xor(&big);
         assert!(bound.hi() >= big.hi());
     }
+
+    #[test]
+    fn widen_at_the_u64_boundary() {
+        let umax = u64::MAX as i128;
+        let near = Interval::range(umax - 1, umax);
+        // A stable interval never widens against itself.
+        assert_eq!(near.widen(&near), near);
+        // Growth past u64::MAX blasts the grown side to the sentinel in
+        // one step (no creeping through the 2^64..2^126 gap)…
+        let w = near.widen(&Interval::range(umax - 1, umax + 1));
+        assert_eq!(w.lo(), umax - 1);
+        assert!(w.hi() >= POS_INF);
+        // …and is then stable for arbitrarily larger updates.
+        assert_eq!(w.widen(&Interval::range(umax - 1, POS_INF)), w);
+        // Downward growth at the negated boundary widens lo, keeps hi.
+        let neg = Interval::range(-umax, 0);
+        let wn = neg.widen(&Interval::range(-umax - 1, 0));
+        assert!(wn.lo() <= NEG_INF);
+        assert_eq!(wn.hi(), 0);
+    }
+
+    #[test]
+    fn meet_and_union_at_the_u64_boundary() {
+        let umax = u64::MAX as i128;
+        // Meets touching exactly at u64::MAX keep the exact singleton.
+        assert_eq!(
+            Interval::range(0, umax).intersect(&Interval::range(umax, POS_INF)),
+            Some(Interval::constant(umax))
+        );
+        // One-past-the-end guard facts produce an empty meet, not a wrap.
+        assert!(Interval::range(umax + 1, POS_INF)
+            .intersect(&Interval::range(0, umax))
+            .is_none());
+        // Unions spanning the full u64 range stay exact (no sentinel).
+        let u = Interval::range(0, 1).union(&Interval::constant(umax));
+        assert_eq!(u, Interval::range(0, umax));
+        assert!(u.hi() < POS_INF);
+        // Boundary arithmetic feeding a meet: (umax + 1) − 1 meets back
+        // down to a representable singleton.
+        let bumped = Interval::constant(umax).add(&Interval::constant(1));
+        let back = bumped.sub(&Interval::constant(1));
+        assert_eq!(
+            back.intersect(&Interval::range(0, umax)),
+            Some(Interval::constant(umax))
+        );
+    }
 }

@@ -20,15 +20,19 @@
 #![warn(missing_docs)]
 
 mod absval;
+pub mod affine;
 mod analysis;
 mod bat;
 mod interval;
+pub mod relational;
 pub mod verify;
 
 pub use absval::{AbsVal, Origin};
+pub use affine::Aff;
 pub use analysis::{ArgInfo, LaunchKnowledge};
 pub use bat::{analyze, AnalysisConfig, BoundsAnalysis, StaticViolation};
 pub use interval::Interval;
+pub use relational::{discharge, prove_sites, LinExpr, SiteProof};
 pub use verify::{
     CheckBreakdown, Diagnostic, Pass, PassContext, PassManager, PassProfile, PassTiming, Severity,
     VerifyReport,

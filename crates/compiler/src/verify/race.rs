@@ -28,164 +28,55 @@
 //!    race freedom for the pair.
 
 use super::{Diagnostic, Pass, PassContext, Severity};
+use crate::affine::{aff_bin, aff_un, negate, swap, Aff};
 use crate::analysis::LaunchKnowledge;
 use crate::interval::{Interval, NEG_INF, POS_INF};
 use gpushield_isa::{
-    AddrExpr, BinOp, BlockId, CmpOp, Instr, Kernel, MemSpace, Operand, ParamKind, Special, UnOp,
-    VReg,
+    AddrExpr, BinOp, BlockId, CmpOp, Instr, Kernel, MemSpace, Operand, ParamKind, Special, VReg,
 };
 use std::collections::HashMap;
 
 /// The shared-memory race pass (`"race"`).
 pub struct SharedRacePass;
 
-/// An abstract per-lane value `k·tid + c`, `k ∈ self.k`, `c ∈ self.c`
-/// (both chosen per lane, so widening `c` to ⊤ soundly covers arbitrary
-/// thread-dependent values with `k = 0`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Lin {
-    k: Interval,
-    c: Interval,
-}
-
-impl Lin {
-    fn top() -> Self {
-        Lin {
-            k: Interval::constant(0),
-            c: Interval::full(),
-        }
-    }
-
-    fn uniform(c: Interval) -> Self {
-        Lin {
-            k: Interval::constant(0),
-            c,
-        }
-    }
-
-    fn tid() -> Self {
-        Lin {
-            k: Interval::constant(1),
-            c: Interval::constant(0),
-        }
-    }
-
-    fn is_uniform(&self) -> bool {
-        self.k == Interval::constant(0)
-    }
-
-    fn join(&self, o: &Lin) -> Lin {
-        Lin {
-            k: self.k.union(&o.k),
-            c: self.c.union(&o.c),
-        }
-    }
-
-    fn widen(&self, newer: &Lin) -> Lin {
-        Lin {
-            k: self.k.widen(&newer.k),
-            c: self.c.widen(&newer.c),
-        }
-    }
-}
-
 /// Per-path abstract state: register values plus the feasible local-tid
 /// range under the guards taken so far.
 #[derive(Debug, Clone, PartialEq)]
 struct State {
-    regs: Vec<Lin>,
+    regs: Vec<Aff>,
     tid: Interval,
 }
 
 type Fact = (CmpOp, Operand, Operand);
 
-fn eval(op: Operand, st: &State, kernel: &Kernel, know: &LaunchKnowledge) -> Lin {
+fn eval(op: Operand, st: &State, kernel: &Kernel, know: &LaunchKnowledge) -> Aff {
     match op {
         Operand::Reg(VReg(r)) => st.regs[usize::from(r)],
-        Operand::Imm(i) => Lin::uniform(Interval::constant(i128::from(i))),
+        Operand::Imm(i) => Aff::uniform(Interval::constant(i128::from(i))),
         Operand::Param(p) => match kernel.params()[usize::from(p)].kind() {
             ParamKind::Scalar => match know.args.get(usize::from(p)) {
                 Some(crate::analysis::ArgInfo::Scalar { value: Some(v) }) => {
-                    Lin::uniform(Interval::constant(i128::from(*v)))
+                    Aff::uniform(Interval::constant(i128::from(*v)))
                 }
-                _ => Lin::top(),
+                _ => Aff::top(),
             },
             // A buffer pointer flowing into a *shared* address is already
             // nonsense; ⊤ keeps it unprovable.
-            ParamKind::Buffer { .. } => Lin::top(),
+            ParamKind::Buffer { .. } => Aff::top(),
         },
-        Operand::LocalBase(_) => Lin::top(),
+        Operand::LocalBase(_) => Aff::top(),
         Operand::Special(s) => match s {
-            Special::ThreadId => Lin::tid(),
+            Special::ThreadId => Aff::tid(),
             // The lane index is `tid mod warp_width` — tid-dependent but
             // not affine in tid; ⊤ keeps it unprovable.
-            Special::LaneId => Lin::top(),
-            Special::BlockDim => Lin::uniform(Interval::constant(i128::from(know.block))),
-            Special::GridDim => Lin::uniform(Interval::constant(i128::from(know.grid))),
-            Special::BlockId => Lin::uniform(Interval::range(0, i128::from(know.grid) - 1)),
+            Special::LaneId => Aff::top(),
+            Special::BlockDim => Aff::uniform(Interval::constant(i128::from(know.block))),
+            Special::GridDim => Aff::uniform(Interval::constant(i128::from(know.grid))),
+            // Shared memory is block-local: both threads of a candidate
+            // race share one `ctaid`, so the block index folds to a
+            // uniform interval rather than staying symbolic.
+            Special::BlockId => Aff::uniform(Interval::range(0, i128::from(know.grid) - 1)),
         },
-    }
-}
-
-fn lin_bin(op: BinOp, a: Lin, b: Lin) -> Lin {
-    match op {
-        BinOp::Add => Lin {
-            k: a.k.add(&b.k),
-            c: a.c.add(&b.c),
-        },
-        BinOp::Sub => Lin {
-            k: a.k.sub(&b.k),
-            c: a.c.sub(&b.c),
-        },
-        BinOp::Mul => {
-            // (k·t + c)·u stays affine only when one factor is uniform.
-            if a.is_uniform() {
-                Lin {
-                    k: b.k.mul(&a.c),
-                    c: b.c.mul(&a.c),
-                }
-            } else if b.is_uniform() {
-                Lin {
-                    k: a.k.mul(&b.c),
-                    c: a.c.mul(&b.c),
-                }
-            } else {
-                Lin::top()
-            }
-        }
-        BinOp::Shl if b.is_uniform() => Lin {
-            k: a.k.shl(&b.c),
-            c: a.c.shl(&b.c),
-        },
-        _ => {
-            if a.is_uniform() && b.is_uniform() {
-                let c = match op {
-                    BinOp::Div => a.c.div(&b.c),
-                    BinOp::Rem => a.c.rem(&b.c),
-                    BinOp::And => a.c.and(&b.c),
-                    BinOp::Or | BinOp::Xor => a.c.or_xor(&b.c),
-                    BinOp::Shl => a.c.shl(&b.c),
-                    BinOp::Shr => a.c.shr(&b.c),
-                    BinOp::Min => a.c.min_(&b.c),
-                    BinOp::Max => a.c.max_(&b.c),
-                    BinOp::Add | BinOp::Sub | BinOp::Mul => unreachable!("handled above"),
-                };
-                Lin::uniform(c)
-            } else {
-                Lin::top()
-            }
-        }
-    }
-}
-
-fn lin_un(op: UnOp, a: Lin) -> Lin {
-    match op {
-        UnOp::Neg => Lin {
-            k: a.k.neg(),
-            c: a.c.neg(),
-        },
-        UnOp::Abs if a.is_uniform() => Lin::uniform(a.c.abs()),
-        _ => Lin::top(),
     }
 }
 
@@ -199,7 +90,7 @@ fn transfer(
     kernel: &Kernel,
     know: &LaunchKnowledge,
 ) {
-    let write = |st: &mut State, cmp_defs: &mut HashMap<u16, Fact>, dst: VReg, v: Lin| {
+    let write = |st: &mut State, cmp_defs: &mut HashMap<u16, Fact>, dst: VReg, v: Aff| {
         st.regs[usize::from(dst.0)] = v;
         cmp_defs.retain(|key, (_, a, b)| {
             *key != dst.0 && *a != Operand::Reg(dst) && *b != Operand::Reg(dst)
@@ -211,16 +102,16 @@ fn transfer(
             write(st, cmp_defs, *dst, v);
         }
         Instr::Un { op, dst, a } => {
-            let v = lin_un(*op, eval(*a, st, kernel, know));
+            let v = aff_un(*op, eval(*a, st, kernel, know));
             write(st, cmp_defs, *dst, v);
         }
         Instr::Bin { op, dst, a, b } => {
-            let v = lin_bin(*op, eval(*a, st, kernel, know), eval(*b, st, kernel, know));
+            let v = aff_bin(*op, eval(*a, st, kernel, know), eval(*b, st, kernel, know));
             write(st, cmp_defs, *dst, v);
         }
         Instr::Cmp { op, dst, a, b } => {
             let (op, a, b) = (*op, *a, *b);
-            write(st, cmp_defs, *dst, Lin::uniform(Interval::range(0, 1)));
+            write(st, cmp_defs, *dst, Aff::uniform(Interval::range(0, 1)));
             cmp_defs.insert(dst.0, (op, a, b));
         }
         Instr::Sel { dst, a, b, .. } => {
@@ -228,7 +119,7 @@ fn transfer(
             write(st, cmp_defs, *dst, v);
         }
         Instr::Ld { dst, .. } | Instr::AtomAdd { dst, .. } | Instr::Malloc { dst, .. } => {
-            write(st, cmp_defs, *dst, Lin::top());
+            write(st, cmp_defs, *dst, Aff::top());
         }
         Instr::St { .. } | Instr::Free { .. } | Instr::Bar => {}
         Instr::Bra { .. } | Instr::Jmp { .. } | Instr::Ret => {}
@@ -247,28 +138,6 @@ fn meet_tid(op: CmpOp, tid: Interval, bound: &Interval) -> Option<Interval> {
     tid.intersect(&constraint)
 }
 
-fn negate(op: CmpOp) -> CmpOp {
-    match op {
-        CmpOp::Lt => CmpOp::Ge,
-        CmpOp::Le => CmpOp::Gt,
-        CmpOp::Gt => CmpOp::Le,
-        CmpOp::Ge => CmpOp::Lt,
-        CmpOp::Eq => CmpOp::Ne,
-        CmpOp::Ne => CmpOp::Eq,
-    }
-}
-
-fn swap(op: CmpOp) -> CmpOp {
-    match op {
-        CmpOp::Lt => CmpOp::Gt,
-        CmpOp::Le => CmpOp::Ge,
-        CmpOp::Gt => CmpOp::Lt,
-        CmpOp::Ge => CmpOp::Le,
-        CmpOp::Eq => CmpOp::Eq,
-        CmpOp::Ne => CmpOp::Ne,
-    }
-}
-
 /// Refines the feasible tid range along a branch edge where `(op, a, b)`
 /// holds. Only comparisons of a register holding exactly `tid` against a
 /// uniform value refine; everything else passes through. Returns `false`
@@ -277,7 +146,7 @@ fn refine_edge(st: &mut State, fact: Fact, kernel: &Kernel, know: &LaunchKnowled
     let (op, a, b) = fact;
     for (lhs, rhs, op) in [(a, b, op), (b, a, swap(op))] {
         let lhs_lin = eval(lhs, st, kernel, know);
-        if lhs_lin != Lin::tid() {
+        if lhs_lin != Aff::tid() {
             continue;
         }
         let rhs_lin = eval(rhs, st, kernel, know);
@@ -302,7 +171,7 @@ fn analyze_lin(kernel: &Kernel, know: &LaunchKnowledge) -> Vec<Option<State>> {
     let nregs = usize::from(kernel.num_regs()).max(1);
     let mut in_states: Vec<Option<State>> = vec![None; nblocks];
     in_states[0] = Some(State {
-        regs: vec![Lin::uniform(Interval::constant(0)); nregs],
+        regs: vec![Aff::uniform(Interval::constant(0)); nregs],
         tid: Interval::range(0, i128::from(know.block) - 1),
     });
     let mut visits = vec![0u32; nblocks];
@@ -393,15 +262,15 @@ struct SharedAccess {
     width: i128,
 }
 
-fn addr_lin(addr: &AddrExpr, st: &State, kernel: &Kernel, know: &LaunchKnowledge) -> Lin {
+fn addr_lin(addr: &AddrExpr, st: &State, kernel: &Kernel, know: &LaunchKnowledge) -> Aff {
     match addr {
         AddrExpr::Flat { addr } => eval(*addr, st, kernel, know),
-        AddrExpr::BaseOffset { base, offset } => lin_bin(
+        AddrExpr::BaseOffset { base, offset } => aff_bin(
             BinOp::Add,
             eval(*base, st, kernel, know),
             eval(*offset, st, kernel, know),
         ),
-        AddrExpr::BindingTable { .. } => Lin::top(),
+        AddrExpr::BindingTable { .. } => Aff::top(),
     }
 }
 
@@ -460,12 +329,20 @@ fn epoch_accesses(
                 };
                 if let Some((addr, store, atomic, width)) = shared {
                     let lin = addr_lin(addr, &st, kernel, know);
+                    // The race eval folds `ctaid` to a uniform interval, so
+                    // the block coefficient is always zero; anything else
+                    // would be unsolvable and degrades to ⊤ defensively.
+                    let (k, c) = if lin.b == Interval::constant(0) {
+                        (lin.t, lin.c)
+                    } else {
+                        (Interval::constant(0), Interval::full())
+                    };
                     accesses.push(SharedAccess {
                         site: (BlockId(b as u32), ii),
                         store,
                         atomic,
-                        k: lin.k,
-                        c: lin.c,
+                        k,
+                        c,
                         tid: st.tid,
                         width: width.bytes() as i128,
                     });

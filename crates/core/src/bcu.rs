@@ -252,6 +252,30 @@ impl Bcu {
         self.kernels.insert(setup.kernel_id, setup);
     }
 
+    /// Pre-fills every core's L2 RCache with one region's bounds entry,
+    /// straight from the RBT the driver just wrote (§5.4 launch-time
+    /// metadata setup left cache-resident). Used on the certified-elision
+    /// path: eliding a region's provably-safe early accesses defers its
+    /// first *checked* access past the cold-start phase, which would
+    /// expose RBT-fetch latency that an uncertified run overlaps with
+    /// cold data misses. Priming is metadata setup, not a check, so it
+    /// touches no statistics counters.
+    pub fn prime_region(&mut self, kernel_id: u16, id: u16, vm: &VirtualMemorySpace) {
+        let Some(setup) = self.kernels.get(&kernel_id).copied() else {
+            return;
+        };
+        let Ok(entry) = read_entry(vm, setup.rbt_base, id) else {
+            return;
+        };
+        if !entry.valid {
+            return;
+        }
+        let tag = (kernel_id, id);
+        for core in &mut self.cores {
+            core.l2.fill(tag, entry);
+        }
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> BcuStats {
         self.stats

@@ -5,9 +5,12 @@ use crate::cipher::encrypt_id;
 use crate::rbt::{write_entry, BoundsEntry, RBT_BYTES};
 use crate::tenant::RegionIdAllocator;
 use gpushield_compiler::{
-    analyze, AnalysisConfig, ArgInfo, BoundsAnalysis, LaunchKnowledge, Origin,
+    analyze, discharge, prove_sites, AnalysisConfig, ArgInfo, BoundsAnalysis, LaunchKnowledge,
+    Origin,
 };
-use gpushield_isa::{CheckPlan, Instr, Kernel, ParamKind, PtrClass, SiteCheck, TaggedPtr};
+use gpushield_isa::{
+    CheckPlan, Instr, Kernel, ParamKind, PtrClass, SiteCert, SiteCheck, TaggedPtr,
+};
 use gpushield_mem::{AllocPolicy, Allocation, MemFault, VirtualMemorySpace};
 use gpushield_runtime::rng::StdRng;
 use gpushield_sim::{HeapDesc, KernelLaunch, LaunchConfig};
@@ -249,6 +252,17 @@ pub struct DriverStats {
     pub bat_analyses: u64,
     /// Type 3 canary paddings written.
     pub canaries_written: u64,
+    /// Site proofs emitted by the relational prover (certificates).
+    pub certs_emitted: u64,
+    /// Certificates discharged against launch arguments: their sites'
+    /// runtime checks were elided with a proven VA window attached.
+    pub certs_discharged: u64,
+    /// Certificates that did not discharge for this launch (window not
+    /// contained in the region, or a referenced argument unknown).
+    pub certs_rejected: u64,
+    /// Certificates for sites the interval analysis had already proven
+    /// (no elision needed).
+    pub certs_redundant: u64,
 }
 
 /// The GPU driver: owns the device address space and sets up kernels.
@@ -317,7 +331,7 @@ impl Driver {
             return;
         }
         let s = &self.stats;
-        let fields: [(&str, u64); 7] = [
+        let fields: [(&str, u64); 11] = [
             ("launches_prepared", s.launches_prepared),
             ("rbt_allocs", s.rbt_allocs),
             ("rbt_entries_written", s.rbt_entries_written),
@@ -325,6 +339,10 @@ impl Driver {
             ("groups_merged", s.groups_merged),
             ("bat_analyses", s.bat_analyses),
             ("canaries_written", s.canaries_written),
+            ("certs_emitted", s.certs_emitted),
+            ("certs_discharged", s.certs_discharged),
+            ("certs_rejected", s.certs_rejected),
+            ("certs_redundant", s.certs_redundant),
         ];
         for (name, v) in fields {
             reg.set_named(&format!("driver.{name}"), v);
@@ -626,7 +644,7 @@ impl Driver {
             grid,
             heap_size: self.heap.map(|h| h.size),
         };
-        let bat = if self.cfg.enable_static_analysis {
+        let mut bat = if self.cfg.enable_static_analysis {
             self.stats.bat_analyses += 1;
             let mut b = analyze(
                 &kernel,
@@ -685,8 +703,73 @@ impl Driver {
                 sites_total: kernel.iter_instrs().filter(|(_, _, i)| i.is_mem()).count(),
                 site_origins: std::collections::HashMap::new(),
                 elided_sites: Vec::new(),
+                fixpoint_iterations: 0,
             }
         };
+
+        // --- Proof-carrying check elision --------------------------------
+        // The relational prover runs under the *value-less* view of this
+        // launch (scalar values blanked), so its certificates hold for any
+        // argument valuation; each one is then discharged against the
+        // actual values and region sizes. Only sites still planned as
+        // Runtime are eligible — a discharged certificate elides the
+        // site's check and attaches the proven VA window for the hardware
+        // accounting and the soundness auditor.
+        let mut cert_windows: std::collections::HashMap<
+            (gpushield_isa::BlockId, usize),
+            (u64, u64),
+        > = std::collections::HashMap::new();
+        if self.cfg.enable_elision {
+            let compile_view = knowledge.value_less();
+            for proof in prove_sites(&kernel, &compile_view) {
+                self.stats.certs_emitted += 1;
+                if bat.plan.get(proof.site) != SiteCheck::Runtime {
+                    self.stats.certs_redundant += 1;
+                    continue;
+                }
+                let Some((off_lo, off_hi)) = discharge(&proof, &kernel, &knowledge) else {
+                    self.stats.certs_rejected += 1;
+                    continue;
+                };
+                let base = match proof.origin {
+                    Origin::Param(p) => match args.get(usize::from(p)) {
+                        Some(Arg::Buffer(h)) => {
+                            self.buffers.get(h.0).map(|rec| rec.alloc.va).ok_or(
+                                DriverError::LaunchInvariant {
+                                    what: "certificate origin names a live buffer",
+                                },
+                            )?
+                        }
+                        _ => {
+                            self.stats.certs_rejected += 1;
+                            continue;
+                        }
+                    },
+                    Origin::Local(v) => match local_allocs.get(usize::from(v)) {
+                        Some(a) => a.va,
+                        None => {
+                            self.stats.certs_rejected += 1;
+                            continue;
+                        }
+                    },
+                    Origin::Heap => {
+                        self.stats.certs_rejected += 1;
+                        continue;
+                    }
+                };
+                let (Some(lo), Some(hi)) = (base.checked_add(off_lo), base.checked_add(off_hi))
+                else {
+                    self.stats.certs_rejected += 1;
+                    continue;
+                };
+                bat.plan.set(proof.site, SiteCheck::Static);
+                bat.plan.set_cert(proof.site, SiteCert { lo, hi });
+                bat.sites_static += 1;
+                bat.sites_runtime = bat.sites_runtime.saturating_sub(1);
+                cert_windows.insert(proof.site, (lo, hi));
+                self.stats.certs_discharged += 1;
+            }
+        }
 
         // --- Kernel identity and RBT (Fig. 9 step ④) ----------------------
         self.kernel_seq = (self.kernel_seq + 1) & 0xFFF;
@@ -900,6 +983,19 @@ impl Driver {
             bat.elided_sites.iter().copied().collect();
         for (site, check) in bat.plan.iter() {
             if check == SiteCheck::Runtime {
+                continue;
+            }
+            // A certificate-elided site claims exactly its discharged proof
+            // window — tighter than the origin's extent, and available even
+            // when no interval analysis ran (so the auditor can still
+            // falsify a bad certificate).
+            if let Some((lo, hi)) = cert_windows.get(&site) {
+                site_claims.push(SiteClaim {
+                    site,
+                    check,
+                    lo: *lo,
+                    hi: *hi,
+                });
                 continue;
             }
             let Some(origin) = bat.site_origins.get(&site).copied() else {

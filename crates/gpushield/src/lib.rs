@@ -254,6 +254,24 @@ impl System {
         self.driver.read_buffer_uint(h, offset, width)
     }
 
+    /// Registers a prepared launch's shield setup with the BCU and, when
+    /// proof-carrying elision is on, primes every core's L2 RCache with
+    /// the launch's freshly written RBT entries (§5.4: the driver sets up
+    /// launch metadata anyway; leaving it cache-resident keeps certified
+    /// elision from deferring a region's first checked access past the
+    /// cold-start phase, where the RBT fetch would no longer overlap a
+    /// cold data miss).
+    fn attach_shield(&mut self, shield: Option<ShieldSetup>, region_ids: &[u16]) {
+        let Some(bcu) = self.bcu.as_mut() else { return };
+        let Some(setup) = shield else { return };
+        bcu.register_kernel(setup);
+        if self.driver.config().enable_elision {
+            for &id in region_ids {
+                bcu.prime_region(setup.kernel_id, id, self.driver.vm());
+            }
+        }
+    }
+
     /// Launches one kernel and runs it to completion.
     ///
     /// # Errors
@@ -268,9 +286,7 @@ impl System {
         args: &[Arg],
     ) -> Result<RunReport, SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
-        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-            bcu.register_kernel(setup);
-        }
+        self.attach_shield(prepared.shield, &prepared.region_ids);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
         let report = self
@@ -315,9 +331,7 @@ impl System {
                 }
             };
         tenants.record_launch(t, prepared.launch.kernel_id)?;
-        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-            bcu.register_kernel(setup);
-        }
+        self.attach_shield(prepared.shield, &prepared.region_ids);
         self.last_bat = prepared.bat;
         let logged_before = self.bcu.as_ref().map(|b| b.violations().len());
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
@@ -378,9 +392,7 @@ impl System {
                 }
             };
             tenants.record_launch(t, prepared.launch.kernel_id)?;
-            if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-                bcu.register_kernel(setup);
-            }
+            self.attach_shield(prepared.shield, &prepared.region_ids);
             owners.push((t, prepared.region_ids.clone()));
             launches.push(prepared.launch);
         }
@@ -439,9 +451,7 @@ impl System {
                 })
                 .collect();
         }
-        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-            bcu.register_kernel(setup);
-        }
+        self.attach_shield(prepared.shield, &prepared.region_ids);
         self.last_bat = prepared.bat;
         let mut session = FaultSession::new(plan, targets);
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
@@ -473,9 +483,7 @@ impl System {
         args: &[Arg],
     ) -> Result<(RunReport, Vec<SiteClaim>), SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
-        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-            bcu.register_kernel(setup);
-        }
+        self.attach_shield(prepared.shield, &prepared.region_ids);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
         let report = self
@@ -498,9 +506,7 @@ impl System {
         trace: &mut Trace,
     ) -> Result<RunReport, SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
-        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-            bcu.register_kernel(setup);
-        }
+        self.attach_shield(prepared.shield, &prepared.region_ids);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
         let report = self
@@ -529,9 +535,7 @@ impl System {
         trace: Option<&mut Trace>,
     ) -> Result<RunReport, SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
-        if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-            bcu.register_kernel(setup);
-        }
+        self.attach_shield(prepared.shield, &prepared.region_ids);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
         let report = self.gpu.run_instrumented(
@@ -560,9 +564,7 @@ impl System {
             let prepared = self
                 .driver
                 .prepare_launch(k.kernel, k.grid, k.block, &k.args)?;
-            if let (Some(bcu), Some(setup)) = (self.bcu.as_mut(), prepared.shield) {
-                bcu.register_kernel(setup);
-            }
+            self.attach_shield(prepared.shield, &prepared.region_ids);
             launches.push(prepared.launch);
         }
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);

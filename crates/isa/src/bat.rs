@@ -23,12 +23,28 @@ pub enum SiteCheck {
     SizeEmbedded,
 }
 
+/// Proof metadata attached to a certificate-elided site: the virtual
+/// address window `[lo, hi)` the driver discharged the compiler's
+/// [`SiteProof`] to. Hardware that skips the site's check can count the
+/// skip as *certified* (attributable to a proof, not blind trust), and
+/// the soundness auditor cross-checks observed addresses against exactly
+/// this window. The symbolic certificate (`SiteProof`) lives in the
+/// compiler crate; this is its discharged, VA-space residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteCert {
+    /// First virtual address the site may touch (inclusive).
+    pub lo: u64,
+    /// One past the last virtual address the site may touch (exclusive).
+    pub hi: u64,
+}
+
 /// Per-site check decisions for one kernel. Sites not present fall back to
 /// [`SiteCheck::Runtime`] (checking is opt-out, never opt-in, so an
 /// incomplete table fails safe).
 #[derive(Debug, Clone, Default)]
 pub struct CheckPlan {
     sites: HashMap<(BlockId, usize), SiteCheck>,
+    certs: HashMap<(BlockId, usize), SiteCert>,
 }
 
 impl CheckPlan {
@@ -68,6 +84,26 @@ impl CheckPlan {
     /// Iterates over recorded `(site, decision)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = ((BlockId, usize), SiteCheck)> + '_ {
         self.sites.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Attaches a discharged proof certificate to `site`.
+    pub fn set_cert(&mut self, site: (BlockId, usize), cert: SiteCert) {
+        self.certs.insert(site, cert);
+    }
+
+    /// The discharged certificate for `site`, if one was attached.
+    pub fn cert(&self, site: (BlockId, usize)) -> Option<SiteCert> {
+        self.certs.get(&site).copied()
+    }
+
+    /// True when `site`'s decision is backed by a discharged certificate.
+    pub fn certified(&self, site: (BlockId, usize)) -> bool {
+        self.certs.contains_key(&site)
+    }
+
+    /// Number of certificate-backed sites.
+    pub fn certified_sites(&self) -> usize {
+        self.certs.len()
     }
 }
 

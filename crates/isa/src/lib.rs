@@ -44,7 +44,7 @@ mod kernel;
 mod ptr;
 mod validate;
 
-pub use bat::{CheckPlan, SiteCheck};
+pub use bat::{CheckPlan, SiteCert, SiteCheck};
 pub use builder::{KernelBuilder, ParamRef};
 pub use cfg::{Cfg, ReconvergenceTable};
 pub use disasm::{disassemble, vendor_listing, VendorStyle};

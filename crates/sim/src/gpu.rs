@@ -1241,6 +1241,9 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         if let Some(g) = self.guard.as_mut() {
             if decision == SiteCheck::Static {
                 self.launches[li].report.checks_skipped += 1;
+                if self.launches[li].launch.plan.certified(site) {
+                    self.launches[li].report.checks_certified += 1;
+                }
             } else if let Some(range) = warp_address_range(&scratch.lane_vas, width_b) {
                 let access = MemAccess {
                     core: core_idx,

@@ -81,6 +81,7 @@ struct LaunchAcc {
     transactions: u64,
     checks_performed: u64,
     checks_skipped: u64,
+    checks_certified: u64,
     guard_stall_cycles: u64,
     violations_squashed: u64,
     stall_attribution: StallAttribution,
@@ -93,6 +94,7 @@ impl LaunchAcc {
         r.transactions += self.transactions;
         r.checks_performed += self.checks_performed;
         r.checks_skipped += self.checks_skipped;
+        r.checks_certified += self.checks_certified;
         r.guard_stall_cycles += self.guard_stall_cycles;
         r.violations_squashed += self.violations_squashed;
         r.stall_attribution.merge(&self.stall_attribution);
@@ -739,6 +741,9 @@ fn exec_mem_phase(
     if check.some() {
         if decision == SiteCheck::Static {
             out.accs[li].checks_skipped += 1;
+            if launches[li].launch.plan.certified(site) {
+                out.accs[li].checks_certified += 1;
+            }
         } else if let Some(range) = warp_address_range(&scratch.lane_vas, width_b) {
             let access = MemAccess {
                 core: core_idx,
@@ -1756,6 +1761,9 @@ fn drain_atom<'w, 'g>(
     if shard.is_some() || whole.is_some() {
         if decision == SiteCheck::Static {
             lw[li].report.checks_skipped += 1;
+            if lw[li].launch.plan.certified(site) {
+                lw[li].report.checks_certified += 1;
+            }
         } else if let Some(range) = warp_address_range(&scratch.lane_vas, width_b) {
             let access = MemAccess {
                 core: ci,

@@ -64,6 +64,13 @@ pub struct LaunchReport {
     pub checks_performed: u64,
     /// Warp-level bounds checks skipped thanks to static analysis.
     pub checks_skipped: u64,
+    /// Subset of [`checks_skipped`] whose elision is backed by a discharged
+    /// proof certificate ([`gpushield_isa::SiteCert`]) rather than a plain
+    /// Static plan entry — the skip-with-certificate accounting the
+    /// soundness auditor reconciles against claimed windows.
+    ///
+    /// [`checks_skipped`]: LaunchReport::checks_skipped
+    pub checks_certified: u64,
     /// Total visible BCU stall cycles charged to the LSUs.
     pub guard_stall_cycles: u64,
     /// Violations squashed (log-and-continue mode).
@@ -460,6 +467,7 @@ pub fn publish_run_report(reg: &mut Registry, report: &RunReport) {
         reg.add_named("sim.launch.transactions", l.transactions);
         reg.add_named("sim.launch.checks_performed", l.checks_performed);
         reg.add_named("sim.launch.checks_skipped", l.checks_skipped);
+        reg.add_named("sim.launch.checks_certified", l.checks_certified);
         reg.add_named("sim.launch.guard_stall_cycles", l.guard_stall_cycles);
         reg.add_named("sim.launch.violations_squashed", l.violations_squashed);
         // Adding 0 still registers the key, keeping the schema stable

@@ -111,7 +111,19 @@ if [[ "${CI_PERF:-1}" == "1" ]]; then
     ./target/release/experiments fuzz_scoreboard "$out" --jobs 4 --sim-threads 7
     cmp "$out/fuzz_scoreboard.j1.txt" "$out/fuzz_scoreboard.txt"
 
-    echo "== detection trend gate (CI_PERF=0 to skip)"
+    echo "== static-precision exhibit determinism (CI_PERF=0 to skip)"
+    # Classification, stall delta and certificate audit must be
+    # byte-identical at any --jobs fan-out and --sim-threads sharding;
+    # zero audit violations is asserted on the rendered text.
+    ./target/release/experiments static_precision "$out" --jobs 1
+    mv "$out/static_precision.txt" "$out/static_precision.j1.txt"
+    ./target/release/experiments static_precision "$out" --jobs 4
+    cmp "$out/static_precision.j1.txt" "$out/static_precision.txt"
+    ./target/release/experiments static_precision "$out" --jobs 4 --sim-threads 7
+    cmp "$out/static_precision.j1.txt" "$out/static_precision.txt"
+    grep -q ' 0 violations' "$out/static_precision.txt"
+
+    echo "== detection + precision trend gate (CI_PERF=0 to skip)"
     ./target/release/trend --check --jobs 4
 fi
 
