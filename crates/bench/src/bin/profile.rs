@@ -9,6 +9,8 @@
 //! profile --trace vectoradd --out trace.json   # Chrome trace for one workload
 //! profile --schema                 # print the instrumented-run metric key set
 //! profile --check-schema FIXTURE   # CI gate: key set must match the fixture
+//! profile --openmetrics            # OpenMetrics text exposition of the
+//!                                  # deterministic reference run
 //! ```
 //!
 //! The schema is the *key set* of the telemetry registry after one
@@ -22,7 +24,7 @@ use gpushield::{Registry, Trace};
 use gpushield_bench::adapter::SystemHost;
 use gpushield_bench::experiments::by_id;
 use gpushield_bench::runner::{config, Protection, Target};
-use gpushield_bench::verifysweep::verify_workload_telemetry;
+use gpushield_bench::schema::{openmetrics_registry, reference_registry, schema_json};
 use gpushield_runtime::report::Json;
 use gpushield_workloads::by_name;
 use std::process::ExitCode;
@@ -31,36 +33,6 @@ use std::process::ExitCode;
 /// bounded so a long one cannot exhaust memory (the export renders the
 /// cut point when it truncates).
 const TRACE_CAPACITY: usize = 200_000;
-
-/// Runs the reference instrumented sweep and returns the populated
-/// registry: `vectoradd` under default GPUShield (all `sim.*`, `mem.*`
-/// and `driver.*` metrics), its verifier sweep (`compiler.pass.*`), and
-/// the tenant table's aggregate gauges (`driver.tenant.*`).
-fn reference_registry() -> Registry {
-    let w = by_name("vectoradd").expect("vectoradd registered");
-    let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
-    host.attach_registry(Registry::new());
-    w.run(&mut host);
-    let mut reg = host.take_registry().expect("registry attached");
-    verify_workload_telemetry(&w, &mut reg);
-    gpushield::TenantTable::with_slices([(1u16, 2u16, 1u64)]).publish_telemetry(&mut reg);
-    reg
-}
-
-/// The schema document: the sorted metric key set as a JSON array.
-fn schema_json(reg: &Registry) -> String {
-    let mut doc = Json::obj();
-    doc.set(
-        "keys",
-        Json::Arr(
-            reg.names()
-                .into_iter()
-                .map(|n| Json::Str(n.to_string()))
-                .collect(),
-        ),
-    );
-    doc.render()
-}
 
 fn check_schema(fixture_path: &str) -> ExitCode {
     let text = match std::fs::read_to_string(fixture_path) {
@@ -161,6 +133,7 @@ fn main() -> ExitCode {
     let mut trace: Option<String> = None;
     let mut out: Option<String> = None;
     let mut schema = false;
+    let mut openmetrics = false;
     let mut check: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -182,6 +155,7 @@ fn main() -> ExitCode {
             "--trace" => trace = args.next(),
             "--out" => out = args.next(),
             "--schema" => schema = true,
+            "--openmetrics" => openmetrics = true,
             "--check-schema" => check = args.next(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -191,6 +165,10 @@ fn main() -> ExitCode {
     }
     if schema {
         println!("{}", schema_json(&reference_registry()));
+        return ExitCode::SUCCESS;
+    }
+    if openmetrics {
+        print!("{}", openmetrics_registry().render_openmetrics());
         return ExitCode::SUCCESS;
     }
     if let Some(fixture) = check {

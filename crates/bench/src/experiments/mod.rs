@@ -3,6 +3,7 @@
 
 mod ablations;
 mod attacks;
+mod forensics;
 mod fuzzing;
 mod metadata;
 mod multikernel;
@@ -151,6 +152,11 @@ pub fn all() -> Vec<Experiment> {
             run: profile::profile,
         },
         Experiment {
+            id: "forensics",
+            title: "Flight-recorder forensics: replayed violations with pinned post-mortems",
+            run: forensics::forensics,
+        },
+        Experiment {
             id: "multi_tenant",
             title: "Multi-tenant serving: isolation domains, ID churn, co-located contention",
             run: tenancy::multi_tenant,
@@ -204,6 +210,7 @@ mod tests {
                 "bat_soundness",
                 "static_precision",
                 "profile",
+                "forensics",
                 "multi_tenant",
                 "qos_fairness",
             ]

@@ -3,9 +3,30 @@
 //! RBT fetch from device memory — and how many visible stall cycles each
 //! path charged, per workload over the whole registry.
 
-use crate::runner::{fan_out, run_workload, Protection, Target, WorkloadRun};
-use gpushield_workloads::all;
+use crate::adapter::SystemHost;
+use crate::runner::{config, fan_out, run_workload, Protection, Target, WorkloadRun};
+use gpushield::Registry;
+use gpushield_telemetry::{Histogram, MetricValue};
+use gpushield_workloads::{all, by_name};
 use std::fmt::Write as _;
+
+/// Workloads whose visible-stall distributions the percentile section
+/// summarises (one streaming, one irregular, one long-running).
+const HIST_WORKLOADS: [&str; 3] = ["vectoradd", "bfs", "streamcluster"];
+
+/// Runs one workload instrumented and extracts the visible-stall log2
+/// histogram from its registry.
+fn stall_histogram(name: &str) -> Option<Histogram> {
+    let w = by_name(name)?;
+    let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
+    host.attach_registry(Registry::new());
+    w.run(&mut host);
+    let reg = host.take_registry()?;
+    match reg.lookup("sim.hist.visible_stall_cycles") {
+        Some(MetricValue::Histogram(h)) => Some(h.clone()),
+        _ => None,
+    }
+}
 
 /// The `profile` exhibit: per-workload bounds-check stall attribution
 /// under default GPUShield (Nvidia). Deterministic and byte-identical
@@ -84,6 +105,47 @@ pub fn profile(jobs: usize) -> String {
             100.0 * total.l1_hits as f64 / total_checks as f64
         );
     }
+
+    let hists = fan_out(
+        HIST_WORKLOADS
+            .iter()
+            .map(|name| move || stall_histogram(name))
+            .collect(),
+        jobs,
+    );
+    let _ = writeln!(
+        out,
+        "\nvisible-stall distribution (log2 sketch; percentiles are inclusive bucket\n \
+         upper bounds, so at most 2x quantisation error):"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "workload", "samples", "mean", "p50", "p95", "p99"
+    );
+    for (name, h) in HIST_WORKLOADS.iter().zip(hists) {
+        match h {
+            Some(h) if h.count > 0 => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>9} {:>7} {:>7} {:>7} {:>7}",
+                    name,
+                    h.count,
+                    h.sum / h.count,
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.percentile(99.0)
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>9} {:>7} {:>7} {:>7} {:>7}",
+                    name, 0, "-", "-", "-", "-"
+                );
+            }
+        }
+    }
     out
 }
 
@@ -99,5 +161,27 @@ mod tests {
         let b = profile(3);
         assert_eq!(a, b);
         assert!(a.contains("TOTAL"));
+    }
+
+    #[test]
+    fn percentile_section_reports_every_histogram_workload() {
+        let text = profile(2);
+        assert!(text.contains("visible-stall distribution"));
+        let section = text
+            .split("visible-stall distribution")
+            .nth(1)
+            .expect("section present");
+        for name in HIST_WORKLOADS {
+            assert!(section.contains(name), "{name} row missing");
+        }
+        // The long-running workload certainly stalls somewhere.
+        let row = section
+            .lines()
+            .find(|l| l.starts_with("streamcluster"))
+            .expect("streamcluster row");
+        assert!(
+            !row.contains('-'),
+            "streamcluster must have a populated distribution: {row}"
+        );
     }
 }

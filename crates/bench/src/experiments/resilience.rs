@@ -68,7 +68,7 @@ impl Outcome {
 
 /// `out[tid] = tid`, every access runtime-checked: the benign store
 /// workload whose output the harness can diff against a golden run.
-fn linear_kernel() -> Arc<Kernel> {
+pub(crate) fn linear_kernel() -> Arc<Kernel> {
     let mut b = KernelBuilder::new("resilience_linear");
     let out = b.param_buffer("out", false);
     let tid = b.global_thread_id();
@@ -82,7 +82,7 @@ fn linear_kernel() -> Arc<Kernel> {
 /// flag is pre-set to 1, so an uninjected run exits immediately — but a
 /// persistent corruption that squashes the flag load to zero spins forever,
 /// exercising the watchdog.
-fn spin_kernel() -> Arc<Kernel> {
+pub(crate) fn spin_kernel() -> Arc<Kernel> {
     let mut b = KernelBuilder::new("resilience_spin");
     let flag = b.param_buffer("flag", false);
     b.for_loop(Operand::Imm(0), Operand::Imm(4), 1, |b, i| {
@@ -107,7 +107,7 @@ fn spin_kernel() -> Arc<Kernel> {
 /// Shielded Nvidia system with the watchdog armed and static analysis off
 /// (so every site is runtime-checked and every buffer has a live RBT
 /// entry — the largest injectable surface).
-fn sys_config(precise_faults: bool) -> SystemConfig {
+pub(crate) fn sys_config(precise_faults: bool) -> SystemConfig {
     SystemConfig {
         gpu: GpuConfig {
             max_cycles: max_cycles(),

@@ -127,6 +127,21 @@ fn scenario_serving() -> Section {
             st.queue_wait_cycles / done
         );
     }
+    let _ = writeln!(
+        text,
+        "  audit log: {} entries (driver.audit.*); first and last decisions:",
+        s.audit.len()
+    );
+    for line in s.audit.iter().take(3) {
+        let _ = writeln!(text, "    {line}");
+    }
+    if s.audit.len() > 6 {
+        let _ = writeln!(text, "    ...");
+    }
+    let tail = s.audit.len().saturating_sub(3).max(3);
+    for line in s.audit.iter().skip(tail) {
+        let _ = writeln!(text, "    {line}");
+    }
     Section {
         text,
         telemetry: Some(s.telemetry),

@@ -44,7 +44,7 @@ const SENTINEL_WORD: u32 = 0x53E7_71E1;
 /// The everything-on audit configuration the sweep judges: the paper's
 /// Nvidia shield with static analysis, Type 3 size-embedded pointers and
 /// check elision all enabled, plus the livelock watchdog.
-fn sweep_config(elision: bool) -> SystemConfig {
+pub(crate) fn sweep_config(elision: bool) -> SystemConfig {
     let mut cfg = SystemConfig::nvidia_protected();
     cfg.driver.enable_type3 = true;
     cfg.driver.enable_elision = elision;
@@ -116,7 +116,7 @@ struct SpecimenResult {
 
 /// Resolves the oracle's `mem_ordinal` to the concrete instruction site
 /// the violation log would name.
-fn planted_site(s: &Specimen) -> Option<(BlockId, usize)> {
+pub(crate) fn planted_site(s: &Specimen) -> Option<(BlockId, usize)> {
     let ord = s.bug.mem_ordinal?;
     s.kernel
         .iter_instrs()
@@ -133,7 +133,11 @@ fn planted_site(s: &Specimen) -> Option<(BlockId, usize)> {
 /// Resolves the oracle's victim reference to a virtual-address window,
 /// where one exists (`None` for locals, heap siblings and controls, whose
 /// detection evidence is the site alone or host-visible corruption).
-fn victim_window(s: &Specimen, sys: &System, bufs: &[BufferHandle]) -> Option<(u64, u64)> {
+pub(crate) fn victim_window(
+    s: &Specimen,
+    sys: &System,
+    bufs: &[BufferHandle],
+) -> Option<(u64, u64)> {
     match s.bug.victim {
         VictimRef::BufferEnd { param, lo, hi } => {
             let end = sys.driver().buffer_va(bufs[param]) + s.buffers[param];

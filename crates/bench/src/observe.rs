@@ -1,0 +1,200 @@
+//! Recorder-overhead sweep behind `BENCH_observe.json`: the throughput
+//! smoke workload (`vectoradd` x 3 protection points x 20 reps) run once
+//! per [`ObserveMode`], pinning two properties:
+//!
+//! * **Non-perturbation** — simulated cycles are byte-identical whether
+//!   the flight recorder is disabled, counting, or recording full events.
+//!   The disabled run's `sim_cycles` also equals the smoke section of
+//!   `BENCH_simcore.json` (same workload, same protections, same reps), so
+//!   the always-on recorder hook costs the uninstrumented hot path nothing
+//!   simulated.
+//! * **Bounded wall cost** — wall-clock per mode is recorded so the trend
+//!   report can show the recorder's host-side overhead. Wall numbers are
+//!   machine-dependent and therefore report-only; the gates compare
+//!   simulated quantities and event counts.
+
+use crate::adapter::SystemHost;
+use crate::runner::{config, config_fingerprint, sim_threads, Protection, Target};
+use gpushield::ObserveMode;
+use gpushield_runtime::report::Json;
+use gpushield_workloads::by_name;
+use std::time::Instant;
+
+/// Schema tag for `BENCH_observe.json`; bump on any key-set change.
+pub const OBSERVE_SCHEMA: &str = "observe-overhead/v1";
+
+/// Repetitions per mode in the committed sweep — matches the throughput
+/// smoke sweep so `disabled.sim_cycles` lines up with
+/// `BENCH_simcore.json`'s `smoke.sim_cycles`.
+pub const OBSERVE_REPS: usize = 20;
+
+/// The same three protection points the throughput smoke sweeps.
+fn smoke_protections() -> [Protection; 3] {
+    [
+        Protection::baseline(),
+        Protection::shield_lat(1, 3),
+        Protection::shield_lat(2, 5),
+    ]
+}
+
+/// One mode's measured sweep.
+#[derive(Debug, Clone)]
+pub struct ModeMeasure {
+    /// Mode label: `disabled`, `counters`, or `full`.
+    pub mode: &'static str,
+    /// Total simulated warp instructions.
+    pub instructions: u64,
+    /// Total simulated cycles (must match across modes).
+    pub sim_cycles: u64,
+    /// Wall time for the whole mode sweep (machine-dependent).
+    pub wall_seconds: f64,
+    /// Flight-recorder events recorded (0 when disabled).
+    pub events_recorded: u64,
+    /// Flight-recorder events evicted from the ring (0 when disabled).
+    pub events_dropped: u64,
+}
+
+impl ModeMeasure {
+    /// Simulated instructions per wall-clock second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.wall_seconds
+        }
+    }
+}
+
+/// The full three-mode sweep.
+#[derive(Debug, Clone)]
+pub struct ObserveSweep {
+    /// Measures in mode order: disabled, counters, full.
+    pub modes: Vec<ModeMeasure>,
+}
+
+fn measure_mode(label: &'static str, mode: ObserveMode, reps: usize) -> ModeMeasure {
+    let w = by_name("vectoradd").expect("vectoradd registered");
+    let start = Instant::now();
+    let mut instructions = 0u64;
+    let mut sim_cycles = 0u64;
+    let mut events_recorded = 0u64;
+    let mut events_dropped = 0u64;
+    for _ in 0..reps {
+        for prot in smoke_protections() {
+            let mut host = SystemHost::new(config(Target::Nvidia, prot));
+            host.system_mut().enable_observation(mode);
+            w.run(&mut host);
+            assert!(
+                !host.any_abort(),
+                "false positive under observation mode {label}"
+            );
+            instructions += host.reports.iter().map(|r| r.instructions()).sum::<u64>();
+            sim_cycles += host.total_cycles();
+            if let Some(f) = host.system().flight() {
+                events_recorded += f.events_recorded();
+                events_dropped += f.events_dropped();
+            }
+        }
+    }
+    ModeMeasure {
+        mode: label,
+        instructions,
+        sim_cycles,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        events_recorded,
+        events_dropped,
+    }
+}
+
+/// Runs the sweep with an explicit repetition count (tests use a small
+/// one; the committed document uses [`OBSERVE_REPS`]).
+pub fn run_observe_sweep_with(reps: usize) -> ObserveSweep {
+    ObserveSweep {
+        modes: vec![
+            measure_mode("disabled", ObserveMode::Disabled, reps),
+            measure_mode("counters", ObserveMode::Counters, reps),
+            measure_mode("full", ObserveMode::Full, reps),
+        ],
+    }
+}
+
+/// The committed sweep: [`OBSERVE_REPS`] reps per mode.
+pub fn run_observe_sweep() -> ObserveSweep {
+    run_observe_sweep_with(OBSERVE_REPS)
+}
+
+impl ObserveSweep {
+    /// Renders the `BENCH_observe.json` document.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("bench", Json::Str("observe-overhead".to_string()));
+        doc.set("schema", Json::Str(OBSERVE_SCHEMA.to_string()));
+        doc.set(
+            "workload_set",
+            Json::Str(format!(
+                "vectoradd x {{baseline, shield(1,3), shield(2,5)}} x {OBSERVE_REPS} reps per mode"
+            )),
+        );
+        doc.set("sim_threads", Json::UInt(sim_threads() as u64));
+        doc.set("config_fingerprint", Json::Str(config_fingerprint()));
+        for m in &self.modes {
+            let mut mode = Json::obj();
+            mode.set("instructions", Json::UInt(m.instructions));
+            mode.set("sim_cycles", Json::UInt(m.sim_cycles));
+            mode.set("wall_seconds", Json::Float(m.wall_seconds));
+            mode.set("instrs_per_sec", Json::Float(m.instrs_per_sec()));
+            mode.set("events_recorded", Json::UInt(m.events_recorded));
+            mode.set("events_dropped", Json::UInt(m.events_dropped));
+            doc.set(m.mode, mode);
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_never_perturbs_simulated_results() {
+        let s = run_observe_sweep_with(2);
+        assert_eq!(s.modes.len(), 3);
+        let cycles: Vec<u64> = s.modes.iter().map(|m| m.sim_cycles).collect();
+        assert_eq!(
+            cycles[0], cycles[1],
+            "counters-only mode changed simulated cycles"
+        );
+        assert_eq!(cycles[0], cycles[2], "full mode changed simulated cycles");
+        let instrs: Vec<u64> = s.modes.iter().map(|m| m.instructions).collect();
+        assert_eq!(instrs[0], instrs[1]);
+        assert_eq!(instrs[0], instrs[2]);
+        assert_eq!(s.modes[0].events_recorded, 0, "disabled mode records");
+        assert!(
+            s.modes[2].events_recorded > 0,
+            "full mode recorded no events"
+        );
+    }
+
+    #[test]
+    fn document_carries_the_pinned_key_set() {
+        let s = run_observe_sweep_with(1);
+        let doc = s.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(OBSERVE_SCHEMA)
+        );
+        for mode in ["disabled", "counters", "full"] {
+            let m = doc.get(mode).unwrap_or_else(|| panic!("no {mode} section"));
+            for key in [
+                "instructions",
+                "sim_cycles",
+                "wall_seconds",
+                "instrs_per_sec",
+                "events_recorded",
+                "events_dropped",
+            ] {
+                assert!(m.get(key).is_some(), "{mode}.{key} missing");
+            }
+        }
+    }
+}

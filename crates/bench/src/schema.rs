@@ -1,0 +1,84 @@
+//! The instrumented reference run behind the telemetry schema gate and
+//! the OpenMetrics exposition: one `vectoradd` pass under default
+//! GPUShield with full observation, so every metric family the stack can
+//! produce — `sim.*`, `sim.flight.*`, `mem.*`, `driver.*`,
+//! `driver.tenant.*`, `driver.audit.*` — lands in one registry.
+
+use crate::adapter::SystemHost;
+use crate::runner::{config, Protection, Target};
+use crate::verifysweep::verify_workload_telemetry;
+use gpushield::{ObserveMode, Registry};
+use gpushield_runtime::report::Json;
+use gpushield_workloads::by_name;
+
+/// The deterministic half of the reference run: every simulated-quantity
+/// metric (no verifier sweep, whose pass timings are wall-clock). This is
+/// what `profile --openmetrics` renders and the golden exposition pins.
+pub fn openmetrics_registry() -> Registry {
+    let w = by_name("vectoradd").expect("vectoradd registered");
+    let mut host = SystemHost::new(config(Target::Nvidia, Protection::shield_default()));
+    host.system_mut().enable_observation(ObserveMode::Full);
+    host.attach_registry(Registry::new());
+    w.run(&mut host);
+    let mut reg = host.take_registry().expect("registry attached");
+    gpushield::TenantTable::with_slices([(1u16, 2u16, 1u64)]).publish_telemetry(&mut reg);
+    reg
+}
+
+/// The full reference registry: the deterministic run plus the verifier
+/// sweep's `compiler.pass.*` metrics (wall-clock values; the schema gate
+/// pins keys only).
+pub fn reference_registry() -> Registry {
+    let w = by_name("vectoradd").expect("vectoradd registered");
+    let mut reg = openmetrics_registry();
+    verify_workload_telemetry(&w, &mut reg);
+    reg
+}
+
+/// The schema document: the sorted metric key set as a JSON array.
+pub fn schema_json(reg: &Registry) -> String {
+    let mut doc = Json::obj();
+    doc.set(
+        "keys",
+        Json::Arr(
+            reg.names()
+                .into_iter()
+                .map(|n| Json::Str(n.to_string()))
+                .collect(),
+        ),
+    );
+    doc.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_registry_covers_every_metric_family() {
+        let reg = reference_registry();
+        let names = reg.names();
+        for prefix in [
+            "sim.",
+            "sim.flight.",
+            "mem.",
+            "driver.",
+            "driver.tenant.",
+            "driver.audit.",
+            "compiler.pass.",
+        ] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "no {prefix}* metric in the reference registry"
+            );
+        }
+    }
+
+    #[test]
+    fn openmetrics_registry_is_deterministic() {
+        let a = openmetrics_registry().render_openmetrics();
+        let b = openmetrics_registry().render_openmetrics();
+        assert_eq!(a, b, "exposition must be reproducible run-to-run");
+        assert!(a.contains("# TYPE"));
+    }
+}

@@ -178,9 +178,14 @@ pub struct ServingSummary {
     /// Violations whose kernel ID resolved to a different tenant than the
     /// one that launched the probe (must be 0).
     pub misattributed: u64,
-    /// `driver.tenant.*` aggregate gauges plus the `driver.tenant.<i>.*`
-    /// per-tenant breakdown, ready for a results JSON.
+    /// `driver.tenant.*` and `driver.audit.*` aggregate gauges plus the
+    /// `driver.tenant.<i>.*` per-tenant breakdown, ready for a results
+    /// JSON.
     pub telemetry: Vec<(String, u64)>,
+    /// The per-tenant security audit log, rendered as stable one-line
+    /// records in global decision order (admissions, rejections,
+    /// region-ID churn, violation attributions, probe verdicts).
+    pub audit: Vec<String>,
 }
 
 /// `work[tid] = tid`: one buffer, one region ID, output diffable.
@@ -432,6 +437,11 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingSummary {
                     }
                 }
             };
+        if kind.is_attack() {
+            // Audit the probe verdict: the boundary held iff the probe was
+            // detected (aborted/squashed with the secret intact).
+            let _ = tenants.note_probe(TenantId(t as u16), outcome == Outcome::Detected);
+        }
         if let Ok(s) = tenants.stats_mut(TenantId(t as u16)) {
             s.queue_wait_cycles += wait;
         }
@@ -469,6 +479,7 @@ pub fn run_serving(cfg: &ServingConfig) -> ServingSummary {
         secrets_intact,
         misattributed,
         telemetry,
+        audit: tenants.audit().render_lines(),
     }
 }
 
@@ -560,6 +571,31 @@ mod tests {
             .find(|(k, _)| k == "driver.tenant.0.ids_recycled")
             .map(|(_, v)| *v);
         assert_eq!(recycled, Some(2), "the single ID recycled per relaunch");
+    }
+
+    #[test]
+    fn audit_log_records_admissions_churn_and_probe_verdicts() {
+        let s = run_serving(&mini_config(true));
+        assert!(!s.audit.is_empty());
+        // Gapless global sequence numbers in decision order.
+        for (i, line) in s.audit.iter().enumerate() {
+            assert!(line.starts_with(&format!("seq={i} ")), "gap at {i}: {line}");
+        }
+        let count = |label: &str| {
+            s.audit
+                .iter()
+                .filter(|l| l.contains(&format!(" {label}")))
+                .count()
+        };
+        assert_eq!(count("probe_verdict blocked=true"), 8, "all probes held");
+        assert_eq!(count("admitted kernel="), 12, "one admission per job");
+        assert!(count("ids_acquired count=") >= 1);
+        let audited = s
+            .telemetry
+            .iter()
+            .find(|(k, _)| k == "driver.audit.probes_blocked")
+            .map(|(_, v)| *v);
+        assert_eq!(audited, Some(8));
     }
 
     #[test]

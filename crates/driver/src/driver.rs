@@ -327,9 +327,6 @@ impl Driver {
     /// Publishes the metadata-path counters as `driver.*` gauges (the
     /// counters are already cumulative, so last-write-wins is exact).
     pub fn publish_telemetry(&self, reg: &mut Registry) {
-        if !reg.enabled() {
-            return;
-        }
         let s = &self.stats;
         let fields: [(&str, u64); 11] = [
             ("launches_prepared", s.launches_prepared),
@@ -345,7 +342,9 @@ impl Driver {
             ("certs_redundant", s.certs_redundant),
         ];
         for (name, v) in fields {
-            reg.set_named(&format!("driver.{name}"), v);
+            // Lazy label: a disabled registry formats no strings (pinned
+            // by tests/alloc_profile.rs).
+            reg.set_named_with(|| format!("driver.{name}"), v);
         }
     }
 

@@ -21,4 +21,7 @@ pub use driver::{
     SiteClaim, CANARY_BYTE,
 };
 pub use rbt::{read_entry, write_entry, BoundsEntry, RBT_BYTES, RBT_ENTRIES, RBT_ENTRY_BYTES};
-pub use tenant::{AllocatorStats, RegionIdAllocator, TenantId, TenantStats, TenantTable};
+pub use tenant::{
+    AllocatorStats, AuditEntry, AuditKind, AuditLog, RegionIdAllocator, TenantId, TenantStats,
+    TenantTable,
+};

@@ -1,0 +1,240 @@
+//! The per-tenant security audit log: an append-only, sequence-numbered
+//! record of every security-relevant serving decision.
+//!
+//! The tenant table's counters say *how many* admissions and violations
+//! each tenant accumulated; the audit log says *in what order* — the
+//! evidence trail a multi-tenant operator replays when attributing an
+//! incident. Entries are never mutated or removed; the sequence number is
+//! the global order of decisions across all tenants.
+//!
+//! Three event families land here (the tentpole's audit surface):
+//! admissions (admitted / rejected / completed / violation-attributed),
+//! region-ID churn (IDs acquired and recycled per launch, the §5.2.4
+//! reuse signal), and cross-tenant probe verdicts (the serving loop's
+//! active isolation checks).
+
+use gpushield_telemetry::Registry;
+
+/// What one audit entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditKind {
+    /// A launch was admitted and attributed to `kernel_id`.
+    Admitted {
+        /// Driver-assigned kernel ID of the admitted launch.
+        kernel_id: u16,
+    },
+    /// A launch was refused at preparation.
+    Rejected,
+    /// A launch retired, releasing its region IDs.
+    Completed {
+        /// Region IDs released back to the tenant's allocator.
+        ids_released: u16,
+    },
+    /// The BCU attributed a violation to this tenant.
+    ViolationAttributed,
+    /// Fresh region IDs drawn from the tenant's slice.
+    IdsAcquired {
+        /// Number of IDs acquired.
+        count: u16,
+    },
+    /// Previously-released region IDs re-minted to a new launch.
+    IdsRecycled {
+        /// Number of IDs recycled.
+        count: u16,
+    },
+    /// A cross-tenant probe ran: `blocked` is true when the isolation
+    /// boundary held (the probe's access was denied).
+    ProbeVerdict {
+        /// Whether the probe was blocked.
+        blocked: bool,
+    },
+}
+
+impl AuditKind {
+    /// Short stable label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AuditKind::Admitted { .. } => "admitted",
+            AuditKind::Rejected => "rejected",
+            AuditKind::Completed { .. } => "completed",
+            AuditKind::ViolationAttributed => "violation_attributed",
+            AuditKind::IdsAcquired { .. } => "ids_acquired",
+            AuditKind::IdsRecycled { .. } => "ids_recycled",
+            AuditKind::ProbeVerdict { .. } => "probe_verdict",
+        }
+    }
+}
+
+/// One append-only audit entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Global decision order across all tenants (0-based, gapless).
+    pub seq: u64,
+    /// The tenant the decision concerns.
+    pub tenant: u16,
+    /// The decision.
+    pub kind: AuditKind,
+}
+
+/// The append-only audit log plus its fixed counter surface.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    violations_attributed: u64,
+    ids_acquired: u64,
+    ids_recycled: u64,
+    probes_blocked: u64,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends one entry, assigning the next sequence number, and
+    /// returns it.
+    pub fn append(&mut self, tenant: u16, kind: AuditKind) -> u64 {
+        let seq = self.entries.len() as u64;
+        match kind {
+            AuditKind::Admitted { .. } => self.admitted += 1,
+            AuditKind::Rejected => self.rejected += 1,
+            AuditKind::Completed { .. } => self.completed += 1,
+            AuditKind::ViolationAttributed => self.violations_attributed += 1,
+            AuditKind::IdsAcquired { count } => self.ids_acquired += u64::from(count),
+            AuditKind::IdsRecycled { count } => self.ids_recycled += u64::from(count),
+            AuditKind::ProbeVerdict { blocked } => {
+                if blocked {
+                    self.probes_blocked += 1;
+                }
+            }
+        }
+        self.entries.push(AuditEntry { seq, tenant, kind });
+        seq
+    }
+
+    /// Every entry, in decision order.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries concerning one tenant, in decision order.
+    pub fn for_tenant(&self, tenant: u16) -> impl Iterator<Item = &AuditEntry> {
+        self.entries.iter().filter(move |e| e.tenant == tenant)
+    }
+
+    /// Renders the log as stable one-line records (for exhibits and
+    /// byte-diff tests).
+    pub fn render_lines(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let detail = match e.kind {
+                    AuditKind::Admitted { kernel_id } => format!(" kernel={kernel_id}"),
+                    AuditKind::Completed { ids_released } => {
+                        format!(" ids_released={ids_released}")
+                    }
+                    AuditKind::IdsAcquired { count } | AuditKind::IdsRecycled { count } => {
+                        format!(" count={count}")
+                    }
+                    AuditKind::ProbeVerdict { blocked } => format!(" blocked={blocked}"),
+                    AuditKind::Rejected | AuditKind::ViolationAttributed => String::new(),
+                };
+                format!(
+                    "seq={} tenant={} {}{}",
+                    e.seq,
+                    e.tenant,
+                    e.kind.label(),
+                    detail
+                )
+            })
+            .collect()
+    }
+
+    /// Publishes the fixed `driver.audit.*` gauge surface. Labels are
+    /// built lazily: a disabled registry formats nothing.
+    pub fn publish(&self, reg: &mut Registry) {
+        let fields: [(&str, u64); 8] = [
+            ("entries", self.entries.len() as u64),
+            ("admitted", self.admitted),
+            ("rejected", self.rejected),
+            ("completed", self.completed),
+            ("violations_attributed", self.violations_attributed),
+            ("ids_acquired", self.ids_acquired),
+            ("ids_recycled", self.ids_recycled),
+            ("probes_blocked", self.probes_blocked),
+        ];
+        for (name, v) in fields {
+            reg.set_named_with(|| format!("driver.audit.{name}"), v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_gapless_and_global() {
+        let mut log = AuditLog::new();
+        assert_eq!(log.append(0, AuditKind::Admitted { kernel_id: 5 }), 0);
+        assert_eq!(log.append(1, AuditKind::Rejected), 1);
+        assert_eq!(log.append(0, AuditKind::Completed { ids_released: 2 }), 2);
+        assert_eq!(log.len(), 3);
+        let seqs: Vec<u64> = log.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(log.for_tenant(0).count(), 2);
+    }
+
+    #[test]
+    fn counters_track_each_family() {
+        let mut log = AuditLog::new();
+        log.append(0, AuditKind::Admitted { kernel_id: 1 });
+        log.append(0, AuditKind::IdsAcquired { count: 3 });
+        log.append(0, AuditKind::IdsRecycled { count: 2 });
+        log.append(0, AuditKind::ViolationAttributed);
+        log.append(1, AuditKind::ProbeVerdict { blocked: true });
+        log.append(1, AuditKind::ProbeVerdict { blocked: false });
+        let mut reg = Registry::new();
+        log.publish(&mut reg);
+        assert_eq!(reg.value("driver.audit.entries"), Some(6));
+        assert_eq!(reg.value("driver.audit.admitted"), Some(1));
+        assert_eq!(reg.value("driver.audit.ids_acquired"), Some(3));
+        assert_eq!(reg.value("driver.audit.ids_recycled"), Some(2));
+        assert_eq!(reg.value("driver.audit.violations_attributed"), Some(1));
+        assert_eq!(reg.value("driver.audit.probes_blocked"), Some(1));
+        assert_eq!(reg.names().len(), 8, "fixed 8-key surface");
+    }
+
+    #[test]
+    fn disabled_registry_gets_nothing() {
+        let mut log = AuditLog::new();
+        log.append(0, AuditKind::Rejected);
+        let mut reg = Registry::disabled();
+        log.publish(&mut reg);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn render_lines_are_stable_records() {
+        let mut log = AuditLog::new();
+        log.append(2, AuditKind::Admitted { kernel_id: 9 });
+        log.append(2, AuditKind::ProbeVerdict { blocked: true });
+        let lines = log.render_lines();
+        assert_eq!(lines[0], "seq=0 tenant=2 admitted kernel=9");
+        assert_eq!(lines[1], "seq=1 tenant=2 probe_verdict blocked=true");
+    }
+}

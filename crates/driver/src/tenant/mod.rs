@@ -7,8 +7,10 @@
 //! region ID, and per-kernel attribution ([`table::TenantTable`]) maps BCU
 //! violation records back to the tenant whose kernel raised them.
 
+pub mod audit;
 pub mod ids;
 pub mod table;
 
+pub use audit::{AuditEntry, AuditKind, AuditLog};
 pub use ids::{AllocatorStats, RegionIdAllocator};
 pub use table::{TenantId, TenantStats, TenantTable};

@@ -7,6 +7,7 @@
 //! kernel ID) is charged to the right principal.
 
 use crate::driver::DriverError;
+use crate::tenant::audit::{AuditKind, AuditLog};
 use crate::tenant::ids::RegionIdAllocator;
 use gpushield_telemetry::Registry;
 use std::collections::HashMap;
@@ -42,6 +43,10 @@ struct Tenant {
     allocator: RegionIdAllocator,
     weight: u64,
     stats: TenantStats,
+    /// Allocator churn `(acquired, recycled)` already written to the
+    /// audit log; the delta since this snapshot is appended at the next
+    /// admission.
+    audited_churn: (u64, u64),
 }
 
 /// Partitions the region-ID space into per-tenant isolation domains and
@@ -65,6 +70,8 @@ pub struct TenantTable {
     /// and wrap, so latest-launch-wins — matching the BCU, which also keeps
     /// one registration per kernel ID.
     kernel_owner: HashMap<u16, u16>,
+    /// Append-only security audit trail across all tenants.
+    audit: AuditLog,
 }
 
 impl TenantTable {
@@ -107,12 +114,14 @@ impl TenantTable {
                 allocator: RegionIdAllocator::new(lo, hi),
                 weight,
                 stats: TenantStats::default(),
+                audited_churn: (0, 0),
             });
         }
         assert!(!tenants.is_empty(), "at least one tenant");
         TenantTable {
             tenants,
             kernel_owner: HashMap::new(),
+            audit: AuditLog::new(),
         }
     }
 
@@ -182,8 +191,27 @@ impl TenantTable {
     ///
     /// [`DriverError::UnknownTenant`] for an out-of-range ID.
     pub fn record_launch(&mut self, t: TenantId, kernel_id: u16) -> Result<(), DriverError> {
-        self.tenant_mut(t)?.stats.launches_admitted += 1;
+        let tenant = self.tenant_mut(t)?;
+        tenant.stats.launches_admitted += 1;
+        // Audit the ID churn the just-finished acquisition produced: the
+        // delta between the allocator's cumulative counters and the last
+        // audited snapshot.
+        let a = tenant.allocator.stats();
+        let (acq, rec) = (
+            a.acquired - tenant.audited_churn.0,
+            a.recycled - tenant.audited_churn.1,
+        );
+        tenant.audited_churn = (a.acquired, a.recycled);
         self.kernel_owner.insert(kernel_id, t.0);
+        self.audit.append(t.0, AuditKind::Admitted { kernel_id });
+        if acq > 0 {
+            self.audit
+                .append(t.0, AuditKind::IdsAcquired { count: acq as u16 });
+        }
+        if rec > 0 {
+            self.audit
+                .append(t.0, AuditKind::IdsRecycled { count: rec as u16 });
+        }
         Ok(())
     }
 
@@ -194,6 +222,7 @@ impl TenantTable {
     /// [`DriverError::UnknownTenant`] for an out-of-range ID.
     pub fn record_rejection(&mut self, t: TenantId) -> Result<(), DriverError> {
         self.tenant_mut(t)?.stats.launches_rejected += 1;
+        self.audit.append(t.0, AuditKind::Rejected);
         Ok(())
     }
 
@@ -210,7 +239,27 @@ impl TenantTable {
     /// [`DriverError::UnknownTenant`] for an out-of-range ID.
     pub fn note_violation(&mut self, t: TenantId) -> Result<(), DriverError> {
         self.tenant_mut(t)?.stats.violations_attributed += 1;
+        self.audit.append(t.0, AuditKind::ViolationAttributed);
         Ok(())
+    }
+
+    /// Records the verdict of a cross-tenant probe launched *against*
+    /// tenant `t`'s isolation boundary: `blocked` is true when the
+    /// boundary held. The serving loop's active isolation checks land
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTenant`] for an out-of-range ID.
+    pub fn note_probe(&mut self, t: TenantId, blocked: bool) -> Result<(), DriverError> {
+        self.tenant(t)?;
+        self.audit.append(t.0, AuditKind::ProbeVerdict { blocked });
+        Ok(())
+    }
+
+    /// The append-only security audit trail.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
     }
 
     /// Retires a completed launch: releases its region IDs back to the
@@ -225,6 +274,12 @@ impl TenantTable {
         let tenant = self.tenant_mut(t)?;
         tenant.allocator.release(region_ids)?;
         tenant.stats.launches_completed += 1;
+        self.audit.append(
+            t.0,
+            AuditKind::Completed {
+                ids_released: region_ids.len() as u16,
+            },
+        );
         Ok(())
     }
 
@@ -236,6 +291,7 @@ impl TenantTable {
         if !reg.enabled() {
             return;
         }
+        self.audit.publish(reg);
         let mut admitted = 0;
         let mut completed = 0;
         let mut rejected = 0;
@@ -267,7 +323,9 @@ impl TenantTable {
             ("id_capacity", capacity),
         ];
         for (name, v) in fields {
-            reg.set_named(&format!("driver.tenant.{name}"), v);
+            // Lazy label: a disabled registry formats no strings (pinned
+            // by tests/alloc_profile.rs).
+            reg.set_named_with(|| format!("driver.tenant.{name}"), v);
         }
     }
 
@@ -371,12 +429,20 @@ mod tests {
             "driver.tenant.ids_recycled",
             "driver.tenant.ids_live",
             "driver.tenant.id_capacity",
+            "driver.audit.entries",
+            "driver.audit.admitted",
+            "driver.audit.ids_acquired",
         ] {
             assert!(names.contains(&key), "{key} missing");
         }
-        assert_eq!(names.len(), 9, "aggregate surface is exactly 9 keys");
+        assert_eq!(
+            names.len(),
+            17,
+            "aggregate surface is 9 tenant keys + 8 audit keys"
+        );
         assert_eq!(reg.value("driver.tenant.tenants"), Some(2));
         assert_eq!(reg.value("driver.tenant.launches_admitted"), Some(1));
+        assert_eq!(reg.value("driver.audit.admitted"), Some(1));
     }
 
     #[test]

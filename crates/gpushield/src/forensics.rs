@@ -1,0 +1,705 @@
+//! Violation forensics: post-mortem reconstruction from the flight
+//! recorder's ring.
+//!
+//! When a run ends in a bounds violation, an abort, or a watchdog trip,
+//! the causal chain that led there is already resident in the
+//! [`FlightRecorder`]: the guilty warp's recent check verdicts, the
+//! victim region's metadata lifecycle, the launch's BAT snapshot, the
+//! owning tenant's admission. [`PostMortem::from_recorder`] walks the
+//! ring backwards, anchors on the newest anomaly, and reassembles those
+//! threads into one causally-ordered report — renderable as prose
+//! ([`PostMortem::render_text`]) or machine-readable JSON
+//! ([`PostMortem::render_json`]).
+//!
+//! The walk is pure: it reads the ring, allocates only for the report,
+//! and is deterministic given the ring contents — which the recorder
+//! guarantees are byte-identical at any `--sim-threads` setting.
+
+use gpushield_isa::Kernel;
+use gpushield_sim::{AbortReason, CheckPath, FaultKind, GuardVerdict};
+use gpushield_telemetry::flight::{FlightEvent, FlightRecorder};
+
+/// One memory instruction of the guilty warp, as the BCU saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemInstrRecord {
+    /// Global timestamp (recorder epoch + in-run cycle).
+    pub t: u64,
+    /// Instruction site (basic block, index within block).
+    pub site: (u32, u32),
+    /// True for stores.
+    pub is_store: bool,
+    /// Accessed byte range `[lo, hi)`.
+    pub range: (u64, u64),
+    /// `CheckPath` code (see [`CheckPath::from_code`]).
+    pub path: u8,
+    /// `GuardVerdict` code (see [`GuardVerdict::from_code`]).
+    pub verdict: u8,
+}
+
+impl MemInstrRecord {
+    /// The check-path label for this record (`"unknown"` for a
+    /// non-decodable code).
+    pub fn path_label(&self) -> &'static str {
+        CheckPath::from_code(self.path).map_or("unknown", |p| p.label())
+    }
+
+    /// The verdict label for this record.
+    pub fn verdict_label(&self) -> &'static str {
+        match GuardVerdict::from_code(self.verdict) {
+            Some(GuardVerdict::Allow) => "allow",
+            Some(GuardVerdict::Fault) => "fault",
+            Some(GuardVerdict::Squash) => "squash",
+            None => "unknown",
+        }
+    }
+}
+
+/// One step in a region's metadata lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionEvent {
+    /// Global timestamp.
+    pub t: u64,
+    /// Event kind name (`region_alloc`, `region_free`, `region_recycle`).
+    pub what: &'static str,
+    /// Region window at allocation (zero for free/recycle markers).
+    pub window: (u64, u64),
+}
+
+/// The region a violating access landed in, with its resident lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VictimRegion {
+    /// Region ID.
+    pub id: u16,
+    /// Region base address.
+    pub base: u64,
+    /// Region size in bytes.
+    pub size: u64,
+    /// Every resident event touching this ID, oldest first.
+    pub lifecycle: Vec<RegionEvent>,
+}
+
+/// What the driver knew about the guilty launch when it was prepared.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaunchSnapshot {
+    /// Protected regions installed for the launch.
+    pub regions: u16,
+    /// Sites the BAT proved statically.
+    pub sites_static: u16,
+    /// Sites left to runtime checking.
+    pub sites_runtime: u16,
+    /// Certificate-elided sites recorded during this launch's prep.
+    pub elided_sites: Vec<(u32, u32)>,
+}
+
+/// A causally-ordered post-mortem assembled from the flight ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostMortem {
+    /// Kind name of the anchoring anomaly (`kernel_abort`,
+    /// `check_verdict`, `watchdog_trip`).
+    pub trigger: &'static str,
+    /// Global timestamp of the anchor.
+    pub trigger_t: u64,
+    /// Guilty kernel ID.
+    pub kernel_id: u16,
+    /// Guilty workgroup.
+    pub wg: u32,
+    /// Guilty warp within the workgroup.
+    pub warp: u16,
+    /// Abort reason code, when the anchor is an abort.
+    pub abort_reason: Option<u8>,
+    /// The violating access itself (newest non-allow verdict of the
+    /// guilty warp), when resident.
+    pub violation: Option<MemInstrRecord>,
+    /// The guilty warp's recent memory instructions, oldest first
+    /// (bounded window; the violating access is the last entry when
+    /// resident).
+    pub recent_mem: Vec<MemInstrRecord>,
+    /// The region the violating range landed in, when identifiable.
+    pub victim: Option<VictimRegion>,
+    /// Owning tenant, when the launch was admitted through the serving
+    /// path.
+    pub tenant: Option<u16>,
+    /// Launch-preparation snapshot for the guilty kernel.
+    pub launch: Option<LaunchSnapshot>,
+    /// Metadata faults injected before the anomaly, oldest first
+    /// (`FaultKind` codes).
+    pub faults_injected: Vec<(u64, u8)>,
+    /// Watchdog trip `(t, budget)`, when one is resident.
+    pub watchdog: Option<(u64, u64)>,
+}
+
+/// How many of the guilty warp's memory instructions the post-mortem
+/// retains.
+pub const RECENT_MEM_WINDOW: usize = 8;
+
+impl PostMortem {
+    /// Walks the ring backwards from the newest anomaly and reassembles
+    /// the causal chain. Returns `None` when no anomaly (non-allow
+    /// verdict, abort, or watchdog trip) is resident.
+    pub fn from_recorder(fr: &FlightRecorder) -> Option<PostMortem> {
+        // Newest terminal event (abort / watchdog trip) and newest
+        // violating verdict. Cores still in flight inside the aborting
+        // quantum log further (deterministic) verdicts for the doomed
+        // launch, so a same-kernel verdict never outranks its abort.
+        let mut term = None;
+        let mut viol = None;
+        for rec in fr.iter_rev() {
+            match rec.ev {
+                FlightEvent::KernelAbort { .. } | FlightEvent::WatchdogTrip { .. }
+                    if term.is_none() =>
+                {
+                    term = Some(*rec)
+                }
+                FlightEvent::CheckVerdict { verdict, .. } if verdict != 0 && viol.is_none() => {
+                    viol = Some(*rec)
+                }
+                _ => {}
+            }
+            if term.is_some() && viol.is_some() {
+                break;
+            }
+        }
+        let anchor = match (term, viol) {
+            (Some(t), Some(v)) => {
+                let same_kernel = match (t.ev, v.ev) {
+                    (
+                        FlightEvent::KernelAbort { kernel_id: ka, .. },
+                        FlightEvent::CheckVerdict { kernel_id: kv, .. },
+                    ) => ka == kv,
+                    _ => false,
+                };
+                if same_kernel || t.seq > v.seq {
+                    t
+                } else {
+                    v
+                }
+            }
+            (Some(t), None) => t,
+            (None, Some(v)) => v,
+            (None, None) => return None,
+        };
+
+        // Resolve the guilty identity from the anchor.
+        let (kernel_id, wg, warp, abort_reason) = match anchor.ev {
+            FlightEvent::KernelAbort {
+                kernel_id,
+                wg,
+                warp,
+                reason,
+            } => (kernel_id, wg, warp, Some(reason)),
+            FlightEvent::CheckVerdict {
+                kernel_id,
+                wg,
+                warp,
+                ..
+            } => (kernel_id, wg, warp, None),
+            FlightEvent::WatchdogTrip { .. } => {
+                // No warp identity on a hang: adopt the newest checked
+                // access, else the newest launch.
+                let mut id = None;
+                for rec in fr.iter_rev() {
+                    match rec.ev {
+                        FlightEvent::CheckVerdict {
+                            kernel_id,
+                            wg,
+                            warp,
+                            ..
+                        } => {
+                            id = Some((kernel_id, wg, warp));
+                            break;
+                        }
+                        FlightEvent::KernelLaunch { kernel_id, .. } if id.is_none() => {
+                            id = Some((kernel_id, 0, 0));
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                let (k, w, wa) = id.unwrap_or((0, 0, 0));
+                (k, w, wa, None)
+            }
+            _ => return None,
+        };
+
+        // The guilty warp's recent memory instructions, and the
+        // violating access among them.
+        let mut recent_rev: Vec<MemInstrRecord> = Vec::new();
+        let mut violation = None;
+        for rec in fr.iter_rev() {
+            if let FlightEvent::CheckVerdict {
+                kernel_id: k,
+                wg: w,
+                warp: wa,
+                block,
+                idx,
+                path,
+                verdict,
+                is_store,
+                lo,
+                hi,
+            } = rec.ev
+            {
+                if (k, w, wa) != (kernel_id, wg, warp) {
+                    continue;
+                }
+                let mi = MemInstrRecord {
+                    t: rec.t,
+                    site: (block, idx),
+                    is_store,
+                    range: (lo, hi),
+                    path,
+                    verdict,
+                };
+                if verdict != 0 && violation.is_none() {
+                    violation = Some(mi);
+                }
+                if recent_rev.len() < RECENT_MEM_WINDOW {
+                    recent_rev.push(mi);
+                }
+            }
+        }
+        recent_rev.reverse();
+
+        // Victim region: newest resident window containing the far end
+        // of the violating range (an overflow crosses *into* the
+        // victim); fall back to the window containing the low end.
+        let victim = violation.and_then(|v| {
+            let find = |addr: u64| {
+                fr.iter_rev().find_map(|rec| match rec.ev {
+                    FlightEvent::RegionAlloc { id, base, size }
+                        if size > 0 && base <= addr && addr < base + size =>
+                    {
+                        Some((id, base, size))
+                    }
+                    _ => None,
+                })
+            };
+            // When the range lands in no region at all (overflow into
+            // unregioned memory), attribute the nearest region — the one
+            // whose bounds the access escaped.
+            let nearest = || {
+                let (lo, hi) = v.range;
+                let mut best: Option<(u64, (u16, u64, u64))> = None;
+                for rec in fr.iter_rev() {
+                    if let FlightEvent::RegionAlloc { id, base, size } = rec.ev {
+                        if size == 0 {
+                            continue;
+                        }
+                        let dist = base.saturating_sub(hi).max(lo.saturating_sub(base + size));
+                        if best.is_none_or(|(d, _)| dist < d) {
+                            best = Some((dist, (id, base, size)));
+                        }
+                    }
+                }
+                best.map(|(_, r)| r)
+            };
+            let (lo, hi) = v.range;
+            find(hi.saturating_sub(1))
+                .or_else(|| find(lo))
+                .or_else(nearest)
+                .map(|(id, base, size)| VictimRegion {
+                    id,
+                    base,
+                    size,
+                    lifecycle: fr
+                        .iter()
+                        .filter_map(|rec| {
+                            let (what, window) = match rec.ev {
+                                FlightEvent::RegionAlloc { id: i, base, size } if i == id => {
+                                    ("region_alloc", (base, base + size))
+                                }
+                                FlightEvent::RegionFree { id: i } if i == id => {
+                                    ("region_free", (0, 0))
+                                }
+                                FlightEvent::RegionRecycle { id: i } if i == id => {
+                                    ("region_recycle", (0, 0))
+                                }
+                                _ => return None,
+                            };
+                            Some(RegionEvent {
+                                t: rec.t,
+                                what,
+                                window,
+                            })
+                        })
+                        .collect(),
+                })
+        });
+
+        // Tenant attribution: the admission that carried this kernel.
+        let tenant = fr.iter_rev().find_map(|rec| match rec.ev {
+            FlightEvent::TenantAdmit {
+                tenant,
+                kernel_id: k,
+            } if k == kernel_id => Some(tenant),
+            _ => None,
+        });
+
+        // Launch snapshot: the newest prep window for the guilty kernel.
+        // Prep events are contiguous (KernelLaunch, regions, BatInstall,
+        // elisions), so collect between the matching launch event and
+        // the next launch.
+        let mut launch: Option<LaunchSnapshot> = None;
+        let mut open: Option<LaunchSnapshot> = None;
+        for rec in fr.iter() {
+            match rec.ev {
+                FlightEvent::KernelLaunch {
+                    kernel_id: k,
+                    regions,
+                } => {
+                    if let Some(s) = open.take() {
+                        launch = Some(s);
+                    }
+                    if k == kernel_id {
+                        open = Some(LaunchSnapshot {
+                            regions,
+                            ..LaunchSnapshot::default()
+                        });
+                    }
+                }
+                FlightEvent::BatInstall {
+                    kernel_id: k,
+                    sites_static,
+                    sites_runtime,
+                } if k == kernel_id => {
+                    if let Some(s) = open.as_mut() {
+                        s.sites_static = sites_static;
+                        s.sites_runtime = sites_runtime;
+                    }
+                }
+                FlightEvent::CheckElide { block, idx } => {
+                    if let Some(s) = open.as_mut() {
+                        s.elided_sites.push((block, idx));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = open {
+            launch = Some(s);
+        }
+
+        let faults_injected = fr
+            .iter()
+            .filter_map(|rec| match rec.ev {
+                FlightEvent::FaultInjected { kind } => Some((rec.t, kind)),
+                _ => None,
+            })
+            .collect();
+        let watchdog = fr.iter_rev().find_map(|rec| match rec.ev {
+            FlightEvent::WatchdogTrip { budget } => Some((rec.t, budget)),
+            _ => None,
+        });
+
+        Some(PostMortem {
+            trigger: anchor.ev.kind_name(),
+            trigger_t: anchor.t,
+            kernel_id,
+            wg,
+            warp,
+            abort_reason,
+            violation,
+            recent_mem: recent_rev,
+            victim,
+            tenant,
+            launch,
+            faults_injected,
+            watchdog,
+        })
+    }
+
+    /// Ordinal of the violating instruction among `kernel`'s static
+    /// memory instructions (program order) — the coordinate the fuzzer
+    /// oracle plants violations by. `None` when no violating access is
+    /// resident or the site is not a memory instruction of `kernel`.
+    pub fn guilty_mem_ordinal(&self, kernel: &Kernel) -> Option<usize> {
+        let (block, idx) = self.violation?.site;
+        kernel
+            .iter_instrs()
+            .filter(|(_, _, i)| i.is_mem())
+            .position(|(b, j, _)| b.0 == block && j == idx as usize)
+    }
+
+    /// Human-readable rendering, causally ordered (context first, the
+    /// anomaly last).
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("=== GPUShield post-mortem ===\n");
+        out.push_str(&format!(
+            "guilty: kernel {} wg {} warp {}",
+            self.kernel_id, self.wg, self.warp
+        ));
+        match self.tenant {
+            Some(t) => out.push_str(&format!(" (tenant {t})\n")),
+            None => out.push('\n'),
+        }
+        if let Some(l) = &self.launch {
+            out.push_str(&format!(
+                "launch: {} region(s), BAT {} static / {} runtime, {} elided site(s)\n",
+                l.regions,
+                l.sites_static,
+                l.sites_runtime,
+                l.elided_sites.len()
+            ));
+        }
+        if let Some(v) = &self.victim {
+            out.push_str(&format!(
+                "victim region: id {} window 0x{:x}..0x{:x}\n",
+                v.id,
+                v.base,
+                v.base + v.size
+            ));
+            for e in &v.lifecycle {
+                out.push_str(&format!("  t={} {}\n", e.t, e.what));
+            }
+        }
+        for (t, kind) in &self.faults_injected {
+            let name = FaultKind::from_code(*kind).map_or("unknown", |k| k.name());
+            out.push_str(&format!("fault injected: t={t} {name}\n"));
+        }
+        out.push_str("recent memory instructions (oldest first):\n");
+        for m in &self.recent_mem {
+            out.push_str(&format!(
+                "  t={} ({},{}) {} 0x{:x}..0x{:x} path={} verdict={}\n",
+                m.t,
+                m.site.0,
+                m.site.1,
+                if m.is_store { "st" } else { "ld" },
+                m.range.0,
+                m.range.1,
+                m.path_label(),
+                m.verdict_label()
+            ));
+        }
+        if let Some((t, budget)) = self.watchdog {
+            out.push_str(&format!("watchdog: tripped at t={t} budget={budget}\n"));
+        }
+        out.push_str(&format!(
+            "trigger: {} at t={}",
+            self.trigger, self.trigger_t
+        ));
+        match self.abort_reason {
+            Some(r) => out.push_str(&format!(" ({})\n", AbortReason::code_name(r))),
+            None => out.push('\n'),
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (stable key order, no external
+    /// dependencies).
+    pub fn render_json(&self) -> String {
+        let mem = |m: &MemInstrRecord| {
+            format!(
+                "{{\"t\":{},\"block\":{},\"idx\":{},\"is_store\":{},\"lo\":{},\"hi\":{},\"path\":\"{}\",\"verdict\":\"{}\"}}",
+                m.t, m.site.0, m.site.1, m.is_store, m.range.0, m.range.1,
+                m.path_label(), m.verdict_label()
+            )
+        };
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"trigger\":\"{}\",\"trigger_t\":{},\"kernel_id\":{},\"wg\":{},\"warp\":{}",
+            self.trigger, self.trigger_t, self.kernel_id, self.wg, self.warp
+        ));
+        out.push_str(&format!(
+            ",\"abort_reason\":{}",
+            self.abort_reason.map_or("null".to_string(), |r| format!(
+                "\"{}\"",
+                AbortReason::code_name(r)
+            ))
+        ));
+        out.push_str(&format!(
+            ",\"violation\":{}",
+            self.violation.as_ref().map_or("null".to_string(), mem)
+        ));
+        out.push_str(",\"recent_mem\":[");
+        for (i, m) in self.recent_mem.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&mem(m));
+        }
+        out.push(']');
+        match &self.victim {
+            Some(v) => {
+                out.push_str(&format!(
+                    ",\"victim\":{{\"id\":{},\"base\":{},\"size\":{},\"lifecycle\":[",
+                    v.id, v.base, v.size
+                ));
+                for (i, e) in v.lifecycle.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"t\":{},\"what\":\"{}\"}}", e.t, e.what));
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str(",\"victim\":null"),
+        }
+        out.push_str(&format!(
+            ",\"tenant\":{}",
+            self.tenant.map_or("null".to_string(), |t| t.to_string())
+        ));
+        match &self.launch {
+            Some(l) => {
+                out.push_str(&format!(
+                    ",\"launch\":{{\"regions\":{},\"sites_static\":{},\"sites_runtime\":{},\"elided_sites\":[",
+                    l.regions, l.sites_static, l.sites_runtime
+                ));
+                for (i, (b, idx)) in l.elided_sites.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[{b},{idx}]"));
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str(",\"launch\":null"),
+        }
+        out.push_str(",\"faults_injected\":[");
+        for (i, (t, kind)) in self.faults_injected.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let name = FaultKind::from_code(*kind).map_or("unknown", |k| k.name());
+            out.push_str(&format!("{{\"t\":{t},\"kind\":\"{name}\"}}"));
+        }
+        out.push(']');
+        out.push_str(&format!(
+            ",\"watchdog\":{}",
+            self.watchdog.map_or("null".to_string(), |(t, b)| format!(
+                "{{\"t\":{t},\"budget\":{b}}}"
+            ))
+        ));
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdictev(
+        kernel_id: u16,
+        wg: u32,
+        warp: u16,
+        site: (u32, u32),
+        verdict: u8,
+        range: (u64, u64),
+    ) -> FlightEvent {
+        FlightEvent::CheckVerdict {
+            kernel_id,
+            wg,
+            warp,
+            block: site.0,
+            idx: site.1,
+            path: 3,
+            verdict,
+            is_store: true,
+            lo: range.0,
+            hi: range.1,
+        }
+    }
+
+    fn seeded_ring() -> FlightRecorder {
+        let mut fr = FlightRecorder::new(64);
+        fr.note(FlightEvent::TenantAdmit {
+            tenant: 5,
+            kernel_id: 9,
+        });
+        fr.note(FlightEvent::KernelLaunch {
+            kernel_id: 9,
+            regions: 2,
+        });
+        fr.note(FlightEvent::RegionAlloc {
+            id: 11,
+            base: 0x1000,
+            size: 0x100,
+        });
+        fr.note(FlightEvent::RegionAlloc {
+            id: 12,
+            base: 0x2000,
+            size: 0x200,
+        });
+        fr.note(FlightEvent::BatInstall {
+            kernel_id: 9,
+            sites_static: 3,
+            sites_runtime: 2,
+        });
+        fr.note(FlightEvent::CheckElide { block: 1, idx: 0 });
+        fr.record(10, verdictev(9, 4, 1, (2, 0), 0, (0x1000, 0x1040)));
+        fr.record(20, verdictev(9, 4, 1, (2, 1), 1, (0x10f0, 0x2010)));
+        fr.record(
+            20,
+            FlightEvent::KernelAbort {
+                kernel_id: 9,
+                wg: 4,
+                warp: 1,
+                reason: 0,
+            },
+        );
+        fr
+    }
+
+    #[test]
+    fn post_mortem_reconstructs_the_causal_chain() {
+        let fr = seeded_ring();
+        let pm = PostMortem::from_recorder(&fr).expect("anomaly resident");
+        assert_eq!(pm.trigger, "kernel_abort");
+        assert_eq!((pm.kernel_id, pm.wg, pm.warp), (9, 4, 1));
+        assert_eq!(pm.abort_reason, Some(0));
+        let v = pm.violation.expect("violating access resident");
+        assert_eq!(v.site, (2, 1));
+        assert_eq!(v.range, (0x10f0, 0x2010));
+        // Overflow crossed into region 12 (contains hi-1 = 0x200f).
+        let victim = pm.victim.expect("victim identified");
+        assert_eq!(victim.id, 12);
+        assert_eq!(pm.tenant, Some(5));
+        let l = pm.launch.expect("launch snapshot resident");
+        assert_eq!(l.regions, 2);
+        assert_eq!((l.sites_static, l.sites_runtime), (3, 2));
+        assert_eq!(l.elided_sites, vec![(1, 0)]);
+        // Recent window is chronological and ends at the violation.
+        assert_eq!(pm.recent_mem.len(), 2);
+        assert_eq!(pm.recent_mem[1].site, (2, 1));
+        assert!(pm.recent_mem[0].t < pm.recent_mem[1].t);
+    }
+
+    #[test]
+    fn quiet_ring_yields_no_post_mortem() {
+        let mut fr = FlightRecorder::new(8);
+        fr.note(FlightEvent::KernelLaunch {
+            kernel_id: 1,
+            regions: 0,
+        });
+        fr.record(5, verdictev(1, 0, 0, (0, 0), 0, (0, 16)));
+        fr.record(9, FlightEvent::KernelComplete { kernel_id: 1 });
+        assert!(PostMortem::from_recorder(&fr).is_none());
+    }
+
+    #[test]
+    fn watchdog_trip_adopts_the_newest_checked_identity() {
+        let mut fr = FlightRecorder::new(16);
+        fr.record(10, verdictev(3, 7, 2, (1, 1), 0, (0x100, 0x140)));
+        fr.record(99, FlightEvent::WatchdogTrip { budget: 99 });
+        let pm = PostMortem::from_recorder(&fr).expect("trip is an anomaly");
+        assert_eq!(pm.trigger, "watchdog_trip");
+        assert_eq!((pm.kernel_id, pm.wg, pm.warp), (3, 7, 2));
+        assert_eq!(pm.watchdog, Some((99, 99)));
+        assert!(pm.violation.is_none());
+    }
+
+    #[test]
+    fn renderings_are_deterministic_and_cover_the_chain() {
+        let fr = seeded_ring();
+        let pm = PostMortem::from_recorder(&fr).expect("anomaly resident");
+        let text = pm.render_text();
+        assert!(text.contains("guilty: kernel 9 wg 4 warp 1 (tenant 5)"));
+        assert!(text.contains("victim region: id 12"));
+        assert!(text.contains("trigger: kernel_abort at t=20 (bounds-violation)"));
+        let json = pm.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"tenant\":5"));
+        assert!(json.contains("\"victim\":{\"id\":12"));
+        assert_eq!(json, pm.render_json(), "rendering is a pure function");
+    }
+}

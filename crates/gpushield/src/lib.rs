@@ -41,6 +41,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod forensics;
+
+pub use forensics::PostMortem;
 pub use gpushield_core::{Bcu, BcuConfig, BcuStats, ViolationKind, ViolationRecord};
 pub use gpushield_driver::{
     Arg, BufferHandle, Driver, DriverConfig, DriverError, DriverStats, RegionIdAllocator,
@@ -51,14 +54,31 @@ pub use gpushield_sim::{
     InjectionRecord, KernelLaunch, LaunchReport, MemGuard, MultiKernelMode, ObservedRange,
     RunError, RunReport, StallAttribution, Trace, TraceEvent, TraceKind,
 };
+pub use gpushield_telemetry::flight::{FlightEvent, FlightRecord, FlightRecorder};
 pub use gpushield_telemetry::{chrome::ChromeTrace, MetricId, Registry};
 
 use gpushield_compiler::BoundsAnalysis;
-use gpushield_driver::RBT_ENTRY_BYTES;
+use gpushield_driver::{read_entry, PreparedLaunch, RBT_ENTRY_BYTES};
 use gpushield_isa::Kernel;
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+
+/// How much the always-on flight recorder retains (see
+/// [`System::enable_observation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObserveMode {
+    /// No recorder attached; the observation paths cost nothing.
+    #[default]
+    Disabled,
+    /// Counters-only: a capacity-0 ring. Sequence and drop counters
+    /// advance (so `sim.flight.*` telemetry stays meaningful) but no
+    /// events are stored and no forensics are possible.
+    Counters,
+    /// Full recorder at [`gpushield_telemetry::flight::DEFAULT_FLIGHT_CAPACITY`].
+    Full,
+}
 
 /// Top-level configuration: GPU hardware, driver policy, BCU hardware.
 #[derive(Debug, Clone)]
@@ -185,6 +205,12 @@ pub struct System {
     gpu: Gpu,
     bcu: Option<Bcu>,
     last_bat: Option<BoundsAnalysis>,
+    flight: Option<FlightRecorder>,
+    /// Region IDs ever installed through this system; a re-install of a
+    /// seen ID is recorded as a recycle (ID churn is a forensics signal).
+    seen_region_ids: HashSet<u16>,
+    /// Monotone buffer counter for `BufferAlloc` events.
+    buffer_seq: u32,
 }
 
 impl System {
@@ -198,7 +224,88 @@ impl System {
             gpu: Gpu::new(cfg.gpu.clone()),
             bcu,
             last_bat: None,
+            flight: None,
+            seen_region_ids: HashSet::new(),
+            buffer_seq: 0,
             cfg,
+        }
+    }
+
+    /// Attaches (or detaches) the flight recorder. The recorder is
+    /// bounded and allocation-free after this call: [`ObserveMode::Full`]
+    /// allocates the ring once, [`ObserveMode::Counters`] stores nothing,
+    /// and [`ObserveMode::Disabled`] removes the recorder entirely.
+    /// Switching modes discards any previously recorded events.
+    pub fn enable_observation(&mut self, mode: ObserveMode) {
+        self.flight = match mode {
+            ObserveMode::Disabled => None,
+            ObserveMode::Counters => Some(FlightRecorder::counters_only()),
+            ObserveMode::Full => Some(FlightRecorder::full()),
+        };
+    }
+
+    /// The attached flight recorder, if observation is enabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Mutable access to the attached flight recorder (e.g. for the
+    /// serving loop to stamp tenant admission events).
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
+    }
+
+    /// Builds a post-mortem from the recorder's resident events, or
+    /// `None` when observation is off, the ring is empty, or no anomaly
+    /// (violation, abort, watchdog trip) is resident.
+    pub fn post_mortem(&self) -> Option<PostMortem> {
+        self.flight.as_ref().and_then(PostMortem::from_recorder)
+    }
+
+    /// Records the launch-preparation metadata a [`PreparedLaunch`]
+    /// installed: the launch itself, each region's RBT window (recycled
+    /// IDs flagged), the BAT attach, and every certificate-elided site.
+    fn note_prepared(&mut self, prepared: &PreparedLaunch) {
+        if self.flight.is_none() {
+            return;
+        }
+        // Resolve region windows (RBT reads borrow the driver) before
+        // borrowing the recorder mutably.
+        let mut regions: Vec<(u16, u64, u64, bool)> = Vec::new();
+        if let Some(setup) = prepared.shield {
+            for &id in &prepared.region_ids {
+                let recycled = !self.seen_region_ids.insert(id);
+                let (base, size) = read_entry(self.driver.vm(), setup.rbt_base, id)
+                    .map(|e| (e.base, u64::from(e.size)))
+                    .unwrap_or((0, 0));
+                regions.push((id, base, size, recycled));
+            }
+        }
+        let Some(f) = self.flight.as_mut() else {
+            return;
+        };
+        f.note(FlightEvent::KernelLaunch {
+            kernel_id: prepared.launch.kernel_id,
+            regions: prepared.region_ids.len() as u16,
+        });
+        for (id, base, size, recycled) in regions {
+            if recycled {
+                f.note(FlightEvent::RegionRecycle { id });
+            }
+            f.note(FlightEvent::RegionAlloc { id, base, size });
+        }
+        if let Some(bat) = &prepared.bat {
+            f.note(FlightEvent::BatInstall {
+                kernel_id: prepared.launch.kernel_id,
+                sites_static: bat.sites_static as u16,
+                sites_runtime: bat.sites_runtime as u16,
+            });
+            for site in &bat.elided_sites {
+                f.note(FlightEvent::CheckElide {
+                    block: site.0 .0,
+                    idx: site.1 as u32,
+                });
+            }
         }
     }
 
@@ -213,7 +320,17 @@ impl System {
     ///
     /// Propagates [`DriverError::BufferTooLarge`].
     pub fn alloc(&mut self, bytes: u64) -> Result<BufferHandle, SystemError> {
-        Ok(self.driver.malloc(bytes)?)
+        let h = self.driver.malloc(bytes)?;
+        let index = self.buffer_seq;
+        self.buffer_seq += 1;
+        if let Some(f) = self.flight.as_mut() {
+            f.note(FlightEvent::BufferAlloc {
+                index,
+                base: self.driver.buffer_va(h),
+                size: self.driver.buffer_size(h),
+            });
+        }
+        Ok(h)
     }
 
     /// Allocates and initialises a buffer of little-endian `u32`s.
@@ -287,11 +404,20 @@ impl System {
     ) -> Result<RunReport, SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
         self.attach_shield(prepared.shield, &prepared.region_ids);
+        self.note_prepared(&prepared);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
-        let report = self
-            .gpu
-            .run(self.driver.vm_mut(), &[prepared.launch], guard)?;
+        let report = match self.flight.as_mut() {
+            Some(f) => self
+                .gpu
+                .run_observed(self.driver.vm_mut(), &[prepared.launch], guard, f)?,
+            None => self
+                .gpu
+                .run(self.driver.vm_mut(), &[prepared.launch], guard)?,
+        };
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+        }
         Ok(report)
     }
 
@@ -327,17 +453,32 @@ impl System {
                 Ok(p) => p,
                 Err(e) => {
                     tenants.record_rejection(t)?;
+                    if let Some(f) = self.flight.as_mut() {
+                        f.note(FlightEvent::TenantReject { tenant: t.0 });
+                    }
                     return Err(e.into());
                 }
             };
         tenants.record_launch(t, prepared.launch.kernel_id)?;
         self.attach_shield(prepared.shield, &prepared.region_ids);
+        if let Some(f) = self.flight.as_mut() {
+            f.note(FlightEvent::TenantAdmit {
+                tenant: t.0,
+                kernel_id: prepared.launch.kernel_id,
+            });
+        }
+        self.note_prepared(&prepared);
         self.last_bat = prepared.bat;
         let logged_before = self.bcu.as_ref().map(|b| b.violations().len());
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
-        let report = self
-            .gpu
-            .run(self.driver.vm_mut(), &[prepared.launch], guard)?;
+        let report = match self.flight.as_mut() {
+            Some(f) => self
+                .gpu
+                .run_observed(self.driver.vm_mut(), &[prepared.launch], guard, f)?,
+            None => self
+                .gpu
+                .run(self.driver.vm_mut(), &[prepared.launch], guard)?,
+        };
         let new_violations: Vec<ViolationRecord> = match (self.bcu.as_ref(), logged_before) {
             (Some(b), Some(n)) => b.violations()[n..].to_vec(),
             _ => Vec::new(),
@@ -349,6 +490,12 @@ impl System {
         }
         tenants.stats_mut(t)?.cycles_consumed += report.cycles;
         tenants.complete_launch(t, &prepared.region_ids)?;
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+            for &id in &prepared.region_ids {
+                f.note(FlightEvent::RegionFree { id });
+            }
+        }
         Ok((report, new_violations))
     }
 
@@ -385,6 +532,9 @@ impl System {
                 Ok(p) => p,
                 Err(e) => {
                     tenants.record_rejection(t)?;
+                    if let Some(f) = self.flight.as_mut() {
+                        f.note(FlightEvent::TenantReject { tenant: t.0 });
+                    }
                     for (pt, ids) in &owners {
                         tenants.allocator_mut(*pt)?.release(ids)?;
                     }
@@ -393,14 +543,30 @@ impl System {
             };
             tenants.record_launch(t, prepared.launch.kernel_id)?;
             self.attach_shield(prepared.shield, &prepared.region_ids);
+            if let Some(f) = self.flight.as_mut() {
+                f.note(FlightEvent::TenantAdmit {
+                    tenant: t.0,
+                    kernel_id: prepared.launch.kernel_id,
+                });
+            }
+            self.note_prepared(&prepared);
             owners.push((t, prepared.region_ids.clone()));
             launches.push(prepared.launch);
         }
         let logged_before = self.bcu.as_ref().map(|b| b.violations().len());
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
-        let report = self
-            .gpu
-            .run_multi(self.driver.vm_mut(), &launches, mode, guard)?;
+        // The observed engine path runs the default fine-grained sharing
+        // mode; an explicit InterCore request keeps the unobserved path
+        // (launch-prep and admission events are still recorded).
+        let report = match self.flight.as_mut() {
+            Some(f) if mode == MultiKernelMode::IntraCore => {
+                self.gpu
+                    .run_observed(self.driver.vm_mut(), &launches, guard, f)?
+            }
+            _ => self
+                .gpu
+                .run_multi(self.driver.vm_mut(), &launches, mode, guard)?,
+        };
         let new_violations: Vec<ViolationRecord> = match (self.bcu.as_ref(), logged_before) {
             (Some(b), Some(n)) => b.violations()[n..].to_vec(),
             _ => Vec::new(),
@@ -413,6 +579,14 @@ impl System {
         for (t, ids) in &owners {
             tenants.stats_mut(*t)?.cycles_consumed += report.cycles;
             tenants.complete_launch(*t, ids)?;
+        }
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+            for (_, ids) in &owners {
+                for &id in ids {
+                    f.note(FlightEvent::RegionFree { id });
+                }
+            }
         }
         Ok((report, new_violations))
     }
@@ -452,6 +626,7 @@ impl System {
                 .collect();
         }
         self.attach_shield(prepared.shield, &prepared.region_ids);
+        self.note_prepared(&prepared);
         self.last_bat = prepared.bat;
         let mut session = FaultSession::new(plan, targets);
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
@@ -460,7 +635,11 @@ impl System {
             &[prepared.launch],
             guard,
             &mut session,
+            self.flight.as_mut(),
         )?;
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+        }
         Ok((report, session.injected().to_vec()))
     }
 
@@ -484,11 +663,15 @@ impl System {
     ) -> Result<(RunReport, Vec<SiteClaim>), SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
         self.attach_shield(prepared.shield, &prepared.region_ids);
+        self.note_prepared(&prepared);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
         let report = self
             .gpu
             .run_recorded(self.driver.vm_mut(), &[prepared.launch], guard)?;
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+        }
         Ok((report, prepared.site_claims))
     }
 
@@ -507,11 +690,15 @@ impl System {
     ) -> Result<RunReport, SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
         self.attach_shield(prepared.shield, &prepared.region_ids);
+        self.note_prepared(&prepared);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
         let report = self
             .gpu
             .run_traced(self.driver.vm_mut(), &[prepared.launch], guard, trace)?;
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+        }
         Ok(report)
     }
 
@@ -536,6 +723,7 @@ impl System {
     ) -> Result<RunReport, SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
         self.attach_shield(prepared.shield, &prepared.region_ids);
+        self.note_prepared(&prepared);
         self.last_bat = prepared.bat;
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
         let report = self.gpu.run_instrumented(
@@ -546,6 +734,10 @@ impl System {
             trace,
         )?;
         self.driver.publish_telemetry(registry);
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+            f.publish(registry);
+        }
         Ok(report)
     }
 
@@ -565,12 +757,22 @@ impl System {
                 .driver
                 .prepare_launch(k.kernel, k.grid, k.block, &k.args)?;
             self.attach_shield(prepared.shield, &prepared.region_ids);
+            self.note_prepared(&prepared);
             launches.push(prepared.launch);
         }
         let guard = self.bcu.as_mut().map(|b| b as &mut dyn MemGuard);
-        let report = self
-            .gpu
-            .run_multi(self.driver.vm_mut(), &launches, mode, guard)?;
+        let report = match self.flight.as_mut() {
+            Some(f) if mode == MultiKernelMode::IntraCore => {
+                self.gpu
+                    .run_observed(self.driver.vm_mut(), &launches, guard, f)?
+            }
+            _ => self
+                .gpu
+                .run_multi(self.driver.vm_mut(), &launches, mode, guard)?,
+        };
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+        }
         Ok(report)
     }
 
@@ -589,10 +791,20 @@ impl System {
         guard: &mut dyn MemGuard,
     ) -> Result<RunReport, SystemError> {
         let prepared = self.driver.prepare_launch(kernel, grid, block, args)?;
+        self.note_prepared(&prepared);
         self.last_bat = prepared.bat;
-        let report = self
-            .gpu
-            .run(self.driver.vm_mut(), &[prepared.launch], Some(guard))?;
+        let report = match self.flight.as_mut() {
+            Some(f) => {
+                self.gpu
+                    .run_observed(self.driver.vm_mut(), &[prepared.launch], Some(guard), f)?
+            }
+            None => self
+                .gpu
+                .run(self.driver.vm_mut(), &[prepared.launch], Some(guard))?,
+        };
+        if let Some(f) = self.flight.as_mut() {
+            f.advance_epoch(report.cycles);
+        }
         Ok(report)
     }
 
@@ -766,6 +978,73 @@ mod tests {
         let max_hi = obs.iter().map(|o| o.hi).max().unwrap();
         let min_lo = obs.iter().map(|o| o.lo).min().unwrap();
         assert!(max_hi - min_lo > 128 * 4, "overflow attempt was recorded");
+    }
+
+    #[test]
+    fn observed_oob_launch_yields_a_post_mortem() {
+        let mut sys = System::new(SystemConfig::nvidia_protected());
+        sys.enable_observation(ObserveMode::Full);
+        let a = sys.alloc(128 * 4).unwrap();
+        let r = sys.launch(iota(), 8, 32, &[Arg::Buffer(a)]).unwrap();
+        assert!(!r.completed());
+        let pm = sys
+            .post_mortem()
+            .expect("violation is resident in the ring");
+        assert_eq!(pm.trigger, "kernel_abort");
+        assert_eq!(pm.abort_reason, Some(0), "bounds violation");
+        let v = pm.violation.expect("the violating access is resident");
+        assert!(v.is_store);
+        // iota has exactly one memory instruction, so the oracle
+        // coordinate is ordinal 0.
+        assert_eq!(pm.guilty_mem_ordinal(&iota()), Some(0));
+        assert!(pm.victim.is_some(), "overflowed region identified");
+        let launch = pm.launch.expect("launch prep was recorded");
+        assert_eq!(launch.regions, 1);
+    }
+
+    #[test]
+    fn counters_mode_counts_but_stores_nothing() {
+        let mut sys = System::new(SystemConfig::nvidia_protected());
+        sys.enable_observation(ObserveMode::Counters);
+        let a = sys.alloc(128 * 4).unwrap();
+        let r = sys.launch(iota(), 8, 32, &[Arg::Buffer(a)]).unwrap();
+        assert!(!r.completed());
+        let f = sys.flight().unwrap();
+        assert!(f.events_recorded() > 0);
+        assert!(f.is_empty());
+        assert!(sys.post_mortem().is_none(), "nothing resident to walk");
+    }
+
+    #[test]
+    fn post_mortem_is_byte_identical_across_sim_threads() {
+        let run = |threads: usize| {
+            let mut cfg = SystemConfig::nvidia_protected();
+            cfg.gpu.sim_threads = threads;
+            let mut sys = System::new(cfg);
+            sys.enable_observation(ObserveMode::Full);
+            let a = sys.alloc(128 * 4).unwrap();
+            let r = sys.launch(iota(), 8, 32, &[Arg::Buffer(a)]).unwrap();
+            assert!(!r.completed());
+            sys.post_mortem().expect("violation resident").render_json()
+        };
+        let st1 = run(1);
+        assert_eq!(st1, run(4));
+        assert_eq!(st1, run(7));
+    }
+
+    #[test]
+    fn observation_does_not_change_simulated_timing() {
+        let cycles = |mode: ObserveMode| {
+            let mut sys = System::new(SystemConfig::nvidia_protected());
+            sys.enable_observation(mode);
+            let buf = sys.alloc(256 * 4).unwrap();
+            let r = sys.launch(iota(), 8, 32, &[Arg::Buffer(buf)]).unwrap();
+            assert!(r.completed());
+            r.cycles
+        };
+        let base = cycles(ObserveMode::Disabled);
+        assert_eq!(base, cycles(ObserveMode::Counters));
+        assert_eq!(base, cycles(ObserveMode::Full));
     }
 
     #[test]

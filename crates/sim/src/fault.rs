@@ -62,6 +62,21 @@ impl FaultKind {
             FaultKind::RcachePoison => "rcache-poison",
         }
     }
+
+    /// Stable integer code for flight-recorder payloads.
+    pub fn code(self) -> u8 {
+        match self {
+            FaultKind::RbtBitFlip => 0,
+            FaultKind::TagMangle => 1,
+            FaultKind::SiteCheckFalsify => 2,
+            FaultKind::RcachePoison => 3,
+        }
+    }
+
+    /// Inverse of [`FaultKind::code`].
+    pub fn from_code(code: u8) -> Option<FaultKind> {
+        FaultKind::ALL.get(usize::from(code)).copied()
+    }
 }
 
 impl fmt::Display for FaultKind {

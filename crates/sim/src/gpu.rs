@@ -15,6 +15,7 @@ use gpushield_mem::{
     coalesce_warp_into, Cache, MemFault, Replacement, SharedMemorySystem, Tlb, Transaction,
     VirtualMemorySpace,
 };
+use gpushield_telemetry::flight::{FlightEvent, FlightRecorder};
 use gpushield_telemetry::{MetricId, Registry};
 use std::collections::HashMap;
 use std::error::Error;
@@ -272,6 +273,37 @@ impl Gpu {
             guard,
             None,
             None,
+            None,
+        )
+    }
+
+    /// Like [`Gpu::run`], additionally recording structured flight events
+    /// (kernel lifecycle, check verdicts, aborts, watchdog trips) into
+    /// `flight`. Events are buffered per core and drained in canonical
+    /// `(cycle, core, seq)` order, so the recorded stream is identical
+    /// for every `sim_threads` setting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::run`].
+    pub fn run_observed(
+        &mut self,
+        vm: &mut VirtualMemorySpace,
+        launches: &[KernelLaunch],
+        guard: Option<&mut dyn MemGuard>,
+        flight: &mut FlightRecorder,
+    ) -> Result<RunReport, RunError> {
+        self.shared.begin_run();
+        par::run_engine(
+            &self.cfg,
+            vm,
+            &mut self.shared,
+            launches,
+            MultiKernelMode::IntraCore,
+            guard,
+            None,
+            None,
+            Some(flight),
         )
     }
 
@@ -297,6 +329,7 @@ impl Gpu {
             MultiKernelMode::IntraCore,
             guard,
             Some(trace),
+            None,
             None,
         )
     }
@@ -352,11 +385,15 @@ impl Gpu {
         launches: &[KernelLaunch],
         guard: Option<&mut dyn MemGuard>,
         session: &mut FaultSession,
+        flight: Option<&mut FlightRecorder>,
     ) -> Result<RunReport, RunError> {
         if session.is_empty() {
             // Nothing can ever fire: take the quantum engine so the
             // documented "empty plan ≡ run" equivalence holds exactly.
-            return self.run(vm, launches, guard);
+            return match flight {
+                Some(f) => self.run_observed(vm, launches, guard, f),
+                None => self.run(vm, launches, guard),
+            };
         }
         self.shared.begin_run();
         let mut st = RunState::new(
@@ -368,6 +405,7 @@ impl Gpu {
             guard,
         )?;
         st.fault = Some(session);
+        st.flight = flight;
         st.run()?;
         Ok(st.into_report())
     }
@@ -406,6 +444,7 @@ impl Gpu {
             guard,
             trace,
             registry.enabled().then_some(&mut *registry),
+            None,
         )?;
         stats::publish_run_report(registry, &report);
         gpushield_mem::publish_dram_channels(registry, "mem.dram", self.shared.dram());
@@ -501,6 +540,7 @@ struct RunState<'c, 'v, 'g, 't> {
     trace: Option<&'t mut Trace>,
     fault: Option<&'t mut FaultSession>,
     telemetry: Option<TeleCtx<'t>>,
+    flight: Option<&'t mut FlightRecorder>,
     profile: SimProfile,
 }
 
@@ -529,6 +569,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             trace: None,
             fault: None,
             telemetry: None,
+            flight: None,
             profile: SimProfile::default(),
         })
     }
@@ -724,10 +765,11 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             // squashing a loop's exit condition, adversarial kernels) into
             // a deterministic, classifiable error.
             if self.cycle >= self.cfg.max_cycles {
-                return Err(RunError::CycleBudgetExceeded {
-                    cycle: self.cycle,
-                    budget: self.cfg.max_cycles,
-                });
+                let (cycle, budget) = (self.cycle, self.cfg.max_cycles);
+                if let Some(f) = self.flight.as_mut() {
+                    f.record(cycle, FlightEvent::WatchdogTrip { budget });
+                }
+                return Err(RunError::CycleBudgetExceeded { cycle, budget });
             }
             self.try_dispatch();
             if self.launches.iter().all(|l| l.finished()) {
@@ -906,12 +948,17 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             core.last_issued = None;
             core.regs_used = core.regs_used.saturating_sub(freed_regs);
             core.shared_used = core.shared_used.saturating_sub(freed_shared);
+            let cycle = self.cycle;
             let lstate = &mut self.launches[li];
             lstate.wgs_retired += 1;
             if lstate.finished() {
-                lstate.report.end_cycle = self.cycle;
+                lstate.report.end_cycle = cycle;
+                let kid = lstate.launch.kernel_id;
+                if let Some(f) = self.flight.as_mut() {
+                    f.record(cycle, FlightEvent::KernelComplete { kernel_id: kid });
+                }
                 if let Some(g) = self.guard.as_mut() {
-                    g.on_kernel_end(lstate.launch.kernel_id);
+                    g.on_kernel_end(kid);
                 }
             }
         }
@@ -1079,6 +1126,16 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             };
             let cycle = self.cycle;
             fs.record(spec, cycle, seq, applied);
+            if applied {
+                if let Some(f) = self.flight.as_mut() {
+                    f.record(
+                        cycle,
+                        FlightEvent::FaultInjected {
+                            kind: spec.kind.code(),
+                        },
+                    );
+                }
+            }
         }
         (ptr, decision)
     }
@@ -1265,12 +1322,37 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
                 let report = &mut self.launches[li].report;
                 report.checks_performed += 1;
                 report.stall_attribution.record(chk.path, chk.stall_cycles);
+                if self.flight.is_some() {
+                    let (wg, win) = {
+                        let w = &self.cores[core_idx].warps[warp_idx];
+                        (w.wg as u32, w.warp_in_wg as u16)
+                    };
+                    let cycle = self.cycle;
+                    if let Some(f) = self.flight.as_mut() {
+                        f.record(
+                            cycle,
+                            FlightEvent::CheckVerdict {
+                                kernel_id: access.kernel_id,
+                                wg,
+                                warp: win,
+                                block: site.0 .0,
+                                idx: site.1 as u32,
+                                path: chk.path.code(),
+                                verdict: chk.verdict.code(),
+                                is_store,
+                                lo: range.0,
+                                hi: range.1,
+                            },
+                        );
+                    }
+                }
             }
         }
 
         // ---- Phase 4: outcome -------------------------------------------
         match verdict {
             GuardVerdict::Fault => {
+                self.note_flight_abort(core_idx, warp_idx, li, AbortReason::BoundsViolation);
                 self.cores[core_idx].scratch = scratch;
                 self.abort_launch(li, AbortReason::BoundsViolation);
                 return;
@@ -1289,6 +1371,7 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
             }
             GuardVerdict::Allow => {
                 if let Some(f) = translation_fault {
+                    self.note_flight_abort(core_idx, warp_idx, li, AbortReason::MemFault(f));
                     self.cores[core_idx].scratch = scratch;
                     self.abort_launch(li, AbortReason::MemFault(f));
                     return;
@@ -1464,6 +1547,38 @@ impl<'c, 'v, 'g, 't> RunState<'c, 'v, 'g, 't> {
         let report = &mut self.launches[li].report;
         report.instructions += 1;
         report.mem_instructions += 1;
+    }
+
+    /// Records a `KernelAbort` flight event while the guilty warp is still
+    /// resident — `abort_launch` strips every warp of the launch, so the
+    /// attribution must be captured first.
+    fn note_flight_abort(
+        &mut self,
+        core_idx: usize,
+        warp_idx: usize,
+        li: usize,
+        reason: AbortReason,
+    ) {
+        if self.flight.is_none() {
+            return;
+        }
+        let (wg, win) = {
+            let w = &self.cores[core_idx].warps[warp_idx];
+            (w.wg as u32, w.warp_in_wg as u16)
+        };
+        let kernel_id = self.launches[li].launch.kernel_id;
+        let cycle = self.cycle;
+        if let Some(f) = self.flight.as_mut() {
+            f.record(
+                cycle,
+                FlightEvent::KernelAbort {
+                    kernel_id,
+                    wg,
+                    warp: win,
+                    reason: reason.code(),
+                },
+            );
+        }
     }
 
     fn abort_launch(&mut self, li: usize, reason: AbortReason) {

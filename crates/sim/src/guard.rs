@@ -54,6 +54,27 @@ pub enum GuardVerdict {
     Squash,
 }
 
+impl GuardVerdict {
+    /// Stable integer code for flight-recorder payloads.
+    pub fn code(&self) -> u8 {
+        match self {
+            GuardVerdict::Allow => 0,
+            GuardVerdict::Fault => 1,
+            GuardVerdict::Squash => 2,
+        }
+    }
+
+    /// Inverse of [`GuardVerdict::code`].
+    pub fn from_code(code: u8) -> Option<GuardVerdict> {
+        Some(match code {
+            0 => GuardVerdict::Allow,
+            1 => GuardVerdict::Fault,
+            2 => GuardVerdict::Squash,
+            _ => return None,
+        })
+    }
+}
+
 /// Which microarchitectural path resolved a bounds check — the paper's
 /// Fig. 13/14 attribution axis. GPUShield's BCU reports where the region
 /// bounds came from (L1 RCache, L2 RCache, or an RBT fetch from device
@@ -87,6 +108,31 @@ impl CheckPath {
             CheckPath::SizeEmbedded => "size_embedded",
             CheckPath::Software => "software",
         }
+    }
+
+    /// Stable integer code for flight-recorder payloads.
+    pub fn code(&self) -> u8 {
+        match self {
+            CheckPath::Unchecked => 0,
+            CheckPath::L1RCache => 1,
+            CheckPath::L2RCache => 2,
+            CheckPath::RbtFetch => 3,
+            CheckPath::SizeEmbedded => 4,
+            CheckPath::Software => 5,
+        }
+    }
+
+    /// Inverse of [`CheckPath::code`].
+    pub fn from_code(code: u8) -> Option<CheckPath> {
+        Some(match code {
+            0 => CheckPath::Unchecked,
+            1 => CheckPath::L1RCache,
+            2 => CheckPath::L2RCache,
+            3 => CheckPath::RbtFetch,
+            4 => CheckPath::SizeEmbedded,
+            5 => CheckPath::Software,
+            _ => return None,
+        })
     }
 }
 

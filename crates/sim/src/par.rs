@@ -51,6 +51,7 @@ use gpushield_mem::{
     coalesce_warp_into, DramView, MemFault, SharedMemorySystem, VirtualMemorySpace,
 };
 use gpushield_runtime::with_crew;
+use gpushield_telemetry::flight::{FlightEvent, FlightRecorder};
 use gpushield_telemetry::{MetricId, Registry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -125,9 +126,19 @@ enum Ev {
     /// A workgroup of launch `li` fully retired on its core.
     Retired { li: u32 },
     /// The launch must abort (bounds violation or translation fault).
-    Abort { li: u32, reason: AbortReason },
+    /// Carries the guilty warp's identity for the flight recorder — the
+    /// warp itself is stripped by the time the drain applies the abort.
+    Abort {
+        li: u32,
+        wg: u64,
+        win: u32,
+        reason: AbortReason,
+    },
     /// A buffered trace record.
     Trace(TraceEvent),
+    /// A buffered flight-recorder event, replayed into the recorder in
+    /// canonical order so the stream is identical for every worker count.
+    Flight(FlightEvent),
 }
 
 /// A drained event: [`QEv`] plus its core, forming the canonical sort key
@@ -343,6 +354,7 @@ fn advance_core(
     vm: &VirtualMemorySpace,
     core_idx: usize,
     want_trace: bool,
+    want_flight: bool,
 ) {
     if out.accs.len() != launches.len() {
         out.accs.resize_with(launches.len(), LaunchAcc::default);
@@ -362,8 +374,19 @@ fn advance_core(
                 Some(wi) => {
                     core.last_issued = Some(wi);
                     exec_warp_phase(
-                        cfg, t, core, out, check, dram_view, launches, shared, vm, core_idx,
-                        want_trace, wi,
+                        cfg,
+                        t,
+                        core,
+                        out,
+                        check,
+                        dram_view,
+                        launches,
+                        shared,
+                        vm,
+                        core_idx,
+                        want_trace,
+                        want_flight,
+                        wi,
                     );
                     out.issued += 1;
                     issued = true;
@@ -418,12 +441,18 @@ fn freeze_abort(
     li: usize,
     reason: AbortReason,
 ) {
-    core.warps[wi].ready_at = u64::MAX;
+    let (wg, win) = {
+        let w = &mut core.warps[wi];
+        w.ready_at = u64::MAX;
+        (w.wg, w.warp_in_wg as u32)
+    };
     push_ev(
         out,
         t,
         Ev::Abort {
             li: li as u32,
+            wg,
+            win,
             reason,
         },
     );
@@ -442,6 +471,7 @@ fn exec_warp_phase(
     vm: &VirtualMemorySpace,
     core_idx: usize,
     want_trace: bool,
+    want_flight: bool,
     wi: usize,
 ) {
     let li = core.warps[wi].launch_idx;
@@ -471,8 +501,22 @@ fn exec_warp_phase(
                 Instr::Malloc { .. } | Instr::Free { .. } => park_warp(out, t, core, wi),
                 Instr::Ld { .. } | Instr::St { .. } | Instr::AtomAdd { .. } => {
                     exec_mem_phase(
-                        cfg, t, core, out, check, dram_view, launches, shared, vm, core_idx,
-                        want_trace, wi, li, pc, instr,
+                        cfg,
+                        t,
+                        core,
+                        out,
+                        check,
+                        dram_view,
+                        launches,
+                        shared,
+                        vm,
+                        core_idx,
+                        want_trace,
+                        want_flight,
+                        wi,
+                        li,
+                        pc,
+                        instr,
                     );
                 }
                 _ => unreachable!("exec_simple handles all other instructions"),
@@ -603,6 +647,7 @@ fn exec_mem_phase(
     vm: &VirtualMemorySpace,
     core_idx: usize,
     want_trace: bool,
+    want_flight: bool,
     wi: usize,
     li: usize,
     site: (BlockId, usize),
@@ -766,6 +811,25 @@ fn exec_mem_phase(
             out.accs[li]
                 .stall_attribution
                 .record(chk.path, chk.stall_cycles);
+            if want_flight {
+                let w = &core.warps[wi];
+                push_ev(
+                    out,
+                    t,
+                    Ev::Flight(FlightEvent::CheckVerdict {
+                        kernel_id: launches[li].launch.kernel_id,
+                        wg: w.wg as u32,
+                        warp: w.warp_in_wg as u16,
+                        block: site.0 .0,
+                        idx: site.1 as u32,
+                        path: chk.path.code(),
+                        verdict: chk.verdict.code(),
+                        is_store,
+                        lo: range.0,
+                        hi: range.1,
+                    }),
+                );
+            }
         }
     }
 
@@ -975,6 +1039,7 @@ pub(super) fn run_engine(
     mut guard: Option<&mut dyn MemGuard>,
     trace: Option<&mut Trace>,
     registry: Option<&mut Registry>,
+    flight: Option<&mut FlightRecorder>,
 ) -> Result<RunReport, RunError> {
     let ls = build_launch_states(cfg, launches)?;
     let n = cfg.num_cores;
@@ -1022,6 +1087,7 @@ pub(super) fn run_engine(
     let t1a = AtomicU64::new(0);
     let claim = AtomicUsize::new(0);
     let want_trace = trace.is_some();
+    let want_flight = flight.is_some();
 
     let work = |_w: usize| {
         let t0 = t0a.load(Ordering::Relaxed);
@@ -1046,7 +1112,19 @@ pub(super) fn run_engine(
                 (None, None) => PhaseCheck::None,
             };
             advance_core(
-                cfg, t0, t1, core, out, &mut check, dram_view, &lr, &sr, vm, i, want_trace,
+                cfg,
+                t0,
+                t1,
+                core,
+                out,
+                &mut check,
+                dram_view,
+                &lr,
+                &sr,
+                vm,
+                i,
+                want_trace,
+                want_flight,
             );
         }
     };
@@ -1063,8 +1141,17 @@ pub(super) fn run_engine(
         let mut max_skew: u64 = 0;
         let mut tele = registry.map(|reg| ParTele::new(reg, n));
         let mut trace = trace;
+        let mut flight = flight;
         loop {
             if cycle >= cfg.max_cycles {
+                if let Some(f) = flight.as_mut() {
+                    f.record(
+                        cycle,
+                        FlightEvent::WatchdogTrip {
+                            budget: cfg.max_cycles,
+                        },
+                    );
+                }
                 return Err(RunError::CycleBudgetExceeded {
                     cycle,
                     budget: cfg.max_cycles,
@@ -1107,6 +1194,7 @@ pub(super) fn run_engine(
                 &mut keys,
                 &mut busy_totals,
                 &mut max_skew,
+                &mut flight,
             )?;
             if lock_ok(launches_lk.read()).iter().all(|l| l.finished()) {
                 break;
@@ -1387,6 +1475,7 @@ fn drain<'w, 'g>(
     keys: &mut Vec<DrainKey>,
     busy_totals: &mut [u64],
     max_skew: &mut u64,
+    flight: &mut Option<&mut FlightRecorder>,
 ) -> Result<u64, RunError> {
     keys.clear();
     let mut issued_total = 0u64;
@@ -1449,6 +1538,11 @@ fn drain<'w, 'g>(
                         t.push(ev);
                     }
                 }
+                Ev::Flight(fe) => {
+                    if let Some(f) = flight.as_mut() {
+                        f.record(k.t, fe);
+                    }
+                }
                 Ev::Retired { li } => {
                     let li = li as usize;
                     let lstate = &mut lw[li];
@@ -1456,13 +1550,32 @@ fn drain<'w, 'g>(
                     if lstate.finished() {
                         lstate.report.end_cycle = k.t;
                         let kid = lstate.launch.kernel_id;
+                        if let Some(f) = flight.as_mut() {
+                            f.record(k.t, FlightEvent::KernelComplete { kernel_id: kid });
+                        }
                         guard_kernel_end(slots, whole, kid);
                     }
                 }
-                Ev::Abort { li, reason } => {
+                Ev::Abort {
+                    li,
+                    wg,
+                    win,
+                    reason,
+                } => {
                     let li = li as usize;
                     if !lw[li].aborted {
-                        apply_abort(slots, &mut lw, trace, whole, li, reason, k.t);
+                        apply_abort(
+                            slots,
+                            &mut lw,
+                            trace,
+                            whole,
+                            flight,
+                            li,
+                            wg,
+                            win as usize,
+                            reason,
+                            k.t,
+                        );
                     }
                 }
                 Ev::Parked { li, wg, win } => {
@@ -1477,15 +1590,19 @@ fn drain<'w, 'g>(
                         profile,
                         trace,
                         tele,
+                        flight,
                         k.t,
                         k.core as usize,
                         li as usize,
                         wg,
                         win as usize,
                     )?;
-                    if let Some((ali, reason)) = pending {
-                        if !lw[ali].aborted {
-                            apply_abort(slots, &mut lw, trace, whole, ali, reason, k.t);
+                    if let Some(req) = pending {
+                        if !lw[req.li].aborted {
+                            apply_abort(
+                                slots, &mut lw, trace, whole, flight, req.li, req.wg, req.win,
+                                req.reason, k.t,
+                            );
                         }
                     }
                 }
@@ -1501,6 +1618,16 @@ fn drain<'w, 'g>(
         }
     }
     Ok(issued_total)
+}
+
+/// A launch abort requested from inside a drain handler, applied after
+/// the slot lock drops. Carries the guilty warp's identity so the flight
+/// recorder can attribute the abort.
+struct AbortReq {
+    li: usize,
+    wg: u64,
+    win: usize,
+    reason: AbortReason,
 }
 
 /// Executes a parked serialized operation at the drain. The warp is
@@ -1520,12 +1647,13 @@ fn drain_parked<'w, 'g>(
     profile: &mut SimProfile,
     trace: &mut Option<&mut Trace>,
     tele: &mut Option<ParTele<'_>>,
+    flight: &mut Option<&mut FlightRecorder>,
     t: u64,
     ci: usize,
     li: usize,
     wg: u64,
     win: usize,
-) -> Result<Option<(usize, AbortReason)>, RunError> {
+) -> Result<Option<AbortReq>, RunError> {
     let mut slot = lock_ok(slots[ci].lock());
     let sl = &mut *slot;
     let Some(wi) = sl
@@ -1561,7 +1689,7 @@ fn drain_parked<'w, 'g>(
             Ok(None)
         }
         Instr::AtomAdd { .. } => Ok(drain_atom(
-            cfg, sl, lw, shared, vm, whole, profile, trace, tele, t, ci, wi, li, pc, instr,
+            cfg, sl, lw, shared, vm, whole, profile, trace, tele, flight, t, ci, wi, li, pc, instr,
         )),
         _ => unreachable!("only malloc/free/global atomics park"),
     }
@@ -1668,13 +1796,14 @@ fn drain_atom<'w, 'g>(
     profile: &mut SimProfile,
     trace: &mut Option<&mut Trace>,
     tele: &mut Option<ParTele<'_>>,
+    flight: &mut Option<&mut FlightRecorder>,
     t: u64,
     ci: usize,
     wi: usize,
     li: usize,
     site: (BlockId, usize),
     instr: Instr,
-) -> Option<(usize, AbortReason)> {
+) -> Option<AbortReq> {
     let Instr::AtomAdd {
         dst,
         addr,
@@ -1687,6 +1816,18 @@ fn drain_atom<'w, 'g>(
     };
     let width_b = width.bytes();
     let CoreSlot { core, shard, .. } = sl;
+    let (wgid, winid) = {
+        let w = &core.warps[wi];
+        (w.wg, w.warp_in_wg)
+    };
+    let abort = |reason| {
+        Some(AbortReq {
+            li,
+            wg: wgid,
+            win: winid,
+            reason,
+        })
+    };
 
     // ---- AGU (global-space path; shared atomics never park) -------------
     let mut scratch = std::mem::take(&mut core.scratch);
@@ -1789,6 +1930,23 @@ fn drain_atom<'w, 'g>(
             let report = &mut lw[li].report;
             report.checks_performed += 1;
             report.stall_attribution.record(chk.path, chk.stall_cycles);
+            if let Some(f) = flight.as_mut() {
+                f.record(
+                    t,
+                    FlightEvent::CheckVerdict {
+                        kernel_id: lw[li].launch.kernel_id,
+                        wg: wgid as u32,
+                        warp: winid as u16,
+                        block: site.0 .0,
+                        idx: site.1 as u32,
+                        path: chk.path.code(),
+                        verdict: chk.verdict.code(),
+                        is_store: true,
+                        lo: range.0,
+                        hi: range.1,
+                    },
+                );
+            }
         }
     }
 
@@ -1796,7 +1954,7 @@ fn drain_atom<'w, 'g>(
     match verdict {
         GuardVerdict::Fault => {
             core.scratch = scratch;
-            return Some((li, AbortReason::BoundsViolation));
+            return abort(AbortReason::BoundsViolation);
         }
         GuardVerdict::Squash => {
             lw[li].report.violations_squashed += 1;
@@ -1810,7 +1968,7 @@ fn drain_atom<'w, 'g>(
         GuardVerdict::Allow => {
             if let Some(f) = translation_fault {
                 core.scratch = scratch;
-                return Some((li, AbortReason::MemFault(f)));
+                return abort(AbortReason::MemFault(f));
             }
             // Lanes serialize in lane order (real hardware serializes
             // same-address atomics; a fixed order keeps it deterministic).
@@ -1824,13 +1982,13 @@ fn drain_atom<'w, 'g>(
                     Ok(v) => v,
                     Err(f) => {
                         core.scratch = scratch;
-                        return Some((li, AbortReason::MemFault(f)));
+                        return abort(AbortReason::MemFault(f));
                     }
                 };
                 let add = scratch.store_vals[lane];
                 if let Err(f) = vm.write_uint(va, width_b, old.wrapping_add(add)) {
                     core.scratch = scratch;
-                    return Some((li, AbortReason::MemFault(f)));
+                    return abort(AbortReason::MemFault(f));
                 }
                 let warp = &mut core.warps[wi];
                 warp.set_reg(dst, lane, old);
@@ -1882,12 +2040,16 @@ fn drain_atom<'w, 'g>(
 /// Strips an aborting launch from the whole machine at the drain — the
 /// sequential `abort_launch` semantics at the abort's issue cycle. Only
 /// the canonically-first abort event per launch gets here.
+#[allow(clippy::too_many_arguments)]
 fn apply_abort<'w, 'g>(
     slots: &[Mutex<CoreSlot<'_>>],
     lw: &mut [LaunchState],
     trace: &mut Option<&mut Trace>,
     whole: &Option<Mutex<&'w mut (dyn MemGuard + 'g)>>,
+    flight: &mut Option<&mut FlightRecorder>,
     li: usize,
+    wg: u64,
+    win: usize,
     reason: AbortReason,
     t: u64,
 ) {
@@ -1909,6 +2071,17 @@ fn apply_abort<'w, 'g>(
         lstate.report.end_cycle = t;
         lstate.launch.kernel_id
     };
+    if let Some(f) = flight.as_mut() {
+        f.record(
+            t,
+            FlightEvent::KernelAbort {
+                kernel_id,
+                wg: wg as u32,
+                warp: win as u16,
+                reason: reason.code(),
+            },
+        );
+    }
     for slot in slots {
         let mut s = lock_ok(slot.lock());
         let core = &mut s.core;

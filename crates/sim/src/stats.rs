@@ -17,6 +17,26 @@ pub enum AbortReason {
     BoundsViolation,
 }
 
+impl AbortReason {
+    /// Stable integer code for flight-recorder payloads (the `MemFault`
+    /// detail is not round-tripped; forensics renders the class only).
+    pub fn code(&self) -> u8 {
+        match self {
+            AbortReason::BoundsViolation => 0,
+            AbortReason::MemFault(_) => 1,
+        }
+    }
+
+    /// Render a flight-recorder code back to a stable class name.
+    pub fn code_name(code: u8) -> &'static str {
+        match code {
+            0 => "bounds-violation",
+            1 => "mem-fault",
+            _ => "unknown",
+        }
+    }
+}
+
 impl fmt::Display for AbortReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -187,4 +187,64 @@ mod tests {
         let json = t.render();
         assert!(json.contains("\"args\": {\"reason\": \"oob \\\"store\\\"\"}"));
     }
+
+    #[test]
+    fn empty_trace_renders_a_valid_skeleton() {
+        let t = ChromeTrace::new();
+        assert!(t.is_empty());
+        let json = t.render();
+        assert_eq!(
+            json,
+            "{\n  \"traceEvents\": [\n\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n"
+        );
+        // arg() on an empty trace must be a no-op, not a panic.
+        let mut t = ChromeTrace::new();
+        t.arg("k", "v");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_duration_spans_clamp_but_keep_both_phases() {
+        let mut t = ChromeTrace::new();
+        // A complete event with dur 0 is clamped to 1 so viewers draw a
+        // visible slice.
+        t.push_complete("x", "c", 5, 0, 0, 0);
+        // A span whose end equals its begin keeps both B and E at the
+        // same timestamp, in insertion order.
+        t.push_span("k", "c", 7, 7, 1, 2);
+        assert_eq!(t.events[0].dur, Some(1));
+        assert_eq!((t.events[1].ph, t.events[1].ts), ('B', 7));
+        assert_eq!((t.events[2].ph, t.events[2].ts), ('E', 7));
+        let json = t.render();
+        let b = json.find("\"ph\": \"B\"").unwrap();
+        let e = json.find("\"ph\": \"E\"").unwrap();
+        assert!(b < e, "begin must render before end at equal ts: {json}");
+    }
+
+    #[test]
+    fn cross_thread_events_keep_insertion_order() {
+        // Events from different cores/warps interleave in time; the
+        // writer must preserve insertion order byte-for-byte (viewers
+        // sort by ts themselves), so a parallel-engine drain that emits
+        // canonical order produces a canonical file.
+        let mut t = ChromeTrace::new();
+        t.push_complete("a", "c", 100, 5, 0, 1);
+        t.push_complete("b", "c", 50, 5, 1, 2);
+        t.push_instant("c", "c", 75, 0, 3);
+        let json = t.render();
+        let pa = json.find("\"name\": \"a\"").unwrap();
+        let pb = json.find("\"name\": \"b\"").unwrap();
+        let pc = json.find("\"name\": \"c\"").unwrap();
+        assert!(pa < pb && pb < pc, "insertion order not preserved: {json}");
+        // Distinct (pid, tid) lanes survive the round trip.
+        for lane in [
+            "\"pid\": 0, \"tid\": 1",
+            "\"pid\": 1, \"tid\": 2",
+            "\"pid\": 0, \"tid\": 3",
+        ] {
+            assert!(json.contains(lane), "missing lane {lane}");
+        }
+        // Renders are deterministic.
+        assert_eq!(json, t.render());
+    }
 }

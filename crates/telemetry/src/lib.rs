@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod flight;
 
 use std::collections::BTreeMap;
 
@@ -105,6 +106,37 @@ impl Histogram {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Inclusive upper bound of bucket `b`: 0 for the zero bucket, else
+    /// `2^b - 1` (bucket `b` holds `v` with `floor(log2 v) == b - 1`).
+    pub fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// The `p`-th percentile (0 < p <= 100) as the upper bound of the
+    /// log2 bucket containing that rank — a conservative estimate with
+    /// at most 2x quantisation error, which is what a log2 sketch can
+    /// promise. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Self::bucket_upper(b);
+            }
+        }
+        Self::bucket_upper(HISTOGRAM_BUCKETS - 1)
     }
 }
 
@@ -332,6 +364,42 @@ impl Registry {
         self.observe(id, value);
     }
 
+    /// Like [`Registry::add_named`], but the label is built lazily: the
+    /// closure runs only when the registry is enabled, so a disabled
+    /// registry never pays for `format!`-style label construction. This
+    /// is the API publish paths with dynamic labels must use — the
+    /// allocation-counting test at the workspace root pins it.
+    pub fn add_named_with(&mut self, name: impl FnOnce() -> String, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let name = name();
+        let id = self.counter(&name);
+        self.add(id, delta);
+    }
+
+    /// Lazy-label variant of [`Registry::set_named`]; see
+    /// [`Registry::add_named_with`].
+    pub fn set_named_with(&mut self, name: impl FnOnce() -> String, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let name = name();
+        let id = self.gauge(&name);
+        self.set(id, value);
+    }
+
+    /// Lazy-label variant of [`Registry::observe_named`]; see
+    /// [`Registry::add_named_with`].
+    pub fn observe_named_with(&mut self, name: impl FnOnce() -> String, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let name = name();
+        let id = self.histogram(&name);
+        self.observe(id, value);
+    }
+
     /// The current value of a counter or gauge, if registered.
     pub fn value(&self, name: &str) -> Option<u64> {
         match self.lookup(name)? {
@@ -387,6 +455,72 @@ impl Registry {
         out.push_str("\n}\n");
         out
     }
+
+    /// Renders the registry in an OpenMetrics-style text exposition, so
+    /// the same surface a deployment would scrape can be produced from
+    /// the simulator. Metric names are sanitised to `[a-zA-Z0-9_:]`
+    /// (dots become underscores). Counters expose `<name>_total`,
+    /// gauges expose `<name>`, histograms expose cumulative
+    /// `<name>_bucket{le="..."}` samples (non-empty buckets plus
+    /// `+Inf`) with `_sum`/`_count`, and series expose a
+    /// `<name>_samples` gauge carrying the stored point count. Output
+    /// is sorted by metric name and ends with `# EOF`.
+    pub fn render_openmetrics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for &i in self.index.values() {
+            let m = &self.metrics[i];
+            let name = openmetrics_name(&m.name);
+            match &m.value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name}_total {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cum = 0u64;
+                    for (b, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cum += n;
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cum}",
+                            Histogram::bucket_upper(b)
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+                MetricValue::Series(s) => {
+                    let _ = writeln!(out, "# TYPE {name}_samples gauge");
+                    let _ = writeln!(out, "{name}_samples {}", s.points.len());
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// Sanitises a metric name for the OpenMetrics exposition: every
+/// character outside `[a-zA-Z0-9_:]` becomes an underscore.
+fn openmetrics_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 fn render_value(out: &mut String, v: &MetricValue) {
@@ -574,5 +708,84 @@ mod tests {
         let mut s = String::new();
         push_json_string(&mut s, "a\"b\\c\nd");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_buckets() {
+        let mut h = Histogram::new();
+        // 90 zeros, 9 values of 5 (bucket 3, upper 7), 1 value of 1000
+        // (bucket 10, upper 1023).
+        for _ in 0..90 {
+            h.observe(0);
+        }
+        for _ in 0..9 {
+            h.observe(5);
+        }
+        h.observe(1000);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(95.0), 7);
+        assert_eq!(h.percentile(99.0), 7);
+        assert_eq!(h.percentile(100.0), 1023);
+        assert_eq!(Histogram::new().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentile_upper_bounds_are_log2_edges() {
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(10), 1023);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn lazy_labels_never_run_when_disabled() {
+        let mut r = Registry::disabled();
+        r.add_named_with(|| unreachable!("label built on disabled path"), 1);
+        r.set_named_with(|| unreachable!("label built on disabled path"), 1);
+        r.observe_named_with(|| unreachable!("label built on disabled path"), 1);
+        assert!(r.is_empty());
+
+        let mut on = Registry::new();
+        on.add_named_with(|| format!("t.{}.count", 3), 2);
+        on.set_named_with(|| format!("t.{}.gauge", 3), 4);
+        on.observe_named_with(|| format!("t.{}.hist", 3), 8);
+        assert_eq!(on.value("t.3.count"), Some(2));
+        assert_eq!(on.value("t.3.gauge"), Some(4));
+        assert!(matches!(
+            on.lookup("t.3.hist"),
+            Some(MetricValue::Histogram(h)) if h.count == 1
+        ));
+    }
+
+    #[test]
+    fn openmetrics_exposition_golden_output() {
+        let mut r = Registry::with_stride(10);
+        r.add_named("sim.run.instructions", 42);
+        r.set_named("sim.cores", 4);
+        let h = r.histogram("sim.hist.stall");
+        r.observe(h, 0);
+        r.observe(h, 5);
+        r.observe(h, 5);
+        let s = r.series("sim.series.warps");
+        r.sample(s, 0, 1);
+        r.sample(s, 10, 2);
+        let expected = "\
+# TYPE sim_cores gauge
+sim_cores 4
+# TYPE sim_hist_stall histogram
+sim_hist_stall_bucket{le=\"0\"} 1
+sim_hist_stall_bucket{le=\"7\"} 3
+sim_hist_stall_bucket{le=\"+Inf\"} 3
+sim_hist_stall_sum 10
+sim_hist_stall_count 3
+# TYPE sim_run_instructions counter
+sim_run_instructions_total 42
+# TYPE sim_series_warps_samples gauge
+sim_series_warps_samples 2
+# EOF
+";
+        assert_eq!(r.render_openmetrics(), expected);
+        assert_eq!(Registry::disabled().render_openmetrics(), "# EOF\n");
     }
 }

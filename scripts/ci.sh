@@ -123,7 +123,41 @@ if [[ "${CI_PERF:-1}" == "1" ]]; then
     cmp "$out/static_precision.j1.txt" "$out/static_precision.txt"
     grep -q ' 0 violations' "$out/static_precision.txt"
 
-    echo "== detection + precision trend gate (CI_PERF=0 to skip)"
+    echo "== flight-recorder forensics matrix (CI_PERF=0 to skip)"
+    # Replayed fuzz specimens and fault-injection trials must produce
+    # byte-identical post-mortems at any --jobs fan-out and --sim-threads
+    # sharding (the ring drains per-core outboxes in deterministic order),
+    # and every detected specimen's post-mortem must name the oracle's
+    # guilty memory instruction and victim region.
+    ./target/release/experiments forensics "$out" --jobs 1
+    mv "$out/forensics.txt" "$out/forensics.j1.txt"
+    ./target/release/experiments forensics "$out" --jobs 4
+    cmp "$out/forensics.j1.txt" "$out/forensics.txt"
+    ./target/release/experiments forensics "$out" --jobs 4 --sim-threads 7
+    cmp "$out/forensics.j1.txt" "$out/forensics.txt"
+    grep -q 'match=yes' "$out/forensics.txt"
+    if grep -q 'match=NO\|victim_named=NO\|window_overlap=NO' "$out/forensics.txt"; then
+        echo "forensics post-mortem disagrees with the fuzz oracle" >&2
+        exit 1
+    fi
+
+    echo "== observation-overhead gate (CI_PERF=0 to skip)"
+    # The committed BENCH_observe.json mirrors the throughput smoke sweep
+    # (same workload, protections, reps), so its disabled-mode sim_cycles
+    # must equal BENCH_simcore.json's smoke sim_cycles: the always-on
+    # recorder hook costs the uninstrumented hot path zero simulated
+    # cycles. The trend gate below recomputes the sweep and additionally
+    # pins counters/full against disabled.
+    obs_cycles=$(grep -m1 '"sim_cycles"' BENCH_observe.json | grep -oE '[0-9]+')
+    smoke_cycles=$(grep '"sim_cycles"' BENCH_simcore.json | tail -1 | grep -oE '[0-9]+')
+    if [[ "$obs_cycles" != "$smoke_cycles" ]]; then
+        echo "BENCH_observe disabled sim_cycles ($obs_cycles) !=" \
+             "BENCH_simcore smoke sim_cycles ($smoke_cycles) — stale baseline" >&2
+        exit 1
+    fi
+    echo "   disabled-mode sim_cycles match simcore smoke: $obs_cycles"
+
+    echo "== detection + precision + observation trend gate (CI_PERF=0 to skip)"
     ./target/release/trend --check --jobs 4
 fi
 

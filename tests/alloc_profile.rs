@@ -114,3 +114,36 @@ fn disabled_telemetry_keeps_the_hot_path_allocation_free() {
          per kilocycle ({during} allocations over {cycles} cycles)"
     );
 }
+
+/// Publishing into a disabled registry builds no label strings: the
+/// `driver.*`, `driver.tenant.*`, and `driver.audit.*` surfaces all pass
+/// their labels as lazy closures, so the disabled early-return fires
+/// before any `format!` runs. Zero allocations, not just "few".
+#[test]
+fn disabled_registry_publish_builds_no_label_strings() {
+    use gpushield::Registry;
+    use gpushield_driver::{Driver, DriverConfig, TenantId, TenantTable};
+
+    let driver = Driver::new(DriverConfig::default(), 7);
+    let mut table = TenantTable::new(2);
+    let _ = table.record_launch(TenantId(0), 1);
+    let _ = table.note_probe(TenantId(1), true);
+
+    let mut reg = Registry::disabled();
+    // Warm-up: nothing to warm, but keep symmetry with the other tests.
+    driver.publish_telemetry(&mut reg);
+    table.publish_telemetry(&mut reg);
+
+    let before = allocs();
+    driver.publish_telemetry(&mut reg);
+    table.publish_telemetry(&mut reg);
+    table.audit().publish(&mut reg);
+    let during = allocs() - before;
+
+    assert!(reg.is_empty(), "a disabled registry must register nothing");
+    assert_eq!(
+        during, 0,
+        "disabled-registry publish allocated {during} times: a label \
+         string is being formatted eagerly"
+    );
+}
